@@ -1,0 +1,190 @@
+package muaa_test
+
+// Benchmarks regenerating the paper's tables and figures (one per table /
+// figure; DESIGN.md §5 maps IDs to experiments). Figure benches run the full
+// harness sweep at a laptop scale (-scale equivalent 0.02 of the paper's
+// entity counts) so `go test -bench=.` finishes in minutes; pass the real
+// sizes through cmd/muaa-bench for full-scale runs. Absolute numbers differ
+// from the paper's Xeon/Java testbed by design; the shapes are asserted in
+// the experiment package's tests and recorded in EXPERIMENTS.md.
+
+import (
+	"testing"
+
+	"muaa"
+	"muaa/internal/core"
+	"muaa/internal/experiment"
+	"muaa/internal/stream"
+)
+
+func benchSettings() experiment.Settings {
+	return experiment.DefaultSettings().Scale(0.02)
+}
+
+// BenchmarkExample1 — Table I/II + Example 1 (E1): full algorithm suite on
+// the worked example.
+func BenchmarkExample1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.RunExample1(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchSeries(b *testing.B, run func(experiment.Settings, int) (experiment.Series, error)) {
+	b.Helper()
+	st := benchSettings()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := run(st, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig3BudgetSweep — Figure 3: vendor-budget range sweep (real-data
+// style workload).
+func BenchmarkFig3BudgetSweep(b *testing.B) { benchSeries(b, experiment.RunBudgetSweep) }
+
+// BenchmarkFig4RadiusSweep — Figure 4: vendor-radius range sweep.
+func BenchmarkFig4RadiusSweep(b *testing.B) { benchSeries(b, experiment.RunRadiusSweep) }
+
+// BenchmarkFig5CapacitySweep — Figure 5: customer-capacity range sweep.
+func BenchmarkFig5CapacitySweep(b *testing.B) { benchSeries(b, experiment.RunCapacitySweep) }
+
+// BenchmarkFig6ProbabilitySweep — Figure 6: viewing-probability range sweep.
+func BenchmarkFig6ProbabilitySweep(b *testing.B) { benchSeries(b, experiment.RunProbabilitySweep) }
+
+// BenchmarkFig7CustomerScaling — Figure 7: number of customers (synthetic).
+func BenchmarkFig7CustomerScaling(b *testing.B) { benchSeries(b, experiment.RunCustomerScaling) }
+
+// BenchmarkFig8VendorScaling — Figure 8: number of vendors (synthetic).
+func BenchmarkFig8VendorScaling(b *testing.B) { benchSeries(b, experiment.RunVendorScaling) }
+
+// BenchmarkAblationThreshold — A1: adaptive vs static admission threshold.
+func BenchmarkAblationThreshold(b *testing.B) { benchSeries(b, experiment.RunThresholdAblation) }
+
+// BenchmarkAblationG — A2: effect of the threshold base g.
+func BenchmarkAblationG(b *testing.B) { benchSeries(b, experiment.RunGSweep) }
+
+// BenchmarkAblationMCKP — A3: RECON single-vendor backend (greedy vs LP).
+func BenchmarkAblationMCKP(b *testing.B) { benchSeries(b, experiment.RunMCKPAblation) }
+
+// BenchmarkRatioStudy — A4: empirical approximation / competitive ratios
+// against the exact optimum.
+func BenchmarkRatioStudy(b *testing.B) {
+	st := benchSettings()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.RunRatioStudy(st, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Per-solver microbenchmarks on one fixed default-shaped (scaled) problem:
+// the per-algorithm running-time panels of every figure decompose into
+// these.
+func benchProblem(b *testing.B) *muaa.Problem {
+	b.Helper()
+	st := experiment.DefaultSettings().Scale(0.1) // 1,000 customers, 50 vendors
+	p, err := muaa.NewSyntheticProblem(muaa.WorkloadConfig{
+		Customers: st.Customers,
+		Vendors:   st.Vendors,
+		Budget:    st.Budget,
+		Radius:    st.Radius,
+		Capacity:  st.Capacity,
+		ViewProb:  st.ViewProb,
+		Seed:      st.Seed,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+func benchSolver(b *testing.B, s muaa.Solver) {
+	b.Helper()
+	p := benchProblem(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Solve(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSolverRecon times the reconciliation approach (figures' RECON
+// running-time series).
+func BenchmarkSolverRecon(b *testing.B) { benchSolver(b, muaa.Recon{Seed: 1}) }
+
+// BenchmarkSolverReconLP times RECON with the simplex LP backend.
+func BenchmarkSolverReconLP(b *testing.B) { benchSolver(b, muaa.Recon{UseLP: true, Seed: 1}) }
+
+// BenchmarkSolverGreedy times the GREEDY baseline.
+func BenchmarkSolverGreedy(b *testing.B) { benchSolver(b, muaa.Greedy{}) }
+
+// BenchmarkSolverOnline times O-AFA end to end.
+func BenchmarkSolverOnline(b *testing.B) { benchSolver(b, muaa.OnlineAFA{Seed: 1}) }
+
+// BenchmarkSolverRandom times the RANDOM baseline.
+func BenchmarkSolverRandom(b *testing.B) { benchSolver(b, muaa.Random{Seed: 1}) }
+
+// BenchmarkSolverNearest times the NEAREST baseline.
+func BenchmarkSolverNearest(b *testing.B) { benchSolver(b, muaa.Nearest{}) }
+
+// BenchmarkOnlineArrival measures the per-customer response time of O-AFA —
+// the paper's claim that ONLINE answers each arrival "in less than 1 second
+// even with 20K vendors" reduces to this number times the vendor filter
+// fan-out.
+func BenchmarkOnlineArrival(b *testing.B) {
+	p := benchProblem(b)
+	sess, err := core.NewSession(p, core.OnlineAFA{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	events := stream.FromProblem(p).Events()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sess.Arrive(events[i%len(events)].Customer)
+	}
+}
+
+// BenchmarkAblationBatch — A6: micro-batching window sweep vs pure online.
+func BenchmarkAblationBatch(b *testing.B) { benchSeries(b, experiment.RunBatchAblation) }
+
+// BenchmarkSafeRegionStudy — A5: safe-region tracking for moving customers.
+func BenchmarkSafeRegionStudy(b *testing.B) {
+	st := benchSettings()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.RunSafeRegionStudy(st, 5, 100); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSolverBatch times the micro-batching extension end to end.
+func BenchmarkSolverBatch(b *testing.B) { benchSolver(b, muaa.OnlineBatch{Window: 128, Seed: 1}) }
+
+// BenchmarkTuningStudy — A7: day-over-day threshold tuning simulation.
+func BenchmarkTuningStudy(b *testing.B) {
+	st := benchSettings()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.RunTuningStudy(st, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSolverReconParallel times RECON with a GOMAXPROCS worker pool over
+// its independent single-vendor subproblems.
+func BenchmarkSolverReconParallel(b *testing.B) { benchSolver(b, muaa.Recon{Seed: 1, Workers: -1}) }
+
+// BenchmarkIndexAblation — A8: grid vs k-d tree on covering-vendor queries.
+func BenchmarkIndexAblation(b *testing.B) {
+	st := benchSettings()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.RunIndexAblation(st, 500); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+// Command muaa-bench regenerates the paper's tables and figures. Each
+// experiment prints the same two panels the paper plots — overall utility
+// and running time per approach — as aligned text (default), CSV or
+// terminal bar charts.
+//
+// Usage:
+//
+//	muaa-bench -exp fig3 [-scale 0.1] [-csv|-chart] [-workers 4] [-repeats 5] [-seed 42]
+//	muaa-bench -exp all -scale 0.05
+//
+// Experiments: e1 (worked example), fig3 (budgets), fig4 (radii),
+// fig5 (capacities), fig6 (view probabilities), fig7 (customer scaling),
+// fig8 (vendor scaling), a1 (threshold ablation), a2 (g sweep), a3 (RECON
+// backend ablation), a4 (ratio study), a5 (safe regions), a6 (micro-batch
+// windows), a7 (day-over-day tuning), all.
+//
+// -scale shrinks entity counts for quick runs; 1.0 reproduces the paper's
+// sizes (m = 10,000 / n = 500 defaults; fig7 up to m = 100,000). -repeats N
+// replicates each sweep under N seeds and reports means.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"muaa/internal/experiment"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment id: e1, fig3..fig8, a1..a8, all")
+		scale   = flag.Float64("scale", 1.0, "entity-count scale factor in (0,1]")
+		csv     = flag.Bool("csv", false, "emit CSV instead of text tables")
+		chart   = flag.Bool("chart", false, "render utility panels as terminal bar charts")
+		md      = flag.Bool("md", false, "emit Markdown tables")
+		workers = flag.Int("workers", 0, "sweep parallelism (0 = GOMAXPROCS)")
+		repeats = flag.Int("repeats", 1, "replicate each sweep under N seeds and report means")
+		seed    = flag.Int64("seed", 42, "master random seed")
+	)
+	flag.Parse()
+	if err := run(os.Stdout, *exp, *scale, *csv, *chart, *md, *workers, *repeats, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "muaa-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, exp string, scale float64, csv, chart, md bool, workers, repeats int, seed int64) error {
+	if scale <= 0 || scale > 1 {
+		return fmt.Errorf("scale %g outside (0,1]", scale)
+	}
+	st := experiment.DefaultSettings()
+	st.Seed = seed
+	if scale < 1 {
+		st = st.Scale(scale)
+	}
+	format := experiment.Text
+	picked := 0
+	for _, on := range []bool{csv, chart, md} {
+		if on {
+			picked++
+		}
+	}
+	if picked > 1 {
+		return fmt.Errorf("-csv, -chart and -md are mutually exclusive")
+	}
+	switch {
+	case csv:
+		format = experiment.CSVFormat
+	case chart:
+		format = experiment.ChartFormat
+	case md:
+		format = experiment.MarkdownFormat
+	}
+	if strings.EqualFold(exp, "all") {
+		return experiment.RunAll(w, st, workers, repeats, format)
+	}
+	return experiment.RunByID(w, exp, st, workers, repeats, format)
+}

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "a2", 0.02, false, false, false, 2, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Threshold Base g") {
+		t.Errorf("missing experiment output:\n%s", buf.String())
+	}
+}
+
+func TestRunFormats(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "fig8", 0.02, true, false, false, 2, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "id,x,label") {
+		t.Error("CSV output malformed")
+	}
+	buf.Reset()
+	if err := run(&buf, "fig8", 0.02, false, true, false, 2, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "█") && !strings.Contains(buf.String(), "▏") {
+		t.Error("chart output has no bars")
+	}
+	buf.Reset()
+	if err := run(&buf, "fig8", 0.02, false, false, true, 2, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "| n |") {
+		t.Error("markdown output malformed")
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "fig8", 0, false, false, false, 2, 1, 1); err == nil {
+		t.Error("scale 0 must be rejected")
+	}
+	if err := run(&buf, "fig8", 2, false, false, false, 2, 1, 1); err == nil {
+		t.Error("scale > 1 must be rejected")
+	}
+	if err := run(&buf, "fig8", 0.02, true, true, false, 2, 1, 1); err == nil {
+		t.Error("conflicting formats must be rejected")
+	}
+	if err := run(&buf, "bogus", 0.02, false, false, false, 2, 1, 1); err == nil {
+		t.Error("unknown experiment must be rejected")
+	}
+}
+
+func TestRunAllScaled(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep")
+	}
+	var buf bytes.Buffer
+	if err := run(&buf, "all", 0.02, false, false, false, 2, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"E1", "Fig3", "Fig8", "A1", "A7"} {
+		if !strings.Contains(buf.String(), frag) {
+			t.Errorf("all-run missing %s", frag)
+		}
+	}
+}

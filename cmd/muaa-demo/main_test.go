@@ -1,0 +1,26 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestDemoOutput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, frag := range []string{
+		"Table I", "Photo Link", "Table II",
+		"0.035709", // the paper's possible solution
+		"0.050443", // the paper's claimed optimum
+		"0.052043", // the true optimum
+		"EXACT", "RECON", "ONLINE",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("demo output missing %q", frag)
+		}
+	}
+}

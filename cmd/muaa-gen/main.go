@@ -1,0 +1,72 @@
+// Command muaa-gen emits MUAA datasets as JSON for external tooling: either
+// a synthetic problem instance (Section V-A's generator) or a simulated
+// Foursquare-style check-in corpus (the real-data substitute).
+//
+// Usage:
+//
+//	muaa-gen -kind synthetic -customers 10000 -vendors 500 -seed 42 > problem.json
+//	muaa-gen -kind checkin -users 500 -venues 2000 -checkins 50000 > checkins.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"muaa/internal/checkin"
+	"muaa/internal/persist"
+	"muaa/internal/stats"
+	"muaa/internal/workload"
+)
+
+func main() {
+	var (
+		kind      = flag.String("kind", "synthetic", "dataset kind: synthetic or checkin")
+		customers = flag.Int("customers", 10000, "synthetic: number of customers")
+		vendors   = flag.Int("vendors", 500, "synthetic: number of vendors")
+		users     = flag.Int("users", 200, "checkin: number of users")
+		venues    = flag.Int("venues", 1000, "checkin: number of venues")
+		checkins  = flag.Int("checkins", 20000, "checkin: number of check-ins")
+		minCheck  = flag.Int("min-checkins", 10, "checkin: venue filter threshold (paper: 10)")
+		seed      = flag.Int64("seed", 42, "random seed")
+	)
+	flag.Parse()
+	if err := run(os.Stdout, *kind, *customers, *vendors, *users, *venues, *checkins, *minCheck, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "muaa-gen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, kind string, customers, vendors, users, venues, checkins, minCheck int, seed int64) error {
+	switch kind {
+	case "synthetic":
+		p, err := workload.Synthetic(workload.Config{
+			Customers: customers,
+			Vendors:   vendors,
+			Budget:    stats.Range{Lo: 10, Hi: 20},
+			Radius:    stats.Range{Lo: 0.02, Hi: 0.03},
+			Capacity:  stats.Range{Lo: 1, Hi: 6},
+			ViewProb:  stats.Range{Lo: 0.1, Hi: 0.5},
+			Seed:      seed,
+		})
+		if err != nil {
+			return err
+		}
+		// persist's versioned format round-trips through persist.LoadProblem.
+		return persist.SaveProblem(w, p)
+	case "checkin":
+		ds, err := checkin.Generate(checkin.Config{
+			Users:    users,
+			Venues:   venues,
+			Checkins: checkins,
+			Seed:     seed,
+		})
+		if err != nil {
+			return err
+		}
+		return persist.SaveDataset(w, ds.FilterMinCheckins(minCheck))
+	default:
+		return fmt.Errorf("unknown kind %q (want synthetic or checkin)", kind)
+	}
+}

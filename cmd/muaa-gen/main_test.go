@@ -1,0 +1,43 @@
+package main
+
+import (
+	"bytes"
+	"testing"
+
+	"muaa/internal/persist"
+)
+
+func TestRunSyntheticRoundTrips(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "synthetic", 50, 10, 0, 0, 0, 0, 7); err != nil {
+		t.Fatal(err)
+	}
+	p, err := persist.LoadProblem(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Customers) != 50 || len(p.Vendors) != 10 {
+		t.Errorf("loaded %d customers / %d vendors", len(p.Customers), len(p.Vendors))
+	}
+}
+
+func TestRunCheckinRoundTrips(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "checkin", 0, 0, 30, 100, 1500, 5, 7); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := persist.LoadDataset(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Users != 30 || len(ds.Venues) == 0 || len(ds.Records) == 0 {
+		t.Errorf("loaded dataset shape %d/%d/%d", ds.Users, len(ds.Venues), len(ds.Records))
+	}
+}
+
+func TestRunUnknownKind(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "bogus", 0, 0, 0, 0, 0, 0, 1); err == nil {
+		t.Error("unknown kind must be rejected")
+	}
+}

@@ -1,0 +1,104 @@
+// Command muaa-viz renders a MUAA problem and a solver's assignment as an
+// SVG map: vendors as squares with their advertising disks, customers as
+// dots (green = served), and assignment edges weighted by utility.
+//
+//	muaa-viz -seed 42 -customers 2000 -vendors 100 -solver recon > map.svg
+//	muaa-viz -problem problem.json -solver online > map.svg
+//
+// With -problem, the instance is loaded from a persist-format JSON file
+// (muaa-gen emits these); otherwise a synthetic instance is generated.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"muaa/internal/core"
+	"muaa/internal/model"
+	"muaa/internal/persist"
+	"muaa/internal/stats"
+	"muaa/internal/viz"
+	"muaa/internal/workload"
+)
+
+func main() {
+	var (
+		problemPath = flag.String("problem", "", "persist-format problem JSON (default: generate synthetic)")
+		customers   = flag.Int("customers", 2000, "synthetic customer count")
+		vendors     = flag.Int("vendors", 100, "synthetic vendor count")
+		solverName  = flag.String("solver", "recon", "solver to draw: recon, online, greedy, random, nearest, batch, none")
+		width       = flag.Int("width", 900, "image width in pixels")
+		seed        = flag.Int64("seed", 42, "random seed")
+	)
+	flag.Parse()
+	if err := run(os.Stdout, *problemPath, *customers, *vendors, *solverName, *width, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "muaa-viz:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, problemPath string, customers, vendors int, solverName string, width int, seed int64) error {
+	var p *model.Problem
+	if problemPath != "" {
+		f, err := os.Open(problemPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		p, err = persist.LoadProblem(f)
+		if err != nil {
+			return err
+		}
+	} else {
+		var err error
+		p, err = workload.Synthetic(workload.Config{
+			Customers: customers,
+			Vendors:   vendors,
+			Budget:    stats.Range{Lo: 10, Hi: 20},
+			Radius:    stats.Range{Lo: 0.02, Hi: 0.04},
+			Capacity:  stats.Range{Lo: 1, Hi: 6},
+			ViewProb:  stats.Range{Lo: 0.1, Hi: 0.5},
+			Seed:      seed,
+		})
+		if err != nil {
+			return err
+		}
+	}
+	var solver core.Solver
+	switch strings.ToLower(solverName) {
+	case "recon":
+		solver = core.Recon{Seed: seed}
+	case "online":
+		solver = core.OnlineAFA{Seed: seed}
+	case "greedy":
+		solver = core.Greedy{}
+	case "random":
+		solver = core.Random{Seed: seed}
+	case "nearest":
+		solver = core.Nearest{}
+	case "batch":
+		solver = core.OnlineBatch{Seed: seed}
+	case "none":
+	default:
+		return fmt.Errorf("unknown solver %q", solverName)
+	}
+	var assignment *model.Assignment
+	title := fmt.Sprintf("MUAA — %d customers, %d vendors", len(p.Customers), len(p.Vendors))
+	if solver != nil {
+		a, err := solver.Solve(p)
+		if err != nil {
+			return err
+		}
+		assignment = &a
+		title = fmt.Sprintf("%s — %s", title, solver.Name())
+	}
+	return viz.SVG(w, p, assignment, viz.Options{
+		Width:      width,
+		ShowRanges: true,
+		ShowEdges:  true,
+		Title:      title,
+	})
+}

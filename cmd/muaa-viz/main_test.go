@@ -1,0 +1,63 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"muaa/internal/persist"
+	"muaa/internal/workload"
+)
+
+func TestVizSynthetic(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "", 100, 10, "greedy", 400, 3); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "<svg") || !strings.Contains(out, "GREEDY") {
+		t.Errorf("SVG output incomplete")
+	}
+}
+
+func TestVizNoSolver(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "", 50, 5, "none", 400, 3); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "<line") {
+		t.Error("solver 'none' must not draw edges")
+	}
+}
+
+func TestVizFromProblemFile(t *testing.T) {
+	p := workload.Example1()
+	path := filepath.Join(t.TempDir(), "problem.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := persist.SaveProblem(f, p); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	var buf bytes.Buffer
+	if err := run(&buf, path, 0, 0, "recon", 400, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "3 customers, 3 vendors") {
+		t.Error("loaded problem title missing")
+	}
+}
+
+func TestVizErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "", 10, 2, "bogus", 400, 1); err == nil {
+		t.Error("unknown solver must be rejected")
+	}
+	if err := run(&buf, "/no/such/file.json", 0, 0, "recon", 400, 1); err == nil {
+		t.Error("missing problem file must be rejected")
+	}
+}

@@ -1,0 +1,93 @@
+package muaa_test
+
+import (
+	"fmt"
+
+	"muaa"
+)
+
+// ExampleRecon_Solve solves the paper's worked Example 1 offline and prints
+// the assignment the reconciliation approach finds — which on this instance
+// is the true optimum.
+func ExampleRecon_Solve() {
+	problem := muaa.Example1()
+	assignment, err := muaa.Recon{Seed: 1}.Solve(problem)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("utility %.6f with %d ads\n", assignment.Utility, len(assignment.Instances))
+	for _, in := range assignment.Instances {
+		fmt.Printf("  %v %s\n", in, problem.AdTypes[in.AdType].Name)
+	}
+	// Output:
+	// utility 0.052043 with 5 ads
+	//   ⟨u0, v0, τ1⟩ Photo Link
+	//   ⟨u0, v1, τ1⟩ Photo Link
+	//   ⟨u1, v0, τ0⟩ Text Link
+	//   ⟨u1, v2, τ1⟩ Photo Link
+	//   ⟨u2, v2, τ0⟩ Text Link
+}
+
+// ExampleSession demonstrates the streaming interface: customers arrive one
+// at a time and each is answered immediately and irrevocably.
+func ExampleSession() {
+	problem := muaa.Example1()
+	session, err := muaa.NewSession(problem, muaa.OnlineAFA{Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	for id := range problem.Customers {
+		pushed := session.Arrive(int32(id))
+		fmt.Printf("u%d receives %d ad(s)\n", id, len(pushed))
+	}
+	result, err := session.Finish()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("online utility %.6f\n", result.Utility)
+	// Output:
+	// u0 receives 2 ad(s)
+	// u1 receives 2 ad(s)
+	// u2 receives 0 ad(s)
+	// online utility 0.051391
+}
+
+// ExampleProblem_Check shows the feasibility checker rejecting a
+// budget-violating assignment.
+func ExampleProblem_Check() {
+	problem := muaa.Example1() // every vendor's budget is 3 $
+	overspent := []muaa.Instance{
+		{Customer: 0, Vendor: 0, AdType: 1}, // Photo Link, 2 $
+		{Customer: 1, Vendor: 0, AdType: 1}, // Photo Link, 2 $ → 4 $ > 3 $
+	}
+	err := problem.Check(overspent)
+	fmt.Println(err)
+	// Output:
+	// model: vendor 0 spent 4, budget 3
+}
+
+// ExampleAdaptiveThreshold traces the paper's admission threshold
+// φ(δ) = (γ_min/e)·g^δ as a vendor's budget drains.
+func ExampleAdaptiveThreshold() {
+	th := muaa.AdaptiveThreshold{GammaMin: 0.1, G: 16}
+	for _, delta := range []float64{0, 0.5, 1} {
+		fmt.Printf("φ(%.1f) = %.4f\n", delta, th.Value(delta))
+	}
+	// Output:
+	// φ(0.0) = 0.0368
+	// φ(0.5) = 0.1472
+	// φ(1.0) = 0.5886
+}
+
+// ExampleComputeSafeRegion shows the moving-customer machinery: the region
+// within which a customer's covering-vendor set provably cannot change.
+func ExampleComputeSafeRegion() {
+	vendors := []muaa.Vendor{
+		{ID: 0, Loc: muaa.Point{X: 0.5, Y: 0.5}, Radius: 0.3, Budget: 5},
+		{ID: 1, Loc: muaa.Point{X: 0.9, Y: 0.9}, Radius: 0.1, Budget: 5},
+	}
+	region := muaa.ComputeSafeRegion(muaa.Point{X: 0.5, Y: 0.6}, vendors)
+	fmt.Printf("covered by %d vendor(s), safe radius %.3f\n", len(region.Valid), region.Radius)
+	// Output:
+	// covered by 1 vendor(s), safe radius 0.200
+}

@@ -1,0 +1,3 @@
+module muaa
+
+go 1.22

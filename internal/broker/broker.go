@@ -1,0 +1,390 @@
+// Package broker is the running system around the algorithms: the
+// location-based advertising broker the paper describes in its introduction
+// ("vendors create campaigns on the broker system with the specified
+// information of ads and budgets ... the broker system sends LBA ads to
+// potential customers based on their current locations, profiles and
+// preferences").
+//
+// Unlike the batch solvers in package core, a Broker is long-lived and
+// dynamic: vendors register and top up campaigns at any time, customers
+// arrive continuously, and each arrival is answered immediately with the
+// O-AFA admission rule over the live campaign state. γ_min is maintained as
+// a running estimate from the efficiencies the broker actually observes
+// (the paper's "estimated through the historical records ... after a period
+// of tuning").
+//
+// The HTTP front end lives in http.go; cmd/muaa-serve wires it to a port.
+package broker
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"muaa/internal/geo"
+	"muaa/internal/model"
+)
+
+// Config parameterizes a Broker.
+type Config struct {
+	// AdTypes is the catalog offered to campaigns; must be non-empty with
+	// positive costs.
+	AdTypes []model.AdType
+	// G is the adaptive-threshold base; zero selects 2e and the broker
+	// re-derives it from observed efficiency bounds as traffic accumulates
+	// (g = e·γ_max/γ_min, clamped to [2e, 1e9]).
+	G float64
+	// Preference scores customer interest vectors against campaign tag
+	// vectors; nil selects the paper's Pearson preference with uniform
+	// activity.
+	Preference model.Preference
+	// MinDist floors the Eq. 4 distance; zero selects model.DefaultMinDist.
+	MinDist float64
+	// GridCells is the spatial-index resolution; zero selects 64.
+	GridCells int
+	// Bounds is the service area; the zero value selects the unit square.
+	Bounds geo.Rect
+	// Pacing, when positive, additionally caps each campaign's spend at
+	// Pacing × budget × (hour/24) — classic daily budget pacing: a campaign
+	// cannot burn its whole budget on the morning crowd. Pacing = 1 is
+	// strictly uniform pacing; values slightly above 1 (e.g. 1.25) leave
+	// headroom for bursts. Zero disables pacing. Pacing composes with the
+	// adaptive threshold: the threshold picks *which* ads are worth the
+	// money, pacing decides *when* money may flow at all.
+	Pacing float64
+}
+
+// Campaign is the live state of one vendor's campaign.
+type Campaign struct {
+	ID     int32
+	Loc    geo.Point
+	Radius float64
+	Budget float64
+	Spent  float64
+	Tags   []float64
+	Paused bool
+}
+
+// Remaining returns the unspent budget.
+func (c *Campaign) Remaining() float64 { return c.Budget - c.Spent }
+
+// Offer is one ad pushed to an arriving customer.
+type Offer struct {
+	Campaign   int32
+	AdType     int
+	Utility    float64
+	Efficiency float64
+	Cost       float64
+}
+
+// Arrival describes an arriving customer.
+type Arrival struct {
+	Loc       geo.Point
+	Capacity  int
+	ViewProb  float64
+	Interests []float64
+	Hour      float64
+}
+
+// Stats is a snapshot of broker counters.
+type Stats struct {
+	Campaigns     int
+	Arrivals      int64
+	OffersPushed  int64
+	UtilityServed float64
+	BudgetSpent   float64
+	GammaMin      float64
+	GammaMax      float64
+	G             float64
+}
+
+// Broker is safe for concurrent use.
+type Broker struct {
+	mu        sync.Mutex
+	cfg       Config
+	campaigns []*Campaign
+	grid      *geo.Grid
+
+	arrivals  int64
+	offers    int64
+	utility   float64
+	spent     float64
+	gammaMin  float64 // running min of observed positive efficiencies
+	gammaMax  float64
+	gammaSeen bool
+}
+
+// New creates an empty broker.
+func New(cfg Config) (*Broker, error) {
+	if len(cfg.AdTypes) == 0 {
+		return nil, errors.New("broker: no ad types configured")
+	}
+	for k, t := range cfg.AdTypes {
+		if !(t.Cost > 0) || t.Effect < 0 {
+			return nil, fmt.Errorf("broker: ad type %d (%s) has cost %g / effect %g", k, t.Name, t.Cost, t.Effect)
+		}
+	}
+	if cfg.G != 0 && cfg.G <= math.E {
+		return nil, fmt.Errorf("broker: g = %g must exceed e", cfg.G)
+	}
+	if cfg.Pacing < 0 || math.IsNaN(cfg.Pacing) {
+		return nil, fmt.Errorf("broker: pacing factor %g must be ≥ 0", cfg.Pacing)
+	}
+	bounds := cfg.Bounds
+	if bounds.Width() <= 0 || bounds.Height() <= 0 {
+		bounds = geo.UnitSquare
+	}
+	cells := cfg.GridCells
+	if cells == 0 {
+		cells = 64
+	}
+	return &Broker{
+		cfg:  cfg,
+		grid: geo.NewGrid(bounds, cells),
+	}, nil
+}
+
+// RegisterCampaign adds a vendor campaign and returns its ID.
+func (b *Broker) RegisterCampaign(loc geo.Point, radius, budget float64, tags []float64) (int32, error) {
+	if radius < 0 || math.IsNaN(radius) {
+		return 0, fmt.Errorf("broker: campaign radius %g", radius)
+	}
+	if budget < 0 || math.IsNaN(budget) {
+		return 0, fmt.Errorf("broker: campaign budget %g", budget)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	id := int32(len(b.campaigns))
+	b.campaigns = append(b.campaigns, &Campaign{
+		ID: id, Loc: loc, Radius: radius, Budget: budget,
+		Tags: append([]float64(nil), tags...),
+	})
+	b.grid.InsertWithRadius(id, loc, radius)
+	return id, nil
+}
+
+// TopUp adds budget to an existing campaign.
+func (b *Broker) TopUp(id int32, amount float64) error {
+	if amount < 0 || math.IsNaN(amount) {
+		return fmt.Errorf("broker: top-up amount %g", amount)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	c, err := b.campaign(id)
+	if err != nil {
+		return err
+	}
+	c.Budget += amount
+	return nil
+}
+
+// SetPaused pauses or resumes a campaign; paused campaigns receive no
+// traffic but keep their budget.
+func (b *Broker) SetPaused(id int32, paused bool) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	c, err := b.campaign(id)
+	if err != nil {
+		return err
+	}
+	c.Paused = paused
+	return nil
+}
+
+// CampaignState returns a copy of the campaign's live state.
+func (b *Broker) CampaignState(id int32) (Campaign, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	c, err := b.campaign(id)
+	if err != nil {
+		return Campaign{}, err
+	}
+	out := *c
+	out.Tags = append([]float64(nil), c.Tags...)
+	return out, nil
+}
+
+// Campaigns returns copies of every campaign's live state, in ID order.
+func (b *Broker) Campaigns() []Campaign {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]Campaign, len(b.campaigns))
+	for i, c := range b.campaigns {
+		out[i] = *c
+		out[i].Tags = append([]float64(nil), c.Tags...)
+	}
+	return out
+}
+
+func (b *Broker) campaign(id int32) (*Campaign, error) {
+	if id < 0 || int(id) >= len(b.campaigns) {
+		return nil, fmt.Errorf("broker: unknown campaign %d", id)
+	}
+	return b.campaigns[id], nil
+}
+
+// Arrive processes a customer arrival with the O-AFA rule (Algorithm 2) over
+// live campaign state and commits the returned offers' costs to their
+// campaigns.
+func (b *Broker) Arrive(a Arrival) ([]Offer, error) {
+	if a.Capacity < 0 {
+		return nil, fmt.Errorf("broker: capacity %d", a.Capacity)
+	}
+	if a.ViewProb < 0 || a.ViewProb > 1 || math.IsNaN(a.ViewProb) {
+		return nil, fmt.Errorf("broker: view probability %g", a.ViewProb)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.arrivals++
+	if a.Capacity == 0 {
+		return nil, nil
+	}
+	pref := b.cfg.Preference
+	if pref == nil {
+		pref = model.PearsonPreference{Activity: model.UniformActivity{}}
+	}
+	minDist := b.cfg.MinDist
+	if minDist == 0 {
+		minDist = model.DefaultMinDist
+	}
+
+	cu := &model.Customer{Loc: a.Loc, Capacity: a.Capacity, ViewProb: a.ViewProb,
+		Interests: a.Interests, Arrival: a.Hour}
+
+	var covering []int32
+	covering = b.grid.CoveredBy(covering, a.Loc)
+	sort.Slice(covering, func(i, j int) bool { return covering[i] < covering[j] })
+
+	var cands []Offer
+	for _, id := range covering {
+		c := b.campaigns[id]
+		if c.Paused || c.Budget <= 0 {
+			continue
+		}
+		ve := &model.Vendor{Loc: c.Loc, Radius: c.Radius, Budget: c.Budget, Tags: c.Tags}
+		s := pref.Score(cu, ve, a.Hour)
+		if s <= 0 || math.IsNaN(s) {
+			continue
+		}
+		if s > 1 {
+			s = 1
+		}
+		d := a.Loc.Dist(c.Loc)
+		if d < minDist {
+			d = minDist
+		}
+		base := a.ViewProb * s / d
+		delta := c.Spent / c.Budget
+		phi := b.threshold(delta)
+		remaining := c.Remaining()
+		if b.cfg.Pacing > 0 {
+			// Daily pacing cap: spend so far plus this ad must stay within
+			// the hour's pro-rated allowance.
+			allowance := b.cfg.Pacing * c.Budget * a.Hour / 24
+			if paced := allowance - c.Spent; paced < remaining {
+				remaining = paced
+			}
+		}
+		bestK, bestU, bestEff := -1, 0.0, 0.0
+		for k, t := range b.cfg.AdTypes {
+			if t.Cost > remaining+1e-12 {
+				continue
+			}
+			util := base * t.Effect
+			eff := util / t.Cost
+			b.observeEfficiency(eff)
+			if eff < phi {
+				continue
+			}
+			if util > bestU {
+				bestK, bestU, bestEff = k, util, eff
+			}
+		}
+		if bestK >= 0 {
+			cands = append(cands, Offer{
+				Campaign: id, AdType: bestK, Utility: bestU,
+				Efficiency: bestEff, Cost: b.cfg.AdTypes[bestK].Cost,
+			})
+		}
+	}
+	if len(cands) > a.Capacity {
+		sort.Slice(cands, func(i, j int) bool {
+			if cands[i].Efficiency != cands[j].Efficiency {
+				return cands[i].Efficiency > cands[j].Efficiency
+			}
+			return cands[i].Campaign < cands[j].Campaign
+		})
+		cands = cands[:a.Capacity]
+	}
+	for _, o := range cands {
+		c := b.campaigns[o.Campaign]
+		c.Spent += o.Cost
+		b.spent += o.Cost
+		b.utility += o.Utility
+		b.offers++
+	}
+	return cands, nil
+}
+
+// observeEfficiency folds a positive efficiency into the running γ bounds.
+// Must be called with the lock held.
+func (b *Broker) observeEfficiency(eff float64) {
+	if eff <= 0 || math.IsNaN(eff) || math.IsInf(eff, 0) {
+		return
+	}
+	if !b.gammaSeen {
+		b.gammaMin, b.gammaMax, b.gammaSeen = eff, eff, true
+		return
+	}
+	if eff < b.gammaMin {
+		b.gammaMin = eff
+	}
+	if eff > b.gammaMax {
+		b.gammaMax = eff
+	}
+}
+
+// threshold evaluates the adaptive admission threshold at used-budget ratio
+// delta, with g either configured or derived from the observed γ bounds.
+// Must be called with the lock held.
+func (b *Broker) threshold(delta float64) float64 {
+	if !b.gammaSeen {
+		return 0 // nothing observed yet: admit anything (paper's intuition)
+	}
+	g := b.cfg.G
+	if g == 0 {
+		g = 2 * math.E
+		if b.gammaMax > b.gammaMin {
+			g = math.E * b.gammaMax / b.gammaMin
+			if g < 2*math.E {
+				g = 2 * math.E
+			}
+			if g > 1e9 {
+				g = 1e9
+			}
+		}
+	}
+	return b.gammaMin / math.E * math.Pow(g, delta)
+}
+
+// Stats returns a snapshot of the broker counters.
+func (b *Broker) Stats() Stats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	g := b.cfg.G
+	if g == 0 && b.gammaSeen && b.gammaMax > b.gammaMin {
+		g = math.E * b.gammaMax / b.gammaMin
+	}
+	return Stats{
+		Campaigns:     len(b.campaigns),
+		Arrivals:      b.arrivals,
+		OffersPushed:  b.offers,
+		UtilityServed: b.utility,
+		BudgetSpent:   b.spent,
+		GammaMin:      b.gammaMin,
+		GammaMax:      b.gammaMax,
+		G:             g,
+	}
+}

@@ -1,0 +1,399 @@
+package broker
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"muaa/internal/geo"
+	"muaa/internal/model"
+	"muaa/internal/workload"
+)
+
+func newTestBroker(t *testing.T) *Broker {
+	t.Helper()
+	b, err := New(Config{AdTypes: workload.DefaultAdTypes()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("empty ad-type catalog must be rejected")
+	}
+	if _, err := New(Config{AdTypes: []model.AdType{{Name: "x", Cost: 0, Effect: 1}}}); err == nil {
+		t.Error("zero-cost ad type must be rejected")
+	}
+	if _, err := New(Config{AdTypes: workload.DefaultAdTypes(), G: 2}); err == nil {
+		t.Error("g ≤ e must be rejected")
+	}
+	if _, err := New(Config{AdTypes: workload.DefaultAdTypes(), G: 6}); err != nil {
+		t.Errorf("g = 6 must be accepted: %v", err)
+	}
+}
+
+func TestRegisterAndState(t *testing.T) {
+	b := newTestBroker(t)
+	id, err := b.RegisterCampaign(geo.Point{X: 0.5, Y: 0.5}, 0.1, 10, []float64{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := b.CampaignState(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Budget != 10 || c.Spent != 0 || c.Remaining() != 10 || c.Paused {
+		t.Errorf("campaign state %+v", c)
+	}
+	if _, err := b.CampaignState(99); err == nil {
+		t.Error("unknown campaign must error")
+	}
+	if _, err := b.RegisterCampaign(geo.Point{X: 0.5, Y: 0.5}, -1, 10, nil); err == nil {
+		t.Error("negative radius must be rejected")
+	}
+	if _, err := b.RegisterCampaign(geo.Point{X: 0.5, Y: 0.5}, 1, -10, nil); err == nil {
+		t.Error("negative budget must be rejected")
+	}
+}
+
+func TestArriveServesCoveringCampaigns(t *testing.T) {
+	b := newTestBroker(t)
+	near, _ := b.RegisterCampaign(geo.Point{X: 0.5, Y: 0.52}, 0.1, 10, []float64{1, 0, 0.2})
+	_, _ = b.RegisterCampaign(geo.Point{X: 0.9, Y: 0.9}, 0.05, 10, []float64{1, 0, 0.2}) // far away
+	offers, err := b.Arrive(Arrival{
+		Loc: geo.Point{X: 0.5, Y: 0.5}, Capacity: 3, ViewProb: 0.8,
+		Interests: []float64{0.9, 0.1, 0.3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(offers) != 1 || offers[0].Campaign != near {
+		t.Fatalf("offers = %+v, want one offer from the covering campaign", offers)
+	}
+	if offers[0].Utility <= 0 || offers[0].Cost <= 0 {
+		t.Errorf("offer fields: %+v", offers[0])
+	}
+	c, _ := b.CampaignState(near)
+	if c.Spent != offers[0].Cost {
+		t.Errorf("spent %g, want %g", c.Spent, offers[0].Cost)
+	}
+}
+
+func TestArriveRespectsCapacityAndBudget(t *testing.T) {
+	b := newTestBroker(t)
+	// Five covering campaigns, capacity 2: at most 2 offers.
+	for i := 0; i < 5; i++ {
+		if _, err := b.RegisterCampaign(geo.Point{X: 0.5, Y: 0.5 + float64(i)*0.001}, 0.1, 100, []float64{1, 0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	offers, err := b.Arrive(Arrival{
+		Loc: geo.Point{X: 0.5, Y: 0.5}, Capacity: 2, ViewProb: 0.5,
+		Interests: []float64{0.8, 0.2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(offers) != 2 {
+		t.Fatalf("pushed %d offers, capacity 2", len(offers))
+	}
+	// A campaign with budget below the cheapest ad type serves nothing.
+	b2 := newTestBroker(t)
+	if _, err := b2.RegisterCampaign(geo.Point{X: 0.5, Y: 0.5}, 0.1, 0.5, []float64{1, 0}); err != nil {
+		t.Fatal(err)
+	}
+	offers, err = b2.Arrive(Arrival{
+		Loc: geo.Point{X: 0.5, Y: 0.5}, Capacity: 2, ViewProb: 0.5,
+		Interests: []float64{0.8, 0.2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(offers) != 0 {
+		t.Errorf("insufficient budget still produced offers: %+v", offers)
+	}
+}
+
+func TestArriveBudgetNeverOverspent(t *testing.T) {
+	b := newTestBroker(t)
+	id, _ := b.RegisterCampaign(geo.Point{X: 0.5, Y: 0.5}, 0.2, 5, []float64{1, 0})
+	for i := 0; i < 50; i++ {
+		if _, err := b.Arrive(Arrival{
+			Loc: geo.Point{X: 0.5, Y: 0.5}, Capacity: 1, ViewProb: 0.9,
+			Interests: []float64{0.9, 0.1},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c, _ := b.CampaignState(id)
+	if c.Spent > c.Budget+1e-9 {
+		t.Fatalf("campaign overspent: %g > %g", c.Spent, c.Budget)
+	}
+}
+
+func TestPauseStopsTraffic(t *testing.T) {
+	b := newTestBroker(t)
+	id, _ := b.RegisterCampaign(geo.Point{X: 0.5, Y: 0.5}, 0.2, 100, []float64{1, 0})
+	if err := b.SetPaused(id, true); err != nil {
+		t.Fatal(err)
+	}
+	offers, err := b.Arrive(Arrival{
+		Loc: geo.Point{X: 0.5, Y: 0.5}, Capacity: 1, ViewProb: 0.9,
+		Interests: []float64{0.9, 0.1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(offers) != 0 {
+		t.Error("paused campaign served traffic")
+	}
+	if err := b.SetPaused(id, false); err != nil {
+		t.Fatal(err)
+	}
+	offers, _ = b.Arrive(Arrival{
+		Loc: geo.Point{X: 0.5, Y: 0.5}, Capacity: 1, ViewProb: 0.9,
+		Interests: []float64{0.9, 0.1},
+	})
+	if len(offers) != 1 {
+		t.Error("resumed campaign should serve traffic")
+	}
+	if err := b.SetPaused(42, true); err == nil {
+		t.Error("pausing unknown campaign must error")
+	}
+}
+
+func TestTopUpExtendsService(t *testing.T) {
+	b := newTestBroker(t)
+	id, _ := b.RegisterCampaign(geo.Point{X: 0.5, Y: 0.5}, 0.2, 1, []float64{1, 0})
+	arrive := func() []Offer {
+		offers, err := b.Arrive(Arrival{
+			Loc: geo.Point{X: 0.5, Y: 0.5}, Capacity: 1, ViewProb: 0.9,
+			Interests: []float64{0.9, 0.1},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return offers
+	}
+	first := arrive() // spends the $1 text link
+	if len(first) != 1 {
+		t.Fatalf("first arrival offers = %+v", first)
+	}
+	if second := arrive(); len(second) != 0 {
+		t.Fatalf("exhausted campaign still served: %+v", second)
+	}
+	if err := b.TopUp(id, 5); err != nil {
+		t.Fatal(err)
+	}
+	if third := arrive(); len(third) != 1 {
+		t.Error("top-up should restore service")
+	}
+	if err := b.TopUp(id, -1); err == nil {
+		t.Error("negative top-up must be rejected")
+	}
+	if err := b.TopUp(42, 1); err == nil {
+		t.Error("top-up of unknown campaign must error")
+	}
+}
+
+func TestArriveValidation(t *testing.T) {
+	b := newTestBroker(t)
+	if _, err := b.Arrive(Arrival{Capacity: -1, ViewProb: 0.5}); err == nil {
+		t.Error("negative capacity must be rejected")
+	}
+	if _, err := b.Arrive(Arrival{Capacity: 1, ViewProb: 1.5}); err == nil {
+		t.Error("view probability above 1 must be rejected")
+	}
+	if _, err := b.Arrive(Arrival{Capacity: 1, ViewProb: math.NaN()}); err == nil {
+		t.Error("NaN view probability must be rejected")
+	}
+	// Zero capacity is legal and yields no offers.
+	offers, err := b.Arrive(Arrival{Capacity: 0, ViewProb: 0.5})
+	if err != nil || offers != nil {
+		t.Errorf("zero capacity: %v %v", offers, err)
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	b := newTestBroker(t)
+	if _, err := b.RegisterCampaign(geo.Point{X: 0.5, Y: 0.5}, 0.2, 100, []float64{1, 0}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := b.Arrive(Arrival{
+			Loc: geo.Point{X: 0.5, Y: 0.5}, Capacity: 1, ViewProb: 0.9,
+			Interests: []float64{0.9, 0.1},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := b.Stats()
+	if s.Campaigns != 1 || s.Arrivals != 3 {
+		t.Errorf("stats %+v", s)
+	}
+	if s.OffersPushed == 0 || s.UtilityServed <= 0 || s.BudgetSpent <= 0 {
+		t.Errorf("counters not accumulating: %+v", s)
+	}
+	if s.GammaMin <= 0 || s.GammaMax < s.GammaMin {
+		t.Errorf("gamma bounds %+v", s)
+	}
+	if s.G <= math.E {
+		t.Errorf("derived g = %g must exceed e", s.G)
+	}
+}
+
+func TestThresholdTightensAsBudgetDrains(t *testing.T) {
+	b := newTestBroker(t)
+	// Single campaign with a modest budget; the same mediocre customer
+	// arrives repeatedly. Early arrivals are admitted while the threshold is
+	// low; after the good customer shows the broker a higher γ_max, the
+	// tightened threshold blocks the mediocre ones before the budget is
+	// fully exhausted.
+	id, _ := b.RegisterCampaign(geo.Point{X: 0.5, Y: 0.5}, 0.3, 12, []float64{1, 0})
+	mediocre := Arrival{Loc: geo.Point{X: 0.5, Y: 0.75}, Capacity: 1, ViewProb: 0.2,
+		Interests: []float64{0.6, 0.4}}
+	good := Arrival{Loc: geo.Point{X: 0.5, Y: 0.501}, Capacity: 1, ViewProb: 1,
+		Interests: []float64{0.9, 0.1}}
+	if _, err := b.Arrive(good); err != nil { // establishes a high γ_max
+		t.Fatal(err)
+	}
+	served := 0
+	for i := 0; i < 40; i++ {
+		offers, err := b.Arrive(mediocre)
+		if err != nil {
+			t.Fatal(err)
+		}
+		served += len(offers)
+	}
+	c, _ := b.CampaignState(id)
+	if c.Spent >= c.Budget {
+		t.Errorf("adaptive threshold never blocked: spent %g of %g on %d mediocre offers",
+			c.Spent, c.Budget, served)
+	}
+}
+
+func TestPacingLimitsEarlySpend(t *testing.T) {
+	paced, err := New(Config{AdTypes: workload.DefaultAdTypes(), Pacing: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, _ := paced.RegisterCampaign(geo.Point{X: 0.5, Y: 0.5}, 0.3, 24, []float64{1, 0})
+	arrival := func(hour float64) Arrival {
+		return Arrival{Loc: geo.Point{X: 0.5, Y: 0.5}, Capacity: 1, ViewProb: 0.9,
+			Interests: []float64{0.9, 0.1}, Hour: hour}
+	}
+	// A morning flood at hour 6: uniform pacing allows at most 24·(6/24) = 6
+	// of budget.
+	for i := 0; i < 50; i++ {
+		if _, err := paced.Arrive(arrival(6)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c, _ := paced.CampaignState(id)
+	if c.Spent > 6+1e-9 {
+		t.Fatalf("pacing breached: spent %g of the hour-6 allowance 6", c.Spent)
+	}
+	// Later in the day the allowance opens up.
+	for i := 0; i < 50; i++ {
+		if _, err := paced.Arrive(arrival(23)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c, _ = paced.CampaignState(id)
+	if c.Spent <= 6 {
+		t.Errorf("evening traffic should be servable, spent stuck at %g", c.Spent)
+	}
+	if c.Spent > c.Budget+1e-9 {
+		t.Fatalf("budget breached: %g > %g", c.Spent, c.Budget)
+	}
+}
+
+func TestPacingValidation(t *testing.T) {
+	if _, err := New(Config{AdTypes: workload.DefaultAdTypes(), Pacing: -1}); err == nil {
+		t.Error("negative pacing must be rejected")
+	}
+	if _, err := New(Config{AdTypes: workload.DefaultAdTypes(), Pacing: math.NaN()}); err == nil {
+		t.Error("NaN pacing must be rejected")
+	}
+}
+
+func TestPacingDisabledByDefault(t *testing.T) {
+	b := newTestBroker(t)
+	id, _ := b.RegisterCampaign(geo.Point{X: 0.5, Y: 0.5}, 0.3, 4, []float64{1, 0})
+	// Hour 0 with pacing would forbid any spend; without pacing it's fine.
+	offers, err := b.Arrive(Arrival{Loc: geo.Point{X: 0.5, Y: 0.5}, Capacity: 1,
+		ViewProb: 0.9, Interests: []float64{0.9, 0.1}, Hour: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(offers) != 1 {
+		t.Errorf("unpaced broker refused an hour-0 arrival: %v", offers)
+	}
+	_ = id
+}
+
+func TestConcurrentMixedOperationsStress(t *testing.T) {
+	// Arrivals, top-ups, pauses and reads race against each other; the
+	// invariants (no overspend, consistent counters) must hold throughout.
+	// Run under -race in CI (go test -race ./...).
+	b := newTestBroker(t)
+	const campaigns = 8
+	for i := 0; i < campaigns; i++ {
+		if _, err := b.RegisterCampaign(geo.Point{X: 0.1 * float64(i+1), Y: 0.5}, 0.3, 20, []float64{1, 0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				switch (g + i) % 4 {
+				case 0:
+					if _, err := b.Arrive(Arrival{
+						Loc:      geo.Point{X: 0.1 * float64(i%campaigns+1), Y: 0.5},
+						Capacity: 2, ViewProb: 0.7, Interests: []float64{0.8, 0.2},
+					}); err != nil {
+						errCh <- err
+						return
+					}
+				case 1:
+					if err := b.TopUp(int32(i%campaigns), 0.5); err != nil {
+						errCh <- err
+						return
+					}
+				case 2:
+					if err := b.SetPaused(int32(i%campaigns), i%2 == 0); err != nil {
+						errCh <- err
+						return
+					}
+				default:
+					b.Stats()
+					b.Campaigns()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	for i := 0; i < campaigns; i++ {
+		c, err := b.CampaignState(int32(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Spent > c.Budget+1e-9 {
+			t.Fatalf("campaign %d overspent under concurrency: %g > %g", i, c.Spent, c.Budget)
+		}
+	}
+	st := b.Stats()
+	if st.BudgetSpent < 0 || st.UtilityServed < 0 {
+		t.Fatalf("counters corrupted: %+v", st)
+	}
+}

@@ -1,0 +1,271 @@
+package broker
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"muaa/internal/geo"
+	"muaa/internal/model"
+	"muaa/internal/viz"
+)
+
+// API is the JSON/HTTP front end of a Broker. Endpoints:
+//
+//	POST /campaigns            {loc, radius, budget, tags}        → {id}
+//	GET  /campaigns                                               → all campaign states
+//	POST /campaigns/{id}/topup {amount}                           → {ok}
+//	POST /campaigns/{id}/pause {paused}                           → {ok}
+//	GET  /campaigns/{id}                                          → campaign state
+//	POST /arrivals             {loc, capacity, viewProb, ...}     → {offers}
+//	GET  /stats                                                   → counters
+//	GET  /map.svg                                                 → live campaign map
+//
+// All bodies and responses are JSON. Errors use standard HTTP status codes
+// with a {"error": ...} body.
+type API struct {
+	broker *Broker
+	mux    *http.ServeMux
+}
+
+// NewAPI wraps a broker in its HTTP handler.
+func NewAPI(b *Broker) *API {
+	a := &API{broker: b, mux: http.NewServeMux()}
+	a.mux.HandleFunc("POST /campaigns", a.postCampaign)
+	a.mux.HandleFunc("GET /campaigns", a.listCampaigns)
+	a.mux.HandleFunc("POST /campaigns/{id}/topup", a.postTopUp)
+	a.mux.HandleFunc("POST /campaigns/{id}/pause", a.postPause)
+	a.mux.HandleFunc("GET /campaigns/{id}", a.getCampaign)
+	a.mux.HandleFunc("POST /arrivals", a.postArrival)
+	a.mux.HandleFunc("GET /stats", a.getStats)
+	a.mux.HandleFunc("GET /map.svg", a.getMap)
+	return a
+}
+
+// ServeHTTP implements http.Handler.
+func (a *API) ServeHTTP(w http.ResponseWriter, r *http.Request) { a.mux.ServeHTTP(w, r) }
+
+// pointDTO is the wire form of a location.
+type pointDTO struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+}
+
+type campaignRequest struct {
+	Loc    pointDTO  `json:"loc"`
+	Radius float64   `json:"radius"`
+	Budget float64   `json:"budget"`
+	Tags   []float64 `json:"tags"`
+}
+
+type campaignResponse struct {
+	ID int32 `json:"id"`
+}
+
+type campaignStateResponse struct {
+	ID        int32     `json:"id"`
+	Loc       pointDTO  `json:"loc"`
+	Radius    float64   `json:"radius"`
+	Budget    float64   `json:"budget"`
+	Spent     float64   `json:"spent"`
+	Remaining float64   `json:"remaining"`
+	Paused    bool      `json:"paused"`
+	Tags      []float64 `json:"tags,omitempty"`
+}
+
+type topUpRequest struct {
+	Amount float64 `json:"amount"`
+}
+
+type pauseRequest struct {
+	Paused bool `json:"paused"`
+}
+
+type arrivalRequest struct {
+	Loc       pointDTO  `json:"loc"`
+	Capacity  int       `json:"capacity"`
+	ViewProb  float64   `json:"viewProb"`
+	Interests []float64 `json:"interests"`
+	Hour      float64   `json:"hour"`
+}
+
+type offerDTO struct {
+	Campaign   int32   `json:"campaign"`
+	AdType     int     `json:"adType"`
+	AdTypeName string  `json:"adTypeName"`
+	Utility    float64 `json:"utility"`
+	Efficiency float64 `json:"efficiency"`
+	Cost       float64 `json:"cost"`
+}
+
+type arrivalResponse struct {
+	Offers []offerDTO `json:"offers"`
+}
+
+func (a *API) postCampaign(w http.ResponseWriter, r *http.Request) {
+	var req campaignRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	id, err := a.broker.RegisterCampaign(geo.Point{X: req.Loc.X, Y: req.Loc.Y}, req.Radius, req.Budget, req.Tags)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, campaignResponse{ID: id})
+}
+
+func (a *API) postTopUp(w http.ResponseWriter, r *http.Request) {
+	id, ok := pathID(w, r)
+	if !ok {
+		return
+	}
+	var req topUpRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if err := a.broker.TopUp(id, req.Amount); err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+func (a *API) postPause(w http.ResponseWriter, r *http.Request) {
+	id, ok := pathID(w, r)
+	if !ok {
+		return
+	}
+	var req pauseRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if err := a.broker.SetPaused(id, req.Paused); err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+func (a *API) listCampaigns(w http.ResponseWriter, r *http.Request) {
+	campaigns := a.broker.Campaigns()
+	out := make([]campaignStateResponse, 0, len(campaigns))
+	for _, c := range campaigns {
+		out = append(out, campaignStateResponse{
+			ID: c.ID, Loc: pointDTO{c.Loc.X, c.Loc.Y}, Radius: c.Radius,
+			Budget: c.Budget, Spent: c.Spent, Remaining: c.Remaining(),
+			Paused: c.Paused,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (a *API) getCampaign(w http.ResponseWriter, r *http.Request) {
+	id, ok := pathID(w, r)
+	if !ok {
+		return
+	}
+	c, err := a.broker.CampaignState(id)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, campaignStateResponse{
+		ID: c.ID, Loc: pointDTO{c.Loc.X, c.Loc.Y}, Radius: c.Radius,
+		Budget: c.Budget, Spent: c.Spent, Remaining: c.Remaining(),
+		Paused: c.Paused, Tags: c.Tags,
+	})
+}
+
+func (a *API) postArrival(w http.ResponseWriter, r *http.Request) {
+	var req arrivalRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	offers, err := a.broker.Arrive(Arrival{
+		Loc:       geo.Point{X: req.Loc.X, Y: req.Loc.Y},
+		Capacity:  req.Capacity,
+		ViewProb:  req.ViewProb,
+		Interests: req.Interests,
+		Hour:      req.Hour,
+	})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	resp := arrivalResponse{Offers: make([]offerDTO, 0, len(offers))}
+	for _, o := range offers {
+		resp.Offers = append(resp.Offers, offerDTO{
+			Campaign: o.Campaign, AdType: o.AdType,
+			AdTypeName: a.broker.cfg.AdTypes[o.AdType].Name,
+			Utility:    o.Utility, Efficiency: o.Efficiency, Cost: o.Cost,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (a *API) getStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, a.broker.Stats())
+}
+
+// getMap renders the current campaign state as an SVG map: each campaign's
+// advertising disk with budget-sized markers (spent budget dims the marker
+// via the viz renderer's budget scaling on Remaining()).
+func (a *API) getMap(w http.ResponseWriter, r *http.Request) {
+	campaigns := a.broker.Campaigns()
+	view := &model.Problem{AdTypes: a.broker.cfg.AdTypes}
+	for _, c := range campaigns {
+		view.Vendors = append(view.Vendors, model.Vendor{
+			ID:     c.ID,
+			Loc:    c.Loc,
+			Radius: c.Radius,
+			Budget: c.Remaining(),
+		})
+	}
+	st := a.broker.Stats()
+	w.Header().Set("Content-Type", "image/svg+xml")
+	w.WriteHeader(http.StatusOK)
+	_ = viz.SVG(w, view, nil, viz.Options{
+		ShowRanges: true,
+		Title: fmt.Sprintf("%d campaigns — %d arrivals, %d offers, %.2f utility served",
+			st.Campaigns, st.Arrivals, st.OffersPushed, st.UtilityServed),
+	})
+}
+
+func pathID(w http.ResponseWriter, r *http.Request) (int32, bool) {
+	var id int32
+	if _, err := fmt.Sscanf(r.PathValue("id"), "%d", &id); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("broker: bad campaign id %q", r.PathValue("id")))
+		return 0, false
+	}
+	return id, true
+}
+
+func decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("broker: bad request body: %w", err))
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func statusFor(err error) int {
+	// Unknown-campaign errors map to 404; everything else is a bad request.
+	if err != nil && strings.Contains(err.Error(), "unknown campaign") {
+		return http.StatusNotFound
+	}
+	return http.StatusBadRequest
+}

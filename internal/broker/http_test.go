@@ -1,0 +1,257 @@
+package broker
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"muaa/internal/workload"
+)
+
+func newTestServer(t *testing.T) (*httptest.Server, *Broker) {
+	t.Helper()
+	b, err := New(Config{AdTypes: workload.DefaultAdTypes()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewAPI(b))
+	t.Cleanup(srv.Close)
+	return srv, b
+}
+
+func postJSON(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func decodeBody[T any](t *testing.T, resp *http.Response) T {
+	t.Helper()
+	defer resp.Body.Close()
+	var v T
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestHTTPCampaignLifecycle(t *testing.T) {
+	srv, _ := newTestServer(t)
+
+	resp := postJSON(t, srv.URL+"/campaigns", campaignRequest{
+		Loc: pointDTO{0.5, 0.5}, Radius: 0.2, Budget: 10, Tags: []float64{1, 0},
+	})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create status %d", resp.StatusCode)
+	}
+	created := decodeBody[campaignResponse](t, resp)
+
+	// Read the state back.
+	getResp, err := http.Get(fmt.Sprintf("%s/campaigns/%d", srv.URL, created.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if getResp.StatusCode != http.StatusOK {
+		t.Fatalf("get status %d", getResp.StatusCode)
+	}
+	state := decodeBody[campaignStateResponse](t, getResp)
+	if state.Budget != 10 || state.Remaining != 10 {
+		t.Errorf("state %+v", state)
+	}
+
+	// Top up and pause.
+	resp = postJSON(t, fmt.Sprintf("%s/campaigns/%d/topup", srv.URL, created.ID), topUpRequest{Amount: 5})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("topup status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	resp = postJSON(t, fmt.Sprintf("%s/campaigns/%d/pause", srv.URL, created.ID), pauseRequest{Paused: true})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pause status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	getResp, _ = http.Get(fmt.Sprintf("%s/campaigns/%d", srv.URL, created.ID))
+	state = decodeBody[campaignStateResponse](t, getResp)
+	if state.Budget != 15 || !state.Paused {
+		t.Errorf("after topup+pause: %+v", state)
+	}
+}
+
+func TestHTTPArrivalFlow(t *testing.T) {
+	srv, _ := newTestServer(t)
+	resp := postJSON(t, srv.URL+"/campaigns", campaignRequest{
+		Loc: pointDTO{0.5, 0.5}, Radius: 0.2, Budget: 10, Tags: []float64{1, 0},
+	})
+	resp.Body.Close()
+
+	resp = postJSON(t, srv.URL+"/arrivals", arrivalRequest{
+		Loc: pointDTO{0.5, 0.51}, Capacity: 2, ViewProb: 0.8,
+		Interests: []float64{0.9, 0.1},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("arrival status %d", resp.StatusCode)
+	}
+	out := decodeBody[arrivalResponse](t, resp)
+	if len(out.Offers) != 1 {
+		t.Fatalf("offers %+v", out.Offers)
+	}
+	if out.Offers[0].AdTypeName == "" || out.Offers[0].Cost <= 0 {
+		t.Errorf("offer DTO incomplete: %+v", out.Offers[0])
+	}
+
+	statsResp, err := http.Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := decodeBody[Stats](t, statsResp)
+	if stats.Arrivals != 1 || stats.OffersPushed != 1 {
+		t.Errorf("stats %+v", stats)
+	}
+}
+
+func TestHTTPErrors(t *testing.T) {
+	srv, _ := newTestServer(t)
+
+	// Malformed body.
+	resp, err := http.Post(srv.URL+"/campaigns", "application/json", bytes.NewReader([]byte("{nope")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed body status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Unknown fields are rejected (catches client typos).
+	resp, err = http.Post(srv.URL+"/arrivals", "application/json",
+		bytes.NewReader([]byte(`{"capcity": 2}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown field status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Unknown campaign → 404.
+	resp = postJSON(t, srv.URL+"/campaigns/99/topup", topUpRequest{Amount: 1})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown campaign status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Bad path id.
+	resp = postJSON(t, srv.URL+"/campaigns/abc/topup", topUpRequest{Amount: 1})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad id status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Invalid arrival payload.
+	resp = postJSON(t, srv.URL+"/arrivals", arrivalRequest{Capacity: -1, ViewProb: 0.5})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("invalid arrival status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+func TestHTTPConcurrentArrivals(t *testing.T) {
+	srv, b := newTestServer(t)
+	resp := postJSON(t, srv.URL+"/campaigns", campaignRequest{
+		Loc: pointDTO{0.5, 0.5}, Radius: 0.3, Budget: 50, Tags: []float64{1, 0},
+	})
+	resp.Body.Close()
+
+	const n = 20
+	done := make(chan error, n)
+	for i := 0; i < n; i++ {
+		go func() {
+			r := postJSON(t, srv.URL+"/arrivals", arrivalRequest{
+				Loc: pointDTO{0.5, 0.52}, Capacity: 1, ViewProb: 0.8,
+				Interests: []float64{0.9, 0.1},
+			})
+			r.Body.Close()
+			if r.StatusCode != http.StatusOK {
+				done <- fmt.Errorf("status %d", r.StatusCode)
+				return
+			}
+			done <- nil
+		}()
+	}
+	for i := 0; i < n; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	c, err := b.CampaignState(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Spent > c.Budget+1e-9 {
+		t.Fatalf("concurrent arrivals overspent the budget: %g > %g", c.Spent, c.Budget)
+	}
+	if b.Stats().Arrivals != n {
+		t.Errorf("arrivals = %d, want %d", b.Stats().Arrivals, n)
+	}
+}
+
+func TestHTTPListCampaigns(t *testing.T) {
+	srv, _ := newTestServer(t)
+	for i := 0; i < 3; i++ {
+		resp := postJSON(t, srv.URL+"/campaigns", campaignRequest{
+			Loc: pointDTO{0.1 * float64(i), 0.5}, Radius: 0.1, Budget: float64(5 + i),
+		})
+		resp.Body.Close()
+	}
+	resp, err := http.Get(srv.URL + "/campaigns")
+	if err != nil {
+		t.Fatal(err)
+	}
+	list := decodeBody[[]campaignStateResponse](t, resp)
+	if len(list) != 3 {
+		t.Fatalf("listed %d campaigns, want 3", len(list))
+	}
+	for i, c := range list {
+		if c.ID != int32(i) || c.Budget != float64(5+i) {
+			t.Errorf("campaign %d state %+v", i, c)
+		}
+	}
+}
+
+func TestHTTPMap(t *testing.T) {
+	srv, _ := newTestServer(t)
+	resp := postJSON(t, srv.URL+"/campaigns", campaignRequest{
+		Loc: pointDTO{0.5, 0.5}, Radius: 0.2, Budget: 10,
+	})
+	resp.Body.Close()
+	mapResp, err := http.Get(srv.URL + "/map.svg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mapResp.Body.Close()
+	if mapResp.StatusCode != http.StatusOK {
+		t.Fatalf("map status %d", mapResp.StatusCode)
+	}
+	if ct := mapResp.Header.Get("Content-Type"); ct != "image/svg+xml" {
+		t.Errorf("content type %q", ct)
+	}
+	body, err := io.ReadAll(mapResp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(body, []byte("<svg")) || !bytes.Contains(body, []byte("1 campaigns")) {
+		t.Errorf("map content:\n%s", body[:min(200, len(body))])
+	}
+}

@@ -1,0 +1,66 @@
+package cf
+
+import (
+	"fmt"
+
+	"muaa/internal/checkin"
+	"muaa/internal/model"
+)
+
+// FromCheckins converts a check-in dataset into CF training interactions
+// (one per (user, venue) pair, weighted by visit count).
+func FromCheckins(ds *checkin.Dataset) []Interaction {
+	counts := map[[2]int32]int{}
+	for _, r := range ds.Records {
+		counts[[2]int32{r.User, r.Venue}]++
+	}
+	out := make([]Interaction, 0, len(counts))
+	for k, c := range counts {
+		out = append(out, Interaction{User: k[0], Item: k[1], Weight: float64(c)})
+	}
+	return out
+}
+
+// TrainOnCheckins trains an item-based model directly from a dataset.
+func TrainOnCheckins(ds *checkin.Dataset, topK int) (*Model, error) {
+	return Train(FromCheckins(ds), ds.Users, len(ds.Venues), topK)
+}
+
+// Preference adapts a trained model to the model.Preference interface so a
+// MUAA problem can score customer–vendor pairs by collaborative filtering
+// instead of tag-vector correlation. CustomerUser maps each customer ID
+// (slice position in Problem.Customers) to its CF user; VendorItem maps each
+// vendor ID to its CF item. Pairs outside either map score 0.
+type Preference struct {
+	Model        *Model
+	CustomerUser []int32
+	VendorItem   []int32
+}
+
+// Validate reports mapping indices out of the model's range.
+func (p Preference) Validate() error {
+	if p.Model == nil {
+		return fmt.Errorf("cf: nil model")
+	}
+	for i, u := range p.CustomerUser {
+		if u < 0 || int(u) >= p.Model.NumUsers() {
+			return fmt.Errorf("cf: customer %d maps to unknown user %d", i, u)
+		}
+	}
+	for j, it := range p.VendorItem {
+		if it < 0 || int(it) >= p.Model.NumItems() {
+			return fmt.Errorf("cf: vendor %d maps to unknown item %d", j, it)
+		}
+	}
+	return nil
+}
+
+// Score implements model.Preference. The timestamp is ignored — CF scores
+// are time-free; compose with an Activity-aware preference if temporal
+// weighting is needed.
+func (p Preference) Score(u *model.Customer, v *model.Vendor, _ float64) float64 {
+	if int(u.ID) >= len(p.CustomerUser) || int(v.ID) >= len(p.VendorItem) {
+		return 0
+	}
+	return p.Model.Score(p.CustomerUser[u.ID], p.VendorItem[v.ID])
+}

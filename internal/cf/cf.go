@@ -1,0 +1,196 @@
+// Package cf implements item-based collaborative filtering over implicit
+// feedback. Section II-A of the paper lists collaborative filtering
+// (Adomavicius & Tuzhilin [7], Herlocker et al. [13]) as one of the two ways
+// to estimate customer–vendor preference, alongside the taxonomy-driven
+// profiles of package taxonomy; this package is that alternative estimator,
+// trained on the same check-in corpus and pluggable into model.Problem via
+// the Preference adapter in adapter.go.
+//
+// The model is the classic item–item scheme for implicit data: venue–venue
+// cosine similarity over user co-visit weights, truncated to each venue's
+// top-K neighbours; a user's predicted affinity for a venue is the
+// similarity-weighted average of the user's (normalized) weights on the
+// venue's neighbours.
+package cf
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Interaction is one (user, item) implicit-feedback event weight — for the
+// MUAA pipeline, a user's check-in count at a venue.
+type Interaction struct {
+	User   int32
+	Item   int32
+	Weight float64
+}
+
+// neighbor is one entry of an item's similarity list.
+type neighbor struct {
+	item int32
+	sim  float64
+}
+
+// Model is a trained item-based CF model. Models are immutable after Train
+// and safe for concurrent use.
+type Model struct {
+	nUsers, nItems int
+	neighbors      [][]neighbor
+	// userWeights[u] maps item → weight normalized by the user's max weight,
+	// so predictions land in [0, 1].
+	userWeights []map[int32]float64
+}
+
+// Train builds a model from interactions. topK truncates each item's
+// neighbour list (0 selects 20). Duplicate (user, item) pairs accumulate.
+func Train(interactions []Interaction, nUsers, nItems, topK int) (*Model, error) {
+	if nUsers <= 0 || nItems <= 0 {
+		return nil, fmt.Errorf("cf: need positive dimensions, got %d users × %d items", nUsers, nItems)
+	}
+	if topK <= 0 {
+		topK = 20
+	}
+	// Accumulate the user × item weight matrix (sparse).
+	userWeights := make([]map[int32]float64, nUsers)
+	for _, in := range interactions {
+		if in.User < 0 || int(in.User) >= nUsers {
+			return nil, fmt.Errorf("cf: interaction references user %d of %d", in.User, nUsers)
+		}
+		if in.Item < 0 || int(in.Item) >= nItems {
+			return nil, fmt.Errorf("cf: interaction references item %d of %d", in.Item, nItems)
+		}
+		if in.Weight <= 0 || math.IsNaN(in.Weight) || math.IsInf(in.Weight, 0) {
+			return nil, fmt.Errorf("cf: interaction weight %g must be positive and finite", in.Weight)
+		}
+		if userWeights[in.User] == nil {
+			userWeights[in.User] = map[int32]float64{}
+		}
+		userWeights[in.User][in.Item] += in.Weight
+	}
+
+	// Item co-occurrence dot products via per-user pair expansion. Cost is
+	// Σ_u |items(u)|², fine for the bounded per-user histories check-in
+	// corpora produce.
+	dots := make([]map[int32]float64, nItems)
+	norms := make([]float64, nItems)
+	for _, items := range userWeights {
+		keys := make([]int32, 0, len(items))
+		for it := range items {
+			keys = append(keys, it)
+		}
+		sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+		for ai, a := range keys {
+			wa := items[a]
+			norms[a] += wa * wa
+			for _, b := range keys[ai+1:] {
+				if dots[a] == nil {
+					dots[a] = map[int32]float64{}
+				}
+				dots[a][b] += wa * items[b]
+			}
+		}
+	}
+
+	neighbors := make([][]neighbor, nItems)
+	appendSim := func(a, b int32, dot float64) {
+		den := math.Sqrt(norms[a]) * math.Sqrt(norms[b])
+		if den == 0 {
+			return
+		}
+		sim := dot / den
+		if sim <= 0 {
+			return
+		}
+		neighbors[a] = append(neighbors[a], neighbor{item: b, sim: sim})
+	}
+	for a := range dots {
+		for b, dot := range dots[a] {
+			appendSim(int32(a), b, dot)
+			appendSim(b, int32(a), dot)
+		}
+	}
+	for i := range neighbors {
+		ns := neighbors[i]
+		sort.Slice(ns, func(x, y int) bool {
+			if ns[x].sim != ns[y].sim {
+				return ns[x].sim > ns[y].sim
+			}
+			return ns[x].item < ns[y].item
+		})
+		if len(ns) > topK {
+			ns = ns[:topK]
+		}
+		neighbors[i] = ns
+	}
+
+	// Normalize user weights to [0, 1] by each user's max.
+	for _, items := range userWeights {
+		maxW := 0.0
+		for _, w := range items {
+			if w > maxW {
+				maxW = w
+			}
+		}
+		if maxW > 0 {
+			for it := range items {
+				items[it] /= maxW
+			}
+		}
+	}
+	return &Model{
+		nUsers:      nUsers,
+		nItems:      nItems,
+		neighbors:   neighbors,
+		userWeights: userWeights,
+	}, nil
+}
+
+// NumUsers returns the trained user dimension.
+func (m *Model) NumUsers() int { return m.nUsers }
+
+// NumItems returns the trained item dimension.
+func (m *Model) NumItems() int { return m.nItems }
+
+// Score predicts user's affinity for item in [0, 1]: the similarity-weighted
+// average of the user's normalized weights over the item's neighbours, with
+// a shortcut to the user's own (normalized) weight when the user already
+// interacted with the item. Unknown users or items, and users with no
+// history, score 0 (cold start).
+func (m *Model) Score(user, item int32) float64 {
+	if user < 0 || int(user) >= m.nUsers || item < 0 || int(item) >= m.nItems {
+		return 0
+	}
+	items := m.userWeights[user]
+	if len(items) == 0 {
+		return 0
+	}
+	if w, ok := items[item]; ok {
+		return w
+	}
+	var num, den float64
+	for _, n := range m.neighbors[item] {
+		if w, ok := items[n.item]; ok {
+			num += n.sim * w
+			den += n.sim
+		}
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// Similar returns the item's neighbour list as (item, similarity) pairs in
+// descending similarity order. The returned slices are fresh copies.
+func (m *Model) Similar(item int32) (items []int32, sims []float64) {
+	if item < 0 || int(item) >= m.nItems {
+		return nil, nil
+	}
+	for _, n := range m.neighbors[item] {
+		items = append(items, n.item)
+		sims = append(sims, n.sim)
+	}
+	return items, sims
+}

@@ -1,0 +1,254 @@
+package cf
+
+import (
+	"math"
+	"testing"
+
+	"muaa/internal/checkin"
+	"muaa/internal/geo"
+	"muaa/internal/model"
+)
+
+// clusteredInteractions builds two disjoint user communities: users 0–4
+// visit items 0–4 densely, users 5–9 visit items 5–9 densely. One deliberate
+// hole is left — user 0 never visits item 1 — so tests can probe prediction
+// for an unvisited in-cluster item.
+func clusteredInteractions() []Interaction {
+	var out []Interaction
+	for u := int32(0); u < 5; u++ {
+		for it := int32(0); it < 5; it++ {
+			if u == 0 && it == 1 {
+				continue // the prediction hole
+			}
+			out = append(out, Interaction{User: u, Item: it, Weight: float64(1 + (u+it)%3)})
+		}
+	}
+	for u := int32(5); u < 10; u++ {
+		for it := int32(5); it < 10; it++ {
+			out = append(out, Interaction{User: u, Item: it, Weight: float64(1 + (u+it)%3)})
+		}
+	}
+	return out
+}
+
+func TestTrainValidation(t *testing.T) {
+	if _, err := Train(nil, 0, 5, 10); err == nil {
+		t.Error("zero users must be rejected")
+	}
+	if _, err := Train([]Interaction{{User: 9, Item: 0, Weight: 1}}, 5, 5, 10); err == nil {
+		t.Error("out-of-range user must be rejected")
+	}
+	if _, err := Train([]Interaction{{User: 0, Item: 9, Weight: 1}}, 5, 5, 10); err == nil {
+		t.Error("out-of-range item must be rejected")
+	}
+	if _, err := Train([]Interaction{{User: 0, Item: 0, Weight: -1}}, 5, 5, 10); err == nil {
+		t.Error("negative weight must be rejected")
+	}
+	if _, err := Train([]Interaction{{User: 0, Item: 0, Weight: math.NaN()}}, 5, 5, 10); err == nil {
+		t.Error("NaN weight must be rejected")
+	}
+	m, err := Train(nil, 3, 3, 0)
+	if err != nil {
+		t.Fatalf("empty training set must be fine (cold model): %v", err)
+	}
+	if m.NumUsers() != 3 || m.NumItems() != 3 {
+		t.Errorf("dimensions %d×%d", m.NumUsers(), m.NumItems())
+	}
+}
+
+func TestScoresRespectCommunities(t *testing.T) {
+	m, err := Train(clusteredInteractions(), 10, 10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// User 0 (cluster A) should score an unvisited cluster-A item above any
+	// cluster-B item.
+	inCluster := m.Score(0, 1)  // item 1 is cluster A; user 0 never visited it (the hole)
+	outCluster := m.Score(0, 7) // cluster B
+	if inCluster <= outCluster {
+		t.Errorf("in-cluster score %g not above out-cluster %g", inCluster, outCluster)
+	}
+	if outCluster != 0 {
+		t.Errorf("disjoint communities must not leak similarity: %g", outCluster)
+	}
+}
+
+func TestScoreBoundsAndColdStart(t *testing.T) {
+	m, err := Train(clusteredInteractions(), 12, 10, 10) // users 10, 11 have no history
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := int32(0); u < 12; u++ {
+		for it := int32(0); it < 10; it++ {
+			s := m.Score(u, it)
+			if s < 0 || s > 1 {
+				t.Fatalf("Score(%d,%d) = %g outside [0,1]", u, it, s)
+			}
+		}
+	}
+	if m.Score(10, 0) != 0 || m.Score(11, 5) != 0 {
+		t.Error("history-less users must score 0")
+	}
+	if m.Score(-1, 0) != 0 || m.Score(0, -1) != 0 || m.Score(99, 0) != 0 || m.Score(0, 99) != 0 {
+		t.Error("out-of-range lookups must score 0")
+	}
+}
+
+func TestScoreVisitedItemReturnsNormalizedWeight(t *testing.T) {
+	m, err := Train([]Interaction{
+		{User: 0, Item: 0, Weight: 4},
+		{User: 0, Item: 1, Weight: 2},
+	}, 1, 2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Score(0, 0); got != 1 {
+		t.Errorf("max-weight item scores %g, want 1", got)
+	}
+	if got := m.Score(0, 1); got != 0.5 {
+		t.Errorf("half-weight item scores %g, want 0.5", got)
+	}
+}
+
+func TestSimilarOrderingAndTruncation(t *testing.T) {
+	m, err := Train(clusteredInteractions(), 10, 10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	items, sims := m.Similar(0)
+	if len(items) > 2 {
+		t.Fatalf("topK=2 but %d neighbours", len(items))
+	}
+	for i := 1; i < len(sims); i++ {
+		if sims[i] > sims[i-1] {
+			t.Fatalf("similarities not descending: %v", sims)
+		}
+	}
+	for _, it := range items {
+		if it >= 5 {
+			t.Errorf("cluster-A item similar to cluster-B item %d", it)
+		}
+	}
+	if its, ss := m.Similar(-1); its != nil || ss != nil {
+		t.Error("out-of-range Similar must return nil")
+	}
+}
+
+func TestSimilaritySymmetryOfDuplicates(t *testing.T) {
+	// Duplicate interactions accumulate rather than error.
+	m, err := Train([]Interaction{
+		{User: 0, Item: 0, Weight: 1},
+		{User: 0, Item: 0, Weight: 1},
+		{User: 0, Item: 1, Weight: 2},
+	}, 1, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Items 0 and 1 co-occur for user 0 with equal accumulated weights →
+	// cosine similarity 1 in both directions.
+	_, s01 := m.Similar(0)
+	_, s10 := m.Similar(1)
+	if len(s01) != 1 || len(s10) != 1 || math.Abs(s01[0]-1) > 1e-12 || math.Abs(s10[0]-1) > 1e-12 {
+		t.Errorf("similarities: %v / %v, want [1] / [1]", s01, s10)
+	}
+}
+
+func TestFromCheckinsAndTrainOnCheckins(t *testing.T) {
+	ds, err := checkin.Generate(checkin.Config{Users: 30, Venues: 100, Checkins: 2000, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inter := FromCheckins(ds)
+	if len(inter) == 0 {
+		t.Fatal("no interactions extracted")
+	}
+	total := 0.0
+	for _, in := range inter {
+		if in.Weight < 1 {
+			t.Fatalf("weight %g below 1 visit", in.Weight)
+		}
+		total += in.Weight
+	}
+	if int(total) != len(ds.Records) {
+		t.Errorf("interaction weights sum to %g, want %d check-ins", total, len(ds.Records))
+	}
+	m, err := TrainOnCheckins(ds, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumUsers() != ds.Users || m.NumItems() != len(ds.Venues) {
+		t.Errorf("model dimensions %d×%d", m.NumUsers(), m.NumItems())
+	}
+}
+
+func TestPreferenceAdapter(t *testing.T) {
+	m, err := Train(clusteredInteractions(), 10, 10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pref := Preference{
+		Model:        m,
+		CustomerUser: []int32{0, 7},
+		VendorItem:   []int32{1, 8},
+	}
+	if err := pref.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	u0 := &model.Customer{ID: 0, Loc: geo.Point{X: 0.5, Y: 0.5}}
+	u1 := &model.Customer{ID: 1, Loc: geo.Point{X: 0.5, Y: 0.5}}
+	v0 := &model.Vendor{ID: 0}
+	v1 := &model.Vendor{ID: 1}
+	if pref.Score(u0, v0, 12) <= 0 {
+		t.Error("cluster-A customer should like cluster-A vendor")
+	}
+	if pref.Score(u0, v1, 12) != 0 {
+		t.Error("cluster-A customer must not like cluster-B vendor")
+	}
+	if pref.Score(u1, v1, 12) <= 0 {
+		t.Error("cluster-B customer should like cluster-B vendor")
+	}
+	// Out-of-map IDs score 0 rather than panicking.
+	u9 := &model.Customer{ID: 9}
+	if pref.Score(u9, v0, 12) != 0 {
+		t.Error("unmapped customer must score 0")
+	}
+	bad := Preference{Model: m, CustomerUser: []int32{99}}
+	if err := bad.Validate(); err == nil {
+		t.Error("bad mapping must fail validation")
+	}
+	if err := (Preference{}).Validate(); err == nil {
+		t.Error("nil model must fail validation")
+	}
+}
+
+func TestPreferencePluggedIntoProblem(t *testing.T) {
+	// End to end: a problem scored by CF runs through a solver.
+	m, err := Train(clusteredInteractions(), 10, 10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &model.Problem{
+		Customers: []model.Customer{
+			{ID: 0, Loc: geo.Point{X: 0.5, Y: 0.5}, Capacity: 1, ViewProb: 0.8},
+		},
+		Vendors: []model.Vendor{
+			{ID: 0, Loc: geo.Point{X: 0.5, Y: 0.52}, Radius: 0.1, Budget: 5},
+			{ID: 1, Loc: geo.Point{X: 0.5, Y: 0.48}, Radius: 0.1, Budget: 5},
+		},
+		AdTypes: []model.AdType{{Name: "PL", Cost: 2, Effect: 0.4}},
+		Preference: Preference{
+			Model:        m,
+			CustomerUser: []int32{0},    // cluster A user
+			VendorItem:   []int32{1, 7}, // vendor 0 = cluster-A item, vendor 1 = cluster-B item
+		},
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Utility(0, 0, 0) <= 0 {
+		t.Error("CF-preferred vendor must yield positive utility")
+	}
+	if p.Utility(0, 1, 0) != 0 {
+		t.Error("out-of-community vendor must yield zero utility")
+	}
+}

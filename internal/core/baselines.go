@@ -1,0 +1,121 @@
+package core
+
+import (
+	"sort"
+
+	"muaa/internal/model"
+	"muaa/internal/stats"
+)
+
+// Random is the RANDOM baseline of Section V: customers are processed in
+// arrival order and each receives up to a_i ads from randomly chosen valid
+// vendors with randomly chosen affordable ad types. It ignores utility
+// entirely, which is why its overall utility stays flat as problems scale.
+type Random struct {
+	Seed int64
+}
+
+// Name implements Solver.
+func (Random) Name() string { return "RANDOM" }
+
+// Solve implements Solver.
+func (r Random) Solve(p *model.Problem) (model.Assignment, error) {
+	ix := NewIndex(p)
+	rng := stats.NewRand(r.Seed)
+	led := newLedger(p)
+	var ins []model.Instance
+	var buf []int32
+	for ui := range p.Customers {
+		buf = ix.ValidVendors(buf[:0], int32(ui))
+		sort.Slice(buf, func(a, b int) bool { return buf[a] < buf[b] }) // determinism before shuffle
+		stats.Shuffle(rng, buf)
+		for _, vj := range buf {
+			if led.received[ui] >= p.Customers[ui].Capacity {
+				break
+			}
+			// Random affordable ad type, if any.
+			k := r.randomAffordableType(p, rng, vj, led)
+			if k < 0 {
+				continue
+			}
+			c := candidate{customer: int32(ui), vendor: vj, adType: k}
+			if !led.fits(c) {
+				continue
+			}
+			led.take(c)
+			ins = append(ins, model.Instance{Customer: int32(ui), Vendor: vj, AdType: k})
+		}
+	}
+	return finish(p, ins)
+}
+
+func (Random) randomAffordableType(p *model.Problem, rng *stats.Rand, vj int32, led *ledger) int {
+	remaining := p.Vendors[vj].Budget - led.spent[vj]
+	var affordable []int
+	for k := range p.AdTypes {
+		if p.AdTypes[k].Cost <= remaining+1e-12 {
+			affordable = append(affordable, k)
+		}
+	}
+	if len(affordable) == 0 {
+		return -1
+	}
+	return affordable[rng.Intn(len(affordable))]
+}
+
+// Nearest is the NEAREST baseline of Section V: when a customer appears, the
+// ads of the nearest covering vendors are assigned greedily by distance
+// until the customer's capacity is filled. The ad type is the cheapest
+// affordable one — like RANDOM, this baseline does not look at utility.
+type Nearest struct{}
+
+// Name implements Solver.
+func (Nearest) Name() string { return "NEAREST" }
+
+// Solve implements Solver.
+func (Nearest) Solve(p *model.Problem) (model.Assignment, error) {
+	ix := NewIndex(p)
+	led := newLedger(p)
+	var ins []model.Instance
+	var buf []int32
+	for ui := range p.Customers {
+		buf = ix.ValidVendors(buf[:0], int32(ui))
+		u := &p.Customers[ui]
+		sort.Slice(buf, func(a, b int) bool {
+			da := p.Vendors[buf[a]].Loc.Dist2(u.Loc)
+			db := p.Vendors[buf[b]].Loc.Dist2(u.Loc)
+			if da != db {
+				return da < db
+			}
+			return buf[a] < buf[b]
+		})
+		for _, vj := range buf {
+			if led.received[ui] >= u.Capacity {
+				break
+			}
+			k := cheapestAffordableType(p, vj, led)
+			if k < 0 {
+				continue
+			}
+			c := candidate{customer: int32(ui), vendor: vj, adType: k}
+			if !led.fits(c) {
+				continue
+			}
+			led.take(c)
+			ins = append(ins, model.Instance{Customer: int32(ui), Vendor: vj, AdType: k})
+		}
+	}
+	return finish(p, ins)
+}
+
+func cheapestAffordableType(p *model.Problem, vj int32, led *ledger) int {
+	remaining := p.Vendors[vj].Budget - led.spent[vj]
+	best, bestCost := -1, 0.0
+	for k := range p.AdTypes {
+		c := p.AdTypes[k].Cost
+		if c <= remaining+1e-12 && (best < 0 || c < bestCost) {
+			best, bestCost = k, c
+		}
+	}
+	return best
+}

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"testing"
+
+	"muaa/internal/workload"
+)
+
+func TestBatchFeasibleAcrossWindows(t *testing.T) {
+	p := mediumProblem(t, 21)
+	for _, w := range []int{1, 7, 64, 100000} {
+		a, err := OnlineBatch{Window: w}.Solve(p)
+		if err != nil {
+			t.Fatalf("window %d: %v", w, err)
+		}
+		if a.Utility <= 0 {
+			t.Fatalf("window %d: zero utility", w)
+		}
+	}
+}
+
+func TestBatchFullWindowComparableToGreedy(t *testing.T) {
+	p := mediumProblem(t, 22)
+	// A whole-stream window with no admission control is the offline greedy
+	// over pairs with O-AFA's max-utility type rule; it differs from GREEDY
+	// (which ranks (pair, type) triples by efficiency) but must land in the
+	// same ballpark.
+	batch, err := OnlineBatch{Window: len(p.Customers), Threshold: StaticThreshold{Phi: 0}}.Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	greedy, err := Greedy{}.Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch.Utility < 0.8*greedy.Utility {
+		t.Errorf("whole-stream window %g far below GREEDY %g", batch.Utility, greedy.Utility)
+	}
+}
+
+func TestBatchUtilityGrowsWithWindow(t *testing.T) {
+	// More look-ahead cannot hurt in aggregate across seeds.
+	var small, large float64
+	for seed := int64(0); seed < 3; seed++ {
+		p := mediumProblem(t, 30+seed)
+		a1, err := OnlineBatch{Window: 1}.Solve(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a2, err := OnlineBatch{Window: 256}.Solve(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		small += a1.Utility
+		large += a2.Utility
+	}
+	if large < small {
+		t.Errorf("window 256 aggregate %g below window 1 %g", large, small)
+	}
+}
+
+func TestBatchSessionDeliveryTiming(t *testing.T) {
+	p := mediumProblem(t, 23)
+	s, err := NewBatchSession(p, OnlineBatch{Window: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	delivered := 0
+	for ui := 0; ui < 9; ui++ {
+		if pushed := s.Arrive(int32(ui)); pushed != nil {
+			t.Fatalf("window of 10 drained after %d arrivals", ui+1)
+		}
+	}
+	if pushed := s.Arrive(9); pushed == nil {
+		t.Fatal("10th arrival must drain the window")
+	} else {
+		delivered += len(pushed)
+	}
+	// Partial window drains only on Flush.
+	s.Arrive(10)
+	if pushed := s.Flush(); len(pushed) == 0 && delivered == 0 {
+		t.Log("flush may legitimately push nothing if no candidate fits")
+	}
+	if _, err := s.Finish(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBatchWindowValidation(t *testing.T) {
+	p := workload.Example1()
+	if _, err := NewBatchSession(p, OnlineBatch{Window: -1}); err == nil {
+		t.Error("negative window must be rejected")
+	}
+	s, err := NewBatchSession(p, OnlineBatch{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.window != 64 {
+		t.Errorf("default window = %d, want 64", s.window)
+	}
+	if (OnlineBatch{}).Name() != "BATCH" {
+		t.Error("Name wrong")
+	}
+}
+
+func TestBatchBetweenOnlineAndGreedyInAggregate(t *testing.T) {
+	var online, batch, greedy float64
+	for seed := int64(0); seed < 3; seed++ {
+		p := mediumProblem(t, 40+seed)
+		for _, run := range []struct {
+			s   Solver
+			out *float64
+		}{
+			{OnlineAFA{Seed: seed}, &online},
+			{OnlineBatch{Window: 128}, &batch},
+			{Greedy{}, &greedy},
+		} {
+			a, err := run.s.Solve(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			*run.out += a.Utility
+		}
+	}
+	if batch < online*0.95 {
+		t.Errorf("batching (%g) should not lose to pure online (%g) in aggregate", batch, online)
+	}
+	// GREEDY (efficiency-ranked types, no admission control) is routinely
+	// *below* the thresholded variants when budgets bind — the paper's own
+	// motivation for the adaptive threshold. Just sanity-bound the gap.
+	if batch < 0.5*greedy {
+		t.Errorf("batch (%g) collapsed relative to GREEDY (%g)", batch, greedy)
+	}
+}

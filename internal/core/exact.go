@@ -1,0 +1,110 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"muaa/internal/model"
+)
+
+// Exact computes the optimal MUAA assignment by branch-and-bound over valid
+// (customer, vendor) pairs. MUAA is NP-hard (Theorem II.1), so Exact is only
+// usable on small instances; it exists to measure the empirical
+// approximation ratio of RECON and the empirical competitive ratio of O-AFA
+// against the true optimum, and to verify the paper's worked Example 1.
+// MaxPairs guards against accidental use on large problems.
+type Exact struct {
+	// MaxPairs aborts the solve when the instance has more valid pairs than
+	// this; zero selects 28.
+	MaxPairs int
+}
+
+// Name implements Solver.
+func (Exact) Name() string { return "EXACT" }
+
+// Solve implements Solver.
+func (e Exact) Solve(p *model.Problem) (model.Assignment, error) {
+	ix := NewIndex(p)
+	// One decision per valid pair: which ad type, or none. Collect pairs
+	// with their per-type utilities.
+	type pair struct {
+		customer int32
+		vendor   int32
+		util     []float64 // per ad type
+		maxUtil  float64
+	}
+	var pairs []pair
+	var buf []int32
+	for ui := range p.Customers {
+		buf = ix.ValidVendors(buf[:0], int32(ui))
+		for _, vj := range buf {
+			base := p.UtilityBase(int32(ui), vj)
+			pr := pair{customer: int32(ui), vendor: vj, util: make([]float64, len(p.AdTypes))}
+			for k := range p.AdTypes {
+				pr.util[k] = base * p.AdTypes[k].Effect
+				if pr.util[k] > pr.maxUtil {
+					pr.maxUtil = pr.util[k]
+				}
+			}
+			if pr.maxUtil > 0 {
+				pairs = append(pairs, pr)
+			}
+		}
+	}
+	limit := e.MaxPairs
+	if limit == 0 {
+		limit = 28
+	}
+	if len(pairs) > limit {
+		return model.Assignment{}, fmt.Errorf("core: exact solver over %d pairs exceeds limit %d", len(pairs), limit)
+	}
+	// Sort by descending best utility so the bound prunes early.
+	sort.Slice(pairs, func(a, b int) bool { return pairs[a].maxUtil > pairs[b].maxUtil })
+	// Suffix sums of maxUtil give an optimistic completion bound.
+	suffix := make([]float64, len(pairs)+1)
+	for i := len(pairs) - 1; i >= 0; i-- {
+		suffix[i] = suffix[i+1] + pairs[i].maxUtil
+	}
+
+	led := newLedger(p)
+	var best []model.Instance
+	bestVal := -1.0
+	cur := make([]model.Instance, 0, len(pairs))
+
+	var dfs func(pos int, val float64)
+	dfs = func(pos int, val float64) {
+		if val > bestVal {
+			bestVal = val
+			best = append(best[:0], cur...)
+		}
+		if pos == len(pairs) || val+suffix[pos] <= bestVal+1e-15 {
+			return
+		}
+		pr := pairs[pos]
+		// Branch: each ad type (most valuable first), then skip.
+		order := make([]int, len(pr.util))
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(a, b int) bool { return pr.util[order[a]] > pr.util[order[b]] })
+		for _, k := range order {
+			if pr.util[k] <= 0 {
+				continue
+			}
+			c := candidate{customer: pr.customer, vendor: pr.vendor, adType: k}
+			if !led.fits(c) {
+				continue
+			}
+			led.take(c)
+			cur = append(cur, model.Instance{Customer: pr.customer, Vendor: pr.vendor, AdType: k})
+			dfs(pos+1, val+pr.util[k])
+			cur = cur[:len(cur)-1]
+			led.spent[pr.vendor] -= p.AdTypes[k].Cost
+			led.received[pr.customer]--
+			delete(led.pairUsed, [2]int32{pr.customer, pr.vendor})
+		}
+		dfs(pos+1, val)
+	}
+	dfs(0, 0)
+	return finish(p, best)
+}

@@ -1,0 +1,46 @@
+package core
+
+import (
+	"sort"
+
+	"muaa/internal/model"
+)
+
+// Greedy is the offline GREEDY baseline of Section V: it repeatedly selects
+// the feasible ad instance with the currently highest budget efficiency
+// γ_ijk = λ_ijk / c_k. Because an instance's efficiency never changes — only
+// its feasibility does — one pass over the efficiency-sorted candidate list
+// is exactly the iterative algorithm.
+type Greedy struct{}
+
+// Name implements Solver.
+func (Greedy) Name() string { return "GREEDY" }
+
+// Solve implements Solver.
+func (Greedy) Solve(p *model.Problem) (model.Assignment, error) {
+	ix := NewIndex(p)
+	cands := allCandidates(p, ix)
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].eff != cands[b].eff {
+			return cands[a].eff > cands[b].eff
+		}
+		// Deterministic tie-break.
+		if cands[a].customer != cands[b].customer {
+			return cands[a].customer < cands[b].customer
+		}
+		if cands[a].vendor != cands[b].vendor {
+			return cands[a].vendor < cands[b].vendor
+		}
+		return cands[a].adType < cands[b].adType
+	})
+	led := newLedger(p)
+	var ins []model.Instance
+	for _, c := range cands {
+		if !led.fits(c) {
+			continue
+		}
+		led.take(c)
+		ins = append(ins, model.Instance{Customer: c.customer, Vendor: c.vendor, AdType: c.adType})
+	}
+	return finish(p, ins)
+}

@@ -1,0 +1,254 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"muaa/internal/model"
+	"muaa/internal/workload"
+)
+
+func TestAdaptiveThresholdShape(t *testing.T) {
+	th := AdaptiveThreshold{GammaMin: 0.1, G: 2 * math.E}
+	// φ(0) = γ_min/e: below γ_min, so everything is admitted at the start.
+	if got := th.Value(0); math.Abs(got-0.1/math.E) > 1e-12 {
+		t.Errorf("φ(0) = %g, want γ_min/e", got)
+	}
+	// φ(h) = γ_min at h = 1/ln g.
+	h := 1 / math.Log(2*math.E)
+	if got := th.Value(h); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("φ(1/ln g) = %g, want γ_min", got)
+	}
+	// Monotone increasing.
+	prev := -1.0
+	for d := 0.0; d <= 1.0; d += 0.05 {
+		v := th.Value(d)
+		if v <= prev {
+			t.Fatalf("threshold not increasing at δ=%g", d)
+		}
+		prev = v
+	}
+	// φ(1) = (γ_min/e)·g.
+	if got, want := th.Value(1), 0.1/math.E*2*math.E; math.Abs(got-want) > 1e-12 {
+		t.Errorf("φ(1) = %g, want %g", got, want)
+	}
+}
+
+func TestStaticThreshold(t *testing.T) {
+	th := StaticThreshold{Phi: 0.5}
+	if th.Value(0) != 0.5 || th.Value(1) != 0.5 {
+		t.Error("static threshold must ignore δ")
+	}
+}
+
+func TestOnlineRejectsBadG(t *testing.T) {
+	p := workload.Example1()
+	if _, err := (OnlineAFA{G: 2}).Solve(p); err == nil {
+		t.Error("g ≤ e must be rejected")
+	}
+	if _, err := (OnlineAFA{G: math.E}).Solve(p); err == nil {
+		t.Error("g = e must be rejected")
+	}
+	if _, err := (OnlineAFA{G: 2.8}).Solve(p); err != nil {
+		t.Errorf("g = 2.8 > e must be accepted: %v", err)
+	}
+}
+
+func TestSessionArrivalOnce(t *testing.T) {
+	p := workload.Example1()
+	s, err := NewSession(p, OnlineAFA{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := s.Arrive(0)
+	if len(first) == 0 {
+		t.Fatal("u0 with plentiful budgets should receive ads")
+	}
+	if again := s.Arrive(0); again != nil {
+		t.Errorf("second arrival of the same customer must be a no-op, got %v", again)
+	}
+}
+
+func TestSessionRespectsCapacity(t *testing.T) {
+	p := workload.Example1()
+	p.Customers[0].Capacity = 1
+	s, err := NewSession(p, OnlineAFA{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Arrive(0); len(got) > 1 {
+		t.Errorf("capacity 1 customer received %d ads", len(got))
+	}
+}
+
+func TestSessionZeroCapacityCustomer(t *testing.T) {
+	p := workload.Example1()
+	p.Customers[0].Capacity = 0
+	s, err := NewSession(p, OnlineAFA{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Arrive(0); got != nil {
+		t.Errorf("zero-capacity customer received %v", got)
+	}
+}
+
+func TestSessionTracksSpend(t *testing.T) {
+	p := workload.Example1()
+	s, err := NewSession(p, OnlineAFA{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pushed := s.Arrive(0)
+	var wantSpent float64
+	for _, in := range pushed {
+		if in.Vendor == 0 {
+			wantSpent += p.AdTypes[in.AdType].Cost
+		}
+	}
+	if got := s.Spent(0); got != wantSpent {
+		t.Errorf("Spent(v0) = %g, want %g", got, wantSpent)
+	}
+}
+
+func TestOnlineStaticThresholdBlocksEverything(t *testing.T) {
+	p := workload.Example1()
+	a, err := OnlineAFA{Threshold: StaticThreshold{Phi: math.Inf(1)}}.Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Instances) != 0 {
+		t.Errorf("infinite static threshold admitted %v", a.Instances)
+	}
+}
+
+func TestOnlineStaticThresholdZeroAdmitsGreedily(t *testing.T) {
+	p := workload.Example1()
+	a, err := OnlineAFA{Threshold: StaticThreshold{Phi: 0}}.Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Instances) == 0 {
+		t.Error("zero static threshold should admit ads")
+	}
+	if name := (OnlineAFA{Threshold: StaticThreshold{}}).Name(); name != "ONLINE-STATIC" {
+		t.Errorf("Name = %q", name)
+	}
+}
+
+func TestOnlineBlocksLowEfficiencyWhenBudgetDrains(t *testing.T) {
+	// One vendor, tight budget, a stream of customers with decreasing
+	// utility. With the adaptive threshold the tail (low-efficiency) ads
+	// must be blocked once δ grows, leaving budget unspent, while a zero
+	// static threshold would spend everything on early arrivals.
+	n := 10
+	customers := make([]model.Customer, n)
+	table := make(model.TablePreference, n)
+	for i := 0; i < n; i++ {
+		customers[i] = model.Customer{ID: int32(i), Loc: pt(0.5, 0.5), Capacity: 1, ViewProb: 1}
+		// Preference decays with arrival position: early customers are good,
+		// late ones poor.
+		table[i] = []float64{1.0 / float64(i+1)}
+	}
+	p := &model.Problem{
+		Customers:  customers,
+		Vendors:    []model.Vendor{{ID: 0, Loc: pt(0.5, 0.52), Radius: 0.1, Budget: 6}},
+		AdTypes:    []model.AdType{{Name: "PL", Cost: 2, Effect: 0.4}},
+		Preference: table,
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	adaptive, err := OnlineAFA{G: 8 * math.E}.Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	static, err := OnlineAFA{Threshold: StaticThreshold{Phi: 0}}.Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Static spends the whole budget on the first 3 arrivals.
+	if len(static.Instances) != 3 {
+		t.Fatalf("static threshold pushed %d ads, want 3 (budget 6 / cost 2)", len(static.Instances))
+	}
+	for _, in := range static.Instances {
+		if in.Customer > 2 {
+			t.Errorf("static threshold should serve the head of the stream, pushed to u%d", in.Customer)
+		}
+	}
+	// Adaptive must have blocked at least one low-efficiency tail candidate:
+	// it never pushes more ads than static, and the ads it pushes are the
+	// early, efficient ones.
+	if len(adaptive.Instances) > len(static.Instances) {
+		t.Errorf("adaptive pushed more ads (%d) than budget allows via static (%d)",
+			len(adaptive.Instances), len(static.Instances))
+	}
+	for _, in := range adaptive.Instances {
+		if in.Customer > 4 {
+			t.Errorf("adaptive threshold admitted a deep-tail customer u%d", in.Customer)
+		}
+	}
+}
+
+func TestEstimateGammaMin(t *testing.T) {
+	p := workload.Example1()
+	gamma := EstimateGammaMin(p, 4096, 1)
+	if gamma <= 0 {
+		t.Fatalf("γ_min estimate %g, want > 0", gamma)
+	}
+	// Compute the true minimum positive efficiency over valid pairs.
+	trueMin := math.Inf(1)
+	for ui := int32(0); ui < 3; ui++ {
+		for vj := int32(0); vj < 3; vj++ {
+			if !p.InRange(ui, vj) {
+				continue
+			}
+			for k := range p.AdTypes {
+				if eff := p.Efficiency(ui, vj, k); eff > 0 && eff < trueMin {
+					trueMin = eff
+				}
+			}
+		}
+	}
+	if math.Abs(gamma-trueMin) > 1e-9 {
+		t.Errorf("γ_min estimate %g, true minimum %g (sample covers all 6 pairs)", gamma, trueMin)
+	}
+}
+
+func TestEstimateGammaMinDegenerate(t *testing.T) {
+	empty := &model.Problem{AdTypes: workload.DefaultAdTypes()}
+	if got := EstimateGammaMin(empty, 10, 1); got != 0 {
+		t.Errorf("empty problem γ_min = %g, want 0", got)
+	}
+}
+
+func TestOnlineExplicitGammaMin(t *testing.T) {
+	p := workload.Example1()
+	a, err := OnlineAFA{GammaMin: 1e-6, G: 2 * math.E}.Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Utility <= 0 {
+		t.Error("tiny γ_min must admit ads on Example 1")
+	}
+}
+
+func TestOnlineProcessesStreamOrder(t *testing.T) {
+	// With budget for exactly one ad, the first arriving customer wins it.
+	p := &model.Problem{
+		Customers: []model.Customer{
+			{ID: 0, Loc: pt(0.5, 0.5), Capacity: 1, ViewProb: 0.5},
+			{ID: 1, Loc: pt(0.5, 0.5), Capacity: 1, ViewProb: 0.9},
+		},
+		Vendors:    []model.Vendor{{ID: 0, Loc: pt(0.5, 0.5), Radius: 0.1, Budget: 2}},
+		AdTypes:    []model.AdType{{Name: "PL", Cost: 2, Effect: 0.4}},
+		Preference: model.TablePreference{{0.5}, {0.9}},
+	}
+	a, err := OnlineAFA{GammaMin: 1e-9, G: 2 * math.E}.Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Instances) != 1 || a.Instances[0].Customer != 0 {
+		t.Errorf("online must serve the first arrival: %v", a.Instances)
+	}
+}

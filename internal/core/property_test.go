@@ -1,0 +1,195 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"muaa/internal/geo"
+	"muaa/internal/model"
+	"muaa/internal/stats"
+)
+
+// arbitraryProblem builds a deliberately nasty random problem: entity counts
+// down to zero, zero budgets/capacities/radii, coincident locations,
+// constant interest vectors (degenerate Pearson), ad types with zero
+// effectiveness. Every solver must still return a feasible assignment.
+func arbitraryProblem(seed int64) *model.Problem {
+	rng := stats.NewRand(seed)
+	m := rng.Intn(12)
+	n := rng.Intn(6)
+	q := 1 + rng.Intn(3)
+	numTags := 1 + rng.Intn(4)
+
+	randomVec := func() []float64 {
+		v := make([]float64, numTags)
+		switch rng.Intn(3) {
+		case 0: // constant vector: zero Pearson variance
+			c := rng.Float64()
+			for i := range v {
+				v[i] = c
+			}
+		case 1: // all-zero
+		default:
+			for i := range v {
+				v[i] = rng.Float64()
+			}
+		}
+		return v
+	}
+	randomLoc := func() geo.Point {
+		switch rng.Intn(3) {
+		case 0: // everyone piles onto one spot
+			return geo.Point{X: 0.5, Y: 0.5}
+		default:
+			return geo.Point{X: rng.Float64(), Y: rng.Float64()}
+		}
+	}
+
+	p := &model.Problem{}
+	for i := 0; i < m; i++ {
+		p.Customers = append(p.Customers, model.Customer{
+			ID:        int32(i),
+			Loc:       randomLoc(),
+			Capacity:  rng.Intn(4), // includes 0
+			ViewProb:  rng.Float64(),
+			Interests: randomVec(),
+			Arrival:   rng.Float64() * 24,
+		})
+	}
+	for j := 0; j < n; j++ {
+		radius := 0.0
+		if rng.Intn(4) != 0 {
+			radius = rng.Float64() * 0.5
+		}
+		budget := 0.0
+		if rng.Intn(4) != 0 {
+			budget = rng.Float64() * 6
+		}
+		p.Vendors = append(p.Vendors, model.Vendor{
+			ID:     int32(j),
+			Loc:    randomLoc(),
+			Radius: radius,
+			Budget: budget,
+			Tags:   randomVec(),
+		})
+	}
+	for k := 0; k < q; k++ {
+		effect := 0.0
+		if rng.Intn(5) != 0 {
+			effect = rng.Float64()
+		}
+		p.AdTypes = append(p.AdTypes, model.AdType{
+			Name:   "t",
+			Cost:   0.5 + rng.Float64()*2,
+			Effect: effect,
+		})
+	}
+	return p
+}
+
+func TestSolversFeasibleOnAdversarialProblems(t *testing.T) {
+	// finish() inside every solver re-checks all four constraints, so "no
+	// error and consistent utility" is the full feasibility property.
+	f := func(seed int64) bool {
+		p := arbitraryProblem(seed)
+		if err := p.Validate(); err != nil {
+			t.Logf("seed %d: generator built invalid problem: %v", seed, err)
+			return false
+		}
+		solvers := []Solver{
+			Recon{Seed: seed},
+			Recon{UseLP: true, Seed: seed},
+			Recon{Epsilon: 0.3, Seed: seed},
+			OnlineAFA{Seed: seed},
+			OnlineBatch{Window: 3, Seed: seed},
+			Greedy{},
+			Random{Seed: seed},
+			Nearest{},
+		}
+		for _, s := range solvers {
+			a, err := s.Solve(p)
+			if err != nil {
+				t.Logf("seed %d %s: %v", seed, s.Name(), err)
+				return false
+			}
+			if math.Abs(p.TotalUtility(a.Instances)-a.Utility) > 1e-9 {
+				t.Logf("seed %d %s: utility mismatch", seed, s.Name())
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExactDominatesEveryHeuristicOnAdversarialProblems(t *testing.T) {
+	f := func(seed int64) bool {
+		p := arbitraryProblem(seed)
+		exact, err := (Exact{MaxPairs: 24}).Solve(p)
+		if err != nil {
+			return true // instance too large for exact; nothing to compare
+		}
+		for _, s := range []Solver{Recon{Seed: seed}, Greedy{}, OnlineAFA{Seed: seed}} {
+			a, solveErr := s.Solve(p)
+			if solveErr != nil {
+				t.Logf("seed %d %s: %v", seed, s.Name(), solveErr)
+				return false
+			}
+			if a.Utility > exact.Utility+1e-9 {
+				t.Logf("seed %d: %s (%g) beat EXACT (%g)", seed, s.Name(), a.Utility, exact.Utility)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestThetaBoundsOnAdversarialProblems(t *testing.T) {
+	f := func(seed int64) bool {
+		p := arbitraryProblem(seed)
+		theta := p.Theta()
+		return theta >= 0 && theta <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSessionNeverOverspendsOnAdversarialProblems(t *testing.T) {
+	f := func(seed int64) bool {
+		p := arbitraryProblem(seed)
+		s, err := NewSession(p, OnlineAFA{Seed: seed})
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		// Arrive in a scrambled order with duplicates sprinkled in.
+		rng := stats.NewRand(seed)
+		for trial := 0; trial < 2*len(p.Customers); trial++ {
+			if len(p.Customers) == 0 {
+				break
+			}
+			s.Arrive(int32(rng.Intn(len(p.Customers))))
+		}
+		for j := range p.Vendors {
+			if s.Spent(int32(j)) > p.Vendors[j].Budget+1e-9 {
+				t.Logf("seed %d: vendor %d overspent", seed, j)
+				return false
+			}
+		}
+		_, err = s.Finish()
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+		}
+		return err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

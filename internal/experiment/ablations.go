@@ -1,0 +1,346 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"muaa/internal/core"
+	"muaa/internal/model"
+	"muaa/internal/stats"
+	"muaa/internal/workload"
+)
+
+// syntheticDefault generates the default synthetic problem for ablations.
+func syntheticDefault(st Settings, seed int64) (*model.Problem, error) {
+	return workload.Synthetic(workload.Config{
+		Customers: st.Customers,
+		Vendors:   st.Vendors,
+		Budget:    st.Budget,
+		Radius:    st.Radius,
+		Capacity:  st.Capacity,
+		ViewProb:  st.ViewProb,
+		Seed:      seed,
+	})
+}
+
+// RunThresholdAblation (A1) compares the paper's adaptive threshold against
+// static thresholds at several levels, supporting the Section IV-A claim
+// that "an adaptive threshold will perform better than a static threshold".
+// The comparison is about robustness: the online algorithm cannot choose the
+// arrival order, so each policy is replayed under three orders — the natural
+// random stream, worst-efficiency-first (adversarial for permissive
+// policies) and best-efficiency-first (adversarial for tight ones) — under
+// scarce budgets (a quarter of the defaults) so admission actually binds.
+// The row to read is MIN: the adaptive threshold's worst order should beat
+// every static level's worst order, which is exactly the minimax property
+// the competitive analysis formalizes. Static levels are expressed as
+// multiples of the estimated γ_min.
+func RunThresholdAblation(st Settings, workers int) (Series, error) {
+	st.Budget.Lo /= 4
+	st.Budget.Hi /= 4
+	natural, err := syntheticDefault(st, st.Seed)
+	if err != nil {
+		return Series{}, err
+	}
+	worstFirst, err := syntheticDefault(st, st.Seed)
+	if err != nil {
+		return Series{}, err
+	}
+	sortCustomersByEfficiency(worstFirst, true)
+	bestFirst, err := syntheticDefault(st, st.Seed)
+	if err != nil {
+		return Series{}, err
+	}
+	sortCustomersByEfficiency(bestFirst, false)
+	// The quiet day: only the below-median half of customers shows up. A
+	// static threshold tuned to the good days sees nothing it would admit
+	// and earns ~0; the adaptive threshold starts permissive and adapts.
+	quietDay, err := syntheticDefault(st, st.Seed)
+	if err != nil {
+		return Series{}, err
+	}
+	keepBelowMedianEfficiency(quietDay)
+	orders := []struct {
+		name string
+		p    *model.Problem
+	}{
+		{"natural", natural},
+		{"worst-first", worstFirst},
+		{"best-first", bestFirst},
+		{"quiet-day", quietDay},
+	}
+
+	gamma, gmax := core.EstimateGammaBounds(natural, 2048, st.Seed)
+	g := st.G
+	if g == 0 && gamma > 0 && gmax > gamma {
+		g = math.E * gmax / gamma // the paper's tuning rule
+	}
+	if g <= math.E {
+		g = 2 * math.E
+	}
+	multiples := []float64{0, 1, 16, 256, 4096}
+	type entry struct {
+		label string
+		build func() core.Solver
+	}
+	entries := []entry{{"ADAPTIVE", func() core.Solver {
+		return core.OnlineAFA{GammaMin: gamma, G: g, Seed: st.Seed}
+	}}}
+	for _, m := range multiples {
+		m := m
+		entries = append(entries, entry{
+			fmt.Sprintf("STATIC×%g", m),
+			func() core.Solver {
+				return core.OnlineAFA{Threshold: core.StaticThreshold{Phi: gamma * m}, Seed: st.Seed}
+			},
+		})
+	}
+	points, err := sweep(len(entries), workers, func(i int) (Point, error) {
+		pt := Point{Label: entries[i].label, X: float64(i)}
+		minUtil := math.Inf(1)
+		for _, ord := range orders {
+			start := time.Now()
+			a, err := entries[i].build().Solve(ord.p)
+			if err != nil {
+				return Point{}, err
+			}
+			pt.Measurements = append(pt.Measurements, Measurement{
+				Solver:    ord.name,
+				Utility:   a.Utility,
+				Duration:  time.Since(start),
+				Instances: len(a.Instances),
+			})
+			if a.Utility < minUtil {
+				minUtil = a.Utility
+			}
+		}
+		pt.Measurements = append(pt.Measurements, Measurement{Solver: "MIN", Utility: minUtil})
+		return pt, nil
+	})
+	if err != nil {
+		return Series{}, err
+	}
+	return Series{ID: "A1", Title: "Ablation: Adaptive vs Static Admission Threshold Across Arrival Orders (Synthetic Data)",
+		XLabel: "policy", Points: points}, nil
+}
+
+// sortCustomersByEfficiency reorders the problem's arrival stream by each
+// customer's best-pair efficiency — ascending (worst first, the adversarial
+// prefix for permissive policies) or descending. IDs are renumbered to match
+// the new order.
+func sortCustomersByEfficiency(p *model.Problem, worstFirst bool) {
+	score := bestPairEfficiencies(p)
+	order := make([]int, len(p.Customers))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		if worstFirst {
+			return score[order[a]] < score[order[b]]
+		}
+		return score[order[a]] > score[order[b]]
+	})
+	out := make([]model.Customer, len(p.Customers))
+	for pos, i := range order {
+		out[pos] = p.Customers[i]
+		out[pos].ID = int32(pos)
+	}
+	p.Customers = out
+}
+
+// keepBelowMedianEfficiency drops the top half of customers by best-pair
+// efficiency, keeping the original relative order of the rest.
+func keepBelowMedianEfficiency(p *model.Problem) {
+	scores := bestPairEfficiencies(p)
+	// Median over servable customers only: customers with no covering
+	// vendor score 0 and would otherwise drag the median to 0.
+	var positive []float64
+	for _, s := range scores {
+		if s > 0 {
+			positive = append(positive, s)
+		}
+	}
+	if len(positive) == 0 {
+		return
+	}
+	sort.Float64s(positive)
+	median := positive[len(positive)/2]
+	var out []model.Customer
+	for i := range p.Customers {
+		if scores[i] > 0 && scores[i] <= median {
+			c := p.Customers[i]
+			c.ID = int32(len(out))
+			out = append(out, c)
+		}
+	}
+	p.Customers = out
+}
+
+// bestPairEfficiencies returns, per customer, the highest budget efficiency
+// over the customer's valid pairs and ad types.
+func bestPairEfficiencies(p *model.Problem) []float64 {
+	ix := core.NewIndex(p)
+	score := make([]float64, len(p.Customers))
+	var buf []int32
+	for i := range p.Customers {
+		buf = ix.ValidVendors(buf[:0], int32(i))
+		best := 0.0
+		for _, vj := range buf {
+			base := p.UtilityBase(int32(i), vj)
+			for k := range p.AdTypes {
+				if eff := base * p.AdTypes[k].Effect / p.AdTypes[k].Cost; eff > best {
+					best = eff
+				}
+			}
+		}
+		score[i] = best
+	}
+	return score
+}
+
+// RunGSweep (A2) measures the effect of the threshold base g on O-AFA,
+// supporting the Section IV-B discussion: larger g blocks low-efficiency ads
+// more aggressively but leaves more budget unused.
+func RunGSweep(st Settings, workers int) (Series, error) {
+	p, err := syntheticDefault(st, st.Seed)
+	if err != nil {
+		return Series{}, err
+	}
+	points, err := sweep(len(AblationGs), workers, func(i int) (Point, error) {
+		g := AblationGs[i] * math.E
+		start := time.Now()
+		a, err := (core.OnlineAFA{G: g, Seed: st.Seed}).Solve(p)
+		if err != nil {
+			return Point{}, err
+		}
+		return Point{
+			Label: fmt.Sprintf("g=%.1fe", AblationGs[i]),
+			X:     AblationGs[i],
+			Measurements: []Measurement{{
+				Solver:    "ONLINE",
+				Utility:   a.Utility,
+				Duration:  time.Since(start),
+				Instances: len(a.Instances),
+			}},
+		}, nil
+	})
+	if err != nil {
+		return Series{}, err
+	}
+	return Series{ID: "A2", Title: "Ablation: Effect of the Threshold Base g on O-AFA (Synthetic Data)",
+		XLabel: "g/e", Points: points}, nil
+}
+
+// RunMCKPAblation (A3) compares RECON's three single-vendor backends: the
+// hull-greedy MCKP solver (default), the simplex LP relaxation the paper
+// uses, and the FPTAS that makes the (1−ε)·θ guarantee literal.
+func RunMCKPAblation(st Settings, workers int) (Series, error) {
+	p, err := syntheticDefault(st, st.Seed)
+	if err != nil {
+		return Series{}, err
+	}
+	solvers := []core.Solver{
+		core.Recon{Seed: st.Seed},
+		core.Recon{UseLP: true, Seed: st.Seed},
+		core.Recon{Epsilon: 0.25, Seed: st.Seed},
+	}
+	points, err := sweep(len(solvers), workers, func(i int) (Point, error) {
+		start := time.Now()
+		a, err := solvers[i].Solve(p)
+		if err != nil {
+			return Point{}, err
+		}
+		return Point{
+			Label: solvers[i].Name(),
+			X:     float64(i),
+			Measurements: []Measurement{{
+				Solver:    solvers[i].Name(),
+				Utility:   a.Utility,
+				Duration:  time.Since(start),
+				Instances: len(a.Instances),
+			}},
+		}, nil
+	})
+	if err != nil {
+		return Series{}, err
+	}
+	return Series{ID: "A3", Title: "Ablation: RECON Single-Vendor Backend — MCKP Greedy vs Simplex LP",
+		XLabel: "backend", Points: points}, nil
+}
+
+// RatioPoint is one instance of the A4 ratio study.
+type RatioPoint struct {
+	Seed            int64
+	Optimal         float64
+	Recon           float64
+	Online          float64
+	Theta           float64
+	ReconRatio      float64 // Recon / Optimal
+	OnlineRatio     float64 // Online / Optimal
+	TheoreticalComp float64 // θ/(ln g + 1): the guaranteed fraction for O-AFA
+}
+
+// RunRatioStudy (A4) measures empirical approximation and competitive ratios
+// against the exact optimum on tiny instances (Theorems III.1 and IV.1 give
+// the worst-case guarantees; this reports the typical case).
+func RunRatioStudy(st Settings, instances int) ([]RatioPoint, error) {
+	if instances <= 0 {
+		instances = 20
+	}
+	g := st.G
+	if g == 0 {
+		g = 2 * math.E // fixed g keeps the theoretical column comparable
+	}
+	var out []RatioPoint
+	for i := 0; i < instances; i++ {
+		seed := st.Seed + int64(i)
+		p, err := workload.Synthetic(workload.Config{
+			Customers: 5,
+			Vendors:   3,
+			// Tight budgets relative to ad costs (1–2 per ad) so the
+			// knapsack structure binds and the optimum is non-trivial;
+			// plentiful budgets make every algorithm trivially optimal.
+			Budget:   stats.Range{Lo: 2, Hi: 4},
+			Radius:   stats.Range{Lo: 0.3, Hi: 0.5}, // wide radii keep tiny instances dense
+			Capacity: stats.Range{Lo: 1, Hi: 2},
+			ViewProb: st.ViewProb,
+			AdTypes:  workload.DefaultAdTypes()[:2],
+			Seed:     seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		exact, err := (core.Exact{MaxPairs: 40}).Solve(p)
+		if err != nil {
+			return nil, err
+		}
+		if exact.Utility <= 0 {
+			continue
+		}
+		recon, err := (core.Recon{Seed: seed}).Solve(p)
+		if err != nil {
+			return nil, err
+		}
+		online, err := (core.OnlineAFA{G: g, Seed: seed}).Solve(p)
+		if err != nil {
+			return nil, err
+		}
+		theta := p.Theta()
+		out = append(out, RatioPoint{
+			Seed:            seed,
+			Optimal:         exact.Utility,
+			Recon:           recon.Utility,
+			Online:          online.Utility,
+			Theta:           theta,
+			ReconRatio:      recon.Utility / exact.Utility,
+			OnlineRatio:     online.Utility / exact.Utility,
+			TheoreticalComp: theta / (math.Log(g) + 1),
+		})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("experiment: every ratio-study instance had zero optimum")
+	}
+	return out, nil
+}

@@ -1,0 +1,61 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"muaa/internal/core"
+)
+
+// BatchWindows is the window sweep of the A6 ablation.
+var BatchWindows = []int{1, 16, 64, 256, 1024}
+
+// RunBatchAblation (A6) sweeps the micro-batch window of the OnlineBatch
+// extension against plain O-AFA and the offline GREEDY on the default
+// synthetic workload: how much utility does each unit of answer delay buy?
+// Each window is run with the adaptive threshold and (for reference) without
+// admission control, exposing that batching alone — without the paper's
+// threshold — underperforms plain O-AFA.
+func RunBatchAblation(st Settings, workers int) (Series, error) {
+	p, err := syntheticDefault(st, st.Seed)
+	if err != nil {
+		return Series{}, err
+	}
+	type entry struct {
+		label  string
+		solver core.Solver
+	}
+	entries := []entry{
+		{"ONLINE", core.OnlineAFA{G: st.G, Seed: st.Seed}},
+	}
+	for _, w := range BatchWindows {
+		entries = append(entries,
+			entry{fmt.Sprintf("BATCH(%d)", w), core.OnlineBatch{Window: w, G: st.G, Seed: st.Seed}},
+			entry{fmt.Sprintf("BATCH(%d)-nothresh", w), core.OnlineBatch{Window: w, Threshold: core.StaticThreshold{}}},
+		)
+	}
+	entries = append(entries, entry{"GREEDY", core.Greedy{}})
+
+	points, err := sweep(len(entries), workers, func(i int) (Point, error) {
+		start := time.Now()
+		a, err := entries[i].solver.Solve(p)
+		if err != nil {
+			return Point{}, err
+		}
+		return Point{
+			Label: entries[i].label,
+			X:     float64(i),
+			Measurements: []Measurement{{
+				Solver:    entries[i].label,
+				Utility:   a.Utility,
+				Duration:  time.Since(start),
+				Instances: len(a.Instances),
+			}},
+		}, nil
+	})
+	if err != nil {
+		return Series{}, err
+	}
+	return Series{ID: "A6", Title: "Ablation: Micro-Batching Window vs Pure Online (Synthetic Data)",
+		XLabel: "policy", Points: points}, nil
+}

@@ -1,0 +1,98 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Chart renders the series' utility panel as horizontal bar charts, one
+// block per knob setting — a terminal-friendly view of the figures the paper
+// plots (muaa-bench -chart). Bars share one scale across the whole series so
+// trends across knob settings read correctly.
+func Chart(w io.Writer, s Series) error {
+	if _, err := fmt.Fprintf(w, "%s — %s\n", s.ID, s.Title); err != nil {
+		return err
+	}
+	maxUtil := 0.0
+	nameWidth := 0
+	for _, p := range s.Points {
+		for _, m := range p.Measurements {
+			if m.Utility > maxUtil {
+				maxUtil = m.Utility
+			}
+			if len(m.Solver) > nameWidth {
+				nameWidth = len(m.Solver)
+			}
+		}
+	}
+	if maxUtil == 0 {
+		_, err := fmt.Fprintln(w, "(all utilities zero)")
+		return err
+	}
+	const width = 48
+	for _, p := range s.Points {
+		if _, err := fmt.Fprintf(w, "%s = %s\n", s.XLabel, p.Label); err != nil {
+			return err
+		}
+		for _, m := range p.Measurements {
+			bar := barString(m.Utility/maxUtil, width)
+			if _, err := fmt.Fprintf(w, "  %-*s %s %.4g\n", nameWidth, m.Solver, bar, m.Utility); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// barString renders a fraction of the given width using eighth-block runes
+// for sub-character resolution.
+func barString(frac float64, width int) string {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	eighths := int(frac*float64(width)*8 + 0.5)
+	full := eighths / 8
+	rem := eighths % 8
+	var b strings.Builder
+	b.WriteString(strings.Repeat("█", full))
+	if rem > 0 {
+		// U+2590-family partial blocks, thinnest to thickest: ▏▎▍▌▋▊▉.
+		partials := []rune("▏▎▍▌▋▊▉")
+		b.WriteRune(partials[rem-1])
+		full++
+	}
+	b.WriteString(strings.Repeat(" ", width-full))
+	return b.String()
+}
+
+// Sparkline renders values as a compact one-line sparkline (▁▂▃▄▅▆▇█),
+// scaled to the slice's own min–max. Empty input yields an empty string;
+// constant series render at the midline.
+func Sparkline(values []float64) string {
+	if len(values) == 0 {
+		return ""
+	}
+	lo, hi := values[0], values[0]
+	for _, v := range values {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	levels := []rune("▁▂▃▄▅▆▇█")
+	var b strings.Builder
+	for _, v := range values {
+		idx := len(levels) / 2
+		if hi > lo {
+			idx = int((v - lo) / (hi - lo) * float64(len(levels)-1))
+		}
+		b.WriteRune(levels[idx])
+	}
+	return b.String()
+}

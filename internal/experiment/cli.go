@@ -1,0 +1,114 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Format selects how RunByID renders a series.
+type Format int
+
+const (
+	// Text renders aligned tables (the default).
+	Text Format = iota
+	// CSVFormat renders long-form CSV.
+	CSVFormat
+	// ChartFormat renders terminal bar charts.
+	ChartFormat
+	// MarkdownFormat renders GitHub-flavoured Markdown tables.
+	MarkdownFormat
+)
+
+// ExperimentIDs lists every experiment in canonical order.
+var ExperimentIDs = []string{
+	"e1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+	"a1", "a2", "a3", "a4", "a5", "a6", "a7", "a8",
+}
+
+// seriesRunners maps series-producing experiment IDs to their runners.
+var seriesRunners = map[string]func(Settings, int) (Series, error){
+	"fig3": RunBudgetSweep,
+	"fig4": RunRadiusSweep,
+	"fig5": RunCapacitySweep,
+	"fig6": RunProbabilitySweep,
+	"fig7": RunCustomerScaling,
+	"fig8": RunVendorScaling,
+	"a1":   RunThresholdAblation,
+	"a2":   RunGSweep,
+	"a3":   RunMCKPAblation,
+	"a6":   RunBatchAblation,
+}
+
+// RunByID executes one experiment by its canonical ID ("e1", "fig3"…"fig8",
+// "a1"…"a7") and writes its report to w. Series experiments honor format and
+// repeats (replication with means ± sd); the scalar reports (e1, a4, a5, a7)
+// always render as text. cmd/muaa-bench is a thin flag wrapper over this.
+func RunByID(w io.Writer, id string, st Settings, workers, repeats int, format Format) error {
+	switch strings.ToLower(id) {
+	case "e1":
+		res, err := RunExample1()
+		if err != nil {
+			return err
+		}
+		return RenderExample1(w, res)
+	case "a4":
+		points, err := RunRatioStudy(st, 20)
+		if err != nil {
+			return err
+		}
+		return RenderRatioStudy(w, points)
+	case "a5":
+		points, err := RunSafeRegionStudy(st, 20, 500)
+		if err != nil {
+			return err
+		}
+		return RenderSafeRegionStudy(w, points)
+	case "a7":
+		results, err := RunTuningStudy(st, 10)
+		if err != nil {
+			return err
+		}
+		return RenderTuningStudy(w, results)
+	case "a8":
+		points, err := RunIndexAblation(st, 5000)
+		if err != nil {
+			return err
+		}
+		return RenderIndexAblation(w, points)
+	default:
+		runner, ok := seriesRunners[strings.ToLower(id)]
+		if !ok {
+			return fmt.Errorf("experiment: unknown id %q (want one of %s)",
+				id, strings.Join(ExperimentIDs, ", "))
+		}
+		s, err := Replicate(st, repeats, workers, runner)
+		if err != nil {
+			return err
+		}
+		switch format {
+		case CSVFormat:
+			return CSV(w, s)
+		case ChartFormat:
+			return Chart(w, s)
+		case MarkdownFormat:
+			return Markdown(w, s)
+		default:
+			return Render(w, s)
+		}
+	}
+}
+
+// RunAll executes every experiment in canonical order, separating reports
+// with blank lines.
+func RunAll(w io.Writer, st Settings, workers, repeats int, format Format) error {
+	for _, id := range ExperimentIDs {
+		if err := RunByID(w, id, st, workers, repeats, format); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,60 @@
+package experiment
+
+import (
+	"time"
+
+	"muaa/internal/core"
+	"muaa/internal/workload"
+)
+
+// Example1Result reproduces the paper's worked example (E1): the utilities
+// of the paper's two discussed solutions and what each algorithm actually
+// achieves on the instance.
+type Example1Result struct {
+	// PossibleUtility is the paper's "one possible solution" (0.0357...).
+	PossibleUtility float64
+	// ClaimedOptUtility is the paper's claimed optimum (0.0504...).
+	ClaimedOptUtility float64
+	// TrueOptUtility is the branch-and-bound optimum (0.05204... — the
+	// paper's claimed optimum is slightly sub-optimal; see EXPERIMENTS.md).
+	TrueOptUtility float64
+	// Solvers holds each algorithm's utility on the example.
+	Solvers []Measurement
+}
+
+// RunExample1 evaluates every algorithm on the Example 1 instance.
+func RunExample1() (Example1Result, error) {
+	p := workload.Example1()
+	possible, claimed := workload.Example1PaperSolutions()
+	res := Example1Result{
+		PossibleUtility:   p.TotalUtility(possible),
+		ClaimedOptUtility: p.TotalUtility(claimed),
+	}
+	exact, err := (core.Exact{}).Solve(p)
+	if err != nil {
+		return Example1Result{}, err
+	}
+	res.TrueOptUtility = exact.Utility
+	solvers := []core.Solver{
+		core.Exact{},
+		core.Recon{Seed: 1},
+		core.OnlineAFA{Seed: 1},
+		core.Greedy{},
+		core.Random{Seed: 1},
+		core.Nearest{},
+	}
+	for _, s := range solvers {
+		start := time.Now()
+		a, err := s.Solve(p)
+		if err != nil {
+			return Example1Result{}, err
+		}
+		res.Solvers = append(res.Solvers, Measurement{
+			Solver:    s.Name(),
+			Utility:   a.Utility,
+			Duration:  time.Since(start),
+			Instances: len(a.Instances),
+		})
+	}
+	return res, nil
+}

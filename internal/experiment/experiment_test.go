@@ -1,0 +1,580 @@
+package experiment
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// scaled returns settings small enough for unit tests but large enough to
+// exercise every path.
+func scaled() Settings {
+	return DefaultSettings().Scale(0.02) // 200 customers, 10 vendors
+}
+
+func TestDefaultSettings(t *testing.T) {
+	st := DefaultSettings()
+	if st.Customers != 10000 || st.Vendors != 500 {
+		t.Errorf("defaults: %d customers, %d vendors", st.Customers, st.Vendors)
+	}
+	if st.G != 0 {
+		t.Errorf("default g = %g, want 0 (auto-tuned per instance)", st.G)
+	}
+}
+
+func TestScale(t *testing.T) {
+	st := DefaultSettings().Scale(0.001)
+	if st.Customers < 20 || st.Vendors < 5 {
+		t.Errorf("scale floor violated: %d/%d", st.Customers, st.Vendors)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("scale > 1 must panic")
+		}
+	}()
+	DefaultSettings().Scale(2)
+}
+
+func checkSeries(t *testing.T, s Series, wantPoints int) {
+	t.Helper()
+	if len(s.Points) != wantPoints {
+		t.Fatalf("%s: %d points, want %d", s.ID, len(s.Points), wantPoints)
+	}
+	solvers := s.Solvers()
+	if len(solvers) < 5 {
+		t.Fatalf("%s: only %d solvers measured: %v", s.ID, len(solvers), solvers)
+	}
+	for _, p := range s.Points {
+		for _, m := range p.Measurements {
+			if m.Utility < 0 {
+				t.Fatalf("%s %s %s: negative utility", s.ID, p.Label, m.Solver)
+			}
+			if m.Duration < 0 {
+				t.Fatalf("%s %s %s: negative duration", s.ID, p.Label, m.Solver)
+			}
+		}
+	}
+}
+
+func TestRunBudgetSweep(t *testing.T) {
+	s, err := RunBudgetSweep(scaled(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSeries(t, s, len(Fig3Budgets))
+	// Paper shape: utility grows with budget then saturates — compare the
+	// smallest and largest budget points for RECON.
+	first, _ := s.Points[0].Get("RECON")
+	last, _ := s.Points[len(s.Points)-1].Get("RECON")
+	if last.Utility < first.Utility {
+		t.Errorf("RECON utility should not fall as budgets grow: %g → %g", first.Utility, last.Utility)
+	}
+}
+
+func TestRunRadiusSweep(t *testing.T) {
+	s, err := RunRadiusSweep(scaled(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSeries(t, s, len(Fig4Radii))
+	first, _ := s.Points[0].Get("GREEDY")
+	last, _ := s.Points[len(s.Points)-1].Get("GREEDY")
+	if last.Utility < first.Utility*0.5 {
+		t.Errorf("GREEDY utility collapsed as radii grew: %g → %g", first.Utility, last.Utility)
+	}
+}
+
+func TestRunCapacitySweep(t *testing.T) {
+	s, err := RunCapacitySweep(scaled(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSeries(t, s, len(Fig5Capacities))
+}
+
+func TestRunProbabilitySweep(t *testing.T) {
+	s, err := RunProbabilitySweep(scaled(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSeries(t, s, len(Fig6ViewProbs))
+	// Paper shape: utility grows with p for every solver in aggregate.
+	for _, name := range []string{"RECON", "GREEDY", "ONLINE"} {
+		first, _ := s.Points[0].Get(name)
+		last, _ := s.Points[len(s.Points)-1].Get(name)
+		if last.Utility <= first.Utility {
+			t.Errorf("%s utility should grow with viewing probability: %g → %g", name, first.Utility, last.Utility)
+		}
+	}
+}
+
+func TestRunCustomerScaling(t *testing.T) {
+	s, err := RunCustomerScaling(scaled(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSeries(t, s, len(Fig7Customers))
+	// Paper shape: utility grows with m for the utility-aware approaches.
+	first, _ := s.Points[0].Get("RECON")
+	last, _ := s.Points[len(s.Points)-1].Get("RECON")
+	if last.Utility <= first.Utility {
+		t.Errorf("RECON utility should grow with m: %g → %g", first.Utility, last.Utility)
+	}
+}
+
+func TestRunVendorScaling(t *testing.T) {
+	s, err := RunVendorScaling(scaled(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSeries(t, s, len(Fig8Vendors))
+	first, _ := s.Points[0].Get("RECON")
+	last, _ := s.Points[len(s.Points)-1].Get("RECON")
+	if last.Utility <= first.Utility {
+		t.Errorf("RECON utility should grow with n: %g → %g", first.Utility, last.Utility)
+	}
+}
+
+func TestRunThresholdAblation(t *testing.T) {
+	s, err := RunThresholdAblation(scaled(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Points) != 6 {
+		t.Fatalf("threshold ablation points = %d", len(s.Points))
+	}
+	minOf := func(label string) float64 {
+		for _, p := range s.Points {
+			if p.Label != label {
+				continue
+			}
+			if m, ok := p.Get("MIN"); ok {
+				return m.Utility
+			}
+		}
+		t.Fatalf("no MIN measurement for %s", label)
+		return 0
+	}
+	adaptive := minOf("ADAPTIVE")
+	if adaptive <= 0 {
+		t.Fatal("adaptive policy earned nothing in its worst order")
+	}
+	// The minimax claim: the adaptive threshold's worst arrival order should
+	// not be far below the worst order of the extreme static policies (a
+	// fully permissive threshold and a nearly-closed one).
+	for _, label := range []string{"STATIC×0", "STATIC×4096"} {
+		if st := minOf(label); adaptive < 0.9*st {
+			t.Errorf("adaptive worst-order utility %g far below %s's %g", adaptive, label, st)
+		}
+	}
+	// Every point carries the four scenarios plus MIN.
+	for _, p := range s.Points {
+		if len(p.Measurements) != 5 {
+			t.Fatalf("%s has %d measurements, want 5", p.Label, len(p.Measurements))
+		}
+	}
+}
+
+func TestRunGSweep(t *testing.T) {
+	s, err := RunGSweep(scaled(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Points) != len(AblationGs) {
+		t.Fatalf("g sweep points = %d", len(s.Points))
+	}
+	for _, p := range s.Points {
+		if p.Measurements[0].Utility < 0 {
+			t.Fatalf("negative utility at %s", p.Label)
+		}
+	}
+}
+
+func TestRunMCKPAblation(t *testing.T) {
+	s, err := RunMCKPAblation(scaled(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Points) != 3 {
+		t.Fatalf("MCKP ablation points = %d", len(s.Points))
+	}
+	g := s.Points[0].Measurements[0]
+	l := s.Points[1].Measurements[0]
+	f := s.Points[2].Measurements[0]
+	if g.Solver != "RECON" || l.Solver != "RECON-LP" || f.Solver != "RECON-FPTAS" {
+		t.Fatalf("unexpected solvers %s / %s / %s", g.Solver, l.Solver, f.Solver)
+	}
+	if g.Utility <= 0 || l.Utility <= 0 || f.Utility <= 0 {
+		t.Error("all backends must achieve positive utility")
+	}
+}
+
+func TestRunRatioStudy(t *testing.T) {
+	st := scaled()
+	points, err := RunRatioStudy(st, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range points {
+		if p.ReconRatio > 1+1e-9 || p.OnlineRatio > 1+1e-9 {
+			t.Fatalf("ratio above 1: %+v", p)
+		}
+		if p.ReconRatio <= 0 && p.Recon > 0 {
+			t.Fatalf("inconsistent ratio: %+v", p)
+		}
+	}
+}
+
+func TestRunExample1(t *testing.T) {
+	r, err := RunExample1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.PossibleUtility-0.0357087) > 1e-6 {
+		t.Errorf("possible utility = %g", r.PossibleUtility)
+	}
+	if math.Abs(r.ClaimedOptUtility-0.0504435) > 1e-6 {
+		t.Errorf("claimed optimum = %g", r.ClaimedOptUtility)
+	}
+	if math.Abs(r.TrueOptUtility-0.0520435) > 1e-6 {
+		t.Errorf("true optimum = %g", r.TrueOptUtility)
+	}
+	if len(r.Solvers) != 6 {
+		t.Errorf("solver count = %d", len(r.Solvers))
+	}
+}
+
+func TestRenderAndCSV(t *testing.T) {
+	s, err := RunGSweep(scaled(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Render(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// A2 has one measurement per point and renders long-form.
+	for _, frag := range []string{"A2", "utility", "time", "g=1.1e"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("render output missing %q:\n%s", frag, out)
+		}
+	}
+	// Multi-solver series keep the two-panel layout.
+	fig, err := RunVendorScaling(scaled(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := Render(&buf, fig); err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"(a) overall utility", "(b) running time", "RECON"} {
+		if !strings.Contains(buf.String(), frag) {
+			t.Errorf("panel render missing %q", frag)
+		}
+	}
+	buf.Reset()
+	buf.Reset()
+	if err := CSV(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 1+len(AblationGs) {
+		t.Errorf("CSV lines = %d, want %d", len(lines), 1+len(AblationGs))
+	}
+	if !strings.HasPrefix(lines[0], "id,x,label,solver,utility") {
+		t.Errorf("CSV header = %q", lines[0])
+	}
+}
+
+func TestRenderExample1AndRatioStudy(t *testing.T) {
+	r, err := RunExample1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := RenderExample1(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "0.0357") || !strings.Contains(buf.String(), "EXACT") {
+		t.Errorf("E1 render missing content:\n%s", buf.String())
+	}
+	points, err := RunRatioStudy(scaled(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := RenderRatioStudy(&buf, points); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "RECON/OPT") {
+		t.Errorf("A4 render missing content:\n%s", buf.String())
+	}
+}
+
+func TestRunSafeRegionStudy(t *testing.T) {
+	points, err := RunSafeRegionStudy(scaled(), 3, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("points = %d", len(points))
+	}
+	for _, p := range points {
+		if p.Samples <= 0 || p.Recomputes <= 0 {
+			t.Fatalf("counters empty: %+v", p)
+		}
+		if p.Recomputes > p.Samples {
+			t.Fatalf("more scans than samples: %+v", p)
+		}
+	}
+	// At the lowest vendor density safe regions are large relative to the
+	// sampling step and must save scans; at high density the margins shrink
+	// and savings may legitimately approach zero (the trade-off A5 reports).
+	if points[0].SavedPercent <= 0 {
+		t.Errorf("safe regions saved nothing at n=%d: %+v", points[0].Vendors, points[0])
+	}
+	var buf bytes.Buffer
+	if err := RenderSafeRegionStudy(&buf, points); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "A5") || !strings.Contains(buf.String(), "saved=") {
+		t.Errorf("A5 render missing content:\n%s", buf.String())
+	}
+}
+
+func TestRunBatchAblation(t *testing.T) {
+	s, err := RunBatchAblation(scaled(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Points) != 2+2*len(BatchWindows) {
+		t.Fatalf("points = %d", len(s.Points))
+	}
+	get := func(label string) float64 {
+		for _, p := range s.Points {
+			if p.Label == label {
+				return p.Measurements[0].Utility
+			}
+		}
+		t.Fatalf("missing point %s", label)
+		return 0
+	}
+	online := get("ONLINE")
+	batch1 := get("BATCH(1)")
+	batchBig := get("BATCH(1024)")
+	if online <= 0 || batch1 <= 0 {
+		t.Fatal("zero utilities in batch ablation")
+	}
+	// A window of 1 with the adaptive threshold behaves like O-AFA.
+	if batch1 < 0.8*online || batch1 > 1.25*online {
+		t.Errorf("BATCH(1) %g should track ONLINE %g", batch1, online)
+	}
+	// Look-ahead cannot make things dramatically worse.
+	if batchBig < 0.9*batch1 {
+		t.Errorf("BATCH(1024) %g fell below BATCH(1) %g", batchBig, batch1)
+	}
+}
+
+func TestChartAndSparkline(t *testing.T) {
+	s, err := RunGSweep(scaled(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Chart(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "█") && !strings.Contains(out, "▉") {
+		t.Errorf("chart rendered no bars:\n%s", out)
+	}
+	if !strings.Contains(out, "g=1.1e") {
+		t.Errorf("chart missing knob labels:\n%s", out)
+	}
+	// Zero series.
+	buf.Reset()
+	if err := Chart(&buf, Series{ID: "Z", Points: []Point{{Label: "x", Measurements: []Measurement{{Solver: "S"}}}}}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "all utilities zero") {
+		t.Errorf("zero chart output: %s", buf.String())
+	}
+
+	if got := Sparkline(nil); got != "" {
+		t.Errorf("empty sparkline = %q", got)
+	}
+	if got := Sparkline([]float64{1, 1, 1}); len([]rune(got)) != 3 {
+		t.Errorf("constant sparkline = %q", got)
+	}
+	spark := []rune(Sparkline([]float64{0, 0.5, 1}))
+	if len(spark) != 3 || spark[0] != '▁' || spark[2] != '█' {
+		t.Errorf("sparkline = %q", string(spark))
+	}
+}
+
+func TestReplicate(t *testing.T) {
+	st := scaled()
+	s, err := Replicate(st, 3, 2, RunVendorScaling)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(s.Title, "mean of 3 runs") {
+		t.Errorf("title = %q", s.Title)
+	}
+	if len(s.Points) != len(Fig8Vendors) {
+		t.Fatalf("points = %d", len(s.Points))
+	}
+	sdSeen := false
+	for _, p := range s.Points {
+		for _, m := range p.Measurements {
+			if m.UtilitySD < 0 {
+				t.Fatalf("negative SD at %s/%s", p.Label, m.Solver)
+			}
+			if m.UtilitySD > 0 {
+				sdSeen = true
+			}
+		}
+	}
+	if !sdSeen {
+		t.Error("three distinct seeds should produce nonzero variance somewhere")
+	}
+	// repeats = 1 passes the single run through untouched.
+	one, err := Replicate(st, 1, 2, RunVendorScaling)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(one.Title, "mean of") {
+		t.Error("single run must not claim replication")
+	}
+	if _, err := Replicate(st, 0, 2, RunVendorScaling); err == nil {
+		t.Error("repeats < 1 must be rejected")
+	}
+}
+
+func TestRunTuningStudy(t *testing.T) {
+	results, err := RunTuningStudy(scaled(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 5 {
+		t.Fatalf("days = %d", len(results))
+	}
+	if results[0].GammaMin != 0 {
+		t.Error("day 0 must cold-start")
+	}
+	for _, r := range results[1:] {
+		if r.GammaMin <= 0 {
+			t.Errorf("day %d not warmed", r.Day)
+		}
+	}
+	var buf bytes.Buffer
+	if err := RenderTuningStudy(&buf, results); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "A7") || !strings.Contains(buf.String(), "cold start") {
+		t.Errorf("A7 render missing content:\n%s", buf.String())
+	}
+}
+
+func TestRunByIDDispatch(t *testing.T) {
+	st := scaled()
+	var buf bytes.Buffer
+	for id, frag := range map[string]string{
+		"e1":   "Worked Example 1",
+		"a2":   "Threshold Base g",
+		"a4":   "RECON/OPT",
+		"A2":   "Threshold Base g", // case-insensitive
+		"fig8": "Number n of Vendors",
+	} {
+		buf.Reset()
+		if err := RunByID(&buf, id, st, 2, 1, Text); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if !strings.Contains(buf.String(), frag) {
+			t.Errorf("%s output missing %q", id, frag)
+		}
+	}
+	if err := RunByID(&buf, "nope", st, 2, 1, Text); err == nil {
+		t.Error("unknown id must be rejected")
+	}
+	// Formats.
+	buf.Reset()
+	if err := RunByID(&buf, "a2", st, 2, 1, CSVFormat); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "id,x,label") {
+		t.Errorf("CSV format output: %q", buf.String()[:40])
+	}
+	buf.Reset()
+	if err := RunByID(&buf, "a2", st, 2, 1, ChartFormat); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "█") && !strings.Contains(buf.String(), "▏") {
+		t.Error("chart format produced no bars")
+	}
+}
+
+func TestMarkdownRender(t *testing.T) {
+	s, err := Replicate(scaled(), 2, 2, RunVendorScaling)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Markdown(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, frag := range []string{"## Fig8", "| n |", "RECON", "±"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("markdown missing %q:\n%s", frag, out)
+		}
+	}
+	// Unreplicated series have no ± columns.
+	single, err := RunVendorScaling(scaled(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := Markdown(&buf, single); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "±") {
+		t.Error("single run must not show sd")
+	}
+}
+
+func TestRunIndexAblation(t *testing.T) {
+	points, err := RunIndexAblation(scaled(), 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("points = %d", len(points))
+	}
+	for _, p := range points {
+		if p.GridQuery <= 0 || p.KDQuery <= 0 || p.GridBuild <= 0 || p.KDBuild <= 0 {
+			t.Fatalf("unmeasured timings: %+v", p)
+		}
+		if p.Customers != 200 {
+			t.Fatalf("customer count %d", p.Customers)
+		}
+	}
+	var buf bytes.Buffer
+	if err := RenderIndexAblation(&buf, points); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "A8") || !strings.Contains(buf.String(), "kd-tree") {
+		t.Errorf("A8 render:\n%s", buf.String())
+	}
+	// RunByID dispatch.
+	buf.Reset()
+	if err := RunByID(&buf, "a8", scaled(), 2, 1, Text); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "grid:") {
+		t.Error("a8 dispatch output wrong")
+	}
+}

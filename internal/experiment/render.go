@@ -1,0 +1,191 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+	"time"
+)
+
+// Render writes the series as two aligned text tables — the utility panel
+// (the figures' "(a)") and the running-time panel ("(b)") — matching what
+// the paper plots. Series whose points carry a single measurement each
+// (the ablations) render as one long-form table instead.
+func Render(w io.Writer, s Series) error {
+	if _, err := fmt.Fprintf(w, "%s — %s\n", s.ID, s.Title); err != nil {
+		return err
+	}
+	if singleMeasurement(s) {
+		return renderLongForm(w, s)
+	}
+	solvers := s.Solvers()
+	if err := renderPanel(w, s, solvers, "(a) overall utility", func(m Measurement) string {
+		return fmt.Sprintf("%.4f", m.Utility)
+	}); err != nil {
+		return err
+	}
+	return renderPanel(w, s, solvers, "(b) running time", func(m Measurement) string {
+		return formatDuration(m.Duration)
+	})
+}
+
+func singleMeasurement(s Series) bool {
+	if len(s.Points) == 0 {
+		return false
+	}
+	for _, p := range s.Points {
+		if len(p.Measurements) != 1 {
+			return false
+		}
+	}
+	return true
+}
+
+func renderLongForm(w io.Writer, s Series) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "%s\tutility\tads\ttime\n", s.XLabel)
+	for _, p := range s.Points {
+		m := p.Measurements[0]
+		fmt.Fprintf(tw, "%s\t%.4f\t%d\t%s\n", p.Label, m.Utility, m.Instances, formatDuration(m.Duration))
+	}
+	return tw.Flush()
+}
+
+func renderPanel(w io.Writer, s Series, solvers []string, caption string, cell func(Measurement) string) error {
+	if _, err := fmt.Fprintf(w, "%s\n", caption); err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "%s", s.XLabel)
+	for _, name := range solvers {
+		fmt.Fprintf(tw, "\t%s", name)
+	}
+	fmt.Fprintln(tw)
+	for _, p := range s.Points {
+		fmt.Fprintf(tw, "%s", p.Label)
+		for _, name := range solvers {
+			if m, ok := p.Get(name); ok {
+				fmt.Fprintf(tw, "\t%s", cell(m))
+			} else {
+				fmt.Fprint(tw, "\t-")
+			}
+		}
+		fmt.Fprintln(tw)
+	}
+	return tw.Flush()
+}
+
+func formatDuration(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.1fms", float64(d.Microseconds())/1000)
+	default:
+		return fmt.Sprintf("%dµs", d.Microseconds())
+	}
+}
+
+// Markdown writes the series' utility panel as a GitHub-flavoured Markdown
+// table (EXPERIMENTS.md's tables come from this). Replicated series include
+// ±sd columns.
+func Markdown(w io.Writer, s Series) error {
+	if _, err := fmt.Fprintf(w, "## %s — %s\n\n", s.ID, s.Title); err != nil {
+		return err
+	}
+	solvers := s.Solvers()
+	hasSD := false
+	for _, p := range s.Points {
+		for _, m := range p.Measurements {
+			if m.UtilitySD > 0 {
+				hasSD = true
+			}
+		}
+	}
+	header := "| " + s.XLabel + " |"
+	rule := "|---|"
+	for _, name := range solvers {
+		header += " " + name + " |"
+		rule += "---|"
+	}
+	if _, err := fmt.Fprintln(w, header); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, rule); err != nil {
+		return err
+	}
+	for _, p := range s.Points {
+		row := "| " + p.Label + " |"
+		for _, name := range solvers {
+			m, ok := p.Get(name)
+			switch {
+			case !ok:
+				row += " — |"
+			case hasSD && m.UtilitySD > 0:
+				row += fmt.Sprintf(" %.2f ± %.2f |", m.Utility, m.UtilitySD)
+			default:
+				row += fmt.Sprintf(" %.2f |", m.Utility)
+			}
+		}
+		if _, err := fmt.Fprintln(w, row); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// CSV writes the series as long-form CSV: id,x,label,solver,utility,
+// duration_ms,instances. One row per (point, solver).
+func CSV(w io.Writer, s Series) error {
+	if _, err := fmt.Fprintln(w, "id,x,label,solver,utility,duration_ms,instances"); err != nil {
+		return err
+	}
+	for _, p := range s.Points {
+		for _, m := range p.Measurements {
+			label := strings.ReplaceAll(p.Label, ",", ";")
+			if _, err := fmt.Fprintf(w, "%s,%g,%s,%s,%.6f,%.3f,%d\n",
+				s.ID, p.X, label, m.Solver, m.Utility,
+				float64(m.Duration.Microseconds())/1000, m.Instances); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// RenderExample1 writes the E1 report.
+func RenderExample1(w io.Writer, r Example1Result) error {
+	fmt.Fprintln(w, "E1 — Worked Example 1 (Section I, Tables I–II)")
+	fmt.Fprintf(w, "paper's possible solution utility:  %.6f (paper: 0.0357)\n", r.PossibleUtility)
+	fmt.Fprintf(w, "paper's claimed optimum utility:    %.6f (paper: 0.0504)\n", r.ClaimedOptUtility)
+	fmt.Fprintf(w, "true optimum (branch-and-bound):    %.6f (the paper's claimed optimum is slightly sub-optimal)\n", r.TrueOptUtility)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "solver\tutility\tads\ttime")
+	for _, m := range r.Solvers {
+		fmt.Fprintf(tw, "%s\t%.6f\t%d\t%s\n", m.Solver, m.Utility, m.Instances, formatDuration(m.Duration))
+	}
+	return tw.Flush()
+}
+
+// RenderRatioStudy writes the A4 report.
+func RenderRatioStudy(w io.Writer, points []RatioPoint) error {
+	fmt.Fprintln(w, "A4 — Empirical Approximation / Competitive Ratios vs EXACT (tiny instances)")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "seed\tOPT\tRECON\tONLINE\tθ\tRECON/OPT\tONLINE/OPT\tθ/(ln g+1)")
+	var sumR, sumO float64
+	for _, p := range points {
+		fmt.Fprintf(tw, "%d\t%.4f\t%.4f\t%.4f\t%.3f\t%.3f\t%.3f\t%.3f\n",
+			p.Seed, p.Optimal, p.Recon, p.Online, p.Theta, p.ReconRatio, p.OnlineRatio, p.TheoreticalComp)
+		sumR += p.ReconRatio
+		sumO += p.OnlineRatio
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	n := float64(len(points))
+	_, err := fmt.Fprintf(w, "mean RECON/OPT = %.3f, mean ONLINE/OPT = %.3f over %d instances\n",
+		sumR/n, sumO/n, len(points))
+	return err
+}

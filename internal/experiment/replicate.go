@@ -1,0 +1,89 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"muaa/internal/stats"
+)
+
+// Replicate runs a series runner repeats times under consecutive master
+// seeds and merges the results: each (point, solver) measurement becomes the
+// mean utility/duration across runs, with the utility's sample standard
+// deviation recorded in Measurement.UtilitySD. Replication is how the
+// harness reports error bars; single runs leave UtilitySD at zero.
+//
+// All runs must produce the same point labels and solver sets (they do, for
+// every runner in this package — knob lists are static); a mismatch is
+// reported as an error rather than silently misaligned.
+func Replicate(st Settings, repeats, workers int,
+	run func(Settings, int) (Series, error)) (Series, error) {
+	if repeats < 1 {
+		return Series{}, fmt.Errorf("experiment: repeats %d < 1", repeats)
+	}
+	base, err := run(st, workers)
+	if err != nil {
+		return Series{}, err
+	}
+	if repeats == 1 {
+		return base, nil
+	}
+	// utilities[point][solver] collects per-run samples.
+	type key struct {
+		point  int
+		solver string
+	}
+	utilities := map[key][]float64{}
+	durations := map[key][]float64{}
+	instances := map[key][]float64{}
+	record := func(s Series) error {
+		if len(s.Points) != len(base.Points) {
+			return fmt.Errorf("experiment: replicate run produced %d points, want %d", len(s.Points), len(base.Points))
+		}
+		for pi, p := range s.Points {
+			if p.Label != base.Points[pi].Label {
+				return fmt.Errorf("experiment: replicate point %d label %q, want %q", pi, p.Label, base.Points[pi].Label)
+			}
+			for _, m := range p.Measurements {
+				k := key{pi, m.Solver}
+				utilities[k] = append(utilities[k], m.Utility)
+				durations[k] = append(durations[k], float64(m.Duration))
+				instances[k] = append(instances[k], float64(m.Instances))
+			}
+		}
+		return nil
+	}
+	if err := record(base); err != nil {
+		return Series{}, err
+	}
+	for rep := 1; rep < repeats; rep++ {
+		cfg := st
+		cfg.Seed = st.Seed + int64(rep)
+		s, err := run(cfg, workers)
+		if err != nil {
+			return Series{}, err
+		}
+		if err := record(s); err != nil {
+			return Series{}, err
+		}
+	}
+	out := Series{ID: base.ID, Title: base.Title + fmt.Sprintf(" (mean of %d runs)", repeats), XLabel: base.XLabel}
+	for pi, bp := range base.Points {
+		p := Point{Label: bp.Label, X: bp.X}
+		for _, bm := range bp.Measurements {
+			k := key{pi, bm.Solver}
+			us := stats.Summarize(utilities[k])
+			ds := stats.Summarize(durations[k])
+			is := stats.Summarize(instances[k])
+			p.Measurements = append(p.Measurements, Measurement{
+				Solver:    bm.Solver,
+				Utility:   us.Mean,
+				UtilitySD: us.SD,
+				Duration:  time.Duration(ds.Mean),
+				Instances: int(is.Mean + 0.5),
+			})
+		}
+		out.Points = append(out.Points, p)
+	}
+	return out, nil
+}

@@ -1,0 +1,135 @@
+package experiment
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"muaa/internal/core"
+	"muaa/internal/model"
+)
+
+// Measurement is one solver's result at one sweep point: the two panels the
+// paper's figures plot, overall utility and running time.
+type Measurement struct {
+	Solver  string
+	Utility float64
+	// UtilitySD is the sample standard deviation of Utility across
+	// replicated runs (Replicate); zero for single runs.
+	UtilitySD float64
+	Duration  time.Duration
+	// Instances is the number of ads pushed; not plotted by the paper but
+	// handy when reading results.
+	Instances int
+}
+
+// Point is one knob setting of a sweep with the measurements of every
+// solver.
+type Point struct {
+	Label        string  // human-readable knob value, e.g. "[10, 20]"
+	X            float64 // numeric knob position for plotting
+	Measurements []Measurement
+}
+
+// Get returns the measurement of the named solver, if present.
+func (p Point) Get(solver string) (Measurement, bool) {
+	for _, m := range p.Measurements {
+		if m.Solver == solver {
+			return m, true
+		}
+	}
+	return Measurement{}, false
+}
+
+// Series is a full experiment: the regenerated figure.
+type Series struct {
+	ID     string // e.g. "Fig3"
+	Title  string
+	XLabel string
+	Points []Point
+}
+
+// Solvers returns the solver names appearing in the series, in first-seen
+// order.
+func (s Series) Solvers() []string {
+	var names []string
+	seen := map[string]bool{}
+	for _, p := range s.Points {
+		for _, m := range p.Measurements {
+			if !seen[m.Solver] {
+				seen[m.Solver] = true
+				names = append(names, m.Solver)
+			}
+		}
+	}
+	return names
+}
+
+// defaultSolvers is the evaluation-section competitor set.
+func defaultSolvers(st Settings) []core.Solver {
+	return []core.Solver{
+		core.Random{Seed: st.Seed},
+		core.Nearest{},
+		core.Greedy{},
+		core.Recon{Seed: st.Seed},
+		core.OnlineAFA{G: st.G, Seed: st.Seed},
+	}
+}
+
+// runSolvers times each solver on the problem sequentially (so wall-clock
+// durations are not polluted by sibling solvers).
+func runSolvers(p *model.Problem, solvers []core.Solver) ([]Measurement, error) {
+	out := make([]Measurement, 0, len(solvers))
+	for _, s := range solvers {
+		start := time.Now()
+		a, err := s.Solve(p)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: %s: %w", s.Name(), err)
+		}
+		out = append(out, Measurement{
+			Solver:    s.Name(),
+			Utility:   a.Utility,
+			Duration:  time.Since(start),
+			Instances: len(a.Instances),
+		})
+	}
+	return out, nil
+}
+
+// sweep evaluates build(i) for every knob index in a bounded worker pool.
+// Points are returned in knob order regardless of completion order. The
+// pool parallelizes across knob settings; solvers within a point stay
+// sequential so their timings remain meaningful.
+func sweep(n int, workers int, build func(i int) (Point, error)) ([]Point, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	points := make([]Point, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				points[i], errs[i] = build(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return points, nil
+}

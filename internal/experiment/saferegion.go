@@ -1,0 +1,117 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"muaa/internal/geo"
+	"muaa/internal/mobility"
+	"muaa/internal/stats"
+	"muaa/internal/workload"
+)
+
+// SafeRegionPoint is one row of the A5 study: for a given vendor count, how
+// many of the movement samples required a full vendor scan with the
+// safe-region tracker versus the always-recompute baseline.
+type SafeRegionPoint struct {
+	Vendors      int
+	Customers    int
+	Samples      int           // total movement samples across all customers
+	Recomputes   int           // scans paid by the tracker
+	SavedPercent float64       // 100·(1 − Recomputes/Samples)
+	TrackerTime  time.Duration // wall time with safe regions
+	NaiveTime    time.Duration // wall time recomputing every sample
+}
+
+// RunSafeRegionStudy (A5) quantifies the safe-region optimization the paper
+// imports from Xu et al. [26] for moving customers: each simulated customer
+// follows a random-waypoint trajectory sampled at a fixed interval, and the
+// tracker recomputes the covering-vendor set only on region exit. The study
+// sweeps the vendor count (the scan cost the optimization amortizes).
+func RunSafeRegionStudy(st Settings, customers, samplesPerCustomer int) ([]SafeRegionPoint, error) {
+	if customers <= 0 {
+		customers = 20
+	}
+	if samplesPerCustomer <= 0 {
+		samplesPerCustomer = 500
+	}
+	vendorCounts := []int{100, 500, 2000}
+	var out []SafeRegionPoint
+	for _, n := range vendorCounts {
+		p, err := workload.Synthetic(workload.Config{
+			Customers: 1, // vendors are all we need
+			Vendors:   n,
+			Budget:    st.Budget,
+			Radius:    st.Radius,
+			Capacity:  st.Capacity,
+			ViewProb:  st.ViewProb,
+			Seed:      st.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rng := stats.NewRand(st.Seed + int64(n))
+		pt := SafeRegionPoint{Vendors: n, Customers: customers}
+
+		type walk struct {
+			tr *mobility.Trajectory
+			dt float64
+		}
+		walks := make([]walk, customers)
+		for c := range walks {
+			tr, err := mobility.RandomWaypoint(rng, geo.UnitSquare, 6, 3, 0)
+			if err != nil {
+				return nil, err
+			}
+			span := tr.End() - tr.Start()
+			dt := span / float64(samplesPerCustomer)
+			if dt <= 0 {
+				dt = 1e-6
+			}
+			walks[c] = walk{tr: tr, dt: dt}
+		}
+
+		start := time.Now()
+		for _, w := range walks {
+			tk := mobility.NewTracker(p.Vendors)
+			for at := w.tr.Start(); at <= w.tr.End(); at += w.dt {
+				tk.Update(w.tr.At(at))
+			}
+			u, r := tk.Counters()
+			pt.Samples += u
+			pt.Recomputes += r
+		}
+		pt.TrackerTime = time.Since(start)
+
+		start = time.Now()
+		for _, w := range walks {
+			for at := w.tr.Start(); at <= w.tr.End(); at += w.dt {
+				mobility.ComputeSafeRegion(w.tr.At(at), p.Vendors)
+			}
+		}
+		pt.NaiveTime = time.Since(start)
+
+		if pt.Samples > 0 {
+			pt.SavedPercent = 100 * (1 - float64(pt.Recomputes)/float64(pt.Samples))
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// RenderSafeRegionStudy writes the A5 report.
+func RenderSafeRegionStudy(w io.Writer, points []SafeRegionPoint) error {
+	if _, err := fmt.Fprintln(w, "A5 — Safe-Region Tracking for Moving Customers (vs recompute-per-sample)"); err != nil {
+		return err
+	}
+	for _, p := range points {
+		if _, err := fmt.Fprintf(w,
+			"n=%-5d customers=%d samples=%d scans=%d saved=%.1f%%  tracker=%v naive=%v\n",
+			p.Vendors, p.Customers, p.Samples, p.Recomputes, p.SavedPercent,
+			p.TrackerTime.Round(time.Millisecond), p.NaiveTime.Round(time.Millisecond)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

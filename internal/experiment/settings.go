@@ -1,0 +1,82 @@
+// Package experiment is the harness regenerating every table and figure of
+// the paper's evaluation (Section V): per-figure parameter sweeps over the
+// real-data-style (simulated check-in) and synthetic workloads, running
+// RANDOM / NEAREST / GREEDY / RECON / ONLINE and reporting overall utility
+// and CPU time per knob setting — the same two panels each figure plots.
+// DESIGN.md §5 maps experiment IDs to runners; EXPERIMENTS.md records the
+// measured outcomes against the paper's shapes.
+package experiment
+
+import (
+	"fmt"
+
+	"muaa/internal/stats"
+)
+
+// Settings are the default experiment parameters (the paper's Table IV
+// defaults as far as the text states them; see DESIGN.md §5). Every sweep
+// starts from DefaultSettings and varies exactly one knob.
+type Settings struct {
+	Customers int
+	Vendors   int
+	Budget    stats.Range
+	Radius    stats.Range
+	Capacity  stats.Range
+	ViewProb  stats.Range
+	// G is the O-AFA threshold base g (> e); 0 selects the paper's tuning
+	// rule g = e·γ_max/γ_min estimated per problem instance.
+	G float64
+	// Seed drives workload generation and every randomized solver.
+	Seed int64
+}
+
+// DefaultSettings returns the paper's default configuration.
+func DefaultSettings() Settings {
+	return Settings{
+		Customers: 10000,
+		Vendors:   500,
+		Budget:    stats.Range{Lo: 10, Hi: 20},
+		Radius:    stats.Range{Lo: 0.02, Hi: 0.03},
+		Capacity:  stats.Range{Lo: 1, Hi: 6},
+		ViewProb:  stats.Range{Lo: 0.1, Hi: 0.5},
+		G:         0, // auto: g = e·γ_max/γ_min per instance
+		Seed:      42,
+	}
+}
+
+// Scale shrinks entity counts by factor f (for tests and laptop-quick
+// benches) without touching the per-entity ranges. Counts keep a floor so a
+// scaled experiment still exercises every code path.
+func (s Settings) Scale(f float64) Settings {
+	if f <= 0 || f > 1 {
+		panic(fmt.Sprintf("experiment: scale %g outside (0,1]", f))
+	}
+	s.Customers = maxInt(20, int(float64(s.Customers)*f))
+	s.Vendors = maxInt(5, int(float64(s.Vendors)*f))
+	return s
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// The per-figure knob lists, verbatim from Section V-B/V-C.
+var (
+	// Fig3Budgets: effect of the range [B−, B+] of vendor budgets.
+	Fig3Budgets = []stats.Range{{Lo: 1, Hi: 5}, {Lo: 5, Hi: 10}, {Lo: 10, Hi: 20}, {Lo: 20, Hi: 30}, {Lo: 30, Hi: 40}, {Lo: 40, Hi: 50}}
+	// Fig4Radii: effect of the range [r−, r+] of vendor areas.
+	Fig4Radii = []stats.Range{{Lo: 0.01, Hi: 0.02}, {Lo: 0.02, Hi: 0.03}, {Lo: 0.03, Hi: 0.04}, {Lo: 0.04, Hi: 0.05}}
+	// Fig5Capacities: effect of the range [a−, a+] of customer capacities.
+	Fig5Capacities = []stats.Range{{Lo: 1, Hi: 4}, {Lo: 1, Hi: 6}, {Lo: 1, Hi: 8}, {Lo: 1, Hi: 10}}
+	// Fig6ViewProbs: effect of the range [p−, p+] of viewing probabilities.
+	Fig6ViewProbs = []stats.Range{{Lo: 0.1, Hi: 0.3}, {Lo: 0.1, Hi: 0.5}, {Lo: 0.1, Hi: 0.7}, {Lo: 0.1, Hi: 0.9}}
+	// Fig7Customers: effect of the number m of customers (synthetic).
+	Fig7Customers = []int{4000, 10000, 25000, 50000, 100000}
+	// Fig8Vendors: effect of the number n of vendors (synthetic).
+	Fig8Vendors = []int{300, 500, 1000, 1500, 2000}
+	// AblationGs: the g multiples (of e) for the A2 ablation.
+	AblationGs = []float64{1.1, 2, 4, 8, 16}
+)

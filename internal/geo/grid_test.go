@@ -1,0 +1,275 @@
+package geo
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func randomPoints(r *rand.Rand, n int) []Point {
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Point{r.Float64(), r.Float64()}
+	}
+	return pts
+}
+
+func buildGrid(pts []Point, cells int) *Grid {
+	g := NewGrid(UnitSquare, cells)
+	for i, p := range pts {
+		g.Insert(int32(i), p)
+	}
+	return g
+}
+
+func bruteWithin(pts []Point, c Point, r float64) []int32 {
+	var out []int32
+	for i, p := range pts {
+		if p.Dist2(c) <= r*r {
+			out = append(out, int32(i))
+		}
+	}
+	return out
+}
+
+func sortIDs(ids []int32) []int32 {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+func equalIDs(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestGridWithinMatchesBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, n := range []int{0, 1, 10, 200, 1000} {
+		for _, cells := range []int{1, 4, 32, 100} {
+			pts := randomPoints(r, n)
+			g := buildGrid(pts, cells)
+			for trial := 0; trial < 25; trial++ {
+				c := Point{r.Float64(), r.Float64()}
+				radius := r.Float64() * 0.3
+				got := sortIDs(g.Within(nil, c, radius))
+				want := sortIDs(bruteWithin(pts, c, radius))
+				if !equalIDs(got, want) {
+					t.Fatalf("n=%d cells=%d Within(%v, %g): got %v want %v", n, cells, c, radius, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestGridWithinNegativeRadius(t *testing.T) {
+	g := buildGrid([]Point{{0.5, 0.5}}, 8)
+	if got := g.Within(nil, Point{0.5, 0.5}, -1); len(got) != 0 {
+		t.Errorf("negative radius should match nothing, got %v", got)
+	}
+}
+
+func TestGridWithinReusesDst(t *testing.T) {
+	g := buildGrid([]Point{{0.5, 0.5}, {0.9, 0.9}}, 8)
+	dst := make([]int32, 0, 4)
+	dst = append(dst, 99)
+	got := g.Within(dst, Point{0.5, 0.5}, 0.01)
+	if len(got) != 2 || got[0] != 99 || got[1] != 0 {
+		t.Errorf("Within must append to dst, got %v", got)
+	}
+}
+
+func TestGridCoveredByMatchesBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for _, n := range []int{0, 1, 50, 500} {
+		pts := randomPoints(r, n)
+		radii := make([]float64, n)
+		g := NewGrid(UnitSquare, 32)
+		for i, p := range pts {
+			radii[i] = r.Float64() * 0.1
+			g.InsertWithRadius(int32(i), p, radii[i])
+		}
+		for trial := 0; trial < 25; trial++ {
+			q := Point{r.Float64(), r.Float64()}
+			var want []int32
+			for i, p := range pts {
+				if p.Dist2(q) <= radii[i]*radii[i] {
+					want = append(want, int32(i))
+				}
+			}
+			got := sortIDs(g.CoveredBy(nil, q))
+			if !equalIDs(got, sortIDs(want)) {
+				t.Fatalf("n=%d CoveredBy(%v): got %v want %v", n, q, got, want)
+			}
+		}
+	}
+}
+
+func TestGridCoveredByIgnoresRadiusless(t *testing.T) {
+	g := NewGrid(UnitSquare, 8)
+	g.Insert(0, Point{0.5, 0.5})                  // no radius: never covers
+	g.InsertWithRadius(1, Point{0.5, 0.5}, 0.2)   // covers nearby queries
+	g.InsertWithRadius(2, Point{0.9, 0.9}, 0.001) // too far
+	got := sortIDs(g.CoveredBy(nil, Point{0.55, 0.5}))
+	if !equalIDs(got, []int32{1}) {
+		t.Errorf("CoveredBy = %v, want [1]", got)
+	}
+}
+
+func TestGridNearest(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for _, n := range []int{1, 2, 17, 300} {
+		pts := randomPoints(r, n)
+		g := buildGrid(pts, 16)
+		for trial := 0; trial < 40; trial++ {
+			q := Point{r.Float64(), r.Float64()}
+			id, d, ok := g.Nearest(q)
+			if !ok {
+				t.Fatalf("Nearest on non-empty grid reported no result")
+			}
+			bestD := math.Inf(1)
+			for _, p := range pts {
+				if dd := p.Dist(q); dd < bestD {
+					bestD = dd
+				}
+			}
+			if math.Abs(d-bestD) > 1e-9 {
+				t.Fatalf("n=%d Nearest(%v) id=%d d=%g, brute force d=%g", n, q, id, d, bestD)
+			}
+			if got := pts[id].Dist(q); math.Abs(got-bestD) > 1e-9 {
+				t.Fatalf("Nearest returned id %d at distance %g, want %g", id, got, bestD)
+			}
+		}
+	}
+}
+
+func TestGridNearestEmpty(t *testing.T) {
+	g := NewGrid(UnitSquare, 4)
+	if _, _, ok := g.Nearest(Point{0.5, 0.5}); ok {
+		t.Error("Nearest on empty grid must report !ok")
+	}
+}
+
+func TestGridKNearestMatchesBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	pts := randomPoints(r, 120)
+	g := buildGrid(pts, 16)
+	for trial := 0; trial < 30; trial++ {
+		q := Point{r.Float64(), r.Float64()}
+		for _, k := range []int{1, 3, 7, 120, 500} {
+			got := g.KNearest(q, k)
+			idx := make([]int32, len(pts))
+			for i := range idx {
+				idx[i] = int32(i)
+			}
+			sort.Slice(idx, func(a, b int) bool {
+				da, db := pts[idx[a]].Dist2(q), pts[idx[b]].Dist2(q)
+				if da != db {
+					return da < db
+				}
+				return idx[a] < idx[b]
+			})
+			wantLen := k
+			if wantLen > len(pts) {
+				wantLen = len(pts)
+			}
+			want := idx[:wantLen]
+			if len(got) != wantLen {
+				t.Fatalf("k=%d: got %d ids, want %d", k, len(got), wantLen)
+			}
+			for i := range got {
+				// Compare by distance (ids may legitimately differ on exact ties).
+				dg := pts[got[i]].Dist2(q)
+				dw := pts[want[i]].Dist2(q)
+				if math.Abs(dg-dw) > 1e-12 {
+					t.Fatalf("k=%d pos=%d: got id %d (d2=%g) want id %d (d2=%g)", k, i, got[i], dg, want[i], dw)
+				}
+			}
+		}
+	}
+}
+
+func TestGridKNearestDegenerate(t *testing.T) {
+	g := NewGrid(UnitSquare, 4)
+	if got := g.KNearest(Point{0.5, 0.5}, 3); got != nil {
+		t.Errorf("KNearest on empty grid = %v, want nil", got)
+	}
+	g.Insert(0, Point{0.1, 0.1})
+	if got := g.KNearest(Point{0.5, 0.5}, 0); got != nil {
+		t.Errorf("KNearest k=0 = %v, want nil", got)
+	}
+}
+
+func TestGridDuplicateInsertPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate Insert must panic")
+		}
+	}()
+	g := NewGrid(UnitSquare, 4)
+	g.Insert(1, Point{0.1, 0.1})
+	g.Insert(1, Point{0.2, 0.2})
+}
+
+func TestNewGridValidation(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s must panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("zero cells", func() { NewGrid(UnitSquare, 0) })
+	mustPanic("degenerate bounds", func() { NewGrid(Rect{Point{0, 0}, Point{0, 1}}, 4) })
+	mustPanic("negative radius", func() {
+		g := NewGrid(UnitSquare, 4)
+		g.InsertWithRadius(0, Point{0.5, 0.5}, -0.1)
+	})
+}
+
+func TestGridResolution(t *testing.T) {
+	if got := GridResolution(1000, 0.02); got < 1 || got > 512 {
+		t.Errorf("GridResolution out of bounds: %d", got)
+	}
+	if got := GridResolution(10, 0); got < 1 {
+		t.Errorf("GridResolution with zero radius = %d", got)
+	}
+	if got := GridResolution(4, 1e-9); got > 512 {
+		t.Errorf("GridResolution must cap at 512, got %d", got)
+	}
+}
+
+func TestGridPointLookup(t *testing.T) {
+	g := buildGrid([]Point{{0.25, 0.75}}, 4)
+	if p, ok := g.Point(0); !ok || p != (Point{0.25, 0.75}) {
+		t.Errorf("Point(0) = %v,%v", p, ok)
+	}
+	if _, ok := g.Point(42); ok {
+		t.Error("Point on unknown id must report !ok")
+	}
+	if g.Len() != 1 {
+		t.Errorf("Len = %d, want 1", g.Len())
+	}
+	if g.Bounds() != UnitSquare {
+		t.Errorf("Bounds = %v", g.Bounds())
+	}
+}
+
+func TestGridQueryOutsideBounds(t *testing.T) {
+	// Queries outside the indexed region must not panic and must still find
+	// in-bounds points within range.
+	g := buildGrid([]Point{{0.01, 0.01}}, 8)
+	got := g.Within(nil, Point{-0.05, -0.05}, 0.2)
+	if len(got) != 1 || got[0] != 0 {
+		t.Errorf("out-of-bounds query missed in-range point: %v", got)
+	}
+}

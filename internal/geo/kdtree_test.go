@@ -1,0 +1,231 @@
+package geo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func buildBoth(pts []Point, radii []float64) (*Grid, *KDTree) {
+	ids := make([]int32, len(pts))
+	for i := range ids {
+		ids[i] = int32(i)
+	}
+	g := NewGrid(UnitSquare, 16)
+	var t *KDTree
+	if radii == nil {
+		for i, p := range pts {
+			g.Insert(int32(i), p)
+		}
+		t = BuildKDTree(ids, pts)
+	} else {
+		for i, p := range pts {
+			g.InsertWithRadius(int32(i), p, radii[i])
+		}
+		t = BuildKDTreeWithRadii(ids, pts, radii)
+	}
+	return g, t
+}
+
+func TestKDTreeWithinMatchesGrid(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, n := range []int{0, 1, 7, 100, 800} {
+		pts := randomPoints(rng, n)
+		g, kd := buildBoth(pts, nil)
+		for trial := 0; trial < 30; trial++ {
+			c := Point{X: rng.Float64(), Y: rng.Float64()}
+			r := rng.Float64() * 0.3
+			want := sortIDs(g.Within(nil, c, r))
+			got := sortIDs(kd.Within(nil, c, r))
+			if !equalIDs(got, want) {
+				t.Fatalf("n=%d Within(%v, %g): kd %v vs grid %v", n, c, r, got, want)
+			}
+		}
+	}
+}
+
+func TestKDTreeWithinNegativeRadius(t *testing.T) {
+	_, kd := buildBoth([]Point{{X: 0.5, Y: 0.5}}, nil)
+	if got := kd.Within(nil, Point{X: 0.5, Y: 0.5}, -1); len(got) != 0 {
+		t.Errorf("negative radius matched %v", got)
+	}
+}
+
+func TestKDTreeCoveredByMatchesGrid(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for _, n := range []int{0, 1, 50, 400} {
+		pts := randomPoints(rng, n)
+		radii := make([]float64, n)
+		for i := range radii {
+			radii[i] = rng.Float64() * 0.1
+		}
+		g, kd := buildBoth(pts, radii)
+		for trial := 0; trial < 30; trial++ {
+			q := Point{X: rng.Float64(), Y: rng.Float64()}
+			want := sortIDs(g.CoveredBy(nil, q))
+			got := sortIDs(kd.CoveredBy(nil, q))
+			if !equalIDs(got, want) {
+				t.Fatalf("n=%d CoveredBy(%v): kd %v vs grid %v", n, q, got, want)
+			}
+		}
+	}
+}
+
+func TestKDTreeCoveredByWithoutRadii(t *testing.T) {
+	_, kd := buildBoth([]Point{{X: 0.5, Y: 0.5}}, nil)
+	if got := kd.CoveredBy(nil, Point{X: 0.5, Y: 0.5}); len(got) != 0 {
+		t.Errorf("radius-less tree answered CoveredBy: %v", got)
+	}
+}
+
+func TestKDTreeKNearestMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	pts := randomPoints(rng, 150)
+	_, kd := buildBoth(pts, nil)
+	for trial := 0; trial < 40; trial++ {
+		q := Point{X: rng.Float64(), Y: rng.Float64()}
+		for _, k := range []int{1, 2, 5, 150, 999} {
+			got := kd.KNearest(q, k)
+			wantLen := k
+			if wantLen > len(pts) {
+				wantLen = len(pts)
+			}
+			if len(got) != wantLen {
+				t.Fatalf("k=%d: %d results, want %d", k, len(got), wantLen)
+			}
+			// Distances must be sorted and match the brute-force k-th set.
+			var all []float64
+			for _, p := range pts {
+				all = append(all, p.Dist2(q))
+			}
+			// Simple selection of the wantLen smallest distances.
+			for i := 0; i < wantLen; i++ {
+				minIdx := i
+				for j := i + 1; j < len(all); j++ {
+					if all[j] < all[minIdx] {
+						minIdx = j
+					}
+				}
+				all[i], all[minIdx] = all[minIdx], all[i]
+			}
+			prev := -1.0
+			for i, id := range got {
+				d2 := pts[id].Dist2(q)
+				if d2 < prev {
+					t.Fatalf("k=%d: results not distance-sorted", k)
+				}
+				prev = d2
+				if math.Abs(d2-all[i]) > 1e-12 {
+					t.Fatalf("k=%d pos=%d: kd distance %g, brute %g", k, i, d2, all[i])
+				}
+			}
+		}
+	}
+}
+
+func TestKDTreeKNearestDegenerate(t *testing.T) {
+	kd := BuildKDTree(nil, nil)
+	if got := kd.KNearest(Point{X: 0.5, Y: 0.5}, 3); got != nil {
+		t.Errorf("empty tree KNearest = %v", got)
+	}
+	kd = BuildKDTree([]int32{0}, []Point{{X: 0.1, Y: 0.1}})
+	if got := kd.KNearest(Point{X: 0.5, Y: 0.5}, 0); got != nil {
+		t.Errorf("k=0 KNearest = %v", got)
+	}
+	if kd.Len() != 1 {
+		t.Errorf("Len = %d", kd.Len())
+	}
+}
+
+func TestKDTreeDuplicatePoints(t *testing.T) {
+	pts := []Point{{X: 0.5, Y: 0.5}, {X: 0.5, Y: 0.5}, {X: 0.5, Y: 0.5}, {X: 0.9, Y: 0.9}}
+	kd := BuildKDTree([]int32{0, 1, 2, 3}, pts)
+	got := sortIDs(kd.Within(nil, Point{X: 0.5, Y: 0.5}, 0.01))
+	if !equalIDs(got, []int32{0, 1, 2}) {
+		t.Errorf("duplicates: Within = %v", got)
+	}
+	knn := kd.KNearest(Point{X: 0.5, Y: 0.5}, 3)
+	if len(knn) != 3 {
+		t.Fatalf("KNearest over duplicates = %v", knn)
+	}
+}
+
+func TestKDTreeValidation(t *testing.T) {
+	for name, f := range map[string]func(){
+		"id/point mismatch": func() { BuildKDTree([]int32{1}, nil) },
+		"radii mismatch":    func() { BuildKDTreeWithRadii([]int32{0}, []Point{{X: 0, Y: 0}}, nil) },
+		"negative radius":   func() { BuildKDTreeWithRadii([]int32{0}, []Point{{X: 0, Y: 0}}, []float64{-1}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s must panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Benchmarks backing the index-ablation discussion: grid vs k-d tree on the
+// paper's vendor workload shape (uniform points, small radii).
+func benchPoints(n int) ([]int32, []Point, []float64) {
+	rng := rand.New(rand.NewSource(42))
+	ids := make([]int32, n)
+	pts := make([]Point, n)
+	radii := make([]float64, n)
+	for i := range pts {
+		ids[i] = int32(i)
+		pts[i] = Point{X: rng.Float64(), Y: rng.Float64()}
+		radii[i] = 0.02 + 0.01*rng.Float64()
+	}
+	return ids, pts, radii
+}
+
+func BenchmarkGridCoveredBy(b *testing.B) {
+	ids, pts, radii := benchPoints(2000)
+	g := NewGrid(UnitSquare, GridResolution(len(pts), 0.03))
+	for i := range pts {
+		g.InsertWithRadius(ids[i], pts[i], radii[i])
+	}
+	q := Point{X: 0.5, Y: 0.5}
+	var dst []int32
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = g.CoveredBy(dst[:0], q)
+	}
+}
+
+func BenchmarkKDTreeCoveredBy(b *testing.B) {
+	ids, pts, radii := benchPoints(2000)
+	kd := BuildKDTreeWithRadii(ids, pts, radii)
+	q := Point{X: 0.5, Y: 0.5}
+	var dst []int32
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = kd.CoveredBy(dst[:0], q)
+	}
+}
+
+func BenchmarkGridKNearest(b *testing.B) {
+	ids, pts, _ := benchPoints(2000)
+	g := NewGrid(UnitSquare, GridResolution(len(pts), 0.03))
+	for i := range pts {
+		g.Insert(ids[i], pts[i])
+	}
+	q := Point{X: 0.5, Y: 0.5}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.KNearest(q, 10)
+	}
+}
+
+func BenchmarkKDTreeKNearest(b *testing.B) {
+	ids, pts, _ := benchPoints(2000)
+	kd := BuildKDTree(ids, pts)
+	q := Point{X: 0.5, Y: 0.5}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kd.KNearest(q, 10)
+	}
+}

@@ -1,0 +1,47 @@
+package knapsack_test
+
+import (
+	"fmt"
+
+	"muaa/internal/knapsack"
+)
+
+// ExampleGreedy assigns ad formats to two customers of one vendor — the
+// single-vendor subproblem RECON solves per vendor.
+func ExampleGreedy() {
+	// Class per customer; items are ad formats (cost, expected utility).
+	classes := []knapsack.Class{
+		{Items: []knapsack.Item{{Cost: 1, Profit: 0.4}, {Cost: 2, Profit: 0.9}}}, // u1
+		{Items: []knapsack.Item{{Cost: 1, Profit: 0.3}, {Cost: 2, Profit: 0.5}}}, // u2
+	}
+	sol := knapsack.Greedy(classes, 3) // vendor budget 3 $
+	fmt.Printf("value %.1f at cost %.0f, picks %v\n", sol.Value, sol.Cost, sol.Pick)
+	// Output:
+	// value 1.2 at cost 3, picks [1 0]
+}
+
+// ExampleFPTAS shows the (1−ε)-guaranteed solver on the same instance.
+func ExampleFPTAS() {
+	classes := []knapsack.Class{
+		{Items: []knapsack.Item{{Cost: 1, Profit: 0.4}, {Cost: 2, Profit: 0.9}}},
+		{Items: []knapsack.Item{{Cost: 1, Profit: 0.3}, {Cost: 2, Profit: 0.5}}},
+	}
+	sol := knapsack.FPTAS(classes, 3, 0.1)
+	exact := knapsack.Exact(classes, 3)
+	fmt.Printf("fptas %.1f ≥ 0.9 × exact %.1f: %v\n",
+		sol.Value, exact.Value, sol.Value >= 0.9*exact.Value)
+	// Output:
+	// fptas 1.2 ≥ 0.9 × exact 1.2: true
+}
+
+// ExampleKnapsack01 solves the classic textbook instance.
+func ExampleKnapsack01() {
+	picked, value := knapsack.Knapsack01(
+		[]int{2, 3, 4, 5},
+		[]float64{3, 4, 5, 6},
+		5,
+	)
+	fmt.Printf("value %.0f picking %v\n", value, picked)
+	// Output:
+	// value 7 picking [true true false false]
+}

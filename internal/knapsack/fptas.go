@@ -1,0 +1,132 @@
+package knapsack
+
+import (
+	"fmt"
+	"math"
+)
+
+// FPTAS solves MCKP to within (1−ε) of the optimum in time polynomial in the
+// instance size and 1/ε — the fully polynomial-time approximation scheme the
+// paper's analysis of the reconciliation approach leans on ("the utility
+// value of the solution obtained with the ε-approximate LP-relaxation
+// algorithm is at least (1−ε) of that of the optimal solution"). The scheme
+// is the classic profit-scaling dynamic program:
+//
+//  1. scale every profit to an integer p' = ⌊p/κ⌋ with κ = ε·P_max/n
+//     (n = number of classes, P_max = largest single profit);
+//  2. DP over scaled profit: the cheapest cost achieving each scaled total,
+//     choosing at most one item per class;
+//  3. return the picks of the largest scaled total whose cost fits.
+//
+// Rounding loses at most κ per class, hence at most ε·P_max ≤ ε·OPT overall.
+// The DP table has O(n²/ε) profit rows, so memory and time are O(n³·q/ε) in
+// the worst case — use Greedy for large instances where its one-item
+// additive loss is negligible, and FPTAS when the guarantee must be exact.
+func FPTAS(classes []Class, budget, eps float64) Solution {
+	if err := Validate(classes, budget); err != nil {
+		panic(err)
+	}
+	if eps <= 0 || eps >= 1 || math.IsNaN(eps) {
+		panic(fmt.Sprintf("knapsack: FPTAS ε = %g outside (0,1)", eps))
+	}
+	n := len(classes)
+	empty := Solution{Pick: make([]int, n)}
+	for i := range empty.Pick {
+		empty.Pick[i] = -1
+	}
+	if n == 0 {
+		return empty
+	}
+	pMax := 0.0
+	for _, c := range classes {
+		for _, it := range c.Items {
+			if it.Cost <= budget && it.Profit > pMax {
+				pMax = it.Profit
+			}
+		}
+	}
+	if pMax == 0 {
+		return empty
+	}
+	kappa := eps * pMax / float64(n)
+
+	// scaled[c][i] is item i of class c's integer profit; items that cannot
+	// fit alone are excluded by cost in the DP loop.
+	scaled := make([][]int, n)
+	maxTotal := 0
+	for ci, c := range classes {
+		scaled[ci] = make([]int, len(c.Items))
+		best := 0
+		for ii, it := range c.Items {
+			s := int(math.Floor(it.Profit / kappa))
+			scaled[ci][ii] = s
+			if s > best {
+				best = s
+			}
+		}
+		maxTotal += best
+	}
+
+	const inf = math.MaxFloat64
+	// cost[q] = cheapest cost achieving scaled profit exactly q with the
+	// classes processed so far; choice[c][q] = item picked for class c on
+	// the cheapest path to q (or -1).
+	cost := make([]float64, maxTotal+1)
+	next := make([]float64, maxTotal+1)
+	for q := 1; q <= maxTotal; q++ {
+		cost[q] = inf
+	}
+	choice := make([][]int32, n)
+	for ci, c := range classes {
+		choice[ci] = make([]int32, maxTotal+1)
+		copy(next, cost)
+		for q := range choice[ci] {
+			choice[ci][q] = -1
+		}
+		for ii, it := range c.Items {
+			if it.Cost > budget {
+				continue
+			}
+			s := scaled[ci][ii]
+			for q := maxTotal; q >= s; q-- {
+				if cost[q-s] == inf {
+					continue
+				}
+				if cand := cost[q-s] + it.Cost; cand < next[q] {
+					next[q] = cand
+					choice[ci][q] = int32(ii)
+				}
+			}
+		}
+		cost, next = next, cost
+	}
+
+	// Best achievable scaled profit within budget.
+	bestQ := 0
+	for q := maxTotal; q > 0; q-- {
+		if cost[q] <= budget+1e-12 {
+			bestQ = q
+			break
+		}
+	}
+	// Reconstruct: walk classes backwards. choice[ci][q] was recorded
+	// against the DP state *after* class ci, so peeling in reverse recovers
+	// one consistent optimal path.
+	sol := Solution{Pick: make([]int, n)}
+	for i := range sol.Pick {
+		sol.Pick[i] = -1
+	}
+	q := bestQ
+	for ci := n - 1; ci >= 0; ci-- {
+		ii := choice[ci][q]
+		if ii < 0 {
+			continue
+		}
+		sol.Pick[ci] = int(ii)
+		it := classes[ci].Items[ii]
+		sol.Value += it.Profit
+		sol.Cost += it.Cost
+		q -= scaled[ci][ii]
+	}
+	return sol
+}

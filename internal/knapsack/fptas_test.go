@@ -1,0 +1,114 @@
+package knapsack
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestFPTASGuaranteeAgainstExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for _, eps := range []float64{0.5, 0.2, 0.05} {
+		for trial := 0; trial < 120; trial++ {
+			classes := randomClasses(rng, 1+rng.Intn(6), 3)
+			budget := rng.Float64() * 8
+			exact := Exact(classes, budget)
+			approx := FPTAS(classes, budget, eps)
+			if err := Verify(classes, budget, approx); err != nil {
+				t.Fatalf("ε=%g trial %d: %v", eps, trial, err)
+			}
+			if approx.Value > exact.Value+1e-9 {
+				t.Fatalf("ε=%g trial %d: FPTAS %g beats exact %g", eps, trial, approx.Value, exact.Value)
+			}
+			if approx.Value < (1-eps)*exact.Value-1e-9 {
+				t.Fatalf("ε=%g trial %d: FPTAS %g below (1-ε)·OPT = %g",
+					eps, trial, approx.Value, (1-eps)*exact.Value)
+			}
+		}
+	}
+}
+
+func TestFPTASConvergesToExactAsEpsShrinks(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	worse := 0
+	const trials = 50
+	for trial := 0; trial < trials; trial++ {
+		classes := randomClasses(rng, 4, 3)
+		budget := 5.0
+		exact := Exact(classes, budget)
+		tight := FPTAS(classes, budget, 0.01)
+		if math.Abs(tight.Value-exact.Value) > 0.02*exact.Value+1e-9 {
+			worse++
+		}
+	}
+	if worse > trials/10 {
+		t.Errorf("ε=0.01 diverged from exact on %d/%d instances", worse, trials)
+	}
+}
+
+func TestFPTASEdgeCases(t *testing.T) {
+	if sol := FPTAS(nil, 5, 0.1); sol.Value != 0 || len(sol.Pick) != 0 {
+		t.Errorf("empty instance: %+v", sol)
+	}
+	// Nothing fits the budget.
+	classes := []Class{{Items: []Item{{Cost: 10, Profit: 5}}}}
+	sol := FPTAS(classes, 1, 0.1)
+	if sol.Value != 0 || sol.Pick[0] != -1 {
+		t.Errorf("unaffordable item picked: %+v", sol)
+	}
+	// Zero-profit instance.
+	classes = []Class{{Items: []Item{{Cost: 1, Profit: 0}}}}
+	sol = FPTAS(classes, 5, 0.1)
+	if sol.Value != 0 {
+		t.Errorf("zero-profit instance: %+v", sol)
+	}
+}
+
+func TestFPTASValidation(t *testing.T) {
+	classes := []Class{{Items: []Item{{Cost: 1, Profit: 1}}}}
+	for _, eps := range []float64{0, 1, -0.5, math.NaN()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("ε=%g must panic", eps)
+				}
+			}()
+			FPTAS(classes, 5, eps)
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("invalid instance must panic")
+			}
+		}()
+		FPTAS(classes, -1, 0.1)
+	}()
+}
+
+func TestFPTASChoiceConstraint(t *testing.T) {
+	// Two lucrative items in one class: only one may be taken even with
+	// plenty of budget.
+	classes := []Class{{Items: []Item{{Cost: 1, Profit: 5}, {Cost: 1, Profit: 6}}}}
+	sol := FPTAS(classes, 100, 0.1)
+	if err := Verify(classes, 100, sol); err != nil {
+		t.Fatal(err)
+	}
+	if sol.Value != 6 {
+		t.Errorf("value = %g, want 6 (the better of the two)", sol.Value)
+	}
+}
+
+func TestFPTASBeatsGreedyOnItsAdversary(t *testing.T) {
+	// The instance where greedy's fallback still only reaches 8 of 9: an
+	// efficient small item blocks the big one.
+	classes := []Class{
+		{Items: []Item{{Cost: 1, Profit: 1}}},
+		{Items: []Item{{Cost: 10, Profit: 8}}},
+	}
+	exact := Exact(classes, 10)
+	approx := FPTAS(classes, 10, 0.1)
+	if approx.Value < (1-0.1)*exact.Value {
+		t.Errorf("FPTAS %g below guarantee on greedy's adversary (OPT %g)", approx.Value, exact.Value)
+	}
+}

@@ -1,0 +1,66 @@
+package knapsack
+
+import "fmt"
+
+// Knapsack01 solves the 0-1 knapsack problem exactly with the classic
+// O(n·W) dynamic program over integer weights. It returns the picked-item
+// mask and the optimal value. This is the problem MUAA reduces from in the
+// paper's NP-hardness proof (Theorem II.1); tests use it both as that
+// reduction's reference oracle and to cross-check the MCKP solvers on
+// singleton classes.
+func Knapsack01(weights []int, values []float64, capacity int) ([]bool, float64) {
+	n := len(weights)
+	if len(values) != n {
+		panic(fmt.Sprintf("knapsack: %d weights but %d values", n, len(values)))
+	}
+	if capacity < 0 {
+		capacity = 0
+	}
+	for i, w := range weights {
+		if w <= 0 {
+			panic(fmt.Sprintf("knapsack: weight[%d] = %d, want > 0", i, w))
+		}
+		if values[i] < 0 {
+			panic(fmt.Sprintf("knapsack: value[%d] = %g, want ≥ 0", i, values[i]))
+		}
+	}
+	// dp[i][w] = best value using items [0, i) within weight w. Keep the
+	// full table to reconstruct the picks.
+	dp := make([][]float64, n+1)
+	for i := range dp {
+		dp[i] = make([]float64, capacity+1)
+	}
+	for i := 1; i <= n; i++ {
+		wi, vi := weights[i-1], values[i-1]
+		for w := 0; w <= capacity; w++ {
+			best := dp[i-1][w]
+			if wi <= w {
+				if cand := dp[i-1][w-wi] + vi; cand > best {
+					best = cand
+				}
+			}
+			dp[i][w] = best
+		}
+	}
+	picked := make([]bool, n)
+	w := capacity
+	for i := n; i >= 1; i-- {
+		if dp[i][w] != dp[i-1][w] {
+			picked[i-1] = true
+			w -= weights[i-1]
+		}
+	}
+	return picked, dp[n][capacity]
+}
+
+// SingletonClasses wraps plain items into one-item MCKP classes, expressing
+// a 0-1 knapsack instance as an MCKP instance (the paper's reduction runs in
+// the opposite direction; this helper lets tests compare the two solvers on
+// a common instance).
+func SingletonClasses(items []Item) []Class {
+	classes := make([]Class, len(items))
+	for i, it := range items {
+		classes[i] = Class{Items: []Item{it}}
+	}
+	return classes
+}

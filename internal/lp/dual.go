@@ -1,0 +1,80 @@
+package lp
+
+import "math"
+
+// DualSolution carries the dual prices of a solved LP: Y[i] is the shadow
+// price of constraint i — how much the optimal objective would improve per
+// unit of extra right-hand side. RECON's LP backend uses these in tests to
+// certify optimality (strong duality); a broker could use them to price
+// budget top-ups.
+type DualSolution struct {
+	Y []float64
+}
+
+// MaximizeWithDuals solves the problem and, when the primal is optimal,
+// derives the dual prices from the final tableau (the negated reduced costs
+// of the slack columns). For infeasible or unbounded problems the dual
+// solution is empty.
+func MaximizeWithDuals(p Problem) (Solution, DualSolution, error) {
+	if err := p.Validate(); err != nil {
+		return Solution{}, DualSolution{}, err
+	}
+	n, m := len(p.C), len(p.B)
+	if n == 0 {
+		sol, err := Maximize(p)
+		return sol, DualSolution{Y: make([]float64, m)}, err
+	}
+	t := newTableau(p)
+	if t.needsPhase1 {
+		feasible, err := t.phase1()
+		if err != nil {
+			return Solution{}, DualSolution{}, err
+		}
+		if !feasible {
+			return Solution{Status: Infeasible}, DualSolution{}, nil
+		}
+	}
+	t.loadObjective(p.C)
+	status, err := t.iterate(t.n + t.m)
+	if err != nil {
+		return Solution{}, DualSolution{}, err
+	}
+	if status == Unbounded {
+		return Solution{Status: Unbounded}, DualSolution{}, nil
+	}
+	x := make([]float64, n)
+	for i, v := range t.basis {
+		if v < n {
+			x[v] = t.rhs(i)
+		}
+	}
+	obj := 0.0
+	for j, c := range p.C {
+		obj += c * x[j]
+	}
+	// Dual prices: y_i = reduced cost of slack column i in the optimal
+	// objective row. Rows that were negated at construction (negative rhs)
+	// flip the slack's sign, so the price flips back.
+	y := make([]float64, m)
+	for i := 0; i < m; i++ {
+		price := t.obj[n+i]
+		if p.B[i] < 0 {
+			price = -price
+		}
+		if math.Abs(price) < eps {
+			price = 0
+		}
+		y[i] = price
+	}
+	return Solution{Status: Optimal, X: x, Objective: obj}, DualSolution{Y: y}, nil
+}
+
+// DualObjective evaluates bᵀy — equal to the primal optimum at optimality
+// (strong duality).
+func (d DualSolution) DualObjective(b []float64) float64 {
+	total := 0.0
+	for i, y := range d.Y {
+		total += b[i] * y
+	}
+	return total
+}

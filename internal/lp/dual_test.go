@@ -1,0 +1,144 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestDualsOnKnownProblem(t *testing.T) {
+	// max 5x + 4y s.t. 6x + 4y ≤ 24, x + 2y ≤ 6 → optimum 21 at (3, 1.5).
+	// Duals: y = (3/4, 1/2); check via bᵀy = 24·0.75 + 6·0.5 = 21.
+	p := Problem{
+		C: []float64{5, 4},
+		A: [][]float64{{6, 4}, {1, 2}},
+		B: []float64{24, 6},
+	}
+	sol, dual, err := MaximizeWithDuals(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal {
+		t.Fatalf("status %v", sol.Status)
+	}
+	if math.Abs(dual.Y[0]-0.75) > 1e-9 || math.Abs(dual.Y[1]-0.5) > 1e-9 {
+		t.Errorf("duals = %v, want [0.75 0.5]", dual.Y)
+	}
+	if math.Abs(dual.DualObjective(p.B)-sol.Objective) > 1e-9 {
+		t.Errorf("strong duality violated: %g vs %g", dual.DualObjective(p.B), sol.Objective)
+	}
+}
+
+func TestStrongDualityOnRandomProblems(t *testing.T) {
+	rng := rand.New(rand.NewSource(201))
+	checked := 0
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(5)
+		m := 1 + rng.Intn(5)
+		p := Problem{C: make([]float64, n)}
+		for j := range p.C {
+			p.C[j] = rng.Float64() * 3
+		}
+		for i := 0; i < m; i++ {
+			row := make([]float64, n)
+			for j := range row {
+				row[j] = rng.Float64() * 2
+			}
+			p.A = append(p.A, row)
+			p.B = append(p.B, 0.5+rng.Float64()*2)
+		}
+		// Box to guarantee boundedness.
+		for j := 0; j < n; j++ {
+			row := make([]float64, n)
+			row[j] = 1
+			p.A = append(p.A, row)
+			p.B = append(p.B, 10)
+		}
+		sol, dual, err := MaximizeWithDuals(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sol.Status != Optimal {
+			continue
+		}
+		checked++
+		// Strong duality: bᵀy = cᵀx.
+		if gap := math.Abs(dual.DualObjective(p.B) - sol.Objective); gap > 1e-6 {
+			t.Fatalf("trial %d: duality gap %g (primal %g, dual %g)", trial, gap, sol.Objective, dual.DualObjective(p.B))
+		}
+		// Dual feasibility: y ≥ 0 and Aᵀy ≥ c.
+		for i, y := range dual.Y {
+			if y < -1e-9 {
+				t.Fatalf("trial %d: negative dual price y[%d] = %g", trial, i, y)
+			}
+		}
+		for j := 0; j < n; j++ {
+			lhs := 0.0
+			for i := range p.A {
+				lhs += p.A[i][j] * dual.Y[i]
+			}
+			if lhs < p.C[j]-1e-6 {
+				t.Fatalf("trial %d: dual constraint %d violated: %g < %g", trial, j, lhs, p.C[j])
+			}
+		}
+		// Complementary slackness: y_i > 0 ⇒ constraint i tight.
+		for i, y := range dual.Y {
+			if y <= 1e-7 {
+				continue
+			}
+			lhs := 0.0
+			for j, a := range p.A[i] {
+				lhs += a * sol.X[j]
+			}
+			if math.Abs(lhs-p.B[i]) > 1e-6 {
+				t.Fatalf("trial %d: priced constraint %d is slack (%g vs %g, y=%g)", trial, i, lhs, p.B[i], y)
+			}
+		}
+	}
+	if checked < 100 {
+		t.Fatalf("only %d optimal instances checked", checked)
+	}
+}
+
+func TestDualsWithPhase1(t *testing.T) {
+	// x ≥ 1 (as -x ≤ -1), x ≤ 3, max 2x → x = 3, duals: the binding upper
+	// bound carries price 2, the lower bound 0.
+	p := Problem{
+		C: []float64{2},
+		A: [][]float64{{-1}, {1}},
+		B: []float64{-1, 3},
+	}
+	sol, dual, err := MaximizeWithDuals(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal || math.Abs(sol.Objective-6) > 1e-9 {
+		t.Fatalf("solution %+v", sol)
+	}
+	if math.Abs(dual.DualObjective(p.B)-6) > 1e-9 {
+		t.Errorf("strong duality with negated row: %g", dual.DualObjective(p.B))
+	}
+	if dual.Y[0] < -1e-9 {
+		t.Errorf("dual of ≥-constraint must be sign-corrected: %v", dual.Y)
+	}
+}
+
+func TestDualsDegenerateStatuses(t *testing.T) {
+	sol, dual, err := MaximizeWithDuals(Problem{C: []float64{1}})
+	if err != nil || sol.Status != Unbounded || dual.Y != nil {
+		t.Errorf("unbounded: %+v %+v %v", sol, dual, err)
+	}
+	sol, dual, err = MaximizeWithDuals(Problem{
+		C: []float64{1},
+		A: [][]float64{{1}, {-1}},
+		B: []float64{1, -3},
+	})
+	if err != nil || sol.Status != Infeasible || dual.Y != nil {
+		t.Errorf("infeasible: %+v %+v %v", sol, dual, err)
+	}
+	// Zero variables.
+	sol, dual, err = MaximizeWithDuals(Problem{B: []float64{1}, A: [][]float64{nil}})
+	if err != nil || sol.Status != Optimal || len(dual.Y) != 1 {
+		t.Errorf("zero variables: %+v %+v %v", sol, dual, err)
+	}
+}

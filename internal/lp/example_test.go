@@ -1,0 +1,40 @@
+package lp_test
+
+import (
+	"fmt"
+
+	"muaa/internal/lp"
+)
+
+// ExampleMaximize solves a two-variable production-planning LP.
+func ExampleMaximize() {
+	sol, err := lp.Maximize(lp.Problem{
+		C: []float64{5, 4},             // profit per unit
+		A: [][]float64{{6, 4}, {1, 2}}, // machine hours, labour hours
+		B: []float64{24, 6},            // available hours
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%v: objective %.0f at x = (%.1f, %.1f)\n",
+		sol.Status, sol.Objective, sol.X[0], sol.X[1])
+	// Output:
+	// optimal: objective 21 at x = (3.0, 1.5)
+}
+
+// ExampleMaximizeWithDuals prices the constraints: the dual values say how
+// much one extra hour of each resource is worth.
+func ExampleMaximizeWithDuals() {
+	sol, dual, err := lp.MaximizeWithDuals(lp.Problem{
+		C: []float64{5, 4},
+		A: [][]float64{{6, 4}, {1, 2}},
+		B: []float64{24, 6},
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("shadow prices %.2f and %.2f; bᵀy = %.0f = primal %.0f\n",
+		dual.Y[0], dual.Y[1], dual.DualObjective([]float64{24, 6}), sol.Objective)
+	// Output:
+	// shadow prices 0.75 and 0.50; bᵀy = 21 = primal 21
+}

@@ -1,0 +1,370 @@
+// Package lp is a small dense linear-programming solver. The MUAA paper's
+// reconciliation approach solves one LP relaxation per vendor with "the
+// Linear Programming solver [3]" (LP Solve); this package is that substrate,
+// implemented from scratch as a two-phase primal simplex with Bland's
+// anti-cycling rule.
+//
+// Problems are stated in the inequality form the single-vendor relaxation
+// naturally takes:
+//
+//	maximize    c·x
+//	subject to  A·x ≤ b
+//	            x ≥ 0
+//
+// The solver is exact up to floating-point tolerance, handles negative
+// right-hand sides via a phase-1 feasibility search with artificial
+// variables, and reports unboundedness and infeasibility explicitly. It is
+// intended for the small, dense systems MUAA produces (tens to a few
+// thousand variables); there is no sparsity exploitation.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Status is the outcome of a solve.
+type Status int
+
+const (
+	// Optimal means an optimal basic feasible solution was found.
+	Optimal Status = iota
+	// Infeasible means no point satisfies the constraints.
+	Infeasible
+	// Unbounded means the objective can grow without limit.
+	Unbounded
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Problem is a maximization LP in inequality form; see the package comment.
+type Problem struct {
+	C []float64   // objective coefficients, length n
+	A [][]float64 // m rows of length n
+	B []float64   // right-hand sides, length m
+}
+
+// Validate reports a descriptive error when dimensions disagree or any
+// coefficient is not finite.
+func (p Problem) Validate() error {
+	n := len(p.C)
+	if len(p.A) != len(p.B) {
+		return fmt.Errorf("lp: %d constraint rows but %d right-hand sides", len(p.A), len(p.B))
+	}
+	for i, row := range p.A {
+		if len(row) != n {
+			return fmt.Errorf("lp: row %d has %d coefficients, want %d", i, len(row), n)
+		}
+		for j, v := range row {
+			if !isFinite(v) {
+				return fmt.Errorf("lp: A[%d][%d] = %g is not finite", i, j, v)
+			}
+		}
+	}
+	for j, v := range p.C {
+		if !isFinite(v) {
+			return fmt.Errorf("lp: C[%d] = %g is not finite", j, v)
+		}
+	}
+	for i, v := range p.B {
+		if !isFinite(v) {
+			return fmt.Errorf("lp: B[%d] = %g is not finite", i, v)
+		}
+	}
+	return nil
+}
+
+func isFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// Solution is the result of Maximize.
+type Solution struct {
+	Status    Status
+	X         []float64 // primal values, length n; nil unless Optimal
+	Objective float64   // c·X; 0 unless Optimal
+}
+
+// ErrBadProblem wraps validation failures returned by Maximize.
+var ErrBadProblem = errors.New("lp: malformed problem")
+
+const (
+	eps      = 1e-9
+	maxIters = 200000
+)
+
+// Maximize solves the problem. The error is non-nil only for malformed
+// input or iteration-limit exhaustion; infeasibility and unboundedness are
+// reported through Solution.Status.
+func Maximize(p Problem) (Solution, error) {
+	if err := p.Validate(); err != nil {
+		return Solution{}, fmt.Errorf("%w: %v", ErrBadProblem, err)
+	}
+	n, m := len(p.C), len(p.B)
+	if n == 0 {
+		// No variables: feasible iff all b ≥ 0.
+		for _, b := range p.B {
+			if b < -eps {
+				return Solution{Status: Infeasible}, nil
+			}
+		}
+		return Solution{Status: Optimal, X: []float64{}}, nil
+	}
+
+	t := newTableau(p)
+
+	// Phase 1: drive artificial variables out when any rhs is negative.
+	if t.needsPhase1 {
+		if feasible, err := t.phase1(); err != nil {
+			return Solution{}, err
+		} else if !feasible {
+			return Solution{Status: Infeasible}, nil
+		}
+	}
+
+	// Phase 2: optimize the true objective. Artificial columns are barred
+	// from entering by limiting the column scan.
+	t.loadObjective(p.C)
+	status, err := t.iterate(t.n + t.m)
+	if err != nil {
+		return Solution{}, err
+	}
+	if status == Unbounded {
+		return Solution{Status: Unbounded}, nil
+	}
+
+	x := make([]float64, n)
+	for i, v := range t.basis {
+		if v < n {
+			x[v] = t.rhs(i)
+		}
+	}
+	obj := 0.0
+	for j, c := range p.C {
+		obj += c * x[j]
+	}
+	_ = m
+	return Solution{Status: Optimal, X: x, Objective: obj}, nil
+}
+
+// tableau is a dense simplex tableau over the variable layout
+// [structural 0..n) | slack n..n+m) | artificial n+m..n+m+a)].
+type tableau struct {
+	n, m        int       // structural variables, constraints
+	nArt        int       // artificial variables
+	cols        int       // total columns excluding rhs
+	rows        []float64 // m rows × (cols+1), row-major; last entry is rhs
+	obj         []float64 // objective row, length cols+1 (reduced costs, rhs = -value)
+	basis       []int     // basic variable per row
+	needsPhase1 bool
+}
+
+func newTableau(p Problem) *tableau {
+	n, m := len(p.C), len(p.B)
+	nArt := 0
+	for _, b := range p.B {
+		if b < 0 {
+			nArt++
+		}
+	}
+	t := &tableau{
+		n:           n,
+		m:           m,
+		nArt:        nArt,
+		cols:        n + m + nArt,
+		basis:       make([]int, m),
+		needsPhase1: nArt > 0,
+	}
+	t.rows = make([]float64, m*(t.cols+1))
+	art := 0
+	for i := 0; i < m; i++ {
+		row := t.row(i)
+		sign := 1.0
+		if p.B[i] < 0 {
+			sign = -1 // negate the row so rhs ≥ 0, flipping the slack's sign
+		}
+		for j := 0; j < n; j++ {
+			row[j] = sign * p.A[i][j]
+		}
+		row[n+i] = sign // slack (surplus when negated)
+		row[t.cols] = sign * p.B[i]
+		if sign < 0 {
+			col := n + m + art
+			row[col] = 1
+			t.basis[i] = col
+			art++
+		} else {
+			t.basis[i] = n + i
+		}
+	}
+	t.obj = make([]float64, t.cols+1)
+	return t
+}
+
+func (t *tableau) row(i int) []float64 {
+	return t.rows[i*(t.cols+1) : (i+1)*(t.cols+1)]
+}
+
+func (t *tableau) rhs(i int) float64 { return t.row(i)[t.cols] }
+
+// loadObjective installs reduced costs for maximizing c over structural
+// variables (artificials get a prohibitive zero coefficient and are never
+// re-admitted: their columns are blocked in iterate once phase 1 ends).
+func (t *tableau) loadObjective(c []float64) {
+	for j := range t.obj {
+		t.obj[j] = 0
+	}
+	for j, v := range c {
+		t.obj[j] = -v // simplex minimizes the objective row; negate to maximize
+	}
+	t.priceOut()
+}
+
+// loadPhase1Objective installs the minimize-sum-of-artificials objective.
+func (t *tableau) loadPhase1Objective() {
+	for j := range t.obj {
+		t.obj[j] = 0
+	}
+	for j := t.n + t.m; j < t.cols; j++ {
+		t.obj[j] = 1
+	}
+	t.priceOut()
+}
+
+// priceOut eliminates basic variables from the objective row so reduced
+// costs are consistent with the current basis.
+func (t *tableau) priceOut() {
+	for i, b := range t.basis {
+		coef := t.obj[b]
+		if coef == 0 {
+			continue
+		}
+		row := t.row(i)
+		for j := 0; j <= t.cols; j++ {
+			t.obj[j] -= coef * row[j]
+		}
+	}
+}
+
+// phase1 minimizes the artificial sum; reports whether a feasible basis was
+// reached (artificial sum ≈ 0), pivoting any lingering zero-valued
+// artificials out of the basis.
+func (t *tableau) phase1() (bool, error) {
+	t.loadPhase1Objective()
+	status, err := t.iterate(t.cols)
+	if err != nil {
+		return false, err
+	}
+	if status == Unbounded {
+		// Phase-1 objective is bounded below by 0; unbounded means a bug.
+		return false, errors.New("lp: phase 1 reported unbounded")
+	}
+	if -t.obj[t.cols] > eps { // objective row rhs holds -value
+		return false, nil
+	}
+	// Pivot degenerate artificials out so phase 2 never reintroduces them.
+	for i, b := range t.basis {
+		if b < t.n+t.m {
+			continue
+		}
+		row := t.row(i)
+		pivoted := false
+		for j := 0; j < t.n+t.m; j++ {
+			if math.Abs(row[j]) > eps {
+				t.pivot(i, j)
+				pivoted = true
+				break
+			}
+		}
+		if !pivoted {
+			// Row is all zeros over real variables: redundant constraint;
+			// the artificial stays basic at value 0, which is harmless
+			// because its column is blocked from re-entering.
+			continue
+		}
+	}
+	return true, nil
+}
+
+// iterate runs Bland's-rule simplex until optimality or unboundedness,
+// considering only columns below enterLimit as entering candidates (phase 2
+// passes n+m so artificial columns can never re-enter the basis).
+func (t *tableau) iterate(enterLimit int) (Status, error) {
+	for iter := 0; iter < maxIters; iter++ {
+		// Bland: entering variable = smallest index with negative reduced cost.
+		enter := -1
+		for j := 0; j < enterLimit; j++ {
+			if t.obj[j] < -eps {
+				enter = j
+				break
+			}
+		}
+		if enter < 0 {
+			return Optimal, nil
+		}
+		// Ratio test; Bland tie-break on smallest basis variable index.
+		leave := -1
+		bestRatio := math.Inf(1)
+		for i := 0; i < t.m; i++ {
+			a := t.row(i)[enter]
+			if a <= eps {
+				continue
+			}
+			ratio := t.rhs(i) / a
+			if ratio < bestRatio-eps ||
+				(math.Abs(ratio-bestRatio) <= eps && (leave < 0 || t.basis[i] < t.basis[leave])) {
+				bestRatio = ratio
+				leave = i
+			}
+		}
+		if leave < 0 {
+			return Unbounded, nil
+		}
+		t.pivot(leave, enter)
+	}
+	return Optimal, fmt.Errorf("lp: simplex exceeded %d iterations", maxIters)
+}
+
+// pivot makes column enter basic in row leave via Gauss–Jordan elimination.
+func (t *tableau) pivot(leave, enter int) {
+	prow := t.row(leave)
+	pval := prow[enter]
+	inv := 1 / pval
+	for j := 0; j <= t.cols; j++ {
+		prow[j] *= inv
+	}
+	prow[enter] = 1 // cancel rounding
+	for i := 0; i < t.m; i++ {
+		if i == leave {
+			continue
+		}
+		row := t.row(i)
+		f := row[enter]
+		if f == 0 {
+			continue
+		}
+		for j := 0; j <= t.cols; j++ {
+			row[j] -= f * prow[j]
+		}
+		row[enter] = 0
+	}
+	f := t.obj[enter]
+	if f != 0 {
+		for j := 0; j <= t.cols; j++ {
+			t.obj[j] -= f * prow[j]
+		}
+		t.obj[enter] = 0
+	}
+	t.basis[leave] = enter
+}

@@ -1,0 +1,317 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func solveOK(t *testing.T, p Problem) Solution {
+	t.Helper()
+	s, err := Maximize(p)
+	if err != nil {
+		t.Fatalf("Maximize: %v", err)
+	}
+	return s
+}
+
+func TestSimpleBounded(t *testing.T) {
+	// max 3x + 2y s.t. x + y ≤ 4, x + 3y ≤ 6 → x=4, y=0, obj 12.
+	s := solveOK(t, Problem{
+		C: []float64{3, 2},
+		A: [][]float64{{1, 1}, {1, 3}},
+		B: []float64{4, 6},
+	})
+	if s.Status != Optimal {
+		t.Fatalf("status = %v", s.Status)
+	}
+	if math.Abs(s.Objective-12) > 1e-9 {
+		t.Errorf("objective = %g, want 12", s.Objective)
+	}
+	if math.Abs(s.X[0]-4) > 1e-9 || math.Abs(s.X[1]) > 1e-9 {
+		t.Errorf("X = %v, want [4 0]", s.X)
+	}
+}
+
+func TestClassicTwoConstraint(t *testing.T) {
+	// max 5x + 4y s.t. 6x + 4y ≤ 24, x + 2y ≤ 6 → x=3, y=1.5, obj 21.
+	s := solveOK(t, Problem{
+		C: []float64{5, 4},
+		A: [][]float64{{6, 4}, {1, 2}},
+		B: []float64{24, 6},
+	})
+	if math.Abs(s.Objective-21) > 1e-9 {
+		t.Errorf("objective = %g, want 21", s.Objective)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	s := solveOK(t, Problem{
+		C: []float64{1, 0},
+		A: [][]float64{{0, 1}},
+		B: []float64{1},
+	})
+	if s.Status != Unbounded {
+		t.Fatalf("status = %v, want unbounded", s.Status)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	// x ≤ 1 and -x ≤ -3 (i.e. x ≥ 3) cannot both hold.
+	s := solveOK(t, Problem{
+		C: []float64{1},
+		A: [][]float64{{1}, {-1}},
+		B: []float64{1, -3},
+	})
+	if s.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", s.Status)
+	}
+}
+
+func TestNegativeRHSFeasible(t *testing.T) {
+	// -x ≤ -2 (x ≥ 2), x ≤ 5, max -x → x = 2, obj -2 (phase 1 required).
+	s := solveOK(t, Problem{
+		C: []float64{-1},
+		A: [][]float64{{-1}, {1}},
+		B: []float64{-2, 5},
+	})
+	if s.Status != Optimal {
+		t.Fatalf("status = %v", s.Status)
+	}
+	if math.Abs(s.X[0]-2) > 1e-9 {
+		t.Errorf("X = %v, want [2]", s.X)
+	}
+	if math.Abs(s.Objective+2) > 1e-9 {
+		t.Errorf("objective = %g, want -2", s.Objective)
+	}
+}
+
+func TestEqualityViaPairedInequalities(t *testing.T) {
+	// x + y = 3 expressed as ≤ and ≥; max x with x ≤ 2 → x=2, y=1.
+	s := solveOK(t, Problem{
+		C: []float64{1, 0},
+		A: [][]float64{{1, 1}, {-1, -1}, {1, 0}},
+		B: []float64{3, -3, 2},
+	})
+	if s.Status != Optimal {
+		t.Fatalf("status = %v", s.Status)
+	}
+	if math.Abs(s.X[0]-2) > 1e-9 || math.Abs(s.X[1]-1) > 1e-9 {
+		t.Errorf("X = %v, want [2 1]", s.X)
+	}
+}
+
+func TestRedundantConstraint(t *testing.T) {
+	// Duplicate rows plus a row implied by others; phase 1 must cope.
+	s := solveOK(t, Problem{
+		C: []float64{1, 1},
+		A: [][]float64{{1, 0}, {1, 0}, {0, 1}, {1, 1}},
+		B: []float64{2, 2, 3, 5},
+	})
+	if math.Abs(s.Objective-5) > 1e-9 {
+		t.Errorf("objective = %g, want 5", s.Objective)
+	}
+}
+
+func TestDegenerateVertex(t *testing.T) {
+	// Three constraints meeting at one point: classic degeneracy; Bland's
+	// rule must terminate.
+	s := solveOK(t, Problem{
+		C: []float64{1, 1},
+		A: [][]float64{{1, 0}, {0, 1}, {1, 1}},
+		B: []float64{1, 1, 2},
+	})
+	if math.Abs(s.Objective-2) > 1e-9 {
+		t.Errorf("objective = %g, want 2", s.Objective)
+	}
+}
+
+func TestZeroVariables(t *testing.T) {
+	s := solveOK(t, Problem{C: nil, A: [][]float64{nil}, B: []float64{1}})
+	if s.Status != Optimal {
+		t.Errorf("status = %v", s.Status)
+	}
+	s = solveOK(t, Problem{C: nil, A: [][]float64{nil}, B: []float64{-1}})
+	if s.Status != Infeasible {
+		t.Errorf("status = %v, want infeasible", s.Status)
+	}
+}
+
+func TestNoConstraints(t *testing.T) {
+	s := solveOK(t, Problem{C: []float64{1}})
+	if s.Status != Unbounded {
+		t.Errorf("status = %v, want unbounded", s.Status)
+	}
+	s = solveOK(t, Problem{C: []float64{-1, -2}})
+	if s.Status != Optimal || math.Abs(s.Objective) > 1e-9 {
+		t.Errorf("all-negative objective should give 0 at origin, got %+v", s)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := []Problem{
+		{C: []float64{1}, A: [][]float64{{1, 2}}, B: []float64{1}},        // row width
+		{C: []float64{1}, A: [][]float64{{1}}, B: []float64{1, 2}},        // rows vs B
+		{C: []float64{math.NaN()}, A: nil, B: nil},                        // NaN cost
+		{C: []float64{1}, A: [][]float64{{math.Inf(1)}}, B: []float64{1}}, // Inf coef
+		{C: []float64{1}, A: [][]float64{{1}}, B: []float64{math.NaN()}},  // NaN rhs
+	}
+	for i, p := range bad {
+		if _, err := Maximize(p); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	if Optimal.String() != "optimal" || Infeasible.String() != "infeasible" ||
+		Unbounded.String() != "unbounded" || Status(42).String() != "Status(42)" {
+		t.Error("Status.String wrong")
+	}
+}
+
+// bruteForceLP enumerates all basic solutions (intersections of constraint
+// boundaries and axes) and returns the best feasible objective, or NaN when
+// nothing is feasible. Only for n = 2 test problems.
+func bruteForceLP2(p Problem) float64 {
+	type line struct{ a, b, c float64 } // a·x + b·y = c
+	var lines []line
+	for i, row := range p.A {
+		lines = append(lines, line{row[0], row[1], p.B[i]})
+	}
+	lines = append(lines, line{1, 0, 0}, line{0, 1, 0}) // axes
+	feasible := func(x, y float64) bool {
+		if x < -1e-9 || y < -1e-9 {
+			return false
+		}
+		for i, row := range p.A {
+			if row[0]*x+row[1]*y > p.B[i]+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	best := math.NaN()
+	consider := func(x, y float64) {
+		if !feasible(x, y) {
+			return
+		}
+		v := p.C[0]*x + p.C[1]*y
+		if math.IsNaN(best) || v > best {
+			best = v
+		}
+	}
+	for i := 0; i < len(lines); i++ {
+		for j := i + 1; j < len(lines); j++ {
+			l1, l2 := lines[i], lines[j]
+			det := l1.a*l2.b - l2.a*l1.b
+			if math.Abs(det) < 1e-12 {
+				continue
+			}
+			x := (l1.c*l2.b - l2.c*l1.b) / det
+			y := (l1.a*l2.c - l2.a*l1.c) / det
+			consider(x, y)
+		}
+	}
+	return best
+}
+
+func TestRandomAgainstVertexEnumeration(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 300; trial++ {
+		m := 1 + rng.Intn(5)
+		p := Problem{C: []float64{rng.Float64()*4 - 1, rng.Float64()*4 - 1}}
+		for i := 0; i < m; i++ {
+			p.A = append(p.A, []float64{rng.Float64()*2 - 0.5, rng.Float64()*2 - 0.5})
+			p.B = append(p.B, rng.Float64()*3)
+		}
+		// Keep the region bounded so vertex enumeration is exhaustive.
+		p.A = append(p.A, []float64{1, 0}, []float64{0, 1})
+		p.B = append(p.B, 10, 10)
+		s := solveOK(t, p)
+		want := bruteForceLP2(p)
+		if s.Status != Optimal {
+			t.Fatalf("trial %d: status %v on a problem containing the origin", trial, s.Status)
+		}
+		if math.Abs(s.Objective-want) > 1e-6 {
+			t.Fatalf("trial %d: simplex %g vs vertex enumeration %g (problem %+v)", trial, s.Objective, want, p)
+		}
+	}
+}
+
+func TestRandomPhase1AgainstVertexEnumeration(t *testing.T) {
+	rng := rand.New(rand.NewSource(100))
+	feasCount, infeasCount := 0, 0
+	for trial := 0; trial < 300; trial++ {
+		p := Problem{C: []float64{rng.Float64()*2 - 1, rng.Float64()*2 - 1}}
+		m := 2 + rng.Intn(4)
+		for i := 0; i < m; i++ {
+			p.A = append(p.A, []float64{rng.Float64()*2 - 1, rng.Float64()*2 - 1})
+			p.B = append(p.B, rng.Float64()*4-2) // negative rhs exercises phase 1
+		}
+		p.A = append(p.A, []float64{1, 0}, []float64{0, 1})
+		p.B = append(p.B, 5, 5)
+		s := solveOK(t, p)
+		want := bruteForceLP2(p)
+		switch s.Status {
+		case Optimal:
+			feasCount++
+			if math.IsNaN(want) {
+				t.Fatalf("trial %d: simplex found optimum %g on infeasible problem %+v", trial, s.Objective, p)
+			}
+			if math.Abs(s.Objective-want) > 1e-6 {
+				t.Fatalf("trial %d: simplex %g vs enumeration %g (%+v)", trial, s.Objective, want, p)
+			}
+		case Infeasible:
+			infeasCount++
+			if !math.IsNaN(want) {
+				t.Fatalf("trial %d: simplex says infeasible but enumeration found %g (%+v)", trial, want, p)
+			}
+		case Unbounded:
+			t.Fatalf("trial %d: unbounded impossible with box constraints", trial)
+		}
+	}
+	if feasCount == 0 || infeasCount == 0 {
+		t.Errorf("want both outcomes exercised; feasible=%d infeasible=%d", feasCount, infeasCount)
+	}
+}
+
+func TestSolutionSatisfiesConstraints(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(6)
+		m := 1 + rng.Intn(6)
+		p := Problem{C: make([]float64, n)}
+		for j := range p.C {
+			p.C[j] = rng.Float64()
+		}
+		for i := 0; i < m; i++ {
+			row := make([]float64, n)
+			for j := range row {
+				row[j] = rng.Float64()
+			}
+			p.A = append(p.A, row)
+			p.B = append(p.B, rng.Float64()*2+0.5)
+		}
+		s := solveOK(t, p)
+		if s.Status != Optimal {
+			// All-nonnegative rows with positive rhs can still be unbounded
+			// if some column is entirely zero; accept that.
+			continue
+		}
+		for i, row := range p.A {
+			lhs := 0.0
+			for j, a := range row {
+				lhs += a * s.X[j]
+			}
+			if lhs > p.B[i]+1e-7 {
+				t.Fatalf("trial %d: constraint %d violated: %g > %g", trial, i, lhs, p.B[i])
+			}
+		}
+		for j, x := range s.X {
+			if x < -1e-9 {
+				t.Fatalf("trial %d: x[%d] = %g negative", trial, j, x)
+			}
+		}
+	}
+}

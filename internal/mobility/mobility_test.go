@@ -1,0 +1,228 @@
+package mobility
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"muaa/internal/geo"
+	"muaa/internal/model"
+	"muaa/internal/stats"
+	"muaa/internal/workload"
+)
+
+func TestNewTrajectoryValidation(t *testing.T) {
+	pts := []geo.Point{{X: 0, Y: 0}, {X: 1, Y: 1}}
+	if _, err := NewTrajectory(nil, nil); err == nil {
+		t.Error("empty trajectory must be rejected")
+	}
+	if _, err := NewTrajectory([]float64{0}, pts); err == nil {
+		t.Error("length mismatch must be rejected")
+	}
+	if _, err := NewTrajectory([]float64{1, 1}, pts); err == nil {
+		t.Error("non-increasing times must be rejected")
+	}
+	if _, err := NewTrajectory([]float64{0, 1}, pts); err != nil {
+		t.Errorf("valid trajectory rejected: %v", err)
+	}
+}
+
+func TestTrajectoryInterpolation(t *testing.T) {
+	tr, err := NewTrajectory([]float64{0, 2, 4},
+		[]geo.Point{{X: 0, Y: 0}, {X: 2, Y: 0}, {X: 2, Y: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		at   float64
+		want geo.Point
+	}{
+		{-1, geo.Point{X: 0, Y: 0}}, // clamp before start
+		{0, geo.Point{X: 0, Y: 0}},  // at start
+		{1, geo.Point{X: 1, Y: 0}},  // mid first segment
+		{2, geo.Point{X: 2, Y: 0}},  // waypoint
+		{3, geo.Point{X: 2, Y: 2}},  // mid second segment
+		{4, geo.Point{X: 2, Y: 4}},  // at end
+		{99, geo.Point{X: 2, Y: 4}}, // clamp after end
+	}
+	for _, c := range cases {
+		got := tr.At(c.at)
+		if math.Abs(got.X-c.want.X) > 1e-12 || math.Abs(got.Y-c.want.Y) > 1e-12 {
+			t.Errorf("At(%g) = %v, want %v", c.at, got, c.want)
+		}
+	}
+	if tr.Start() != 0 || tr.End() != 4 {
+		t.Errorf("Start/End = %g/%g", tr.Start(), tr.End())
+	}
+}
+
+func TestTrajectoryContinuity(t *testing.T) {
+	rng := stats.NewRand(1)
+	tr, err := RandomWaypoint(rng, geo.UnitSquare, 10, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Positions sampled at dt apart can be at most speed·dt apart.
+	const dt = 0.01
+	prev := tr.At(tr.Start())
+	for at := tr.Start() + dt; at <= tr.End(); at += dt {
+		cur := tr.At(at)
+		if cur.Dist(prev) > 5*dt+1e-9 {
+			t.Fatalf("teleport at %g: moved %g in %g hours at speed 5", at, cur.Dist(prev), dt)
+		}
+		prev = cur
+	}
+}
+
+func TestRandomWaypointValidation(t *testing.T) {
+	rng := stats.NewRand(2)
+	if _, err := RandomWaypoint(rng, geo.UnitSquare, 0, 1, 0); err == nil {
+		t.Error("zero waypoints must be rejected")
+	}
+	if _, err := RandomWaypoint(rng, geo.UnitSquare, 3, 0, 0); err == nil {
+		t.Error("zero speed must be rejected")
+	}
+	tr, err := RandomWaypoint(rng, geo.UnitSquare, 1, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Start() != 5 || tr.End() != 5 {
+		t.Errorf("single-waypoint trajectory Start/End = %g/%g", tr.Start(), tr.End())
+	}
+}
+
+func testVendors(t *testing.T, n int, seed int64) []model.Vendor {
+	t.Helper()
+	p, err := workload.Synthetic(workload.Config{
+		Customers: 1,
+		Vendors:   n,
+		Budget:    stats.Range{Lo: 5, Hi: 10},
+		Radius:    stats.Range{Lo: 0.05, Hi: 0.15},
+		Capacity:  stats.Range{Lo: 1, Hi: 2},
+		ViewProb:  stats.Range{Lo: 0.5, Hi: 0.9},
+		Seed:      seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p.Vendors
+}
+
+func bruteValid(p geo.Point, vendors []model.Vendor) []int32 {
+	var out []int32
+	for j := range vendors {
+		if p.In(vendors[j].Loc, vendors[j].Radius) {
+			out = append(out, int32(j))
+		}
+	}
+	return out
+}
+
+func equalIDs(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestComputeSafeRegionValidSet(t *testing.T) {
+	vendors := testVendors(t, 40, 3)
+	rng := stats.NewRand(4)
+	for trial := 0; trial < 200; trial++ {
+		p := geo.Point{X: rng.Float64(), Y: rng.Float64()}
+		s := ComputeSafeRegion(p, vendors)
+		want := bruteValid(p, vendors)
+		sort.Slice(want, func(a, b int) bool { return want[a] < want[b] })
+		if !equalIDs(s.Valid, want) {
+			t.Fatalf("valid set at %v: got %v want %v", p, s.Valid, want)
+		}
+		if s.Radius < 0 {
+			t.Fatalf("negative safe radius %g", s.Radius)
+		}
+	}
+}
+
+func TestSafeRegionIsActuallySafe(t *testing.T) {
+	// The defining property: anywhere strictly inside the region, the valid
+	// set equals the anchor's valid set.
+	vendors := testVendors(t, 30, 5)
+	rng := stats.NewRand(6)
+	for trial := 0; trial < 100; trial++ {
+		anchor := geo.Point{X: rng.Float64(), Y: rng.Float64()}
+		s := ComputeSafeRegion(anchor, vendors)
+		if math.IsInf(s.Radius, 1) || s.Radius == 0 {
+			continue
+		}
+		for probe := 0; probe < 20; probe++ {
+			// Random point strictly inside the region.
+			ang := rng.Float64() * 2 * math.Pi
+			r := rng.Float64() * s.Radius * 0.999
+			p := geo.Point{X: anchor.X + r*math.Cos(ang), Y: anchor.Y + r*math.Sin(ang)}
+			got := bruteValid(p, vendors)
+			sort.Slice(got, func(a, b int) bool { return got[a] < got[b] })
+			if !equalIDs(got, s.Valid) {
+				t.Fatalf("valid set changed inside safe region: anchor %v radius %g, at %v: %v vs %v",
+					anchor, s.Radius, p, got, s.Valid)
+			}
+		}
+	}
+}
+
+func TestSafeRegionNoVendors(t *testing.T) {
+	s := ComputeSafeRegion(geo.Point{X: 0.5, Y: 0.5}, nil)
+	if !math.IsInf(s.Radius, 1) || len(s.Valid) != 0 {
+		t.Errorf("empty vendor set: %+v", s)
+	}
+	if !s.Contains(geo.Point{X: 99, Y: 99}) {
+		t.Error("infinite region contains everything")
+	}
+}
+
+func TestTrackerCorrectAndCheaper(t *testing.T) {
+	vendors := testVendors(t, 50, 7)
+	rng := stats.NewRand(8)
+	tr, err := RandomWaypoint(rng, geo.UnitSquare, 8, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk := NewTracker(vendors)
+	const dt = 0.002 // fine sampling: many samples per safe region
+	steps := 0
+	for at := tr.Start(); at <= tr.End(); at += dt {
+		p := tr.At(at)
+		valid, _ := tk.Update(p)
+		want := bruteValid(p, vendors)
+		sort.Slice(want, func(a, b int) bool { return want[a] < want[b] })
+		if !equalIDs(valid, want) {
+			t.Fatalf("tracker wrong at t=%g: got %v want %v", at, valid, want)
+		}
+		steps++
+	}
+	updates, recomputes := tk.Counters()
+	if updates != steps {
+		t.Fatalf("updates %d, steps %d", updates, steps)
+	}
+	if recomputes >= updates/2 {
+		t.Errorf("safe regions saved too little: %d recomputes over %d updates", recomputes, updates)
+	}
+	if recomputes == 0 {
+		t.Error("a moving customer must recompute at least once")
+	}
+}
+
+func TestTrackerStationaryCustomer(t *testing.T) {
+	vendors := testVendors(t, 20, 9)
+	tk := NewTracker(vendors)
+	p := geo.Point{X: 0.4, Y: 0.6}
+	for i := 0; i < 100; i++ {
+		tk.Update(p)
+	}
+	if _, recomputes := tk.Counters(); recomputes > 1 {
+		t.Errorf("stationary customer recomputed %d times", recomputes)
+	}
+}

@@ -1,0 +1,94 @@
+package mobility
+
+import (
+	"math"
+	"sort"
+
+	"muaa/internal/geo"
+	"muaa/internal/model"
+)
+
+// SafeRegion is the conservative safe region of a location with respect to a
+// vendor set: the open disk centred at Anchor within which the set of
+// vendors whose advertising disks cover the customer is guaranteed
+// unchanged. Radius is the distance from Anchor to the nearest disk boundary
+// over all vendors: a covering vendor stops covering only after the customer
+// travels at least (r_j − d_j), a non-covering one starts covering only
+// after (d_j − r_j).
+type SafeRegion struct {
+	Anchor geo.Point
+	Radius float64
+	// Valid is the covering-vendor set at Anchor, ascending by index.
+	Valid []int32
+}
+
+// Contains reports whether p is strictly inside the safe region (where the
+// valid set is guaranteed unchanged; the boundary itself is where a vendor's
+// disk edge may lie).
+func (s SafeRegion) Contains(p geo.Point) bool {
+	return p.Dist2(s.Anchor) < s.Radius*s.Radius
+}
+
+// ComputeSafeRegion scans the vendors and returns the valid set at p and the
+// conservative safe radius. The scan is O(n); the payoff is that subsequent
+// movement samples inside the region need no scan at all (see Tracker).
+// A problem with no vendors yields an infinite safe region.
+func ComputeSafeRegion(p geo.Point, vendors []model.Vendor) SafeRegion {
+	s := SafeRegion{Anchor: p, Radius: math.Inf(1)}
+	for j := range vendors {
+		d := p.Dist(vendors[j].Loc)
+		margin := math.Abs(d - vendors[j].Radius)
+		if margin < s.Radius {
+			s.Radius = margin
+		}
+		if d <= vendors[j].Radius {
+			s.Valid = append(s.Valid, int32(j))
+		}
+	}
+	sort.Slice(s.Valid, func(a, b int) bool { return s.Valid[a] < s.Valid[b] })
+	return s
+}
+
+// Tracker maintains a moving customer's covering-vendor set with the
+// safe-region optimization: Update recomputes the O(n) region only when the
+// customer has left the previous one. Counters expose the saving the
+// experiment harness reports.
+type Tracker struct {
+	vendors []model.Vendor
+	region  SafeRegion
+	primed  bool
+
+	updates    int
+	recomputes int
+}
+
+// NewTracker builds a tracker over a fixed vendor set. The slice is
+// retained; callers must not mutate it while tracking.
+func NewTracker(vendors []model.Vendor) *Tracker {
+	return &Tracker{vendors: vendors}
+}
+
+// Update reports the covering-vendor set at p, recomputing the safe region
+// only when p has escaped the current one. The returned slice is shared
+// with the tracker; callers must not modify it. recomputed tells whether
+// this update paid the O(n) scan.
+func (t *Tracker) Update(p geo.Point) (valid []int32, recomputed bool) {
+	t.updates++
+	if t.primed && t.region.Contains(p) {
+		return t.region.Valid, false
+	}
+	t.region = ComputeSafeRegion(p, t.vendors)
+	t.primed = true
+	t.recomputes++
+	return t.region.Valid, true
+}
+
+// Region returns the current safe region (zero value before the first
+// Update).
+func (t *Tracker) Region() SafeRegion { return t.region }
+
+// Counters returns how many Update calls happened and how many of them paid
+// a full recomputation.
+func (t *Tracker) Counters() (updates, recomputes int) {
+	return t.updates, t.recomputes
+}

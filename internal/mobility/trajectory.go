@@ -1,0 +1,101 @@
+// Package mobility models moving customers and the safe-region optimization
+// the paper builds on: Section I cites Xu et al.'s continuous vendor
+// selection (CALBA, [26]) — "track the conservative safe region for moving
+// customers ... which only fires a recalculation process when the relevant
+// vendors have changed" — as the subroutine a broker uses to keep each
+// moving customer's valid-vendor set current. This package provides
+// piecewise-linear trajectories, the conservative safe region of a location
+// (the largest disk within which the covering-vendor set provably cannot
+// change), and a Tracker that answers "which vendors cover the customer
+// right now?" with amortized O(1) work per movement sample.
+package mobility
+
+import (
+	"fmt"
+	"sort"
+
+	"muaa/internal/geo"
+	"muaa/internal/stats"
+)
+
+// Trajectory is a piecewise-linear path through timed waypoints. Positions
+// before the first waypoint clamp to it, positions after the last clamp to
+// the last — a customer who has "arrived" stays put.
+type Trajectory struct {
+	times  []float64
+	points []geo.Point
+}
+
+// NewTrajectory builds a trajectory from parallel waypoint slices. Times
+// must be strictly increasing and match points in length; at least one
+// waypoint is required.
+func NewTrajectory(times []float64, points []geo.Point) (*Trajectory, error) {
+	if len(times) == 0 || len(times) != len(points) {
+		return nil, fmt.Errorf("mobility: %d times vs %d points", len(times), len(points))
+	}
+	for i := 1; i < len(times); i++ {
+		if times[i] <= times[i-1] {
+			return nil, fmt.Errorf("mobility: times not strictly increasing at %d (%g after %g)", i, times[i], times[i-1])
+		}
+	}
+	return &Trajectory{
+		times:  append([]float64(nil), times...),
+		points: append([]geo.Point(nil), points...),
+	}, nil
+}
+
+// Start returns the first waypoint time.
+func (t *Trajectory) Start() float64 { return t.times[0] }
+
+// End returns the last waypoint time.
+func (t *Trajectory) End() float64 { return t.times[len(t.times)-1] }
+
+// At returns the interpolated position at the given time.
+func (t *Trajectory) At(at float64) geo.Point {
+	if at <= t.times[0] {
+		return t.points[0]
+	}
+	if at >= t.times[len(t.times)-1] {
+		return t.points[len(t.points)-1]
+	}
+	// Binary search for the segment containing at.
+	i := sort.SearchFloat64s(t.times, at)
+	// times[i-1] < at ≤ times[i]
+	t0, t1 := t.times[i-1], t.times[i]
+	p0, p1 := t.points[i-1], t.points[i]
+	f := (at - t0) / (t1 - t0)
+	return geo.Point{
+		X: p0.X + f*(p1.X-p0.X),
+		Y: p0.Y + f*(p1.Y-p0.Y),
+	}
+}
+
+// RandomWaypoint generates the classic random-waypoint trajectory: n
+// uniformly random waypoints inside bounds, traversed at the given speed
+// (distance units per hour), starting at startTime. speed must be positive.
+func RandomWaypoint(rng *stats.Rand, bounds geo.Rect, n int, speed, startTime float64) (*Trajectory, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("mobility: need ≥ 1 waypoint, got %d", n)
+	}
+	if speed <= 0 {
+		return nil, fmt.Errorf("mobility: speed %g must be positive", speed)
+	}
+	points := make([]geo.Point, n)
+	for i := range points {
+		points[i] = geo.Point{
+			X: bounds.Min.X + rng.Float64()*bounds.Width(),
+			Y: bounds.Min.Y + rng.Float64()*bounds.Height(),
+		}
+	}
+	times := make([]float64, n)
+	times[0] = startTime
+	for i := 1; i < n; i++ {
+		d := points[i].Dist(points[i-1])
+		dt := d / speed
+		if dt <= 0 {
+			dt = 1e-9 // coincident waypoints still need increasing times
+		}
+		times[i] = times[i-1] + dt
+	}
+	return NewTrajectory(times, points)
+}

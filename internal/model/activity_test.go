@@ -1,0 +1,163 @@
+package model
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"muaa/internal/geo"
+)
+
+func TestUniformActivity(t *testing.T) {
+	var a UniformActivity
+	for _, h := range []float64{0, 6.5, 23.99} {
+		if a.Level(3, h) != 1 {
+			t.Errorf("UniformActivity.Level(3, %g) != 1", h)
+		}
+	}
+}
+
+func TestDiurnalActivityPeaksAtConfiguredHour(t *testing.T) {
+	d := DiurnalActivity{Peaks: map[int]float64{0: 8}}
+	peak := d.Level(0, 8)
+	trough := d.Level(0, 20)
+	if peak <= trough {
+		t.Errorf("peak %g not above trough %g", peak, trough)
+	}
+	if math.Abs(peak-1.0) > 1e-12 { // base 0.1 + amp 0.9 at cos=1
+		t.Errorf("peak level = %g, want 1.0", peak)
+	}
+	if math.Abs(trough-0.1) > 1e-12 {
+		t.Errorf("trough level = %g, want 0.1", trough)
+	}
+	// Unconfigured tags sit at the midline.
+	if got := d.Level(99, 3); math.Abs(got-0.55) > 1e-12 {
+		t.Errorf("default tag level = %g, want 0.55", got)
+	}
+}
+
+func TestDiurnalActivityAlwaysPositive(t *testing.T) {
+	d := DiurnalActivity{Peaks: map[int]float64{0: 0, 1: 12}}
+	for h := 0.0; h < 24; h += 0.25 {
+		for x := 0; x < 2; x++ {
+			if d.Level(x, h) <= 0 {
+				t.Fatalf("activity must stay positive, got %g at tag %d hour %g", d.Level(x, h), x, h)
+			}
+		}
+	}
+}
+
+func pearsonCustomer(interests []float64) *Customer {
+	return &Customer{Interests: interests}
+}
+
+func pearsonVendor(tags []float64) *Vendor {
+	return &Vendor{Tags: tags}
+}
+
+func TestPearsonPerfectCorrelation(t *testing.T) {
+	pp := PearsonPreference{}
+	s := pp.Score(pearsonCustomer([]float64{0.1, 0.5, 0.9}), pearsonVendor([]float64{0.1, 0.5, 0.9}), 12)
+	if math.Abs(s-1) > 1e-12 {
+		t.Errorf("identical vectors must score 1, got %g", s)
+	}
+	s = pp.Score(pearsonCustomer([]float64{0.9, 0.5, 0.1}), pearsonVendor([]float64{0.1, 0.5, 0.9}), 12)
+	if math.Abs(s+1) > 1e-12 {
+		t.Errorf("reversed vectors must score -1, got %g", s)
+	}
+}
+
+func TestPearsonDegenerateVectors(t *testing.T) {
+	pp := PearsonPreference{}
+	// Constant vectors have zero variance → score 0 by convention.
+	if s := pp.Score(pearsonCustomer([]float64{0.5, 0.5}), pearsonVendor([]float64{0.1, 0.9}), 0); s != 0 {
+		t.Errorf("constant customer vector must score 0, got %g", s)
+	}
+	if s := pp.Score(pearsonCustomer(nil), pearsonVendor(nil), 0); s != 0 {
+		t.Errorf("empty vectors must score 0, got %g", s)
+	}
+}
+
+func TestPearsonBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(10)
+		x, y := make([]float64, n), make([]float64, n)
+		for i := range x {
+			x[i], y[i] = rng.Float64(), rng.Float64()
+		}
+		pp := PearsonPreference{}
+		s := pp.Score(pearsonCustomer(x), pearsonVendor(y), rng.Float64()*24)
+		return s >= -1-1e-9 && s <= 1+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPearsonActivityWeighting(t *testing.T) {
+	// With the mismatching coordinate de-weighted to (almost) nothing, the
+	// correlation must approach the perfect agreement of the rest.
+	x := []float64{0.2, 0.8, 0.9} // agrees with y on 0,1; clashes on 2
+	y := []float64{0.2, 0.8, 0.0}
+	full := PearsonPreference{}.Score(pearsonCustomer(x), pearsonVendor(y), 12)
+	down := PearsonPreference{Activity: DiurnalActivity{
+		Peaks: map[int]float64{2: 0}, // tag 2 peaks at midnight: nearly inactive at noon
+		Base:  1e-9, Amp: 1,
+	}}.Score(pearsonCustomer(x), pearsonVendor(y), 12)
+	if down <= full {
+		t.Errorf("de-weighting the clashing tag must raise the score: full=%g down=%g", full, down)
+	}
+}
+
+func TestPearsonLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch must panic")
+		}
+	}()
+	PearsonPreference{}.Score(pearsonCustomer([]float64{1}), pearsonVendor([]float64{1, 2}), 0)
+}
+
+func TestPearsonNegativeActivityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative activity must panic")
+		}
+	}()
+	bad := activityFunc(func(int, float64) float64 { return -1 })
+	PearsonPreference{Activity: bad}.Score(pearsonCustomer([]float64{1, 0}), pearsonVendor([]float64{0, 1}), 0)
+}
+
+// activityFunc adapts a function to the Activity interface for tests.
+type activityFunc func(int, float64) float64
+
+func (f activityFunc) Level(x int, h float64) float64 { return f(x, h) }
+
+func TestTablePreference(t *testing.T) {
+	tp := TablePreference{{0.1, 0.2}, {0.3, 0.4}}
+	u := &Customer{ID: 1}
+	v := &Vendor{ID: 0}
+	if got := tp.Score(u, v, 5); got != 0.3 {
+		t.Errorf("Score = %g, want 0.3", got)
+	}
+}
+
+func TestProblemDefaultsToPearson(t *testing.T) {
+	// A problem without an explicit Preference must use Pearson over the
+	// entity vectors.
+	p := &Problem{
+		Customers: []Customer{{ID: 0, Loc: geo.Point{X: 0.5, Y: 0.5}, Capacity: 1, ViewProb: 1,
+			Interests: []float64{0.9, 0.1}}},
+		Vendors: []Vendor{{ID: 0, Loc: geo.Point{X: 0.5, Y: 0.6}, Radius: 0.2, Budget: 5,
+			Tags: []float64{0.8, 0.2}}},
+		AdTypes: []AdType{{Name: "TL", Cost: 1, Effect: 1}},
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.PrefScore(0, 0); math.Abs(got-1) > 1e-9 {
+		t.Errorf("perfectly rank-correlated vectors must score 1, got %g", got)
+	}
+}

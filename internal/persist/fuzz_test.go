@@ -1,0 +1,95 @@
+package persist
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"muaa/internal/checkin"
+	"muaa/internal/workload"
+)
+
+// Fuzzers assert the loaders never panic and that anything they accept is a
+// valid artifact (re-validating and re-serializing cleanly). Run with
+// `go test -fuzz FuzzLoadProblem ./internal/persist` for a real campaign;
+// under plain `go test` the seed corpus below runs as unit cases.
+
+func FuzzLoadProblem(f *testing.F) {
+	f.Add(`{"version":1,"adTypes":[{"Name":"TL","Cost":1,"Effect":0.1}]}`)
+	f.Add(`{"version":1}`)
+	f.Add(`{nope`)
+	f.Add(``)
+	// A real artifact as a seed.
+	p := workload.Example1()
+	var buf bytes.Buffer
+	if err := SaveProblem(&buf, p); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+
+	f.Fuzz(func(t *testing.T, body string) {
+		loaded, err := LoadProblem(strings.NewReader(body))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		// Anything accepted must be valid and round-trip.
+		if vErr := loaded.Validate(); vErr != nil {
+			t.Fatalf("loader accepted an invalid problem: %v", vErr)
+		}
+		var out bytes.Buffer
+		if sErr := SaveProblem(&out, loaded); sErr != nil {
+			t.Fatalf("accepted problem failed to re-serialize: %v", sErr)
+		}
+		if _, rErr := LoadProblem(&out); rErr != nil {
+			t.Fatalf("re-serialized problem failed to re-load: %v", rErr)
+		}
+	})
+}
+
+func FuzzLoadDataset(f *testing.F) {
+	f.Add(`{"version":1,"users":1,"venues":[],"records":[]}`)
+	f.Add(`{"version":1,"users":1,"venues":[{"id":0,"x":0.5,"y":0.5,"category":"Food/Cafe/Teahouse"}],"records":[{"user":0,"venue":0,"hour":9.5}]}`)
+	f.Add(`{"version":9}`)
+	f.Add(`[]`)
+	ds, err := checkin.Generate(checkin.Config{Users: 5, Venues: 10, Checkins: 40, Seed: 1})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveDataset(&buf, ds); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+
+	f.Fuzz(func(t *testing.T, body string) {
+		loaded, err := LoadDataset(strings.NewReader(body))
+		if err != nil {
+			return
+		}
+		// Accepted datasets must be internally consistent and round-trip.
+		for i, r := range loaded.Records {
+			if int(r.Venue) >= len(loaded.Venues) || int(r.User) >= loaded.Users {
+				t.Fatalf("accepted dataset has dangling record %d: %+v", i, r)
+			}
+		}
+		var out bytes.Buffer
+		if sErr := SaveDataset(&out, loaded); sErr != nil {
+			t.Fatalf("accepted dataset failed to re-serialize: %v", sErr)
+		}
+		if _, rErr := LoadDataset(&out); rErr != nil {
+			t.Fatalf("re-serialized dataset failed to re-load: %v", rErr)
+		}
+	})
+}
+
+func FuzzLoadAssignment(f *testing.F) {
+	f.Add(`{"version":1,"instances":[],"utility":0}`)
+	f.Add(`{"version":1,"instances":[{"Customer":0,"Vendor":0,"AdType":0}],"utility":0.5}`)
+	f.Add(`{"version":2}`)
+	f.Fuzz(func(t *testing.T, body string) {
+		// Nil problem: loader only checks structure; must never panic.
+		if _, err := LoadAssignment(strings.NewReader(body), nil); err != nil {
+			return
+		}
+	})
+}

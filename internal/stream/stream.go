@@ -1,0 +1,127 @@
+// Package stream models the online arrival setting of Section IV: customers
+// appear one at a time and must be answered immediately, with no knowledge
+// of future arrivals. A Stream is an ordered, replayable arrival sequence
+// derived from a problem; a Runner drives any per-arrival handler (core's
+// O-AFA Session, or the baselines' online loops) over the stream, measuring
+// the per-customer response time the paper reports ("ONLINE can respond to
+// each incoming customer very quickly").
+package stream
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"muaa/internal/model"
+	"muaa/internal/stats"
+)
+
+// Event is one customer arrival.
+type Event struct {
+	Customer int32
+	Hour     float64 // arrival timestamp φ in [0, 24)
+}
+
+// Stream is an immutable arrival sequence.
+type Stream struct {
+	events []Event
+}
+
+// FromProblem builds the arrival stream of a problem: customers in slice
+// order (workload generators emit them sorted by arrival hour).
+func FromProblem(p *model.Problem) *Stream {
+	events := make([]Event, len(p.Customers))
+	for i := range p.Customers {
+		events[i] = Event{Customer: int32(i), Hour: p.Customers[i].Arrival}
+	}
+	return &Stream{events: events}
+}
+
+// Shuffled returns a new stream with the same events in a seeded random
+// order — the adversarial-order replays used in robustness tests. The
+// original stream is unchanged.
+func (s *Stream) Shuffled(seed int64) *Stream {
+	events := append([]Event(nil), s.events...)
+	stats.Shuffle(stats.NewRand(seed), events)
+	return &Stream{events: events}
+}
+
+// SortedByHour returns a new stream ordered by arrival hour (stable).
+func (s *Stream) SortedByHour() *Stream {
+	events := append([]Event(nil), s.events...)
+	sort.SliceStable(events, func(i, j int) bool { return events[i].Hour < events[j].Hour })
+	return &Stream{events: events}
+}
+
+// Len returns the number of arrivals.
+func (s *Stream) Len() int { return len(s.events) }
+
+// Events returns the arrival sequence. The returned slice is shared; callers
+// must not modify it.
+func (s *Stream) Events() []Event { return s.events }
+
+// Handler consumes one arrival and returns the instances pushed to the
+// customer (possibly none).
+type Handler interface {
+	Arrive(customer int32) []model.Instance
+}
+
+// HandlerFunc adapts a function to Handler.
+type HandlerFunc func(int32) []model.Instance
+
+// Arrive implements Handler.
+func (f HandlerFunc) Arrive(c int32) []model.Instance { return f(c) }
+
+// Result summarizes one full replay.
+type Result struct {
+	Instances []model.Instance
+	// Latencies holds per-arrival processing times, index-aligned with the
+	// stream's events.
+	Latencies []time.Duration
+}
+
+// TotalLatency sums the per-arrival latencies.
+func (r Result) TotalLatency() time.Duration {
+	var total time.Duration
+	for _, l := range r.Latencies {
+		total += l
+	}
+	return total
+}
+
+// MeanLatency returns the average per-customer response time; zero for an
+// empty stream.
+func (r Result) MeanLatency() time.Duration {
+	if len(r.Latencies) == 0 {
+		return 0
+	}
+	return r.TotalLatency() / time.Duration(len(r.Latencies))
+}
+
+// Run replays the stream through the handler, timing each arrival.
+func Run(s *Stream, h Handler) Result {
+	res := Result{Latencies: make([]time.Duration, len(s.events))}
+	for i, ev := range s.events {
+		start := time.Now()
+		pushed := h.Arrive(ev.Customer)
+		res.Latencies[i] = time.Since(start)
+		res.Instances = append(res.Instances, pushed...)
+	}
+	return res
+}
+
+// Validate checks that the stream mentions each of the problem's customers
+// at most once and never an unknown one.
+func (s *Stream) Validate(p *model.Problem) error {
+	seen := make(map[int32]bool, len(s.events))
+	for i, ev := range s.events {
+		if ev.Customer < 0 || int(ev.Customer) >= len(p.Customers) {
+			return fmt.Errorf("stream: event %d references unknown customer %d", i, ev.Customer)
+		}
+		if seen[ev.Customer] {
+			return fmt.Errorf("stream: customer %d arrives twice", ev.Customer)
+		}
+		seen[ev.Customer] = true
+	}
+	return nil
+}

@@ -1,0 +1,138 @@
+package stream
+
+import (
+	"testing"
+
+	"muaa/internal/core"
+	"muaa/internal/model"
+	"muaa/internal/stats"
+	"muaa/internal/workload"
+)
+
+func testProblem(t *testing.T) *model.Problem {
+	t.Helper()
+	p, err := workload.Synthetic(workload.Config{
+		Customers: 50,
+		Vendors:   10,
+		Budget:    stats.Range{Lo: 5, Hi: 10},
+		Radius:    stats.Range{Lo: 0.1, Hi: 0.2},
+		Capacity:  stats.Range{Lo: 1, Hi: 3},
+		ViewProb:  stats.Range{Lo: 0.2, Hi: 0.8},
+		Seed:      3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestFromProblemOrderAndLen(t *testing.T) {
+	p := testProblem(t)
+	s := FromProblem(p)
+	if s.Len() != len(p.Customers) {
+		t.Fatalf("Len = %d, want %d", s.Len(), len(p.Customers))
+	}
+	for i, ev := range s.Events() {
+		if ev.Customer != int32(i) {
+			t.Fatalf("event %d customer %d, want slice order", i, ev.Customer)
+		}
+		if ev.Hour != p.Customers[i].Arrival {
+			t.Fatalf("event %d hour %g, want %g", i, ev.Hour, p.Customers[i].Arrival)
+		}
+	}
+	if err := s.Validate(p); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShuffledIsPermutationAndDeterministic(t *testing.T) {
+	p := testProblem(t)
+	s := FromProblem(p)
+	a := s.Shuffled(7)
+	b := s.Shuffled(7)
+	if err := a.Validate(p); err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Events() {
+		if a.Events()[i] != b.Events()[i] {
+			t.Fatal("same seed must shuffle identically")
+		}
+	}
+	diff := false
+	for i := range a.Events() {
+		if a.Events()[i] != s.Events()[i] {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Error("shuffle left the stream unchanged (astronomically unlikely)")
+	}
+	// Original untouched.
+	for i, ev := range s.Events() {
+		if ev.Customer != int32(i) {
+			t.Fatal("Shuffled mutated the source stream")
+		}
+	}
+}
+
+func TestSortedByHour(t *testing.T) {
+	p := testProblem(t)
+	s := FromProblem(p).Shuffled(1).SortedByHour()
+	evs := s.Events()
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Hour < evs[i-1].Hour {
+			t.Fatalf("not sorted at %d", i)
+		}
+	}
+}
+
+func TestRunDrivesOnlineSession(t *testing.T) {
+	p := testProblem(t)
+	sess, err := core.NewSession(p, core.OnlineAFA{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := FromProblem(p)
+	res := Run(s, HandlerFunc(sess.Arrive))
+	if len(res.Latencies) != s.Len() {
+		t.Fatalf("latencies %d, want %d", len(res.Latencies), s.Len())
+	}
+	if err := p.Check(res.Instances); err != nil {
+		t.Fatalf("streamed assignment infeasible: %v", err)
+	}
+	// Replaying through Solve must give the identical assignment.
+	direct, err := core.OnlineAFA{Seed: 1}.Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := p.TotalUtility(res.Instances), direct.Utility; got != want {
+		t.Errorf("streamed utility %g != direct solve %g", got, want)
+	}
+	if res.MeanLatency() < 0 {
+		t.Error("negative latency")
+	}
+	if res.TotalLatency() < res.MeanLatency() {
+		t.Error("total latency below mean")
+	}
+}
+
+func TestRunEmptyStream(t *testing.T) {
+	s := &Stream{}
+	res := Run(s, HandlerFunc(func(int32) []model.Instance { return nil }))
+	if len(res.Instances) != 0 || res.MeanLatency() != 0 {
+		t.Errorf("empty stream result: %+v", res)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	p := testProblem(t)
+	bad := &Stream{events: []Event{{Customer: 999}}}
+	if err := bad.Validate(p); err == nil {
+		t.Error("unknown customer must be rejected")
+	}
+	dup := &Stream{events: []Event{{Customer: 1}, {Customer: 1}}}
+	if err := dup.Validate(p); err == nil {
+		t.Error("duplicate arrival must be rejected")
+	}
+}

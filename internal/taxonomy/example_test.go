@@ -1,0 +1,41 @@
+package taxonomy_test
+
+import (
+	"fmt"
+
+	"muaa/internal/taxonomy"
+)
+
+// ExampleTaxonomy_InterestVector derives a customer profile from check-ins
+// with the paper's Eqs. (1)–(3): topic scores distribute over root paths via
+// the κ-propagation recurrence.
+func ExampleTaxonomy_InterestVector() {
+	b := taxonomy.NewBuilder("Venues")
+	noodles := b.AddPath("Food/Asian/Noodles")
+	tea := b.AddPath("Food/Cafe/Tea")
+	tx := b.Build()
+
+	// A customer with 3 noodle check-ins and 1 teahouse check-in.
+	vec := tx.InterestVector(map[taxonomy.TagID]int{noodles: 3, tea: 1},
+		taxonomy.ProfileConfig{Normalize: true})
+
+	food, _ := tx.Lookup("Food")
+	fmt.Printf("Noodles %.2f, Tea %.2f, Food (inherited) %.2f\n",
+		vec[noodles], vec[tea], vec[food])
+	// Output:
+	// Noodles 1.00, Tea 0.33, Food (inherited) 0.37
+}
+
+// ExampleTaxonomy_VendorVector marks a vendor's category with optional decay
+// onto ancestors so related tags still correlate.
+func ExampleTaxonomy_VendorVector() {
+	tx := taxonomy.Foursquare()
+	teahouse, _ := tx.Lookup("Food/Cafe/Teahouse")
+	vec := tx.VendorVector([]taxonomy.TagID{teahouse}, 0.5)
+
+	cafe, _ := tx.Lookup("Food/Cafe")
+	food, _ := tx.Lookup("Food")
+	fmt.Printf("Teahouse %.2f, Cafe %.2f, Food %.2f\n", vec[teahouse], vec[cafe], vec[food])
+	// Output:
+	// Teahouse 1.00, Cafe 0.50, Food 0.25
+}

@@ -1,0 +1,78 @@
+package taxonomy
+
+// Foursquare builds the default category hierarchy used throughout this
+// repository, mirroring the structure (nine top-level categories, two
+// additional levels below) of the Foursquare venue-category taxonomy the
+// paper relies on. The exact category inventory of Foursquare's API is
+// proprietary and versioned; this tree reproduces its shape and the
+// categories that matter for the paper's examples (teahouse, noodle
+// restaurant, pizza place, coffee shop, ...). The returned taxonomy is
+// freshly built on each call, so callers may rely on stable TagIDs only
+// within one instance.
+func Foursquare() *Taxonomy {
+	b := NewBuilder("Venues")
+	for _, path := range foursquarePaths {
+		b.AddPath(path)
+	}
+	return b.Build()
+}
+
+// foursquarePaths lists the category paths of the default hierarchy.
+var foursquarePaths = []string{
+	"Food/Asian/Chinese Restaurant",
+	"Food/Asian/Noodle House",
+	"Food/Asian/Japanese Restaurant",
+	"Food/Asian/Sushi Restaurant",
+	"Food/Asian/Ramen Restaurant",
+	"Food/Asian/Korean Restaurant",
+	"Food/Asian/Thai Restaurant",
+	"Food/Western/Pizza Place",
+	"Food/Western/Burger Joint",
+	"Food/Western/Steakhouse",
+	"Food/Western/Italian Restaurant",
+	"Food/Western/French Restaurant",
+	"Food/Cafe/Coffee Shop",
+	"Food/Cafe/Teahouse",
+	"Food/Cafe/Bakery",
+	"Food/Cafe/Dessert Shop",
+	"Food/Fast Food/Fried Chicken Joint",
+	"Food/Fast Food/Sandwich Place",
+	"Food/Fast Food/Food Truck",
+	"Nightlife/Bar/Cocktail Bar",
+	"Nightlife/Bar/Beer Garden",
+	"Nightlife/Bar/Sake Bar",
+	"Nightlife/Club/Nightclub",
+	"Nightlife/Club/Karaoke Box",
+	"Shops/Apparel/Clothing Store",
+	"Shops/Apparel/Shoe Store",
+	"Shops/Apparel/Sporting Goods",
+	"Shops/Electronics/Electronics Store",
+	"Shops/Electronics/Camera Store",
+	"Shops/Electronics/Video Game Store",
+	"Shops/Daily/Convenience Store",
+	"Shops/Daily/Supermarket",
+	"Shops/Daily/Drugstore",
+	"Shops/Books/Bookstore",
+	"Shops/Books/Comic Shop",
+	"Arts/Performance/Concert Hall",
+	"Arts/Performance/Theater",
+	"Arts/Exhibits/Museum",
+	"Arts/Exhibits/Art Gallery",
+	"Arts/Movies/Movie Theater",
+	"Outdoors/Parks/Park",
+	"Outdoors/Parks/Garden",
+	"Outdoors/Sports/Gym",
+	"Outdoors/Sports/Stadium",
+	"Outdoors/Sports/Pool",
+	"Travel/Transit/Train Station",
+	"Travel/Transit/Bus Station",
+	"Travel/Transit/Airport",
+	"Travel/Lodging/Hotel",
+	"Travel/Lodging/Hostel",
+	"Education/Schools/University",
+	"Education/Schools/Library",
+	"Professional/Offices/Office",
+	"Professional/Offices/Coworking Space",
+	"Professional/Medical/Hospital",
+	"Professional/Medical/Dentist",
+}

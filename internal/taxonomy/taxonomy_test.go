@@ -1,0 +1,314 @@
+package taxonomy
+
+import (
+	"math"
+	"testing"
+)
+
+func buildSmall() (*Taxonomy, map[string]TagID) {
+	b := NewBuilder("All")
+	ids := map[string]TagID{}
+	ids["Food"] = b.AddPath("Food")
+	ids["Asian"] = b.AddPath("Food/Asian")
+	ids["Noodles"] = b.AddPath("Food/Asian/Noodles")
+	ids["Sushi"] = b.AddPath("Food/Asian/Sushi")
+	ids["Cafe"] = b.AddPath("Food/Cafe")
+	ids["Tea"] = b.AddPath("Food/Cafe/Tea")
+	ids["Shops"] = b.AddPath("Shops")
+	ids["Books"] = b.AddPath("Shops/Books")
+	return b.Build(), ids
+}
+
+func TestTreeStructure(t *testing.T) {
+	tx, ids := buildSmall()
+	if tx.NumTags() != 9 {
+		t.Fatalf("NumTags = %d, want 9", tx.NumTags())
+	}
+	if tx.Parent(Root) != Root {
+		t.Error("root must be its own parent")
+	}
+	if tx.Parent(ids["Noodles"]) != ids["Asian"] {
+		t.Error("Noodles parent must be Asian")
+	}
+	if tx.Depth(Root) != 0 || tx.Depth(ids["Food"]) != 1 || tx.Depth(ids["Noodles"]) != 3 {
+		t.Error("depths wrong")
+	}
+	if !tx.IsLeaf(ids["Tea"]) || tx.IsLeaf(ids["Food"]) {
+		t.Error("IsLeaf wrong")
+	}
+	if got := tx.Siblings(ids["Noodles"]); got != 1 {
+		t.Errorf("Siblings(Noodles) = %d, want 1 (Sushi)", got)
+	}
+	if got := tx.Siblings(ids["Food"]); got != 1 {
+		t.Errorf("Siblings(Food) = %d, want 1 (Shops)", got)
+	}
+	if tx.Siblings(Root) != 0 {
+		t.Error("root has no siblings")
+	}
+}
+
+func TestPath(t *testing.T) {
+	tx, ids := buildSmall()
+	path := tx.Path(ids["Noodles"])
+	want := []TagID{Root, ids["Food"], ids["Asian"], ids["Noodles"]}
+	if len(path) != len(want) {
+		t.Fatalf("path %v, want %v", path, want)
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("path %v, want %v", path, want)
+		}
+	}
+	if got := tx.PathName(ids["Noodles"]); got != "Food/Asian/Noodles" {
+		t.Errorf("PathName = %q", got)
+	}
+	if got := tx.PathName(Root); got != "All" {
+		t.Errorf("PathName(root) = %q", got)
+	}
+}
+
+func TestLookup(t *testing.T) {
+	tx, ids := buildSmall()
+	if got, ok := tx.Lookup("Food/Asian/Sushi"); !ok || got != ids["Sushi"] {
+		t.Errorf("Lookup = %d,%v", got, ok)
+	}
+	if _, ok := tx.Lookup("No/Such/Tag"); ok {
+		t.Error("Lookup of unknown path must fail")
+	}
+}
+
+func TestAddIdempotent(t *testing.T) {
+	b := NewBuilder("All")
+	a := b.AddPath("Food/Asian")
+	c := b.AddPath("Food/Asian")
+	if a != c {
+		t.Errorf("repeated AddPath returned %d then %d", a, c)
+	}
+	tx := b.Build()
+	if tx.NumTags() != 3 {
+		t.Errorf("NumTags = %d, want 3", tx.NumTags())
+	}
+}
+
+func TestBuilderValidation(t *testing.T) {
+	for name, f := range map[string]func(){
+		"empty name": func() { NewBuilder("r").Add(Root, "") },
+		"slash":      func() { NewBuilder("r").Add(Root, "a/b") },
+		"bad parent": func() { NewBuilder("r").Add(99, "x") },
+		"neg parent": func() { NewBuilder("r").Add(-1, "x") },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s must panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestLeaves(t *testing.T) {
+	tx, ids := buildSmall()
+	leaves := tx.Leaves()
+	wantSet := map[TagID]bool{ids["Noodles"]: true, ids["Sushi"]: true, ids["Tea"]: true, ids["Books"]: true}
+	if len(leaves) != len(wantSet) {
+		t.Fatalf("leaves = %v", leaves)
+	}
+	for _, l := range leaves {
+		if !wantSet[l] {
+			t.Errorf("unexpected leaf %d", l)
+		}
+	}
+}
+
+func TestInterestVectorScoreConservation(t *testing.T) {
+	// Eq. 2: for a single checked-in tag, the scores along its path must sum
+	// to sc(g_k) = s (all check-ins on one tag).
+	tx, ids := buildSmall()
+	cfg := ProfileConfig{OverallScore: 10, Kappa: 0.5}
+	vec := tx.InterestVector(map[TagID]int{ids["Noodles"]: 7}, cfg)
+	var sum float64
+	for _, e := range tx.Path(ids["Noodles"]) {
+		sum += vec[e]
+	}
+	if math.Abs(sum-10) > 1e-9 {
+		t.Errorf("path scores sum to %g, want 10", sum)
+	}
+	// Off-path tags must be zero.
+	for _, other := range []TagID{ids["Tea"], ids["Cafe"], ids["Shops"], ids["Books"], ids["Sushi"]} {
+		if vec[other] != 0 {
+			t.Errorf("tag %d off the path has score %g", other, vec[other])
+		}
+	}
+}
+
+func TestInterestVectorRecurrence(t *testing.T) {
+	// Eq. 3: sco(e_{m-1}) = κ·sco(e_m)/(sib(e_m)+1) must hold exactly along
+	// the path of a single checked-in tag.
+	tx, ids := buildSmall()
+	kappa := 0.6
+	vec := tx.InterestVector(map[TagID]int{ids["Noodles"]: 3}, ProfileConfig{OverallScore: 1, Kappa: kappa})
+	path := tx.Path(ids["Noodles"])
+	for m := len(path) - 1; m >= 1; m-- {
+		want := kappa * vec[path[m]] / float64(tx.Siblings(path[m])+1)
+		if math.Abs(vec[path[m-1]]-want) > 1e-12 {
+			t.Errorf("recurrence violated at m=%d: got %g want %g", m, vec[path[m-1]], want)
+		}
+	}
+}
+
+func TestInterestVectorTopicShares(t *testing.T) {
+	// Eq. 1: with check-ins split 3:1 between two tags, total path masses
+	// must split 3:1 as well.
+	tx, ids := buildSmall()
+	vec := tx.InterestVector(map[TagID]int{ids["Noodles"]: 3, ids["Books"]: 1}, ProfileConfig{OverallScore: 4, Kappa: 0.5})
+	mass := func(leaf TagID) float64 {
+		var s float64
+		for _, e := range tx.Path(leaf) {
+			s += vec[e]
+		}
+		return s
+	}
+	// The two paths share the root, whose contribution belongs to both; use
+	// per-leaf exclusive mass: compute by rerunning individually.
+	solo1 := tx.InterestVector(map[TagID]int{ids["Noodles"]: 3}, ProfileConfig{OverallScore: 3, Kappa: 0.5})
+	solo2 := tx.InterestVector(map[TagID]int{ids["Books"]: 1}, ProfileConfig{OverallScore: 1, Kappa: 0.5})
+	for i := range vec {
+		if math.Abs(vec[i]-(solo1[i]+solo2[i])) > 1e-12 {
+			t.Fatalf("additivity violated at tag %d: %g vs %g", i, vec[i], solo1[i]+solo2[i])
+		}
+	}
+	_ = mass
+}
+
+func TestInterestVectorEmptyAndNegative(t *testing.T) {
+	tx, ids := buildSmall()
+	vec := tx.InterestVector(nil, ProfileConfig{})
+	for i, v := range vec {
+		if v != 0 {
+			t.Fatalf("empty check-ins produced nonzero score at %d: %g", i, v)
+		}
+	}
+	vec = tx.InterestVector(map[TagID]int{ids["Tea"]: -5}, ProfileConfig{})
+	for i, v := range vec {
+		if v != 0 {
+			t.Fatalf("negative counts must be ignored, got %g at %d", v, i)
+		}
+	}
+}
+
+func TestInterestVectorNormalize(t *testing.T) {
+	tx, ids := buildSmall()
+	vec := tx.InterestVector(map[TagID]int{ids["Noodles"]: 2, ids["Tea"]: 1},
+		ProfileConfig{OverallScore: 5, Kappa: 0.8, Normalize: true})
+	maxV := 0.0
+	for _, v := range vec {
+		if v < 0 || v > 1 {
+			t.Fatalf("normalized element %g outside [0,1]", v)
+		}
+		if v > maxV {
+			maxV = v
+		}
+	}
+	if math.Abs(maxV-1) > 1e-12 {
+		t.Errorf("max normalized element = %g, want 1", maxV)
+	}
+}
+
+func TestInterestVectorUnknownTagPanics(t *testing.T) {
+	tx, _ := buildSmall()
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown tag must panic")
+		}
+	}()
+	tx.InterestVector(map[TagID]int{TagID(999): 1}, ProfileConfig{})
+}
+
+func TestInterestVectorDeterministicAcrossMapOrder(t *testing.T) {
+	tx, ids := buildSmall()
+	c := map[TagID]int{ids["Noodles"]: 2, ids["Tea"]: 3, ids["Books"]: 5}
+	ref := tx.InterestVector(c, ProfileConfig{})
+	for trial := 0; trial < 10; trial++ {
+		got := tx.InterestVector(c, ProfileConfig{})
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("nondeterministic vector at %d", i)
+			}
+		}
+	}
+}
+
+func TestVendorVector(t *testing.T) {
+	tx, ids := buildSmall()
+	vec := tx.VendorVector([]TagID{ids["Noodles"]}, 0.5)
+	if vec[ids["Noodles"]] != 1 {
+		t.Error("vendor's own tag must be 1")
+	}
+	if math.Abs(vec[ids["Asian"]]-0.5) > 1e-12 || math.Abs(vec[ids["Food"]]-0.25) > 1e-12 {
+		t.Errorf("ancestor decay wrong: Asian=%g Food=%g", vec[ids["Asian"]], vec[ids["Food"]])
+	}
+	if vec[ids["Tea"]] != 0 {
+		t.Error("unrelated tag must stay 0")
+	}
+	// No decay: only the tag itself.
+	flat := tx.VendorVector([]TagID{ids["Noodles"]}, 0)
+	if flat[ids["Asian"]] != 0 || flat[ids["Noodles"]] != 1 {
+		t.Error("zero decay must not propagate")
+	}
+}
+
+func TestVendorVectorMultiTagTakesMax(t *testing.T) {
+	tx, ids := buildSmall()
+	vec := tx.VendorVector([]TagID{ids["Noodles"], ids["Asian"]}, 0.5)
+	if vec[ids["Asian"]] != 1 {
+		t.Errorf("explicit tag must win over decayed ancestor: %g", vec[ids["Asian"]])
+	}
+}
+
+func TestVendorVectorValidation(t *testing.T) {
+	tx, ids := buildSmall()
+	for name, f := range map[string]func(){
+		"bad decay": func() { tx.VendorVector([]TagID{ids["Tea"]}, 1.5) },
+		"bad tag":   func() { tx.VendorVector([]TagID{TagID(99)}, 0.5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s must panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestFoursquare(t *testing.T) {
+	tx := Foursquare()
+	if tx.NumTags() < 60 {
+		t.Fatalf("Foursquare taxonomy too small: %d tags", tx.NumTags())
+	}
+	for _, path := range []string{"Food/Cafe/Teahouse", "Food/Asian/Noodle House", "Food/Western/Pizza Place"} {
+		if _, ok := tx.Lookup(path); !ok {
+			t.Errorf("missing category %q needed by the paper's example", path)
+		}
+	}
+	// Structural sanity: every non-root node's parent depth is one less.
+	for i := 1; i < tx.NumTags(); i++ {
+		id := TagID(i)
+		if tx.Depth(id) != tx.Depth(tx.Parent(id))+1 {
+			t.Fatalf("depth inconsistency at %s", tx.PathName(id))
+		}
+	}
+	// Three-level depth as in Foursquare's primary hierarchy.
+	maxDepth := 0
+	for i := 0; i < tx.NumTags(); i++ {
+		if d := tx.Depth(TagID(i)); d > maxDepth {
+			maxDepth = d
+		}
+	}
+	if maxDepth != 3 {
+		t.Errorf("max depth = %d, want 3", maxDepth)
+	}
+}

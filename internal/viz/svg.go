@@ -1,0 +1,171 @@
+// Package viz renders MUAA problems and assignments as SVG maps: vendors
+// with their advertising disks, customers colored by how many ads they
+// received, and assignment edges weighted by utility. The output is
+// self-contained SVG 1.1 built with the standard library only — drop it in a
+// browser or a README.
+package viz
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"muaa/internal/geo"
+	"muaa/internal/model"
+)
+
+// Options controls rendering.
+type Options struct {
+	// Width is the image width in pixels; height follows the data aspect
+	// ratio. Zero selects 800.
+	Width int
+	// ShowRanges draws each vendor's advertising disk.
+	ShowRanges bool
+	// ShowEdges draws customer–vendor assignment edges (requires an
+	// assignment).
+	ShowEdges bool
+	// Title is drawn in the top-left corner when non-empty.
+	Title string
+}
+
+// SVG writes the problem (and optional assignment) as an SVG document.
+func SVG(w io.Writer, p *model.Problem, a *model.Assignment, opts Options) error {
+	width := opts.Width
+	if width == 0 {
+		width = 800
+	}
+	bounds := dataBounds(p)
+	scaleX := float64(width) / bounds.Width()
+	height := int(bounds.Height() * scaleX)
+	if height == 0 {
+		height = width
+	}
+	// SVG y grows downward; flip so north stays up.
+	px := func(pt geo.Point) (float64, float64) {
+		return (pt.X - bounds.Min.X) * scaleX, float64(height) - (pt.Y-bounds.Min.Y)*scaleX
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		width, height, width, height)
+	b.WriteString(`<rect width="100%" height="100%" fill="#fafafa"/>` + "\n")
+
+	if opts.ShowRanges {
+		for j := range p.Vendors {
+			v := &p.Vendors[j]
+			x, y := px(v.Loc)
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="%.1f" fill="#4c78a8" fill-opacity="0.07" stroke="#4c78a8" stroke-opacity="0.25" stroke-width="1"/>`+"\n",
+				x, y, v.Radius*scaleX)
+		}
+	}
+
+	// Assignment edges under the markers, opacity by relative utility.
+	received := make(map[int32]int)
+	if a != nil {
+		maxU := 0.0
+		for _, in := range a.Instances {
+			if u := p.Utility(in.Customer, in.Vendor, in.AdType); u > maxU {
+				maxU = u
+			}
+		}
+		for _, in := range a.Instances {
+			received[in.Customer]++
+			if !opts.ShowEdges {
+				continue
+			}
+			x1, y1 := px(p.Customers[in.Customer].Loc)
+			x2, y2 := px(p.Vendors[in.Vendor].Loc)
+			opacity := 0.15
+			if maxU > 0 {
+				opacity = 0.15 + 0.75*p.Utility(in.Customer, in.Vendor, in.AdType)/maxU
+			}
+			fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#e45756" stroke-opacity="%.2f" stroke-width="1.2"/>`+"\n",
+				x1, y1, x2, y2, opacity)
+		}
+	}
+
+	// Vendors: squares sized by budget.
+	maxBudget := 0.0
+	for j := range p.Vendors {
+		if p.Vendors[j].Budget > maxBudget {
+			maxBudget = p.Vendors[j].Budget
+		}
+	}
+	for j := range p.Vendors {
+		v := &p.Vendors[j]
+		x, y := px(v.Loc)
+		size := 4.0
+		if maxBudget > 0 {
+			size = 3 + 5*v.Budget/maxBudget
+		}
+		fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="#4c78a8"><title>v%d budget=%.2f radius=%.3f</title></rect>`+"\n",
+			x-size/2, y-size/2, size, size, v.ID, v.Budget, v.Radius)
+	}
+
+	// Customers: dots, green when served, grey otherwise.
+	for i := range p.Customers {
+		u := &p.Customers[i]
+		x, y := px(u.Loc)
+		fill := "#bbbbbb"
+		if received[u.ID] > 0 {
+			fill = "#54a24b"
+		}
+		fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="2.2" fill="%s"><title>u%d ads=%d/%d p=%.2f</title></circle>`+"\n",
+			x, y, fill, u.ID, received[u.ID], u.Capacity, u.ViewProb)
+	}
+
+	if opts.Title != "" {
+		fmt.Fprintf(&b, `<text x="12" y="22" font-family="sans-serif" font-size="14" fill="#333">%s</text>`+"\n",
+			escapeXML(opts.Title))
+	}
+	if a != nil {
+		fmt.Fprintf(&b, `<text x="12" y="%d" font-family="sans-serif" font-size="12" fill="#555">%d ads, total utility %.4f</text>`+"\n",
+			height-12, len(a.Instances), a.Utility)
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// dataBounds returns the tight bounding box of all entities (padded 5%),
+// falling back to the unit square for empty problems or degenerate extents.
+func dataBounds(p *model.Problem) geo.Rect {
+	if len(p.Customers) == 0 && len(p.Vendors) == 0 {
+		return geo.UnitSquare
+	}
+	b := geo.Rect{
+		Min: geo.Point{X: math.Inf(1), Y: math.Inf(1)},
+		Max: geo.Point{X: math.Inf(-1), Y: math.Inf(-1)},
+	}
+	grow := func(pt geo.Point) {
+		b.Min.X = math.Min(b.Min.X, pt.X)
+		b.Min.Y = math.Min(b.Min.Y, pt.Y)
+		b.Max.X = math.Max(b.Max.X, pt.X)
+		b.Max.Y = math.Max(b.Max.Y, pt.Y)
+	}
+	for i := range p.Customers {
+		grow(p.Customers[i].Loc)
+	}
+	for j := range p.Vendors {
+		grow(p.Vendors[j].Loc)
+	}
+	padX := 0.05 * (b.Max.X - b.Min.X)
+	padY := 0.05 * (b.Max.Y - b.Min.Y)
+	if padX == 0 {
+		padX = 0.5
+	}
+	if padY == 0 {
+		padY = 0.5
+	}
+	b.Min.X -= padX
+	b.Min.Y -= padY
+	b.Max.X += padX
+	b.Max.Y += padY
+	return b
+}
+
+func escapeXML(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

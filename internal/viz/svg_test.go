@@ -1,0 +1,121 @@
+package viz
+
+import (
+	"bytes"
+	"encoding/xml"
+	"strings"
+	"testing"
+
+	"muaa/internal/core"
+	"muaa/internal/geo"
+	"muaa/internal/model"
+	"muaa/internal/stats"
+	"muaa/internal/workload"
+)
+
+func vizProblem(t *testing.T) (*model.Problem, model.Assignment) {
+	t.Helper()
+	p, err := workload.Synthetic(workload.Config{
+		Customers: 40,
+		Vendors:   8,
+		Budget:    stats.Range{Lo: 5, Hi: 10},
+		Radius:    stats.Range{Lo: 0.1, Hi: 0.2},
+		Capacity:  stats.Range{Lo: 1, Hi: 3},
+		ViewProb:  stats.Range{Lo: 0.2, Hi: 0.8},
+		Seed:      3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := core.Recon{Seed: 3}.Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, a
+}
+
+func TestSVGWellFormedXML(t *testing.T) {
+	p, a := vizProblem(t)
+	var buf bytes.Buffer
+	if err := SVG(&buf, p, &a, Options{ShowRanges: true, ShowEdges: true, Title: `a "quoted" <title>`}); err != nil {
+		t.Fatal(err)
+	}
+	dec := xml.NewDecoder(bytes.NewReader(buf.Bytes()))
+	for {
+		if _, err := dec.Token(); err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("SVG is not well-formed XML: %v", err)
+		}
+	}
+}
+
+func TestSVGContainsAllEntities(t *testing.T) {
+	p, a := vizProblem(t)
+	var buf bytes.Buffer
+	if err := SVG(&buf, p, &a, Options{ShowRanges: true, ShowEdges: true}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// One <rect> per vendor (plus the background), one marker circle per
+	// customer, one range circle per vendor, one line per instance.
+	if got := strings.Count(out, "<rect"); got != len(p.Vendors)+1 {
+		t.Errorf("vendor rects = %d, want %d", got-1, len(p.Vendors))
+	}
+	if got := strings.Count(out, "<circle"); got != len(p.Customers)+len(p.Vendors) {
+		t.Errorf("circles = %d, want %d customers + %d ranges", got, len(p.Customers), len(p.Vendors))
+	}
+	if got := strings.Count(out, "<line"); got != len(a.Instances) {
+		t.Errorf("edges = %d, want %d", got, len(a.Instances))
+	}
+	if !strings.Contains(out, "total utility") {
+		t.Error("missing assignment caption")
+	}
+}
+
+func TestSVGWithoutAssignment(t *testing.T) {
+	p, _ := vizProblem(t)
+	var buf bytes.Buffer
+	if err := SVG(&buf, p, nil, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Contains(out, "<line") {
+		t.Error("edges drawn without an assignment")
+	}
+	if strings.Contains(out, "#54a24b") {
+		t.Error("served-customer color used without an assignment")
+	}
+}
+
+func TestSVGEmptyProblem(t *testing.T) {
+	p := &model.Problem{AdTypes: workload.DefaultAdTypes()}
+	var buf bytes.Buffer
+	if err := SVG(&buf, p, nil, Options{Title: "empty"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "<svg") || !strings.Contains(buf.String(), "</svg>") {
+		t.Error("empty problem must still render a document")
+	}
+}
+
+func TestSVGDegenerateGeometry(t *testing.T) {
+	// All entities on one point: padding must avoid a zero-extent viewBox.
+	p := &model.Problem{
+		Customers: []model.Customer{{ID: 0, Loc: pt(0.5, 0.5), Capacity: 1, ViewProb: 0.5}},
+		Vendors:   []model.Vendor{{ID: 0, Loc: pt(0.5, 0.5), Radius: 0.1, Budget: 5}},
+		AdTypes:   workload.DefaultAdTypes(),
+	}
+	var buf bytes.Buffer
+	if err := SVG(&buf, p, nil, Options{Width: 400}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "NaN") || strings.Contains(buf.String(), "Inf") {
+		t.Error("degenerate geometry produced non-finite coordinates")
+	}
+}
+
+func pt(x, y float64) geo.Point {
+	return geo.Point{X: x, Y: y}
+}

@@ -1,0 +1,287 @@
+// Package workload generates MUAA problem instances: the paper's synthetic
+// data (Section V-A: Gaussian customer locations, uniform vendor locations,
+// truncated-Gaussian budgets/radii/capacities/probabilities) and the worked
+// Example 1 of the introduction. The Foursquare-style check-in data lives in
+// package checkin; it converts its simulated check-ins into the same
+// model.Problem form.
+package workload
+
+import (
+	"fmt"
+
+	"muaa/internal/geo"
+	"muaa/internal/model"
+	"muaa/internal/stats"
+	"muaa/internal/taxonomy"
+)
+
+// DefaultAdTypes is the ad-type catalog used across experiments. The paper
+// initializes prices and effectiveness from an AdWords cost-per-click /
+// click-through-rate report; this catalog substitutes a cost-monotone table
+// of the same shape (Table I of the paper is its 2-type prefix: Text Link
+// $1 / 0.1, Photo Link $2 / 0.4).
+func DefaultAdTypes() []model.AdType {
+	return []model.AdType{
+		{Name: "Text Link", Cost: 1, Effect: 0.1},
+		{Name: "Banner", Cost: 1.5, Effect: 0.22},
+		{Name: "Photo Link", Cost: 2, Effect: 0.4},
+		{Name: "In-App Video", Cost: 3, Effect: 0.55},
+	}
+}
+
+// Config parameterizes the synthetic generator with the paper's knobs
+// (Table IV): entity counts and the value ranges for budgets, radii,
+// capacities and viewing probabilities. Each range is realized per entity by
+// a truncated Gaussian N(mid, width²) within the range, exactly as Section
+// V-A describes.
+type Config struct {
+	Customers int
+	Vendors   int
+	Budget    stats.Range // [B−, B+]
+	Radius    stats.Range // [r−, r+]
+	Capacity  stats.Range // [a−, a+]
+	ViewProb  stats.Range // [p−, p+]
+	// NumTags is the tag-vector dimensionality; zero selects 16.
+	NumTags int
+	// AdTypes overrides DefaultAdTypes when non-nil.
+	AdTypes []model.AdType
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Customers < 0 || c.Vendors < 0 {
+		return fmt.Errorf("workload: negative entity counts (%d customers, %d vendors)", c.Customers, c.Vendors)
+	}
+	for name, r := range map[string]stats.Range{
+		"budget": c.Budget, "radius": c.Radius, "capacity": c.Capacity, "view probability": c.ViewProb,
+	} {
+		if !r.Valid() {
+			return fmt.Errorf("workload: invalid %s range %v", name, r)
+		}
+		if r.Lo < 0 {
+			return fmt.Errorf("workload: %s range %v has negative lower bound", name, r)
+		}
+	}
+	if c.ViewProb.Hi > 1 {
+		return fmt.Errorf("workload: view probability range %v exceeds 1", c.ViewProb)
+	}
+	return nil
+}
+
+// Synthetic generates a problem instance per Section V-A: customer locations
+// follow a truncated Gaussian N(0.5, 1²) per axis in [0,1]², vendor
+// locations are uniform, and per-entity scalars follow truncated Gaussians
+// over the configured ranges. Interest/tag vectors are random unit-range
+// vectors (the synthetic experiments do not use the taxonomy; the check-in
+// workload does). Customers are emitted in arrival order with arrival hours
+// uniform over the day.
+func Synthetic(cfg Config) (*model.Problem, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := stats.NewRand(cfg.Seed)
+	numTags := cfg.NumTags
+	if numTags == 0 {
+		numTags = 16
+	}
+	adTypes := cfg.AdTypes
+	if adTypes == nil {
+		adTypes = DefaultAdTypes()
+	}
+	p := &model.Problem{
+		Customers: make([]model.Customer, cfg.Customers),
+		Vendors:   make([]model.Vendor, cfg.Vendors),
+		AdTypes:   adTypes,
+	}
+	for i := range p.Customers {
+		x, y := stats.GaussianPoint(rng, 0.5, 1)
+		p.Customers[i] = model.Customer{
+			ID:        int32(i),
+			Loc:       geo.Point{X: x, Y: y},
+			Capacity:  stats.TruncGaussianInt(rng, cfg.Capacity),
+			ViewProb:  stats.TruncGaussian(rng, cfg.ViewProb),
+			Interests: randomVector(rng, numTags),
+			Arrival:   rng.Float64() * 24,
+		}
+	}
+	for j := range p.Vendors {
+		p.Vendors[j] = model.Vendor{
+			ID:     int32(j),
+			Loc:    geo.Point{X: rng.Float64(), Y: rng.Float64()},
+			Radius: stats.TruncGaussian(rng, cfg.Radius),
+			Budget: stats.TruncGaussian(rng, cfg.Budget),
+			Tags:   randomVector(rng, numTags),
+		}
+	}
+	sortByArrival(p)
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("workload: generated invalid problem: %w", err)
+	}
+	return p, nil
+}
+
+func randomVector(rng *stats.Rand, n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.Float64()
+	}
+	return v
+}
+
+// sortByArrival orders customers by arrival hour (stable on index) and
+// renumbers IDs so the slice order is the stream order.
+func sortByArrival(p *model.Problem) {
+	cs := p.Customers
+	// Insertion-stable sort by arrival.
+	idx := make([]int, len(cs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sortStableByArrival(idx, cs)
+	out := make([]model.Customer, len(cs))
+	for pos, i := range idx {
+		out[pos] = cs[i]
+		out[pos].ID = int32(pos)
+	}
+	p.Customers = out
+}
+
+func sortStableByArrival(idx []int, cs []model.Customer) {
+	// sort.SliceStable without importing sort twice in this file's callers.
+	for i := 1; i < len(idx); i++ {
+		for j := i; j > 0 && cs[idx[j]].Arrival < cs[idx[j-1]].Arrival; j-- {
+			idx[j], idx[j-1] = idx[j-1], idx[j]
+		}
+	}
+}
+
+// Example1 reconstructs the paper's worked example (Section I, Tables I–II):
+// three vendors (noodle restaurant, teahouse, pizza place), three customers,
+// Text Link / Photo Link ad types, budgets of 3 $, capacities of 2, and the
+// distance/preference table. Geometry places each customer at the tabulated
+// distance from each vendor as closely as planar embedding allows; because
+// the utility model only consumes the tabulated distances, the problem
+// overrides distances through an exact lookup preference and vendor radii
+// covering exactly the pairs both of the paper's solutions use.
+func Example1() *model.Problem {
+	// Planar embedding of the 3×3 distance table (Table II) is
+	// over-constrained, so the example instead fixes locations that realize
+	// the *valid pair set* and routes the exact tabulated distances through
+	// MinDist-free arithmetic: utilities use d from the table via a
+	// distance-preserving trick — each pair's preference is pre-divided by
+	// its tabulated distance and the geometric distance is normalized to 1.
+	//
+	// Concretely: s'(u,v) = pref(u,v) / d(u,v), all at unit geometric
+	// distance, reproduces λ = p·β·pref/d exactly (Eq. 4).
+	dist := [][]float64{ // [vendor][customer]
+		{2, 1, 4.5},
+		{2, 2.5, 7.5},
+		{4, 2.3, 2.3},
+	}
+	pref := [][]float64{
+		{0.3, 0.2, 0.7},
+		{0.2, 0.3, 0.9},
+		{0.6, 0.5, 0.1},
+	}
+	// Valid pairs (inside the dashed range circles of Figure 1): exactly the
+	// pairs appearing in the paper's candidate solutions.
+	valid := map[[2]int]bool{
+		{0, 0}: true, {0, 1}: true, // v1: u1, u2
+		{1, 0}: true, {1, 1}: true, // v2: u1, u2
+		{2, 1}: true, {2, 2}: true, // v3: u2, u3
+	}
+	// Geometry realizing the valid-pair set: each vendor's radius covers
+	// exactly its valid customers. The sc scale keeps every rescaled
+	// preference (pref/dist·gd) inside PrefScore's [0,1] clamp — the largest
+	// ratio is (v3,u2) at 0.5/2.3·gd, which needs gd ≤ 4.6.
+	const sc = 0.4
+	vendorLoc := []geo.Point{{X: 0, Y: 0}, {X: 10 * sc, Y: 0}, {X: 0, Y: 10 * sc}}
+	customerLoc := []geo.Point{
+		{X: 5 * sc, Y: 0},      // u1 between v1 and v2
+		{X: 4 * sc, Y: 3 * sc}, // u2 reachable from all three
+		{X: 0, Y: 7 * sc},      // u3 near v3 only
+	}
+	// Radii (× sc): v1 covers u1 (5) and u2 (5), not u3 (7). v2 covers u1
+	// (5) and u2 (6.7), not u3 (12.2). v3 covers u2 (8.06) and u3 (3), not
+	// u1 (11.2).
+	radii := []float64{6 * sc, 7 * sc, 9 * sc}
+	p := &model.Problem{
+		Customers: []model.Customer{
+			{ID: 0, Loc: customerLoc[0], Capacity: 2, ViewProb: 0.3},
+			{ID: 1, Loc: customerLoc[1], Capacity: 2, ViewProb: 0.2},
+			{ID: 2, Loc: customerLoc[2], Capacity: 2, ViewProb: 0.15},
+		},
+		Vendors: []model.Vendor{
+			{ID: 0, Loc: vendorLoc[0], Radius: radii[0], Budget: 3},
+			{ID: 1, Loc: vendorLoc[1], Radius: radii[1], Budget: 3},
+			{ID: 2, Loc: vendorLoc[2], Radius: radii[2], Budget: 3},
+		},
+		AdTypes: []model.AdType{
+			{Name: "Text Link", Cost: 1, Effect: 0.1},
+			{Name: "Photo Link", Cost: 2, Effect: 0.4},
+		},
+	}
+	// Preference table pre-divided by tabulated distance, re-multiplied by
+	// geometric distance so Eq. 4's division lands on the paper's numbers.
+	table := make(model.TablePreference, 3)
+	for i := 0; i < 3; i++ {
+		table[i] = make([]float64, 3)
+		for j := 0; j < 3; j++ {
+			if !valid[[2]int{j, i}] {
+				continue
+			}
+			gd := p.Customers[i].Loc.Dist(p.Vendors[j].Loc)
+			table[i][j] = pref[j][i] / dist[j][i] * gd
+		}
+	}
+	p.Preference = table
+	return p
+}
+
+// Example1PaperSolutions returns the two solutions discussed in the paper's
+// Example 1: the "possible" solution (overall utility 0.0357) and the
+// paper's claimed optimal (0.0504). Note: the claimed optimum is in fact
+// slightly sub-optimal — the true optimum under the example's constraints is
+// ≈ 0.05204 (see EXPERIMENTS.md E1); Exact finds it.
+func Example1PaperSolutions() (possible, claimedOpt []model.Instance) {
+	const tl, pl = 0, 1
+	possible = []model.Instance{
+		{Customer: 0, Vendor: 0, AdType: tl},
+		{Customer: 1, Vendor: 0, AdType: pl},
+		{Customer: 0, Vendor: 1, AdType: tl},
+		{Customer: 1, Vendor: 1, AdType: pl},
+		{Customer: 2, Vendor: 2, AdType: pl},
+	}
+	claimedOpt = []model.Instance{
+		{Customer: 0, Vendor: 0, AdType: pl},
+		{Customer: 0, Vendor: 1, AdType: pl},
+		{Customer: 1, Vendor: 1, AdType: tl},
+		{Customer: 1, Vendor: 2, AdType: pl},
+		{Customer: 2, Vendor: 2, AdType: tl},
+	}
+	return possible, claimedOpt
+}
+
+// Taxonomized converts a synthetic problem to taxonomy-backed vectors: it
+// re-derives customer interests and vendor tags from random check-in
+// behaviour over the given taxonomy, producing the correlated, sparse
+// vectors the Pearson preference was designed for. Used by examples that
+// want taxonomy semantics without the full check-in simulator.
+func Taxonomized(p *model.Problem, tx *taxonomy.Taxonomy, seed int64) {
+	rng := stats.NewRand(seed)
+	leaves := tx.Leaves()
+	for i := range p.Customers {
+		checkins := map[taxonomy.TagID]int{}
+		visits := 1 + rng.Intn(5)
+		for v := 0; v < visits; v++ {
+			checkins[leaves[rng.Intn(len(leaves))]]++
+		}
+		p.Customers[i].Interests = tx.InterestVector(checkins, taxonomy.ProfileConfig{Normalize: true})
+	}
+	for j := range p.Vendors {
+		tag := leaves[rng.Intn(len(leaves))]
+		p.Vendors[j].Tags = tx.VendorVector([]taxonomy.TagID{tag}, 0.5)
+	}
+}

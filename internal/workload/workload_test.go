@@ -1,0 +1,268 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"muaa/internal/model"
+	"muaa/internal/stats"
+	"muaa/internal/taxonomy"
+)
+
+func testConfig() Config {
+	return Config{
+		Customers: 200,
+		Vendors:   30,
+		Budget:    stats.Range{Lo: 10, Hi: 20},
+		Radius:    stats.Range{Lo: 0.02, Hi: 0.03},
+		Capacity:  stats.Range{Lo: 1, Hi: 6},
+		ViewProb:  stats.Range{Lo: 0.1, Hi: 0.5},
+		Seed:      1,
+	}
+}
+
+func TestSyntheticRespectsRanges(t *testing.T) {
+	cfg := testConfig()
+	p, err := Synthetic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Customers) != cfg.Customers || len(p.Vendors) != cfg.Vendors {
+		t.Fatalf("counts: %d customers, %d vendors", len(p.Customers), len(p.Vendors))
+	}
+	for _, u := range p.Customers {
+		if u.Loc.X < 0 || u.Loc.X > 1 || u.Loc.Y < 0 || u.Loc.Y > 1 {
+			t.Fatalf("customer location %v outside unit square", u.Loc)
+		}
+		if !cfg.Capacity.Contains(float64(u.Capacity)) {
+			t.Fatalf("capacity %d outside %v", u.Capacity, cfg.Capacity)
+		}
+		if !cfg.ViewProb.Contains(u.ViewProb) {
+			t.Fatalf("view probability %g outside %v", u.ViewProb, cfg.ViewProb)
+		}
+		if len(u.Interests) != 16 {
+			t.Fatalf("interest vector dimension %d, want default 16", len(u.Interests))
+		}
+		if u.Arrival < 0 || u.Arrival >= 24 {
+			t.Fatalf("arrival hour %g outside [0,24)", u.Arrival)
+		}
+	}
+	for _, v := range p.Vendors {
+		if v.Loc.X < 0 || v.Loc.X > 1 || v.Loc.Y < 0 || v.Loc.Y > 1 {
+			t.Fatalf("vendor location %v outside unit square", v.Loc)
+		}
+		if !cfg.Budget.Contains(v.Budget) {
+			t.Fatalf("budget %g outside %v", v.Budget, cfg.Budget)
+		}
+		if !cfg.Radius.Contains(v.Radius) {
+			t.Fatalf("radius %g outside %v", v.Radius, cfg.Radius)
+		}
+	}
+}
+
+func TestSyntheticCustomersOrderedByArrival(t *testing.T) {
+	p, err := Synthetic(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(p.Customers); i++ {
+		if p.Customers[i].Arrival < p.Customers[i-1].Arrival {
+			t.Fatalf("customers not in arrival order at %d", i)
+		}
+	}
+}
+
+func TestSyntheticDeterministic(t *testing.T) {
+	a, err := Synthetic(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Synthetic(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Customers {
+		if a.Customers[i].Loc != b.Customers[i].Loc || a.Customers[i].Capacity != b.Customers[i].Capacity {
+			t.Fatalf("same seed produced different customers at %d", i)
+		}
+	}
+	cfg := testConfig()
+	cfg.Seed = 2
+	c, err := Synthetic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.Customers {
+		if a.Customers[i].Loc != c.Customers[i].Loc {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical customer placements")
+	}
+}
+
+func TestSyntheticValidation(t *testing.T) {
+	bad := testConfig()
+	bad.ViewProb = stats.Range{Lo: 0.5, Hi: 1.5}
+	if _, err := Synthetic(bad); err == nil {
+		t.Error("view probability above 1 must be rejected")
+	}
+	bad = testConfig()
+	bad.Budget = stats.Range{Lo: 5, Hi: 1}
+	if _, err := Synthetic(bad); err == nil {
+		t.Error("inverted range must be rejected")
+	}
+	bad = testConfig()
+	bad.Customers = -1
+	if _, err := Synthetic(bad); err == nil {
+		t.Error("negative count must be rejected")
+	}
+	bad = testConfig()
+	bad.Radius = stats.Range{Lo: -0.1, Hi: 0.1}
+	if _, err := Synthetic(bad); err == nil {
+		t.Error("negative radius must be rejected")
+	}
+}
+
+func TestSyntheticEmpty(t *testing.T) {
+	cfg := testConfig()
+	cfg.Customers, cfg.Vendors = 0, 0
+	p, err := Synthetic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Customers) != 0 || len(p.Vendors) != 0 {
+		t.Error("empty config must produce empty problem")
+	}
+}
+
+func TestDefaultAdTypesCostMonotone(t *testing.T) {
+	types := DefaultAdTypes()
+	if len(types) < 2 {
+		t.Fatal("need at least two ad types")
+	}
+	for k := 1; k < len(types); k++ {
+		if types[k].Cost <= types[k-1].Cost {
+			t.Errorf("costs must increase: %s vs %s", types[k-1].Name, types[k].Name)
+		}
+		if types[k].Effect <= types[k-1].Effect {
+			t.Errorf("paper assumption: pricier types are more effective (%s vs %s)",
+				types[k-1].Name, types[k].Name)
+		}
+	}
+	if types[0].Name != "Text Link" || types[0].Cost != 1 || types[0].Effect != 0.1 {
+		t.Error("Table I text link mismatch")
+	}
+}
+
+func TestExample1UtilitiesMatchPaper(t *testing.T) {
+	p := Example1()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	possible, claimed := Example1PaperSolutions()
+	if err := p.Check(possible); err != nil {
+		t.Fatalf("paper's possible solution infeasible: %v", err)
+	}
+	if err := p.Check(claimed); err != nil {
+		t.Fatalf("paper's claimed optimum infeasible: %v", err)
+	}
+	if got := p.TotalUtility(possible); math.Abs(got-0.0357087) > 1e-6 {
+		t.Errorf("possible solution utility = %.7f, paper says 0.0357", got)
+	}
+	if got := p.TotalUtility(claimed); math.Abs(got-0.0504435) > 1e-6 {
+		t.Errorf("claimed optimum utility = %.7f, paper says 0.0504", got)
+	}
+	// The single-instance utility the paper computes explicitly:
+	// ⟨u3, v2, PL⟩ would be 0.0072 — but that pair is out of range in the
+	// example's figure, so check the in-range ⟨u3, v3, PL⟩ instead:
+	// 0.15·0.4·0.1/2.3 = 0.0026087.
+	if got := p.Utility(2, 2, 1); math.Abs(got-0.0026087) > 1e-6 {
+		t.Errorf("λ(u3,v3,PL) = %.7f, want 0.0026087", got)
+	}
+}
+
+func TestExample1ValidPairSet(t *testing.T) {
+	p := Example1()
+	wantValid := map[[2]int32]bool{
+		{0, 0}: true, {1, 0}: true,
+		{0, 1}: true, {1, 1}: true,
+		{1, 2}: true, {2, 2}: true,
+	}
+	for ui := int32(0); ui < 3; ui++ {
+		for vj := int32(0); vj < 3; vj++ {
+			got := p.InRange(ui, vj)
+			if got != wantValid[[2]int32{ui, vj}] {
+				t.Errorf("InRange(u%d, v%d) = %v, want %v", ui, vj, got, !got)
+			}
+		}
+	}
+}
+
+func TestTaxonomized(t *testing.T) {
+	p, err := Synthetic(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := taxonomy.Foursquare()
+	Taxonomized(p, tx, 7)
+	for i, u := range p.Customers {
+		if len(u.Interests) != tx.NumTags() {
+			t.Fatalf("customer %d interests dimension %d, want %d", i, len(u.Interests), tx.NumTags())
+		}
+		maxV := 0.0
+		for _, v := range u.Interests {
+			if v < 0 || v > 1 {
+				t.Fatalf("interest %g outside [0,1]", v)
+			}
+			if v > maxV {
+				maxV = v
+			}
+		}
+		if maxV == 0 {
+			t.Fatalf("customer %d has an all-zero interest vector", i)
+		}
+	}
+	for j, v := range p.Vendors {
+		if len(v.Tags) != tx.NumTags() {
+			t.Fatalf("vendor %d tags dimension %d", j, len(v.Tags))
+		}
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The Pearson preference must now produce sane scores.
+	s := p.PrefScore(0, 0)
+	if s < 0 || s > 1 {
+		t.Errorf("PrefScore = %g outside [0,1]", s)
+	}
+}
+
+func TestExample1AdTypes(t *testing.T) {
+	p := Example1()
+	if p.NumAdTypes() != 2 {
+		t.Fatalf("Example 1 has %d ad types, want 2 (Table I)", p.NumAdTypes())
+	}
+	if p.AdTypes[0].Cost != 1 || p.AdTypes[0].Effect != 0.1 ||
+		p.AdTypes[1].Cost != 2 || p.AdTypes[1].Effect != 0.4 {
+		t.Errorf("ad types %+v do not match Table I", p.AdTypes)
+	}
+	for i := range p.Customers {
+		if p.Customers[i].Capacity != 2 {
+			t.Errorf("customer %d capacity %d, want 2", i, p.Customers[i].Capacity)
+		}
+	}
+	for j := range p.Vendors {
+		if p.Vendors[j].Budget != 3 {
+			t.Errorf("vendor %d budget %g, want 3", j, p.Vendors[j].Budget)
+		}
+	}
+}
+
+var _ = model.Instance{} // keep model imported even if assertions change

@@ -1,0 +1,191 @@
+// Package muaa is a from-scratch Go implementation of "Maximizing the
+// Utility in Location-Based Mobile Advertising" (Cheng, Lian, Chen, Liu —
+// ICDE 2019): the maximum utility ad assignment (MUAA) problem, its offline
+// reconciliation approach (approximation ratio (1−ε)·θ), the online adaptive
+// factor-aware approach O-AFA (competitive ratio (ln g + 1)/θ, g > e), the
+// evaluated baselines, and the workload machinery to reproduce every
+// experiment of the paper's evaluation section.
+//
+// # The problem
+//
+// Vendors run location-based ad campaigns with budgets B_j and reach radii
+// r_j; customers have capacities a_i (how many ads they accept), viewing
+// probabilities p_i and tag-interest vectors; ads come in types with cost
+// c_k and effectiveness β_k. An assignment pushes at most one ad per
+// (customer, vendor) pair so that ranges, capacities and budgets hold and
+// the total utility Σ p_i·β_k·s(u_i,v_j)/d(u_i,v_j) is maximized. The
+// problem is NP-hard (reduction from 0-1 knapsack).
+//
+// # Quick start
+//
+//	problem := &muaa.Problem{Customers: ..., Vendors: ..., AdTypes: ...}
+//	assignment, err := muaa.Recon{Seed: 1}.Solve(problem)
+//
+// For the streaming setting, feed arrivals one at a time:
+//
+//	session, _ := muaa.NewSession(problem, muaa.OnlineAFA{})
+//	for id := range problem.Customers {
+//	    pushed := session.Arrive(int32(id))
+//	    // deliver pushed ads...
+//	}
+//
+// See examples/ for runnable walkthroughs and DESIGN.md for the full system
+// inventory. The implementation packages live under internal/; this package
+// is the supported public surface, re-exporting them as type aliases.
+package muaa
+
+import (
+	"io"
+
+	"muaa/internal/core"
+	"muaa/internal/geo"
+	"muaa/internal/mobility"
+	"muaa/internal/model"
+	"muaa/internal/persist"
+	"muaa/internal/stats"
+	"muaa/internal/workload"
+)
+
+// Point is a planar location.
+type Point = geo.Point
+
+// Range is a closed parameter interval [Lo, Hi].
+type Range = stats.Range
+
+// Core domain types (Section II of the paper).
+type (
+	// Problem is a full MUAA instance; see model.Problem.
+	Problem = model.Problem
+	// Customer is a spatial customer u_i (Definition 1).
+	Customer = model.Customer
+	// Vendor is a spatial vendor v_j (Definition 2).
+	Vendor = model.Vendor
+	// AdType is an ad format τ_k with cost and effectiveness (Definition 3).
+	AdType = model.AdType
+	// Instance is one pushed ad ⟨u_i, v_j, τ_k⟩ (Definition 4).
+	Instance = model.Instance
+	// Assignment is a solver result: instances plus total utility.
+	Assignment = model.Assignment
+	// Activity models per-tag temporal activity α_x(φ).
+	Activity = model.Activity
+	// Preference scores s(u_i, v_j, φ).
+	Preference = model.Preference
+	// PearsonPreference is the paper's Eq. 5 activity-weighted correlation.
+	PearsonPreference = model.PearsonPreference
+	// DiurnalActivity gives tags sinusoidal daily cycles.
+	DiurnalActivity = model.DiurnalActivity
+	// UniformActivity treats all tags as always active.
+	UniformActivity = model.UniformActivity
+	// TablePreference looks scores up in a dense matrix.
+	TablePreference = model.TablePreference
+)
+
+// Solvers (Sections III–IV and the Section V competitor set).
+type (
+	// Solver is any MUAA assignment algorithm.
+	Solver = core.Solver
+	// Recon is the offline reconciliation approach (Algorithm 1).
+	Recon = core.Recon
+	// OnlineAFA is the online adaptive factor-aware approach (Algorithm 2).
+	OnlineAFA = core.OnlineAFA
+	// Greedy is the offline budget-efficiency greedy baseline.
+	Greedy = core.Greedy
+	// Random is the random-assignment baseline.
+	Random = core.Random
+	// Nearest is the nearest-vendor baseline.
+	Nearest = core.Nearest
+	// Exact is the branch-and-bound optimum for small instances.
+	Exact = core.Exact
+	// Session is the incremental streaming interface to O-AFA.
+	Session = core.Session
+	// Threshold is an O-AFA admission-threshold policy.
+	Threshold = core.Threshold
+	// AdaptiveThreshold is the paper's φ(δ) = (γ_min/e)·g^δ.
+	AdaptiveThreshold = core.AdaptiveThreshold
+	// StaticThreshold is the fixed-φ ablation policy.
+	StaticThreshold = core.StaticThreshold
+	// OnlineBatch is the micro-batching extension: bounded answer delay
+	// buys look-ahead within each window, composed with the adaptive
+	// threshold.
+	OnlineBatch = core.OnlineBatch
+	// BatchSession is the incremental streaming interface to OnlineBatch.
+	BatchSession = core.BatchSession
+)
+
+// Moving-customer support (the safe-region machinery of Xu et al. [26] that
+// the paper builds on for continuous vendor selection).
+type (
+	// Trajectory is a piecewise-linear timed path.
+	Trajectory = mobility.Trajectory
+	// SafeRegion is the disk within which a customer's covering-vendor set
+	// cannot change.
+	SafeRegion = mobility.SafeRegion
+	// Tracker maintains a moving customer's covering-vendor set with
+	// amortized O(1) work per movement sample.
+	Tracker = mobility.Tracker
+)
+
+// NewTracker builds a safe-region tracker over a fixed vendor set.
+func NewTracker(vendors []Vendor) *Tracker {
+	return mobility.NewTracker(vendors)
+}
+
+// ComputeSafeRegion returns the valid vendor set at p and the conservative
+// safe radius around it.
+func ComputeSafeRegion(p Point, vendors []Vendor) SafeRegion {
+	return mobility.ComputeSafeRegion(p, vendors)
+}
+
+// NewBatchSession starts a streaming micro-batch session over the problem.
+func NewBatchSession(p *Problem, cfg OnlineBatch) (*BatchSession, error) {
+	return core.NewBatchSession(p, cfg)
+}
+
+// NewSession starts a streaming O-AFA session over the problem.
+func NewSession(p *Problem, cfg OnlineAFA) (*Session, error) {
+	return core.NewSession(p, cfg)
+}
+
+// EstimateGammaMin estimates the budget-efficiency floor γ_min the adaptive
+// threshold needs, by sampling valid pairs (Section IV-C).
+func EstimateGammaMin(p *Problem, sample int, seed int64) float64 {
+	return core.EstimateGammaMin(p, sample, seed)
+}
+
+// WorkloadConfig parameterizes the synthetic generator of Section V-A.
+type WorkloadConfig = workload.Config
+
+// NewSyntheticProblem generates a synthetic instance per Section V-A.
+func NewSyntheticProblem(cfg WorkloadConfig) (*Problem, error) {
+	return workload.Synthetic(cfg)
+}
+
+// DefaultAdTypes returns the cost-monotone ad-type catalog used by the
+// experiments (its 2-type prefix is the paper's Table I).
+func DefaultAdTypes() []AdType {
+	return workload.DefaultAdTypes()
+}
+
+// Example1 reconstructs the paper's worked example (Tables I–II).
+func Example1() *Problem {
+	return workload.Example1()
+}
+
+// Persistence: versioned JSON round-trip for problems and assignments
+// (internal/persist holds the loaders for check-in datasets as well).
+
+// SaveProblem writes the problem as versioned JSON; see persist.SaveProblem
+// for the supported preference kinds.
+func SaveProblem(w io.Writer, p *Problem) error { return persist.SaveProblem(w, p) }
+
+// LoadProblem reads and validates a problem written by SaveProblem.
+func LoadProblem(r io.Reader) (*Problem, error) { return persist.LoadProblem(r) }
+
+// SaveAssignment writes a solver result as versioned JSON.
+func SaveAssignment(w io.Writer, a Assignment) error { return persist.SaveAssignment(w, a) }
+
+// LoadAssignment reads an assignment, verifying feasibility and the recorded
+// utility against the problem when it is non-nil.
+func LoadAssignment(r io.Reader, p *Problem) (Assignment, error) {
+	return persist.LoadAssignment(r, p)
+}

@@ -1,0 +1,165 @@
+package muaa_test
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"muaa"
+)
+
+// TestPublicAPIRoundTrip exercises the exported surface end to end: build a
+// problem with the aliases, solve offline and online, validate.
+func TestPublicAPIRoundTrip(t *testing.T) {
+	problem := &muaa.Problem{
+		Customers: []muaa.Customer{
+			{ID: 0, Loc: muaa.Point{X: 0.5, Y: 0.5}, Capacity: 2, ViewProb: 0.5,
+				Interests: []float64{0.9, 0.1}},
+			{ID: 1, Loc: muaa.Point{X: 0.52, Y: 0.5}, Capacity: 1, ViewProb: 0.8,
+				Interests: []float64{0.1, 0.9}},
+		},
+		Vendors: []muaa.Vendor{
+			{ID: 0, Loc: muaa.Point{X: 0.49, Y: 0.51}, Radius: 0.1, Budget: 5,
+				Tags: []float64{1, 0}},
+			{ID: 1, Loc: muaa.Point{X: 0.53, Y: 0.49}, Radius: 0.1, Budget: 5,
+				Tags: []float64{0, 1}},
+		},
+		AdTypes: muaa.DefaultAdTypes(),
+	}
+	if err := problem.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	offline, err := muaa.Recon{Seed: 1}.Solve(problem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if offline.Utility <= 0 {
+		t.Fatal("offline solve produced no utility")
+	}
+	session, err := muaa.NewSession(problem, muaa.OnlineAFA{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := range problem.Customers {
+		session.Arrive(int32(id))
+	}
+	online, err := session.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := problem.Check(online.Instances); err != nil {
+		t.Fatal(err)
+	}
+	if online.Utility > offline.Utility+1e-9 {
+		// Not impossible in general, but on this saturated instance RECON
+		// reaches the optimum.
+		t.Errorf("online %g exceeded offline %g", online.Utility, offline.Utility)
+	}
+}
+
+func TestPublicExample1(t *testing.T) {
+	p := muaa.Example1()
+	a, err := muaa.Exact{}.Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.Utility-0.0520435) > 1e-6 {
+		t.Errorf("Example 1 optimum = %g", a.Utility)
+	}
+}
+
+func TestPublicSyntheticGenerator(t *testing.T) {
+	p, err := muaa.NewSyntheticProblem(muaa.WorkloadConfig{
+		Customers: 50,
+		Vendors:   10,
+		Budget:    muaa.Range{Lo: 5, Hi: 10},
+		Radius:    muaa.Range{Lo: 0.1, Hi: 0.2},
+		Capacity:  muaa.Range{Lo: 1, Hi: 3},
+		ViewProb:  muaa.Range{Lo: 0.2, Hi: 0.8},
+		Seed:      1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gamma := muaa.EstimateGammaMin(p, 256, 1)
+	if gamma <= 0 {
+		t.Fatal("γ_min estimate must be positive on a dense instance")
+	}
+	th := muaa.AdaptiveThreshold{GammaMin: gamma, G: 2 * math.E}
+	if th.Value(1) <= th.Value(0) {
+		t.Error("adaptive threshold must increase")
+	}
+	var s muaa.Solver = muaa.Greedy{}
+	a, err := s.Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Utility <= 0 {
+		t.Error("greedy found nothing on a dense instance")
+	}
+}
+
+func TestPublicMobilityAndBatch(t *testing.T) {
+	p, err := muaa.NewSyntheticProblem(muaa.WorkloadConfig{
+		Customers: 30,
+		Vendors:   10,
+		Budget:    muaa.Range{Lo: 5, Hi: 10},
+		Radius:    muaa.Range{Lo: 0.1, Hi: 0.2},
+		Capacity:  muaa.Range{Lo: 1, Hi: 2},
+		ViewProb:  muaa.Range{Lo: 0.3, Hi: 0.7},
+		Seed:      5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := muaa.NewBatchSession(p, muaa.OnlineBatch{Window: 8, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := range p.Customers {
+		s.Arrive(int32(id))
+	}
+	s.Flush()
+	a, err := s.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Check(a.Instances); err != nil {
+		t.Fatal(err)
+	}
+	region := muaa.ComputeSafeRegion(muaa.Point{X: 0.5, Y: 0.5}, p.Vendors)
+	if region.Radius < 0 {
+		t.Error("negative safe radius")
+	}
+	tk := muaa.NewTracker(p.Vendors)
+	if valid, recomputed := tk.Update(muaa.Point{X: 0.5, Y: 0.5}); !recomputed || valid == nil && len(region.Valid) > 0 {
+		t.Error("tracker first update must recompute")
+	}
+}
+
+func TestPublicPersistRoundTrip(t *testing.T) {
+	p := muaa.Example1()
+	var buf bytes.Buffer
+	if err := muaa.SaveProblem(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := muaa.LoadProblem(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := muaa.Greedy{}.Solve(loaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := muaa.SaveAssignment(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	back, err := muaa.LoadAssignment(&buf, loaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Utility != a.Utility {
+		t.Errorf("round trip changed utility: %g vs %g", back.Utility, a.Utility)
+	}
+}
