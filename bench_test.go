@@ -9,12 +9,15 @@ package muaa_test
 // the experiment package's tests and recorded in EXPERIMENTS.md.
 
 import (
+	"sync/atomic"
 	"testing"
 
 	"muaa"
+	"muaa/internal/broker"
 	"muaa/internal/core"
 	"muaa/internal/experiment"
 	"muaa/internal/stream"
+	"muaa/internal/workload"
 )
 
 func benchSettings() experiment.Settings {
@@ -184,6 +187,75 @@ func BenchmarkIndexAblation(b *testing.B) {
 	st := benchSettings()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiment.RunIndexAblation(st, 500); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchBroker builds a broker pre-loaded with a deterministic campaign set
+// and returns it with the mixed op stream to replay against it.
+func benchBroker(b *testing.B) (*broker.Broker, []workload.BrokerOp) {
+	b.Helper()
+	specs, ops, err := workload.BrokerLoad(workload.DefaultBrokerLoadConfig(256, 8192, 42))
+	if err != nil {
+		b.Fatal(err)
+	}
+	br, err := broker.New(broker.Config{AdTypes: workload.DefaultAdTypes()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, c := range specs {
+		if _, err := br.RegisterCampaign(c.Loc, c.Radius, c.Budget, c.Tags); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return br, ops
+}
+
+func applyBrokerOp(br *broker.Broker, op workload.BrokerOp) error {
+	switch op.Kind {
+	case workload.OpArrival:
+		_, err := br.Arrive(broker.Arrival{
+			Loc: op.Loc, Capacity: op.Capacity, ViewProb: op.ViewProb,
+			Interests: op.Interests, Hour: op.Hour,
+		})
+		return err
+	case workload.OpTopUp:
+		return br.TopUp(op.Campaign, op.Amount)
+	case workload.OpPause:
+		return br.SetPaused(op.Campaign, op.Paused)
+	default:
+		br.Stats()
+		return nil
+	}
+}
+
+// BenchmarkBrokerParallelArrivals drives mixed arrival/top-up/stats traffic
+// through one broker from GOMAXPROCS goroutines (b.RunParallel). Compare
+// against BenchmarkBrokerSerialArrivals across -cpu values for the scaling
+// curve of the sharded serving path; cmd/muaa-bench -exp broker prints the
+// same sweep as a table.
+func BenchmarkBrokerParallelArrivals(b *testing.B) {
+	br, ops := benchBroker(b)
+	var next atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			op := ops[int(next.Add(1)-1)%len(ops)]
+			if err := applyBrokerOp(br, op); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkBrokerSerialArrivals is the single-goroutine baseline for the
+// parallel benchmark above.
+func BenchmarkBrokerSerialArrivals(b *testing.B) {
+	br, ops := benchBroker(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := applyBrokerOp(br, ops[i%len(ops)]); err != nil {
 			b.Fatal(err)
 		}
 	}

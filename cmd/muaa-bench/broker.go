@@ -1,0 +1,123 @@
+package main
+
+// The broker scaling sweep (-exp broker): drives the same deterministic mixed
+// arrival/top-up/stats stream that bench_test.go's
+// BenchmarkBrokerParallelArrivals uses through one sharded broker at
+// increasing goroutine counts, and prints the throughput curve. On
+// multi-core hardware the curve shows the effect of per-stripe locking; the
+// -shards flag (via the serve command) and the benchmark's -cpu flag probe
+// the same axis.
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"muaa/internal/broker"
+	"muaa/internal/workload"
+)
+
+// runBrokerScaling sweeps worker counts 1,2,4,… up to maxWorkers (0 selects
+// max(8, 2·GOMAXPROCS)) over a scale-sized op stream and prints ops/sec and
+// speedup per point.
+func runBrokerScaling(w io.Writer, scale float64, maxWorkers int, seed int64, csv bool) error {
+	if maxWorkers <= 0 {
+		maxWorkers = 2 * runtime.GOMAXPROCS(0)
+		if maxWorkers < 8 {
+			maxWorkers = 8
+		}
+	}
+	campaigns := int(512 * scale)
+	if campaigns < 16 {
+		campaigns = 16
+	}
+	totalOps := int(400000 * scale)
+	if totalOps < 20000 {
+		totalOps = 20000
+	}
+	specs, ops, err := workload.BrokerLoad(workload.DefaultBrokerLoadConfig(campaigns, totalOps, seed))
+	if err != nil {
+		return err
+	}
+	if csv {
+		fmt.Fprintln(w, "goroutines,ops,seconds,ops_per_sec,speedup")
+	} else {
+		fmt.Fprintf(w, "Broker scaling — %d campaigns, %d mixed ops (90%% arrivals), GOMAXPROCS=%d\n",
+			campaigns, totalOps, runtime.GOMAXPROCS(0))
+		fmt.Fprintf(w, "%12s %12s %12s %14s %9s\n", "goroutines", "ops", "seconds", "ops/sec", "speedup")
+	}
+	var base float64
+	for workers := 1; workers <= maxWorkers; workers *= 2 {
+		opsPerSec, err := brokerThroughput(specs, ops, workers)
+		if err != nil {
+			return err
+		}
+		if base == 0 {
+			base = opsPerSec
+		}
+		if csv {
+			fmt.Fprintf(w, "%d,%d,%.4f,%.0f,%.2f\n",
+				workers, totalOps, float64(totalOps)/opsPerSec, opsPerSec, opsPerSec/base)
+		} else {
+			fmt.Fprintf(w, "%12d %12d %12.4f %14.0f %8.2fx\n",
+				workers, totalOps, float64(totalOps)/opsPerSec, opsPerSec, opsPerSec/base)
+		}
+	}
+	return nil
+}
+
+// brokerThroughput replays the op stream across `workers` goroutines against
+// a fresh broker and returns the aggregate operation rate.
+func brokerThroughput(specs []workload.BrokerCampaign, ops []workload.BrokerOp, workers int) (float64, error) {
+	b, err := broker.New(broker.Config{AdTypes: workload.DefaultAdTypes()})
+	if err != nil {
+		return 0, err
+	}
+	for _, c := range specs {
+		if _, err := b.RegisterCampaign(c.Loc, c.Radius, c.Budget, c.Tags); err != nil {
+			return 0, err
+		}
+	}
+	var firstErr atomic.Pointer[error]
+	var wg sync.WaitGroup
+	start := time.Now()
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := g; i < len(ops); i += workers {
+				if err := applyOp(b, ops[i]); err != nil {
+					firstErr.CompareAndSwap(nil, &err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if p := firstErr.Load(); p != nil {
+		return 0, *p
+	}
+	return float64(len(ops)) / elapsed.Seconds(), nil
+}
+
+func applyOp(b *broker.Broker, op workload.BrokerOp) error {
+	switch op.Kind {
+	case workload.OpArrival:
+		_, err := b.Arrive(broker.Arrival{
+			Loc: op.Loc, Capacity: op.Capacity, ViewProb: op.ViewProb,
+			Interests: op.Interests, Hour: op.Hour,
+		})
+		return err
+	case workload.OpTopUp:
+		return b.TopUp(op.Campaign, op.Amount)
+	case workload.OpPause:
+		return b.SetPaused(op.Campaign, op.Paused)
+	default:
+		b.Stats()
+		return nil
+	}
+}

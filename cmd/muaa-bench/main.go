@@ -14,6 +14,12 @@
 // backend ablation), a4 (ratio study), a5 (safe regions), a6 (micro-batch
 // windows), a7 (day-over-day tuning), all.
 //
+// Beyond the paper, `-exp broker` sweeps goroutine counts over the sharded
+// live broker and prints its throughput scaling curve (-workers caps the
+// sweep; see DESIGN.md's concurrency model section):
+//
+//	muaa-bench -exp broker -scale 0.1 -workers 8
+//
 // -scale shrinks entity counts for quick runs; 1.0 reproduces the paper's
 // sizes (m = 10,000 / n = 500 defaults; fig7 up to m = 100,000). -repeats N
 // replicates each sweep under N seeds and reports means.
@@ -73,6 +79,12 @@ func run(w io.Writer, exp string, scale float64, csv, chart, md bool, workers, r
 		format = experiment.ChartFormat
 	case md:
 		format = experiment.MarkdownFormat
+	}
+	if strings.EqualFold(exp, "broker") {
+		if chart || md {
+			return fmt.Errorf("-exp broker supports text and -csv output only")
+		}
+		return runBrokerScaling(w, scale, workers, seed, csv)
 	}
 	if strings.EqualFold(exp, "all") {
 		return experiment.RunAll(w, st, workers, repeats, format)

@@ -40,6 +40,27 @@ func TestRunFormats(t *testing.T) {
 	}
 }
 
+func TestRunBrokerScaling(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "broker", 0.02, false, false, false, 2, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Broker scaling") || !strings.Contains(out, "ops/sec") {
+		t.Errorf("broker sweep output malformed:\n%s", out)
+	}
+	buf.Reset()
+	if err := run(&buf, "broker", 0.02, true, false, false, 2, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "goroutines,ops,seconds,ops_per_sec,speedup") {
+		t.Errorf("broker CSV output malformed:\n%s", buf.String())
+	}
+	if err := run(&buf, "broker", 0.02, false, true, false, 2, 1, 1); err == nil {
+		t.Error("-exp broker with -chart must be rejected")
+	}
+}
+
 func TestRunRejectsBadFlags(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run(&buf, "fig8", 0, false, false, false, 2, 1, 1); err == nil {

@@ -19,6 +19,10 @@
 //	curl -s localhost:8080/campaigns -d '{"loc":{"x":0.5,"y":0.5},"radius":0.1,"budget":20,"tags":[1,0,0.2]}'
 //	curl -s localhost:8080/arrivals  -d '{"loc":{"x":0.49,"y":0.51},"capacity":2,"viewProb":0.7,"interests":[0.9,0.1,0.3]}'
 //	curl -s localhost:8080/stats
+//
+// The broker shards campaign state by spatial stripe so arrivals in
+// different regions are served in parallel; -shards overrides the
+// GOMAXPROCS-scaled default.
 package main
 
 import (
@@ -32,23 +36,37 @@ import (
 	"muaa/internal/workload"
 )
 
-func main() {
-	var (
-		addr = flag.String("addr", ":8080", "listen address")
-		g    = flag.Float64("g", 0, "adaptive threshold base g (> e); 0 = derive from observed γ bounds")
-	)
-	flag.Parse()
+// newServer builds the broker and its HTTP server from the flag values; the
+// caller owns listening (main uses ListenAndServe, the smoke test binds an
+// ephemeral port).
+func newServer(addr string, g, pacing float64, shards int) (*http.Server, error) {
 	b, err := broker.New(broker.Config{
 		AdTypes: workload.DefaultAdTypes(),
-		G:       *g,
+		G:       g,
+		Pacing:  pacing,
+		Shards:  shards,
 	})
 	if err != nil {
-		log.Fatal(err)
+		return nil, err
 	}
-	srv := &http.Server{
-		Addr:              *addr,
+	return &http.Server{
+		Addr:              addr,
 		Handler:           broker.NewAPI(b),
 		ReadHeaderTimeout: 5 * time.Second,
+	}, nil
+}
+
+func main() {
+	var (
+		addr   = flag.String("addr", ":8080", "listen address")
+		g      = flag.Float64("g", 0, "adaptive threshold base g (> e); 0 = derive from observed γ bounds")
+		pacing = flag.Float64("pacing", 0, "daily budget pacing factor (0 = off, 1 = strictly uniform)")
+		shards = flag.Int("shards", 0, "spatial shard count for concurrent serving (0 = scale to GOMAXPROCS)")
+	)
+	flag.Parse()
+	srv, err := newServer(*addr, *g, *pacing, *shards)
+	if err != nil {
+		log.Fatal(err)
 	}
 	fmt.Printf("muaa-serve: listening on %s (ad types: %d)\n", *addr, len(workload.DefaultAdTypes()))
 	log.Fatal(srv.ListenAndServe())

@@ -1,0 +1,195 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// startServer binds an ephemeral port, serves on it in the background, and
+// returns the base URL.
+func startServer(t *testing.T, g, pacing float64, shards int) string {
+	t.Helper()
+	srv, err := newServer("127.0.0.1:0", g, pacing, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", srv.Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv.Serve(ln) }()
+	t.Cleanup(func() { _ = srv.Close() })
+	return "http://" + ln.Addr().String()
+}
+
+func postJSON(t *testing.T, url, body string, out any) int {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("POST %s: decoding response: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("GET %s: decoding response: %v", url, err)
+	}
+	return resp.StatusCode
+}
+
+// TestServeSmoke boots the real server on an ephemeral port and replays the
+// README example session end to end: register a campaign, send an arrival
+// inside its range, and read the counters back.
+func TestServeSmoke(t *testing.T) {
+	base := startServer(t, 0, 0, 0)
+
+	var created struct {
+		ID int32 `json:"id"`
+	}
+	if code := postJSON(t, base+"/campaigns",
+		`{"loc":{"x":0.5,"y":0.5},"radius":0.1,"budget":20,"tags":[1,0,0.2]}`, &created); code != http.StatusCreated {
+		t.Fatalf("POST /campaigns → %d", code)
+	}
+
+	var arrival struct {
+		Offers []struct {
+			Campaign   int32   `json:"campaign"`
+			AdTypeName string  `json:"adTypeName"`
+			Cost       float64 `json:"cost"`
+			Utility    float64 `json:"utility"`
+		} `json:"offers"`
+	}
+	if code := postJSON(t, base+"/arrivals",
+		`{"loc":{"x":0.49,"y":0.51},"capacity":2,"viewProb":0.7,"interests":[0.9,0.1,0.3]}`, &arrival); code != http.StatusOK {
+		t.Fatalf("POST /arrivals → %d", code)
+	}
+	if len(arrival.Offers) == 0 {
+		t.Fatal("README example arrival produced no offers")
+	}
+	for _, o := range arrival.Offers {
+		if o.Campaign != created.ID || o.AdTypeName == "" || o.Cost <= 0 || o.Utility <= 0 {
+			t.Fatalf("malformed offer %+v", o)
+		}
+	}
+
+	var stats struct {
+		Campaigns     int     `json:"Campaigns"`
+		Arrivals      int64   `json:"Arrivals"`
+		OffersPushed  int64   `json:"OffersPushed"`
+		BudgetSpent   float64 `json:"BudgetSpent"`
+		UtilityServed float64 `json:"UtilityServed"`
+		GammaMin      float64 `json:"GammaMin"`
+		GammaMax      float64 `json:"GammaMax"`
+	}
+	if code := getJSON(t, base+"/stats", &stats); code != http.StatusOK {
+		t.Fatalf("GET /stats → %d", code)
+	}
+	if stats.Campaigns != 1 || stats.Arrivals != 1 || stats.OffersPushed != int64(len(arrival.Offers)) {
+		t.Fatalf("stats don't reflect the session: %+v", stats)
+	}
+	if stats.BudgetSpent <= 0 || stats.UtilityServed <= 0 || stats.GammaMin <= 0 || stats.GammaMax < stats.GammaMin {
+		t.Fatalf("counters malformed: %+v", stats)
+	}
+
+	// The campaign list and the SVG map render against the same state.
+	var list []struct {
+		ID    int32   `json:"id"`
+		Spent float64 `json:"spent"`
+	}
+	if code := getJSON(t, base+"/campaigns", &list); code != http.StatusOK {
+		t.Fatalf("GET /campaigns → %d", code)
+	}
+	if len(list) != 1 || list[0].Spent != stats.BudgetSpent {
+		t.Fatalf("campaign list inconsistent with stats: %+v vs %+v", list, stats)
+	}
+	resp, err := http.Get(base + "/map.svg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var svg bytes.Buffer
+	if _, err := svg.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || !strings.Contains(svg.String(), "<svg") {
+		t.Fatalf("GET /map.svg → %d, body %q…", resp.StatusCode, svg.String()[:min(80, svg.Len())])
+	}
+}
+
+// TestServeConcurrentSessions exercises the server under parallel HTTP
+// clients — the smoke-level version of the broker's soak test.
+func TestServeConcurrentSessions(t *testing.T) {
+	base := startServer(t, 0, 0, 8)
+	for i := 0; i < 16; i++ {
+		body := fmt.Sprintf(`{"loc":{"x":%g,"y":%g},"radius":0.15,"budget":30,"tags":[1,0,0.2]}`,
+			0.2+0.04*float64(i), 0.2+0.04*float64(i))
+		if code := postJSON(t, base+"/campaigns", body, nil); code != http.StatusCreated {
+			t.Fatalf("campaign %d → %d", i, code)
+		}
+	}
+	done := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		go func(w int) {
+			client := &http.Client{Timeout: 10 * time.Second}
+			for i := 0; i < 25; i++ {
+				x := 0.2 + 0.04*float64((w*25+i)%16)
+				body := fmt.Sprintf(`{"loc":{"x":%g,"y":%g},"capacity":2,"viewProb":0.7,"interests":[0.9,0.1,0.3]}`, x, x)
+				resp, err := client.Post(base+"/arrivals", "application/json", strings.NewReader(body))
+				if err != nil {
+					done <- err
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					done <- fmt.Errorf("arrival → %d", resp.StatusCode)
+					return
+				}
+			}
+			done <- nil
+		}(w)
+	}
+	for w := 0; w < 8; w++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	var stats struct {
+		Arrivals int64 `json:"Arrivals"`
+	}
+	if code := getJSON(t, base+"/stats", &stats); code != http.StatusOK || stats.Arrivals != 200 {
+		t.Fatalf("stats after concurrent sessions: code %d, %+v", code, stats)
+	}
+}
+
+// TestServeRejectsBadConfig pins flag validation through the same path main
+// uses.
+func TestServeRejectsBadConfig(t *testing.T) {
+	if _, err := newServer(":0", 1, 0, 0); err == nil {
+		t.Error("g ≤ e must be rejected")
+	}
+	if _, err := newServer(":0", 0, -1, 0); err == nil {
+		t.Error("negative pacing must be rejected")
+	}
+	if _, err := newServer(":0", 0, 0, -1); err == nil {
+		t.Error("negative shard count must be rejected")
+	}
+}

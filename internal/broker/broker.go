@@ -13,6 +13,22 @@
 // (the paper's "estimated through the historical records ... after a period
 // of tuning").
 //
+// # Concurrency model
+//
+// The broker serves arrivals concurrently by sharding campaign state into
+// horizontal spatial stripes (geo.Stripes over Config.Bounds): each shard
+// owns the campaigns whose centers fall in its stripe, with its own
+// geo.Grid (at Config.GridCells resolution) and its own lock. An arrival at
+// p can only be covered by campaigns whose centers lie within maxRadius of
+// p, so it locks exactly the contiguous stripe range overlapping
+// [p.Y−maxRadius, p.Y+maxRadius] — always in ascending index order, which
+// makes the locking deadlock-free — and arrivals in disjoint regions run in
+// parallel. The running γ_min/γ_max efficiency bounds and the global
+// counters are lock-free atomics, and Stats/Campaigns/CampaignState are
+// pure snapshot reads that never block the serving path. Under
+// single-threaded replay the admission sequence is bit-identical to the
+// original single-mutex broker (pinned by the golden files in testdata/).
+//
 // The HTTP front end lives in http.go; cmd/muaa-serve wires it to a port.
 package broker
 
@@ -20,8 +36,10 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"muaa/internal/geo"
 	"muaa/internal/model"
@@ -42,7 +60,8 @@ type Config struct {
 	Preference model.Preference
 	// MinDist floors the Eq. 4 distance; zero selects model.DefaultMinDist.
 	MinDist float64
-	// GridCells is the spatial-index resolution; zero selects 64.
+	// GridCells is the spatial-index resolution of each shard's grid; zero
+	// selects 64.
 	GridCells int
 	// Bounds is the service area; the zero value selects the unit square.
 	Bounds geo.Rect
@@ -54,6 +73,11 @@ type Config struct {
 	// adaptive threshold: the threshold picks *which* ads are worth the
 	// money, pacing decides *when* money may flow at all.
 	Pacing float64
+	// Shards is the number of spatial stripes campaign state is partitioned
+	// into for concurrent serving; zero selects a default scaled to
+	// GOMAXPROCS. The shard count never changes results — only how much of
+	// the broker an arrival must lock.
+	Shards int
 }
 
 // Campaign is the live state of one vendor's campaign.
@@ -100,20 +124,34 @@ type Stats struct {
 	G             float64
 }
 
-// Broker is safe for concurrent use.
+// Broker is safe for concurrent use: arrivals take only the shard locks
+// their query disk overlaps, registration and budget mutation lock one
+// shard, and snapshot reads lock nothing.
 type Broker struct {
-	mu        sync.Mutex
-	cfg       Config
-	campaigns []*Campaign
-	grid      *geo.Grid
+	cfg     Config
+	pref    model.Preference
+	// vectorPref marks preferences that correlate interest/tag vectors and
+	// therefore require equal dimensionality (PearsonPreference panics on a
+	// mismatch — a contract violation in batch problems, but live arrivals
+	// and campaigns come from untrusted clients, so the broker treats a
+	// dimension mismatch as ineligibility instead).
+	vectorPref bool
+	minDist    float64
+	bounds     geo.Rect
 
-	arrivals  int64
-	offers    int64
-	utility   float64
-	spent     float64
-	gammaMin  float64 // running min of observed positive efficiencies
-	gammaMax  float64
-	gammaSeen bool
+	stripes geo.Stripes
+	shards  []shard
+
+	regMu     sync.Mutex                  // serializes registrations
+	dir       atomic.Pointer[[]*campaign] // dense id → campaign, copy-on-write
+	maxRadius atomicFloat                 // monotone max campaign radius
+
+	arrivals atomic.Int64
+	offers   atomic.Int64
+	utility  atomicFloat
+	spent    atomicFloat
+	gammaMin atomicFloat // +Inf until the first efficiency is observed
+	gammaMax atomicFloat // 0 until the first efficiency is observed
 }
 
 // New creates an empty broker.
@@ -132,6 +170,9 @@ func New(cfg Config) (*Broker, error) {
 	if cfg.Pacing < 0 || math.IsNaN(cfg.Pacing) {
 		return nil, fmt.Errorf("broker: pacing factor %g must be ≥ 0", cfg.Pacing)
 	}
+	if cfg.Shards < 0 {
+		return nil, fmt.Errorf("broker: shard count %d must be ≥ 0", cfg.Shards)
+	}
 	bounds := cfg.Bounds
 	if bounds.Width() <= 0 || bounds.Height() <= 0 {
 		bounds = geo.UnitSquare
@@ -140,10 +181,48 @@ func New(cfg Config) (*Broker, error) {
 	if cells == 0 {
 		cells = 64
 	}
-	return &Broker{
-		cfg:  cfg,
-		grid: geo.NewGrid(bounds, cells),
-	}, nil
+	nShards := cfg.Shards
+	if nShards == 0 {
+		nShards = defaultShards()
+	}
+	pref := cfg.Preference
+	if pref == nil {
+		pref = model.PearsonPreference{Activity: model.UniformActivity{}}
+	}
+	minDist := cfg.MinDist
+	if minDist == 0 {
+		minDist = model.DefaultMinDist
+	}
+	_, vectorPref := pref.(model.PearsonPreference)
+	b := &Broker{
+		cfg:        cfg,
+		pref:       pref,
+		vectorPref: vectorPref,
+		minDist:    minDist,
+		bounds:     bounds,
+		stripes:    geo.NewStripes(bounds, nShards),
+		shards:     make([]shard, nShards),
+	}
+	for i := range b.shards {
+		b.shards[i].grid = geo.NewGrid(bounds, cells)
+	}
+	empty := make([]*campaign, 0)
+	b.dir.Store(&empty)
+	b.gammaMin.Store(math.Inf(1))
+	return b, nil
+}
+
+// defaultShards picks a stripe count wide enough that GOMAXPROCS arrivals
+// rarely collide, bounded so tiny boxes don't fragment the index.
+func defaultShards() int {
+	n := 2 * runtime.GOMAXPROCS(0)
+	if n < 4 {
+		n = 4
+	}
+	if n > 64 {
+		n = 64
+	}
+	return n
 }
 
 // RegisterCampaign adds a vendor campaign and returns its ID.
@@ -154,14 +233,29 @@ func (b *Broker) RegisterCampaign(loc geo.Point, radius, budget float64, tags []
 	if budget < 0 || math.IsNaN(budget) {
 		return 0, fmt.Errorf("broker: campaign budget %g", budget)
 	}
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	id := int32(len(b.campaigns))
-	b.campaigns = append(b.campaigns, &Campaign{
-		ID: id, Loc: loc, Radius: radius, Budget: budget,
-		Tags: append([]float64(nil), tags...),
-	})
-	b.grid.InsertWithRadius(id, loc, radius)
+	b.regMu.Lock()
+	defer b.regMu.Unlock()
+	old := *b.dir.Load()
+	id := int32(len(old))
+	c := &campaign{
+		id: id, loc: loc, radius: radius,
+		tags:  append([]float64(nil), tags...),
+		shard: b.stripes.Of(loc),
+	}
+	c.budget.Store(budget)
+	// Publish the directory entry before the grid entry: arrivals discover
+	// campaigns only through a shard's grid (under its lock), so a campaign
+	// visible in a grid is always resolvable, while a directory entry not
+	// yet in a grid is merely invisible to arrivals.
+	next := make([]*campaign, id+1)
+	copy(next, old)
+	next[id] = c
+	b.dir.Store(&next)
+	b.maxRadius.Max(radius)
+	sh := &b.shards[c.shard]
+	sh.mu.Lock()
+	sh.grid.InsertWithRadius(id, loc, radius)
+	sh.mu.Unlock()
 	return id, nil
 }
 
@@ -170,64 +264,72 @@ func (b *Broker) TopUp(id int32, amount float64) error {
 	if amount < 0 || math.IsNaN(amount) {
 		return fmt.Errorf("broker: top-up amount %g", amount)
 	}
-	b.mu.Lock()
-	defer b.mu.Unlock()
 	c, err := b.campaign(id)
 	if err != nil {
 		return err
 	}
-	c.Budget += amount
+	// The shard lock serializes budget writes against the check-then-spend
+	// sequence of in-flight arrivals touching this campaign.
+	sh := &b.shards[c.shard]
+	sh.mu.Lock()
+	c.budget.Store(c.budget.Load() + amount)
+	sh.mu.Unlock()
 	return nil
 }
 
 // SetPaused pauses or resumes a campaign; paused campaigns receive no
 // traffic but keep their budget.
 func (b *Broker) SetPaused(id int32, paused bool) error {
-	b.mu.Lock()
-	defer b.mu.Unlock()
 	c, err := b.campaign(id)
 	if err != nil {
 		return err
 	}
-	c.Paused = paused
+	c.paused.Store(paused)
 	return nil
 }
 
-// CampaignState returns a copy of the campaign's live state.
+// CampaignState returns a copy of the campaign's live state without
+// touching any lock.
 func (b *Broker) CampaignState(id int32) (Campaign, error) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
 	c, err := b.campaign(id)
 	if err != nil {
 		return Campaign{}, err
 	}
-	out := *c
-	out.Tags = append([]float64(nil), c.Tags...)
-	return out, nil
+	return c.snapshot(), nil
 }
 
-// Campaigns returns copies of every campaign's live state, in ID order.
+// Campaigns returns copies of every campaign's live state, in ID order. The
+// read is lock-free: per-campaign values are atomically consistent, the
+// set-wide view is a relaxed snapshot.
 func (b *Broker) Campaigns() []Campaign {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	out := make([]Campaign, len(b.campaigns))
-	for i, c := range b.campaigns {
-		out[i] = *c
-		out[i].Tags = append([]float64(nil), c.Tags...)
+	dir := *b.dir.Load()
+	out := make([]Campaign, len(dir))
+	for i, c := range dir {
+		out[i] = c.snapshot()
 	}
 	return out
 }
 
-func (b *Broker) campaign(id int32) (*Campaign, error) {
-	if id < 0 || int(id) >= len(b.campaigns) {
+func (b *Broker) campaign(id int32) (*campaign, error) {
+	dir := *b.dir.Load()
+	if id < 0 || int(id) >= len(dir) {
 		return nil, fmt.Errorf("broker: unknown campaign %d", id)
 	}
-	return b.campaigns[id], nil
+	return dir[id], nil
+}
+
+// candidate pairs a provisional offer with the campaign it draws on so the
+// commit step can charge it without re-resolving the ID.
+type candidate struct {
+	Offer
+	c *campaign
 }
 
 // Arrive processes a customer arrival with the O-AFA rule (Algorithm 2) over
 // live campaign state and commits the returned offers' costs to their
-// campaigns.
+// campaigns. Only the shards whose stripes the query disk overlaps are
+// locked, and they stay locked through commit so admission and spend are one
+// atomic step per campaign.
 func (b *Broker) Arrive(a Arrival) ([]Offer, error) {
 	if a.Capacity < 0 {
 		return nil, fmt.Errorf("broker: capacity %d", a.Capacity)
@@ -235,55 +337,75 @@ func (b *Broker) Arrive(a Arrival) ([]Offer, error) {
 	if a.ViewProb < 0 || a.ViewProb > 1 || math.IsNaN(a.ViewProb) {
 		return nil, fmt.Errorf("broker: view probability %g", a.ViewProb)
 	}
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	b.arrivals++
+	b.arrivals.Add(1)
 	if a.Capacity == 0 {
 		return nil, nil
 	}
-	pref := b.cfg.Preference
-	if pref == nil {
-		pref = model.PearsonPreference{Activity: model.UniformActivity{}}
-	}
-	minDist := b.cfg.MinDist
-	if minDist == 0 {
-		minDist = model.DefaultMinDist
-	}
-
 	cu := &model.Customer{Loc: a.Loc, Capacity: a.Capacity, ViewProb: a.ViewProb,
 		Interests: a.Interests, Arrival: a.Hour}
 
-	var covering []int32
-	covering = b.grid.CoveredBy(covering, a.Loc)
-	sort.Slice(covering, func(i, j int) bool { return covering[i] < covering[j] })
+	// A covering campaign's center is within maxRadius of the arrival, so
+	// only the stripes overlapping that Y-window can hold one. Lock them in
+	// ascending order (the global lock order) and hold through commit.
+	maxR := b.maxRadius.Load()
+	s0, s1 := b.stripes.Range(a.Loc.Y-maxR, a.Loc.Y+maxR)
+	for i := s0; i <= s1; i++ {
+		b.shards[i].mu.Lock()
+	}
+	defer func() {
+		for i := s1; i >= s0; i-- {
+			b.shards[i].mu.Unlock()
+		}
+	}()
 
-	var cands []Offer
-	for _, id := range covering {
-		c := b.campaigns[id]
-		if c.Paused || c.Budget <= 0 {
+	var ids []int32
+	for i := s0; i <= s1; i++ {
+		ids = b.shards[i].grid.CoveredBy(ids, a.Loc)
+	}
+	// Scan in global ID order — the same order the single-mutex broker
+	// used, so threshold/γ evolution within one arrival is reproduced
+	// exactly.
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	// Loaded after the shard locks: any id a locked grid returned was
+	// inserted under that shard's lock, and its registration published the
+	// directory entry before the grid entry, so this load observes it.
+	dir := *b.dir.Load()
+
+	var cands []candidate
+	for _, id := range ids {
+		c := dir[id]
+		if c.paused.Load() {
 			continue
 		}
-		ve := &model.Vendor{Loc: c.Loc, Radius: c.Radius, Budget: c.Budget, Tags: c.Tags}
-		s := pref.Score(cu, ve, a.Hour)
+		budget := c.budget.Load()
+		if budget <= 0 {
+			continue
+		}
+		if b.vectorPref && len(c.tags) != len(a.Interests) {
+			continue // mismatched taxonomies: preference undefined, not served
+		}
+		spent := c.spent.Load()
+		ve := &model.Vendor{Loc: c.loc, Radius: c.radius, Budget: budget, Tags: c.tags}
+		s := b.pref.Score(cu, ve, a.Hour)
 		if s <= 0 || math.IsNaN(s) {
 			continue
 		}
 		if s > 1 {
 			s = 1
 		}
-		d := a.Loc.Dist(c.Loc)
-		if d < minDist {
-			d = minDist
+		d := a.Loc.Dist(c.loc)
+		if d < b.minDist {
+			d = b.minDist
 		}
 		base := a.ViewProb * s / d
-		delta := c.Spent / c.Budget
+		delta := spent / budget
 		phi := b.threshold(delta)
-		remaining := c.Remaining()
+		remaining := budget - spent
 		if b.cfg.Pacing > 0 {
 			// Daily pacing cap: spend so far plus this ad must stay within
 			// the hour's pro-rated allowance.
-			allowance := b.cfg.Pacing * c.Budget * a.Hour / 24
-			if paced := allowance - c.Spent; paced < remaining {
+			allowance := b.cfg.Pacing * budget * a.Hour / 24
+			if paced := allowance - spent; paced < remaining {
 				remaining = paced
 			}
 		}
@@ -303,9 +425,12 @@ func (b *Broker) Arrive(a Arrival) ([]Offer, error) {
 			}
 		}
 		if bestK >= 0 {
-			cands = append(cands, Offer{
-				Campaign: id, AdType: bestK, Utility: bestU,
-				Efficiency: bestEff, Cost: b.cfg.AdTypes[bestK].Cost,
+			cands = append(cands, candidate{
+				Offer: Offer{
+					Campaign: c.id, AdType: bestK, Utility: bestU,
+					Efficiency: bestEff, Cost: b.cfg.AdTypes[bestK].Cost,
+				},
+				c: c,
 			})
 		}
 	}
@@ -318,46 +443,46 @@ func (b *Broker) Arrive(a Arrival) ([]Offer, error) {
 		})
 		cands = cands[:a.Capacity]
 	}
-	for _, o := range cands {
-		c := b.campaigns[o.Campaign]
-		c.Spent += o.Cost
-		b.spent += o.Cost
-		b.utility += o.Utility
-		b.offers++
+	if len(cands) == 0 {
+		return nil, nil
 	}
-	return cands, nil
+	out := make([]Offer, len(cands))
+	for i, cd := range cands {
+		// Writers hold the owning shard's lock (every candidate came from a
+		// locked shard), so load+store is a safe read-modify-write.
+		cd.c.spent.Store(cd.c.spent.Load() + cd.Cost)
+		b.spent.Add(cd.Cost)
+		b.utility.Add(cd.Utility)
+		b.offers.Add(1)
+		out[i] = cd.Offer
+	}
+	return out, nil
 }
 
 // observeEfficiency folds a positive efficiency into the running γ bounds.
-// Must be called with the lock held.
+// Lock-free: γ_min is lowered before γ_max is raised, so any reader that
+// sees γ_max > 0 (the "seen" signal) also sees a finite γ_min.
 func (b *Broker) observeEfficiency(eff float64) {
 	if eff <= 0 || math.IsNaN(eff) || math.IsInf(eff, 0) {
 		return
 	}
-	if !b.gammaSeen {
-		b.gammaMin, b.gammaMax, b.gammaSeen = eff, eff, true
-		return
-	}
-	if eff < b.gammaMin {
-		b.gammaMin = eff
-	}
-	if eff > b.gammaMax {
-		b.gammaMax = eff
-	}
+	b.gammaMin.Min(eff)
+	b.gammaMax.Max(eff)
 }
 
 // threshold evaluates the adaptive admission threshold at used-budget ratio
 // delta, with g either configured or derived from the observed γ bounds.
-// Must be called with the lock held.
 func (b *Broker) threshold(delta float64) float64 {
-	if !b.gammaSeen {
+	gmax := b.gammaMax.Load()
+	if gmax == 0 {
 		return 0 // nothing observed yet: admit anything (paper's intuition)
 	}
+	gmin := b.gammaMin.Load()
 	g := b.cfg.G
 	if g == 0 {
 		g = 2 * math.E
-		if b.gammaMax > b.gammaMin {
-			g = math.E * b.gammaMax / b.gammaMin
+		if gmax > gmin {
+			g = math.E * gmax / gmin
 			if g < 2*math.E {
 				g = 2 * math.E
 			}
@@ -366,25 +491,28 @@ func (b *Broker) threshold(delta float64) float64 {
 			}
 		}
 	}
-	return b.gammaMin / math.E * math.Pow(g, delta)
+	return gmin / math.E * math.Pow(g, delta)
 }
 
-// Stats returns a snapshot of the broker counters.
+// Stats returns a lock-free snapshot of the broker counters.
 func (b *Broker) Stats() Stats {
-	b.mu.Lock()
-	defer b.mu.Unlock()
+	gmax := b.gammaMax.Load()
+	gmin := b.gammaMin.Load()
+	if gmax == 0 {
+		gmin = 0 // report the unseen state as zeros, as the original broker did
+	}
 	g := b.cfg.G
-	if g == 0 && b.gammaSeen && b.gammaMax > b.gammaMin {
-		g = math.E * b.gammaMax / b.gammaMin
+	if g == 0 && gmax > gmin && gmax > 0 {
+		g = math.E * gmax / gmin
 	}
 	return Stats{
-		Campaigns:     len(b.campaigns),
-		Arrivals:      b.arrivals,
-		OffersPushed:  b.offers,
-		UtilityServed: b.utility,
-		BudgetSpent:   b.spent,
-		GammaMin:      b.gammaMin,
-		GammaMax:      b.gammaMax,
+		Campaigns:     len(*b.dir.Load()),
+		Arrivals:      b.arrivals.Load(),
+		OffersPushed:  b.offers.Load(),
+		UtilityServed: b.utility.Load(),
+		BudgetSpent:   b.spent.Load(),
+		GammaMin:      gmin,
+		GammaMax:      gmax,
 		G:             g,
 	}
 }

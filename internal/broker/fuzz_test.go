@@ -1,0 +1,130 @@
+package broker
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"muaa/internal/geo"
+	"muaa/internal/workload"
+)
+
+// Fuzzers assert the HTTP layer never panics and never turns malformed
+// client input into a 5xx: arbitrary bodies must come back as 4xx, and
+// anything accepted must produce a well-formed JSON response. Run with
+// `go test -fuzz FuzzPostArrival ./internal/broker` for a real campaign;
+// under plain `go test` the seed corpus below runs as unit cases (the same
+// contract internal/persist's loader fuzzers pin for file input).
+
+func fuzzAPI(tb testing.TB) *API {
+	tb.Helper()
+	b, err := New(Config{AdTypes: workload.DefaultAdTypes()})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if _, err := b.RegisterCampaign(geo.Point{X: 0.5, Y: 0.5}, 0.2, 50, []float64{1, 0, 0.3}); err != nil {
+		tb.Fatal(err)
+	}
+	return NewAPI(b)
+}
+
+func fuzzPost(tb testing.TB, api *API, path, body string) *httptest.ResponseRecorder {
+	tb.Helper()
+	req := httptest.NewRequest("POST", path, strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	api.ServeHTTP(rec, req)
+	return rec
+}
+
+func FuzzPostCampaign(f *testing.F) {
+	f.Add(`{"loc":{"x":0.5,"y":0.5},"radius":0.1,"budget":20,"tags":[1,0,0.2]}`)
+	f.Add(`{"loc":{"x":-3,"y":9},"radius":-1,"budget":20}`)
+	f.Add(`{"radius":1e308,"budget":1e308}`)
+	f.Add(`{"budget":"NaN"}`)
+	f.Add(`{"unknown":true}`)
+	f.Add(`{nope`)
+	f.Add(``)
+	f.Add(`null`)
+	f.Add(`[]`)
+	f.Fuzz(func(t *testing.T, body string) {
+		api := fuzzAPI(t)
+		rec := fuzzPost(t, api, "/campaigns", body)
+		if rec.Code >= 500 {
+			t.Fatalf("POST /campaigns %q → %d (server error on client input)", body, rec.Code)
+		}
+		if rec.Code == 201 {
+			var resp campaignResponse
+			if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+				t.Fatalf("accepted campaign returned malformed body %q: %v", rec.Body, err)
+			}
+			// The new campaign must be immediately readable.
+			if _, err := api.broker.CampaignState(resp.ID); err != nil {
+				t.Fatalf("created campaign %d not readable: %v", resp.ID, err)
+			}
+		}
+	})
+}
+
+func FuzzPostArrival(f *testing.F) {
+	f.Add(`{"loc":{"x":0.49,"y":0.51},"capacity":2,"viewProb":0.7,"interests":[0.9,0.1,0.3]}`)
+	f.Add(`{"loc":{"x":0.5,"y":0.5},"capacity":-1,"viewProb":0.5}`)
+	f.Add(`{"viewProb":2}`)
+	f.Add(`{"capacity":1,"viewProb":"NaN"}`)
+	f.Add(`{"hour":-99,"capacity":1000000,"viewProb":1}`)
+	f.Add(`{nope`)
+	f.Add(``)
+	f.Add(`null`)
+	f.Add(`0`)
+	f.Fuzz(func(t *testing.T, body string) {
+		api := fuzzAPI(t)
+		rec := fuzzPost(t, api, "/arrivals", body)
+		if rec.Code >= 500 {
+			t.Fatalf("POST /arrivals %q → %d (server error on client input)", body, rec.Code)
+		}
+		if rec.Code == 200 {
+			var resp arrivalResponse
+			if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+				t.Fatalf("accepted arrival returned malformed body %q: %v", rec.Body, err)
+			}
+			for _, o := range resp.Offers {
+				if o.Cost <= 0 || o.AdTypeName == "" {
+					t.Fatalf("accepted arrival produced malformed offer %+v", o)
+				}
+			}
+		}
+	})
+}
+
+// FuzzPostTopUp covers the path-parameter endpoints: arbitrary IDs and
+// bodies must map to 4xx/404, never 5xx.
+func FuzzPostTopUp(f *testing.F) {
+	f.Add("0", `{"amount":5}`)
+	f.Add("99", `{"amount":5}`)
+	f.Add("-1", `{"amount":-5}`)
+	f.Add("abc", `{}`)
+	f.Add("0", `{nope`)
+	f.Add("007", ``)
+	f.Fuzz(func(t *testing.T, id, body string) {
+		api := fuzzAPI(t)
+		rec := fuzzPost(t, api, "/campaigns/"+sanitizePath(id)+"/topup", body)
+		if rec.Code >= 500 {
+			t.Fatalf("POST /campaigns/%s/topup %q → %d", id, body, rec.Code)
+		}
+	})
+}
+
+// sanitizePath keeps fuzzed path segments parseable by the mux (no slashes,
+// spaces or control bytes that would make NewRequest panic or re-route).
+func sanitizePath(s string) string {
+	var sb strings.Builder
+	for _, r := range s {
+		if r > 0x20 && r != '/' && r != '?' && r != '#' && r != '%' && r < 0x7f {
+			sb.WriteRune(r)
+		}
+	}
+	if sb.Len() == 0 {
+		return "x"
+	}
+	return sb.String()
+}

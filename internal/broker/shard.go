@@ -1,0 +1,96 @@
+package broker
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"muaa/internal/geo"
+)
+
+// atomicFloat is a float64 with atomic load/store/add/min/max, stored as IEEE
+// bits in a uint64. Mutable campaign money and the broker's global
+// accumulators live in these so snapshot readers (Stats, Campaigns) never
+// take a lock and never see a torn float.
+type atomicFloat struct{ bits atomic.Uint64 }
+
+func (f *atomicFloat) Load() float64   { return math.Float64frombits(f.bits.Load()) }
+func (f *atomicFloat) Store(v float64) { f.bits.Store(math.Float64bits(v)) }
+
+// Add folds v into the accumulator with a CAS loop; safe for any number of
+// concurrent adders.
+func (f *atomicFloat) Add(v float64) {
+	for {
+		old := f.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if f.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Min lowers the value to v if v is smaller; concurrent observers converge on
+// the true running minimum.
+func (f *atomicFloat) Min(v float64) {
+	for {
+		old := f.bits.Load()
+		if math.Float64frombits(old) <= v {
+			return
+		}
+		if f.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Max raises the value to v if v is larger.
+func (f *atomicFloat) Max(v float64) {
+	for {
+		old := f.bits.Load()
+		if math.Float64frombits(old) >= v {
+			return
+		}
+		if f.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// campaign is the broker's internal per-campaign state. Immutable identity
+// (id, loc, radius, tags, shard) is set at registration; the mutable money
+// fields are atomics written only while the owning shard's lock is held —
+// the lock serializes the check-then-spend sequence among writers, the
+// atomics let Stats/Campaigns read without joining the lock queue.
+type campaign struct {
+	id     int32
+	loc    geo.Point
+	radius float64
+	tags   []float64
+	shard  int // owning stripe index
+
+	budget atomicFloat
+	spent  atomicFloat
+	paused atomic.Bool
+}
+
+// snapshot copies the live state into the exported value type.
+func (c *campaign) snapshot() Campaign {
+	return Campaign{
+		ID: c.id, Loc: c.loc, Radius: c.radius,
+		Budget: c.budget.Load(), Spent: c.spent.Load(),
+		Tags: append([]float64(nil), c.tags...), Paused: c.paused.Load(),
+	}
+}
+
+// shard owns the campaigns whose centers fall in one horizontal stripe of
+// the service area: a spatial index over them, guarded by mu (the grid's
+// int32 entries resolve through the broker's dense campaign directory).
+// Arrivals lock the contiguous stripe range their query disk overlaps
+// (ascending — the global lock order), so arrivals in disjoint regions
+// proceed in parallel.
+type shard struct {
+	mu   sync.Mutex
+	grid *geo.Grid
+
+	_ [64]byte // keep hot shard locks on separate cache lines
+}

@@ -1,0 +1,198 @@
+package broker
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"testing"
+
+	"muaa/internal/geo"
+	"muaa/internal/workload"
+)
+
+// applyOp maps one workload op onto broker calls, returning the offers an
+// arrival produced (nil otherwise).
+func applyOp(tb testing.TB, b *Broker, op workload.BrokerOp) []Offer {
+	tb.Helper()
+	switch op.Kind {
+	case workload.OpArrival:
+		offers, err := b.Arrive(Arrival{
+			Loc: op.Loc, Capacity: op.Capacity, ViewProb: op.ViewProb,
+			Interests: op.Interests, Hour: op.Hour,
+		})
+		if err != nil {
+			tb.Error(err)
+		}
+		return offers
+	case workload.OpTopUp:
+		if err := b.TopUp(op.Campaign, op.Amount); err != nil {
+			tb.Error(err)
+		}
+	case workload.OpPause:
+		if err := b.SetPaused(op.Campaign, op.Paused); err != nil {
+			tb.Error(err)
+		}
+	default:
+		b.Stats()
+		b.Campaigns()
+	}
+	return nil
+}
+
+// TestConcurrentSoak hammers one broker with mixed traffic from many
+// goroutines and then audits the money: no campaign overspent, every arrival
+// respected its capacity, and the global spend/offer/utility counters agree
+// exactly with what the goroutines observed. Run under -race in CI; the
+// sharded hot path must stay both race-clean and accounting-exact.
+func TestConcurrentSoak(t *testing.T) {
+	workers := 4 * runtime.GOMAXPROCS(0)
+	if workers < 8 {
+		workers = 8
+	}
+	opsPerWorker := 400
+	if testing.Short() {
+		workers, opsPerWorker = 4, 100
+	}
+	const campaigns = 48
+	specs, ops, err := workload.BrokerLoad(
+		workload.DefaultBrokerLoadConfig(campaigns, workers*opsPerWorker, 1234))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(Config{AdTypes: workload.DefaultAdTypes(), Shards: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range specs {
+		if _, err := b.RegisterCampaign(c.Loc, c.Radius, c.Budget, c.Tags); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Per-worker observations, merged after the fact: offer counts, the
+	// exact cost and utility sums of the offers each worker was handed, and
+	// the arrival count.
+	type tally struct {
+		arrivals int64
+		offers   int64
+		cost     float64
+		utility  float64
+	}
+	tallies := make([]tally, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Interleave workers across the stream so shards see overlapping
+			// traffic rather than disjoint slices.
+			for i := w; i < len(ops); i += workers {
+				op := ops[i]
+				offers := applyOp(t, b, op)
+				if op.Kind == workload.OpArrival {
+					tallies[w].arrivals++
+					if len(offers) > op.Capacity {
+						t.Errorf("arrival with capacity %d got %d offers", op.Capacity, len(offers))
+					}
+					for _, o := range offers {
+						tallies[w].offers++
+						tallies[w].cost += o.Cost
+						tallies[w].utility += o.Utility
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	var want tally
+	for _, tl := range tallies {
+		want.arrivals += tl.arrivals
+		want.offers += tl.offers
+		want.cost += tl.cost
+		want.utility += tl.utility
+	}
+	st := b.Stats()
+	if st.Arrivals != want.arrivals {
+		t.Errorf("arrival counter %d, workers made %d", st.Arrivals, want.arrivals)
+	}
+	if st.OffersPushed != want.offers {
+		t.Errorf("offer counter %d, workers received %d", st.OffersPushed, want.offers)
+	}
+	// Ad costs are small binary-exact values, so sums should agree to
+	// rounding noise even though addition orders differ across goroutines.
+	if math.Abs(st.BudgetSpent-want.cost) > 1e-6 {
+		t.Errorf("global spend %g, sum of offer costs %g", st.BudgetSpent, want.cost)
+	}
+	if math.Abs(st.UtilityServed-want.utility) > 1e-6 {
+		t.Errorf("global utility %g, sum of offer utilities %g", st.UtilityServed, want.utility)
+	}
+
+	var campaignSpend float64
+	for _, c := range b.Campaigns() {
+		campaignSpend += c.Spent
+		if c.Spent > c.Budget+1e-9 {
+			t.Errorf("campaign %d overspent: %g > %g", c.ID, c.Spent, c.Budget)
+		}
+		if c.Spent < 0 {
+			t.Errorf("campaign %d negative spend %g", c.ID, c.Spent)
+		}
+	}
+	if math.Abs(campaignSpend-st.BudgetSpent) > 1e-6 {
+		t.Errorf("per-campaign spend %g disagrees with global counter %g", campaignSpend, st.BudgetSpent)
+	}
+	if st.GammaMax > 0 && (st.GammaMin <= 0 || math.IsInf(st.GammaMin, 1) || st.GammaMax < st.GammaMin) {
+		t.Errorf("gamma bounds corrupted: %+v", st)
+	}
+}
+
+// TestConcurrentRegistrationDuringTraffic races registrations against
+// arrivals: every arrival must either see a campaign fully (grid + state) or
+// not at all, and the directory must end dense and ordered.
+func TestConcurrentRegistrationDuringTraffic(t *testing.T) {
+	b, err := New(Config{AdTypes: workload.DefaultAdTypes(), Shards: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := workload.DefaultBrokerLoadConfig(0, 600, 77)
+	cfg.TopUpFrac, cfg.PauseFrac = 0, 0 // campaign IDs race with registration
+	_, ops, err := workload.BrokerLoad(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 64; i++ {
+			loc := geo.Point{X: 0.1 + 0.013*float64(i%60), Y: 0.1 + 0.017*float64(i%50)}
+			if _, err := b.RegisterCampaign(loc, 0.02+0.001*float64(i%30), 10,
+				[]float64{1, 0, 0.5, 0.2, 0.1, 0.9, 0.4, 0.3}); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for _, op := range ops {
+			applyOp(t, b, op)
+		}
+	}()
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	all := b.Campaigns()
+	if len(all) != 64 {
+		t.Fatalf("directory holds %d campaigns, want 64", len(all))
+	}
+	for i, c := range all {
+		if c.ID != int32(i) {
+			t.Fatalf("directory not dense at %d: %+v", i, c)
+		}
+	}
+}

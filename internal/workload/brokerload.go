@@ -1,0 +1,202 @@
+// Broker load generation: deterministic mixed-operation traffic for the
+// long-lived broker in internal/broker. The generator is intentionally
+// broker-agnostic — it emits plain op records (arrival / top-up / pause /
+// stats-read) that the caller maps onto broker method calls — so the broker's
+// own in-package tests can consume it without an import cycle.
+//
+// The same op stream serves three consumers: the determinism golden test
+// (single-threaded replay must be byte-identical across broker
+// implementations), the concurrent soak test (the stream is split across
+// goroutines), and the parallel throughput benchmarks in bench_test.go and
+// cmd/muaa-bench.
+package workload
+
+import (
+	"fmt"
+
+	"muaa/internal/geo"
+	"muaa/internal/stats"
+)
+
+// BrokerOpKind discriminates the operations in a broker load stream.
+type BrokerOpKind int
+
+const (
+	// OpArrival is a customer arrival (the hot path).
+	OpArrival BrokerOpKind = iota
+	// OpTopUp adds budget to an existing campaign.
+	OpTopUp
+	// OpPause toggles a campaign's paused flag.
+	OpPause
+	// OpStats is a counters/campaign-list snapshot read.
+	OpStats
+)
+
+// String names the op kind for logs and golden files.
+func (k BrokerOpKind) String() string {
+	switch k {
+	case OpArrival:
+		return "arrival"
+	case OpTopUp:
+		return "topup"
+	case OpPause:
+		return "pause"
+	case OpStats:
+		return "stats"
+	}
+	return fmt.Sprintf("BrokerOpKind(%d)", int(k))
+}
+
+// BrokerCampaign is the registration record for one campaign in a load.
+type BrokerCampaign struct {
+	Loc    geo.Point
+	Radius float64
+	Budget float64
+	Tags   []float64
+}
+
+// BrokerOp is one operation in a broker load stream. Which fields are
+// meaningful depends on Kind: arrivals use Loc/Capacity/ViewProb/Interests/
+// Hour, top-ups use Campaign/Amount, pauses use Campaign/Paused, stats reads
+// use nothing.
+type BrokerOp struct {
+	Kind      BrokerOpKind
+	Campaign  int32
+	Amount    float64
+	Paused    bool
+	Loc       geo.Point
+	Capacity  int
+	ViewProb  float64
+	Interests []float64
+	Hour      float64
+}
+
+// BrokerLoadConfig parameterizes BrokerLoad. The zero value is not usable;
+// set Campaigns and Ops. Fractions that do not sum to 1 leave the remainder
+// to stats reads; DefaultBrokerLoadConfig gives the standard 90/4/2/4 mix.
+type BrokerLoadConfig struct {
+	// Campaigns is the number of campaign registrations emitted up front.
+	Campaigns int
+	// Ops is the length of the mixed operation stream.
+	Ops int
+	// ArrivalFrac, TopUpFrac, PauseFrac weight the op mix; the remaining
+	// fraction becomes stats reads. All must be in [0,1] with sum ≤ 1.
+	ArrivalFrac float64
+	TopUpFrac   float64
+	PauseFrac   float64
+	// Radius, Budget, Capacity, ViewProb are the per-entity ranges, realized
+	// by truncated Gaussians exactly as the Synthetic generator does.
+	Radius   stats.Range
+	Budget   stats.Range
+	Capacity stats.Range
+	ViewProb stats.Range
+	// NumTags is the tag/interest dimensionality; zero selects 8.
+	NumTags int
+	// Seed makes the stream deterministic.
+	Seed int64
+}
+
+// DefaultBrokerLoadConfig is the standard broker traffic shape: paper-scale
+// radii and budgets, a 90% arrival-heavy mix, and the given stream size.
+func DefaultBrokerLoadConfig(campaigns, ops int, seed int64) BrokerLoadConfig {
+	return BrokerLoadConfig{
+		Campaigns:   campaigns,
+		Ops:         ops,
+		ArrivalFrac: 0.90,
+		TopUpFrac:   0.04,
+		PauseFrac:   0.02,
+		Radius:      stats.Range{Lo: 0.02, Hi: 0.08},
+		Budget:      stats.Range{Lo: 5, Hi: 50},
+		Capacity:    stats.Range{Lo: 1, Hi: 4},
+		ViewProb:    stats.Range{Lo: 0.1, Hi: 0.9},
+		NumTags:     8,
+		Seed:        seed,
+	}
+}
+
+// Validate reports configuration errors.
+func (c BrokerLoadConfig) Validate() error {
+	if c.Campaigns < 0 || c.Ops < 0 {
+		return fmt.Errorf("workload: negative broker load sizes (%d campaigns, %d ops)", c.Campaigns, c.Ops)
+	}
+	for name, f := range map[string]float64{
+		"arrival": c.ArrivalFrac, "top-up": c.TopUpFrac, "pause": c.PauseFrac,
+	} {
+		if f < 0 || f > 1 {
+			return fmt.Errorf("workload: %s fraction %g outside [0,1]", name, f)
+		}
+	}
+	if s := c.ArrivalFrac + c.TopUpFrac + c.PauseFrac; s > 1 {
+		return fmt.Errorf("workload: op fractions sum to %g > 1", s)
+	}
+	if c.Ops > 0 && (c.TopUpFrac > 0 || c.PauseFrac > 0) && c.Campaigns == 0 {
+		return fmt.Errorf("workload: top-up/pause ops need at least one campaign")
+	}
+	for name, r := range map[string]stats.Range{
+		"radius": c.Radius, "budget": c.Budget, "capacity": c.Capacity, "view probability": c.ViewProb,
+	} {
+		if !r.Valid() || r.Lo < 0 {
+			return fmt.Errorf("workload: invalid broker load %s range %v", name, r)
+		}
+	}
+	if c.ViewProb.Hi > 1 {
+		return fmt.Errorf("workload: view probability range %v exceeds 1", c.ViewProb)
+	}
+	return nil
+}
+
+// BrokerLoad generates a deterministic broker workload: the campaigns to
+// register (uniform locations, truncated-Gaussian radii and budgets, matching
+// the Section V-A synthetic shape) and a mixed operation stream against them
+// (Gaussian arrival locations around the city center, arrival hours uniform
+// over the day). The same (config, seed) pair always yields the same stream.
+func BrokerLoad(cfg BrokerLoadConfig) ([]BrokerCampaign, []BrokerOp, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	rng := stats.NewRand(cfg.Seed)
+	numTags := cfg.NumTags
+	if numTags == 0 {
+		numTags = 8
+	}
+	campaigns := make([]BrokerCampaign, cfg.Campaigns)
+	for i := range campaigns {
+		campaigns[i] = BrokerCampaign{
+			Loc:    geo.Point{X: rng.Float64(), Y: rng.Float64()},
+			Radius: stats.TruncGaussian(rng, cfg.Radius),
+			Budget: stats.TruncGaussian(rng, cfg.Budget),
+			Tags:   randomVector(rng, numTags),
+		}
+	}
+	ops := make([]BrokerOp, cfg.Ops)
+	for i := range ops {
+		roll := rng.Float64()
+		switch {
+		case roll < cfg.ArrivalFrac:
+			x, y := stats.GaussianPoint(rng, 0.5, 1)
+			ops[i] = BrokerOp{
+				Kind:      OpArrival,
+				Loc:       geo.Point{X: x, Y: y},
+				Capacity:  stats.TruncGaussianInt(rng, cfg.Capacity),
+				ViewProb:  stats.TruncGaussian(rng, cfg.ViewProb),
+				Interests: randomVector(rng, numTags),
+				Hour:      rng.Float64() * 24,
+			}
+		case roll < cfg.ArrivalFrac+cfg.TopUpFrac:
+			ops[i] = BrokerOp{
+				Kind:     OpTopUp,
+				Campaign: int32(rng.Intn(cfg.Campaigns)),
+				Amount:   stats.TruncGaussian(rng, cfg.Budget) / 4,
+			}
+		case roll < cfg.ArrivalFrac+cfg.TopUpFrac+cfg.PauseFrac:
+			ops[i] = BrokerOp{
+				Kind:     OpPause,
+				Campaign: int32(rng.Intn(cfg.Campaigns)),
+				Paused:   rng.Intn(2) == 0,
+			}
+		default:
+			ops[i] = BrokerOp{Kind: OpStats}
+		}
+	}
+	return campaigns, ops, nil
+}

@@ -1,0 +1,128 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+
+	"muaa/internal/stats"
+)
+
+func TestBrokerLoadDeterministic(t *testing.T) {
+	cfg := DefaultBrokerLoadConfig(20, 500, 7)
+	c1, o1, err := BrokerLoad(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, o2, err := BrokerLoad(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(c1, c2) || !reflect.DeepEqual(o1, o2) {
+		t.Fatal("same config+seed must produce identical streams")
+	}
+	cfg.Seed = 8
+	_, o3, err := BrokerLoad(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(o1, o3) {
+		t.Fatal("different seeds should produce different streams")
+	}
+}
+
+func TestBrokerLoadShape(t *testing.T) {
+	cfg := DefaultBrokerLoadConfig(10, 2000, 1)
+	campaigns, ops, err := BrokerLoad(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(campaigns) != 10 || len(ops) != 2000 {
+		t.Fatalf("sizes: %d campaigns, %d ops", len(campaigns), len(ops))
+	}
+	for i, c := range campaigns {
+		if !cfg.Radius.Contains(c.Radius) || !cfg.Budget.Contains(c.Budget) {
+			t.Fatalf("campaign %d outside configured ranges: %+v", i, c)
+		}
+		if len(c.Tags) != cfg.NumTags {
+			t.Fatalf("campaign %d has %d tags, want %d", i, len(c.Tags), cfg.NumTags)
+		}
+	}
+	counts := map[BrokerOpKind]int{}
+	for i, op := range ops {
+		counts[op.Kind]++
+		switch op.Kind {
+		case OpArrival:
+			if op.Capacity < int(cfg.Capacity.Lo) || op.Capacity > int(cfg.Capacity.Hi)+1 {
+				t.Fatalf("op %d capacity %d outside range", i, op.Capacity)
+			}
+			if !cfg.ViewProb.Contains(op.ViewProb) {
+				t.Fatalf("op %d view probability %g outside range", i, op.ViewProb)
+			}
+			if op.Hour < 0 || op.Hour >= 24 {
+				t.Fatalf("op %d hour %g outside the day", i, op.Hour)
+			}
+		case OpTopUp:
+			if op.Campaign < 0 || int(op.Campaign) >= len(campaigns) || op.Amount < 0 {
+				t.Fatalf("op %d dangling top-up: %+v", i, op)
+			}
+		case OpPause:
+			if op.Campaign < 0 || int(op.Campaign) >= len(campaigns) {
+				t.Fatalf("op %d dangling pause: %+v", i, op)
+			}
+		}
+	}
+	// The 90/4/2/4 mix should be roughly realized over 2000 ops.
+	if a := counts[OpArrival]; a < 1600 || a > 1950 {
+		t.Errorf("arrival count %d far from the 90%% mix", a)
+	}
+	for _, k := range []BrokerOpKind{OpTopUp, OpPause, OpStats} {
+		if counts[k] == 0 {
+			t.Errorf("mix produced no %v ops", k)
+		}
+	}
+}
+
+func TestBrokerLoadValidation(t *testing.T) {
+	bad := []BrokerLoadConfig{
+		{Campaigns: -1},
+		{Ops: -1},
+		func() BrokerLoadConfig {
+			c := DefaultBrokerLoadConfig(1, 1, 1)
+			c.ArrivalFrac = 1.5
+			return c
+		}(),
+		func() BrokerLoadConfig {
+			c := DefaultBrokerLoadConfig(1, 1, 1)
+			c.ArrivalFrac, c.TopUpFrac = 0.8, 0.5
+			return c
+		}(),
+		func() BrokerLoadConfig { // top-ups with no campaigns to hit
+			c := DefaultBrokerLoadConfig(0, 10, 1)
+			return c
+		}(),
+		func() BrokerLoadConfig {
+			c := DefaultBrokerLoadConfig(1, 1, 1)
+			c.ViewProb = stats.Range{Lo: 0.5, Hi: 1.5}
+			return c
+		}(),
+	}
+	for i, cfg := range bad {
+		if _, _, err := BrokerLoad(cfg); err == nil {
+			t.Errorf("config %d must be rejected: %+v", i, cfg)
+		}
+	}
+	if err := (BrokerLoadConfig{}).Validate(); err != nil {
+		t.Errorf("zero-op zero-campaign config is vacuously fine: %v", err)
+	}
+}
+
+func TestBrokerOpKindString(t *testing.T) {
+	for k, want := range map[BrokerOpKind]string{
+		OpArrival: "arrival", OpTopUp: "topup", OpPause: "pause", OpStats: "stats",
+		BrokerOpKind(99): "BrokerOpKind(99)",
+	} {
+		if got := k.String(); got != want {
+			t.Errorf("kind %d string %q, want %q", int(k), got, want)
+		}
+	}
+}
