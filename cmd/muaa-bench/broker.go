@@ -3,26 +3,30 @@ package main
 // The broker scaling sweep (-exp broker): drives the same deterministic mixed
 // arrival/top-up/stats stream that bench_test.go's
 // BenchmarkBrokerParallelArrivals uses through one sharded broker at
-// increasing goroutine counts, and prints the throughput curve. On
-// multi-core hardware the curve shows the effect of per-stripe locking; the
-// -shards flag (via the serve command) and the benchmark's -cpu flag probe
-// the same axis.
+// increasing goroutine counts, and prints the throughput curve plus the
+// p50/p95/p99 arrival latency read back from the broker's own
+// muaa_broker_arrival_seconds histogram (internal/obs) — the same numbers a
+// live muaa-serve exports on GET /metrics. On multi-core hardware the curve
+// shows the effect of per-stripe locking; the -shards flag (via the serve
+// command) and the benchmark's -cpu flag probe the same axis.
 
 import (
 	"fmt"
 	"io"
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"muaa/internal/broker"
+	"muaa/internal/obs"
 	"muaa/internal/workload"
 )
 
 // runBrokerScaling sweeps worker counts 1,2,4,… up to maxWorkers (0 selects
-// max(8, 2·GOMAXPROCS)) over a scale-sized op stream and prints ops/sec and
-// speedup per point.
+// max(8, 2·GOMAXPROCS)) over a scale-sized op stream and prints ops/sec,
+// speedup, and arrival-latency quantiles per point.
 func runBrokerScaling(w io.Writer, scale float64, maxWorkers int, seed int64, csv bool) error {
 	if maxWorkers <= 0 {
 		maxWorkers = 2 * runtime.GOMAXPROCS(0)
@@ -43,42 +47,46 @@ func runBrokerScaling(w io.Writer, scale float64, maxWorkers int, seed int64, cs
 		return err
 	}
 	if csv {
-		fmt.Fprintln(w, "goroutines,ops,seconds,ops_per_sec,speedup")
+		fmt.Fprintln(w, "goroutines,ops,seconds,ops_per_sec,speedup,p50_us,p95_us,p99_us")
 	} else {
 		fmt.Fprintf(w, "Broker scaling — %d campaigns, %d mixed ops (90%% arrivals), GOMAXPROCS=%d\n",
 			campaigns, totalOps, runtime.GOMAXPROCS(0))
-		fmt.Fprintf(w, "%12s %12s %12s %14s %9s\n", "goroutines", "ops", "seconds", "ops/sec", "speedup")
+		fmt.Fprintf(w, "%12s %12s %12s %14s %9s %9s %9s %9s\n",
+			"goroutines", "ops", "seconds", "ops/sec", "speedup", "p50(µs)", "p95(µs)", "p99(µs)")
 	}
 	var base float64
 	for workers := 1; workers <= maxWorkers; workers *= 2 {
-		opsPerSec, err := brokerThroughput(specs, ops, workers)
+		opsPerSec, lat, err := brokerThroughput(specs, ops, workers)
 		if err != nil {
 			return err
 		}
 		if base == 0 {
 			base = opsPerSec
 		}
+		p50, p95, p99 := lat.Quantile(0.50)*1e6, lat.Quantile(0.95)*1e6, lat.Quantile(0.99)*1e6
 		if csv {
-			fmt.Fprintf(w, "%d,%d,%.4f,%.0f,%.2f\n",
-				workers, totalOps, float64(totalOps)/opsPerSec, opsPerSec, opsPerSec/base)
+			fmt.Fprintf(w, "%d,%d,%.4f,%.0f,%.2f,%.2f,%.2f,%.2f\n",
+				workers, totalOps, float64(totalOps)/opsPerSec, opsPerSec, opsPerSec/base, p50, p95, p99)
 		} else {
-			fmt.Fprintf(w, "%12d %12d %12.4f %14.0f %8.2fx\n",
-				workers, totalOps, float64(totalOps)/opsPerSec, opsPerSec, opsPerSec/base)
+			fmt.Fprintf(w, "%12d %12d %12.4f %14.0f %8.2fx %9.2f %9.2f %9.2f\n",
+				workers, totalOps, float64(totalOps)/opsPerSec, opsPerSec, opsPerSec/base, p50, p95, p99)
 		}
 	}
 	return nil
 }
 
 // brokerThroughput replays the op stream across `workers` goroutines against
-// a fresh broker and returns the aggregate operation rate.
-func brokerThroughput(specs []workload.BrokerCampaign, ops []workload.BrokerOp, workers int) (float64, error) {
-	b, err := broker.New(broker.Config{AdTypes: workload.DefaultAdTypes()})
+// a fresh instrumented broker and returns the aggregate operation rate plus
+// the merged arrival-latency histogram for quantile reporting.
+func brokerThroughput(specs []workload.BrokerCampaign, ops []workload.BrokerOp, workers int) (float64, obs.HistogramSnapshot, error) {
+	reg := obs.NewRegistry()
+	b, err := broker.New(broker.Config{AdTypes: workload.DefaultAdTypes(), Metrics: reg})
 	if err != nil {
-		return 0, err
+		return 0, obs.HistogramSnapshot{}, err
 	}
 	for _, c := range specs {
 		if _, err := b.RegisterCampaign(c.Loc, c.Radius, c.Budget, c.Tags); err != nil {
-			return 0, err
+			return 0, obs.HistogramSnapshot{}, err
 		}
 	}
 	var firstErr atomic.Pointer[error]
@@ -99,9 +107,15 @@ func brokerThroughput(specs []workload.BrokerCampaign, ops []workload.BrokerOp, 
 	wg.Wait()
 	elapsed := time.Since(start)
 	if p := firstErr.Load(); p != nil {
-		return 0, *p
+		return 0, obs.HistogramSnapshot{}, *p
 	}
-	return float64(len(ops)) / elapsed.Seconds(), nil
+	lat := reg.FindHistogram("muaa_broker_arrival_seconds").Snapshot()
+	if lat.Count == 0 {
+		// A degenerate stream (no positive-capacity arrivals) has no
+		// latency distribution; report NaN quantiles rather than zeros.
+		lat.Sum = math.NaN()
+	}
+	return float64(len(ops)) / elapsed.Seconds(), lat, nil
 }
 
 func applyOp(b *broker.Broker, op workload.BrokerOp) error {

@@ -13,16 +13,24 @@
 //	GET  /stats                broker counters (γ bounds, derived g, spend)
 //	GET  /campaigns            list all campaign states
 //	GET  /map.svg              the live campaign map as SVG
+//	GET  /metrics              Prometheus text exposition (docs/OPERATIONS.md)
+//	GET  /healthz              liveness probe, always 200 once serving
 //
 // Example session:
 //
 //	curl -s localhost:8080/campaigns -d '{"loc":{"x":0.5,"y":0.5},"radius":0.1,"budget":20,"tags":[1,0,0.2]}'
 //	curl -s localhost:8080/arrivals  -d '{"loc":{"x":0.49,"y":0.51},"capacity":2,"viewProb":0.7,"interests":[0.9,0.1,0.3]}'
 //	curl -s localhost:8080/stats
+//	curl -s localhost:8080/metrics | grep muaa_broker_arrival_seconds
 //
 // The broker shards campaign state by spatial stripe so arrivals in
 // different regions are served in parallel; -shards overrides the
-// GOMAXPROCS-scaled default.
+// GOMAXPROCS-scaled default. Every flag and every exported metric is
+// documented in docs/OPERATIONS.md.
+//
+// -debug-addr starts a second, separate listener exposing net/http/pprof
+// under /debug/pprof/ — opt-in and intended to stay on a loopback or
+// otherwise private address; the serving port never exposes profiling.
 package main
 
 import (
@@ -30,43 +38,78 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"time"
 
 	"muaa/internal/broker"
+	"muaa/internal/obs"
 	"muaa/internal/workload"
 )
 
-// newServer builds the broker and its HTTP server from the flag values; the
-// caller owns listening (main uses ListenAndServe, the smoke test binds an
-// ephemeral port).
+// newServer builds the instrumented broker and its HTTP server from the
+// flag values; the caller owns listening (main uses ListenAndServe, the
+// smoke test binds an ephemeral port).
 func newServer(addr string, g, pacing float64, shards int) (*http.Server, error) {
+	reg := obs.NewRegistry()
 	b, err := broker.New(broker.Config{
 		AdTypes: workload.DefaultAdTypes(),
 		G:       g,
 		Pacing:  pacing,
 		Shards:  shards,
+		Metrics: reg,
 	})
 	if err != nil {
 		return nil, err
 	}
+	mux := http.NewServeMux()
+	mux.Handle("/", broker.NewAPI(b))
+	mux.Handle("GET /metrics", reg.Handler())
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
 	return &http.Server{
 		Addr:              addr,
-		Handler:           broker.NewAPI(b),
+		Handler:           mux,
 		ReadHeaderTimeout: 5 * time.Second,
 	}, nil
 }
 
+// newDebugServer builds the opt-in pprof listener. The handlers are mounted
+// on a private mux (not http.DefaultServeMux) so nothing else in the
+// process can accidentally widen what this port serves.
+func newDebugServer(addr string) *http.Server {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return &http.Server{
+		Addr:              addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+}
+
 func main() {
 	var (
-		addr   = flag.String("addr", ":8080", "listen address")
-		g      = flag.Float64("g", 0, "adaptive threshold base g (> e); 0 = derive from observed γ bounds")
-		pacing = flag.Float64("pacing", 0, "daily budget pacing factor (0 = off, 1 = strictly uniform)")
-		shards = flag.Int("shards", 0, "spatial shard count for concurrent serving (0 = scale to GOMAXPROCS)")
+		addr      = flag.String("addr", ":8080", "listen address")
+		g         = flag.Float64("g", 0, "adaptive threshold base g (> e); 0 = derive from observed γ bounds")
+		pacing    = flag.Float64("pacing", 0, "daily budget pacing factor (0 = off, 1 = strictly uniform)")
+		shards    = flag.Int("shards", 0, "spatial shard count for concurrent serving (0 = scale to GOMAXPROCS)")
+		debugAddr = flag.String("debug-addr", "", "optional second listen address for net/http/pprof (e.g. 127.0.0.1:6060); empty disables profiling")
 	)
 	flag.Parse()
 	srv, err := newServer(*addr, *g, *pacing, *shards)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *debugAddr != "" {
+		dbg := newDebugServer(*debugAddr)
+		go func() { log.Fatal(dbg.ListenAndServe()) }()
+		fmt.Printf("muaa-serve: pprof on %s/debug/pprof/\n", *debugAddr)
 	}
 	fmt.Printf("muaa-serve: listening on %s (ad types: %d)\n", *addr, len(workload.DefaultAdTypes()))
 	log.Fatal(srv.ListenAndServe())

@@ -193,3 +193,98 @@ func TestServeRejectsBadConfig(t *testing.T) {
 		t.Error("negative shard count must be rejected")
 	}
 }
+
+// TestServeMetricsAndHealth scrapes the observability endpoints of a live
+// server: /healthz must answer 200 immediately, and /metrics must return
+// Prometheus text exposition covering the arrival latency histograms,
+// per-stripe lock counters, and the live O-AFA threshold gauges — the
+// acceptance contract of docs/OPERATIONS.md.
+func TestServeMetricsAndHealth(t *testing.T) {
+	base := startServer(t, 0, 0, 4)
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /healthz → %d", resp.StatusCode)
+	}
+
+	// Generate some traffic so the histograms have observations.
+	if code := postJSON(t, base+"/campaigns",
+		`{"loc":{"x":0.5,"y":0.5},"radius":0.1,"budget":20,"tags":[1,0,0.2]}`, nil); code != http.StatusCreated {
+		t.Fatalf("POST /campaigns → %d", code)
+	}
+	if code := postJSON(t, base+"/arrivals",
+		`{"loc":{"x":0.49,"y":0.51},"capacity":2,"viewProb":0.7,"interests":[0.9,0.1,0.3]}`, nil); code != http.StatusOK {
+		t.Fatalf("POST /arrivals → %d", code)
+	}
+
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics → %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("/metrics Content-Type = %q, want text exposition v0.0.4", ct)
+	}
+	var body bytes.Buffer
+	if _, err := body.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	out := body.String()
+	for _, want := range []string{
+		"# TYPE muaa_broker_arrival_seconds histogram",
+		"muaa_broker_arrival_seconds_count 1",
+		`muaa_broker_arrival_stage_seconds_bucket{stage="scan",le="+Inf"}`,
+		`muaa_broker_stripe_lock_total{stripe="`,
+		"muaa_broker_threshold_g",
+		`muaa_broker_threshold{delta="0"}`,
+		"muaa_broker_gamma_min",
+		"muaa_broker_arrivals_total 1",
+		"muaa_broker_campaigns 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestDebugServer exercises the opt-in pprof listener: the index and a
+// profile endpoint must answer on the debug address, and the main serving
+// mux must NOT expose /debug/pprof/.
+func TestDebugServer(t *testing.T) {
+	dbg := newDebugServer("127.0.0.1:0")
+	ln, err := net.Listen("tcp", dbg.Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = dbg.Serve(ln) }()
+	t.Cleanup(func() { _ = dbg.Close() })
+	dbgBase := "http://" + ln.Addr().String()
+
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/cmdline"} {
+		resp, err := http.Get(dbgBase + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s → %d", path, resp.StatusCode)
+		}
+	}
+
+	base := startServer(t, 0, 0, 0)
+	resp, err := http.Get(base + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Error("serving port must not expose /debug/pprof/")
+	}
+}

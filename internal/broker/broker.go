@@ -1,35 +1,3 @@
-// Package broker is the running system around the algorithms: the
-// location-based advertising broker the paper describes in its introduction
-// ("vendors create campaigns on the broker system with the specified
-// information of ads and budgets ... the broker system sends LBA ads to
-// potential customers based on their current locations, profiles and
-// preferences").
-//
-// Unlike the batch solvers in package core, a Broker is long-lived and
-// dynamic: vendors register and top up campaigns at any time, customers
-// arrive continuously, and each arrival is answered immediately with the
-// O-AFA admission rule over the live campaign state. γ_min is maintained as
-// a running estimate from the efficiencies the broker actually observes
-// (the paper's "estimated through the historical records ... after a period
-// of tuning").
-//
-// # Concurrency model
-//
-// The broker serves arrivals concurrently by sharding campaign state into
-// horizontal spatial stripes (geo.Stripes over Config.Bounds): each shard
-// owns the campaigns whose centers fall in its stripe, with its own
-// geo.Grid (at Config.GridCells resolution) and its own lock. An arrival at
-// p can only be covered by campaigns whose centers lie within maxRadius of
-// p, so it locks exactly the contiguous stripe range overlapping
-// [p.Y−maxRadius, p.Y+maxRadius] — always in ascending index order, which
-// makes the locking deadlock-free — and arrivals in disjoint regions run in
-// parallel. The running γ_min/γ_max efficiency bounds and the global
-// counters are lock-free atomics, and Stats/Campaigns/CampaignState are
-// pure snapshot reads that never block the serving path. Under
-// single-threaded replay the admission sequence is bit-identical to the
-// original single-mutex broker (pinned by the golden files in testdata/).
-//
-// The HTTP front end lives in http.go; cmd/muaa-serve wires it to a port.
 package broker
 
 import (
@@ -40,9 +8,11 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"muaa/internal/geo"
 	"muaa/internal/model"
+	"muaa/internal/obs"
 )
 
 // Config parameterizes a Broker.
@@ -78,6 +48,13 @@ type Config struct {
 	// GOMAXPROCS. The shard count never changes results — only how much of
 	// the broker an arrival must lock.
 	Shards int
+	// Metrics, when non-nil, registers the broker's full instrument set on
+	// the given registry at construction time: arrival latency histograms
+	// (end-to-end and per stage), per-stripe lock/contention counters, scan
+	// outcome counters, and live γ/threshold gauges. See docs/OPERATIONS.md
+	// for every metric. Instrumentation is observation-only: admission
+	// decisions and replay transcripts are identical with or without it.
+	Metrics *obs.Registry
 }
 
 // Campaign is the live state of one vendor's campaign.
@@ -128,8 +105,8 @@ type Stats struct {
 // their query disk overlaps, registration and budget mutation lock one
 // shard, and snapshot reads lock nothing.
 type Broker struct {
-	cfg     Config
-	pref    model.Preference
+	cfg  Config
+	pref model.Preference
 	// vectorPref marks preferences that correlate interest/tag vectors and
 	// therefore require equal dimensionality (PearsonPreference panics on a
 	// mismatch — a contract violation in batch problems, but live arrivals
@@ -138,6 +115,11 @@ type Broker struct {
 	vectorPref bool
 	minDist    float64
 	bounds     geo.Rect
+	minAdCost  float64 // cheapest configured ad type; the exhaustion line
+
+	// metrics is nil for an uninstrumented broker; set once in New and
+	// read-only afterwards, so Arrive checks it without synchronization.
+	metrics *brokerMetrics
 
 	stripes geo.Stripes
 	shards  []shard
@@ -206,9 +188,18 @@ func New(cfg Config) (*Broker, error) {
 	for i := range b.shards {
 		b.shards[i].grid = geo.NewGrid(bounds, cells)
 	}
+	b.minAdCost = cfg.AdTypes[0].Cost
+	for _, t := range cfg.AdTypes[1:] {
+		if t.Cost < b.minAdCost {
+			b.minAdCost = t.Cost
+		}
+	}
 	empty := make([]*campaign, 0)
 	b.dir.Store(&empty)
 	b.gammaMin.Store(math.Inf(1))
+	if cfg.Metrics != nil {
+		b.metrics = newBrokerMetrics(cfg.Metrics, b)
+	}
 	return b, nil
 }
 
@@ -274,6 +265,9 @@ func (b *Broker) TopUp(id int32, amount float64) error {
 	sh.mu.Lock()
 	c.budget.Store(c.budget.Load() + amount)
 	sh.mu.Unlock()
+	if b.metrics != nil {
+		b.metrics.topUps.Inc()
+	}
 	return nil
 }
 
@@ -331,10 +325,17 @@ type candidate struct {
 // locked, and they stay locked through commit so admission and spend are one
 // atomic step per campaign.
 func (b *Broker) Arrive(a Arrival) ([]Offer, error) {
+	m := b.metrics
 	if a.Capacity < 0 {
+		if m != nil {
+			m.arrivalErrors.Inc()
+		}
 		return nil, fmt.Errorf("broker: capacity %d", a.Capacity)
 	}
 	if a.ViewProb < 0 || a.ViewProb > 1 || math.IsNaN(a.ViewProb) {
+		if m != nil {
+			m.arrivalErrors.Inc()
+		}
 		return nil, fmt.Errorf("broker: view probability %g", a.ViewProb)
 	}
 	b.arrivals.Add(1)
@@ -347,10 +348,31 @@ func (b *Broker) Arrive(a Arrival) ([]Offer, error) {
 	// A covering campaign's center is within maxRadius of the arrival, so
 	// only the stripes overlapping that Y-window can hold one. Lock them in
 	// ascending order (the global lock order) and hold through commit.
+	//
+	// Instrumented (m != nil), each stage of the path is timed into the
+	// stage histograms and each stripe lock is first probed with TryLock —
+	// a miss means another arrival held it, the contention proxy. The
+	// TryLock/Lock pair acquires the same lock in the same order, and no
+	// metric value feeds back into admission, so the decision sequence is
+	// unchanged (golden-pinned by TestReplayMatchesGoldenInstrumented).
 	maxR := b.maxRadius.Load()
 	s0, s1 := b.stripes.Range(a.Loc.Y-maxR, a.Loc.Y+maxR)
-	for i := s0; i <= s1; i++ {
-		b.shards[i].mu.Lock()
+	var tStart, tStage time.Time
+	if m != nil {
+		tStart = time.Now()
+		for i := s0; i <= s1; i++ {
+			if !b.shards[i].mu.TryLock() {
+				m.stripeContended[i].Inc()
+				b.shards[i].mu.Lock()
+			}
+			m.stripeLocks[i].Inc()
+		}
+		tStage = time.Now()
+		m.stageLock.ObserveShard(s0, tStage.Sub(tStart).Seconds())
+	} else {
+		for i := s0; i <= s1; i++ {
+			b.shards[i].mu.Lock()
+		}
 	}
 	defer func() {
 		for i := s1; i >= s0; i-- {
@@ -370,24 +392,38 @@ func (b *Broker) Arrive(a Arrival) ([]Offer, error) {
 	// inserted under that shard's lock, and its registration published the
 	// directory entry before the grid entry, so this load observes it.
 	dir := *b.dir.Load()
+	if m != nil {
+		now := time.Now()
+		m.stageGather.ObserveShard(s0, now.Sub(tStage).Seconds())
+		tStage = now
+	}
 
+	// Scan outcome tallies; folded into the counters after the loop so the
+	// loop body stays branch-light whether or not metrics are on.
+	var tally struct {
+		offered, paused, exhausted, mismatch, lowScore, unaffordable, belowThreshold uint64
+	}
 	var cands []candidate
 	for _, id := range ids {
 		c := dir[id]
 		if c.paused.Load() {
+			tally.paused++
 			continue
 		}
 		budget := c.budget.Load()
 		if budget <= 0 {
+			tally.exhausted++
 			continue
 		}
 		if b.vectorPref && len(c.tags) != len(a.Interests) {
+			tally.mismatch++
 			continue // mismatched taxonomies: preference undefined, not served
 		}
 		spent := c.spent.Load()
 		ve := &model.Vendor{Loc: c.loc, Radius: c.radius, Budget: budget, Tags: c.tags}
 		s := b.pref.Score(cu, ve, a.Hour)
 		if s <= 0 || math.IsNaN(s) {
+			tally.lowScore++
 			continue
 		}
 		if s > 1 {
@@ -410,10 +446,12 @@ func (b *Broker) Arrive(a Arrival) ([]Offer, error) {
 			}
 		}
 		bestK, bestU, bestEff := -1, 0.0, 0.0
+		affordable := false
 		for k, t := range b.cfg.AdTypes {
 			if t.Cost > remaining+1e-12 {
 				continue
 			}
+			affordable = true
 			util := base * t.Effect
 			eff := util / t.Cost
 			b.observeEfficiency(eff)
@@ -424,7 +462,9 @@ func (b *Broker) Arrive(a Arrival) ([]Offer, error) {
 				bestK, bestU, bestEff = k, util, eff
 			}
 		}
-		if bestK >= 0 {
+		switch {
+		case bestK >= 0:
+			tally.offered++
 			cands = append(cands, candidate{
 				Offer: Offer{
 					Campaign: c.id, AdType: bestK, Utility: bestU,
@@ -432,6 +472,15 @@ func (b *Broker) Arrive(a Arrival) ([]Offer, error) {
 				},
 				c: c,
 			})
+		case affordable:
+			tally.belowThreshold++
+		case budget-spent < b.minAdCost:
+			// Not even the cheapest ad fits the unspent budget: the
+			// campaign is spent out until a top-up.
+			tally.exhausted++
+		default:
+			// Unspent budget exists but the pacing allowance withheld it.
+			tally.unaffordable++
 		}
 	}
 	if len(cands) > a.Capacity {
@@ -441,20 +490,55 @@ func (b *Broker) Arrive(a Arrival) ([]Offer, error) {
 			}
 			return cands[i].Campaign < cands[j].Campaign
 		})
+		if m != nil {
+			m.capacityTrimmed.Add(uint64(len(cands) - a.Capacity))
+		}
 		cands = cands[:a.Capacity]
 	}
+	if m != nil {
+		now := time.Now()
+		m.stageScan.ObserveShard(s0, now.Sub(tStage).Seconds())
+		tStage = now
+		m.scanOffered.Add(tally.offered)
+		m.scanPaused.Add(tally.paused)
+		m.scanExhausted.Add(tally.exhausted)
+		m.scanMismatch.Add(tally.mismatch)
+		m.scanLowScore.Add(tally.lowScore)
+		m.scanUnaffordable.Add(tally.unaffordable)
+		m.scanBelowThreshold.Add(tally.belowThreshold)
+	}
 	if len(cands) == 0 {
+		if m != nil {
+			m.arrival.ObserveShard(s0, time.Since(tStart).Seconds())
+		}
 		return nil, nil
 	}
 	out := make([]Offer, len(cands))
 	for i, cd := range cands {
 		// Writers hold the owning shard's lock (every candidate came from a
 		// locked shard), so load+store is a safe read-modify-write.
-		cd.c.spent.Store(cd.c.spent.Load() + cd.Cost)
+		oldSpent := cd.c.spent.Load()
+		newSpent := oldSpent + cd.Cost
+		cd.c.spent.Store(newSpent)
 		b.spent.Add(cd.Cost)
 		b.utility.Add(cd.Utility)
 		b.offers.Add(1)
 		out[i] = cd.Offer
+		if m != nil {
+			m.offersByType[cd.AdType].Inc()
+			// Exhaustion event: this commit pushed the remaining budget
+			// below the cheapest ad type, so the campaign can serve nothing
+			// further until a top-up.
+			budget := cd.c.budget.Load()
+			if budget-oldSpent >= b.minAdCost && budget-newSpent < b.minAdCost {
+				m.exhaustedEvents.Inc()
+			}
+		}
+	}
+	if m != nil {
+		now := time.Now()
+		m.stageCommit.ObserveShard(s0, now.Sub(tStage).Seconds())
+		m.arrival.ObserveShard(s0, now.Sub(tStart).Seconds())
 	}
 	return out, nil
 }

@@ -8,6 +8,7 @@ import (
 	"strings"
 	"testing"
 
+	"muaa/internal/obs"
 	"muaa/internal/workload"
 )
 
@@ -117,6 +118,23 @@ func TestReplayMatchesGolden(t *testing.T) {
 					len(got), len(want), firstDiff(got, string(want)))
 			}
 		})
+	}
+}
+
+// TestReplayMatchesGoldenInstrumented replays the default golden stream
+// with the full observability instrument set registered. The transcript
+// must stay byte-identical to the uninstrumented golden: instrumentation
+// is observation-only and must never change an admission decision.
+func TestReplayMatchesGoldenInstrumented(t *testing.T) {
+	cfg := Config{AdTypes: workload.DefaultAdTypes(), Metrics: obs.NewRegistry()}
+	got := replayTranscript(t, cfg, 32, 3000, 42)
+	want, err := os.ReadFile(filepath.Join("testdata", "replay_default.golden"))
+	if err != nil {
+		t.Fatalf("missing golden: %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("instrumentation changed the replay transcript (%d vs %d bytes, first diff at byte %d)",
+			len(got), len(want), firstDiff(got, string(want)))
 	}
 }
 

@@ -252,8 +252,12 @@ func decode(w http.ResponseWriter, r *http.Request, v any) bool {
 	return true
 }
 
+// writeJSON is the single funnel for every JSON response (success and
+// error): the explicit Content-Type plus nosniff is a contract the
+// monitoring docs advertise to scrapers, pinned by TestJSONContentType.
 func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.Header().Set("X-Content-Type-Options", "nosniff")
 	w.WriteHeader(status)
 	_ = json.NewEncoder(w).Encode(v)
 }

@@ -255,3 +255,51 @@ func TestHTTPMap(t *testing.T) {
 		t.Errorf("map content:\n%s", body[:min(200, len(body))])
 	}
 }
+
+// TestJSONContentType is the regression test for the explicit JSON content
+// type: every JSON endpoint — success and error paths alike — must declare
+// `application/json; charset=utf-8` with nosniff, so scrapers and the
+// docs/OPERATIONS.md curl examples can rely on it.
+func TestJSONContentType(t *testing.T) {
+	srv, _ := newTestServer(t)
+	resp := postJSON(t, srv.URL+"/campaigns", campaignRequest{
+		Loc: pointDTO{0.5, 0.5}, Radius: 0.2, Budget: 10, Tags: []float64{1, 0},
+	})
+	resp.Body.Close()
+
+	checks := []struct {
+		name       string
+		get        string
+		wantStatus int
+	}{
+		{"stats", "/stats", http.StatusOK},
+		{"campaign list", "/campaigns", http.StatusOK},
+		{"campaign state", "/campaigns/0", http.StatusOK},
+		{"error body", "/campaigns/999", http.StatusNotFound},
+	}
+	for _, tc := range checks {
+		resp, err := http.Get(srv.URL + tc.get)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.wantStatus {
+			t.Errorf("%s: status %d, want %d", tc.name, resp.StatusCode, tc.wantStatus)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "application/json; charset=utf-8" {
+			t.Errorf("%s: Content-Type = %q, want explicit application/json; charset=utf-8", tc.name, ct)
+		}
+		if ns := resp.Header.Get("X-Content-Type-Options"); ns != "nosniff" {
+			t.Errorf("%s: X-Content-Type-Options = %q, want nosniff", tc.name, ns)
+		}
+	}
+
+	// POST responses flow through the same funnel.
+	resp = postJSON(t, srv.URL+"/arrivals", arrivalRequest{
+		Loc: pointDTO{0.5, 0.5}, Capacity: 1, ViewProb: 0.5, Interests: []float64{1, 0},
+	})
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json; charset=utf-8" {
+		t.Errorf("POST /arrivals: Content-Type = %q", ct)
+	}
+}

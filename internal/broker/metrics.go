@@ -1,0 +1,176 @@
+package broker
+
+import (
+	"math"
+	"strconv"
+
+	"muaa/internal/obs"
+)
+
+// brokerMetrics holds the broker's registered instruments. It is built once
+// in New when Config.Metrics is set and never mutated afterwards, so the
+// hot path reads it without synchronization; a nil *brokerMetrics means the
+// broker runs uninstrumented and Arrive takes no clock readings at all.
+//
+// Instrumentation is observation-only by construction: nothing in this file
+// feeds back into admission decisions, which is what keeps the golden
+// replay transcripts byte-identical with metrics on (asserted by
+// TestReplayMatchesGoldenInstrumented).
+type brokerMetrics struct {
+	// End-to-end and per-stage Arrive latency. Stages partition the arrival
+	// path: lock_wait (acquiring the stripe interval), gather (grid queries
+	// + candidate ordering), scan (the O-AFA threshold pass), commit
+	// (charging accepted offers). Zero-capacity arrivals and rejected
+	// requests never enter the pipeline and are not observed.
+	arrival     *obs.Histogram
+	stageLock   *obs.Histogram
+	stageGather *obs.Histogram
+	stageScan   *obs.Histogram
+	stageCommit *obs.Histogram
+
+	// Per-stripe lock traffic: stripeLocks[i] counts acquisitions of stripe
+	// i's lock by arrivals; stripeContended[i] counts the subset where the
+	// lock was already held (a TryLock miss) — the contention proxy.
+	stripeLocks     []*obs.Counter
+	stripeContended []*obs.Counter
+
+	// Scan outcomes, one per candidate campaign examined.
+	scanOffered        *obs.Counter
+	scanPaused         *obs.Counter
+	scanExhausted      *obs.Counter
+	scanMismatch       *obs.Counter
+	scanLowScore       *obs.Counter
+	scanUnaffordable   *obs.Counter
+	scanBelowThreshold *obs.Counter
+
+	capacityTrimmed *obs.Counter
+	arrivalErrors   *obs.Counter
+	topUps          *obs.Counter
+	exhaustedEvents *obs.Counter
+	offersByType    []*obs.Counter // indexed like cfg.AdTypes
+}
+
+// Latency bucket layouts, fixed at construction (see internal/obs): the
+// arrival path costs single-digit microseconds uncontended, so both start
+// well below that and span past anything a loaded scrape should ever see.
+var (
+	arrivalBuckets = obs.ExpBuckets(1e-6, 2, 16)   // 1 µs … ~32.8 ms
+	stageBuckets   = obs.ExpBuckets(2.5e-7, 2, 16) // 250 ns … ~8.2 ms
+)
+
+// newBrokerMetrics registers every broker instrument on reg. The gauge and
+// counter funcs sample b's own lock-free atomics at scrape time, so scraping
+// never blocks serving.
+func newBrokerMetrics(reg *obs.Registry, b *Broker) *brokerMetrics {
+	m := &brokerMetrics{
+		arrival: reg.NewHistogram("muaa_broker_arrival_seconds",
+			"End-to-end latency of Broker.Arrive, from stripe-lock acquisition through commit.",
+			arrivalBuckets),
+		stageLock: reg.NewHistogram("muaa_broker_arrival_stage_seconds",
+			"Latency of one stage of the arrival path.",
+			stageBuckets, obs.L("stage", "lock_wait")),
+		stageGather: reg.NewHistogram("muaa_broker_arrival_stage_seconds",
+			"Latency of one stage of the arrival path.",
+			stageBuckets, obs.L("stage", "gather")),
+		stageScan: reg.NewHistogram("muaa_broker_arrival_stage_seconds",
+			"Latency of one stage of the arrival path.",
+			stageBuckets, obs.L("stage", "scan")),
+		stageCommit: reg.NewHistogram("muaa_broker_arrival_stage_seconds",
+			"Latency of one stage of the arrival path.",
+			stageBuckets, obs.L("stage", "commit")),
+		scanOffered: reg.NewCounter("muaa_broker_scan_outcomes_total",
+			"Candidate campaigns examined by the O-AFA scan, by outcome.",
+			obs.L("outcome", "offered")),
+		scanPaused: reg.NewCounter("muaa_broker_scan_outcomes_total",
+			"Candidate campaigns examined by the O-AFA scan, by outcome.",
+			obs.L("outcome", "paused")),
+		scanExhausted: reg.NewCounter("muaa_broker_scan_outcomes_total",
+			"Candidate campaigns examined by the O-AFA scan, by outcome.",
+			obs.L("outcome", "exhausted")),
+		scanMismatch: reg.NewCounter("muaa_broker_scan_outcomes_total",
+			"Candidate campaigns examined by the O-AFA scan, by outcome.",
+			obs.L("outcome", "dimension_mismatch")),
+		scanLowScore: reg.NewCounter("muaa_broker_scan_outcomes_total",
+			"Candidate campaigns examined by the O-AFA scan, by outcome.",
+			obs.L("outcome", "low_score")),
+		scanUnaffordable: reg.NewCounter("muaa_broker_scan_outcomes_total",
+			"Candidate campaigns examined by the O-AFA scan, by outcome.",
+			obs.L("outcome", "unaffordable")),
+		scanBelowThreshold: reg.NewCounter("muaa_broker_scan_outcomes_total",
+			"Candidate campaigns examined by the O-AFA scan, by outcome.",
+			obs.L("outcome", "below_threshold")),
+		capacityTrimmed: reg.NewCounter("muaa_broker_capacity_trimmed_total",
+			"Admitted candidates dropped because the arrival's capacity was smaller."),
+		arrivalErrors: reg.NewCounter("muaa_broker_arrival_errors_total",
+			"Arrivals rejected before admission (invalid capacity or view probability)."),
+		topUps: reg.NewCounter("muaa_broker_topups_total",
+			"Successful campaign budget top-ups."),
+		exhaustedEvents: reg.NewCounter("muaa_broker_campaign_exhausted_total",
+			"Commits that left a campaign's remaining budget below the cheapest ad type."),
+	}
+	for i := range b.shards {
+		stripe := obs.L("stripe", strconv.Itoa(i))
+		m.stripeLocks = append(m.stripeLocks, reg.NewCounter(
+			"muaa_broker_stripe_lock_total",
+			"Stripe-lock acquisitions by arrivals, per stripe.", stripe))
+		m.stripeContended = append(m.stripeContended, reg.NewCounter(
+			"muaa_broker_stripe_lock_contended_total",
+			"Stripe-lock acquisitions that found the lock held (TryLock miss), per stripe.", stripe))
+	}
+	for k, t := range b.cfg.AdTypes {
+		m.offersByType = append(m.offersByType, reg.NewCounter(
+			"muaa_broker_offers_total",
+			"Offers committed, by ad type.", obs.L("adtype", t.Name), obs.L("k", strconv.Itoa(k))))
+	}
+
+	// Mirrors of the Stats snapshot, sampled from the broker's atomics.
+	reg.NewCounterFunc("muaa_broker_arrivals_total",
+		"Customer arrivals processed (including zero-capacity ones).",
+		func() float64 { return float64(b.arrivals.Load()) })
+	reg.NewCounterFunc("muaa_broker_offers_pushed_total",
+		"Total offers pushed to customers.",
+		func() float64 { return float64(b.offers.Load()) })
+	reg.NewCounterFunc("muaa_broker_utility_served_total",
+		"Cumulative utility (Eq. 4) of all committed offers.",
+		func() float64 { return b.utility.Load() })
+	reg.NewCounterFunc("muaa_broker_budget_spent_total",
+		"Cumulative campaign budget charged by committed offers.",
+		func() float64 { return b.spent.Load() })
+	reg.NewGaugeFunc("muaa_broker_campaigns",
+		"Campaigns currently registered (paused ones included).",
+		func() float64 { return float64(len(*b.dir.Load())) })
+
+	// The live O-AFA state: γ-estimator bounds, the derived threshold base
+	// g, and the adaptive threshold φ(δ) at three reference budget-usage
+	// ratios. All report 0 until the first efficiency is observed, matching
+	// Stats.
+	reg.NewGaugeFunc("muaa_broker_gamma_min",
+		"Running minimum observed offer efficiency (0 until the first observation).",
+		func() float64 {
+			if b.gammaMax.Load() == 0 {
+				return 0
+			}
+			return b.gammaMin.Load()
+		})
+	reg.NewGaugeFunc("muaa_broker_gamma_max",
+		"Running maximum observed offer efficiency.",
+		func() float64 { return b.gammaMax.Load() })
+	reg.NewGaugeFunc("muaa_broker_threshold_g",
+		"Adaptive threshold base g: configured, or derived as e·γ_max/γ_min once observations exist.",
+		func() float64 {
+			g := b.cfg.G
+			gmax, gmin := b.gammaMax.Load(), b.gammaMin.Load()
+			if g == 0 && gmax > gmin && gmax > 0 {
+				g = math.E * gmax / gmin
+			}
+			return g
+		})
+	for _, delta := range []float64{0, 0.5, 1} {
+		delta := delta
+		reg.NewGaugeFunc("muaa_broker_threshold",
+			"Live admission threshold φ(δ) = γ_min/e · g^δ at reference budget-usage ratios δ.",
+			func() float64 { return b.threshold(delta) },
+			obs.L("delta", strconv.FormatFloat(delta, 'g', -1, 64)))
+	}
+	return m
+}

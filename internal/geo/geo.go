@@ -1,14 +1,3 @@
-// Package geo provides the planar geometry primitives used throughout the
-// MUAA system: points in the unit square, Euclidean distances, axis-aligned
-// rectangles, and a uniform-grid spatial index answering the two range
-// queries every assignment algorithm needs — "which vendors' advertising
-// disks cover this customer?" and "which customers lie inside this vendor's
-// disk?".
-//
-// The paper's data space is [0,1]² (both the remapped Foursquare check-ins
-// and the synthetic workloads live there), so a uniform grid is the right
-// index: cell occupancy is near-uniform for vendors and the disk radii are
-// small (0.01–0.05), making candidate sets tiny.
 package geo
 
 import (

@@ -1,0 +1,274 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one name="value" pair attached to a metric at registration time.
+// Labels are static for the lifetime of the metric: dynamic label values
+// (per-campaign IDs, per-customer anything) are unbounded-cardinality and
+// deliberately unsupported — register one metric per known label value
+// instead (e.g. one counter per stripe).
+type Label struct {
+	Key, Value string
+}
+
+// L is shorthand for Label{Key: k, Value: v}.
+func L(k, v string) Label { return Label{Key: k, Value: v} }
+
+// metric is one registered instrument: a fixed identity plus a sampler
+// called at scrape time.
+type metric struct {
+	name   string
+	labels string // rendered {k="v",...} or ""
+	sample func(w io.Writer, name, labels string)
+	hist   *Histogram // non-nil iff this metric is a histogram
+}
+
+// family groups every metric sharing one name: the exposition format allows
+// a single # HELP / # TYPE header per name.
+type family struct {
+	name    string
+	help    string
+	typ     string // "counter", "gauge", "histogram"
+	metrics []metric
+}
+
+// Registry holds a set of metrics and renders them on demand. Registration
+// is synchronized; the registered instruments themselves are lock-free.
+// The zero value is not usable — call NewRegistry.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry creates an empty metrics registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// register adds a metric to its family, creating the family on first use.
+// It panics on a name reused with a different type or help string, and on a
+// duplicate (name, labels) identity.
+func (r *Registry) register(name, help, typ string, m metric) {
+	if name == "" {
+		panic("obs: metric with empty name")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, help: help, typ: typ}
+		r.families[name] = f
+	}
+	if f.typ != typ {
+		panic(fmt.Sprintf("obs: metric %q registered as both %s and %s", name, f.typ, typ))
+	}
+	if f.help != help {
+		panic(fmt.Sprintf("obs: metric %q registered with two help strings", name))
+	}
+	for _, existing := range f.metrics {
+		if existing.labels == m.labels {
+			panic(fmt.Sprintf("obs: duplicate metric %s%s", name, m.labels))
+		}
+	}
+	f.metrics = append(f.metrics, m)
+}
+
+// Counter is a monotonically increasing event count. All methods are safe
+// for concurrent use and lock-free.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// NewCounter registers and returns a counter.
+func (r *Registry) NewCounter(name, help string, labels ...Label) *Counter {
+	c := &Counter{}
+	r.register(name, help, "counter", metric{
+		name:   name,
+		labels: renderLabels(labels),
+		sample: func(w io.Writer, name, lbl string) {
+			fmt.Fprintf(w, "%s%s %d\n", name, lbl, c.Value())
+		},
+	})
+	return c
+}
+
+// NewCounterFunc registers a counter whose value is sampled from fn at
+// scrape time. fn must be monotone non-decreasing and safe for concurrent
+// use; the registry calls it with no locks held.
+func (r *Registry) NewCounterFunc(name, help string, fn func() float64, labels ...Label) {
+	r.register(name, help, "counter", metric{
+		name:   name,
+		labels: renderLabels(labels),
+		sample: func(w io.Writer, name, lbl string) {
+			fmt.Fprintf(w, "%s%s %s\n", name, lbl, formatFloat(fn()))
+		},
+	})
+}
+
+// Gauge is a settable instantaneous value.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// NewGauge registers and returns a gauge, initialized to zero.
+func (r *Registry) NewGauge(name, help string, labels ...Label) *Gauge {
+	g := &Gauge{}
+	r.register(name, help, "gauge", metric{
+		name:   name,
+		labels: renderLabels(labels),
+		sample: func(w io.Writer, name, lbl string) {
+			fmt.Fprintf(w, "%s%s %s\n", name, lbl, formatFloat(g.Value()))
+		},
+	})
+	return g
+}
+
+// NewGaugeFunc registers a gauge sampled from fn at scrape time. fn must be
+// safe for concurrent use; the registry calls it with no locks held.
+func (r *Registry) NewGaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	r.register(name, help, "gauge", metric{
+		name:   name,
+		labels: renderLabels(labels),
+		sample: func(w io.Writer, name, lbl string) {
+			fmt.Fprintf(w, "%s%s %s\n", name, lbl, formatFloat(fn()))
+		},
+	})
+}
+
+// FindHistogram returns the registered histogram with the given identity,
+// or nil. It exists for offline consumers (cmd/muaa-bench) that need to
+// read quantiles out of an instrumented component they did not build.
+func (r *Registry) FindHistogram(name string, labels ...Label) *Histogram {
+	want := renderLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		return nil
+	}
+	for _, m := range f.metrics {
+		if m.labels == want {
+			return m.hist
+		}
+	}
+	return nil
+}
+
+// WriteText renders every registered metric in the Prometheus text
+// exposition format (version 0.0.4). Families are sorted by name and
+// samples by label set, so successive scrapes of a quiescent registry are
+// byte-identical.
+func (r *Registry) WriteText(w io.Writer) {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fams := make([]*family, len(names))
+	for i, name := range names {
+		fams[i] = r.families[name]
+	}
+	r.mu.Unlock()
+
+	for _, f := range fams {
+		if f.help != "" {
+			fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		}
+		fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ)
+		ms := append([]metric(nil), f.metrics...)
+		sort.Slice(ms, func(i, j int) bool { return ms[i].labels < ms[j].labels })
+		for _, m := range ms {
+			m.sample(w, m.name, m.labels)
+		}
+	}
+}
+
+// Handler returns the GET /metrics endpoint: a text-exposition scrape of
+// the registry.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		r.WriteText(w)
+	})
+}
+
+// renderLabels renders a deterministic {k="v",...} string, sorted by key.
+// An empty label set renders as "".
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(l.Key)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(l.Value))
+		sb.WriteByte('"')
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// labelsWithLe re-renders a rendered label string with an le="..." pair
+// appended — the histogram bucket form.
+func labelsWithLe(labels, le string) string {
+	if labels == "" {
+		return `{le="` + le + `"}`
+	}
+	return labels[:len(labels)-1] + `,le="` + le + `"}`
+}
+
+// formatFloat renders a float the way the exposition format expects:
+// shortest exact decimal, +Inf/-Inf/NaN spelled out.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	return strings.NewReplacer(`\`, `\\`, "\n", `\n`).Replace(s)
+}
+
+func escapeLabel(s string) string {
+	return strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`).Replace(s)
+}

@@ -1,9 +1,3 @@
-// Package workload generates MUAA problem instances: the paper's synthetic
-// data (Section V-A: Gaussian customer locations, uniform vendor locations,
-// truncated-Gaussian budgets/radii/capacities/probabilities) and the worked
-// Example 1 of the introduction. The Foursquare-style check-in data lives in
-// package checkin; it converts its simulated check-ins into the same
-// model.Problem form.
 package workload
 
 import (
