@@ -17,6 +17,7 @@ import (
 	"muaa/internal/core"
 	"muaa/internal/experiment"
 	"muaa/internal/stream"
+	"muaa/internal/wal"
 	"muaa/internal/workload"
 )
 
@@ -195,14 +196,34 @@ func BenchmarkIndexAblation(b *testing.B) {
 // benchBroker builds a broker pre-loaded with a deterministic campaign set
 // and returns it with the mixed op stream to replay against it.
 func benchBroker(b *testing.B) (*broker.Broker, []workload.BrokerOp) {
+	return benchBrokerDir(b, "")
+}
+
+// benchBrokerDir is the durable variant: a non-empty dataDir boots the
+// broker with its write-ahead log in buffered mode (group-commit write() to
+// the OS; no per-batch fsync) so the WAL benchmarks measure the logging
+// cost itself rather than the device's fsync latency — cmd/muaa-bench
+// -exp wal reports the fsync arm alongside.
+func benchBrokerDir(b *testing.B, dataDir string) (*broker.Broker, []workload.BrokerOp) {
 	b.Helper()
 	specs, ops, err := workload.BrokerLoad(workload.DefaultBrokerLoadConfig(256, 8192, 42))
 	if err != nil {
 		b.Fatal(err)
 	}
-	br, err := broker.New(broker.Config{AdTypes: workload.DefaultAdTypes()})
+	br, err := broker.New(broker.Config{
+		AdTypes: workload.DefaultAdTypes(),
+		DataDir: dataDir,
+		WAL:     wal.Options{Sync: wal.SyncNone},
+	})
 	if err != nil {
 		b.Fatal(err)
+	}
+	if dataDir != "" {
+		b.Cleanup(func() {
+			if err := br.Close(); err != nil {
+				b.Error(err)
+			}
+		})
 	}
 	for _, c := range specs {
 		if _, err := br.RegisterCampaign(c.Loc, c.Radius, c.Budget, c.Tags); err != nil {
@@ -259,4 +280,36 @@ func BenchmarkBrokerSerialArrivals(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkBrokerSerialArrivalsWAL replays the same serial stream through a
+// durable broker (buffered group-commit WAL, default fsync-on-flush) — the
+// delta against BenchmarkBrokerSerialArrivals is the per-op durability
+// cost; cmd/muaa-bench -exp wal prints the interleaved A/B as a table.
+func BenchmarkBrokerSerialArrivalsWAL(b *testing.B) {
+	br, ops := benchBrokerDir(b, b.TempDir())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := applyBrokerOp(br, ops[i%len(ops)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBrokerParallelArrivalsWAL is the durable variant of the parallel
+// benchmark: group commit lets concurrent arrivals buffer while another
+// goroutine is inside the fsync, so the parallel overhead should stay close
+// to the serial one.
+func BenchmarkBrokerParallelArrivalsWAL(b *testing.B) {
+	br, ops := benchBrokerDir(b, b.TempDir())
+	var next atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			op := ops[int(next.Add(1)-1)%len(ops)]
+			if err := applyBrokerOp(br, op); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

@@ -20,6 +20,12 @@
 //
 //	muaa-bench -exp broker -scale 0.1 -workers 8
 //
+// `-exp wal` measures the durability tax: an interleaved A/B of the serial
+// broker hot path with the write-ahead log off and on (-repeats sets the
+// round count):
+//
+//	muaa-bench -exp wal -scale 0.1 -repeats 5
+//
 // -scale shrinks entity counts for quick runs; 1.0 reproduces the paper's
 // sizes (m = 10,000 / n = 500 defaults; fig7 up to m = 100,000). -repeats N
 // replicates each sweep under N seeds and reports means.
@@ -85,6 +91,12 @@ func run(w io.Writer, exp string, scale float64, csv, chart, md bool, workers, r
 			return fmt.Errorf("-exp broker supports text and -csv output only")
 		}
 		return runBrokerScaling(w, scale, workers, seed, csv)
+	}
+	if strings.EqualFold(exp, "wal") {
+		if chart || md {
+			return fmt.Errorf("-exp wal supports text and -csv output only")
+		}
+		return runWALOverhead(w, scale, seed, csv, repeats)
 	}
 	if strings.EqualFold(exp, "all") {
 		return experiment.RunAll(w, st, workers, repeats, format)

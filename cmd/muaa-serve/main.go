@@ -1,27 +1,38 @@
 // Command muaa-serve runs the location-based advertising broker as an HTTP
 // service — the long-lived system around the paper's online algorithm.
 //
-//	muaa-serve -addr :8080
+//	muaa-serve -addr :8080 -data-dir /var/lib/muaa
 //
-// Endpoints (JSON bodies):
+// The API is versioned under /v1 (the unversioned paths remain as aliases;
+// JSON bodies, uniform `{"error":{"code":...,"message":...}}` envelope on
+// every failure):
 //
-//	POST /campaigns            register a vendor campaign → {id}
-//	POST /campaigns/{id}/topup add budget
-//	POST /campaigns/{id}/pause pause / resume
-//	GET  /campaigns/{id}       live campaign state
-//	POST /arrivals             a customer arrival → the ads to deliver now
-//	GET  /stats                broker counters (γ bounds, derived g, spend)
-//	GET  /campaigns            list all campaign states
-//	GET  /map.svg              the live campaign map as SVG
-//	GET  /metrics              Prometheus text exposition (docs/OPERATIONS.md)
-//	GET  /healthz              liveness probe, always 200 once serving
+//	POST /v1/campaigns            register a vendor campaign → {id}
+//	POST /v1/campaigns/{id}/topup add budget (also POST /v1/topup {id,amount})
+//	POST /v1/campaigns/{id}/pause pause / resume
+//	GET  /v1/campaigns/{id}       live campaign state
+//	POST /v1/arrivals             a customer arrival → the ads to deliver now
+//	GET  /v1/stats                broker counters (γ bounds, derived g, spend)
+//	GET  /v1/campaigns            list all campaign states
+//	GET  /v1/map.svg              the live campaign map as SVG
+//	GET  /v1/metrics              Prometheus text exposition (docs/OPERATIONS.md)
+//	GET  /v1/healthz              readiness: 200 once recovery finished, 503 before
 //
 // Example session:
 //
-//	curl -s localhost:8080/campaigns -d '{"loc":{"x":0.5,"y":0.5},"radius":0.1,"budget":20,"tags":[1,0,0.2]}'
-//	curl -s localhost:8080/arrivals  -d '{"loc":{"x":0.49,"y":0.51},"capacity":2,"viewProb":0.7,"interests":[0.9,0.1,0.3]}'
-//	curl -s localhost:8080/stats
-//	curl -s localhost:8080/metrics | grep muaa_broker_arrival_seconds
+//	curl -s localhost:8080/v1/campaigns -H 'Content-Type: application/json' -d '{"loc":{"x":0.5,"y":0.5},"radius":0.1,"budget":20,"tags":[1,0,0.2]}'
+//	curl -s localhost:8080/v1/arrivals  -H 'Content-Type: application/json' -d '{"loc":{"x":0.49,"y":0.51},"capacity":2,"viewProb":0.7,"interests":[0.9,0.1,0.3]}'
+//	curl -s localhost:8080/v1/stats
+//	curl -s localhost:8080/v1/metrics | grep muaa_broker_arrival_seconds
+//
+// With -data-dir set the broker is durable: every mutation is written to a
+// write-ahead log before it is acknowledged, compacting snapshots bound
+// replay time, and a restart rebuilds the exact pre-crash state. While that
+// replay is running the server already listens, but broker endpoints
+// (including /healthz and /stats) answer 503 with the error envelope so
+// load-balancers keep traffic away; /metrics is live from boot. SIGINT or
+// SIGTERM drains in-flight requests, flushes and fsyncs the log, writes a
+// final snapshot and exits cleanly.
 //
 // The broker shards campaign state by spatial stripe so arrivals in
 // different regions are served in parallel; -shards overrides the
@@ -34,46 +45,174 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"net/http/pprof"
+	"os"
+	"os/signal"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"muaa/internal/broker"
 	"muaa/internal/obs"
+	"muaa/internal/wal"
 	"muaa/internal/workload"
 )
 
-// newServer builds the instrumented broker and its HTTP server from the
-// flag values; the caller owns listening (main uses ListenAndServe, the
-// smoke test binds an ephemeral port).
-func newServer(addr string, g, pacing float64, shards int) (*http.Server, error) {
-	reg := obs.NewRegistry()
-	b, err := broker.New(broker.Config{
-		AdTypes: workload.DefaultAdTypes(),
-		G:       g,
-		Pacing:  pacing,
-		Shards:  shards,
-		Metrics: reg,
-	})
+// serverOpts carries the flag values into newServer.
+type serverOpts struct {
+	addr          string
+	g, pacing     float64
+	shards        int
+	dataDir       string // empty = in-memory broker, exactly the old behavior
+	walSync       string // flush | always | none (wal.ParseSyncPolicy)
+	walFlushEvery time.Duration
+	snapshotEvery int
+}
+
+// app is the serving process: an HTTP server whose broker may still be
+// recovering. The mux is built once at construction; handlers consult the
+// atomic api pointer so the listener can accept probes (answering 503)
+// while boot replays the write-ahead log.
+type app struct {
+	srv  *http.Server
+	reg  *obs.Registry
+	cfg  broker.Config
+	opts serverOpts
+	api  atomic.Pointer[broker.API]
+	b    atomic.Pointer[broker.Broker]
+}
+
+// newServer validates the flag values and builds the instrumented server.
+// The broker itself is created by boot — synchronously here when no data
+// directory is configured (nothing to replay), otherwise by the caller so
+// the listener can come up first.
+func newServer(o serverOpts) (*app, error) {
+	sync, err := wal.ParseSyncPolicy(o.walSync)
 	if err != nil {
 		return nil, err
 	}
+	a := &app{
+		reg:  obs.NewRegistry(),
+		opts: o,
+	}
+	a.cfg = broker.Config{
+		AdTypes: workload.DefaultAdTypes(),
+		G:       o.g,
+		Pacing:  o.pacing,
+		Shards:  o.shards,
+		Metrics: a.reg,
+		DataDir: o.dataDir,
+		WAL: wal.Options{
+			Sync:          sync,
+			FlushInterval: o.walFlushEvery,
+			SnapshotEvery: o.snapshotEvery,
+		},
+	}
+	if o.dataDir == "" {
+		if err := a.boot(); err != nil {
+			return nil, err
+		}
+	} else {
+		// Surface config errors (bad g, pacing, shards) before the
+		// listener starts, without touching the data directory: run the
+		// same validation the real boot will, against a throwaway
+		// in-memory broker on a separate registry.
+		check := a.cfg
+		check.DataDir = ""
+		check.Metrics = obs.NewRegistry()
+		if _, err := broker.New(check); err != nil {
+			return nil, err
+		}
+	}
 	mux := http.NewServeMux()
-	mux.Handle("/", broker.NewAPI(b))
-	mux.Handle("GET /metrics", reg.Handler())
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		w.WriteHeader(http.StatusOK)
-		fmt.Fprintln(w, "ok")
-	})
-	return &http.Server{
-		Addr:              addr,
+	mux.HandleFunc("/", a.serveAPI)
+	for _, p := range []string{"/metrics", "/v1/metrics"} {
+		mux.HandleFunc(p, a.getOnly(a.serveMetrics))
+	}
+	for _, p := range []string{"/healthz", "/v1/healthz"} {
+		mux.HandleFunc(p, a.getOnly(a.serveHealthz))
+	}
+	a.srv = &http.Server{
+		Addr:              o.addr,
 		Handler:           mux,
 		ReadHeaderTimeout: 5 * time.Second,
-	}, nil
+	}
+	return a, nil
+}
+
+// boot creates (and, with a data directory, recovers) the broker and flips
+// the server ready. Idempotent.
+func (a *app) boot() error {
+	if a.api.Load() != nil {
+		return nil
+	}
+	b, err := broker.New(a.cfg)
+	if err != nil {
+		return err
+	}
+	a.b.Store(b)
+	a.api.Store(broker.NewAPI(b))
+	return nil
+}
+
+// shutdown drains in-flight requests, then closes the broker — flushing and
+// fsyncing the write-ahead log and writing a final snapshot so the next
+// boot replays nothing.
+func (a *app) shutdown(ctx context.Context) error {
+	err := a.srv.Shutdown(ctx)
+	if b := a.b.Load(); b != nil {
+		if cerr := b.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// serveAPI forwards to the broker API once recovery has finished; before
+// that every broker endpoint — /stats and /healthz included — answers 503
+// with the uniform error envelope so probes and load-balancers back off.
+func (a *app) serveAPI(w http.ResponseWriter, r *http.Request) {
+	api := a.api.Load()
+	if api == nil {
+		w.Header().Set("Retry-After", "1")
+		broker.WriteError(w, http.StatusServiceUnavailable, "unavailable", "recovery in progress")
+		return
+	}
+	api.ServeHTTP(w, r)
+}
+
+// getOnly rejects non-GET methods with the enveloped 405 the rest of the
+// API uses, so the serve-level endpoints follow the same contract.
+func (a *app) getOnly(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET")
+			broker.WriteError(w, http.StatusMethodNotAllowed, "method_not_allowed",
+				"method "+r.Method+" not allowed (allow: GET)")
+			return
+		}
+		h(w, r)
+	}
+}
+
+// serveMetrics is live from process start — scrapes during recovery show
+// the WAL replay progressing.
+func (a *app) serveMetrics(w http.ResponseWriter, r *http.Request) {
+	a.reg.Handler().ServeHTTP(w, r)
+}
+
+func (a *app) serveHealthz(w http.ResponseWriter, r *http.Request) {
+	if a.api.Load() == nil {
+		w.Header().Set("Retry-After", "1")
+		broker.WriteError(w, http.StatusServiceUnavailable, "unavailable", "recovery in progress")
+		return
+	}
+	broker.WriteJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
 // newDebugServer builds the opt-in pprof listener. The handlers are mounted
@@ -99,10 +238,18 @@ func main() {
 		g         = flag.Float64("g", 0, "adaptive threshold base g (> e); 0 = derive from observed γ bounds")
 		pacing    = flag.Float64("pacing", 0, "daily budget pacing factor (0 = off, 1 = strictly uniform)")
 		shards    = flag.Int("shards", 0, "spatial shard count for concurrent serving (0 = scale to GOMAXPROCS)")
+		dataDir   = flag.String("data-dir", "", "durability directory for the write-ahead log and snapshots; empty = in-memory only")
+		walSync   = flag.String("wal-sync", "flush", "WAL fsync policy: flush (fsync each group commit), always (fsync every record), none (leave it to the OS)")
+		walFlush  = flag.Duration("wal-flush-interval", 0, "max time a buffered WAL record may wait before reaching the OS (0 = 50ms default)")
+		snapEvery = flag.Int("snapshot-every", 0, "WAL records between compacting snapshots (0 = 262144 default, negative disables)")
 		debugAddr = flag.String("debug-addr", "", "optional second listen address for net/http/pprof (e.g. 127.0.0.1:6060); empty disables profiling")
 	)
 	flag.Parse()
-	srv, err := newServer(*addr, *g, *pacing, *shards)
+	a, err := newServer(serverOpts{
+		addr: *addr, g: *g, pacing: *pacing, shards: *shards,
+		dataDir: *dataDir, walSync: *walSync,
+		walFlushEvery: *walFlush, snapshotEvery: *snapEvery,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -111,6 +258,41 @@ func main() {
 		go func() { log.Fatal(dbg.ListenAndServe()) }()
 		fmt.Printf("muaa-serve: pprof on %s/debug/pprof/\n", *debugAddr)
 	}
-	fmt.Printf("muaa-serve: listening on %s (ad types: %d)\n", *addr, len(workload.DefaultAdTypes()))
-	log.Fatal(srv.ListenAndServe())
+
+	// Listen first, recover second: during a long replay the port is
+	// already up and answering 503, so orchestrators see the process as
+	// alive-but-not-ready instead of connection-refused.
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- a.srv.ListenAndServe() }()
+	bootErr := make(chan error, 1)
+	go func() {
+		start := time.Now()
+		if err := a.boot(); err != nil {
+			bootErr <- err
+			return
+		}
+		if *dataDir != "" {
+			info := a.b.Load().RecoveryStats()
+			fmt.Printf("muaa-serve: recovered %s in %v (snapshot=%v records=%d truncated=%v)\n",
+				*dataDir, time.Since(start).Round(time.Millisecond),
+				info.SnapshotLoaded, info.RecordsReplayed, info.Truncated)
+		}
+		fmt.Printf("muaa-serve: ready on %s (ad types: %d)\n", *addr, len(workload.DefaultAdTypes()))
+	}()
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-serveErr:
+		log.Fatal(err)
+	case err := <-bootErr:
+		log.Fatal(err)
+	case s := <-sigs:
+		fmt.Printf("muaa-serve: %v — draining and flushing WAL\n", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := a.shutdown(ctx); err != nil {
+			log.Fatal(err)
+		}
+	}
 }

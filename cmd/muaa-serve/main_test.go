@@ -2,10 +2,12 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
 	"net/http"
+	"os"
 	"strings"
 	"testing"
 	"time"
@@ -15,17 +17,34 @@ import (
 // returns the base URL.
 func startServer(t *testing.T, g, pacing float64, shards int) string {
 	t.Helper()
-	srv, err := newServer("127.0.0.1:0", g, pacing, shards)
+	base, _ := startServerOpts(t, serverOpts{addr: "127.0.0.1:0", g: g, pacing: pacing, shards: shards})
+	return base
+}
+
+// startServerOpts is the full-config variant: it boots the broker (running
+// recovery when opts.dataDir is set), serves on an ephemeral port, and
+// returns the base URL plus the app for shutdown-style tests.
+func startServerOpts(t *testing.T, o serverOpts) (string, *app) {
+	t.Helper()
+	o.addr = "127.0.0.1:0"
+	a, err := newServer(o)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ln, err := net.Listen("tcp", srv.Addr)
+	if err := a.boot(); err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", a.srv.Addr)
 	if err != nil {
 		t.Fatal(err)
 	}
-	go func() { _ = srv.Serve(ln) }()
-	t.Cleanup(func() { _ = srv.Close() })
-	return "http://" + ln.Addr().String()
+	go func() { _ = a.srv.Serve(ln) }()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = a.shutdown(ctx)
+	})
+	return "http://" + ln.Addr().String(), a
 }
 
 func postJSON(t *testing.T, url, body string, out any) int {
@@ -181,16 +200,32 @@ func TestServeConcurrentSessions(t *testing.T) {
 }
 
 // TestServeRejectsBadConfig pins flag validation through the same path main
-// uses.
+// uses — including the pre-listen validation of durable boots, which must
+// reject a bad config without touching the data directory.
 func TestServeRejectsBadConfig(t *testing.T) {
-	if _, err := newServer(":0", 1, 0, 0); err == nil {
+	if _, err := newServer(serverOpts{addr: ":0", g: 1}); err == nil {
 		t.Error("g ≤ e must be rejected")
 	}
-	if _, err := newServer(":0", 0, -1, 0); err == nil {
+	if _, err := newServer(serverOpts{addr: ":0", pacing: -1}); err == nil {
 		t.Error("negative pacing must be rejected")
 	}
-	if _, err := newServer(":0", 0, 0, -1); err == nil {
+	if _, err := newServer(serverOpts{addr: ":0", shards: -1}); err == nil {
 		t.Error("negative shard count must be rejected")
+	}
+	if _, err := newServer(serverOpts{addr: ":0", walSync: "sometimes"}); err == nil {
+		t.Error("unknown -wal-sync value must be rejected")
+	}
+	dir := t.TempDir()
+	if _, err := newServer(serverOpts{addr: ":0", g: 1, dataDir: dir}); err == nil {
+		t.Error("bad config with a data dir must be rejected before boot")
+	}
+	// The failed validation must not have created any WAL files.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Errorf("config validation touched the data directory: %v", entries)
 	}
 }
 
@@ -202,13 +237,13 @@ func TestServeRejectsBadConfig(t *testing.T) {
 func TestServeMetricsAndHealth(t *testing.T) {
 	base := startServer(t, 0, 0, 4)
 
-	resp, err := http.Get(base + "/healthz")
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("GET /healthz → %d", resp.StatusCode)
+	for _, path := range []string{"/healthz", "/v1/healthz"} {
+		var health struct {
+			Status string `json:"status"`
+		}
+		if code := getJSON(t, base+path, &health); code != http.StatusOK || health.Status != "ok" {
+			t.Fatalf("GET %s → %d %+v", path, code, health)
+		}
 	}
 
 	// Generate some traffic so the histograms have observations.
@@ -221,7 +256,27 @@ func TestServeMetricsAndHealth(t *testing.T) {
 		t.Fatalf("POST /arrivals → %d", code)
 	}
 
-	resp, err = http.Get(base + "/metrics")
+	// /v1/metrics is an alias for /metrics, and both reject non-GET with
+	// the enveloped 405 the broker API uses.
+	aliasResp, err := http.Get(base + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	aliasResp.Body.Close()
+	if aliasResp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/metrics → %d", aliasResp.StatusCode)
+	}
+	postResp, err := http.Post(base+"/v1/metrics", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	postResp.Body.Close()
+	if postResp.StatusCode != http.StatusMethodNotAllowed || postResp.Header.Get("Allow") != "GET" {
+		t.Fatalf("POST /v1/metrics → %d (Allow %q), want enveloped 405 with Allow: GET",
+			postResp.StatusCode, postResp.Header.Get("Allow"))
+	}
+
+	resp, err := http.Get(base + "/metrics")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -286,5 +341,147 @@ func TestDebugServer(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode == http.StatusOK {
 		t.Error("serving port must not expose /debug/pprof/")
+	}
+}
+
+// TestServeRecoveryGate pins the boot-ordering contract: the listener is up
+// before the broker finishes recovering, and until it does every broker
+// endpoint — /healthz and /stats included — answers 503 with the uniform
+// error envelope while /metrics already serves.
+func TestServeRecoveryGate(t *testing.T) {
+	a, err := newServer(serverOpts{addr: "127.0.0.1:0", dataDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", a.srv.Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = a.srv.Serve(ln) }()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = a.shutdown(ctx)
+	})
+	base := "http://" + ln.Addr().String()
+
+	// Broker not booted yet: the recovering window, held open deliberately.
+	for _, path := range []string{"/healthz", "/v1/healthz", "/stats", "/v1/stats", "/campaigns", "/v1/arrivals"} {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var envelope struct {
+			Error struct {
+				Code string `json:"code"`
+			} `json:"error"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&envelope)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("GET %s during recovery: decoding envelope: %v", path, err)
+		}
+		if resp.StatusCode != http.StatusServiceUnavailable || envelope.Error.Code != "unavailable" {
+			t.Fatalf("GET %s during recovery → %d %q, want 503 unavailable", path, resp.StatusCode, envelope.Error.Code)
+		}
+		if resp.Header.Get("Retry-After") == "" {
+			t.Errorf("GET %s during recovery: missing Retry-After", path)
+		}
+	}
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics during recovery → %d, want 200 (metrics are live from boot)", resp.StatusCode)
+	}
+
+	// Recovery finishes: the same endpoints flip to serving.
+	if err := a.boot(); err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		Status string `json:"status"`
+	}
+	if code := getJSON(t, base+"/v1/healthz", &health); code != http.StatusOK || health.Status != "ok" {
+		t.Fatalf("GET /v1/healthz after recovery → %d %+v", code, health)
+	}
+	var stats struct {
+		Arrivals int64 `json:"Arrivals"`
+	}
+	if code := getJSON(t, base+"/v1/stats", &stats); code != http.StatusOK {
+		t.Fatalf("GET /v1/stats after recovery → %d", code)
+	}
+}
+
+// TestServeRestartPersistence runs the operator workflow end to end over
+// real HTTP: boot with a data directory, take traffic on the /v1 surface,
+// shut down cleanly, boot a second server on the same directory, and
+// require the recovered /v1/stats to match the pre-shutdown counters
+// exactly.
+func TestServeRestartPersistence(t *testing.T) {
+	dir := t.TempDir()
+	opts := serverOpts{dataDir: dir, shards: 4}
+
+	type statsBody struct {
+		Campaigns     int     `json:"Campaigns"`
+		Arrivals      int64   `json:"Arrivals"`
+		OffersPushed  int64   `json:"OffersPushed"`
+		BudgetSpent   float64 `json:"BudgetSpent"`
+		UtilityServed float64 `json:"UtilityServed"`
+		GammaMin      float64 `json:"GammaMin"`
+		GammaMax      float64 `json:"GammaMax"`
+	}
+
+	base, a := startServerOpts(t, opts)
+	for i := 0; i < 4; i++ {
+		body := fmt.Sprintf(`{"loc":{"x":%g,"y":%g},"radius":0.15,"budget":30,"tags":[1,0,0.2]}`,
+			0.3+0.1*float64(i), 0.3+0.1*float64(i))
+		if code := postJSON(t, base+"/v1/campaigns", body, nil); code != http.StatusCreated {
+			t.Fatalf("campaign %d → %d", i, code)
+		}
+	}
+	for i := 0; i < 40; i++ {
+		x := 0.3 + 0.1*float64(i%4)
+		body := fmt.Sprintf(`{"loc":{"x":%g,"y":%g},"capacity":2,"viewProb":0.7,"interests":[0.9,0.1,0.3]}`, x, x)
+		if code := postJSON(t, base+"/v1/arrivals", body, nil); code != http.StatusOK {
+			t.Fatalf("arrival %d → %d", i, code)
+		}
+	}
+	if code := postJSON(t, base+"/v1/topup", `{"id":0,"amount":7.5}`, nil); code != http.StatusOK {
+		t.Fatalf("topup → %d", code)
+	}
+	var before statsBody
+	if code := getJSON(t, base+"/v1/stats", &before); code != http.StatusOK {
+		t.Fatalf("GET /v1/stats → %d", code)
+	}
+	if before.Arrivals != 40 || before.BudgetSpent <= 0 {
+		t.Fatalf("pre-shutdown stats implausible: %+v", before)
+	}
+
+	// The clean shutdown main performs on SIGTERM: drain, flush, snapshot.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := a.shutdown(ctx); err != nil {
+		t.Fatalf("clean shutdown: %v", err)
+	}
+
+	base2, a2 := startServerOpts(t, opts)
+	info := a2.b.Load().RecoveryStats()
+	if !info.SnapshotLoaded || info.RecordsReplayed != 0 || info.Truncated {
+		t.Errorf("clean restart should recover from the snapshot alone: %+v", info)
+	}
+	var after statsBody
+	if code := getJSON(t, base2+"/v1/stats", &after); code != http.StatusOK {
+		t.Fatalf("GET /v1/stats after restart → %d", code)
+	}
+	if after != before {
+		t.Fatalf("stats changed across restart:\n before %+v\n after  %+v", before, after)
+	}
+	// And the recovered broker keeps serving: one more arrival must land.
+	if code := postJSON(t, base2+"/v1/arrivals",
+		`{"loc":{"x":0.3,"y":0.3},"capacity":2,"viewProb":0.7,"interests":[0.9,0.1,0.3]}`, nil); code != http.StatusOK {
+		t.Fatalf("arrival after restart → %d", code)
 	}
 }

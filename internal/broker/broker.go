@@ -13,6 +13,7 @@ import (
 	"muaa/internal/geo"
 	"muaa/internal/model"
 	"muaa/internal/obs"
+	"muaa/internal/wal"
 )
 
 // Config parameterizes a Broker.
@@ -55,6 +56,17 @@ type Config struct {
 	// for every metric. Instrumentation is observation-only: admission
 	// decisions and replay transcripts are identical with or without it.
 	Metrics *obs.Registry
+	// DataDir, when non-empty, makes the broker durable: every state
+	// mutation is appended to a write-ahead log in this directory, periodic
+	// snapshots compact the log, and New recovers the pre-crash state from
+	// it (delegating to Recover). Empty selects the in-memory broker —
+	// exactly the prior behavior and hot path. The directory must have a
+	// single owning process.
+	DataDir string
+	// WAL tunes the write-ahead log (group-commit size, flush interval,
+	// fsync policy, snapshot cadence); ignored when DataDir is empty.
+	// WAL.Metrics is overridden by Config.Metrics.
+	WAL wal.Options
 }
 
 // Campaign is the live state of one vendor's campaign.
@@ -121,6 +133,12 @@ type Broker struct {
 	// read-only afterwards, so Arrive checks it without synchronization.
 	metrics *brokerMetrics
 
+	// wal is nil for an in-memory broker; set once during Recover (after
+	// replay, so replay itself is never re-logged) and read-only
+	// afterwards. Mutation paths check the one pointer and otherwise pay
+	// nothing.
+	wal *durable
+
 	stripes geo.Stripes
 	shards  []shard
 
@@ -136,8 +154,19 @@ type Broker struct {
 	gammaMax atomicFloat // 0 until the first efficiency is observed
 }
 
-// New creates an empty broker.
+// New creates a broker. With cfg.DataDir set it is durable: state is
+// recovered from the directory's snapshot+WAL and every later mutation is
+// logged (see Recover); otherwise it is empty and purely in-memory.
 func New(cfg Config) (*Broker, error) {
+	if cfg.DataDir != "" {
+		return Recover(cfg.DataDir, cfg)
+	}
+	return newMemory(cfg)
+}
+
+// newMemory builds the in-memory broker every configuration shares;
+// Recover layers durability on top.
+func newMemory(cfg Config) (*Broker, error) {
 	if len(cfg.AdTypes) == 0 {
 		return nil, errors.New("broker: no ad types configured")
 	}
@@ -228,6 +257,13 @@ func (b *Broker) RegisterCampaign(loc geo.Point, radius, budget float64, tags []
 	defer b.regMu.Unlock()
 	old := *b.dir.Load()
 	id := int32(len(old))
+	if b.wal != nil {
+		// Log before publishing the directory entry: any mutation of this
+		// campaign can only start after publication, so its record is
+		// guaranteed to land after this one and replay never sees a
+		// campaign it hasn't registered.
+		b.logRegister(id, loc, radius, budget, tags)
+	}
 	c := &campaign{
 		id: id, loc: loc, radius: radius,
 		tags:  append([]float64(nil), tags...),
@@ -264,6 +300,9 @@ func (b *Broker) TopUp(id int32, amount float64) error {
 	sh := &b.shards[c.shard]
 	sh.mu.Lock()
 	c.budget.Store(c.budget.Load() + amount)
+	if b.wal != nil {
+		b.logTopUp(id, amount)
+	}
 	sh.mu.Unlock()
 	if b.metrics != nil {
 		b.metrics.topUps.Inc()
@@ -278,7 +317,18 @@ func (b *Broker) SetPaused(id int32, paused bool) error {
 	if err != nil {
 		return err
 	}
+	if b.wal == nil {
+		c.paused.Store(paused)
+		return nil
+	}
+	// Durable: the shard lock serializes the flag flip with its record, so
+	// a snapshot (which quiesces all shards) can never capture the flip
+	// while the record is still in flight.
+	sh := &b.shards[c.shard]
+	sh.mu.Lock()
 	c.paused.Store(paused)
+	b.logPause(id, paused)
+	sh.mu.Unlock()
 	return nil
 }
 
@@ -338,8 +388,20 @@ func (b *Broker) Arrive(a Arrival) ([]Offer, error) {
 		}
 		return nil, fmt.Errorf("broker: view probability %g", a.ViewProb)
 	}
-	b.arrivals.Add(1)
-	if a.Capacity == 0 {
+	if b.wal == nil {
+		b.arrivals.Add(1)
+		if a.Capacity == 0 {
+			return nil, nil
+		}
+	} else if a.Capacity == 0 {
+		// Durable: the arrivals counter is recovered state, so its bump and
+		// its record must be one atomic step against snapshot quiescence,
+		// like every other mutation. The arrival's own stripe serializes it.
+		sh := &b.shards[b.stripes.Of(a.Loc)]
+		sh.mu.Lock()
+		b.arrivals.Add(1)
+		b.logArrival(nil)
+		sh.mu.Unlock()
 		return nil, nil
 	}
 	cu := &model.Customer{Loc: a.Loc, Capacity: a.Capacity, ViewProb: a.ViewProb,
@@ -379,6 +441,11 @@ func (b *Broker) Arrive(a Arrival) ([]Offer, error) {
 			b.shards[i].mu.Unlock()
 		}
 	}()
+	if b.wal != nil {
+		// Deferred to inside the stripe locks so the bump is atomic with
+		// the arrival record this path logs before unlocking.
+		b.arrivals.Add(1)
+	}
 
 	var ids []int32
 	for i := s0; i <= s1; i++ {
@@ -508,6 +575,9 @@ func (b *Broker) Arrive(a Arrival) ([]Offer, error) {
 		m.scanBelowThreshold.Add(tally.belowThreshold)
 	}
 	if len(cands) == 0 {
+		if b.wal != nil {
+			b.logArrival(nil)
+		}
 		if m != nil {
 			m.arrival.ObserveShard(s0, time.Since(tStart).Seconds())
 		}
@@ -534,6 +604,12 @@ func (b *Broker) Arrive(a Arrival) ([]Offer, error) {
 				m.exhaustedEvents.Inc()
 			}
 		}
+	}
+	if b.wal != nil {
+		// Logged after every charge has landed and before the stripe locks
+		// release: the record carries the post-arrival γ bits and exactly
+		// the offers committed.
+		b.logArrival(out)
 	}
 	if m != nil {
 		now := time.Now()

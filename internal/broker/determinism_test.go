@@ -35,49 +35,65 @@ func replayTranscript(t *testing.T, cfg Config, campaigns int, ops int, seed int
 		if err != nil {
 			t.Fatal(err)
 		}
-		fmt.Fprintf(&sb, "register %d loc=%v r=%v budget=%v\n", id, c.Loc, c.Radius, c.Budget)
+		writeRegisterLine(&sb, id, c)
 	}
 	for i, op := range stream {
-		switch op.Kind {
-		case workload.OpArrival:
-			offers, err := b.Arrive(Arrival{
-				Loc: op.Loc, Capacity: op.Capacity, ViewProb: op.ViewProb,
-				Interests: op.Interests, Hour: op.Hour,
-			})
-			if err != nil {
-				t.Fatalf("op %d: %v", i, err)
-			}
-			fmt.Fprintf(&sb, "arrive %d n=%d", i, len(offers))
-			for _, o := range offers {
-				fmt.Fprintf(&sb, " [c=%d k=%d u=%v e=%v $=%v]",
-					o.Campaign, o.AdType, o.Utility, o.Efficiency, o.Cost)
-			}
-			sb.WriteByte('\n')
-		case workload.OpTopUp:
-			if err := b.TopUp(op.Campaign, op.Amount); err != nil {
-				t.Fatalf("op %d: %v", i, err)
-			}
-			fmt.Fprintf(&sb, "topup %d c=%d amount=%v\n", i, op.Campaign, op.Amount)
-		case workload.OpPause:
-			if err := b.SetPaused(op.Campaign, op.Paused); err != nil {
-				t.Fatalf("op %d: %v", i, err)
-			}
-			fmt.Fprintf(&sb, "pause %d c=%d paused=%v\n", i, op.Campaign, op.Paused)
-		case workload.OpStats:
-			st := b.Stats()
-			fmt.Fprintf(&sb, "stats %d campaigns=%d arrivals=%d offers=%d utility=%v spent=%v gmin=%v gmax=%v g=%v\n",
-				i, st.Campaigns, st.Arrivals, st.OffersPushed, st.UtilityServed,
-				st.BudgetSpent, st.GammaMin, st.GammaMax, st.G)
-		}
+		applyTranscriptOp(t, b, &sb, i, op)
 	}
+	writeFinalLines(&sb, b)
+	return sb.String()
+}
+
+func writeRegisterLine(sb *strings.Builder, id int32, c workload.BrokerCampaign) {
+	fmt.Fprintf(sb, "register %d loc=%v r=%v budget=%v\n", id, c.Loc, c.Radius, c.Budget)
+}
+
+// applyTranscriptOp runs one workload op against the broker and appends
+// its observable outcome to the transcript (shared by the plain and the
+// crash-recovery replay harnesses).
+func applyTranscriptOp(t *testing.T, b *Broker, sb *strings.Builder, i int, op workload.BrokerOp) {
+	t.Helper()
+	switch op.Kind {
+	case workload.OpArrival:
+		offers, err := b.Arrive(Arrival{
+			Loc: op.Loc, Capacity: op.Capacity, ViewProb: op.ViewProb,
+			Interests: op.Interests, Hour: op.Hour,
+		})
+		if err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+		fmt.Fprintf(sb, "arrive %d n=%d", i, len(offers))
+		for _, o := range offers {
+			fmt.Fprintf(sb, " [c=%d k=%d u=%v e=%v $=%v]",
+				o.Campaign, o.AdType, o.Utility, o.Efficiency, o.Cost)
+		}
+		sb.WriteByte('\n')
+	case workload.OpTopUp:
+		if err := b.TopUp(op.Campaign, op.Amount); err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+		fmt.Fprintf(sb, "topup %d c=%d amount=%v\n", i, op.Campaign, op.Amount)
+	case workload.OpPause:
+		if err := b.SetPaused(op.Campaign, op.Paused); err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+		fmt.Fprintf(sb, "pause %d c=%d paused=%v\n", i, op.Campaign, op.Paused)
+	case workload.OpStats:
+		st := b.Stats()
+		fmt.Fprintf(sb, "stats %d campaigns=%d arrivals=%d offers=%d utility=%v spent=%v gmin=%v gmax=%v g=%v\n",
+			i, st.Campaigns, st.Arrivals, st.OffersPushed, st.UtilityServed,
+			st.BudgetSpent, st.GammaMin, st.GammaMax, st.G)
+	}
+}
+
+func writeFinalLines(sb *strings.Builder, b *Broker) {
 	for _, c := range b.Campaigns() {
-		fmt.Fprintf(&sb, "final c=%d budget=%v spent=%v paused=%v\n", c.ID, c.Budget, c.Spent, c.Paused)
+		fmt.Fprintf(sb, "final c=%d budget=%v spent=%v paused=%v\n", c.ID, c.Budget, c.Spent, c.Paused)
 	}
 	st := b.Stats()
-	fmt.Fprintf(&sb, "final stats arrivals=%d offers=%d utility=%v spent=%v gmin=%v gmax=%v g=%v\n",
+	fmt.Fprintf(sb, "final stats arrivals=%d offers=%d utility=%v spent=%v gmin=%v gmax=%v g=%v\n",
 		st.Arrivals, st.OffersPushed, st.UtilityServed, st.BudgetSpent,
 		st.GammaMin, st.GammaMax, st.G)
-	return sb.String()
 }
 
 // TestReplayMatchesGolden pins the broker's single-threaded semantics: the

@@ -1,0 +1,538 @@
+package broker
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"muaa/internal/geo"
+	"muaa/internal/obs"
+	"muaa/internal/wal"
+)
+
+// The WAL record types. Each record is the delta of exactly one committed
+// broker mutation, encoded little-endian with floats as IEEE-754 bits so
+// replay rebuilds bit-identical state.
+const (
+	recRegister byte = 1 // id, loc, radius, budget, tags
+	recTopUp    byte = 2 // id, amount
+	recPause    byte = 3 // id, paused flag
+	recArrival  byte = 4 // γ bound bits, committed offers (campaign, ad type, cost, utility)
+)
+
+// snapshotVersion guards the compacted-state encoding; bump on any layout
+// change so an old binary fails loudly instead of misreading.
+const snapshotVersion byte = 1
+
+// durable is the broker's durability sidecar: the open log, the snapshot
+// cadence bookkeeping and the background compaction goroutine. nil on an
+// in-memory broker — every hot-path hook is gated on that one pointer.
+type durable struct {
+	log        *wal.Log
+	cadence    int          // records between automatic snapshots; 0 disables
+	appended   atomic.Int64 // records since the last snapshot
+	appendErrs atomic.Uint64
+
+	snapCh chan struct{} // nudges the snapshot loop (capacity 1)
+	stopCh chan struct{}
+	doneCh chan struct{}
+	closed atomic.Bool
+
+	info RecoveryInfo
+}
+
+// RecoveryInfo describes what Recover rebuilt at boot.
+type RecoveryInfo struct {
+	// SnapshotLoaded reports that a compacted snapshot seeded the state.
+	SnapshotLoaded bool
+	// RecordsReplayed is the number of WAL records applied after the
+	// snapshot.
+	RecordsReplayed int
+	// Truncated reports that the log had a torn tail (expected after a
+	// crash) which was discarded back to the last intact record.
+	Truncated bool
+	// Duration is the wall time of the whole rebuild.
+	Duration time.Duration
+}
+
+// RecoveryStats returns how this broker was recovered; the zero value for
+// an in-memory broker.
+func (b *Broker) RecoveryStats() RecoveryInfo {
+	if b.wal == nil {
+		return RecoveryInfo{}
+	}
+	return b.wal.info
+}
+
+// Recover opens (creating if necessary) the durability directory dir and
+// rebuilds the broker recorded there: latest snapshot first, then every
+// intact WAL record in append order. The recovered broker's Stats,
+// Campaigns and subsequent decision transcript are bit-identical to the
+// instance that wrote the log. cfg.DataDir is ignored (dir wins); the
+// directory must have a single owner — the log is not advisory-locked.
+func Recover(dir string, cfg Config) (*Broker, error) {
+	if dir == "" {
+		return nil, errors.New("broker: Recover needs a data directory")
+	}
+	start := time.Now()
+	opts := cfg.WAL
+	opts.Metrics = cfg.Metrics
+	log, rec, err := wal.Open(dir, opts)
+	if err != nil {
+		return nil, err
+	}
+	memCfg := cfg
+	memCfg.DataDir = ""
+	b, err := newMemory(memCfg)
+	if err != nil {
+		log.Close()
+		return nil, err
+	}
+	info := RecoveryInfo{Truncated: rec.Truncated}
+	if rec.Snapshot != nil {
+		if err := b.applySnapshot(rec.Snapshot); err != nil {
+			log.Close()
+			return nil, fmt.Errorf("broker: recovering snapshot: %w", err)
+		}
+		info.SnapshotLoaded = true
+	}
+	for i, r := range rec.Records {
+		if err := b.applyRecord(r); err != nil {
+			log.Close()
+			return nil, fmt.Errorf("broker: replaying record %d of %d: %w", i+1, len(rec.Records), err)
+		}
+	}
+	info.RecordsReplayed = len(rec.Records)
+
+	d := &durable{
+		log:     log,
+		cadence: opts.SnapshotCadence(),
+		snapCh:  make(chan struct{}, 1),
+		stopCh:  make(chan struct{}),
+		doneCh:  make(chan struct{}),
+	}
+	b.wal = d
+	// Compact immediately when anything was replayed (or nothing was ever
+	// written): boot cost is then bounded by one snapshot plus one cadence
+	// window of records, no matter how many crash/restart cycles accrue.
+	if len(rec.Records) > 0 || rec.Snapshot == nil {
+		if err := b.snapshotNow(); err != nil {
+			log.Close()
+			return nil, fmt.Errorf("broker: boot snapshot: %w", err)
+		}
+	}
+	info.Duration = time.Since(start)
+	d.info = info
+	if cfg.Metrics != nil {
+		registerRecoveryMetrics(cfg.Metrics, b)
+	}
+	go b.snapshotLoop()
+	return b, nil
+}
+
+func registerRecoveryMetrics(reg *obs.Registry, b *Broker) {
+	d := b.wal
+	reg.NewGaugeFunc("muaa_broker_recovery_seconds",
+		"Wall time the last boot spent rebuilding state from snapshot and WAL.",
+		func() float64 { return d.info.Duration.Seconds() })
+	reg.NewGaugeFunc("muaa_broker_recovery_records",
+		"WAL records replayed by the last boot's recovery.",
+		func() float64 { return float64(d.info.RecordsReplayed) })
+	reg.NewCounterFunc("muaa_wal_append_errors_total",
+		"Broker mutations whose WAL append failed (state diverged from disk).",
+		func() float64 { return float64(d.appendErrs.Load()) })
+}
+
+// Close makes the broker durable at rest: it stops the snapshot loop,
+// writes a final compacting snapshot and closes the log. The caller must
+// quiesce traffic first — a mutation racing Close can land in memory
+// without reaching the log. Idempotent; a no-op on an in-memory broker.
+func (b *Broker) Close() error {
+	d := b.wal
+	if d == nil {
+		return nil
+	}
+	if !d.closed.CompareAndSwap(false, true) {
+		<-d.doneCh
+		return nil
+	}
+	close(d.stopCh)
+	<-d.doneCh
+	err := b.snapshotNow()
+	if cerr := d.log.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// snapshotLoop runs automatic compaction off the serving path: walAppend
+// nudges it once a cadence worth of records has accumulated.
+func (b *Broker) snapshotLoop() {
+	d := b.wal
+	defer close(d.doneCh)
+	for {
+		select {
+		case <-d.stopCh:
+			return
+		case <-d.snapCh:
+			_ = b.snapshotNow()
+		}
+	}
+}
+
+// snapshotNow quiesces every mutator — the registration mutex, then all
+// shard locks in ascending order (the global lock order) — encodes the
+// full broker state and rotates the log onto it. Mutations are appended
+// only while holding one of those locks, so the encoded payload reflects
+// exactly the records appended so far: nothing in flight, nothing lost.
+func (b *Broker) snapshotNow() error {
+	d := b.wal
+	b.regMu.Lock()
+	for i := range b.shards {
+		b.shards[i].mu.Lock()
+	}
+	payload := b.encodeSnapshot()
+	err := d.log.Snapshot(payload)
+	d.appended.Store(0)
+	for i := len(b.shards) - 1; i >= 0; i-- {
+		b.shards[i].mu.Unlock()
+	}
+	b.regMu.Unlock()
+	return err
+}
+
+// recPool recycles record-encoding buffers so a durable arrival does not
+// allocate on the hot path.
+var recPool = sync.Pool{New: func() any { b := make([]byte, 0, 256); return &b }}
+
+// walAppend hands one encoded record to the log and returns the buffer to
+// the pool. Called with the lock that serializes the recorded mutation
+// still held, which is what orders records consistently with memory
+// effects. An append error does not fail serving: it is counted
+// (muaa_wal_append_errors_total) and the log's sticky error stops further
+// appends, so the operator sees a frozen log rather than a corrupt one.
+func (b *Broker) walAppend(bp *[]byte) {
+	d := b.wal
+	if err := d.log.Append(*bp); err != nil {
+		d.appendErrs.Add(1)
+	}
+	recPool.Put(bp)
+	if d.cadence > 0 && int(d.appended.Add(1)) >= d.cadence {
+		select {
+		case d.snapCh <- struct{}{}:
+		default:
+		}
+	}
+}
+
+func appendF64(buf []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+}
+
+// logRegister records a registration. Called under regMu before the
+// directory entry is published, so any later mutation of this campaign —
+// which can only start after publication — appends after it.
+func (b *Broker) logRegister(id int32, loc geo.Point, radius, budget float64, tags []float64) {
+	bp := recPool.Get().(*[]byte)
+	buf := (*bp)[:0]
+	buf = append(buf, recRegister)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(id))
+	buf = appendF64(buf, loc.X)
+	buf = appendF64(buf, loc.Y)
+	buf = appendF64(buf, radius)
+	buf = appendF64(buf, budget)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(tags)))
+	for _, t := range tags {
+		buf = appendF64(buf, t)
+	}
+	*bp = buf
+	b.walAppend(bp)
+}
+
+// logTopUp records a budget top-up; called under the campaign's shard lock.
+func (b *Broker) logTopUp(id int32, amount float64) {
+	bp := recPool.Get().(*[]byte)
+	buf := (*bp)[:0]
+	buf = append(buf, recTopUp)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(id))
+	buf = appendF64(buf, amount)
+	*bp = buf
+	b.walAppend(bp)
+}
+
+// logPause records a pause/resume; called under the campaign's shard lock.
+func (b *Broker) logPause(id int32, paused bool) {
+	bp := recPool.Get().(*[]byte)
+	buf := (*bp)[:0]
+	buf = append(buf, recPause)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(id))
+	var flag byte
+	if paused {
+		flag = 1
+	}
+	buf = append(buf, flag)
+	*bp = buf
+	b.walAppend(bp)
+}
+
+// logArrival records one committed arrival: the post-arrival γ bounds (as
+// bits) and every offer charged. Called with the arrival's stripe locks
+// still held. Replay folds the bounds with Min/Max, which is exact for a
+// serial history and safe under concurrency because the bounds are
+// monotone — every observation is ≤/≥ the bits some record carries.
+func (b *Broker) logArrival(offers []Offer) {
+	bp := recPool.Get().(*[]byte)
+	buf := (*bp)[:0]
+	buf = append(buf, recArrival)
+	buf = binary.LittleEndian.AppendUint64(buf, b.gammaMin.bits.Load())
+	buf = binary.LittleEndian.AppendUint64(buf, b.gammaMax.bits.Load())
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(offers)))
+	for i := range offers {
+		o := &offers[i]
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(o.Campaign))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(o.AdType))
+		buf = appendF64(buf, o.Cost)
+		buf = appendF64(buf, o.Utility)
+	}
+	*bp = buf
+	b.walAppend(bp)
+}
+
+// recReader is a bounds-checked little-endian cursor over one record (or
+// snapshot) payload. A short read sets err once; subsequent reads return
+// zeros, and done() reports the failure — decoding never panics, whatever
+// the input.
+type recReader struct {
+	data []byte
+	off  int
+	err  error
+}
+
+func (r *recReader) short() {
+	if r.err == nil {
+		r.err = errors.New("truncated payload")
+	}
+}
+
+func (r *recReader) u8() byte {
+	if r.off+1 > len(r.data) {
+		r.short()
+		return 0
+	}
+	v := r.data[r.off]
+	r.off++
+	return v
+}
+
+func (r *recReader) u32() uint32 {
+	if r.off+4 > len(r.data) {
+		r.short()
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.data[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *recReader) u64() uint64 {
+	if r.off+8 > len(r.data) {
+		r.short()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.data[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *recReader) i32() int32   { return int32(r.u32()) }
+func (r *recReader) i64() int64   { return int64(r.u64()) }
+func (r *recReader) f64() float64 { return math.Float64frombits(r.u64()) }
+
+// remaining bounds variable-length sections before allocating for them.
+func (r *recReader) remaining() int { return len(r.data) - r.off }
+
+func (r *recReader) done() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.off != len(r.data) {
+		return fmt.Errorf("%d trailing bytes", len(r.data)-r.off)
+	}
+	return nil
+}
+
+// applyRecord replays one WAL record onto the (still-private) broker.
+func (b *Broker) applyRecord(rec []byte) error {
+	if len(rec) == 0 {
+		return errors.New("empty record")
+	}
+	r := &recReader{data: rec[1:]}
+	switch rec[0] {
+	case recRegister:
+		id := r.i32()
+		loc := geo.Point{X: r.f64(), Y: r.f64()}
+		radius := r.f64()
+		budget := r.f64()
+		n := r.u32()
+		if r.err != nil || int(n) > r.remaining()/8 {
+			return errors.New("malformed registration record")
+		}
+		tags := make([]float64, n)
+		for i := range tags {
+			tags[i] = r.f64()
+		}
+		if err := r.done(); err != nil {
+			return err
+		}
+		got, err := b.RegisterCampaign(loc, radius, budget, tags)
+		if err != nil {
+			return err
+		}
+		if got != id {
+			return fmt.Errorf("replayed registration got id %d, logged %d", got, id)
+		}
+		return nil
+	case recTopUp:
+		id := r.i32()
+		amount := r.f64()
+		if err := r.done(); err != nil {
+			return err
+		}
+		return b.TopUp(id, amount)
+	case recPause:
+		id := r.i32()
+		paused := r.u8() != 0
+		if err := r.done(); err != nil {
+			return err
+		}
+		return b.SetPaused(id, paused)
+	case recArrival:
+		gmin := r.f64()
+		gmax := r.f64()
+		n := r.u32()
+		if r.err != nil || int(n) > r.remaining()/24 {
+			return errors.New("malformed arrival record")
+		}
+		// Replay in the original commit order: counter, γ fold, then each
+		// offer's charge — the same accumulator sequence Arrive performed,
+		// so serial replay reproduces every float bit for bit.
+		b.arrivals.Add(1)
+		b.gammaMin.Min(gmin)
+		b.gammaMax.Max(gmax)
+		for i := 0; i < int(n); i++ {
+			id := r.i32()
+			_ = r.u32() // ad type: audit detail, not needed to rebuild state
+			cost := r.f64()
+			util := r.f64()
+			if r.err != nil {
+				return r.err
+			}
+			c, err := b.campaign(id)
+			if err != nil {
+				return err
+			}
+			c.spent.Store(c.spent.Load() + cost)
+			b.spent.Add(cost)
+			b.utility.Add(util)
+			b.offers.Add(1)
+		}
+		return r.done()
+	}
+	return fmt.Errorf("unknown record type %d", rec[0])
+}
+
+// encodeSnapshot serializes the full broker state. Called with every
+// mutator quiesced (regMu plus all shard locks held), so the atomics are
+// stable and the encoding is a consistent cut.
+func (b *Broker) encodeSnapshot() []byte {
+	dir := *b.dir.Load()
+	buf := make([]byte, 0, 64+len(dir)*128)
+	buf = append(buf, snapshotVersion)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(b.arrivals.Load()))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(b.offers.Load()))
+	buf = binary.LittleEndian.AppendUint64(buf, b.utility.bits.Load())
+	buf = binary.LittleEndian.AppendUint64(buf, b.spent.bits.Load())
+	buf = binary.LittleEndian.AppendUint64(buf, b.gammaMin.bits.Load())
+	buf = binary.LittleEndian.AppendUint64(buf, b.gammaMax.bits.Load())
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(dir)))
+	for _, c := range dir {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(c.id))
+		buf = appendF64(buf, c.loc.X)
+		buf = appendF64(buf, c.loc.Y)
+		buf = appendF64(buf, c.radius)
+		buf = binary.LittleEndian.AppendUint64(buf, c.budget.bits.Load())
+		buf = binary.LittleEndian.AppendUint64(buf, c.spent.bits.Load())
+		var paused byte
+		if c.paused.Load() {
+			paused = 1
+		}
+		buf = append(buf, paused)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(c.tags)))
+		for _, t := range c.tags {
+			buf = appendF64(buf, t)
+		}
+	}
+	return buf
+}
+
+// applySnapshot seeds an empty broker from a compacted snapshot payload.
+// Campaigns re-enter through RegisterCampaign (rebuilding the grids and
+// maxRadius under the current shard configuration — stripe layout is
+// serving topology, not persisted state), then the money atomics are
+// overwritten with the recorded bits.
+func (b *Broker) applySnapshot(data []byte) error {
+	if len(data) == 0 || data[0] != snapshotVersion {
+		return errors.New("unsupported snapshot version")
+	}
+	r := &recReader{data: data[1:]}
+	arrivals := r.i64()
+	offers := r.i64()
+	utilBits := r.u64()
+	spentBits := r.u64()
+	gminBits := r.u64()
+	gmaxBits := r.u64()
+	n := r.u32()
+	if r.err != nil {
+		return r.err
+	}
+	for i := 0; i < int(n); i++ {
+		id := r.i32()
+		loc := geo.Point{X: r.f64(), Y: r.f64()}
+		radius := r.f64()
+		budgetBits := r.u64()
+		spentCBits := r.u64()
+		paused := r.u8() != 0
+		nt := r.u32()
+		if r.err != nil || int(nt) > r.remaining()/8 {
+			return fmt.Errorf("snapshot campaign %d is malformed", i)
+		}
+		tags := make([]float64, nt)
+		for j := range tags {
+			tags[j] = r.f64()
+		}
+		got, err := b.RegisterCampaign(loc, radius, math.Float64frombits(budgetBits), tags)
+		if err != nil {
+			return err
+		}
+		if got != id {
+			return fmt.Errorf("snapshot campaign %d re-registered as %d", id, got)
+		}
+		c := (*b.dir.Load())[got]
+		c.spent.bits.Store(spentCBits)
+		c.paused.Store(paused)
+	}
+	if err := r.done(); err != nil {
+		return err
+	}
+	b.arrivals.Store(arrivals)
+	b.offers.Store(offers)
+	b.utility.bits.Store(utilBits)
+	b.spent.bits.Store(spentBits)
+	b.gammaMin.bits.Store(gminBits)
+	b.gammaMax.bits.Store(gmaxBits)
+	return nil
+}

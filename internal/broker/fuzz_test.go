@@ -114,6 +114,76 @@ func FuzzPostTopUp(f *testing.F) {
 	})
 }
 
+// FuzzHTTPSurface exercises the request-hardening layer: arbitrary
+// methods, paths, Content-Types and bodies (including oversized ones) must
+// map to clean 4xx responses — never a 5xx, never a panic — and every 405
+// must advertise Allow.
+func FuzzHTTPSurface(f *testing.F) {
+	f.Add("GET", "/arrivals", "application/json", `{}`)
+	f.Add("DELETE", "/v1/campaigns", "", ``)
+	f.Add("PUT", "/v1/topup", "application/json", `{"id":0,"amount":1}`)
+	f.Add("POST", "/v1/arrivals", "text/plain", `{"capacity":1}`)
+	f.Add("POST", "/arrivals", "application/x-www-form-urlencoded", `capacity=1`)
+	f.Add("PATCH", "/campaigns/0/pause", "application/json", `{"paused":true}`)
+	f.Add("POST", "/v1/campaigns", "application/json", `{"tags":[`+strings.Repeat("0,", 1<<17)+`0]}`)
+	f.Add("OPTIONS", "/v1/stats", "", ``)
+	f.Add("HEAD", "/map.svg", "", ``)
+	f.Add("TRACE", "/no/such/route", "garbage/ct; ;;", `x`)
+	f.Fuzz(func(t *testing.T, method, path, ct, body string) {
+		api := fuzzAPI(t)
+		req := httptest.NewRequest(sanitizeMethod(method), sanitizeFullPath(path), strings.NewReader(body))
+		if ct != "" {
+			req.Header.Set("Content-Type", sanitizeHeader(ct))
+		}
+		rec := httptest.NewRecorder()
+		api.ServeHTTP(rec, req)
+		if rec.Code >= 500 {
+			t.Fatalf("%s %s (ct %q) → %d (server error on client input)", method, path, ct, rec.Code)
+		}
+		if rec.Code == 405 && rec.Header().Get("Allow") == "" {
+			t.Fatalf("%s %s → 405 without an Allow header", method, path)
+		}
+	})
+}
+
+// sanitizeMethod maps arbitrary fuzz input onto a token NewRequest accepts.
+func sanitizeMethod(s string) string {
+	var sb strings.Builder
+	for _, r := range s {
+		if r >= 'A' && r <= 'Z' || r >= 'a' && r <= 'z' {
+			sb.WriteRune(r)
+		}
+	}
+	if sb.Len() == 0 {
+		return "GET"
+	}
+	return strings.ToUpper(sb.String())
+}
+
+// sanitizeFullPath keeps a fuzzed request target parseable by NewRequest
+// while preserving its path structure (slashes stay).
+func sanitizeFullPath(s string) string {
+	var sb strings.Builder
+	sb.WriteByte('/')
+	for _, r := range strings.TrimPrefix(s, "/") {
+		if r > 0x20 && r != '?' && r != '#' && r != '%' && r < 0x7f {
+			sb.WriteRune(r)
+		}
+	}
+	return sb.String()
+}
+
+// sanitizeHeader strips bytes that would make Header.Set panic.
+func sanitizeHeader(s string) string {
+	var sb strings.Builder
+	for _, r := range s {
+		if r >= 0x20 && r < 0x7f {
+			sb.WriteRune(r)
+		}
+	}
+	return sb.String()
+}
+
 // sanitizePath keeps fuzzed path segments parseable by the mux (no slashes,
 // spaces or control bytes that would make NewRequest panic or re-route).
 func sanitizePath(s string) string {

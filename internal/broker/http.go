@@ -2,8 +2,11 @@ package broker
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"mime"
 	"net/http"
+	"sort"
 	"strings"
 
 	"muaa/internal/geo"
@@ -11,36 +14,101 @@ import (
 	"muaa/internal/viz"
 )
 
-// API is the JSON/HTTP front end of a Broker. Endpoints:
+// API is the JSON/HTTP front end of a Broker. The canonical surface is
+// versioned under /v1; every route is also registered at its legacy
+// unversioned path as a thin alias, so pre-/v1 clients keep working:
 //
-//	POST /campaigns            {loc, radius, budget, tags}        → {id}
-//	GET  /campaigns                                               → all campaign states
-//	POST /campaigns/{id}/topup {amount}                           → {ok}
-//	POST /campaigns/{id}/pause {paused}                           → {ok}
-//	GET  /campaigns/{id}                                          → campaign state
-//	POST /arrivals             {loc, capacity, viewProb, ...}     → {offers}
-//	GET  /stats                                                   → counters
-//	GET  /map.svg                                                 → live campaign map
+//	POST /v1/campaigns            {loc, radius, budget, tags}    → {id}
+//	GET  /v1/campaigns                                           → all campaign states
+//	GET  /v1/campaigns/{id}                                      → campaign state
+//	POST /v1/campaigns/{id}/topup {amount}                       → {ok}
+//	POST /v1/campaigns/{id}/pause {paused}                       → {ok}
+//	POST /v1/topup                {id, amount}                   → {ok}
+//	POST /v1/arrivals             {loc, capacity, viewProb, ...} → {offers}
+//	GET  /v1/stats                                               → counters
+//	GET  /v1/map.svg                                             → live campaign map
 //
-// All bodies and responses are JSON. Errors use standard HTTP status codes
-// with a {"error": ...} body.
+// All bodies and responses are JSON. POST bodies are capped at 1 MiB
+// (413 beyond it) and a non-JSON Content-Type is rejected with 415; a
+// missing Content-Type is accepted. A method the path doesn't serve gets
+// 405 with an Allow header. Every error, on every path, old or new, is
+// the uniform envelope
+//
+//	{"error": {"code": "...", "message": "..."}}
+//
+// with a machine-readable code (bad_request, not_found,
+// method_not_allowed, unsupported_media_type, payload_too_large,
+// unavailable) beside the human-readable message.
 type API struct {
 	broker *Broker
 	mux    *http.ServeMux
 }
 
+// maxBodyBytes caps every request body the API reads.
+const maxBodyBytes = 1 << 20
+
 // NewAPI wraps a broker in its HTTP handler.
 func NewAPI(b *Broker) *API {
 	a := &API{broker: b, mux: http.NewServeMux()}
-	a.mux.HandleFunc("POST /campaigns", a.postCampaign)
-	a.mux.HandleFunc("GET /campaigns", a.listCampaigns)
-	a.mux.HandleFunc("POST /campaigns/{id}/topup", a.postTopUp)
-	a.mux.HandleFunc("POST /campaigns/{id}/pause", a.postPause)
-	a.mux.HandleFunc("GET /campaigns/{id}", a.getCampaign)
-	a.mux.HandleFunc("POST /arrivals", a.postArrival)
-	a.mux.HandleFunc("GET /stats", a.getStats)
-	a.mux.HandleFunc("GET /map.svg", a.getMap)
+	a.handle("/campaigns", map[string]http.HandlerFunc{
+		http.MethodPost: a.postCampaign,
+		http.MethodGet:  a.listCampaigns,
+	})
+	a.handle("/campaigns/{id}", map[string]http.HandlerFunc{
+		http.MethodGet: a.getCampaign,
+	})
+	a.handle("/campaigns/{id}/topup", map[string]http.HandlerFunc{
+		http.MethodPost: a.postTopUp,
+	})
+	a.handle("/campaigns/{id}/pause", map[string]http.HandlerFunc{
+		http.MethodPost: a.postPause,
+	})
+	a.handle("/topup", map[string]http.HandlerFunc{
+		http.MethodPost: a.postFlatTopUp,
+	})
+	a.handle("/arrivals", map[string]http.HandlerFunc{
+		http.MethodPost: a.postArrival,
+	})
+	a.handle("/stats", map[string]http.HandlerFunc{
+		http.MethodGet: a.getStats,
+	})
+	a.handle("/map.svg", map[string]http.HandlerFunc{
+		http.MethodGet: a.getMap,
+	})
+	a.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		WriteError(w, http.StatusNotFound, "not_found",
+			fmt.Sprintf("no route for %s", r.URL.Path))
+	})
 	return a
+}
+
+// handle registers one method-dispatched route at its /v1 path and its
+// legacy unversioned alias. Dispatching methods here (not in ServeMux
+// patterns) keeps 405 responses in the uniform envelope while still
+// advertising Allow.
+func (a *API) handle(path string, methods map[string]http.HandlerFunc) {
+	h := methodHandler(methods)
+	a.mux.Handle("/v1"+path, h)
+	a.mux.Handle(path, h)
+}
+
+func methodHandler(methods map[string]http.HandlerFunc) http.Handler {
+	names := make([]string, 0, len(methods))
+	for m := range methods {
+		names = append(names, m)
+	}
+	sort.Strings(names)
+	allow := strings.Join(names, ", ")
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		h, ok := methods[r.Method]
+		if !ok {
+			w.Header().Set("Allow", allow)
+			WriteError(w, http.StatusMethodNotAllowed, "method_not_allowed",
+				fmt.Sprintf("method %s not allowed; allowed: %s", r.Method, allow))
+			return
+		}
+		h(w, r)
+	})
 }
 
 // ServeHTTP implements http.Handler.
@@ -78,6 +146,11 @@ type topUpRequest struct {
 	Amount float64 `json:"amount"`
 }
 
+type flatTopUpRequest struct {
+	ID     int32   `json:"id"`
+	Amount float64 `json:"amount"`
+}
+
 type pauseRequest struct {
 	Paused bool `json:"paused"`
 }
@@ -110,7 +183,7 @@ func (a *API) postCampaign(w http.ResponseWriter, r *http.Request) {
 	}
 	id, err := a.broker.RegisterCampaign(geo.Point{X: req.Loc.X, Y: req.Loc.Y}, req.Radius, req.Budget, req.Tags)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		WriteError(w, http.StatusBadRequest, "bad_request", err.Error())
 		return
 	}
 	writeJSON(w, http.StatusCreated, campaignResponse{ID: id})
@@ -125,8 +198,23 @@ func (a *API) postTopUp(w http.ResponseWriter, r *http.Request) {
 	if !decode(w, r, &req) {
 		return
 	}
-	if err := a.broker.TopUp(id, req.Amount); err != nil {
-		writeError(w, statusFor(err), err)
+	a.finishTopUp(w, id, req.Amount)
+}
+
+// postFlatTopUp is the /v1-native top-up: the campaign id travels in the
+// body instead of the path.
+func (a *API) postFlatTopUp(w http.ResponseWriter, r *http.Request) {
+	var req flatTopUpRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	a.finishTopUp(w, req.ID, req.Amount)
+}
+
+func (a *API) finishTopUp(w http.ResponseWriter, id int32, amount float64) {
+	if err := a.broker.TopUp(id, amount); err != nil {
+		status, code := statusFor(err)
+		WriteError(w, status, code, err.Error())
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
@@ -142,7 +230,8 @@ func (a *API) postPause(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := a.broker.SetPaused(id, req.Paused); err != nil {
-		writeError(w, statusFor(err), err)
+		status, code := statusFor(err)
+		WriteError(w, status, code, err.Error())
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
@@ -168,7 +257,8 @@ func (a *API) getCampaign(w http.ResponseWriter, r *http.Request) {
 	}
 	c, err := a.broker.CampaignState(id)
 	if err != nil {
-		writeError(w, statusFor(err), err)
+		status, code := statusFor(err)
+		WriteError(w, status, code, err.Error())
 		return
 	}
 	writeJSON(w, http.StatusOK, campaignStateResponse{
@@ -191,7 +281,7 @@ func (a *API) postArrival(w http.ResponseWriter, r *http.Request) {
 		Hour:      req.Hour,
 	})
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		WriteError(w, http.StatusBadRequest, "bad_request", err.Error())
 		return
 	}
 	resp := arrivalResponse{Offers: make([]offerDTO, 0, len(offers))}
@@ -236,40 +326,75 @@ func (a *API) getMap(w http.ResponseWriter, r *http.Request) {
 func pathID(w http.ResponseWriter, r *http.Request) (int32, bool) {
 	var id int32
 	if _, err := fmt.Sscanf(r.PathValue("id"), "%d", &id); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("broker: bad campaign id %q", r.PathValue("id")))
+		WriteError(w, http.StatusBadRequest, "bad_request",
+			fmt.Sprintf("broker: bad campaign id %q", r.PathValue("id")))
 		return 0, false
 	}
 	return id, true
 }
 
+// decode is the single funnel for request bodies: it enforces the JSON
+// Content-Type contract (absent is accepted, anything non-JSON is 415),
+// caps the body at maxBodyBytes (413 beyond), and rejects unknown fields.
 func decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	if ct := r.Header.Get("Content-Type"); ct != "" {
+		mt, _, err := mime.ParseMediaType(ct)
+		if err != nil || mt != "application/json" {
+			WriteError(w, http.StatusUnsupportedMediaType, "unsupported_media_type",
+				fmt.Sprintf("content type %q is not application/json", ct))
+			return false
+		}
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("broker: bad request body: %w", err))
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			WriteError(w, http.StatusRequestEntityTooLarge, "payload_too_large",
+				fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit))
+			return false
+		}
+		WriteError(w, http.StatusBadRequest, "bad_request",
+			fmt.Sprintf("broker: bad request body: %v", err))
 		return false
 	}
 	return true
 }
 
-// writeJSON is the single funnel for every JSON response (success and
-// error): the explicit Content-Type plus nosniff is a contract the
-// monitoring docs advertise to scrapers, pinned by TestJSONContentType.
-func writeJSON(w http.ResponseWriter, status int, v any) {
+// errorBody is the inner object of the uniform error envelope.
+type errorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+type errorEnvelope struct {
+	Error errorBody `json:"error"`
+}
+
+// WriteJSON is the single funnel for every JSON response (success and
+// error), shared by the API and muaa-serve's own endpoints: the explicit
+// Content-Type plus nosniff is a contract the monitoring docs advertise to
+// scrapers, pinned by TestJSONContentType.
+func WriteJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	w.Header().Set("X-Content-Type-Options", "nosniff")
 	w.WriteHeader(status)
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+func writeJSON(w http.ResponseWriter, status int, v any) { WriteJSON(w, status, v) }
+
+// WriteError renders the uniform error envelope every handler (broker API
+// and server endpoints alike) returns.
+func WriteError(w http.ResponseWriter, status int, code, message string) {
+	WriteJSON(w, status, errorEnvelope{Error: errorBody{Code: code, Message: message}})
 }
 
-func statusFor(err error) int {
+func statusFor(err error) (int, string) {
 	// Unknown-campaign errors map to 404; everything else is a bad request.
 	if err != nil && strings.Contains(err.Error(), "unknown campaign") {
-		return http.StatusNotFound
+		return http.StatusNotFound, "not_found"
 	}
-	return http.StatusBadRequest
+	return http.StatusBadRequest, "bad_request"
 }

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 
 	"muaa/internal/workload"
@@ -253,6 +254,194 @@ func TestHTTPMap(t *testing.T) {
 	}
 	if !bytes.Contains(body, []byte("<svg")) || !bytes.Contains(body, []byte("1 campaigns")) {
 		t.Errorf("map content:\n%s", body[:min(200, len(body))])
+	}
+}
+
+// errEnvelope mirrors the uniform error envelope for assertions.
+type errEnvelope struct {
+	Error struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+	} `json:"error"`
+}
+
+func wantEnvelope(t *testing.T, resp *http.Response, status int, code string) {
+	t.Helper()
+	if resp.StatusCode != status {
+		t.Errorf("%s %s: status %d, want %d", resp.Request.Method, resp.Request.URL.Path, resp.StatusCode, status)
+	}
+	env := decodeBody[errEnvelope](t, resp)
+	if env.Error.Code != code || env.Error.Message == "" {
+		t.Errorf("%s: envelope %+v, want code %q with non-empty message", resp.Request.URL.Path, env, code)
+	}
+}
+
+// TestV1AndLegacyAliases pins the versioned surface: every /v1 route must
+// work, and every legacy unversioned path must behave identically (they
+// share handlers).
+func TestV1AndLegacyAliases(t *testing.T) {
+	srv, _ := newTestServer(t)
+
+	resp := postJSON(t, srv.URL+"/v1/campaigns", campaignRequest{
+		Loc: pointDTO{0.5, 0.5}, Radius: 0.2, Budget: 10, Tags: []float64{1, 0},
+	})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("POST /v1/campaigns status %d", resp.StatusCode)
+	}
+	created := decodeBody[campaignResponse](t, resp)
+
+	// The flat /v1 top-up carries the id in the body.
+	resp = postJSON(t, srv.URL+"/v1/topup", flatTopUpRequest{ID: created.ID, Amount: 5})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /v1/topup status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// The same state must be visible through both path families.
+	for _, path := range []string{"/campaigns/0", "/v1/campaigns/0"} {
+		getResp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if getResp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s status %d", path, getResp.StatusCode)
+		}
+		state := decodeBody[campaignStateResponse](t, getResp)
+		if state.Budget != 15 {
+			t.Errorf("GET %s budget %g, want 15", path, state.Budget)
+		}
+	}
+	resp = postJSON(t, srv.URL+"/v1/arrivals", arrivalRequest{
+		Loc: pointDTO{0.5, 0.51}, Capacity: 1, ViewProb: 0.8, Interests: []float64{0.9, 0.1},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /v1/arrivals status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	for _, path := range []string{"/stats", "/v1/stats"} {
+		statsResp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stats := decodeBody[Stats](t, statsResp)
+		if stats.Arrivals != 1 || stats.Campaigns != 1 {
+			t.Errorf("GET %s: %+v", path, stats)
+		}
+	}
+	for _, path := range []string{"/map.svg", "/v1/map.svg"} {
+		mapResp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mapResp.Body.Close()
+		if mapResp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s status %d", path, mapResp.StatusCode)
+		}
+	}
+}
+
+// TestErrorEnvelope asserts the uniform {"error":{code,message}} shape on
+// old and new paths alike, for every error class the surface produces.
+func TestErrorEnvelope(t *testing.T) {
+	srv, _ := newTestServer(t)
+
+	for _, path := range []string{"/campaigns/999", "/v1/campaigns/999"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantEnvelope(t, resp, http.StatusNotFound, "not_found")
+	}
+	for _, path := range []string{"/arrivals", "/v1/arrivals"} {
+		resp, err := http.Post(srv.URL+path, "application/json", bytes.NewReader([]byte("{nope")))
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantEnvelope(t, resp, http.StatusBadRequest, "bad_request")
+	}
+	// Unrouted paths fall through to the enveloped 404.
+	resp, err := http.Get(srv.URL + "/no/such/route")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantEnvelope(t, resp, http.StatusNotFound, "not_found")
+}
+
+// TestMethodNotAllowed: wrong methods get 405 with an Allow header and the
+// uniform envelope, on both path families.
+func TestMethodNotAllowed(t *testing.T) {
+	srv, _ := newTestServer(t)
+	cases := []struct {
+		method, path, allow string
+	}{
+		{http.MethodDelete, "/v1/arrivals", "POST"},
+		{http.MethodGet, "/arrivals", "POST"},
+		{http.MethodPut, "/v1/campaigns", "GET, POST"},
+		{http.MethodPost, "/v1/stats", "GET"},
+		{http.MethodDelete, "/campaigns/0", "GET"},
+	}
+	for _, tc := range cases {
+		req, err := http.NewRequest(tc.method, srv.URL+tc.path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := resp.Header.Get("Allow"); got != tc.allow {
+			t.Errorf("%s %s: Allow = %q, want %q", tc.method, tc.path, got, tc.allow)
+		}
+		wantEnvelope(t, resp, http.StatusMethodNotAllowed, "method_not_allowed")
+	}
+}
+
+// TestUnsupportedMediaType: a non-JSON Content-Type is rejected with 415;
+// a missing Content-Type and JSON with parameters are accepted.
+func TestUnsupportedMediaType(t *testing.T) {
+	srv, _ := newTestServer(t)
+	body := `{"loc":{"x":0.5,"y":0.5},"capacity":1,"viewProb":0.5}`
+
+	for _, ct := range []string{"text/plain", "application/x-www-form-urlencoded", "application/xml"} {
+		resp, err := http.Post(srv.URL+"/v1/arrivals", ct, strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantEnvelope(t, resp, http.StatusUnsupportedMediaType, "unsupported_media_type")
+	}
+	for _, ct := range []string{"", "application/json", "application/json; charset=utf-8"} {
+		req, err := http.NewRequest(http.MethodPost, srv.URL+"/v1/arrivals", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ct != "" {
+			req.Header.Set("Content-Type", ct)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("Content-Type %q: status %d, want 200", ct, resp.StatusCode)
+		}
+	}
+}
+
+// TestOversizedBody: POST bodies beyond the 1 MiB cap are cut off with a
+// 413 envelope instead of being read to the end.
+func TestOversizedBody(t *testing.T) {
+	api := fuzzAPI(t)
+	huge := "{\"tags\":[" + strings.Repeat("0,", 1<<19) + "0]}"
+	for _, path := range []string{"/campaigns", "/v1/campaigns"} {
+		rec := fuzzPost(t, api, path, huge)
+		if rec.Code != http.StatusRequestEntityTooLarge {
+			t.Errorf("POST %s with %d bytes: status %d, want 413", path, len(huge), rec.Code)
+		}
+		var env errEnvelope
+		if err := json.Unmarshal(rec.Body.Bytes(), &env); err != nil || env.Error.Code != "payload_too_large" {
+			t.Errorf("POST %s: envelope %s (err %v)", path, rec.Body.Bytes(), err)
+		}
 	}
 }
 
