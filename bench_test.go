@@ -17,6 +17,7 @@ import (
 	"muaa/internal/core"
 	"muaa/internal/experiment"
 	"muaa/internal/stream"
+	"muaa/internal/trace"
 	"muaa/internal/wal"
 	"muaa/internal/workload"
 )
@@ -277,6 +278,47 @@ func BenchmarkBrokerSerialArrivals(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := applyBrokerOp(br, ops[i%len(ops)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBrokerSerialArrivalsTraced replays the serial stream with the
+// flight recorder live: every arrival goes through ArriveTraced with a fresh
+// request context, paying the per-stage clock reads, the outcome
+// classification and the lock-free recorder write. The delta against
+// BenchmarkBrokerSerialArrivals is the full tracing tax.
+func BenchmarkBrokerSerialArrivalsTraced(b *testing.B) {
+	specs, ops, err := workload.BrokerLoad(workload.DefaultBrokerLoadConfig(256, 8192, 42))
+	if err != nil {
+		b.Fatal(err)
+	}
+	br, err := broker.New(broker.Config{
+		AdTypes: workload.DefaultAdTypes(),
+		Tracer:  trace.NewRecorder(trace.RecorderOptions{}),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, c := range specs {
+		if _, err := br.RegisterCampaign(c.Loc, c.Radius, c.Budget, c.Tags); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		op := ops[i%len(ops)]
+		if op.Kind == workload.OpArrival {
+			req := trace.StartRequest("")
+			if _, err := br.ArriveTraced(broker.Arrival{
+				Loc: op.Loc, Capacity: op.Capacity, ViewProb: op.ViewProb,
+				Interests: op.Interests, Hour: op.Hour,
+			}, &req); err != nil {
+				b.Fatal(err)
+			}
+			continue
+		}
+		if err := applyBrokerOp(br, op); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -26,8 +26,9 @@ import (
 
 // runBrokerScaling sweeps worker counts 1,2,4,… up to maxWorkers (0 selects
 // max(8, 2·GOMAXPROCS)) over a scale-sized op stream and prints ops/sec,
-// speedup, and arrival-latency quantiles per point.
-func runBrokerScaling(w io.Writer, scale float64, maxWorkers int, seed int64, csv bool) error {
+// speedup, and arrival-latency quantiles per point. A non-nil doc also
+// collects each point for -json output.
+func runBrokerScaling(w io.Writer, scale float64, maxWorkers int, seed int64, csv bool, doc *benchDoc) error {
 	if maxWorkers <= 0 {
 		maxWorkers = 2 * runtime.GOMAXPROCS(0)
 		if maxWorkers < 8 {
@@ -64,6 +65,20 @@ func runBrokerScaling(w io.Writer, scale float64, maxWorkers int, seed int64, cs
 			base = opsPerSec
 		}
 		p50, p95, p99 := lat.Quantile(0.50)*1e6, lat.Quantile(0.95)*1e6, lat.Quantile(0.99)*1e6
+		if doc != nil {
+			doc.Points = append(doc.Points, benchPoint{
+				Series:     "broker_scaling",
+				Label:      fmt.Sprintf("goroutines=%d", workers),
+				Goroutines: workers,
+				Ops:        totalOps,
+				NsPerOp:    1e9 / opsPerSec,
+				OpsPerSec:  opsPerSec,
+				Speedup:    opsPerSec / base,
+				P50Us:      jsonSafe(p50),
+				P95Us:      jsonSafe(p95),
+				P99Us:      jsonSafe(p99),
+			})
+		}
 		if csv {
 			fmt.Fprintf(w, "%d,%d,%.4f,%.0f,%.2f,%.2f,%.2f,%.2f\n",
 				workers, totalOps, float64(totalOps)/opsPerSec, opsPerSec, opsPerSec/base, p50, p95, p99)
@@ -116,6 +131,15 @@ func brokerThroughput(specs []workload.BrokerCampaign, ops []workload.BrokerOp, 
 		lat.Sum = math.NaN()
 	}
 	return float64(len(ops)) / elapsed.Seconds(), lat, nil
+}
+
+// jsonSafe zeroes the NaN a degenerate (arrival-free) stream produces, so
+// the document always marshals.
+func jsonSafe(x float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 0
+	}
+	return x
 }
 
 func applyOp(b *broker.Broker, op workload.BrokerOp) error {

@@ -1,0 +1,79 @@
+package main
+
+// The -json flag: machine-readable results for the perf experiments
+// (-exp broker, -exp wal), so successive runs can be committed (the
+// BENCH_*.json trajectory) and diffed by tooling instead of by eye.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strings"
+	"time"
+)
+
+// benchDoc is the stable top-level schema written by -json. Fields are
+// only ever added, never renamed: consumers key on "schema".
+type benchDoc struct {
+	Schema     string       `json:"schema"` // always "muaa-bench/1"
+	Experiment string       `json:"experiment"`
+	Timestamp  string       `json:"timestamp"` // RFC3339 UTC
+	GitSHA     string       `json:"git_sha,omitempty"`
+	GoVersion  string       `json:"go_version"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	Scale      float64      `json:"scale"`
+	Seed       int64        `json:"seed"`
+	Points     []benchPoint `json:"points"`
+}
+
+// benchPoint is one row of a sweep. The broker scaling sweep fills the
+// goroutines/throughput/quantile fields; the WAL A/B fills the
+// mean/best/overhead fields. ns_per_op is common to both.
+type benchPoint struct {
+	Series      string  `json:"series"` // "broker_scaling" | "wal_overhead"
+	Label       string  `json:"label"`
+	Goroutines  int     `json:"goroutines,omitempty"`
+	Ops         int     `json:"ops"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	OpsPerSec   float64 `json:"ops_per_sec,omitempty"`
+	Speedup     float64 `json:"speedup,omitempty"`
+	P50Us       float64 `json:"p50_us,omitempty"`
+	P95Us       float64 `json:"p95_us,omitempty"`
+	P99Us       float64 `json:"p99_us,omitempty"`
+	BestNsPerOp float64 `json:"best_ns_per_op,omitempty"`
+	OverheadPct float64 `json:"overhead_pct,omitempty"`
+}
+
+func newBenchDoc(exp string, scale float64, seed int64) *benchDoc {
+	return &benchDoc{
+		Schema:     "muaa-bench/1",
+		Experiment: exp,
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		GitSHA:     gitSHA(),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Scale:      scale,
+		Seed:       seed,
+	}
+}
+
+// gitSHA best-effort resolves the current commit; empty when not in a git
+// checkout (or git is absent) — the field is omitempty for that case.
+func gitSHA() string {
+	out, err := exec.Command("git", "rev-parse", "--short=12", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// writeJSON renders the document (indented, trailing newline) to path.
+func (d *benchDoc) writeJSON(path string) error {
+	buf, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		return fmt.Errorf("encoding bench JSON: %w", err)
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}

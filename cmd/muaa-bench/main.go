@@ -26,6 +26,13 @@
 //
 //	muaa-bench -exp wal -scale 0.1 -repeats 5
 //
+// Both perf experiments accept `-json out.json` to additionally write the
+// results in the stable muaa-bench/1 schema (ns/op, latency quantiles,
+// config, git SHA, timestamp) — the format the committed BENCH_*.json
+// trajectory files use:
+//
+//	muaa-bench -exp broker -scale 0.05 -json BENCH_broker.json
+//
 // -scale shrinks entity counts for quick runs; 1.0 reproduces the paper's
 // sizes (m = 10,000 / n = 500 defaults; fig7 up to m = 100,000). -repeats N
 // replicates each sweep under N seeds and reports means.
@@ -51,17 +58,22 @@ func main() {
 		workers = flag.Int("workers", 0, "sweep parallelism (0 = GOMAXPROCS)")
 		repeats = flag.Int("repeats", 1, "replicate each sweep under N seeds and report means")
 		seed    = flag.Int64("seed", 42, "master random seed")
+		jsonOut = flag.String("json", "", "also write machine-readable results to this path (-exp broker/wal only)")
 	)
 	flag.Parse()
-	if err := run(os.Stdout, *exp, *scale, *csv, *chart, *md, *workers, *repeats, *seed); err != nil {
+	if err := run(os.Stdout, *exp, *scale, *csv, *chart, *md, *workers, *repeats, *seed, *jsonOut); err != nil {
 		fmt.Fprintln(os.Stderr, "muaa-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, exp string, scale float64, csv, chart, md bool, workers, repeats int, seed int64) error {
+func run(w io.Writer, exp string, scale float64, csv, chart, md bool, workers, repeats int, seed int64, jsonOut string) error {
 	if scale <= 0 || scale > 1 {
 		return fmt.Errorf("scale %g outside (0,1]", scale)
+	}
+	isBroker, isWAL := strings.EqualFold(exp, "broker"), strings.EqualFold(exp, "wal")
+	if jsonOut != "" && !isBroker && !isWAL {
+		return fmt.Errorf("-json is supported for -exp broker and -exp wal only")
 	}
 	st := experiment.DefaultSettings()
 	st.Seed = seed
@@ -86,17 +98,27 @@ func run(w io.Writer, exp string, scale float64, csv, chart, md bool, workers, r
 	case md:
 		format = experiment.MarkdownFormat
 	}
-	if strings.EqualFold(exp, "broker") {
+	if isBroker || isWAL {
 		if chart || md {
-			return fmt.Errorf("-exp broker supports text and -csv output only")
+			return fmt.Errorf("-exp %s supports text and -csv output only", strings.ToLower(exp))
 		}
-		return runBrokerScaling(w, scale, workers, seed, csv)
-	}
-	if strings.EqualFold(exp, "wal") {
-		if chart || md {
-			return fmt.Errorf("-exp wal supports text and -csv output only")
+		var doc *benchDoc
+		if jsonOut != "" {
+			doc = newBenchDoc(strings.ToLower(exp), scale, seed)
 		}
-		return runWALOverhead(w, scale, seed, csv, repeats)
+		var err error
+		if isBroker {
+			err = runBrokerScaling(w, scale, workers, seed, csv, doc)
+		} else {
+			err = runWALOverhead(w, scale, seed, csv, repeats, doc)
+		}
+		if err != nil {
+			return err
+		}
+		if doc != nil {
+			return doc.writeJSON(jsonOut)
+		}
+		return nil
 	}
 	if strings.EqualFold(exp, "all") {
 		return experiment.RunAll(w, st, workers, repeats, format)

@@ -2,13 +2,17 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestRunSingleExperiment(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "a2", 0.02, false, false, false, 2, 1, 1); err != nil {
+	if err := run(&buf, "a2", 0.02, false, false, false, 2, 1, 1, ""); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "Threshold Base g") {
@@ -18,21 +22,21 @@ func TestRunSingleExperiment(t *testing.T) {
 
 func TestRunFormats(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "fig8", 0.02, true, false, false, 2, 1, 1); err != nil {
+	if err := run(&buf, "fig8", 0.02, true, false, false, 2, 1, 1, ""); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.HasPrefix(buf.String(), "id,x,label") {
 		t.Error("CSV output malformed")
 	}
 	buf.Reset()
-	if err := run(&buf, "fig8", 0.02, false, true, false, 2, 1, 1); err != nil {
+	if err := run(&buf, "fig8", 0.02, false, true, false, 2, 1, 1, ""); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "█") && !strings.Contains(buf.String(), "▏") {
 		t.Error("chart output has no bars")
 	}
 	buf.Reset()
-	if err := run(&buf, "fig8", 0.02, false, false, true, 2, 1, 1); err != nil {
+	if err := run(&buf, "fig8", 0.02, false, false, true, 2, 1, 1, ""); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "| n |") {
@@ -42,7 +46,7 @@ func TestRunFormats(t *testing.T) {
 
 func TestRunBrokerScaling(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "broker", 0.02, false, false, false, 2, 1, 1); err != nil {
+	if err := run(&buf, "broker", 0.02, false, false, false, 2, 1, 1, ""); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -50,29 +54,29 @@ func TestRunBrokerScaling(t *testing.T) {
 		t.Errorf("broker sweep output malformed:\n%s", out)
 	}
 	buf.Reset()
-	if err := run(&buf, "broker", 0.02, true, false, false, 2, 1, 1); err != nil {
+	if err := run(&buf, "broker", 0.02, true, false, false, 2, 1, 1, ""); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.HasPrefix(buf.String(), "goroutines,ops,seconds,ops_per_sec,speedup") {
 		t.Errorf("broker CSV output malformed:\n%s", buf.String())
 	}
-	if err := run(&buf, "broker", 0.02, false, true, false, 2, 1, 1); err == nil {
+	if err := run(&buf, "broker", 0.02, false, true, false, 2, 1, 1, ""); err == nil {
 		t.Error("-exp broker with -chart must be rejected")
 	}
 }
 
 func TestRunRejectsBadFlags(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "fig8", 0, false, false, false, 2, 1, 1); err == nil {
+	if err := run(&buf, "fig8", 0, false, false, false, 2, 1, 1, ""); err == nil {
 		t.Error("scale 0 must be rejected")
 	}
-	if err := run(&buf, "fig8", 2, false, false, false, 2, 1, 1); err == nil {
+	if err := run(&buf, "fig8", 2, false, false, false, 2, 1, 1, ""); err == nil {
 		t.Error("scale > 1 must be rejected")
 	}
-	if err := run(&buf, "fig8", 0.02, true, true, false, 2, 1, 1); err == nil {
+	if err := run(&buf, "fig8", 0.02, true, true, false, 2, 1, 1, ""); err == nil {
 		t.Error("conflicting formats must be rejected")
 	}
-	if err := run(&buf, "bogus", 0.02, false, false, false, 2, 1, 1); err == nil {
+	if err := run(&buf, "bogus", 0.02, false, false, false, 2, 1, 1, ""); err == nil {
 		t.Error("unknown experiment must be rejected")
 	}
 }
@@ -82,12 +86,104 @@ func TestRunAllScaled(t *testing.T) {
 		t.Skip("full sweep")
 	}
 	var buf bytes.Buffer
-	if err := run(&buf, "all", 0.02, false, false, false, 2, 1, 1); err != nil {
+	if err := run(&buf, "all", 0.02, false, false, false, 2, 1, 1, ""); err != nil {
 		t.Fatal(err)
 	}
 	for _, frag := range []string{"E1", "Fig3", "Fig8", "A1", "A7"} {
 		if !strings.Contains(buf.String(), frag) {
 			t.Errorf("all-run missing %s", frag)
 		}
+	}
+}
+
+// TestRunJSONOutput pins the muaa-bench/1 document schema: a broker sweep
+// with -json writes a decodable trajectory file whose points carry the
+// throughput and latency fields, and the flag is rejected outside the perf
+// experiments.
+func TestRunJSONOutput(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	var buf bytes.Buffer
+	if err := run(&buf, "broker", 0.02, false, false, false, 2, 1, 1, path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Schema     string  `json:"schema"`
+		Experiment string  `json:"experiment"`
+		Timestamp  string  `json:"timestamp"`
+		GoVersion  string  `json:"go_version"`
+		GOMAXPROCS int     `json:"gomaxprocs"`
+		Scale      float64 `json:"scale"`
+		Seed       int64   `json:"seed"`
+		Points     []struct {
+			Series     string  `json:"series"`
+			Label      string  `json:"label"`
+			Goroutines int     `json:"goroutines"`
+			Ops        int     `json:"ops"`
+			NsPerOp    float64 `json:"ns_per_op"`
+			OpsPerSec  float64 `json:"ops_per_sec"`
+			Speedup    float64 `json:"speedup"`
+			P99Us      float64 `json:"p99_us"`
+		} `json:"points"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("bench JSON does not decode: %v\n%s", err, raw)
+	}
+	if doc.Schema != "muaa-bench/1" || doc.Experiment != "broker" {
+		t.Fatalf("schema/experiment = %q/%q", doc.Schema, doc.Experiment)
+	}
+	if _, err := time.Parse(time.RFC3339, doc.Timestamp); err != nil {
+		t.Errorf("timestamp %q not RFC3339: %v", doc.Timestamp, err)
+	}
+	if doc.GoVersion == "" || doc.GOMAXPROCS < 1 || doc.Scale != 0.02 || doc.Seed != 1 {
+		t.Errorf("run config not captured: %+v", doc)
+	}
+	if len(doc.Points) < 2 {
+		t.Fatalf("sweep produced %d points, want the 1- and 2-goroutine rows", len(doc.Points))
+	}
+	for i, p := range doc.Points {
+		if p.Series != "broker_scaling" || p.Label == "" || p.Goroutines != 1<<i {
+			t.Errorf("point %d malformed: %+v", i, p)
+		}
+		if p.Ops <= 0 || p.NsPerOp <= 0 || p.OpsPerSec <= 0 || p.Speedup <= 0 || p.P99Us <= 0 {
+			t.Errorf("point %d has empty measurements: %+v", i, p)
+		}
+	}
+
+	// The WAL A/B emits the mean/best/overhead arm rows under the same schema.
+	walPath := filepath.Join(t.TempDir(), "wal.json")
+	if err := run(&buf, "wal", 0.02, false, false, false, 2, 1, 1, walPath); err != nil {
+		t.Fatal(err)
+	}
+	var walDoc struct {
+		Points []struct {
+			Series      string  `json:"series"`
+			Label       string  `json:"label"`
+			NsPerOp     float64 `json:"ns_per_op"`
+			BestNsPerOp float64 `json:"best_ns_per_op"`
+		} `json:"points"`
+	}
+	walRaw, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(walRaw, &walDoc); err != nil {
+		t.Fatal(err)
+	}
+	if len(walDoc.Points) != 3 {
+		t.Fatalf("WAL A/B produced %d points, want 3 arms", len(walDoc.Points))
+	}
+	for _, p := range walDoc.Points {
+		if p.Series != "wal_overhead" || p.NsPerOp <= 0 || p.BestNsPerOp <= 0 {
+			t.Errorf("WAL point malformed: %+v", p)
+		}
+	}
+
+	// -json outside the perf experiments is a flag error.
+	if err := run(&buf, "fig8", 0.02, false, false, false, 2, 1, 1, path); err == nil {
+		t.Error("-json with a paper experiment must be rejected")
 	}
 }

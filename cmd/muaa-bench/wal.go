@@ -30,8 +30,9 @@ type walArm struct {
 }
 
 // runWALOverhead drives the A/B for `rounds` rounds (minimum 3; the
-// -repeats flag raises it) over a scale-sized op stream.
-func runWALOverhead(w io.Writer, scale float64, seed int64, csv bool, rounds int) error {
+// -repeats flag raises it) over a scale-sized op stream. A non-nil doc
+// also collects each arm for -json output.
+func runWALOverhead(w io.Writer, scale float64, seed int64, csv bool, rounds int, doc *benchDoc) error {
 	if rounds < 3 {
 		rounds = 3
 	}
@@ -73,6 +74,16 @@ func runWALOverhead(w io.Writer, scale float64, seed int64, csv bool, rounds int
 	for i, arm := range arms {
 		mean, best := meanMin(samples[i])
 		overhead := (mean/baseMean - 1) * 100
+		if doc != nil {
+			doc.Points = append(doc.Points, benchPoint{
+				Series:      "wal_overhead",
+				Label:       arm.name,
+				Ops:         totalOps,
+				NsPerOp:     mean,
+				BestNsPerOp: best,
+				OverheadPct: overhead,
+			})
+		}
 		if csv {
 			fmt.Fprintf(w, "%s,%d,%d,%.1f,%.1f,%.1f\n", arm.name, rounds, totalOps, mean, best, overhead)
 		} else if i == 0 {

@@ -40,15 +40,25 @@
 // documented in docs/OPERATIONS.md.
 //
 // -debug-addr starts a second, separate listener exposing net/http/pprof
-// under /debug/pprof/ — opt-in and intended to stay on a loopback or
-// otherwise private address; the serving port never exposes profiling.
+// under /debug/pprof/ and the flight recorder under /v1/debug/traces —
+// opt-in and intended to stay on a loopback or otherwise private address;
+// the serving port never exposes profiling or traces.
+//
+// Every request is traced: the server honors an incoming W3C traceparent
+// header (minting IDs otherwise), echoes the resulting traceparent on the
+// response, and emits one JSON access-log line per request with the
+// trace_id. Completed arrival traces land in a flight recorder sized by
+// -trace-capacity, with slow (≥ -trace-slow) and anomalous ones retained
+// preferentially. All process logs are structured JSON on stderr (slog);
+// nothing in this binary writes through the stdlib global logger.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
-	"fmt"
-	"log"
+	"io"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -59,6 +69,7 @@ import (
 
 	"muaa/internal/broker"
 	"muaa/internal/obs"
+	"muaa/internal/trace"
 	"muaa/internal/wal"
 	"muaa/internal/workload"
 )
@@ -72,6 +83,8 @@ type serverOpts struct {
 	walSync       string // flush | always | none (wal.ParseSyncPolicy)
 	walFlushEvery time.Duration
 	snapshotEvery int
+	traceCapacity int           // flight-recorder reservoir size; <= 0 disables tracing
+	traceSlow     time.Duration // slow-trace retention threshold; 0 = recorder default
 }
 
 // app is the serving process: an HTTP server whose broker may still be
@@ -79,26 +92,40 @@ type serverOpts struct {
 // atomic api pointer so the listener can accept probes (answering 503)
 // while boot replays the write-ahead log.
 type app struct {
-	srv  *http.Server
-	reg  *obs.Registry
-	cfg  broker.Config
-	opts serverOpts
-	api  atomic.Pointer[broker.API]
-	b    atomic.Pointer[broker.Broker]
+	srv    *http.Server
+	reg    *obs.Registry
+	cfg    broker.Config
+	opts   serverOpts
+	logger *slog.Logger
+	tracer *trace.Recorder // nil when tracing is disabled
+	api    atomic.Pointer[broker.API]
+	b      atomic.Pointer[broker.Broker]
 }
 
 // newServer validates the flag values and builds the instrumented server.
-// The broker itself is created by boot — synchronously here when no data
-// directory is configured (nothing to replay), otherwise by the caller so
-// the listener can come up first.
-func newServer(o serverOpts) (*app, error) {
+// logger may be nil (logs are discarded — tests). The broker itself is
+// created by boot — synchronously here when no data directory is
+// configured (nothing to replay), otherwise by the caller so the listener
+// can come up first.
+func newServer(o serverOpts, logger *slog.Logger) (*app, error) {
 	sync, err := wal.ParseSyncPolicy(o.walSync)
 	if err != nil {
 		return nil, err
 	}
+	if logger == nil {
+		logger = slog.New(slog.NewJSONHandler(io.Discard, nil))
+	}
 	a := &app{
-		reg:  obs.NewRegistry(),
-		opts: o,
+		reg:    obs.NewRegistry(),
+		opts:   o,
+		logger: logger,
+	}
+	obs.RegisterRuntimeMetrics(a.reg)
+	if o.traceCapacity > 0 {
+		a.tracer = trace.NewRecorder(trace.RecorderOptions{
+			Capacity:      o.traceCapacity,
+			SlowThreshold: o.traceSlow,
+		})
 	}
 	a.cfg = broker.Config{
 		AdTypes: workload.DefaultAdTypes(),
@@ -106,6 +133,8 @@ func newServer(o serverOpts) (*app, error) {
 		Pacing:  o.pacing,
 		Shards:  o.shards,
 		Metrics: a.reg,
+		Tracer:  a.tracer,
+		Logger:  logger,
 		DataDir: o.dataDir,
 		WAL: wal.Options{
 			Sync:          sync,
@@ -138,8 +167,11 @@ func newServer(o serverOpts) (*app, error) {
 		mux.HandleFunc(p, a.getOnly(a.serveHealthz))
 	}
 	a.srv = &http.Server{
-		Addr:              o.addr,
-		Handler:           mux,
+		Addr: o.addr,
+		// The tracing middleware derives/echoes traceparent, emits the
+		// access log and records unavailable arrival traces around the
+		// whole serving mux.
+		Handler:           trace.Middleware(mux, logger, a.tracer),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	return a, nil
@@ -215,21 +247,56 @@ func (a *app) serveHealthz(w http.ResponseWriter, r *http.Request) {
 	broker.WriteJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
-// newDebugServer builds the opt-in pprof listener. The handlers are mounted
-// on a private mux (not http.DefaultServeMux) so nothing else in the
-// process can accidentally widen what this port serves.
-func newDebugServer(addr string) *http.Server {
+// newDebugServer builds the opt-in debug listener: net/http/pprof plus,
+// when tracing is enabled, the flight recorder at /v1/debug/traces. The
+// handlers are mounted on a private mux (not http.DefaultServeMux) so
+// nothing else in the process can accidentally widen what this port
+// serves.
+func (a *app) newDebugServer(addr string) *http.Server {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	if a.tracer != nil {
+		h := a.tracer.Handler()
+		mux.Handle("/v1/debug/traces", h)
+		mux.Handle("/debug/traces", h)
+	}
 	return &http.Server{
 		Addr:              addr,
 		Handler:           mux,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
+}
+
+// startDebug launches the debug listener in the background. A listener
+// error — the port already bound, the listener closed later — must not
+// take down the serving process: it degrades to a structured error log.
+func (a *app) startDebug(dbg *http.Server) {
+	go func() {
+		if err := dbg.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			a.logger.Error("debug_listener_failed",
+				slog.String("addr", dbg.Addr),
+				slog.String("error", err.Error()))
+		}
+	}()
+}
+
+// parseLogLevel maps the -log-level flag to a slog level.
+func parseLogLevel(s string) (slog.Level, error) {
+	switch s {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info":
+		return slog.LevelInfo, nil
+	case "warn":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, errors.New("unknown log level " + s + " (want debug, info, warn or error)")
 }
 
 func main() {
@@ -242,21 +309,39 @@ func main() {
 		walSync   = flag.String("wal-sync", "flush", "WAL fsync policy: flush (fsync each group commit), always (fsync every record), none (leave it to the OS)")
 		walFlush  = flag.Duration("wal-flush-interval", 0, "max time a buffered WAL record may wait before reaching the OS (0 = 50ms default)")
 		snapEvery = flag.Int("snapshot-every", 0, "WAL records between compacting snapshots (0 = 262144 default, negative disables)")
-		debugAddr = flag.String("debug-addr", "", "optional second listen address for net/http/pprof (e.g. 127.0.0.1:6060); empty disables profiling")
+		debugAddr = flag.String("debug-addr", "", "optional second listen address for net/http/pprof and /v1/debug/traces (e.g. 127.0.0.1:6060); empty disables")
+		traceCap  = flag.Int("trace-capacity", 256, "flight-recorder reservoir size for arrival traces (0 disables tracing)")
+		traceSlow = flag.Duration("trace-slow", 25*time.Millisecond, "arrival traces at least this slow are always retained")
+		logLevel  = flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
 	)
 	flag.Parse()
+	level, err := parseLogLevel(*logLevel)
+	if err != nil {
+		// The logger doesn't exist yet; build a default one just to report.
+		level = slog.LevelInfo
+	}
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+	fatal := func(msg string, ferr error) {
+		logger.Error(msg, slog.String("error", ferr.Error()))
+		os.Exit(1)
+	}
+	if err != nil {
+		fatal("bad_flag", err)
+	}
 	a, err := newServer(serverOpts{
 		addr: *addr, g: *g, pacing: *pacing, shards: *shards,
 		dataDir: *dataDir, walSync: *walSync,
 		walFlushEvery: *walFlush, snapshotEvery: *snapEvery,
-	})
+		traceCapacity: *traceCap, traceSlow: *traceSlow,
+	}, logger)
 	if err != nil {
-		log.Fatal(err)
+		fatal("bad_config", err)
 	}
 	if *debugAddr != "" {
-		dbg := newDebugServer(*debugAddr)
-		go func() { log.Fatal(dbg.ListenAndServe()) }()
-		fmt.Printf("muaa-serve: pprof on %s/debug/pprof/\n", *debugAddr)
+		a.startDebug(a.newDebugServer(*debugAddr))
+		logger.Info("debug_listening",
+			slog.String("addr", *debugAddr),
+			slog.Bool("traces", a.tracer != nil))
 	}
 
 	// Listen first, recover second: during a long replay the port is
@@ -273,26 +358,33 @@ func main() {
 		}
 		if *dataDir != "" {
 			info := a.b.Load().RecoveryStats()
-			fmt.Printf("muaa-serve: recovered %s in %v (snapshot=%v records=%d truncated=%v)\n",
-				*dataDir, time.Since(start).Round(time.Millisecond),
-				info.SnapshotLoaded, info.RecordsReplayed, info.Truncated)
+			logger.Info("recovered",
+				slog.String("data_dir", *dataDir),
+				slog.Float64("duration_ms", float64(time.Since(start))/float64(time.Millisecond)),
+				slog.Bool("snapshot", info.SnapshotLoaded),
+				slog.Int("records", info.RecordsReplayed),
+				slog.Bool("truncated", info.Truncated))
 		}
-		fmt.Printf("muaa-serve: ready on %s (ad types: %d)\n", *addr, len(workload.DefaultAdTypes()))
+		logger.Info("ready",
+			slog.String("addr", *addr),
+			slog.Int("ad_types", len(workload.DefaultAdTypes())),
+			slog.Bool("tracing", a.tracer != nil))
 	}()
 
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
 	select {
 	case err := <-serveErr:
-		log.Fatal(err)
+		fatal("listen_failed", err)
 	case err := <-bootErr:
-		log.Fatal(err)
+		fatal("boot_failed", err)
 	case s := <-sigs:
-		fmt.Printf("muaa-serve: %v — draining and flushing WAL\n", s)
+		logger.Info("shutdown_signal", slog.String("signal", s.String()))
 		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 		defer cancel()
 		if err := a.shutdown(ctx); err != nil {
-			log.Fatal(err)
+			fatal("shutdown_failed", err)
 		}
+		logger.Info("shutdown_complete")
 	}
 }

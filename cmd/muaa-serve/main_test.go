@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -26,8 +27,16 @@ func startServer(t *testing.T, g, pacing float64, shards int) string {
 // returns the base URL plus the app for shutdown-style tests.
 func startServerOpts(t *testing.T, o serverOpts) (string, *app) {
 	t.Helper()
+	base, _, a := startServerLogged(t, o, nil)
+	return base, a
+}
+
+// startServerLogged additionally wires a slog logger (nil = discard) and
+// returns the app for log- and trace-focused tests.
+func startServerLogged(t *testing.T, o serverOpts, logger *slog.Logger) (string, *slog.Logger, *app) {
+	t.Helper()
 	o.addr = "127.0.0.1:0"
-	a, err := newServer(o)
+	a, err := newServer(o, logger)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,7 +53,7 @@ func startServerOpts(t *testing.T, o serverOpts) (string, *app) {
 		defer cancel()
 		_ = a.shutdown(ctx)
 	})
-	return "http://" + ln.Addr().String(), a
+	return "http://" + ln.Addr().String(), logger, a
 }
 
 func postJSON(t *testing.T, url, body string, out any) int {
@@ -203,20 +212,20 @@ func TestServeConcurrentSessions(t *testing.T) {
 // uses — including the pre-listen validation of durable boots, which must
 // reject a bad config without touching the data directory.
 func TestServeRejectsBadConfig(t *testing.T) {
-	if _, err := newServer(serverOpts{addr: ":0", g: 1}); err == nil {
+	if _, err := newServer(serverOpts{addr: ":0", g: 1}, nil); err == nil {
 		t.Error("g ≤ e must be rejected")
 	}
-	if _, err := newServer(serverOpts{addr: ":0", pacing: -1}); err == nil {
+	if _, err := newServer(serverOpts{addr: ":0", pacing: -1}, nil); err == nil {
 		t.Error("negative pacing must be rejected")
 	}
-	if _, err := newServer(serverOpts{addr: ":0", shards: -1}); err == nil {
+	if _, err := newServer(serverOpts{addr: ":0", shards: -1}, nil); err == nil {
 		t.Error("negative shard count must be rejected")
 	}
-	if _, err := newServer(serverOpts{addr: ":0", walSync: "sometimes"}); err == nil {
+	if _, err := newServer(serverOpts{addr: ":0", walSync: "sometimes"}, nil); err == nil {
 		t.Error("unknown -wal-sync value must be rejected")
 	}
 	dir := t.TempDir()
-	if _, err := newServer(serverOpts{addr: ":0", g: 1, dataDir: dir}); err == nil {
+	if _, err := newServer(serverOpts{addr: ":0", g: 1, dataDir: dir}, nil); err == nil {
 		t.Error("bad config with a data dir must be rejected before boot")
 	}
 	// The failed validation must not have created any WAL files.
@@ -313,7 +322,11 @@ func TestServeMetricsAndHealth(t *testing.T) {
 // profile endpoint must answer on the debug address, and the main serving
 // mux must NOT expose /debug/pprof/.
 func TestDebugServer(t *testing.T) {
-	dbg := newDebugServer("127.0.0.1:0")
+	a, err := newServer(serverOpts{addr: "127.0.0.1:0"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dbg := a.newDebugServer("127.0.0.1:0")
 	ln, err := net.Listen("tcp", dbg.Addr)
 	if err != nil {
 		t.Fatal(err)
@@ -349,7 +362,7 @@ func TestDebugServer(t *testing.T) {
 // endpoint — /healthz and /stats included — answers 503 with the uniform
 // error envelope while /metrics already serves.
 func TestServeRecoveryGate(t *testing.T) {
-	a, err := newServer(serverOpts{addr: "127.0.0.1:0", dataDir: t.TempDir()})
+	a, err := newServer(serverOpts{addr: "127.0.0.1:0", dataDir: t.TempDir()}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

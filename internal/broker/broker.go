@@ -3,6 +3,8 @@ package broker
 import (
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"math"
 	"runtime"
 	"sort"
@@ -13,6 +15,7 @@ import (
 	"muaa/internal/geo"
 	"muaa/internal/model"
 	"muaa/internal/obs"
+	"muaa/internal/trace"
 	"muaa/internal/wal"
 )
 
@@ -56,6 +59,15 @@ type Config struct {
 	// for every metric. Instrumentation is observation-only: admission
 	// decisions and replay transcripts are identical with or without it.
 	Metrics *obs.Registry
+	// Tracer, when non-nil, makes ArriveTraced cut one trace.Trace per
+	// arrival — a root span plus the four stage child spans, sharing the
+	// clock reads the stage histograms already take — and file it in this
+	// flight recorder. Nil (the default) disables tracing; Arrive then pays
+	// a single pointer check. Like Metrics, tracing is observation-only.
+	Tracer *trace.Recorder
+	// Logger, when non-nil, receives the broker lifecycle's structured log
+	// events (WAL recovery, snapshots, flush errors). Nil discards them.
+	Logger *slog.Logger
 	// DataDir, when non-empty, makes the broker durable: every state
 	// mutation is appended to a write-ahead log in this directory, periodic
 	// snapshots compact the log, and New recovers the pre-crash state from
@@ -132,6 +144,14 @@ type Broker struct {
 	// metrics is nil for an uninstrumented broker; set once in New and
 	// read-only afterwards, so Arrive checks it without synchronization.
 	metrics *brokerMetrics
+
+	// tracer is nil for an untraced broker; like metrics it is set once in
+	// New and read-only afterwards.
+	tracer *trace.Recorder
+
+	// logger is never nil (a discard logger when Config.Logger was nil), so
+	// lifecycle paths log without guarding.
+	logger *slog.Logger
 
 	// wal is nil for an in-memory broker; set once during Recover (after
 	// replay, so replay itself is never re-logged) and read-only
@@ -228,6 +248,11 @@ func newMemory(cfg Config) (*Broker, error) {
 	b.gammaMin.Store(math.Inf(1))
 	if cfg.Metrics != nil {
 		b.metrics = newBrokerMetrics(cfg.Metrics, b)
+	}
+	b.tracer = cfg.Tracer
+	b.logger = cfg.Logger
+	if b.logger == nil {
+		b.logger = slog.New(slog.NewJSONHandler(io.Discard, nil))
 	}
 	return b, nil
 }
@@ -375,6 +400,54 @@ type candidate struct {
 // locked, and they stay locked through commit so admission and spend are one
 // atomic step per campaign.
 func (b *Broker) Arrive(a Arrival) ([]Offer, error) {
+	return b.arrive(a, nil)
+}
+
+// ArriveTraced is Arrive plus request tracing: when the broker has a flight
+// recorder and req carries a trace context, the arrival's stage timings,
+// stripe range, scan tallies and outcome are cut into one trace.Trace and
+// recorded after the stripe locks release. With either part missing it is
+// exactly Arrive. Tracing is observation-only — the decision sequence and
+// replay transcripts are unchanged (TestReplayMatchesGoldenTraced).
+func (b *Broker) ArriveTraced(a Arrival, req *trace.Request) ([]Offer, error) {
+	if req == nil || b.tracer == nil {
+		return b.arrive(a, nil)
+	}
+	t := &trace.Trace{
+		TraceID:      req.TraceID,
+		SpanID:       req.SpanID,
+		ParentSpanID: req.ParentSpanID,
+		Capacity:     a.Capacity,
+	}
+	out, err := b.arrive(a, t)
+	if t.Start.IsZero() {
+		// The arrival never reached the timed pipeline (validation failure
+		// or zero capacity); stamp it so the recorder can still order it.
+		t.Start = time.Now()
+	}
+	t.Offers = len(out)
+	switch {
+	case err != nil:
+		t.Outcome = trace.OutcomeError
+		t.Error = err.Error()
+		t.Anomalous = true
+	case len(out) > 0:
+		t.Outcome = trace.OutcomeOffered
+	default:
+		t.Outcome = trace.OutcomeNoOffers
+	}
+	if t.Scan.Exhausted > 0 {
+		t.Anomalous = true
+	}
+	b.tracer.Record(t)
+	return out, err
+}
+
+// arrive is the shared arrival pipeline. t, when non-nil, collects the
+// trace view of this arrival; stage boundaries are timed once and fed to
+// both the stage histograms and the trace, so tracing adds no clock reads
+// beyond the instrumented path's.
+func (b *Broker) arrive(a Arrival, t *trace.Trace) ([]Offer, error) {
 	m := b.metrics
 	if a.Capacity < 0 {
 		if m != nil {
@@ -419,9 +492,18 @@ func (b *Broker) Arrive(a Arrival) ([]Offer, error) {
 	// unchanged (golden-pinned by TestReplayMatchesGoldenInstrumented).
 	maxR := b.maxRadius.Load()
 	s0, s1 := b.stripes.Range(a.Loc.Y-maxR, a.Loc.Y+maxR)
-	var tStart, tStage time.Time
-	if m != nil {
+	// One full time.Now() anchors the trace's wall-clock start; every later
+	// boundary is a time.Since delta (a single monotonic-clock read, about
+	// half the cost) off that anchor. elStage is the cumulative elapsed time
+	// at the previous boundary, so stage durations partition [0, elapsed]
+	// exactly and the trace's child spans sum to its root span.
+	timed := m != nil || t != nil
+	var tStart time.Time
+	var elStage time.Duration
+	if timed {
 		tStart = time.Now()
+	}
+	if m != nil {
 		for i := s0; i <= s1; i++ {
 			if !b.shards[i].mu.TryLock() {
 				m.stripeContended[i].Inc()
@@ -429,11 +511,22 @@ func (b *Broker) Arrive(a Arrival) ([]Offer, error) {
 			}
 			m.stripeLocks[i].Inc()
 		}
-		tStage = time.Now()
-		m.stageLock.ObserveShard(s0, tStage.Sub(tStart).Seconds())
 	} else {
 		for i := s0; i <= s1; i++ {
 			b.shards[i].mu.Lock()
+		}
+	}
+	if timed {
+		d := time.Since(tStart)
+		elStage = d
+		if m != nil {
+			m.stageLock.ObserveShard(s0, d.Seconds())
+		}
+		if t != nil {
+			t.Start = tStart
+			t.Staged = true
+			t.StripeLo, t.StripeHi = s0, s1
+			t.Stages[trace.StageLockWait] = d
 		}
 	}
 	defer func() {
@@ -459,10 +552,16 @@ func (b *Broker) Arrive(a Arrival) ([]Offer, error) {
 	// inserted under that shard's lock, and its registration published the
 	// directory entry before the grid entry, so this load observes it.
 	dir := *b.dir.Load()
-	if m != nil {
-		now := time.Now()
-		m.stageGather.ObserveShard(s0, now.Sub(tStage).Seconds())
-		tStage = now
+	if timed {
+		el := time.Since(tStart)
+		d := el - elStage
+		elStage = el
+		if m != nil {
+			m.stageGather.ObserveShard(s0, d.Seconds())
+		}
+		if t != nil {
+			t.Stages[trace.StageGather] = d
+		}
 	}
 
 	// Scan outcome tallies; folded into the counters after the loop so the
@@ -562,24 +661,47 @@ func (b *Broker) Arrive(a Arrival) ([]Offer, error) {
 		}
 		cands = cands[:a.Capacity]
 	}
-	if m != nil {
-		now := time.Now()
-		m.stageScan.ObserveShard(s0, now.Sub(tStage).Seconds())
-		tStage = now
-		m.scanOffered.Add(tally.offered)
-		m.scanPaused.Add(tally.paused)
-		m.scanExhausted.Add(tally.exhausted)
-		m.scanMismatch.Add(tally.mismatch)
-		m.scanLowScore.Add(tally.lowScore)
-		m.scanUnaffordable.Add(tally.unaffordable)
-		m.scanBelowThreshold.Add(tally.belowThreshold)
+	if timed {
+		el := time.Since(tStart)
+		d := el - elStage
+		elStage = el
+		if m != nil {
+			m.stageScan.ObserveShard(s0, d.Seconds())
+			m.scanOffered.Add(tally.offered)
+			m.scanPaused.Add(tally.paused)
+			m.scanExhausted.Add(tally.exhausted)
+			m.scanMismatch.Add(tally.mismatch)
+			m.scanLowScore.Add(tally.lowScore)
+			m.scanUnaffordable.Add(tally.unaffordable)
+			m.scanBelowThreshold.Add(tally.belowThreshold)
+		}
+		if t != nil {
+			t.Stages[trace.StageScan] = d
+			t.Scan = trace.ScanCounts{
+				Offered:        tally.offered,
+				Paused:         tally.paused,
+				Exhausted:      tally.exhausted,
+				Mismatch:       tally.mismatch,
+				LowScore:       tally.lowScore,
+				Unaffordable:   tally.unaffordable,
+				BelowThreshold: tally.belowThreshold,
+			}
+		}
 	}
 	if len(cands) == 0 {
 		if b.wal != nil {
 			b.logArrival(nil)
 		}
-		if m != nil {
-			m.arrival.ObserveShard(s0, time.Since(tStart).Seconds())
+		if timed {
+			// The commit stage histogram intentionally skips empty arrivals
+			// (nothing was committed), but the trace still closes its commit
+			// span here so the four stages partition the root span exactly.
+			el := time.Since(tStart)
+			b.observeArrival(m, t, s0, el)
+			if t != nil {
+				t.Stages[trace.StageCommit] = el - elStage
+				t.Duration = el
+			}
 		}
 		return nil, nil
 	}
@@ -611,12 +733,33 @@ func (b *Broker) Arrive(a Arrival) ([]Offer, error) {
 		// the offers committed.
 		b.logArrival(out)
 	}
-	if m != nil {
-		now := time.Now()
-		m.stageCommit.ObserveShard(s0, now.Sub(tStage).Seconds())
-		m.arrival.ObserveShard(s0, now.Sub(tStart).Seconds())
+	if timed {
+		el := time.Since(tStart)
+		d := el - elStage
+		if m != nil {
+			m.stageCommit.ObserveShard(s0, d.Seconds())
+		}
+		b.observeArrival(m, t, s0, el)
+		if t != nil {
+			t.Stages[trace.StageCommit] = d
+			t.Duration = el
+		}
 	}
 	return out, nil
+}
+
+// observeArrival feeds the end-to-end latency into the arrival histogram,
+// attaching the trace ID as a candidate exemplar when the arrival is traced
+// so the slowest observation in a scrape window links to its trace.
+func (b *Broker) observeArrival(m *brokerMetrics, t *trace.Trace, lane int, d time.Duration) {
+	if m == nil {
+		return
+	}
+	if t != nil {
+		m.arrival.ObserveShardExemplar(lane, d.Seconds(), t.TraceID.String())
+	} else {
+		m.arrival.ObserveShard(lane, d.Seconds())
+	}
 }
 
 // observeEfficiency folds a positive efficiency into the running γ bounds.

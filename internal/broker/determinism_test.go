@@ -53,9 +53,18 @@ func writeRegisterLine(sb *strings.Builder, id int32, c workload.BrokerCampaign)
 // crash-recovery replay harnesses).
 func applyTranscriptOp(t *testing.T, b *Broker, sb *strings.Builder, i int, op workload.BrokerOp) {
 	t.Helper()
+	applyTranscriptOpVia(t, b, sb, i, op, b.Arrive)
+}
+
+// applyTranscriptOpVia is applyTranscriptOp with the arrival entry point
+// injected, so the traced-replay test can drive ArriveTraced through the
+// identical harness.
+func applyTranscriptOpVia(t *testing.T, b *Broker, sb *strings.Builder, i int, op workload.BrokerOp,
+	arrive func(Arrival) ([]Offer, error)) {
+	t.Helper()
 	switch op.Kind {
 	case workload.OpArrival:
-		offers, err := b.Arrive(Arrival{
+		offers, err := arrive(Arrival{
 			Loc: op.Loc, Capacity: op.Capacity, ViewProb: op.ViewProb,
 			Interests: op.Interests, Hour: op.Hour,
 		})

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"sync"
 	"sync/atomic"
@@ -81,6 +82,7 @@ func Recover(dir string, cfg Config) (*Broker, error) {
 	start := time.Now()
 	opts := cfg.WAL
 	opts.Metrics = cfg.Metrics
+	opts.Logger = cfg.Logger
 	log, rec, err := wal.Open(dir, opts)
 	if err != nil {
 		return nil, err
@@ -127,6 +129,12 @@ func Recover(dir string, cfg Config) (*Broker, error) {
 	}
 	info.Duration = time.Since(start)
 	d.info = info
+	b.logger.Info("broker_recovery",
+		slog.String("dir", dir),
+		slog.Bool("snapshot_loaded", info.SnapshotLoaded),
+		slog.Int("records_replayed", info.RecordsReplayed),
+		slog.Bool("truncated", info.Truncated),
+		slog.Float64("duration_ms", float64(info.Duration)/float64(time.Millisecond)))
 	if cfg.Metrics != nil {
 		registerRecoveryMetrics(cfg.Metrics, b)
 	}
@@ -179,7 +187,10 @@ func (b *Broker) snapshotLoop() {
 		case <-d.stopCh:
 			return
 		case <-d.snapCh:
-			_ = b.snapshotNow()
+			if err := b.snapshotNow(); err != nil {
+				b.logger.Error("broker_snapshot_failed",
+					slog.String("error", err.Error()))
+			}
 		}
 	}
 }

@@ -11,6 +11,7 @@ import (
 
 	"muaa/internal/geo"
 	"muaa/internal/model"
+	"muaa/internal/trace"
 	"muaa/internal/viz"
 )
 
@@ -273,13 +274,13 @@ func (a *API) postArrival(w http.ResponseWriter, r *http.Request) {
 	if !decode(w, r, &req) {
 		return
 	}
-	offers, err := a.broker.Arrive(Arrival{
+	offers, err := a.broker.ArriveTraced(Arrival{
 		Loc:       geo.Point{X: req.Loc.X, Y: req.Loc.Y},
 		Capacity:  req.Capacity,
 		ViewProb:  req.ViewProb,
 		Interests: req.Interests,
 		Hour:      req.Hour,
-	})
+	}, trace.FromContext(r.Context()))
 	if err != nil {
 		WriteError(w, http.StatusBadRequest, "bad_request", err.Error())
 		return

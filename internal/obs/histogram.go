@@ -24,6 +24,19 @@ type Histogram struct {
 	upper  []float64 // ascending finite upper bounds; +Inf bucket is implicit
 	shards []histShard
 	mask   uint64 // len(shards)-1; shard count is a power of two
+
+	// exemplar holds the largest observation since the last scrape that
+	// carried a trace ID (see ObserveShardExemplar); nil when none did.
+	// writeSamples consumes it, so each scrape window starts fresh.
+	exemplar atomic.Pointer[Exemplar]
+}
+
+// Exemplar links one histogram observation to the trace that produced it.
+// The histogram keeps only the largest exemplar per scrape window — enough
+// to jump from a p99 spike on a dashboard to the trace behind it.
+type Exemplar struct {
+	Value   float64
+	TraceID string
 }
 
 // histShard is one writer lane: a private bucket array plus a sum word.
@@ -105,6 +118,36 @@ func (h *Histogram) ObserveShard(lane int, v float64) {
 		lane = -lane
 	}
 	h.shards[uint64(lane)&h.mask].observe(h.upper, v)
+}
+
+// ObserveShardExemplar is ObserveShard plus exemplar capture: when v is the
+// largest exemplar-bearing observation since the last scrape, traceID is
+// retained and rendered alongside the histogram (as an exposition comment).
+// The capture is a lock-free CAS-max; losing the race just means a larger
+// observation won.
+func (h *Histogram) ObserveShardExemplar(lane int, v float64, traceID string) {
+	h.ObserveShard(lane, v)
+	if math.IsNaN(v) {
+		return
+	}
+	for {
+		cur := h.exemplar.Load()
+		if cur != nil && cur.Value >= v {
+			return
+		}
+		if h.exemplar.CompareAndSwap(cur, &Exemplar{Value: v, TraceID: traceID}) {
+			return
+		}
+	}
+}
+
+// TakeExemplar returns and clears the current scrape window's exemplar.
+func (h *Histogram) TakeExemplar() (Exemplar, bool) {
+	e := h.exemplar.Swap(nil)
+	if e == nil {
+		return Exemplar{}, false
+	}
+	return *e, true
 }
 
 func (s *histShard) observe(upper []float64, v float64) {
@@ -206,6 +249,12 @@ func (h *Histogram) writeSamples(w io.Writer, name, labels string) {
 	}
 	fmt.Fprintf(w, "%s_sum%s %s\n", name, labels, formatFloat(snap.Sum))
 	fmt.Fprintf(w, "%s_count%s %d\n", name, labels, snap.Count)
+	// The exposition format has no native exemplar syntax at v0.0.4, so the
+	// slowest traced observation rides along as a comment line that every
+	// compliant parser skips. Taking it here resets the window per scrape.
+	if e, ok := h.TakeExemplar(); ok {
+		fmt.Fprintf(w, "# EXEMPLAR %s%s %s trace_id=%q\n", name, labels, formatFloat(e.Value), e.TraceID)
+	}
 }
 
 // ExpBuckets returns n exponentially spaced bucket bounds start,

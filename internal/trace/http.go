@@ -1,0 +1,141 @@
+package trace
+
+import (
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Handler serves the flight recorder as JSON: newest-first traces under a
+// top-level {"traces": [...]} key. Query parameters:
+//
+//	min_ms=N    only traces with duration >= N milliseconds (float ok)
+//	outcome=S   only traces with this outcome (offered/no_offers/error/unavailable)
+//	limit=N     at most N traces (default 100)
+//
+// Mounted at GET /v1/debug/traces on muaa-serve's private debug listener.
+func (r *Recorder) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			w.Header().Set("Allow", http.MethodGet)
+			httpError(w, http.StatusMethodNotAllowed, "method_not_allowed", "use GET")
+			return
+		}
+		f := Filter{Limit: 100}
+		q := req.URL.Query()
+		if s := q.Get("min_ms"); s != "" {
+			ms, err := strconv.ParseFloat(s, 64)
+			if err != nil || ms < 0 {
+				httpError(w, http.StatusBadRequest, "bad_request", "min_ms must be a non-negative number")
+				return
+			}
+			f.MinDuration = time.Duration(ms * float64(time.Millisecond))
+		}
+		if s := q.Get("outcome"); s != "" {
+			f.Outcome = s
+		}
+		if s := q.Get("limit"); s != "" {
+			n, err := strconv.Atoi(s)
+			if err != nil || n < 0 {
+				httpError(w, http.StatusBadRequest, "bad_request", "limit must be a non-negative integer")
+				return
+			}
+			f.Limit = n
+		}
+		traces := r.Snapshot(f)
+		if traces == nil {
+			traces = []*Trace{}
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		w.Header().Set("X-Content-Type-Options", "nosniff")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(map[string][]*Trace{"traces": traces})
+	})
+}
+
+// httpError writes the repo-wide {"error":{code,message}} envelope without
+// importing the broker package (which imports this one).
+func httpError(w http.ResponseWriter, status int, code, msg string) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.Header().Set("X-Content-Type-Options", "nosniff")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]any{
+		"error": map[string]string{"code": code, "message": msg},
+	})
+}
+
+// statusWriter captures the response status and size for the access log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	if w.status == 0 {
+		w.status = status
+	}
+	w.ResponseWriter.WriteHeader(status)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// Middleware wraps h with the request-tracing lifecycle: it derives the
+// trace context from any incoming traceparent header (minting IDs
+// otherwise), echoes the resulting traceparent on the response, exposes the
+// context to handlers via FromContext, emits one structured access-log line
+// per request, and — when rec is non-nil — records an "unavailable" trace
+// for arrival requests the server turned away with 503 before they reached
+// the broker. logger and rec may each be nil.
+func Middleware(h http.Handler, logger *slog.Logger, rec *Recorder) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		start := time.Now()
+		tr := StartRequest(req.Header.Get("traceparent"))
+		w.Header().Set("Traceparent", tr.Traceparent())
+		sw := &statusWriter{ResponseWriter: w}
+		h.ServeHTTP(sw, req.WithContext(NewContext(req.Context(), &tr)))
+		dur := time.Since(start)
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		if rec != nil && sw.status == http.StatusServiceUnavailable && isArrivalPath(req.URL.Path) {
+			rec.Record(&Trace{
+				TraceID:      tr.TraceID,
+				SpanID:       tr.SpanID,
+				ParentSpanID: tr.ParentSpanID,
+				Start:        start,
+				Duration:     dur,
+				Outcome:      OutcomeUnavailable,
+				Anomalous:    true,
+			})
+		}
+		if logger != nil {
+			logger.LogAttrs(req.Context(), slog.LevelInfo, "http_request",
+				slog.String("trace_id", tr.TraceID.String()),
+				slog.String("method", req.Method),
+				slog.String("path", req.URL.Path),
+				slog.Int("status", sw.status),
+				slog.Float64("duration_ms", float64(dur)/float64(time.Millisecond)),
+				slog.Int64("bytes", sw.bytes),
+				slog.String("remote", req.RemoteAddr),
+			)
+		}
+	})
+}
+
+// isArrivalPath matches the arrival-ingest routes (/v1/arrivals and the
+// legacy /arrivals alias).
+func isArrivalPath(p string) bool {
+	return strings.TrimSuffix(strings.TrimPrefix(p, "/v1"), "/") == "/arrivals"
+}

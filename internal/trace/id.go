@@ -1,0 +1,80 @@
+package trace
+
+import (
+	crand "crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"sync/atomic"
+	"time"
+)
+
+// TraceID is a 16-byte W3C trace identifier (all-zero means absent).
+type TraceID [16]byte
+
+// SpanID is an 8-byte W3C span identifier (all-zero means absent).
+type SpanID [8]byte
+
+// IsZero reports whether the ID is the invalid all-zero value.
+func (t TraceID) IsZero() bool { return t == TraceID{} }
+
+// IsZero reports whether the ID is the invalid all-zero value.
+func (s SpanID) IsZero() bool { return s == SpanID{} }
+
+// String renders the ID as 32 lowercase hex digits, the traceparent form.
+func (t TraceID) String() string {
+	var buf [32]byte
+	hex.Encode(buf[:], t[:])
+	return string(buf[:])
+}
+
+// String renders the ID as 16 lowercase hex digits, the traceparent form.
+func (s SpanID) String() string {
+	var buf [16]byte
+	hex.Encode(buf[:], s[:])
+	return string(buf[:])
+}
+
+// idState seeds the ID generator: a splitmix64 sequence over an atomic
+// counter, seeded once from crypto/rand. Minting an ID is lock-free and
+// allocation-free — two atomic adds for a TraceID — which is what lets the
+// middleware mint on every request without showing up in profiles.
+var idState atomic.Uint64
+
+func init() {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err == nil {
+		idState.Store(binary.LittleEndian.Uint64(b[:]))
+	} else {
+		idState.Store(uint64(time.Now().UnixNano()))
+	}
+}
+
+// rand64 advances the splitmix64 stream one step.
+func rand64() uint64 {
+	x := idState.Add(0x9e3779b97f4a7c15)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// NewTraceID mints a random non-zero trace ID.
+func NewTraceID() TraceID {
+	var t TraceID
+	for t.IsZero() {
+		binary.LittleEndian.PutUint64(t[:8], rand64())
+		binary.LittleEndian.PutUint64(t[8:], rand64())
+	}
+	return t
+}
+
+// NewSpanID mints a random non-zero span ID.
+func NewSpanID() SpanID {
+	var s SpanID
+	for s.IsZero() {
+		binary.LittleEndian.PutUint64(s[:], rand64())
+	}
+	return s
+}

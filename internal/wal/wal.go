@@ -40,6 +40,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sync"
@@ -117,6 +118,10 @@ type Options struct {
 	// Metrics, when non-nil, registers the wal instrument families
 	// (appends, bytes, fsyncs, flush latency, snapshots) on the registry.
 	Metrics *obs.Registry
+	// Logger, when non-nil, receives the log's structured events: torn-tail
+	// truncation at open (warn), the first sticky I/O error (error), and
+	// snapshot rotations (debug). Nil discards them.
+	Logger *slog.Logger
 }
 
 func (o Options) flushEvery() int {
@@ -197,6 +202,7 @@ type Log struct {
 	dir     string
 	opts    Options
 	metrics *walMetrics
+	logger  *slog.Logger // never nil; a discard logger when Options.Logger was
 
 	flushMu sync.Mutex // held (outside mu) across write/fsync/rotate
 
@@ -257,12 +263,22 @@ func Open(dir string, opts Options) (*Log, Recovery, error) {
 	rec.Truncated = truncated
 
 	l := &Log{
-		dir:  dir,
-		opts: opts,
-		f:    f,
-		seq:  activeSeq,
-		stop: make(chan struct{}),
-		done: make(chan struct{}),
+		dir:    dir,
+		opts:   opts,
+		logger: opts.Logger,
+		f:      f,
+		seq:    activeSeq,
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	if l.logger == nil {
+		l.logger = slog.New(slog.NewJSONHandler(io.Discard, nil))
+	}
+	if truncated {
+		l.logger.Warn("wal_torn_tail_truncated",
+			slog.String("dir", dir),
+			slog.Uint64("segment", activeSeq),
+			slog.Int("records_recovered", len(records)))
 	}
 	if opts.Metrics != nil {
 		l.metrics = newWALMetrics(opts.Metrics)
@@ -486,10 +502,18 @@ func (l *Log) flush(sync bool) error {
 
 	l.mu.Lock()
 	l.spare = buf[:0]
-	if err != nil && l.err == nil {
+	first := err != nil && l.err == nil
+	if first {
 		l.err = err
 	}
 	l.mu.Unlock()
+	if first {
+		// Logged exactly once: the sticky error retires the log, so every
+		// later flush fails fast without re-reporting.
+		l.logger.Error("wal_flush_failed",
+			slog.String("dir", l.dir),
+			slog.String("error", err.Error()))
+	}
 	return err
 }
 
@@ -562,6 +586,10 @@ func (l *Log) Snapshot(payload []byte) error {
 		m.snapBytes.Add(uint64(len(payload)))
 		m.fsyncs.Add(2) // snapshot file + directory
 	}
+	l.logger.Debug("wal_snapshot_rotated",
+		slog.String("dir", l.dir),
+		slog.Uint64("segment", newSeq),
+		slog.Int("bytes", len(payload)))
 	return nil
 }
 
