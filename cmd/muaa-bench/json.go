@@ -1,8 +1,8 @@
 package main
 
 // The -json flag: machine-readable results for the perf experiments
-// (-exp broker, -exp wal), so successive runs can be committed (the
-// BENCH_*.json trajectory) and diffed by tooling instead of by eye.
+// (-exp broker, -exp wal, -exp audit), so successive runs can be committed
+// (the BENCH_*.json trajectory) and diffed by tooling instead of by eye.
 
 import (
 	"encoding/json"
@@ -32,7 +32,7 @@ type benchDoc struct {
 // goroutines/throughput/quantile fields; the WAL A/B fills the
 // mean/best/overhead fields. ns_per_op is common to both.
 type benchPoint struct {
-	Series      string  `json:"series"` // "broker_scaling" | "wal_overhead"
+	Series      string  `json:"series"` // "broker_scaling" | "wal_overhead" | "audit_replay"
 	Label       string  `json:"label"`
 	Goroutines  int     `json:"goroutines,omitempty"`
 	Ops         int     `json:"ops"`
@@ -44,6 +44,13 @@ type benchPoint struct {
 	P99Us       float64 `json:"p99_us,omitempty"`
 	BestNsPerOp float64 `json:"best_ns_per_op,omitempty"`
 	OverheadPct float64 `json:"overhead_pct,omitempty"`
+
+	// The audit replay sweep (-exp audit) fills these.
+	WALBytes       int64   `json:"wal_bytes,omitempty"`
+	Arrivals       int     `json:"arrivals,omitempty"`
+	GreedyMs       float64 `json:"greedy_ms,omitempty"`
+	ReconMs        float64 `json:"recon_ms,omitempty"`
+	EmpiricalRatio float64 `json:"empirical_ratio,omitempty"`
 }
 
 func newBenchDoc(exp string, scale float64, seed int64) *benchDoc {

@@ -26,7 +26,13 @@
 //
 //	muaa-bench -exp wal -scale 0.1 -repeats 5
 //
-// Both perf experiments accept `-json out.json` to additionally write the
+// `-exp audit` times the offline quality audit (muaa-audit's replay path)
+// against the WAL size it reads, greedy oracle vs RECON, at three stream
+// sizes:
+//
+//	muaa-bench -exp audit -scale 0.05 -json BENCH_audit.json
+//
+// The perf experiments accept `-json out.json` to additionally write the
 // results in the stable muaa-bench/1 schema (ns/op, latency quantiles,
 // config, git SHA, timestamp) — the format the committed BENCH_*.json
 // trajectory files use:
@@ -45,6 +51,7 @@ import (
 	"os"
 	"strings"
 
+	"muaa/internal/buildinfo"
 	"muaa/internal/experiment"
 )
 
@@ -59,8 +66,13 @@ func main() {
 		repeats = flag.Int("repeats", 1, "replicate each sweep under N seeds and report means")
 		seed    = flag.Int64("seed", 42, "master random seed")
 		jsonOut = flag.String("json", "", "also write machine-readable results to this path (-exp broker/wal only)")
+		version = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("muaa-bench"))
+		return
+	}
 	if err := run(os.Stdout, *exp, *scale, *csv, *chart, *md, *workers, *repeats, *seed, *jsonOut); err != nil {
 		fmt.Fprintln(os.Stderr, "muaa-bench:", err)
 		os.Exit(1)
@@ -72,8 +84,9 @@ func run(w io.Writer, exp string, scale float64, csv, chart, md bool, workers, r
 		return fmt.Errorf("scale %g outside (0,1]", scale)
 	}
 	isBroker, isWAL := strings.EqualFold(exp, "broker"), strings.EqualFold(exp, "wal")
-	if jsonOut != "" && !isBroker && !isWAL {
-		return fmt.Errorf("-json is supported for -exp broker and -exp wal only")
+	isAudit := strings.EqualFold(exp, "audit")
+	if jsonOut != "" && !isBroker && !isWAL && !isAudit {
+		return fmt.Errorf("-json is supported for -exp broker, -exp wal and -exp audit only")
 	}
 	st := experiment.DefaultSettings()
 	st.Seed = seed
@@ -98,7 +111,7 @@ func run(w io.Writer, exp string, scale float64, csv, chart, md bool, workers, r
 	case md:
 		format = experiment.MarkdownFormat
 	}
-	if isBroker || isWAL {
+	if isBroker || isWAL || isAudit {
 		if chart || md {
 			return fmt.Errorf("-exp %s supports text and -csv output only", strings.ToLower(exp))
 		}
@@ -107,10 +120,13 @@ func run(w io.Writer, exp string, scale float64, csv, chart, md bool, workers, r
 			doc = newBenchDoc(strings.ToLower(exp), scale, seed)
 		}
 		var err error
-		if isBroker {
+		switch {
+		case isBroker:
 			err = runBrokerScaling(w, scale, workers, seed, csv, doc)
-		} else {
+		case isWAL:
 			err = runWALOverhead(w, scale, seed, csv, repeats, doc)
+		default:
+			err = runAuditReplay(w, scale, seed, csv, workers, doc)
 		}
 		if err != nil {
 			return err

@@ -182,6 +182,48 @@ func TestRunJSONOutput(t *testing.T) {
 		}
 	}
 
+	// The audit replay sweep emits one row per WAL size with the solve
+	// timings and the achieved ratio.
+	auditPath := filepath.Join(t.TempDir(), "audit.json")
+	if err := run(&buf, "audit", 0.02, false, false, false, 2, 1, 1, auditPath); err != nil {
+		t.Fatal(err)
+	}
+	var auditDoc struct {
+		Points []struct {
+			Series         string  `json:"series"`
+			Ops            int     `json:"ops"`
+			WALBytes       int64   `json:"wal_bytes"`
+			Arrivals       int     `json:"arrivals"`
+			GreedyMs       float64 `json:"greedy_ms"`
+			ReconMs        float64 `json:"recon_ms"`
+			EmpiricalRatio float64 `json:"empirical_ratio"`
+		} `json:"points"`
+	}
+	auditRaw, err := os.ReadFile(auditPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(auditRaw, &auditDoc); err != nil {
+		t.Fatal(err)
+	}
+	if len(auditDoc.Points) != 3 {
+		t.Fatalf("audit sweep produced %d points, want 3 sizes", len(auditDoc.Points))
+	}
+	for i, p := range auditDoc.Points {
+		if p.Series != "audit_replay" || p.Ops <= 0 || p.WALBytes <= 0 || p.Arrivals <= 0 {
+			t.Errorf("audit point %d malformed: %+v", i, p)
+		}
+		if p.GreedyMs <= 0 || p.ReconMs <= 0 {
+			t.Errorf("audit point %d missing timings: %+v", i, p)
+		}
+		if !(p.EmpiricalRatio > 0 && p.EmpiricalRatio <= 1) {
+			t.Errorf("audit point %d ratio %g outside (0, 1]", i, p.EmpiricalRatio)
+		}
+		if i > 0 && p.WALBytes <= auditDoc.Points[i-1].WALBytes {
+			t.Errorf("audit sweep WAL sizes not increasing: %+v", auditDoc.Points)
+		}
+	}
+
 	// -json outside the perf experiments is a flag error.
 	if err := run(&buf, "fig8", 0.02, false, false, false, 2, 1, 1, path); err == nil {
 		t.Error("-json with a paper experiment must be rejected")

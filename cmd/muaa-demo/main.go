@@ -5,16 +5,24 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"io"
 	"os"
 	"text/tabwriter"
 
+	"muaa/internal/buildinfo"
 	"muaa/internal/experiment"
 	"muaa/internal/workload"
 )
 
 func main() {
+	version := flag.Bool("version", false, "print version and exit")
+	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("muaa-demo"))
+		return
+	}
 	if err := run(os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "muaa-demo:", err)
 		os.Exit(1)

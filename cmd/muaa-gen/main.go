@@ -14,6 +14,7 @@ import (
 	"io"
 	"os"
 
+	"muaa/internal/buildinfo"
 	"muaa/internal/checkin"
 	"muaa/internal/persist"
 	"muaa/internal/stats"
@@ -30,8 +31,13 @@ func main() {
 		checkins  = flag.Int("checkins", 20000, "checkin: number of check-ins")
 		minCheck  = flag.Int("min-checkins", 10, "checkin: venue filter threshold (paper: 10)")
 		seed      = flag.Int64("seed", 42, "random seed")
+		version   = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("muaa-gen"))
+		return
+	}
 	if err := run(os.Stdout, *kind, *customers, *vendors, *users, *venues, *checkins, *minCheck, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "muaa-gen:", err)
 		os.Exit(1)

@@ -40,9 +40,20 @@
 // documented in docs/OPERATIONS.md.
 //
 // -debug-addr starts a second, separate listener exposing net/http/pprof
-// under /debug/pprof/ and the flight recorder under /v1/debug/traces —
-// opt-in and intended to stay on a loopback or otherwise private address;
-// the serving port never exposes profiling or traces.
+// under /debug/pprof/, the flight recorder under /v1/debug/traces, and the
+// live quality audit under /v1/debug/audit — opt-in and intended to stay on
+// a loopback or otherwise private address; the serving port never exposes
+// profiling, traces or audits.
+//
+// The broker keeps a sliding window of the last -audit-window arrivals and
+// every -audit-every recomputes an offline-oracle quality report off the
+// serving path: the empirical competitive ratio, the paper's (ln g + 1)/θ
+// bound, counterfactual fixed-threshold regret and per-campaign pacing all
+// land as muaa_broker_* gauges on /metrics, and the full report is served at
+// GET /v1/debug/audit (?refresh=true forces a recompute). -audit-window 0
+// disables live auditing. With -wal-retain (the default) superseded WAL
+// segments are kept after compaction so `muaa-audit -data-dir ...` can audit
+// the broker's whole life; -wal-retain=false restores reclaiming them.
 //
 // Every request is traced: the server honors an incoming W3C traceparent
 // header (minting IDs otherwise), echoes the resulting traceparent on the
@@ -57,17 +68,20 @@ import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"io"
 	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
 	"sync/atomic"
 	"syscall"
 	"time"
 
 	"muaa/internal/broker"
+	"muaa/internal/buildinfo"
 	"muaa/internal/obs"
 	"muaa/internal/trace"
 	"muaa/internal/wal"
@@ -85,6 +99,9 @@ type serverOpts struct {
 	snapshotEvery int
 	traceCapacity int           // flight-recorder reservoir size; <= 0 disables tracing
 	traceSlow     time.Duration // slow-trace retention threshold; 0 = recorder default
+	auditWindow   int           // live-audit arrival window; <= 0 disables auditing
+	auditEvery    time.Duration // live-audit recompute cadence; 0 = broker default
+	walRetain     bool          // keep superseded WAL segments for full-history audits
 }
 
 // app is the serving process: an HTTP server whose broker may still be
@@ -121,6 +138,7 @@ func newServer(o serverOpts, logger *slog.Logger) (*app, error) {
 		logger: logger,
 	}
 	obs.RegisterRuntimeMetrics(a.reg)
+	buildinfo.Register(a.reg)
 	if o.traceCapacity > 0 {
 		a.tracer = trace.NewRecorder(trace.RecorderOptions{
 			Capacity:      o.traceCapacity,
@@ -140,7 +158,10 @@ func newServer(o serverOpts, logger *slog.Logger) (*app, error) {
 			Sync:          sync,
 			FlushInterval: o.walFlushEvery,
 			SnapshotEvery: o.snapshotEvery,
+			Retain:        o.walRetain,
 		},
+		AuditWindow: o.auditWindow,
+		AuditEvery:  o.auditEvery,
 	}
 	if o.dataDir == "" {
 		if err := a.boot(); err != nil {
@@ -154,6 +175,9 @@ func newServer(o serverOpts, logger *slog.Logger) (*app, error) {
 		check := a.cfg
 		check.DataDir = ""
 		check.Metrics = obs.NewRegistry()
+		// The throwaway broker exists only to validate; no audit window, or
+		// it would leak a live-audit goroutine (nothing Closes it).
+		check.AuditWindow = 0
 		if _, err := broker.New(check); err != nil {
 			return nil, err
 		}
@@ -248,10 +272,10 @@ func (a *app) serveHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 // newDebugServer builds the opt-in debug listener: net/http/pprof plus,
-// when tracing is enabled, the flight recorder at /v1/debug/traces. The
-// handlers are mounted on a private mux (not http.DefaultServeMux) so
-// nothing else in the process can accidentally widen what this port
-// serves.
+// when tracing is enabled, the flight recorder at /v1/debug/traces, plus the
+// live quality audit at /v1/debug/audit. The handlers are mounted on a
+// private mux (not http.DefaultServeMux) so nothing else in the process can
+// accidentally widen what this port serves.
 func (a *app) newDebugServer(addr string) *http.Server {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -264,11 +288,60 @@ func (a *app) newDebugServer(addr string) *http.Server {
 		mux.Handle("/v1/debug/traces", h)
 		mux.Handle("/debug/traces", h)
 	}
+	for _, p := range []string{"/v1/debug/audit", "/debug/audit"} {
+		mux.HandleFunc(p, a.getOnly(a.serveDebugAudit))
+	}
 	return &http.Server{
 		Addr:              addr,
 		Handler:           mux,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
+}
+
+// serveDebugAudit returns the latest live quality-audit report as JSON.
+// ?refresh=true (any strconv.ParseBool form) forces a synchronous window
+// recompute; otherwise the first request computes one and later requests
+// read whatever the audit loop last stored. Follows the serving API's
+// error-envelope contract for every failure.
+func (a *app) serveDebugAudit(w http.ResponseWriter, r *http.Request) {
+	refresh := false
+	if s := r.URL.Query().Get("refresh"); s != "" {
+		v, err := strconv.ParseBool(s)
+		if err != nil {
+			broker.WriteError(w, http.StatusBadRequest, "bad_request",
+				"refresh must be a boolean (true/false/1/0)")
+			return
+		}
+		refresh = v
+	}
+	b := a.b.Load()
+	if b == nil {
+		w.Header().Set("Retry-After", "1")
+		broker.WriteError(w, http.StatusServiceUnavailable, "unavailable", "recovery in progress")
+		return
+	}
+	rep := b.AuditReport()
+	if refresh || rep == nil {
+		var err error
+		rep, err = b.AuditNow()
+		if errors.Is(err, broker.ErrAuditDisabled) {
+			broker.WriteError(w, http.StatusNotFound, "audit_disabled",
+				"live audit disabled; start muaa-serve with -audit-window > 0")
+			return
+		}
+		if err != nil {
+			broker.WriteError(w, http.StatusInternalServerError, "internal", err.Error())
+			return
+		}
+	}
+	out, err := rep.EncodeJSON()
+	if err != nil {
+		broker.WriteError(w, http.StatusInternalServerError, "internal", err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.Header().Set("X-Content-Type-Options", "nosniff")
+	w.Write(out)
 }
 
 // startDebug launches the debug listener in the background. A listener
@@ -312,9 +385,17 @@ func main() {
 		debugAddr = flag.String("debug-addr", "", "optional second listen address for net/http/pprof and /v1/debug/traces (e.g. 127.0.0.1:6060); empty disables")
 		traceCap  = flag.Int("trace-capacity", 256, "flight-recorder reservoir size for arrival traces (0 disables tracing)")
 		traceSlow = flag.Duration("trace-slow", 25*time.Millisecond, "arrival traces at least this slow are always retained")
+		auditWin  = flag.Int("audit-window", 4096, "live quality audit: sliding window of recent arrivals (0 disables auditing)")
+		auditEv   = flag.Duration("audit-every", 15*time.Second, "live quality audit recompute cadence")
+		walRetain = flag.Bool("wal-retain", true, "keep superseded WAL segments after compaction so muaa-audit can replay the full history")
 		logLevel  = flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
+		version   = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("muaa-serve"))
+		return
+	}
 	level, err := parseLogLevel(*logLevel)
 	if err != nil {
 		// The logger doesn't exist yet; build a default one just to report.
@@ -333,6 +414,7 @@ func main() {
 		dataDir: *dataDir, walSync: *walSync,
 		walFlushEvery: *walFlush, snapshotEvery: *snapEvery,
 		traceCapacity: *traceCap, traceSlow: *traceSlow,
+		auditWindow: *auditWin, auditEvery: *auditEv, walRetain: *walRetain,
 	}, logger)
 	if err != nil {
 		fatal("bad_config", err)

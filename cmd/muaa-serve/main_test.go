@@ -357,6 +357,136 @@ func TestDebugServer(t *testing.T) {
 	}
 }
 
+// startDebugListener serves a's debug mux on an ephemeral port.
+func startDebugListener(t *testing.T, a *app) string {
+	t.Helper()
+	dbg := a.newDebugServer("127.0.0.1:0")
+	ln, err := net.Listen("tcp", dbg.Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = dbg.Serve(ln) }()
+	t.Cleanup(func() { _ = dbg.Close() })
+	return "http://" + ln.Addr().String()
+}
+
+// TestDebugAudit drives traffic through a server with live auditing enabled
+// and reads the quality report off the debug listener: both route aliases
+// serve the muaa-audit/1 schema, ?refresh forces a recompute, bad parameters
+// get the uniform error envelope, and the audit gauges appear on /metrics.
+func TestDebugAudit(t *testing.T) {
+	base, a := startServerOpts(t, serverOpts{
+		auditWindow: 64, auditEvery: time.Hour, // recompute on demand only
+	})
+	dbgBase := startDebugListener(t, a)
+
+	if code := postJSON(t, base+"/v1/campaigns",
+		`{"loc":{"x":0.5,"y":0.5},"radius":0.15,"budget":20,"tags":[1,0,0.2]}`, nil); code != http.StatusCreated {
+		t.Fatalf("POST /v1/campaigns → %d", code)
+	}
+	for i := 0; i < 10; i++ {
+		if code := postJSON(t, base+"/v1/arrivals",
+			`{"loc":{"x":0.49,"y":0.51},"capacity":2,"viewProb":0.7,"interests":[0.9,0.1,0.3]}`, nil); code != http.StatusOK {
+			t.Fatalf("arrival %d → %d", i, code)
+		}
+	}
+
+	type reportBody struct {
+		Schema         string  `json:"schema"`
+		Mode           string  `json:"mode"`
+		Source         string  `json:"source"`
+		Arrivals       int     `json:"arrivals"`
+		EmpiricalRatio float64 `json:"empirical_ratio"`
+	}
+	for _, path := range []string{"/v1/debug/audit", "/debug/audit"} {
+		var rep reportBody
+		if code := getJSON(t, dbgBase+path, &rep); code != http.StatusOK {
+			t.Fatalf("GET %s → %d", path, code)
+		}
+		if rep.Schema != "muaa-audit/1" || rep.Mode != "window" || rep.Source != "live" {
+			t.Fatalf("GET %s report header: %+v", path, rep)
+		}
+		if rep.Arrivals != 10 {
+			t.Fatalf("GET %s audited %d arrivals, want 10", path, rep.Arrivals)
+		}
+		if !(rep.EmpiricalRatio > 0 && rep.EmpiricalRatio <= 1) {
+			t.Fatalf("GET %s ratio %g outside (0, 1]", path, rep.EmpiricalRatio)
+		}
+	}
+
+	// ?refresh recomputes after more traffic lands.
+	if code := postJSON(t, base+"/v1/arrivals",
+		`{"loc":{"x":0.49,"y":0.51},"capacity":2,"viewProb":0.7,"interests":[0.9,0.1,0.3]}`, nil); code != http.StatusOK {
+		t.Fatalf("arrival → %d", code)
+	}
+	var rep reportBody
+	if code := getJSON(t, dbgBase+"/v1/debug/audit?refresh=true", &rep); code != http.StatusOK || rep.Arrivals != 11 {
+		t.Fatalf("refresh → %d, %d arrivals (want 11)", code, rep.Arrivals)
+	}
+	// Without refresh the stored report is served as-is.
+	if code := getJSON(t, dbgBase+"/v1/debug/audit", &rep); code != http.StatusOK || rep.Arrivals != 11 {
+		t.Fatalf("cached read → %d, %d arrivals", code, rep.Arrivals)
+	}
+
+	// Bad refresh value: enveloped 400.
+	var env struct {
+		Error struct{ Code string } `json:"error"`
+	}
+	if code := getJSON(t, dbgBase+"/v1/debug/audit?refresh=banana", &env); code != http.StatusBadRequest || env.Error.Code != "bad_request" {
+		t.Fatalf("refresh=banana → %d %q", code, env.Error.Code)
+	}
+	// Non-GET: enveloped 405.
+	if code := postJSON(t, dbgBase+"/v1/debug/audit", "{}", &env); code != http.StatusMethodNotAllowed || env.Error.Code != "method_not_allowed" {
+		t.Fatalf("POST → %d %q", code, env.Error.Code)
+	}
+
+	// The live gauges are published on the serving port's /metrics.
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body bytes.Buffer
+	if _, err := body.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	for _, want := range []string{
+		"muaa_broker_empirical_ratio",
+		"muaa_broker_competitive_bound",
+		"muaa_broker_audit_window_arrivals 11",
+		`muaa_broker_regret{delta="0.5"}`,
+		`muaa_broker_pacing_campaigns{utilization="0-25"}`,
+		"muaa_build_info{",
+	} {
+		if !strings.Contains(body.String(), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestDebugAuditDisabled pins the two non-serving answers: 404 with code
+// audit_disabled when the broker runs without an audit window, and 503
+// unavailable while recovery is still in progress.
+func TestDebugAuditDisabled(t *testing.T) {
+	_, a := startServerOpts(t, serverOpts{}) // auditWindow 0
+	dbgBase := startDebugListener(t, a)
+	var env struct {
+		Error struct{ Code string } `json:"error"`
+	}
+	if code := getJSON(t, dbgBase+"/v1/debug/audit", &env); code != http.StatusNotFound || env.Error.Code != "audit_disabled" {
+		t.Fatalf("audit disabled → %d %q, want 404 audit_disabled", code, env.Error.Code)
+	}
+
+	unbooted, err := newServer(serverOpts{addr: "127.0.0.1:0", dataDir: t.TempDir(), auditWindow: 16}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dbgBase2 := startDebugListener(t, unbooted)
+	if code := getJSON(t, dbgBase2+"/v1/debug/audit", &env); code != http.StatusServiceUnavailable || env.Error.Code != "unavailable" {
+		t.Fatalf("during recovery → %d %q, want 503 unavailable", code, env.Error.Code)
+	}
+}
+
 // TestServeRecoveryGate pins the boot-ordering contract: the listener is up
 // before the broker finishes recovering, and until it does every broker
 // endpoint — /healthz and /stats included — answers 503 with the uniform

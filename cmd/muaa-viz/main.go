@@ -16,6 +16,7 @@ import (
 	"os"
 	"strings"
 
+	"muaa/internal/buildinfo"
 	"muaa/internal/core"
 	"muaa/internal/model"
 	"muaa/internal/persist"
@@ -32,8 +33,13 @@ func main() {
 		solverName  = flag.String("solver", "recon", "solver to draw: recon, online, greedy, random, nearest, batch, none")
 		width       = flag.Int("width", 900, "image width in pixels")
 		seed        = flag.Int64("seed", 42, "random seed")
+		version     = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("muaa-viz"))
+		return
+	}
 	if err := run(os.Stdout, *problemPath, *customers, *vendors, *solverName, *width, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "muaa-viz:", err)
 		os.Exit(1)

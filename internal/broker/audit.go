@@ -1,0 +1,400 @@
+package broker
+
+// Live and offline quality auditing. The live side keeps a bounded ring of
+// recent arrivals (captured after the arrival pipeline returns, outside the
+// stripe locks) and periodically recomputes an audit.Report against an
+// amortized greedy oracle; gauges read the latest report. The offline side,
+// ReplayAudit, rebuilds the full decision stream from a durability
+// directory's snapshot + WAL — read-only, through wal.ReadDir and the
+// exported record decoders — and hands it to audit.Compute.
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"muaa/internal/audit"
+	"muaa/internal/core"
+	"muaa/internal/model"
+	"muaa/internal/obs"
+	"muaa/internal/wal"
+)
+
+// defaultAuditEvery is the live recompute cadence when Config.AuditEvery is
+// zero.
+const defaultAuditEvery = 15 * time.Second
+
+// ErrAuditDisabled is returned by AuditNow on a broker built without a live
+// audit window (Config.AuditWindow = 0).
+var ErrAuditDisabled = errors.New("broker: live audit disabled (AuditWindow = 0)")
+
+// auditState is the broker's live quality-audit sidecar.
+type auditState struct {
+	mu   sync.Mutex
+	ring []audit.Arrival // capacity-bounded; ring[next] is the oldest once full
+	next int
+	full bool
+
+	every time.Duration
+
+	// computeMu serializes recomputations (the loop vs AuditNow callers);
+	// the ring lock is never held across a solve.
+	computeMu sync.Mutex
+	oracle    core.WindowOracle
+	report    atomic.Pointer[audit.Report]
+
+	stopOnce sync.Once
+	stopCh   chan struct{}
+	doneCh   chan struct{}
+}
+
+func newAuditState(window int, every time.Duration) *auditState {
+	if every <= 0 {
+		every = defaultAuditEvery
+	}
+	return &auditState{
+		ring:   make([]audit.Arrival, 0, window),
+		every:  every,
+		stopCh: make(chan struct{}),
+		doneCh: make(chan struct{}),
+	}
+}
+
+// capture appends one served arrival to the ring. Runs after the arrival
+// pipeline released its stripe locks; the only cost on the serving goroutine
+// is one small copy under the ring mutex. Under concurrent arrivals the ring
+// order is capture order, not commit order — the window report is an
+// approximation by design.
+func (s *auditState) capture(a *Arrival, offers []Offer) {
+	entry := audit.Arrival{
+		Loc:         a.Loc,
+		Capacity:    a.Capacity,
+		ViewProb:    a.ViewProb,
+		Hour:        a.Hour,
+		HasFeatures: true,
+	}
+	if len(a.Interests) > 0 {
+		entry.Interests = append([]float64(nil), a.Interests...)
+	}
+	if len(offers) > 0 {
+		entry.Offers = make([]audit.Offer, len(offers))
+		for i := range offers {
+			o := &offers[i]
+			entry.Offers[i] = audit.Offer{
+				Campaign: o.Campaign, AdType: o.AdType, Cost: o.Cost, Utility: o.Utility,
+			}
+		}
+	}
+	s.mu.Lock()
+	if len(s.ring) < cap(s.ring) {
+		s.ring = append(s.ring, entry)
+	} else {
+		s.ring[s.next] = entry
+		s.next++
+		if s.next == len(s.ring) {
+			s.next = 0
+			s.full = true
+		} else if !s.full && s.next == cap(s.ring) {
+			s.full = true
+		}
+	}
+	s.mu.Unlock()
+}
+
+// window copies the ring contents oldest-first.
+func (s *auditState) window() []audit.Arrival {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]audit.Arrival, 0, len(s.ring))
+	if len(s.ring) == cap(s.ring) {
+		out = append(out, s.ring[s.next:]...)
+		out = append(out, s.ring[:s.next]...)
+	} else {
+		out = append(out, s.ring...)
+	}
+	return out
+}
+
+func (s *auditState) stop() {
+	s.stopOnce.Do(func() { close(s.stopCh) })
+	<-s.doneCh
+}
+
+// auditLoop recomputes the window report on its own goroutine at the
+// configured cadence. Solves never run on an arrival's goroutine.
+func (b *Broker) auditLoop() {
+	s := b.audit
+	defer close(s.doneCh)
+	t := time.NewTicker(s.every)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stopCh:
+			return
+		case <-t.C:
+			if _, err := b.AuditNow(); err != nil {
+				b.logger.Error("broker_audit_failed", "error", err.Error())
+			}
+		}
+	}
+}
+
+// AuditReport returns the latest live window report, or nil before the
+// first recompute. The returned report is immutable.
+func (b *Broker) AuditReport() *audit.Report {
+	if b.audit == nil {
+		return nil
+	}
+	return b.audit.report.Load()
+}
+
+// AuditNow recomputes the live window report synchronously and returns it.
+// Errors when live auditing is disabled.
+func (b *Broker) AuditNow() (*audit.Report, error) {
+	s := b.audit
+	if s == nil {
+		return nil, ErrAuditDisabled
+	}
+	s.computeMu.Lock()
+	defer s.computeMu.Unlock()
+	in := b.windowInput(s.window())
+	rep, err := audit.Compute(in, audit.Config{Solver: &s.oracle})
+	if err != nil {
+		return nil, err
+	}
+	s.report.Store(&rep)
+	return &rep, nil
+}
+
+// windowInput assembles the audit input for one window copy: current
+// campaign states with the window's own spend subtracted back out (the
+// oracle may re-spend what the window spent), plus the current γ bounds.
+func (b *Broker) windowInput(win []audit.Arrival) audit.Input {
+	winSpend := make(map[int32]float64)
+	for i := range win {
+		for _, o := range win[i].Offers {
+			winSpend[o.Campaign] += o.Cost
+		}
+	}
+	campaigns := b.Campaigns()
+	acs := make([]audit.Campaign, len(campaigns))
+	for i, c := range campaigns {
+		before := c.Spent - winSpend[c.ID]
+		if before < 0 {
+			before = 0
+		}
+		acs[i] = audit.Campaign{
+			ID: c.ID, Loc: c.Loc, Radius: c.Radius, Tags: c.Tags,
+			Budget: c.Budget, SpentBefore: before,
+		}
+	}
+	st := b.Stats()
+	return audit.Input{
+		Mode:       "window",
+		Source:     "live",
+		AdTypes:    b.cfg.AdTypes,
+		Campaigns:  acs,
+		Arrivals:   win,
+		GammaMin:   st.GammaMin,
+		GammaMax:   st.GammaMax,
+		G:          b.cfg.G,
+		Preference: b.pref,
+		MinDist:    b.minDist,
+	}
+}
+
+// registerAuditMetrics publishes the live-audit gauge family; every gauge
+// reads the latest report and costs nothing between scrapes.
+func registerAuditMetrics(reg *obs.Registry, b *Broker) {
+	latest := func() *audit.Report { return b.audit.report.Load() }
+	reg.NewGaugeFunc("muaa_broker_empirical_ratio",
+		"Online utility over the window oracle's (0 until the first window recompute).",
+		func() float64 {
+			if r := latest(); r != nil {
+				return r.EmpiricalRatio
+			}
+			return 0
+		})
+	reg.NewGaugeFunc("muaa_broker_competitive_bound",
+		"The paper's (ln g + 1)/θ bound evaluated on the live window (0 while undefined).",
+		func() float64 {
+			if r := latest(); r != nil {
+				return r.CompetitiveBound
+			}
+			return 0
+		})
+	reg.NewGaugeFunc("muaa_broker_audit_window_arrivals",
+		"Arrivals in the last recomputed audit window.",
+		func() float64 {
+			if r := latest(); r != nil {
+				return float64(r.Arrivals)
+			}
+			return 0
+		})
+	reg.NewGaugeFunc("muaa_broker_audit_regret",
+		"Window oracle utility minus online utility (absolute regret).",
+		func() float64 {
+			if r := latest(); r != nil {
+				return r.Regret
+			}
+			return 0
+		})
+	for i, delta := range []float64{0, 0.5, 1} {
+		idx := i
+		reg.NewGaugeFunc("muaa_broker_regret",
+			"Oracle regret of the counterfactual fixed threshold φ(δ) on the live window.",
+			func() float64 {
+				if r := latest(); r != nil && idx < len(r.RegretByDelta) {
+					return r.RegretByDelta[idx].Regret
+				}
+				return 0
+			},
+			obs.L("delta", strconv.FormatFloat(delta, 'g', -1, 64)))
+	}
+	buckets := []struct {
+		label  string
+		lo, hi float64
+	}{
+		{"0-25", 0, 0.25},
+		{"25-50", 0.25, 0.5},
+		{"50-75", 0.5, 0.75},
+		{"75-100", 0.75, 1},
+		{"100", 1, math.Inf(1)},
+	}
+	for _, bk := range buckets {
+		lo, hi := bk.lo, bk.hi
+		reg.NewGaugeFunc("muaa_broker_pacing_campaigns",
+			"Campaigns whose budget utilization falls in the labeled bucket (last audit window).",
+			func() float64 {
+				r := latest()
+				if r == nil {
+					return 0
+				}
+				n := 0
+				for i := range r.CampaignAudits {
+					u := r.CampaignAudits[i].Utilization
+					if u >= lo && u < hi {
+						n++
+					}
+				}
+				return float64(n)
+			},
+			obs.L("utilization", bk.label))
+	}
+}
+
+// AuditConfig parameterizes ReplayAudit. AdTypes is required and must be
+// the catalog the recorded broker served with; the other knobs default to
+// the broker defaults.
+type AuditConfig struct {
+	AdTypes    []model.AdType
+	Preference model.Preference
+	MinDist    float64
+	// G mirrors Config.G: 0 derives g from the recorded γ bounds.
+	G float64
+	// UseRecon adds the RECON oracle next to greedy (slower, tighter).
+	UseRecon bool
+	// Epsilon, Workers and Seed configure the RECON solve.
+	Epsilon float64
+	Workers int
+	Seed    int64
+}
+
+// ReplayAudit audits a broker durability directory offline: it reads the
+// snapshot and WAL segments read-only (never interfering with a live
+// writer's group commit), rebuilds the decision stream through the exported
+// record decoders, and computes the quality report. With a retained full
+// segment chain (wal.Options.Retain) the audit covers the broker's whole
+// life; otherwise it covers the window after the last compaction, with the
+// snapshot's accumulators as the pre-window spend.
+func ReplayAudit(dir string, cfg AuditConfig) (audit.Report, error) {
+	if len(cfg.AdTypes) == 0 {
+		return audit.Report{}, fmt.Errorf("broker: ReplayAudit needs the ad-type catalog")
+	}
+	v, err := wal.ReadDir(dir)
+	if err != nil {
+		return audit.Report{}, err
+	}
+	in := audit.Input{
+		Mode:       "window",
+		Source:     dir,
+		AdTypes:    cfg.AdTypes,
+		G:          cfg.G,
+		Preference: cfg.Preference,
+		MinDist:    cfg.MinDist,
+	}
+	if v.FullHistory {
+		in.Mode = "full-history"
+	}
+	gammaMin, gammaMax := math.Inf(1), 0.0
+	byID := make(map[int32]int)
+	if !v.FullHistory && v.Snapshot != nil {
+		s, err := DecodeSnapshot(v.Snapshot)
+		if err != nil {
+			return audit.Report{}, fmt.Errorf("broker: audit snapshot: %w", err)
+		}
+		for i := range s.Campaigns {
+			sc := &s.Campaigns[i]
+			byID[sc.ID] = len(in.Campaigns)
+			in.Campaigns = append(in.Campaigns, audit.Campaign{
+				ID: sc.ID, Loc: sc.Loc, Radius: sc.Radius, Tags: sc.Tags,
+				Budget: sc.Budget(), SpentBefore: sc.Spent(),
+			})
+		}
+		gammaMin, gammaMax = s.GammaMin(), math.Max(gammaMax, s.GammaMax())
+	}
+	for i, rec := range v.Records {
+		d, err := DecodeRecord(rec)
+		if err != nil {
+			return audit.Report{}, fmt.Errorf("broker: audit record %d of %d: %w", i+1, len(v.Records), err)
+		}
+		switch d.Kind {
+		case RecordRegister:
+			byID[d.Campaign] = len(in.Campaigns)
+			in.Campaigns = append(in.Campaigns, audit.Campaign{
+				ID: d.Campaign, Loc: d.Loc, Radius: d.Radius, Tags: d.Tags,
+				Budget: d.Budget,
+			})
+		case RecordTopUp:
+			ci, ok := byID[d.Campaign]
+			if !ok {
+				return audit.Report{}, fmt.Errorf("broker: audit record %d tops up unknown campaign %d", i+1, d.Campaign)
+			}
+			in.Campaigns[ci].Budget += d.Amount
+		case RecordPause:
+			// Pause dynamics are not modeled in the oracle problem: a
+			// campaign paused for part of the stream keeps its budget, which
+			// can only make the oracle stronger (the audit is conservative).
+		case RecordArrival, RecordArrivalV2:
+			gammaMin = math.Min(gammaMin, d.GammaMin)
+			gammaMax = math.Max(gammaMax, d.GammaMax)
+			offers := make([]audit.Offer, len(d.Offers))
+			for j := range d.Offers {
+				o := &d.Offers[j]
+				offers[j] = audit.Offer{Campaign: o.Campaign, AdType: o.AdType, Cost: o.Cost, Utility: o.Utility}
+			}
+			in.Arrivals = append(in.Arrivals, audit.Arrival{
+				Loc:         d.Customer.Loc,
+				Capacity:    d.Customer.Capacity,
+				ViewProb:    d.Customer.ViewProb,
+				Interests:   d.Customer.Interests,
+				Hour:        d.Customer.Hour,
+				HasFeatures: d.HasCustomer,
+				Offers:      offers,
+			})
+		}
+	}
+	if gammaMax > 0 {
+		in.GammaMin, in.GammaMax = gammaMin, gammaMax
+	}
+	return audit.Compute(in, audit.Config{
+		UseRecon: cfg.UseRecon,
+		Epsilon:  cfg.Epsilon,
+		Workers:  cfg.Workers,
+		Seed:     cfg.Seed,
+	})
+}

@@ -79,6 +79,16 @@ type Config struct {
 	// fsync policy, snapshot cadence); ignored when DataDir is empty.
 	// WAL.Metrics is overridden by Config.Metrics.
 	WAL wal.Options
+	// AuditWindow, when positive, keeps the last AuditWindow arrivals (with
+	// their committed offers) in a ring and periodically recomputes a
+	// window quality report against an offline greedy oracle — the live
+	// empirical-ratio/regret/pacing gauges. The capture is a bounded copy
+	// outside the stripe locks and the recompute runs on its own goroutine,
+	// so the arrival hot path is untouched. Zero disables live auditing.
+	AuditWindow int
+	// AuditEvery is the interval between window recomputations; zero
+	// selects 15s. Ignored when AuditWindow is 0.
+	AuditEvery time.Duration
 }
 
 // Campaign is the live state of one vendor's campaign.
@@ -158,6 +168,10 @@ type Broker struct {
 	// afterwards. Mutation paths check the one pointer and otherwise pay
 	// nothing.
 	wal *durable
+
+	// audit is nil unless Config.AuditWindow > 0; set once in newMemory and
+	// read-only afterwards, so Arrive checks the one pointer.
+	audit *auditState
 
 	stripes geo.Stripes
 	shards  []shard
@@ -246,6 +260,9 @@ func newMemory(cfg Config) (*Broker, error) {
 	empty := make([]*campaign, 0)
 	b.dir.Store(&empty)
 	b.gammaMin.Store(math.Inf(1))
+	if cfg.AuditWindow > 0 {
+		b.audit = newAuditState(cfg.AuditWindow, cfg.AuditEvery)
+	}
 	if cfg.Metrics != nil {
 		b.metrics = newBrokerMetrics(cfg.Metrics, b)
 	}
@@ -253,6 +270,9 @@ func newMemory(cfg Config) (*Broker, error) {
 	b.logger = cfg.Logger
 	if b.logger == nil {
 		b.logger = slog.New(slog.NewJSONHandler(io.Discard, nil))
+	}
+	if b.audit != nil {
+		go b.auditLoop()
 	}
 	return b, nil
 }
@@ -400,7 +420,11 @@ type candidate struct {
 // locked, and they stay locked through commit so admission and spend are one
 // atomic step per campaign.
 func (b *Broker) Arrive(a Arrival) ([]Offer, error) {
-	return b.arrive(a, nil)
+	out, err := b.arrive(a, nil)
+	if b.audit != nil && err == nil {
+		b.audit.capture(&a, out)
+	}
+	return out, err
 }
 
 // ArriveTraced is Arrive plus request tracing: when the broker has a flight
@@ -411,7 +435,7 @@ func (b *Broker) Arrive(a Arrival) ([]Offer, error) {
 // replay transcripts are unchanged (TestReplayMatchesGoldenTraced).
 func (b *Broker) ArriveTraced(a Arrival, req *trace.Request) ([]Offer, error) {
 	if req == nil || b.tracer == nil {
-		return b.arrive(a, nil)
+		return b.Arrive(a)
 	}
 	t := &trace.Trace{
 		TraceID:      req.TraceID,
@@ -440,6 +464,9 @@ func (b *Broker) ArriveTraced(a Arrival, req *trace.Request) ([]Offer, error) {
 		t.Anomalous = true
 	}
 	b.tracer.Record(t)
+	if b.audit != nil && err == nil {
+		b.audit.capture(&a, out)
+	}
 	return out, err
 }
 
@@ -473,7 +500,7 @@ func (b *Broker) arrive(a Arrival, t *trace.Trace) ([]Offer, error) {
 		sh := &b.shards[b.stripes.Of(a.Loc)]
 		sh.mu.Lock()
 		b.arrivals.Add(1)
-		b.logArrival(nil)
+		b.logArrival(&a, nil)
 		sh.mu.Unlock()
 		return nil, nil
 	}
@@ -690,7 +717,7 @@ func (b *Broker) arrive(a Arrival, t *trace.Trace) ([]Offer, error) {
 	}
 	if len(cands) == 0 {
 		if b.wal != nil {
-			b.logArrival(nil)
+			b.logArrival(&a, nil)
 		}
 		if timed {
 			// The commit stage histogram intentionally skips empty arrivals
@@ -731,7 +758,7 @@ func (b *Broker) arrive(a Arrival, t *trace.Trace) ([]Offer, error) {
 		// Logged after every charge has landed and before the stripe locks
 		// release: the record carries the post-arrival γ bits and exactly
 		// the offers committed.
-		b.logArrival(out)
+		b.logArrival(&a, out)
 	}
 	if timed {
 		el := time.Since(tStart)

@@ -19,10 +19,11 @@ import (
 // broker mutation, encoded little-endian with floats as IEEE-754 bits so
 // replay rebuilds bit-identical state.
 const (
-	recRegister byte = 1 // id, loc, radius, budget, tags
-	recTopUp    byte = 2 // id, amount
-	recPause    byte = 3 // id, paused flag
-	recArrival  byte = 4 // γ bound bits, committed offers (campaign, ad type, cost, utility)
+	recRegister  byte = 1 // id, loc, radius, budget, tags
+	recTopUp     byte = 2 // id, amount
+	recPause     byte = 3 // id, paused flag
+	recArrival   byte = 4 // γ bound bits, committed offers (campaign, ad type, cost, utility)
+	recArrivalV2 byte = 5 // recArrival plus the customer's own features (loc, capacity, viewProb, interests, hour)
 )
 
 // snapshotVersion guards the compacted-state encoding; bump on any layout
@@ -155,11 +156,15 @@ func registerRecoveryMetrics(reg *obs.Registry, b *Broker) {
 		func() float64 { return float64(d.appendErrs.Load()) })
 }
 
-// Close makes the broker durable at rest: it stops the snapshot loop,
-// writes a final compacting snapshot and closes the log. The caller must
-// quiesce traffic first — a mutation racing Close can land in memory
-// without reaching the log. Idempotent; a no-op on an in-memory broker.
+// Close makes the broker durable at rest: it stops the live-audit and
+// snapshot loops, writes a final compacting snapshot and closes the log.
+// The caller must quiesce traffic first — a mutation racing Close can land
+// in memory without reaching the log. Idempotent; on an in-memory broker it
+// only stops the audit loop.
 func (b *Broker) Close() error {
+	if b.audit != nil {
+		b.audit.stop()
+	}
 	d := b.wal
 	if d == nil {
 		return nil
@@ -291,16 +296,27 @@ func (b *Broker) logPause(id int32, paused bool) {
 }
 
 // logArrival records one committed arrival: the post-arrival γ bounds (as
-// bits) and every offer charged. Called with the arrival's stripe locks
-// still held. Replay folds the bounds with Min/Max, which is exact for a
-// serial history and safe under concurrency because the bounds are
-// monotone — every observation is ≤/≥ the bits some record carries.
-func (b *Broker) logArrival(offers []Offer) {
+// bits), the arriving customer's own features — what offline audit replays
+// into an oracle problem — and every offer charged. Called with the
+// arrival's stripe locks still held. Replay folds the bounds with Min/Max,
+// which is exact for a serial history and safe under concurrency because
+// the bounds are monotone — every observation is ≤/≥ the bits some record
+// carries.
+func (b *Broker) logArrival(a *Arrival, offers []Offer) {
 	bp := recPool.Get().(*[]byte)
 	buf := (*bp)[:0]
-	buf = append(buf, recArrival)
+	buf = append(buf, recArrivalV2)
 	buf = binary.LittleEndian.AppendUint64(buf, b.gammaMin.bits.Load())
 	buf = binary.LittleEndian.AppendUint64(buf, b.gammaMax.bits.Load())
+	buf = appendF64(buf, a.Loc.X)
+	buf = appendF64(buf, a.Loc.Y)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(a.Capacity))
+	buf = appendF64(buf, a.ViewProb)
+	buf = appendF64(buf, a.Hour)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(a.Interests)))
+	for _, v := range a.Interests {
+		buf = appendF64(buf, v)
+	}
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(offers)))
 	for i := range offers {
 		o := &offers[i]
@@ -378,82 +394,45 @@ func (r *recReader) done() error {
 
 // applyRecord replays one WAL record onto the (still-private) broker.
 func (b *Broker) applyRecord(rec []byte) error {
-	if len(rec) == 0 {
-		return errors.New("empty record")
+	d, err := DecodeRecord(rec)
+	if err != nil {
+		return err
 	}
-	r := &recReader{data: rec[1:]}
-	switch rec[0] {
-	case recRegister:
-		id := r.i32()
-		loc := geo.Point{X: r.f64(), Y: r.f64()}
-		radius := r.f64()
-		budget := r.f64()
-		n := r.u32()
-		if r.err != nil || int(n) > r.remaining()/8 {
-			return errors.New("malformed registration record")
-		}
-		tags := make([]float64, n)
-		for i := range tags {
-			tags[i] = r.f64()
-		}
-		if err := r.done(); err != nil {
-			return err
-		}
-		got, err := b.RegisterCampaign(loc, radius, budget, tags)
+	switch d.Kind {
+	case RecordRegister:
+		got, err := b.RegisterCampaign(d.Loc, d.Radius, d.Budget, d.Tags)
 		if err != nil {
 			return err
 		}
-		if got != id {
-			return fmt.Errorf("replayed registration got id %d, logged %d", got, id)
+		if got != d.Campaign {
+			return fmt.Errorf("replayed registration got id %d, logged %d", got, d.Campaign)
 		}
 		return nil
-	case recTopUp:
-		id := r.i32()
-		amount := r.f64()
-		if err := r.done(); err != nil {
-			return err
-		}
-		return b.TopUp(id, amount)
-	case recPause:
-		id := r.i32()
-		paused := r.u8() != 0
-		if err := r.done(); err != nil {
-			return err
-		}
-		return b.SetPaused(id, paused)
-	case recArrival:
-		gmin := r.f64()
-		gmax := r.f64()
-		n := r.u32()
-		if r.err != nil || int(n) > r.remaining()/24 {
-			return errors.New("malformed arrival record")
-		}
+	case RecordTopUp:
+		return b.TopUp(d.Campaign, d.Amount)
+	case RecordPause:
+		return b.SetPaused(d.Campaign, d.Paused)
+	case RecordArrival, RecordArrivalV2:
 		// Replay in the original commit order: counter, γ fold, then each
 		// offer's charge — the same accumulator sequence Arrive performed,
 		// so serial replay reproduces every float bit for bit.
 		b.arrivals.Add(1)
-		b.gammaMin.Min(gmin)
-		b.gammaMax.Max(gmax)
-		for i := 0; i < int(n); i++ {
-			id := r.i32()
-			_ = r.u32() // ad type: audit detail, not needed to rebuild state
-			cost := r.f64()
-			util := r.f64()
-			if r.err != nil {
-				return r.err
-			}
-			c, err := b.campaign(id)
+		b.gammaMin.Min(d.GammaMin)
+		b.gammaMax.Max(d.GammaMax)
+		for i := range d.Offers {
+			o := &d.Offers[i]
+			c, err := b.campaign(o.Campaign)
 			if err != nil {
 				return err
 			}
-			c.spent.Store(c.spent.Load() + cost)
-			b.spent.Add(cost)
-			b.utility.Add(util)
+			c.spent.Store(c.spent.Load() + o.Cost)
+			b.spent.Add(o.Cost)
+			b.utility.Add(o.Utility)
 			b.offers.Add(1)
 		}
-		return r.done()
+		return nil
 	}
-	return fmt.Errorf("unknown record type %d", rec[0])
+	return fmt.Errorf("unknown record type %d", byte(d.Kind))
 }
 
 // encodeSnapshot serializes the full broker state. Called with every
@@ -496,54 +475,28 @@ func (b *Broker) encodeSnapshot() []byte {
 // serving topology, not persisted state), then the money atomics are
 // overwritten with the recorded bits.
 func (b *Broker) applySnapshot(data []byte) error {
-	if len(data) == 0 || data[0] != snapshotVersion {
-		return errors.New("unsupported snapshot version")
+	s, err := DecodeSnapshot(data)
+	if err != nil {
+		return err
 	}
-	r := &recReader{data: data[1:]}
-	arrivals := r.i64()
-	offers := r.i64()
-	utilBits := r.u64()
-	spentBits := r.u64()
-	gminBits := r.u64()
-	gmaxBits := r.u64()
-	n := r.u32()
-	if r.err != nil {
-		return r.err
-	}
-	for i := 0; i < int(n); i++ {
-		id := r.i32()
-		loc := geo.Point{X: r.f64(), Y: r.f64()}
-		radius := r.f64()
-		budgetBits := r.u64()
-		spentCBits := r.u64()
-		paused := r.u8() != 0
-		nt := r.u32()
-		if r.err != nil || int(nt) > r.remaining()/8 {
-			return fmt.Errorf("snapshot campaign %d is malformed", i)
-		}
-		tags := make([]float64, nt)
-		for j := range tags {
-			tags[j] = r.f64()
-		}
-		got, err := b.RegisterCampaign(loc, radius, math.Float64frombits(budgetBits), tags)
+	for i := range s.Campaigns {
+		sc := &s.Campaigns[i]
+		got, err := b.RegisterCampaign(sc.Loc, sc.Radius, sc.Budget(), sc.Tags)
 		if err != nil {
 			return err
 		}
-		if got != id {
-			return fmt.Errorf("snapshot campaign %d re-registered as %d", id, got)
+		if got != sc.ID {
+			return fmt.Errorf("snapshot campaign %d re-registered as %d", sc.ID, got)
 		}
 		c := (*b.dir.Load())[got]
-		c.spent.bits.Store(spentCBits)
-		c.paused.Store(paused)
+		c.spent.bits.Store(sc.SpentBits)
+		c.paused.Store(sc.Paused)
 	}
-	if err := r.done(); err != nil {
-		return err
-	}
-	b.arrivals.Store(arrivals)
-	b.offers.Store(offers)
-	b.utility.bits.Store(utilBits)
-	b.spent.bits.Store(spentBits)
-	b.gammaMin.bits.Store(gminBits)
-	b.gammaMax.bits.Store(gmaxBits)
+	b.arrivals.Store(s.Arrivals)
+	b.offers.Store(s.Offers)
+	b.utility.bits.Store(s.UtilityBits)
+	b.spent.bits.Store(s.SpentBits)
+	b.gammaMin.bits.Store(s.GammaMinBits)
+	b.gammaMax.bits.Store(s.GammaMaxBits)
 	return nil
 }

@@ -172,5 +172,8 @@ func newBrokerMetrics(reg *obs.Registry, b *Broker) *brokerMetrics {
 			func() float64 { return b.threshold(delta) },
 			obs.L("delta", strconv.FormatFloat(delta, 'g', -1, 64)))
 	}
+	if b.audit != nil {
+		registerAuditMetrics(reg, b)
+	}
 	return m
 }

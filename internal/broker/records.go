@@ -1,0 +1,220 @@
+package broker
+
+// Exported, read-only decoding of the broker's WAL record and snapshot
+// encodings. The broker's own recovery (applyRecord/applySnapshot) funnels
+// through these decoders, and the audit path (ReplayAudit, cmd/muaa-audit)
+// uses them to rebuild the arrival stream without touching broker state —
+// one source of truth for the byte layout.
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"muaa/internal/geo"
+)
+
+// RecordKind discriminates decoded WAL records.
+type RecordKind byte
+
+// The wire record types (see the rec* constants in durable.go).
+const (
+	RecordRegister  RecordKind = RecordKind(recRegister)
+	RecordTopUp     RecordKind = RecordKind(recTopUp)
+	RecordPause     RecordKind = RecordKind(recPause)
+	RecordArrival   RecordKind = RecordKind(recArrival)
+	RecordArrivalV2 RecordKind = RecordKind(recArrivalV2)
+)
+
+// String names the record kind for reports and errors.
+func (k RecordKind) String() string {
+	switch k {
+	case RecordRegister:
+		return "register"
+	case RecordTopUp:
+		return "topup"
+	case RecordPause:
+		return "pause"
+	case RecordArrival:
+		return "arrival"
+	case RecordArrivalV2:
+		return "arrival_v2"
+	}
+	return fmt.Sprintf("RecordKind(%d)", byte(k))
+}
+
+// DecodedRecord is one WAL record in structured form. Which fields are
+// meaningful depends on Kind: registrations fill Campaign/Loc/Radius/
+// Budget/Tags, top-ups Campaign/Amount, pauses Campaign/Paused, arrivals
+// GammaMin/GammaMax/Offers — and, for RecordArrivalV2, the arriving
+// customer itself (HasCustomer reports which arrival version was logged;
+// v1 records predate customer persistence).
+type DecodedRecord struct {
+	Kind     RecordKind
+	Campaign int32
+	Loc      geo.Point
+	Radius   float64
+	Budget   float64
+	Tags     []float64
+	Amount   float64
+	Paused   bool
+
+	GammaMin    float64
+	GammaMax    float64
+	HasCustomer bool
+	Customer    Arrival
+	Offers      []Offer
+}
+
+// DecodeRecord decodes one WAL record payload. It never panics on any
+// input; malformed payloads return an error.
+func DecodeRecord(rec []byte) (DecodedRecord, error) {
+	if len(rec) == 0 {
+		return DecodedRecord{}, errors.New("empty record")
+	}
+	d := DecodedRecord{Kind: RecordKind(rec[0])}
+	r := &recReader{data: rec[1:]}
+	switch rec[0] {
+	case recRegister:
+		d.Campaign = r.i32()
+		d.Loc = geo.Point{X: r.f64(), Y: r.f64()}
+		d.Radius = r.f64()
+		d.Budget = r.f64()
+		n := r.u32()
+		if r.err != nil || int(n) > r.remaining()/8 {
+			return DecodedRecord{}, errors.New("malformed registration record")
+		}
+		d.Tags = make([]float64, n)
+		for i := range d.Tags {
+			d.Tags[i] = r.f64()
+		}
+	case recTopUp:
+		d.Campaign = r.i32()
+		d.Amount = r.f64()
+	case recPause:
+		d.Campaign = r.i32()
+		d.Paused = r.u8() != 0
+	case recArrival, recArrivalV2:
+		d.GammaMin = r.f64()
+		d.GammaMax = r.f64()
+		if rec[0] == recArrivalV2 {
+			d.HasCustomer = true
+			d.Customer.Loc = geo.Point{X: r.f64(), Y: r.f64()}
+			d.Customer.Capacity = int(r.u32())
+			d.Customer.ViewProb = r.f64()
+			d.Customer.Hour = r.f64()
+			ni := r.u32()
+			if r.err != nil || int(ni) > r.remaining()/8 {
+				return DecodedRecord{}, errors.New("malformed arrival record interests")
+			}
+			if ni > 0 {
+				d.Customer.Interests = make([]float64, ni)
+				for i := range d.Customer.Interests {
+					d.Customer.Interests[i] = r.f64()
+				}
+			}
+		}
+		n := r.u32()
+		if r.err != nil || int(n) > r.remaining()/24 {
+			return DecodedRecord{}, errors.New("malformed arrival record")
+		}
+		if n > 0 {
+			d.Offers = make([]Offer, n)
+			for i := range d.Offers {
+				o := &d.Offers[i]
+				o.Campaign = r.i32()
+				o.AdType = int(r.u32())
+				o.Cost = r.f64()
+				o.Utility = r.f64()
+			}
+		}
+	default:
+		return DecodedRecord{}, fmt.Errorf("unknown record type %d", rec[0])
+	}
+	if err := r.done(); err != nil {
+		return DecodedRecord{}, err
+	}
+	return d, nil
+}
+
+// SnapshotCampaign is one campaign's state inside a decoded snapshot.
+// BudgetBits/SpentBits carry the exact IEEE-754 bits the snapshot recorded,
+// so replay restores bit-identical accumulators; Budget/Spent are the same
+// values as floats for consumers that only read.
+type SnapshotCampaign struct {
+	ID         int32
+	Loc        geo.Point
+	Radius     float64
+	BudgetBits uint64
+	SpentBits  uint64
+	Paused     bool
+	Tags       []float64
+}
+
+// Budget returns the campaign budget as a float.
+func (c *SnapshotCampaign) Budget() float64 { return math.Float64frombits(c.BudgetBits) }
+
+// Spent returns the spent accumulator as a float.
+func (c *SnapshotCampaign) Spent() float64 { return math.Float64frombits(c.SpentBits) }
+
+// SnapshotState is a decoded compacted-state payload.
+type SnapshotState struct {
+	Arrivals     int64
+	Offers       int64
+	UtilityBits  uint64
+	SpentBits    uint64
+	GammaMinBits uint64
+	GammaMaxBits uint64
+	Campaigns    []SnapshotCampaign
+}
+
+// GammaMin returns the recorded γ lower bound as a float (+Inf when nothing
+// was observed yet).
+func (s *SnapshotState) GammaMin() float64 { return math.Float64frombits(s.GammaMinBits) }
+
+// GammaMax returns the recorded γ upper bound as a float.
+func (s *SnapshotState) GammaMax() float64 { return math.Float64frombits(s.GammaMaxBits) }
+
+// DecodeSnapshot decodes a compacted-state payload. Like DecodeRecord it is
+// total: malformed input errors, never panics.
+func DecodeSnapshot(data []byte) (SnapshotState, error) {
+	if len(data) == 0 || data[0] != snapshotVersion {
+		return SnapshotState{}, errors.New("unsupported snapshot version")
+	}
+	r := &recReader{data: data[1:]}
+	s := SnapshotState{
+		Arrivals:     r.i64(),
+		Offers:       r.i64(),
+		UtilityBits:  r.u64(),
+		SpentBits:    r.u64(),
+		GammaMinBits: r.u64(),
+		GammaMaxBits: r.u64(),
+	}
+	n := r.u32()
+	if r.err != nil {
+		return SnapshotState{}, r.err
+	}
+	for i := 0; i < int(n); i++ {
+		c := SnapshotCampaign{
+			ID:         r.i32(),
+			Loc:        geo.Point{X: r.f64(), Y: r.f64()},
+			Radius:     r.f64(),
+			BudgetBits: r.u64(),
+			SpentBits:  r.u64(),
+			Paused:     r.u8() != 0,
+		}
+		nt := r.u32()
+		if r.err != nil || int(nt) > r.remaining()/8 {
+			return SnapshotState{}, fmt.Errorf("snapshot campaign %d is malformed", i)
+		}
+		c.Tags = make([]float64, nt)
+		for j := range c.Tags {
+			c.Tags[j] = r.f64()
+		}
+		s.Campaigns = append(s.Campaigns, c)
+	}
+	if err := r.done(); err != nil {
+		return SnapshotState{}, err
+	}
+	return s, nil
+}

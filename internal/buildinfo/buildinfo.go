@@ -1,0 +1,55 @@
+// Package buildinfo reports binary provenance — VCS revision and Go
+// toolchain version, read from the build metadata the linker embeds — so
+// every surface that records results (bench JSON, logs, /metrics, -version
+// flags) agrees on which build produced them.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+
+	"muaa/internal/obs"
+)
+
+// Revision returns the VCS revision the binary was built from, suffixed
+// "+dirty" when the working tree was modified, or "unknown" outside a VCS
+// build (go test binaries, toolchains without VCS stamping).
+func Revision() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	rev, dirty := "unknown", false
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if dirty && rev != "unknown" {
+		rev += "+dirty"
+	}
+	return rev
+}
+
+// String renders the one-line -version output for a named binary.
+func String(binary string) string {
+	return fmt.Sprintf("%s %s (%s)", binary, Revision(), runtime.Version())
+}
+
+// Register publishes the muaa_build_info gauge: constant value 1, with the
+// revision and Go version as labels — the standard join key between scraped
+// metrics and the binary that produced them.
+func Register(reg *obs.Registry) {
+	reg.NewGaugeFunc("muaa_build_info",
+		"Build provenance of this binary; value is always 1, the labels carry the information.",
+		func() float64 { return 1 },
+		obs.L("revision", Revision()),
+		obs.L("go_version", runtime.Version()))
+}

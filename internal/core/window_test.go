@@ -1,0 +1,38 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestWindowOracleMatchesGreedy: WindowOracle is Greedy with reused scratch,
+// so across repeated solves over different problems its assignments must be
+// identical to a fresh Greedy run — same instances, same utility.
+func TestWindowOracleMatchesGreedy(t *testing.T) {
+	o := &WindowOracle{}
+	for seed := int64(1); seed <= 8; seed++ {
+		p := smallProblem(t, seed, 20+int(seed)*5, 8+int(seed))
+		want, err := (Greedy{}).Solve(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := o.Solve(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Utility != want.Utility || !reflect.DeepEqual(got.Instances, want.Instances) {
+			t.Fatalf("seed %d: window oracle diverged from Greedy (%.6f vs %.6f, %d vs %d instances)",
+				seed, got.Utility, want.Utility, len(got.Instances), len(want.Instances))
+		}
+	}
+	// Shrinking problems must not read stale scratch from larger ones.
+	p := smallProblem(t, 99, 5, 3)
+	want, _ := (Greedy{}).Solve(p)
+	got, err := o.Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Utility != want.Utility || !reflect.DeepEqual(got.Instances, want.Instances) {
+		t.Fatal("window oracle diverged after shrinking the problem")
+	}
+}

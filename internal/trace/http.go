@@ -3,6 +3,7 @@ package trace
 import (
 	"encoding/json"
 	"log/slog"
+	"math"
 	"net/http"
 	"strconv"
 	"strings"
@@ -28,14 +29,23 @@ func (r *Recorder) Handler() http.Handler {
 		q := req.URL.Query()
 		if s := q.Get("min_ms"); s != "" {
 			ms, err := strconv.ParseFloat(s, 64)
-			if err != nil || ms < 0 {
+			// !(ms >= 0) also rejects NaN, which ParseFloat accepts and a
+			// plain `ms < 0` lets through.
+			if err != nil || !(ms >= 0) || math.IsInf(ms, 1) {
 				httpError(w, http.StatusBadRequest, "bad_request", "min_ms must be a non-negative number")
 				return
 			}
 			f.MinDuration = time.Duration(ms * float64(time.Millisecond))
 		}
 		if s := q.Get("outcome"); s != "" {
-			f.Outcome = s
+			switch s {
+			case OutcomeOffered, OutcomeNoOffers, OutcomeError, OutcomeUnavailable:
+				f.Outcome = s
+			default:
+				httpError(w, http.StatusBadRequest, "bad_request",
+					"outcome must be one of offered, no_offers, error, unavailable")
+				return
+			}
 		}
 		if s := q.Get("limit"); s != "" {
 			n, err := strconv.Atoi(s)

@@ -109,8 +109,17 @@ func TestTracesHandlerFiltersAndPagination(t *testing.T) {
 		t.Fatal("limit must keep newest-first ordering")
 	}
 
-	// Bad parameters produce the error envelope.
-	for _, u := range []string{"/v1/debug/traces?min_ms=abc", "/v1/debug/traces?min_ms=-1", "/v1/debug/traces?limit=x"} {
+	// Bad parameters produce the error envelope. NaN parses as a float and
+	// compares false to everything, so it needs its own rejection path; an
+	// unknown outcome used to silently filter everything out.
+	for _, u := range []string{
+		"/v1/debug/traces?min_ms=abc",
+		"/v1/debug/traces?min_ms=-1",
+		"/v1/debug/traces?min_ms=NaN",
+		"/v1/debug/traces?min_ms=%2BInf",
+		"/v1/debug/traces?limit=x",
+		"/v1/debug/traces?outcome=bogus",
+	} {
 		resp, _ := getTraces(t, h, u)
 		if resp.StatusCode != http.StatusBadRequest {
 			t.Fatalf("%s: status = %d, want 400", u, resp.StatusCode)

@@ -115,6 +115,14 @@ type Options struct {
 	// compactions. Zero selects 262144; negative disables automatic
 	// snapshots (Close still writes one).
 	SnapshotEvery int
+	// Retain keeps superseded segments on disk after a snapshot rotation
+	// instead of deleting them, and flushes any still-buffered records into
+	// the old segment first, so the directory holds the complete record
+	// history from segment 1 onward. Offline auditing (ReadDir) replays
+	// that history against the oracle; serving recovery still reads only
+	// snapshot + active segment. Retained segments grow the directory
+	// unboundedly — the operator prunes or disables as policy dictates.
+	Retain bool
 	// Metrics, when non-nil, registers the wal instrument families
 	// (appends, bytes, fsyncs, flush latency, snapshots) on the registry.
 	Metrics *obs.Registry
@@ -243,13 +251,18 @@ func Open(dir string, opts Options) (*Log, Recovery, error) {
 
 	// Remove segments stranded by interrupted rotations: anything below the
 	// snapshot's segment is superseded, anything above it never received a
-	// record (rotation writes the snapshot before switching appends).
+	// record (rotation writes the snapshot before switching appends). With
+	// Retain the superseded segments below are the audit history and stay;
+	// only the never-used ones above are stale.
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, Recovery{}, fmt.Errorf("wal: reading %s: %w", dir, err)
 	}
 	for _, e := range entries {
 		if seq, ok := segmentSeq(e.Name()); ok && seq != activeSeq {
+			if opts.Retain && seq < activeSeq {
+				continue
+			}
 			_ = os.Remove(filepath.Join(dir, e.Name()))
 		}
 	}
@@ -544,6 +557,10 @@ func (l *Log) flusher(every time.Duration) {
 // contract the payload already reflects every appended mutation (the
 // caller quiesces writers first). On error the old segment remains the
 // durable truth.
+//
+// With Options.Retain the old segment is sealed instead of deleted:
+// buffered records are written into it first (so the retained history is
+// complete) and the file stays on disk for offline audit replay.
 func (l *Log) Snapshot(payload []byte) error {
 	l.flushMu.Lock()
 	defer l.flushMu.Unlock()
@@ -558,6 +575,28 @@ func (l *Log) Snapshot(payload []byte) error {
 		return err
 	}
 	seq := l.seq
+	if l.opts.Retain && len(l.buf) > 0 {
+		// Seal the retained history: whatever is still buffered belongs to
+		// the old segment and must reach it before the rotation abandons
+		// that file. Writers are quiesced (caller contract) and flushMu is
+		// held, so stealing the buffer here cannot race a flush.
+		buf, f := l.buf, l.f
+		l.buf = l.spare[:0]
+		l.spare = nil
+		l.pending = 0
+		l.mu.Unlock()
+		_, werr := f.Write(buf)
+		l.mu.Lock()
+		l.spare = buf[:0]
+		if werr != nil {
+			err := fmt.Errorf("wal: sealing retained segment: %w", werr)
+			if l.err == nil {
+				l.err = err
+			}
+			l.mu.Unlock()
+			return err
+		}
+	}
 	l.mu.Unlock()
 
 	newSeq := seq + 1
@@ -580,7 +619,9 @@ func (l *Log) Snapshot(payload []byte) error {
 	l.dirty = false
 	l.mu.Unlock()
 	old.Close()
-	_ = os.Remove(segmentPath(l.dir, seq))
+	if !l.opts.Retain {
+		_ = os.Remove(segmentPath(l.dir, seq))
+	}
 	if m := l.metrics; m != nil {
 		m.snapshots.Inc()
 		m.snapBytes.Add(uint64(len(payload)))
