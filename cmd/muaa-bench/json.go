@@ -51,6 +51,10 @@ type benchPoint struct {
 	GreedyMs       float64 `json:"greedy_ms,omitempty"`
 	ReconMs        float64 `json:"recon_ms,omitempty"`
 	EmpiricalRatio float64 `json:"empirical_ratio,omitempty"`
+
+	// The pacing controller sweep (-exp pacing) additionally fills these.
+	FinalBoost float64 `json:"final_boost,omitempty"`
+	Epochs     int64   `json:"epochs,omitempty"`
 }
 
 func newBenchDoc(exp string, scale float64, seed int64) *benchDoc {

@@ -32,6 +32,13 @@
 //
 //	muaa-bench -exp audit -scale 0.05 -json BENCH_audit.json
 //
+// `-exp pacing` replays the deterministic diurnal pacing scenario at three
+// stream sizes, controller-off vs controller-on, and reports each arm's
+// empirical competitive ratio (the committed BENCH_pacing.json pins the
+// pair per commit):
+//
+//	muaa-bench -exp pacing -scale 0.05 -json BENCH_pacing.json
+//
 // The perf experiments accept `-json out.json` to additionally write the
 // results in the stable muaa-bench/1 schema (ns/op, latency quantiles,
 // config, git SHA, timestamp) — the format the committed BENCH_*.json
@@ -84,9 +91,9 @@ func run(w io.Writer, exp string, scale float64, csv, chart, md bool, workers, r
 		return fmt.Errorf("scale %g outside (0,1]", scale)
 	}
 	isBroker, isWAL := strings.EqualFold(exp, "broker"), strings.EqualFold(exp, "wal")
-	isAudit := strings.EqualFold(exp, "audit")
-	if jsonOut != "" && !isBroker && !isWAL && !isAudit {
-		return fmt.Errorf("-json is supported for -exp broker, -exp wal and -exp audit only")
+	isAudit, isPacing := strings.EqualFold(exp, "audit"), strings.EqualFold(exp, "pacing")
+	if jsonOut != "" && !isBroker && !isWAL && !isAudit && !isPacing {
+		return fmt.Errorf("-json is supported for -exp broker, -exp wal, -exp audit and -exp pacing only")
 	}
 	st := experiment.DefaultSettings()
 	st.Seed = seed
@@ -111,7 +118,7 @@ func run(w io.Writer, exp string, scale float64, csv, chart, md bool, workers, r
 	case md:
 		format = experiment.MarkdownFormat
 	}
-	if isBroker || isWAL || isAudit {
+	if isBroker || isWAL || isAudit || isPacing {
 		if chart || md {
 			return fmt.Errorf("-exp %s supports text and -csv output only", strings.ToLower(exp))
 		}
@@ -125,6 +132,8 @@ func run(w io.Writer, exp string, scale float64, csv, chart, md bool, workers, r
 			err = runBrokerScaling(w, scale, workers, seed, csv, doc)
 		case isWAL:
 			err = runWALOverhead(w, scale, seed, csv, repeats, doc)
+		case isPacing:
+			err = runPacing(w, scale, seed, csv, doc)
 		default:
 			err = runAuditReplay(w, scale, seed, csv, workers, doc)
 		}

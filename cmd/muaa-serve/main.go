@@ -83,6 +83,7 @@ import (
 	"muaa/internal/broker"
 	"muaa/internal/buildinfo"
 	"muaa/internal/obs"
+	"muaa/internal/pacing"
 	"muaa/internal/trace"
 	"muaa/internal/wal"
 	"muaa/internal/workload"
@@ -102,6 +103,7 @@ type serverOpts struct {
 	auditWindow   int           // live-audit arrival window; <= 0 disables auditing
 	auditEvery    time.Duration // live-audit recompute cadence; 0 = broker default
 	walRetain     bool          // keep superseded WAL segments for full-history audits
+	controller    string        // pacing-controller spec ("" = off; see pacing.ParseConfig)
 }
 
 // app is the serving process: an HTTP server whose broker may still be
@@ -162,6 +164,16 @@ func newServer(o serverOpts, logger *slog.Logger) (*app, error) {
 		},
 		AuditWindow: o.auditWindow,
 		AuditEvery:  o.auditEvery,
+	}
+	if o.controller != "" {
+		cc, err := pacing.ParseConfig(o.controller)
+		if err != nil {
+			return nil, err
+		}
+		if o.auditWindow <= 0 {
+			return nil, errors.New("muaa-serve: -pacing-controller needs -audit-window > 0 for its feedback signal")
+		}
+		a.cfg.Controller = &cc
 	}
 	if o.dataDir == "" {
 		if err := a.boot(); err != nil {
@@ -388,6 +400,7 @@ func main() {
 		auditWin  = flag.Int("audit-window", 4096, "live quality audit: sliding window of recent arrivals (0 disables auditing)")
 		auditEv   = flag.Duration("audit-every", 15*time.Second, "live quality audit recompute cadence")
 		walRetain = flag.Bool("wal-retain", true, "keep superseded WAL segments after compaction so muaa-audit can replay the full history")
+		pacingCtl = flag.String("pacing-controller", "", "adaptive pacing controller: \"on\" for defaults or \"k=v,...\" overrides (target, gain, deadband, pace-gain, pace-bias, boost-min, boost-max, tighten-at, loosen-at, rate); empty disables")
 		logLevel  = flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
 		version   = flag.Bool("version", false, "print version and exit")
 	)
@@ -415,6 +428,7 @@ func main() {
 		walFlushEvery: *walFlush, snapshotEvery: *snapEvery,
 		traceCapacity: *traceCap, traceSlow: *traceSlow,
 		auditWindow: *auditWin, auditEvery: *auditEv, walRetain: *walRetain,
+		controller: *pacingCtl,
 	}, logger)
 	if err != nil {
 		fatal("bad_config", err)

@@ -136,11 +136,31 @@ func (b *Broker) auditLoop() {
 		case <-s.stopCh:
 			return
 		case <-t.C:
-			if _, err := b.AuditNow(); err != nil {
+			if err := b.auditTick(); err != nil {
 				b.logger.Error("broker_audit_failed", "error", err.Error())
 			}
 		}
 	}
+}
+
+// auditTick is one background audit cycle: recompute the window report, then
+// — when the pacing controller is enabled — apply one controller epoch on
+// the fresh report. Only the ticker (and explicit PacingStep callers) ever
+// step the controller; an externally triggered refresh (AuditNow, e.g.
+// /v1/debug/audit?refresh=true) recomputes the report only, so debug
+// traffic can race the ticker without accelerating or reordering control
+// decisions — recomputes serialize on computeMu, controller application on
+// the full shard quiescence applyDecision takes.
+func (b *Broker) auditTick() error {
+	if _, err := b.AuditNow(); err != nil {
+		return err
+	}
+	if b.controller != nil {
+		if _, err := b.PacingStep(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // AuditReport returns the latest live window report, or nil before the
@@ -353,12 +373,16 @@ func ReplayAudit(dir string, cfg AuditConfig) (audit.Report, error) {
 			return audit.Report{}, fmt.Errorf("broker: audit record %d of %d: %w", i+1, len(v.Records), err)
 		}
 		switch d.Kind {
-		case RecordRegister:
+		case RecordRegister, RecordRegisterV2:
 			byID[d.Campaign] = len(in.Campaigns)
 			in.Campaigns = append(in.Campaigns, audit.Campaign{
 				ID: d.Campaign, Loc: d.Loc, Radius: d.Radius, Tags: d.Tags,
 				Budget: d.Budget,
 			})
+		case RecordController:
+			// Controller epochs shape which offers were committed, but the
+			// committed offers themselves are already in the arrival records;
+			// the oracle problem doesn't model the actuators.
 		case RecordTopUp:
 			ci, ok := byID[d.Campaign]
 			if !ok {

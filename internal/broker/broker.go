@@ -15,6 +15,7 @@ import (
 	"muaa/internal/geo"
 	"muaa/internal/model"
 	"muaa/internal/obs"
+	"muaa/internal/pacing"
 	"muaa/internal/trace"
 	"muaa/internal/wal"
 )
@@ -89,6 +90,14 @@ type Config struct {
 	// AuditEvery is the interval between window recomputations; zero
 	// selects 15s. Ignored when AuditWindow is 0.
 	AuditEvery time.Duration
+	// Controller, when non-nil, enables the adaptive pacing controller: every
+	// audit tick also runs one pacing.Decide step over the fresh window
+	// report, steering a multiplicative boost on the admission threshold and
+	// per-campaign spend-rate caps (see internal/pacing). Requires
+	// AuditWindow > 0 for the feedback signal in live serving; PacingStep can
+	// also be driven manually (simulations, tests). Nil disables the
+	// controller entirely — the hot path then pays one pointer check.
+	Controller *pacing.Config
 }
 
 // Campaign is the live state of one vendor's campaign.
@@ -100,6 +109,16 @@ type Campaign struct {
 	Spent  float64
 	Tags   []float64
 	Paused bool
+	// Guaranteed marks an AdCell-style guaranteed-delivery campaign: Floor is
+	// the fraction of budget that must be spent by end-of-day (pro-rated by
+	// arrival hour — a behind-floor campaign gets relaxed admission and is
+	// never throttled), Penalty the per-unit shortfall penalty the gauges
+	// report. All zero for best-effort campaigns.
+	Guaranteed bool
+	Floor      float64
+	Penalty    float64
+	// Rate is the pacing controller's current spend-rate cap (1 = uncapped).
+	Rate float64
 }
 
 // Remaining returns the unspent budget.
@@ -133,6 +152,12 @@ type Stats struct {
 	GammaMin      float64
 	GammaMax      float64
 	G             float64
+	// PhiBoost is the pacing controller's multiplicative boost on the
+	// admission threshold (1 on a controller-less broker or before the first
+	// epoch); PacingEpoch counts controller steps applied. Both are recovered
+	// state: a restart reproduces them bit-exactly.
+	PhiBoost    float64
+	PacingEpoch int64
 }
 
 // Broker is safe for concurrent use: arrivals take only the shard locks
@@ -186,6 +211,15 @@ type Broker struct {
 	spent    atomicFloat
 	gammaMin atomicFloat // +Inf until the first efficiency is observed
 	gammaMax atomicFloat // 0 until the first efficiency is observed
+
+	// controller is nil unless Config.Controller was set; like metrics it is
+	// read-only after New. phiBoost (1 when inert) multiplies the admission
+	// threshold; pacingEpoch counts applied controller steps. Both are
+	// written only under full shard quiescence and WAL-logged, so recovery is
+	// bit-exact.
+	controller  *pacing.Config
+	phiBoost    atomicFloat
+	pacingEpoch atomic.Int64
 }
 
 // New creates a broker. With cfg.DataDir set it is durable: state is
@@ -260,6 +294,14 @@ func newMemory(cfg Config) (*Broker, error) {
 	empty := make([]*campaign, 0)
 	b.dir.Store(&empty)
 	b.gammaMin.Store(math.Inf(1))
+	b.phiBoost.Store(1)
+	if cfg.Controller != nil {
+		if err := cfg.Controller.Validate(); err != nil {
+			return nil, err
+		}
+		cc := *cfg.Controller
+		b.controller = &cc
+	}
 	if cfg.AuditWindow > 0 {
 		b.audit = newAuditState(cfg.AuditWindow, cfg.AuditEvery)
 	}
@@ -290,13 +332,48 @@ func defaultShards() int {
 	return n
 }
 
-// RegisterCampaign adds a vendor campaign and returns its ID.
+// CampaignSpec is the full registration record for a campaign: geometry,
+// budget and tags as before, plus the AdCell-style delivery class. The zero
+// class (Guaranteed false, Floor/Penalty 0) is a best-effort campaign —
+// exactly what RegisterCampaign registers.
+type CampaignSpec struct {
+	Loc    geo.Point
+	Radius float64
+	Budget float64
+	Tags   []float64
+	// Guaranteed marks a guaranteed-delivery campaign. Floor ∈ [0,1] is the
+	// fraction of budget that must be spent by end-of-day, pro-rated by
+	// arrival hour: while behind it, the campaign's admission threshold is
+	// relaxed and the pacing controller never throttles it. Penalty ≥ 0 is
+	// the per-unit shortfall penalty reported by muaa_pacing_penalty_exposure
+	// (accounting, not admission). Floor and Penalty require Guaranteed.
+	Guaranteed bool
+	Floor      float64
+	Penalty    float64
+}
+
+// RegisterCampaign adds a best-effort vendor campaign and returns its ID.
 func (b *Broker) RegisterCampaign(loc geo.Point, radius, budget float64, tags []float64) (int32, error) {
-	if radius < 0 || math.IsNaN(radius) {
-		return 0, fmt.Errorf("broker: campaign radius %g", radius)
+	return b.RegisterCampaignSpec(CampaignSpec{Loc: loc, Radius: radius, Budget: budget, Tags: tags})
+}
+
+// RegisterCampaignSpec adds a campaign with its full spec (delivery class
+// included) and returns its ID.
+func (b *Broker) RegisterCampaignSpec(spec CampaignSpec) (int32, error) {
+	if spec.Radius < 0 || math.IsNaN(spec.Radius) {
+		return 0, fmt.Errorf("broker: campaign radius %g", spec.Radius)
 	}
-	if budget < 0 || math.IsNaN(budget) {
-		return 0, fmt.Errorf("broker: campaign budget %g", budget)
+	if spec.Budget < 0 || math.IsNaN(spec.Budget) {
+		return 0, fmt.Errorf("broker: campaign budget %g", spec.Budget)
+	}
+	if spec.Floor < 0 || spec.Floor > 1 || math.IsNaN(spec.Floor) {
+		return 0, fmt.Errorf("broker: campaign delivery floor %g outside [0, 1]", spec.Floor)
+	}
+	if spec.Penalty < 0 || math.IsNaN(spec.Penalty) {
+		return 0, fmt.Errorf("broker: campaign penalty %g must be ≥ 0", spec.Penalty)
+	}
+	if !spec.Guaranteed && (spec.Floor != 0 || spec.Penalty != 0) {
+		return 0, fmt.Errorf("broker: floor/penalty require a guaranteed campaign")
 	}
 	b.regMu.Lock()
 	defer b.regMu.Unlock()
@@ -307,14 +384,19 @@ func (b *Broker) RegisterCampaign(loc geo.Point, radius, budget float64, tags []
 		// campaign can only start after publication, so its record is
 		// guaranteed to land after this one and replay never sees a
 		// campaign it hasn't registered.
-		b.logRegister(id, loc, radius, budget, tags)
+		b.logRegister(id, spec)
 	}
 	c := &campaign{
-		id: id, loc: loc, radius: radius,
-		tags:  append([]float64(nil), tags...),
-		shard: b.stripes.Of(loc),
+		id: id, loc: spec.Loc, radius: spec.Radius,
+		tags:       append([]float64(nil), spec.Tags...),
+		shard:      b.stripes.Of(spec.Loc),
+		guaranteed: spec.Guaranteed,
+		floor:      spec.Floor,
+		penalty:    spec.Penalty,
 	}
-	c.budget.Store(budget)
+	c.budget.Store(spec.Budget)
+	c.rate.Store(1)
+	c.allowance.Store(math.Inf(1))
 	// Publish the directory entry before the grid entry: arrivals discover
 	// campaigns only through a shard's grid (under its lock), so a campaign
 	// visible in a grid is always resolvable, while a directory entry not
@@ -323,10 +405,10 @@ func (b *Broker) RegisterCampaign(loc geo.Point, radius, budget float64, tags []
 	copy(next, old)
 	next[id] = c
 	b.dir.Store(&next)
-	b.maxRadius.Max(radius)
+	b.maxRadius.Max(spec.Radius)
 	sh := &b.shards[c.shard]
 	sh.mu.Lock()
-	sh.grid.InsertWithRadius(id, loc, radius)
+	sh.grid.InsertWithRadius(id, spec.Loc, spec.Radius)
 	sh.mu.Unlock()
 	return id, nil
 }
@@ -596,6 +678,13 @@ func (b *Broker) arrive(a Arrival, t *trace.Trace) ([]Offer, error) {
 	var tally struct {
 		offered, paused, exhausted, mismatch, lowScore, unaffordable, belowThreshold uint64
 	}
+	// The controller's boost is loaded once per arrival so every candidate in
+	// the scan sees the same threshold scaling (PacingStep only swaps it
+	// under full shard quiescence, which this arrival's held locks exclude).
+	boost := 1.0
+	if b.controller != nil {
+		boost = b.phiBoost.Load()
+	}
 	var cands []candidate
 	for _, id := range ids {
 		c := dir[id]
@@ -629,12 +718,30 @@ func (b *Broker) arrive(a Arrival, t *trace.Trace) ([]Offer, error) {
 		base := a.ViewProb * s / d
 		delta := spent / budget
 		phi := b.threshold(delta)
+		if boost != 1 {
+			phi *= boost
+		}
+		if c.guaranteed && c.floor > 0 && spent < c.floor*budget*(a.Hour/24) {
+			// Guaranteed delivery behind the pro-rated floor: relax admission
+			// so the campaign catches up before the penalty accrues. The
+			// relief factor keeps φ positive — the threshold is softened, not
+			// suspended.
+			phi *= guaranteeRelief
+		}
 		remaining := budget - spent
 		if b.cfg.Pacing > 0 {
 			// Daily pacing cap: spend so far plus this ad must stay within
 			// the hour's pro-rated allowance.
 			allowance := b.cfg.Pacing * budget * a.Hour / 24
 			if paced := allowance - spent; paced < remaining {
+				remaining = paced
+			}
+		}
+		if b.controller != nil {
+			// Controller epoch cap: spend may not pass the allowance the last
+			// PacingStep granted (+Inf when uncapped, so this is a no-op for
+			// unthrottled campaigns).
+			if paced := c.allowance.Load() - spent; paced < remaining {
 				remaining = paced
 			}
 		}
@@ -800,6 +907,11 @@ func (b *Broker) observeEfficiency(eff float64) {
 	b.gammaMax.Max(eff)
 }
 
+// guaranteeRelief scales the admission threshold for a guaranteed campaign
+// that is behind its pro-rated delivery floor: φ is quartered, not zeroed, so
+// catching up still prefers efficient offers.
+const guaranteeRelief = 0.25
+
 // threshold evaluates the adaptive admission threshold at used-budget ratio
 // delta, with g either configured or derived from the observed γ bounds.
 func (b *Broker) threshold(delta float64) float64 {
@@ -844,5 +956,7 @@ func (b *Broker) Stats() Stats {
 		GammaMin:      gmin,
 		GammaMax:      gmax,
 		G:             g,
+		PhiBoost:      b.phiBoost.Load(),
+		PacingEpoch:   b.pacingEpoch.Load(),
 	}
 }

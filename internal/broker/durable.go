@@ -10,7 +10,6 @@ import (
 	"sync/atomic"
 	"time"
 
-	"muaa/internal/geo"
 	"muaa/internal/obs"
 	"muaa/internal/wal"
 )
@@ -19,16 +18,27 @@ import (
 // broker mutation, encoded little-endian with floats as IEEE-754 bits so
 // replay rebuilds bit-identical state.
 const (
-	recRegister  byte = 1 // id, loc, radius, budget, tags
-	recTopUp     byte = 2 // id, amount
-	recPause     byte = 3 // id, paused flag
-	recArrival   byte = 4 // γ bound bits, committed offers (campaign, ad type, cost, utility)
-	recArrivalV2 byte = 5 // recArrival plus the customer's own features (loc, capacity, viewProb, interests, hour)
+	recRegister   byte = 1 // id, loc, radius, budget, tags
+	recTopUp      byte = 2 // id, amount
+	recPause      byte = 3 // id, paused flag
+	recArrival    byte = 4 // γ bound bits, committed offers (campaign, ad type, cost, utility)
+	recArrivalV2  byte = 5 // recArrival plus the customer's own features (loc, capacity, viewProb, interests, hour)
+	recRegisterV2 byte = 6 // recRegister plus the delivery class (guaranteed flag, floor, penalty)
+	recController byte = 7 // versioned controller epoch: boost bits + per-campaign rate/allowance bits
 )
 
-// snapshotVersion guards the compacted-state encoding; bump on any layout
-// change so an old binary fails loudly instead of misreading.
-const snapshotVersion byte = 1
+// controllerRecVersion is the internal version byte of recController
+// payloads; bump on any layout change so old binaries fail loudly.
+const controllerRecVersion byte = 1
+
+// Snapshot payload versions. V2 adds controller state (boost bits, epoch)
+// and per-campaign class + rate/allowance bits; V1 payloads are still
+// decoded, with controller state defaulting to inert. New snapshots are
+// always written as V2.
+const (
+	snapshotV1 byte = 1
+	snapshotV2 byte = 2
+)
 
 // durable is the broker's durability sidecar: the open log, the snapshot
 // cadence bookkeeping and the background compaction goroutine. nil on an
@@ -249,21 +259,51 @@ func appendF64(buf []byte, v float64) []byte {
 	return binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
 }
 
-// logRegister records a registration. Called under regMu before the
-// directory entry is published, so any later mutation of this campaign —
-// which can only start after publication — appends after it.
-func (b *Broker) logRegister(id int32, loc geo.Point, radius, budget float64, tags []float64) {
+// logRegister records a registration (always as the v2 record, which carries
+// the delivery class). Called under regMu before the directory entry is
+// published, so any later mutation of this campaign — which can only start
+// after publication — appends after it.
+func (b *Broker) logRegister(id int32, spec CampaignSpec) {
 	bp := recPool.Get().(*[]byte)
 	buf := (*bp)[:0]
-	buf = append(buf, recRegister)
+	buf = append(buf, recRegisterV2)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(id))
-	buf = appendF64(buf, loc.X)
-	buf = appendF64(buf, loc.Y)
-	buf = appendF64(buf, radius)
-	buf = appendF64(buf, budget)
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(tags)))
-	for _, t := range tags {
+	buf = appendF64(buf, spec.Loc.X)
+	buf = appendF64(buf, spec.Loc.Y)
+	buf = appendF64(buf, spec.Radius)
+	buf = appendF64(buf, spec.Budget)
+	var class byte
+	if spec.Guaranteed {
+		class = 1
+	}
+	buf = append(buf, class)
+	buf = appendF64(buf, spec.Floor)
+	buf = appendF64(buf, spec.Penalty)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(spec.Tags)))
+	for _, t := range spec.Tags {
 		buf = appendF64(buf, t)
+	}
+	*bp = buf
+	b.walAppend(bp)
+}
+
+// logController records one applied controller epoch: the epoch counter, the
+// boost bits, and every campaign's applied rate/allowance bits — read back
+// from the atomics so the record carries exactly what memory holds. Called
+// with every mutator quiesced (applyDecision holds regMu plus all shard
+// locks), so replay storing these bits reproduces the post-epoch state
+// bit-exactly without re-running the control law.
+func (b *Broker) logController(epoch int64, applied []*campaign) {
+	bp := recPool.Get().(*[]byte)
+	buf := (*bp)[:0]
+	buf = append(buf, recController, controllerRecVersion)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(epoch))
+	buf = binary.LittleEndian.AppendUint64(buf, b.phiBoost.bits.Load())
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(applied)))
+	for _, c := range applied {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(c.id))
+		buf = binary.LittleEndian.AppendUint64(buf, c.rate.bits.Load())
+		buf = binary.LittleEndian.AppendUint64(buf, c.allowance.bits.Load())
 	}
 	*bp = buf
 	b.walAppend(bp)
@@ -399,13 +439,31 @@ func (b *Broker) applyRecord(rec []byte) error {
 		return err
 	}
 	switch d.Kind {
-	case RecordRegister:
-		got, err := b.RegisterCampaign(d.Loc, d.Radius, d.Budget, d.Tags)
+	case RecordRegister, RecordRegisterV2:
+		got, err := b.RegisterCampaignSpec(CampaignSpec{
+			Loc: d.Loc, Radius: d.Radius, Budget: d.Budget, Tags: d.Tags,
+			Guaranteed: d.Guaranteed, Floor: d.Floor, Penalty: d.Penalty,
+		})
 		if err != nil {
 			return err
 		}
 		if got != d.Campaign {
 			return fmt.Errorf("replayed registration got id %d, logged %d", got, d.Campaign)
+		}
+		return nil
+	case RecordController:
+		// Stored bits, never recomputed: replay must not depend on the
+		// control law, only on what the original broker applied.
+		b.pacingEpoch.Store(d.Epoch)
+		b.phiBoost.bits.Store(d.BoostBits)
+		for i := range d.Controller {
+			e := &d.Controller[i]
+			c, err := b.campaign(e.Campaign)
+			if err != nil {
+				return err
+			}
+			c.rate.bits.Store(e.RateBits)
+			c.allowance.bits.Store(e.AllowanceBits)
 		}
 		return nil
 	case RecordTopUp:
@@ -440,14 +498,16 @@ func (b *Broker) applyRecord(rec []byte) error {
 // stable and the encoding is a consistent cut.
 func (b *Broker) encodeSnapshot() []byte {
 	dir := *b.dir.Load()
-	buf := make([]byte, 0, 64+len(dir)*128)
-	buf = append(buf, snapshotVersion)
+	buf := make([]byte, 0, 64+len(dir)*160)
+	buf = append(buf, snapshotV2)
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(b.arrivals.Load()))
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(b.offers.Load()))
 	buf = binary.LittleEndian.AppendUint64(buf, b.utility.bits.Load())
 	buf = binary.LittleEndian.AppendUint64(buf, b.spent.bits.Load())
 	buf = binary.LittleEndian.AppendUint64(buf, b.gammaMin.bits.Load())
 	buf = binary.LittleEndian.AppendUint64(buf, b.gammaMax.bits.Load())
+	buf = binary.LittleEndian.AppendUint64(buf, b.phiBoost.bits.Load())
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(b.pacingEpoch.Load()))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(dir)))
 	for _, c := range dir {
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(c.id))
@@ -461,6 +521,15 @@ func (b *Broker) encodeSnapshot() []byte {
 			paused = 1
 		}
 		buf = append(buf, paused)
+		var class byte
+		if c.guaranteed {
+			class = 1
+		}
+		buf = append(buf, class)
+		buf = appendF64(buf, c.floor)
+		buf = appendF64(buf, c.penalty)
+		buf = binary.LittleEndian.AppendUint64(buf, c.rate.bits.Load())
+		buf = binary.LittleEndian.AppendUint64(buf, c.allowance.bits.Load())
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(c.tags)))
 		for _, t := range c.tags {
 			buf = appendF64(buf, t)
@@ -481,7 +550,10 @@ func (b *Broker) applySnapshot(data []byte) error {
 	}
 	for i := range s.Campaigns {
 		sc := &s.Campaigns[i]
-		got, err := b.RegisterCampaign(sc.Loc, sc.Radius, sc.Budget(), sc.Tags)
+		got, err := b.RegisterCampaignSpec(CampaignSpec{
+			Loc: sc.Loc, Radius: sc.Radius, Budget: sc.Budget(), Tags: sc.Tags,
+			Guaranteed: sc.Guaranteed, Floor: sc.Floor, Penalty: sc.Penalty,
+		})
 		if err != nil {
 			return err
 		}
@@ -491,6 +563,8 @@ func (b *Broker) applySnapshot(data []byte) error {
 		c := (*b.dir.Load())[got]
 		c.spent.bits.Store(sc.SpentBits)
 		c.paused.Store(sc.Paused)
+		c.rate.bits.Store(sc.RateBits)
+		c.allowance.bits.Store(sc.AllowanceBits)
 	}
 	b.arrivals.Store(s.Arrivals)
 	b.offers.Store(s.Offers)
@@ -498,5 +572,7 @@ func (b *Broker) applySnapshot(data []byte) error {
 	b.spent.bits.Store(s.SpentBits)
 	b.gammaMin.bits.Store(s.GammaMinBits)
 	b.gammaMax.bits.Store(s.GammaMaxBits)
+	b.phiBoost.bits.Store(s.PhiBoostBits)
+	b.pacingEpoch.Store(s.PacingEpoch)
 	return nil
 }

@@ -126,6 +126,11 @@ type campaignRequest struct {
 	Radius float64   `json:"radius"`
 	Budget float64   `json:"budget"`
 	Tags   []float64 `json:"tags"`
+	// Delivery class (optional; defaults to best-effort). floor and penalty
+	// require guaranteed: true — see Broker.RegisterCampaignSpec.
+	Guaranteed bool    `json:"guaranteed,omitempty"`
+	Floor      float64 `json:"floor,omitempty"`
+	Penalty    float64 `json:"penalty,omitempty"`
 }
 
 type campaignResponse struct {
@@ -133,14 +138,37 @@ type campaignResponse struct {
 }
 
 type campaignStateResponse struct {
-	ID        int32     `json:"id"`
-	Loc       pointDTO  `json:"loc"`
-	Radius    float64   `json:"radius"`
-	Budget    float64   `json:"budget"`
-	Spent     float64   `json:"spent"`
-	Remaining float64   `json:"remaining"`
-	Paused    bool      `json:"paused"`
-	Tags      []float64 `json:"tags,omitempty"`
+	ID         int32     `json:"id"`
+	Loc        pointDTO  `json:"loc"`
+	Radius     float64   `json:"radius"`
+	Budget     float64   `json:"budget"`
+	Spent      float64   `json:"spent"`
+	Remaining  float64   `json:"remaining"`
+	Paused     bool      `json:"paused"`
+	Tags       []float64 `json:"tags,omitempty"`
+	Guaranteed bool      `json:"guaranteed,omitempty"`
+	Floor      float64   `json:"floor,omitempty"`
+	Penalty    float64   `json:"penalty,omitempty"`
+	// Rate is the pacing controller's current spend-rate cap; omitted (1)
+	// when uncapped.
+	Rate float64 `json:"rate,omitempty"`
+}
+
+// stateResponse converts a campaign snapshot to its wire form.
+func stateResponse(c Campaign, withTags bool) campaignStateResponse {
+	out := campaignStateResponse{
+		ID: c.ID, Loc: pointDTO{c.Loc.X, c.Loc.Y}, Radius: c.Radius,
+		Budget: c.Budget, Spent: c.Spent, Remaining: c.Remaining(),
+		Paused: c.Paused, Guaranteed: c.Guaranteed, Floor: c.Floor,
+		Penalty: c.Penalty,
+	}
+	if withTags {
+		out.Tags = c.Tags
+	}
+	if c.Rate != 1 {
+		out.Rate = c.Rate
+	}
+	return out
 }
 
 type topUpRequest struct {
@@ -182,7 +210,11 @@ func (a *API) postCampaign(w http.ResponseWriter, r *http.Request) {
 	if !decode(w, r, &req) {
 		return
 	}
-	id, err := a.broker.RegisterCampaign(geo.Point{X: req.Loc.X, Y: req.Loc.Y}, req.Radius, req.Budget, req.Tags)
+	id, err := a.broker.RegisterCampaignSpec(CampaignSpec{
+		Loc: geo.Point{X: req.Loc.X, Y: req.Loc.Y}, Radius: req.Radius,
+		Budget: req.Budget, Tags: req.Tags,
+		Guaranteed: req.Guaranteed, Floor: req.Floor, Penalty: req.Penalty,
+	})
 	if err != nil {
 		WriteError(w, http.StatusBadRequest, "bad_request", err.Error())
 		return
@@ -242,11 +274,7 @@ func (a *API) listCampaigns(w http.ResponseWriter, r *http.Request) {
 	campaigns := a.broker.Campaigns()
 	out := make([]campaignStateResponse, 0, len(campaigns))
 	for _, c := range campaigns {
-		out = append(out, campaignStateResponse{
-			ID: c.ID, Loc: pointDTO{c.Loc.X, c.Loc.Y}, Radius: c.Radius,
-			Budget: c.Budget, Spent: c.Spent, Remaining: c.Remaining(),
-			Paused: c.Paused,
-		})
+		out = append(out, stateResponse(c, false))
 	}
 	writeJSON(w, http.StatusOK, out)
 }
@@ -262,11 +290,7 @@ func (a *API) getCampaign(w http.ResponseWriter, r *http.Request) {
 		WriteError(w, status, code, err.Error())
 		return
 	}
-	writeJSON(w, http.StatusOK, campaignStateResponse{
-		ID: c.ID, Loc: pointDTO{c.Loc.X, c.Loc.Y}, Radius: c.Radius,
-		Budget: c.Budget, Spent: c.Spent, Remaining: c.Remaining(),
-		Paused: c.Paused, Tags: c.Tags,
-	})
+	writeJSON(w, http.StatusOK, stateResponse(c, true))
 }
 
 func (a *API) postArrival(w http.ResponseWriter, r *http.Request) {

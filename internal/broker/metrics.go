@@ -175,5 +175,8 @@ func newBrokerMetrics(reg *obs.Registry, b *Broker) *brokerMetrics {
 	if b.audit != nil {
 		registerAuditMetrics(reg, b)
 	}
+	if b.controller != nil {
+		registerPacingMetrics(reg, b)
+	}
 	return m
 }

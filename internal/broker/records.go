@@ -19,11 +19,13 @@ type RecordKind byte
 
 // The wire record types (see the rec* constants in durable.go).
 const (
-	RecordRegister  RecordKind = RecordKind(recRegister)
-	RecordTopUp     RecordKind = RecordKind(recTopUp)
-	RecordPause     RecordKind = RecordKind(recPause)
-	RecordArrival   RecordKind = RecordKind(recArrival)
-	RecordArrivalV2 RecordKind = RecordKind(recArrivalV2)
+	RecordRegister   RecordKind = RecordKind(recRegister)
+	RecordTopUp      RecordKind = RecordKind(recTopUp)
+	RecordPause      RecordKind = RecordKind(recPause)
+	RecordArrival    RecordKind = RecordKind(recArrival)
+	RecordArrivalV2  RecordKind = RecordKind(recArrivalV2)
+	RecordRegisterV2 RecordKind = RecordKind(recRegisterV2)
+	RecordController RecordKind = RecordKind(recController)
 )
 
 // String names the record kind for reports and errors.
@@ -39,6 +41,10 @@ func (k RecordKind) String() string {
 		return "arrival"
 	case RecordArrivalV2:
 		return "arrival_v2"
+	case RecordRegisterV2:
+		return "register_v2"
+	case RecordController:
+		return "controller"
 	}
 	return fmt.Sprintf("RecordKind(%d)", byte(k))
 }
@@ -59,11 +65,32 @@ type DecodedRecord struct {
 	Amount   float64
 	Paused   bool
 
+	// The delivery class a RecordRegisterV2 carries (zero for v1 records:
+	// every pre-class campaign is best-effort).
+	Guaranteed bool
+	Floor      float64
+	Penalty    float64
+
 	GammaMin    float64
 	GammaMax    float64
 	HasCustomer bool
 	Customer    Arrival
 	Offers      []Offer
+
+	// RecordController payload: the epoch counter, the threshold-boost bits,
+	// and the applied per-campaign rate/allowance bits. Bits, not floats —
+	// replay stores them verbatim so recovery never re-runs the control law.
+	Epoch      int64
+	BoostBits  uint64
+	Controller []ControllerEntry
+}
+
+// ControllerEntry is one campaign's applied actuator bits inside a
+// RecordController payload.
+type ControllerEntry struct {
+	Campaign      int32
+	RateBits      uint64
+	AllowanceBits uint64
 }
 
 // DecodeRecord decodes one WAL record payload. It never panics on any
@@ -75,11 +102,16 @@ func DecodeRecord(rec []byte) (DecodedRecord, error) {
 	d := DecodedRecord{Kind: RecordKind(rec[0])}
 	r := &recReader{data: rec[1:]}
 	switch rec[0] {
-	case recRegister:
+	case recRegister, recRegisterV2:
 		d.Campaign = r.i32()
 		d.Loc = geo.Point{X: r.f64(), Y: r.f64()}
 		d.Radius = r.f64()
 		d.Budget = r.f64()
+		if rec[0] == recRegisterV2 {
+			d.Guaranteed = r.u8() != 0
+			d.Floor = r.f64()
+			d.Penalty = r.f64()
+		}
 		n := r.u32()
 		if r.err != nil || int(n) > r.remaining()/8 {
 			return DecodedRecord{}, errors.New("malformed registration record")
@@ -87,6 +119,25 @@ func DecodeRecord(rec []byte) (DecodedRecord, error) {
 		d.Tags = make([]float64, n)
 		for i := range d.Tags {
 			d.Tags[i] = r.f64()
+		}
+	case recController:
+		if v := r.u8(); r.err == nil && v != controllerRecVersion {
+			return DecodedRecord{}, fmt.Errorf("unsupported controller record version %d", v)
+		}
+		d.Epoch = r.i64()
+		d.BoostBits = r.u64()
+		n := r.u32()
+		if r.err != nil || int(n) > r.remaining()/20 {
+			return DecodedRecord{}, errors.New("malformed controller record")
+		}
+		if n > 0 {
+			d.Controller = make([]ControllerEntry, n)
+			for i := range d.Controller {
+				e := &d.Controller[i]
+				e.Campaign = r.i32()
+				e.RateBits = r.u64()
+				e.AllowanceBits = r.u64()
+			}
 		}
 	case recTopUp:
 		d.Campaign = r.i32()
@@ -140,7 +191,9 @@ func DecodeRecord(rec []byte) (DecodedRecord, error) {
 // SnapshotCampaign is one campaign's state inside a decoded snapshot.
 // BudgetBits/SpentBits carry the exact IEEE-754 bits the snapshot recorded,
 // so replay restores bit-identical accumulators; Budget/Spent are the same
-// values as floats for consumers that only read.
+// values as floats for consumers that only read. The class and controller
+// fields come from v2 snapshots; v1 payloads decode with the inert defaults
+// (best-effort, rate 1, allowance +Inf).
 type SnapshotCampaign struct {
 	ID         int32
 	Loc        geo.Point
@@ -149,6 +202,12 @@ type SnapshotCampaign struct {
 	SpentBits  uint64
 	Paused     bool
 	Tags       []float64
+
+	Guaranteed    bool
+	Floor         float64
+	Penalty       float64
+	RateBits      uint64
+	AllowanceBits uint64
 }
 
 // Budget returns the campaign budget as a float.
@@ -157,7 +216,9 @@ func (c *SnapshotCampaign) Budget() float64 { return math.Float64frombits(c.Budg
 // Spent returns the spent accumulator as a float.
 func (c *SnapshotCampaign) Spent() float64 { return math.Float64frombits(c.SpentBits) }
 
-// SnapshotState is a decoded compacted-state payload.
+// SnapshotState is a decoded compacted-state payload. PhiBoostBits and
+// PacingEpoch come from v2 snapshots; v1 payloads decode with the inert
+// defaults (boost 1, epoch 0).
 type SnapshotState struct {
 	Arrivals     int64
 	Offers       int64
@@ -165,6 +226,8 @@ type SnapshotState struct {
 	SpentBits    uint64
 	GammaMinBits uint64
 	GammaMaxBits uint64
+	PhiBoostBits uint64
+	PacingEpoch  int64
 	Campaigns    []SnapshotCampaign
 }
 
@@ -178,9 +241,10 @@ func (s *SnapshotState) GammaMax() float64 { return math.Float64frombits(s.Gamma
 // DecodeSnapshot decodes a compacted-state payload. Like DecodeRecord it is
 // total: malformed input errors, never panics.
 func DecodeSnapshot(data []byte) (SnapshotState, error) {
-	if len(data) == 0 || data[0] != snapshotVersion {
+	if len(data) == 0 || (data[0] != snapshotV1 && data[0] != snapshotV2) {
 		return SnapshotState{}, errors.New("unsupported snapshot version")
 	}
+	v2 := data[0] == snapshotV2
 	r := &recReader{data: data[1:]}
 	s := SnapshotState{
 		Arrivals:     r.i64(),
@@ -189,6 +253,11 @@ func DecodeSnapshot(data []byte) (SnapshotState, error) {
 		SpentBits:    r.u64(),
 		GammaMinBits: r.u64(),
 		GammaMaxBits: r.u64(),
+		PhiBoostBits: math.Float64bits(1),
+	}
+	if v2 {
+		s.PhiBoostBits = r.u64()
+		s.PacingEpoch = r.i64()
 	}
 	n := r.u32()
 	if r.err != nil {
@@ -196,12 +265,21 @@ func DecodeSnapshot(data []byte) (SnapshotState, error) {
 	}
 	for i := 0; i < int(n); i++ {
 		c := SnapshotCampaign{
-			ID:         r.i32(),
-			Loc:        geo.Point{X: r.f64(), Y: r.f64()},
-			Radius:     r.f64(),
-			BudgetBits: r.u64(),
-			SpentBits:  r.u64(),
-			Paused:     r.u8() != 0,
+			ID:            r.i32(),
+			Loc:           geo.Point{X: r.f64(), Y: r.f64()},
+			Radius:        r.f64(),
+			BudgetBits:    r.u64(),
+			SpentBits:     r.u64(),
+			Paused:        r.u8() != 0,
+			RateBits:      math.Float64bits(1),
+			AllowanceBits: math.Float64bits(math.Inf(1)),
+		}
+		if v2 {
+			c.Guaranteed = r.u8() != 0
+			c.Floor = r.f64()
+			c.Penalty = r.f64()
+			c.RateBits = r.u64()
+			c.AllowanceBits = r.u64()
 		}
 		nt := r.u32()
 		if r.err != nil || int(nt) > r.remaining()/8 {

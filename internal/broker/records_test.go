@@ -161,8 +161,11 @@ func TestDecodeRecordMalformed(t *testing.T) {
 			t.Errorf("%s: no error", name)
 		}
 	}
-	if _, err := DecodeSnapshot([]byte{snapshotVersion, 1, 2}); err == nil {
-		t.Error("truncated snapshot: no error")
+	if _, err := DecodeSnapshot([]byte{snapshotV1, 1, 2}); err == nil {
+		t.Error("truncated v1 snapshot: no error")
+	}
+	if _, err := DecodeSnapshot([]byte{snapshotV2, 1, 2}); err == nil {
+		t.Error("truncated v2 snapshot: no error")
 	}
 	if _, err := DecodeSnapshot([]byte{0xEE}); err == nil {
 		t.Error("bad version: no error")

@@ -68,9 +68,25 @@ type campaign struct {
 	tags   []float64
 	shard  int // owning stripe index
 
+	// AdCell-style class, immutable after registration: a guaranteed-delivery
+	// campaign carries a delivery floor (fraction of budget due by
+	// end-of-day, pro-rated by arrival hour) and a per-unit shortfall
+	// penalty; best-effort campaigns have all three zero.
+	guaranteed bool
+	floor      float64
+	penalty    float64
+
 	budget atomicFloat
 	spent  atomicFloat
 	paused atomic.Bool
+
+	// Pacing-controller actuators, written only under the full quiescence
+	// PacingStep takes (all shard locks held): rate is the spend-rate cap the
+	// last controller epoch chose (1 = uncapped), allowance the epoch's
+	// absolute spend ceiling (+Inf = uncapped). Both default to uncapped and
+	// stay there on a controller-less broker.
+	rate      atomicFloat
+	allowance atomicFloat
 }
 
 // snapshot copies the live state into the exported value type.
@@ -79,6 +95,8 @@ func (c *campaign) snapshot() Campaign {
 		ID: c.id, Loc: c.loc, Radius: c.radius,
 		Budget: c.budget.Load(), Spent: c.spent.Load(),
 		Tags: append([]float64(nil), c.tags...), Paused: c.paused.Load(),
+		Guaranteed: c.guaranteed, Floor: c.floor, Penalty: c.penalty,
+		Rate: c.rate.Load(),
 	}
 }
 

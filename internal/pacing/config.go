@@ -1,0 +1,210 @@
+// Package pacing is the broker's quality feedback controller: it closes the
+// loop from the live audit window (empirical competitive ratio, per-δ
+// fixed-threshold counterfactuals, per-campaign pacing curves — see
+// internal/audit) back into the admission path. Two actuators:
+//
+//   - a multiplicative boost on the adaptive threshold φ(δ), steered by the
+//     fleet's pace error: φ's exponential ramp implicitly assumes budget
+//     utilization tracks the day clock, so when the audit window shows the
+//     fleet burning budget ahead of the hour (δ̄ > HourFraction) the boost
+//     tightens admission toward g^(δ̄ − p) — conserving budget for the
+//     better-converting traffic later in the day — and when the fleet is
+//     behind pace and the measured ratio is poor it flattens (boost < 1) to
+//     stop refusing utility the budget will never otherwise spend;
+//   - per-campaign spend-rate caps: a campaign the window report shows
+//     front-loading its budget is granted only a fraction of its remaining
+//     budget per controller epoch (a token bucket refilled at each step), so
+//     no campaign can burn out before the traffic it was priced for.
+//
+// The controller itself is a pure function: Decide maps a Snapshot (the
+// latest audit report plus live campaign state) to a Decision. All mutable
+// state — the boost, the epoch counter, each campaign's rate and allowance —
+// lives in the broker, is written under its locks, and is WAL-logged as a
+// versioned controller record, so crash recovery restores it bit-exactly
+// without re-running any control law. AdCell-style guaranteed-delivery
+// campaigns (Class, Floor, Penalty on registration) are first-class citizens:
+// the controller never throttles a guaranteed campaign that is behind its
+// delivery floor.
+package pacing
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Config parameterizes the control law. The zero value is NOT enabled — use
+// Default() or ParseConfig; a nil *Config on the broker disables the
+// controller entirely.
+type Config struct {
+	// TargetRatio is the empirical competitive ratio the controller treats
+	// as healthy: at or above it the boost never flattens below 1 (the
+	// paper's worst-case bound is kept intact), however far behind pace the
+	// fleet falls. Default 0.85.
+	TargetRatio float64
+	// Gain is the fraction of the (log-space) distance to the steering
+	// target the boost moves per step, in (0, 1]. Default 0.5.
+	Gain float64
+	// Deadband is the pace-error tolerance: while |utilization − day
+	// fraction| stays within it the boost decays toward 1 instead of
+	// steering; suppresses hunting on noise. Default 0.02.
+	Deadband float64
+	// PaceGain scales the steering target: the boost is steered toward
+	// g^(PaceGain · pace error). 1 re-indexes the φ schedule by exactly the
+	// skipped-ahead δ; above 1 overshoots — front-loading the correction.
+	// Default 1.
+	PaceGain float64
+	// PaceBias is added to the pace error before steering: a positive bias
+	// treats an on-pace fleet as slightly ahead, holding utilization just
+	// behind the clock so budget is banked for the better-converting late
+	// traffic instead of spent evenly. Default 0.08.
+	PaceBias float64
+	// BoostMin and BoostMax clamp the threshold boost. Defaults 1e-6 and 1e6
+	// (symmetric in log space): a boost above 1 tightens admission beyond the
+	// paper schedule — the "estimate a proper g for the real system" tuning
+	// Section IV-C describes — while a boost below 1 flattens it, trading the
+	// worst-case (ln g+1)/θ guarantee for the measured ratio when the audit
+	// window shows the steep φ(δ) ramp refusing utility a flatter fixed
+	// threshold would have taken. Set BoostMin = 1 to forbid flattening and
+	// keep the paper bound intact.
+	BoostMin, BoostMax float64
+	// TightenAt is the pace lead — a campaign's budget utilization minus the
+	// day fraction — at which its spend rate is capped to RateTight;
+	// LoosenAt is the lead below which the cap is lifted again (hysteresis
+	// requires LoosenAt < TightenAt). Defaults 0.1 and 0.02.
+	TightenAt, LoosenAt float64
+	// RateTight is the fraction of a capped campaign's *remaining* budget it
+	// may spend per controller epoch. Default 0.1.
+	RateTight float64
+}
+
+// Default returns the default control law.
+func Default() Config {
+	return Config{
+		TargetRatio: 0.85,
+		Gain:        0.5,
+		Deadband:    0.02,
+		PaceGain:    1,
+		PaceBias:    0.08,
+		BoostMin:    1e-6,
+		BoostMax:    1e6,
+		TightenAt:   0.1,
+		LoosenAt:    0.02,
+		RateTight:   0.1,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	check := func(name string, v float64, lo, hi float64) error {
+		if math.IsNaN(v) || v < lo || v > hi {
+			return fmt.Errorf("pacing: %s = %g outside [%g, %g]", name, v, lo, hi)
+		}
+		return nil
+	}
+	for _, e := range []error{
+		check("target", c.TargetRatio, 0, 1),
+		check("gain", c.Gain, 1e-9, 1),
+		check("deadband", c.Deadband, 0, 1),
+		check("pace-gain", c.PaceGain, 1e-9, 10),
+		check("pace-bias", c.PaceBias, -1, 1),
+		check("boost-min", c.BoostMin, 1e-9, 1e9),
+		check("boost-max", c.BoostMax, 1e-9, 1e9),
+		check("tighten-at", c.TightenAt, 0, 2),
+		check("loosen-at", c.LoosenAt, 0, 2),
+		check("rate", c.RateTight, 1e-9, 1),
+	} {
+		if e != nil {
+			return e
+		}
+	}
+	if c.BoostMax < c.BoostMin {
+		return fmt.Errorf("pacing: boost-max %g < boost-min %g", c.BoostMax, c.BoostMin)
+	}
+	if c.LoosenAt >= c.TightenAt {
+		return fmt.Errorf("pacing: loosen-at %g must be below tighten-at %g", c.LoosenAt, c.TightenAt)
+	}
+	return nil
+}
+
+// ParseConfig parses the -pacing-controller flag value: "on" (or "default")
+// selects Default(); otherwise a comma-separated k=v list overrides
+// individual defaults, e.g. "target=0.8,rate=0.1,boost-max=64". Keys:
+// target, gain, deadband, pace-gain, pace-bias, boost-min, boost-max,
+// tighten-at, loosen-at, rate. The empty string is an error — the caller treats it as "disabled"
+// before calling. Parsing never panics on any input.
+func ParseConfig(s string) (Config, error) {
+	cfg := Default()
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return Config{}, fmt.Errorf("pacing: empty controller spec")
+	}
+	if strings.EqualFold(s, "on") || strings.EqualFold(s, "default") {
+		return cfg, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return Config{}, fmt.Errorf("pacing: %q is not key=value", part)
+		}
+		f, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
+		if err != nil {
+			return Config{}, fmt.Errorf("pacing: %s: %v", key, err)
+		}
+		switch strings.ToLower(strings.TrimSpace(key)) {
+		case "target":
+			cfg.TargetRatio = f
+		case "gain":
+			cfg.Gain = f
+		case "deadband":
+			cfg.Deadband = f
+		case "pace-gain":
+			cfg.PaceGain = f
+		case "pace-bias":
+			cfg.PaceBias = f
+		case "boost-min":
+			cfg.BoostMin = f
+		case "boost-max":
+			cfg.BoostMax = f
+		case "tighten-at":
+			cfg.TightenAt = f
+		case "loosen-at":
+			cfg.LoosenAt = f
+		case "rate":
+			cfg.RateTight = f
+		default:
+			return Config{}, fmt.Errorf("pacing: unknown key %q", key)
+		}
+	}
+	if err := cfg.Validate(); err != nil {
+		return Config{}, err
+	}
+	return cfg, nil
+}
+
+// String renders the config in ParseConfig's own syntax (keys sorted), so
+// ParseConfig(cfg.String()) round-trips any valid config.
+func (c Config) String() string {
+	kv := map[string]float64{
+		"target": c.TargetRatio, "gain": c.Gain, "deadband": c.Deadband,
+		"pace-gain": c.PaceGain, "pace-bias": c.PaceBias,
+		"boost-min": c.BoostMin, "boost-max": c.BoostMax,
+		"tighten-at": c.TightenAt, "loosen-at": c.LoosenAt, "rate": c.RateTight,
+	}
+	keys := make([]string, 0, len(kv))
+	for k := range kv {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = k + "=" + strconv.FormatFloat(kv[k], 'g', -1, 64)
+	}
+	return strings.Join(parts, ",")
+}

@@ -1,0 +1,133 @@
+package pacing
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDefaultValidates(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatalf("Default().Validate() = %v", err)
+	}
+}
+
+func TestParseConfigOn(t *testing.T) {
+	for _, s := range []string{"on", "ON", "default", "Default", " on "} {
+		cfg, err := ParseConfig(s)
+		if err != nil {
+			t.Fatalf("ParseConfig(%q) = %v", s, err)
+		}
+		if cfg != Default() {
+			t.Fatalf("ParseConfig(%q) = %+v, want Default()", s, cfg)
+		}
+	}
+}
+
+func TestParseConfigOverrides(t *testing.T) {
+	cfg, err := ParseConfig("target=0.8, rate=0.2 ,boost-max=64,pace-bias=-0.1,pace-gain=2")
+	if err != nil {
+		t.Fatalf("ParseConfig = %v", err)
+	}
+	want := Default()
+	want.TargetRatio = 0.8
+	want.RateTight = 0.2
+	want.BoostMax = 64
+	want.PaceBias = -0.1
+	want.PaceGain = 2
+	if cfg != want {
+		t.Fatalf("ParseConfig = %+v, want %+v", cfg, want)
+	}
+}
+
+func TestParseConfigEveryKey(t *testing.T) {
+	// Each documented key must parse and land in its field.
+	cfg, err := ParseConfig("target=0.5,gain=0.25,deadband=0.05,pace-gain=1.5," +
+		"pace-bias=0.1,boost-min=0.5,boost-max=8,tighten-at=0.2,loosen-at=0.05,rate=0.3")
+	if err != nil {
+		t.Fatalf("ParseConfig = %v", err)
+	}
+	want := Config{
+		TargetRatio: 0.5, Gain: 0.25, Deadband: 0.05, PaceGain: 1.5,
+		PaceBias: 0.1, BoostMin: 0.5, BoostMax: 8,
+		TightenAt: 0.2, LoosenAt: 0.05, RateTight: 0.3,
+	}
+	if cfg != want {
+		t.Fatalf("ParseConfig = %+v, want %+v", cfg, want)
+	}
+}
+
+func TestParseConfigErrors(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string // substring of the error
+	}{
+		{"", "empty"},
+		{"   ", "empty"},
+		{"target", "key=value"},
+		{"target=abc", "target"},
+		{"frobnicate=1", "unknown key"},
+		{"gain=0", "gain"},             // out of range
+		{"gain=2", "gain"},             // out of range
+		{"target=1.5", "target"},       // out of range
+		{"pace-gain=100", "pace-gain"}, // out of range
+		{"pace-bias=2", "pace-bias"},   // out of range
+		{"boost-min=8,boost-max=2", "boost-max"},
+		{"tighten-at=0.05,loosen-at=0.1", "loosen-at"},
+		{"rate=0", "rate"},
+	}
+	for _, c := range cases {
+		if _, err := ParseConfig(c.in); err == nil {
+			t.Errorf("ParseConfig(%q): want error containing %q, got nil", c.in, c.want)
+		} else if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("ParseConfig(%q) = %v, want error containing %q", c.in, err, c.want)
+		}
+	}
+}
+
+func TestConfigStringRoundTrips(t *testing.T) {
+	cfgs := []Config{Default()}
+	if custom, err := ParseConfig("target=0.8,rate=0.25,pace-bias=-0.05"); err != nil {
+		t.Fatal(err)
+	} else {
+		cfgs = append(cfgs, custom)
+	}
+	for _, cfg := range cfgs {
+		back, err := ParseConfig(cfg.String())
+		if err != nil {
+			t.Fatalf("ParseConfig(%q) = %v", cfg.String(), err)
+		}
+		if back != cfg {
+			t.Fatalf("round trip %q: got %+v, want %+v", cfg.String(), back, cfg)
+		}
+	}
+}
+
+// FuzzPacingConfig: ParseConfig never panics, and any config it accepts
+// validates and round-trips through String.
+func FuzzPacingConfig(f *testing.F) {
+	f.Add("on")
+	f.Add("default")
+	f.Add("target=0.8,rate=0.1,boost-max=64")
+	f.Add("pace-gain=2,pace-bias=-0.5")
+	f.Add("gain=1e-9,deadband=0")
+	f.Add("tighten-at=0.3,loosen-at=0.1")
+	f.Add(",,,")
+	f.Add("target=NaN")
+	f.Add("boost-min=1e300,boost-max=1e-300")
+	f.Fuzz(func(t *testing.T, s string) {
+		cfg, err := ParseConfig(s)
+		if err != nil {
+			return
+		}
+		if verr := cfg.Validate(); verr != nil {
+			t.Fatalf("ParseConfig(%q) accepted invalid config: %v", s, verr)
+		}
+		back, err := ParseConfig(cfg.String())
+		if err != nil {
+			t.Fatalf("String() of accepted config does not reparse: %q: %v", cfg.String(), err)
+		}
+		if back != cfg {
+			t.Fatalf("round trip drift: %+v -> %q -> %+v", cfg, cfg.String(), back)
+		}
+	})
+}

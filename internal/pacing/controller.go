@@ -1,0 +1,217 @@
+package pacing
+
+import (
+	"math"
+
+	"muaa/internal/audit"
+)
+
+// CampaignView is the controller's read-only view of one live campaign at
+// decision time. Rate is the campaign's current spend-rate cap (1 = uncapped)
+// so the hysteresis band can hold the previous decision.
+type CampaignView struct {
+	ID         int32
+	Budget     float64
+	Spent      float64
+	Rate       float64
+	Guaranteed bool
+	Floor      float64
+	Paused     bool
+}
+
+// Snapshot is everything Decide reads: the latest audit-window report (nil
+// before the first audit completes), the boost currently in force, and the
+// live campaign directory.
+type Snapshot struct {
+	Report    *audit.Report
+	Boost     float64
+	Campaigns []CampaignView
+}
+
+// CampaignRate is one campaign's new spend-rate cap.
+type CampaignRate struct {
+	ID   int32
+	Rate float64
+}
+
+// Decision is the controller's output for one step: the new threshold boost
+// and a rate for every campaign in the snapshot, in snapshot order. The
+// broker applies it under its locks and WAL-logs the applied bits.
+type Decision struct {
+	Boost float64
+	Rates []CampaignRate
+}
+
+// Capped counts rates below 1 — the number of throttled campaigns.
+func (d Decision) Capped() int {
+	n := 0
+	for _, r := range d.Rates {
+		if r.Rate < 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// Decide is the control law: a pure function from configuration and snapshot
+// to decision. Same inputs, same bits — the broker persists the outputs, so
+// replay never re-runs this.
+//
+// Boost — pace-error steering in the φ schedule's own log units. The paper's
+// threshold φ(δ) = φ(0)·g^δ prices admission as if each budget exhausts
+// exactly at end-of-day; its implicit assumption is that utilization tracks
+// the clock. The controller enforces exactly that assumption: with δ̄ the
+// fleet's budget-weighted utilization and p the day fraction of the latest
+// audited arrival (Report.HourFraction), the pace error δ̄ − p measures how
+// far ahead of schedule the fleet is burning budget, and the boost is
+// steered toward g^(δ̄ − p + PaceBias) — re-indexing the exponential
+// schedule by the part of the δ ramp the fleet skipped ahead of (or fell
+// behind), with a small bias holding the fleet just behind the clock so
+// budget is banked for late traffic rather than spent even. The g is
+// read off the window's own counterfactual thresholds (RegretByDelta), so a
+// stream with mild efficiency spread gets mild corrections. The boost moves
+// Gain of the remaining log-space distance per step; inside the Deadband
+// pace tolerance (or with no usable report) it decays toward 1 at the same
+// gain. Flattening below 1 — spending ahead of the paper schedule when the
+// fleet is behind pace — is allowed only while the window's empirical ratio
+// is below TargetRatio: a healthy broker keeps the paper's worst-case bound
+// intact. Always clamped to [BoostMin, BoostMax].
+//
+// Rates: per campaign, the same pace error drives the spend-rate cap — a
+// campaign whose own utilization runs TightenAt or more ahead of the day
+// fraction is capped at RateTight of its remaining budget per epoch, the cap
+// lifts once its lead falls below LoosenAt, and the band between holds the
+// previous rate (hysteresis). Before the first audit report the day fraction
+// reads 0, so the thresholds degrade to plain utilization bounds. A
+// guaranteed campaign behind its pro-rated delivery floor is never capped —
+// and with no report (no clock) the full-day floor is used, so a blind
+// controller cannot throttle a campaign that may still owe delivery.
+func Decide(cfg Config, snap Snapshot) Decision {
+	boost := snap.Boost
+	if !(boost > 0) || math.IsInf(boost, 0) { // NaN, zero, negative, ±Inf
+		boost = 1
+	}
+	logBoost := math.Log(boost)
+
+	rep := snap.Report
+	steered := false
+	if rep != nil && rep.AuditedArrivals > 0 && len(rep.RegretByDelta) >= 2 {
+		first, last := rep.RegretByDelta[0], rep.RegretByDelta[len(rep.RegretByDelta)-1]
+		span := last.Delta - first.Delta
+		if first.Threshold > 0 && last.Threshold > first.Threshold && span > 0 {
+			logG := math.Log(last.Threshold/first.Threshold) / span
+			if err := meanUtilization(snap.Campaigns) - rep.HourFraction + cfg.PaceBias; math.Abs(err) > cfg.Deadband {
+				target := cfg.PaceGain * err * logG
+				if target < 0 && rep.EmpiricalRatio >= cfg.TargetRatio {
+					target = 0 // behind pace but healthy: don't trade the bound away
+				}
+				logBoost += cfg.Gain * (target - logBoost)
+				steered = true
+			}
+		}
+	}
+	if !steered {
+		// On pace (or blind): relax toward no intervention.
+		logBoost *= 1 - cfg.Gain
+	}
+	boost = math.Exp(logBoost)
+	if math.IsNaN(boost) || boost < cfg.BoostMin {
+		boost = cfg.BoostMin
+	}
+	if boost > cfg.BoostMax {
+		boost = cfg.BoostMax
+	}
+
+	// Without a report there is no day clock: pace leads degrade to plain
+	// utilization (hour 0), and the guaranteed-floor exemption conservatively
+	// checks the full-day floor (hour 1) — a blind controller must never
+	// throttle a campaign that could still owe its floor.
+	hour, floorHour := 0.0, 1.0
+	if rep != nil {
+		hour, floorHour = rep.HourFraction, rep.HourFraction
+	}
+	dec := Decision{Boost: boost, Rates: make([]CampaignRate, 0, len(snap.Campaigns))}
+	for _, c := range snap.Campaigns {
+		rate := c.Rate
+		if !(rate > 0) || rate > 1 || math.IsNaN(rate) {
+			rate = 1
+		}
+		switch {
+		case c.Budget <= 0 || c.Paused:
+			rate = 1
+		case c.Guaranteed && c.Floor > 0 && c.Spent < c.Floor*c.Budget*floorHour:
+			// Behind the delivery floor: a guaranteed campaign must catch up,
+			// never wait.
+			rate = 1
+		default:
+			// Leads inside [LoosenAt, TightenAt) fall through both cases and
+			// hold the previous rate — the hysteresis band.
+			switch lead := c.Spent/c.Budget - hour; {
+			case lead >= cfg.TightenAt:
+				rate = cfg.RateTight
+			case lead < cfg.LoosenAt:
+				rate = 1
+			}
+		}
+		dec.Rates = append(dec.Rates, CampaignRate{ID: c.ID, Rate: rate})
+	}
+	return dec
+}
+
+// meanUtilization is the fleet's operating point on the φ(δ) schedule: total
+// spend over total budget across live campaigns, clamped to [0, 1]. Paused
+// and zero-budget campaigns don't serve, so they don't weigh in.
+func meanUtilization(campaigns []CampaignView) float64 {
+	var spent, budget float64
+	for i := range campaigns {
+		c := &campaigns[i]
+		if c.Paused || !(c.Budget > 0) {
+			continue
+		}
+		budget += c.Budget
+		if c.Spent > 0 {
+			spent += c.Spent
+		}
+	}
+	if !(budget > 0) {
+		return 0
+	}
+	u := spent / budget
+	if u > 1 {
+		return 1
+	}
+	return u
+}
+
+// Allowance converts a rate decision into the epoch's spend ceiling for a
+// campaign — a ratcheting token bucket: each epoch releases Rate of the
+// remaining budget ON TOP of any unspent prior release (prev, the ceiling
+// the previous epoch granted), clamped to the budget. The carry-over
+// matters: without it a small campaign whose per-epoch release is below the
+// cheapest ad cost could never afford anything again — frozen at its
+// current spend forever. With it, consecutive capped epochs accumulate
+// allowance until an ad fits.
+//
+// Rate ≥ 1 (or any invalid input) yields +Inf — no cap, and in particular no
+// stale absolute ceiling surviving a later top-up; a +Inf prev (previously
+// uncapped) starts a fresh bucket at the current spend. The broker stores
+// the returned bits and enforces Spent ≤ allowance in the admission scan
+// until the next epoch.
+func Allowance(budget, spent, prev, rate float64) float64 {
+	if !(rate > 0) || rate >= 1 || math.IsNaN(budget) || math.IsNaN(spent) {
+		return math.Inf(1)
+	}
+	remaining := budget - spent
+	if remaining < 0 {
+		remaining = 0
+	}
+	base := spent
+	if !math.IsInf(prev, 1) && prev > base {
+		base = prev
+	}
+	a := base + rate*remaining
+	if a > budget {
+		a = budget
+	}
+	return a
+}

@@ -1,0 +1,263 @@
+package pacing
+
+import (
+	"math"
+	"testing"
+
+	"muaa/internal/audit"
+)
+
+// report builds the minimal audit report Decide reads: a two-point
+// counterfactual grid spanning δ ∈ [0, 1] with threshold ratio g (so the
+// law reads ln g off it), plus the pace clock and ratio.
+func report(g, hourFraction, ratio float64) *audit.Report {
+	return &audit.Report{
+		AuditedArrivals: 100,
+		EmpiricalRatio:  ratio,
+		HourFraction:    hourFraction,
+		RegretByDelta: []audit.DeltaRegret{
+			{Delta: 0, Threshold: 0.01},
+			{Delta: 1, Threshold: 0.01 * g},
+		},
+	}
+}
+
+func fleet(budget, spent float64) []CampaignView {
+	return []CampaignView{{ID: 0, Budget: budget, Spent: spent, Rate: 1}}
+}
+
+// TestDecideTightensAheadOfPace: a fleet that burned 60% of its budget by
+// 10% of the day gets a boost above 1, converging toward g^(err + bias).
+func TestDecideTightensAheadOfPace(t *testing.T) {
+	cfg := Default()
+	rep := report(100, 0.1, 0.6)
+	snap := Snapshot{Report: rep, Boost: 1, Campaigns: fleet(10, 6)}
+
+	var boost float64 = 1
+	for i := 0; i < 40; i++ {
+		snap.Boost = boost
+		boost = Decide(cfg, snap).Boost
+	}
+	want := math.Pow(100, cfg.PaceGain*(0.6-0.1+cfg.PaceBias))
+	if math.Abs(math.Log(boost)-math.Log(want)) > 1e-6 {
+		t.Fatalf("boost converged to %g, want g^(err+bias) = %g", boost, want)
+	}
+	if boost <= 1 {
+		t.Fatalf("ahead-of-pace fleet must tighten, got boost %g", boost)
+	}
+}
+
+// TestDecideFlattensBehindPaceWhenUnhealthy: behind pace with a poor ratio,
+// the boost goes below 1 (flatten); with a healthy ratio the flatten gate
+// holds the target at no-intervention instead.
+func TestDecideFlattensBehindPaceWhenUnhealthy(t *testing.T) {
+	cfg := Default()
+	campaigns := fleet(10, 1) // util 0.1 at hour 0.8: far behind pace
+
+	unhealthy := Snapshot{Report: report(100, 0.8, 0.5), Boost: 1, Campaigns: campaigns}
+	boost := 1.0
+	for i := 0; i < 40; i++ {
+		unhealthy.Boost = boost
+		boost = Decide(cfg, unhealthy).Boost
+	}
+	if boost >= 1 {
+		t.Fatalf("behind-pace unhealthy fleet must flatten, got boost %g", boost)
+	}
+
+	healthy := Snapshot{Report: report(100, 0.8, 0.99), Boost: 0.25, Campaigns: campaigns}
+	boost = 0.25
+	for i := 0; i < 40; i++ {
+		healthy.Boost = boost
+		boost = Decide(cfg, healthy).Boost
+	}
+	if math.Abs(boost-1) > 1e-6 {
+		t.Fatalf("healthy fleet must steer back to no intervention, got boost %g", boost)
+	}
+}
+
+// TestDecideDeadbandDecays: inside the pace tolerance the boost decays
+// toward 1 instead of steering.
+func TestDecideDeadbandDecays(t *testing.T) {
+	cfg := Default()
+	cfg.Deadband = 0.2
+	// util 0.5, hour 0.45, bias 0.08 → err 0.13 < deadband 0.2.
+	snap := Snapshot{Report: report(100, 0.45, 0.5), Boost: 8, Campaigns: fleet(10, 5)}
+	dec := Decide(cfg, snap)
+	if dec.Boost >= 8 || dec.Boost < 1 {
+		t.Fatalf("deadband step from 8 should decay toward 1, got %g", dec.Boost)
+	}
+}
+
+// TestDecideNoReport: without a report the boost decays and rate caps use
+// plain utilization (hour reads 0).
+func TestDecideNoReport(t *testing.T) {
+	cfg := Default()
+	snap := Snapshot{Boost: 4, Campaigns: []CampaignView{
+		{ID: 0, Budget: 10, Spent: 9, Rate: 1},   // util 0.9 ≥ TightenAt
+		{ID: 1, Budget: 10, Spent: 0.1, Rate: 1}, // util 0.01 < LoosenAt
+	}}
+	dec := Decide(cfg, snap)
+	if dec.Boost >= 4 || dec.Boost < 1 {
+		t.Fatalf("blind boost should decay toward 1, got %g", dec.Boost)
+	}
+	if dec.Rates[0].Rate != cfg.RateTight {
+		t.Fatalf("campaign 0 lead 0.9 must be capped at %g, got %g", cfg.RateTight, dec.Rates[0].Rate)
+	}
+	if dec.Rates[1].Rate != 1 {
+		t.Fatalf("campaign 1 lead 0.01 must be uncapped, got %g", dec.Rates[1].Rate)
+	}
+	if dec.Capped() != 1 {
+		t.Fatalf("Capped() = %d, want 1", dec.Capped())
+	}
+}
+
+// TestDecideRateHysteresis: a lead inside the band holds the previous rate.
+func TestDecideRateHysteresis(t *testing.T) {
+	cfg := Default()
+	rep := report(100, 0.5, 0.9)
+	// Lead = 0.55 − 0.5 = 0.05: between LoosenAt (0.02) and TightenAt (0.1).
+	held := Snapshot{Report: rep, Boost: 1, Campaigns: []CampaignView{
+		{ID: 0, Budget: 100, Spent: 55, Rate: 0.1},
+	}}
+	if got := Decide(cfg, held).Rates[0].Rate; got != 0.1 {
+		t.Fatalf("band must hold previous rate 0.1, got %g", got)
+	}
+	fresh := Snapshot{Report: rep, Boost: 1, Campaigns: []CampaignView{
+		{ID: 0, Budget: 100, Spent: 55, Rate: 1},
+	}}
+	if got := Decide(cfg, fresh).Rates[0].Rate; got != 1 {
+		t.Fatalf("band must hold previous rate 1, got %g", got)
+	}
+}
+
+// TestDecideGuaranteedFloorNeverCapped: with no report the controller has no
+// day clock, so the guaranteed-floor exemption checks the full-day floor — a
+// blind controller must never throttle a campaign that may still owe its
+// delivery floor, while its best-effort twin is capped on plain utilization.
+func TestDecideGuaranteedFloorNeverCapped(t *testing.T) {
+	cfg := Default()
+	snap := Snapshot{Boost: 1, Campaigns: []CampaignView{
+		// Owes 90 by end-of-day, has 50: behind the full floor → exempt.
+		{ID: 0, Budget: 100, Spent: 50, Rate: 1, Guaranteed: true, Floor: 0.9},
+		// Same spend, best-effort: blind lead = util 0.5 ≥ TightenAt → capped.
+		{ID: 1, Budget: 100, Spent: 50, Rate: 1},
+		// Guaranteed but floor already met (spent 95 ≥ 90): capped like any
+		// other front-loader.
+		{ID: 2, Budget: 100, Spent: 95, Rate: 1, Guaranteed: true, Floor: 0.9},
+	}}
+	dec := Decide(cfg, snap)
+	if dec.Rates[0].Rate != 1 {
+		t.Fatalf("guaranteed behind-floor campaign capped at %g", dec.Rates[0].Rate)
+	}
+	if dec.Rates[1].Rate != cfg.RateTight {
+		t.Fatalf("best-effort twin must be capped, got %g", dec.Rates[1].Rate)
+	}
+	if dec.Rates[2].Rate != cfg.RateTight {
+		t.Fatalf("floor-met guaranteed campaign must be capped, got %g", dec.Rates[2].Rate)
+	}
+}
+
+// TestDecidePausedAndZeroBudgetUncapped: paused or zero-budget campaigns
+// always read rate 1 — they don't serve, so a stale cap must not survive.
+func TestDecidePausedAndZeroBudgetUncapped(t *testing.T) {
+	cfg := Default()
+	snap := Snapshot{Boost: 1, Campaigns: []CampaignView{
+		{ID: 0, Budget: 10, Spent: 9, Rate: 0.1, Paused: true},
+		{ID: 1, Budget: 0, Spent: 0, Rate: 0.1},
+	}}
+	for i, r := range Decide(cfg, snap).Rates {
+		if r.Rate != 1 {
+			t.Fatalf("campaign %d rate %g, want 1", i, r.Rate)
+		}
+	}
+}
+
+// TestDecideSanitizesBoost: garbage prior boost (NaN, 0, −1, ±Inf) never
+// propagates.
+func TestDecideSanitizesBoost(t *testing.T) {
+	cfg := Default()
+	for _, bad := range []float64{math.NaN(), 0, -1, math.Inf(1), math.Inf(-1)} {
+		dec := Decide(cfg, Snapshot{Boost: bad})
+		if math.IsNaN(dec.Boost) || dec.Boost < cfg.BoostMin || dec.Boost > cfg.BoostMax {
+			t.Fatalf("boost %g from prior %g escapes [%g, %g]", dec.Boost, bad, cfg.BoostMin, cfg.BoostMax)
+		}
+	}
+}
+
+// TestMeanUtilization: budget-weighted, skips paused and zero-budget
+// campaigns, clamps to [0, 1].
+func TestMeanUtilization(t *testing.T) {
+	got := meanUtilization([]CampaignView{
+		{Budget: 10, Spent: 5},
+		{Budget: 30, Spent: 3},
+		{Budget: 100, Spent: 100, Paused: true}, // ignored
+		{Budget: 0, Spent: 7},                   // ignored
+	})
+	if want := 8.0 / 40.0; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("meanUtilization = %g, want %g", got, want)
+	}
+	if got := meanUtilization(nil); got != 0 {
+		t.Fatalf("empty fleet utilization %g, want 0", got)
+	}
+	if got := meanUtilization([]CampaignView{{Budget: 1, Spent: 5}}); got != 1 {
+		t.Fatalf("overspent fleet utilization %g, want clamp to 1", got)
+	}
+}
+
+// TestAllowanceRatchet: the token bucket accumulates unspent release across
+// capped epochs — the regression test for the freeze bug where a small
+// campaign whose per-epoch release was below the cheapest ad cost could
+// never spend again.
+func TestAllowanceRatchet(t *testing.T) {
+	budget, spent := 10.0, 5.0
+	rate := 0.01 // releases 0.05/epoch: far below a typical ad cost
+
+	a := Allowance(budget, spent, math.Inf(1), rate)
+	if want := 5.05; math.Abs(a-want) > 1e-12 {
+		t.Fatalf("fresh bucket = %g, want %g", a, want)
+	}
+	// Nothing spent for 10 epochs: the allowance must keep growing.
+	prev := a
+	for i := 0; i < 10; i++ {
+		next := Allowance(budget, spent, prev, rate)
+		if next <= prev {
+			t.Fatalf("epoch %d: allowance froze at %g", i, prev)
+		}
+		prev = next
+	}
+	if want := 5.0 + 11*0.05; math.Abs(prev-want) > 1e-9 {
+		t.Fatalf("after 11 epochs allowance = %g, want %g", prev, want)
+	}
+}
+
+// TestAllowanceClampsAtBudget: the bucket never grants more than the budget.
+func TestAllowanceClampsAtBudget(t *testing.T) {
+	prev := math.Inf(1)
+	for i := 0; i < 10000; i++ {
+		prev = Allowance(10, 9.5, prev, 0.5)
+		if prev > 10 {
+			t.Fatalf("epoch %d: allowance %g exceeds budget", i, prev)
+		}
+	}
+	if prev != 10 {
+		t.Fatalf("bucket should saturate at budget, got %g", prev)
+	}
+}
+
+// TestAllowanceUncapped: rate ≥ 1 or invalid inputs mean no ceiling — and
+// in particular no stale ceiling surviving a top-up.
+func TestAllowanceUncapped(t *testing.T) {
+	for _, rate := range []float64{1, 1.5, 0, -0.5, math.NaN()} {
+		if a := Allowance(10, 5, 6, rate); !math.IsInf(a, 1) {
+			t.Fatalf("rate %g: allowance %g, want +Inf", rate, a)
+		}
+	}
+	if a := Allowance(math.NaN(), 5, 6, 0.5); !math.IsInf(a, 1) {
+		t.Fatalf("NaN budget: allowance %g, want +Inf", a)
+	}
+	// Overspent campaign (top-up shrank? budget < spent): remaining clamps
+	// to 0, allowance never goes below the prior grant.
+	if a := Allowance(4, 5, math.Inf(1), 0.5); a != 4 {
+		t.Fatalf("overspent: allowance %g, want clamp at budget 4", a)
+	}
+}
