@@ -9,6 +9,7 @@ package muaa_test
 // the experiment package's tests and recorded in EXPERIMENTS.md.
 
 import (
+	"fmt"
 	"sync/atomic"
 	"testing"
 
@@ -354,4 +355,80 @@ func BenchmarkBrokerParallelArrivalsWAL(b *testing.B) {
 			}
 		}
 	})
+}
+
+// benchArrivalBroker builds a broker with a pure-arrival stream: every op is
+// batchable, so the batch benchmarks below sweep window size without mixed
+// ops breaking windows.
+func benchArrivalBroker(b *testing.B) (*broker.Broker, []broker.Arrival) {
+	b.Helper()
+	specs, ops, err := workload.BrokerLoad(workload.ArrivalBrokerLoadConfig(256, 8192, 42))
+	if err != nil {
+		b.Fatal(err)
+	}
+	br, err := broker.New(broker.Config{AdTypes: workload.DefaultAdTypes()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, c := range specs {
+		if _, err := br.RegisterCampaign(c.Loc, c.Radius, c.Budget, c.Tags); err != nil {
+			b.Fatal(err)
+		}
+	}
+	arrivals := make([]broker.Arrival, len(ops))
+	for i, op := range ops {
+		arrivals[i] = broker.Arrival{
+			Loc: op.Loc, Capacity: op.Capacity, ViewProb: op.ViewProb,
+			Interests: op.Interests, Hour: op.Hour,
+		}
+	}
+	return br, arrivals
+}
+
+// BenchmarkBrokerArriveAppend is the tentpole's allocation bar in benchmark
+// form: a serial arrival through the append-style entry point with a reused
+// destination slice must report 0 allocs/op (the arena owns every scratch
+// buffer).
+func BenchmarkBrokerArriveAppend(b *testing.B) {
+	br, arrivals := benchArrivalBroker(b)
+	dst := make([]broker.Offer, 0, 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := br.ArriveAppend(dst[:0], arrivals[i%len(arrivals)])
+		if err != nil {
+			b.Fatal(err)
+		}
+		dst = out[:0]
+	}
+}
+
+// BenchmarkBrokerArriveBatch sweeps the batch window: ns/op is per arrival,
+// so the ratio of window=1 to window=64+ is the amortization of the
+// per-batch fixed costs (lock acquisition, clock anchor, WAL framing).
+// cmd/muaa-bench -exp broker records the same sweep into BENCH_broker.json.
+func BenchmarkBrokerArriveBatch(b *testing.B) {
+	for _, window := range []int{1, 8, 64, 256} {
+		b.Run(fmt.Sprintf("window=%d", window), func(b *testing.B) {
+			br, arrivals := benchArrivalBroker(b)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for done := 0; done < b.N; {
+				n := window
+				if b.N-done < n {
+					n = b.N - done
+				}
+				lo := done % len(arrivals)
+				if lo+n > len(arrivals) {
+					n = len(arrivals) - lo
+				}
+				for _, res := range br.ArriveBatch(arrivals[lo : lo+n]) {
+					if res.Err != nil {
+						b.Fatal(res.Err)
+					}
+				}
+				done += n
+			}
+		})
+	}
 }

@@ -87,7 +87,116 @@ func runBrokerScaling(w io.Writer, scale float64, maxWorkers int, seed int64, cs
 				workers, totalOps, float64(totalOps)/opsPerSec, opsPerSec, opsPerSec/base, p50, p95, p99)
 		}
 	}
+	return runBrokerBatch(w, scale, seed, csv, doc)
+}
+
+// runBrokerBatch sweeps the ArriveBatch window over a pure-arrival stream:
+// an interleaved A/B of the serial entry point against batch windows
+// {1, 8, 64, 256} on one instrumented broker per run, single-goroutine (the
+// answer-delay trade is per submitter; cross-submitter parallelism is the
+// scaling sweep above). ns/op is per arrival in every arm; speedup is
+// serial-mean over arm-mean.
+func runBrokerBatch(w io.Writer, scale float64, seed int64, csv bool, doc *benchDoc) error {
+	campaigns := int(512 * scale)
+	if campaigns < 16 {
+		campaigns = 16
+	}
+	totalOps := int(200000 * scale)
+	if totalOps < 20000 {
+		totalOps = 20000
+	}
+	specs, ops, err := workload.BrokerLoad(workload.ArrivalBrokerLoadConfig(campaigns, totalOps, seed))
+	if err != nil {
+		return err
+	}
+	arrivals := make([]broker.Arrival, len(ops))
+	for i, op := range ops {
+		arrivals[i] = broker.Arrival{
+			Loc: op.Loc, Capacity: op.Capacity, ViewProb: op.ViewProb,
+			Interests: op.Interests, Hour: op.Hour,
+		}
+	}
+	windows := []int{0, 1, 8, 64, 256} // 0 = serial Arrive baseline
+	const rounds = 3
+	samples := make([][]float64, len(windows))
+	for r := 0; r < rounds; r++ {
+		for i, window := range windows {
+			ns, err := batchRun(specs, arrivals, window)
+			if err != nil {
+				return err
+			}
+			samples[i] = append(samples[i], ns)
+		}
+	}
+	baseMean, _ := meanMin(samples[0])
+	if csv {
+		fmt.Fprintln(w, "batch,rounds,arrivals,mean_ns_per_arrival,best_ns_per_arrival,speedup")
+	} else {
+		fmt.Fprintf(w, "\nBatch ingestion — %d campaigns, %d arrivals (pure-arrival stream), %d interleaved rounds\n",
+			campaigns, totalOps, rounds)
+		fmt.Fprintf(w, "%12s %16s %16s %9s\n", "batch", "mean ns/arr", "best ns/arr", "speedup")
+	}
+	for i, window := range windows {
+		mean, best := meanMin(samples[i])
+		label := "serial"
+		if window > 0 {
+			label = fmt.Sprintf("batch=%d", window)
+		}
+		if doc != nil {
+			doc.Points = append(doc.Points, benchPoint{
+				Series:      "broker_batch",
+				Label:       label,
+				BatchSize:   window,
+				Ops:         totalOps,
+				NsPerOp:     mean,
+				BestNsPerOp: best,
+				Speedup:     baseMean / mean,
+			})
+		}
+		if csv {
+			fmt.Fprintf(w, "%s,%d,%d,%.1f,%.1f,%.2f\n", label, rounds, totalOps, mean, best, baseMean/mean)
+		} else {
+			fmt.Fprintf(w, "%12s %16.1f %16.1f %8.2fx\n", label, mean, best, baseMean/mean)
+		}
+	}
 	return nil
+}
+
+// batchRun replays the arrival stream once on a fresh instrumented broker —
+// serially when window is 0, in ArriveBatch windows otherwise — and returns
+// ns per arrival.
+func batchRun(specs []workload.BrokerCampaign, arrivals []broker.Arrival, window int) (float64, error) {
+	b, err := broker.New(broker.Config{AdTypes: workload.DefaultAdTypes(), Metrics: obs.NewRegistry()})
+	if err != nil {
+		return 0, err
+	}
+	for _, c := range specs {
+		if _, err := b.RegisterCampaign(c.Loc, c.Radius, c.Budget, c.Tags); err != nil {
+			return 0, err
+		}
+	}
+	start := time.Now()
+	if window == 0 {
+		for i := range arrivals {
+			if _, err := b.Arrive(arrivals[i]); err != nil {
+				return 0, err
+			}
+		}
+	} else {
+		for lo := 0; lo < len(arrivals); lo += window {
+			hi := lo + window
+			if hi > len(arrivals) {
+				hi = len(arrivals)
+			}
+			for _, res := range b.ArriveBatch(arrivals[lo:hi]) {
+				if res.Err != nil {
+					return 0, res.Err
+				}
+			}
+		}
+	}
+	elapsed := time.Since(start)
+	return float64(elapsed.Nanoseconds()) / float64(len(arrivals)), nil
 }
 
 // brokerThroughput replays the op stream across `workers` goroutines against

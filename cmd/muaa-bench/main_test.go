@@ -119,14 +119,16 @@ func TestRunJSONOutput(t *testing.T) {
 		Scale      float64 `json:"scale"`
 		Seed       int64   `json:"seed"`
 		Points     []struct {
-			Series     string  `json:"series"`
-			Label      string  `json:"label"`
-			Goroutines int     `json:"goroutines"`
-			Ops        int     `json:"ops"`
-			NsPerOp    float64 `json:"ns_per_op"`
-			OpsPerSec  float64 `json:"ops_per_sec"`
-			Speedup    float64 `json:"speedup"`
-			P99Us      float64 `json:"p99_us"`
+			Series      string  `json:"series"`
+			Label       string  `json:"label"`
+			Goroutines  int     `json:"goroutines"`
+			BatchSize   int     `json:"batch_size"`
+			Ops         int     `json:"ops"`
+			NsPerOp     float64 `json:"ns_per_op"`
+			BestNsPerOp float64 `json:"best_ns_per_op"`
+			OpsPerSec   float64 `json:"ops_per_sec"`
+			Speedup     float64 `json:"speedup"`
+			P99Us       float64 `json:"p99_us"`
 		} `json:"points"`
 	}
 	if err := json.Unmarshal(raw, &doc); err != nil {
@@ -141,16 +143,41 @@ func TestRunJSONOutput(t *testing.T) {
 	if doc.GoVersion == "" || doc.GOMAXPROCS < 1 || doc.Scale != 0.02 || doc.Seed != 1 {
 		t.Errorf("run config not captured: %+v", doc)
 	}
-	if len(doc.Points) < 2 {
-		t.Fatalf("sweep produced %d points, want the 1- and 2-goroutine rows", len(doc.Points))
-	}
+	// -exp broker emits the goroutine-scaling sweep followed by the
+	// batch-ingestion sweep; both ride the same schema with their own
+	// per-series fields.
+	var scaling, batch int
 	for i, p := range doc.Points {
-		if p.Series != "broker_scaling" || p.Label == "" || p.Goroutines != 1<<i {
-			t.Errorf("point %d malformed: %+v", i, p)
+		switch p.Series {
+		case "broker_scaling":
+			if p.Label == "" || p.Goroutines != 1<<i {
+				t.Errorf("scaling point %d malformed: %+v", i, p)
+			}
+			if p.Ops <= 0 || p.NsPerOp <= 0 || p.OpsPerSec <= 0 || p.Speedup <= 0 || p.P99Us <= 0 {
+				t.Errorf("scaling point %d has empty measurements: %+v", i, p)
+			}
+			scaling++
+		case "broker_batch":
+			if batch == 0 {
+				if p.Label != "serial" || p.BatchSize != 0 {
+					t.Errorf("first batch point must be the serial baseline: %+v", p)
+				}
+			} else if p.Label == "" || p.BatchSize <= 0 {
+				t.Errorf("batch point %d malformed: %+v", i, p)
+			}
+			if p.Ops <= 0 || p.NsPerOp <= 0 || p.BestNsPerOp <= 0 || p.Speedup <= 0 {
+				t.Errorf("batch point %d has empty measurements: %+v", i, p)
+			}
+			batch++
+		default:
+			t.Errorf("point %d has unknown series %q", i, p.Series)
 		}
-		if p.Ops <= 0 || p.NsPerOp <= 0 || p.OpsPerSec <= 0 || p.Speedup <= 0 || p.P99Us <= 0 {
-			t.Errorf("point %d has empty measurements: %+v", i, p)
-		}
+	}
+	if scaling < 2 {
+		t.Fatalf("scaling sweep produced %d points, want the 1- and 2-goroutine rows", scaling)
+	}
+	if batch < 2 {
+		t.Fatalf("batch sweep produced %d points, want serial plus windowed arms", batch)
 	}
 
 	// The WAL A/B emits the mean/best/overhead arm rows under the same schema.

@@ -12,6 +12,7 @@
 //	POST /v1/campaigns/{id}/pause pause / resume
 //	GET  /v1/campaigns/{id}       live campaign state
 //	POST /v1/arrivals             a customer arrival → the ads to deliver now
+//	POST /v1/arrivals:batch       an arrival window → per-arrival results (docs/API.md)
 //	GET  /v1/stats                broker counters (γ bounds, derived g, spend)
 //	GET  /v1/campaigns            list all campaign states
 //	GET  /v1/map.svg              the live campaign map as SVG

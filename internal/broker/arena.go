@@ -1,0 +1,308 @@
+package broker
+
+// The struct-of-arrays scan arena. Every arrival used to rebuild its scratch
+// state from scratch — a candidate-id slice, one model view per candidate, a
+// Pearson weights buffer per score, and a candidate slice — which cost ~6
+// allocations per serial arrival. The arena keeps all of that as flat,
+// reusable slices hanging off the shard struct, so the steady-state hot path
+// allocates nothing and the scoring loop runs over dense float64 arrays.
+//
+// Ownership rule: an arrival (or batch) that locks the contiguous stripe
+// interval [s0, s1] uses the arena of shard s0 — the lowest locked stripe.
+// Any two lock sets that share a stripe overlap as intervals, so two holders
+// can never pick the same lowest stripe while both hold it; the arena is
+// therefore exclusively owned for the duration of the locks, with no
+// synchronization beyond the stripe mutexes themselves.
+//
+// The scan is split into three passes that together reproduce the exact
+// floating-point operation sequence of the original fused loop (pinned by
+// the golden transcripts in determinism_test.go):
+//
+//  1. gatherCandidates: grid probes into ids, sorted ascending — the global
+//     scan order.
+//  2. scanCandidates pass A: per-candidate score/distance/base/δ terms into
+//     the flat arrays. This pass never reads γ state, so hoisting it out of
+//     the threshold loop cannot change any admission decision.
+//  3. scanCandidates pass B: the sequential O-AFA threshold walk. γ
+//     observations feed forward from candidate i to candidate i+1's
+//     threshold, exactly as the fused loop did, so this pass must stay in
+//     candidate order.
+
+import (
+	"math"
+	"slices"
+
+	"muaa/internal/geo"
+	"muaa/internal/model"
+	"muaa/internal/trace"
+)
+
+// scanArena is the per-stripe reusable scan scratch. All slices are grown by
+// append and retained at high-water capacity; the model views and weights
+// buffer are reused across candidates so scoring is allocation-free.
+type scanArena struct {
+	// ids is the gathered candidate id set, sorted ascending.
+	ids []int32
+
+	// Struct-of-arrays terms for candidates that survived the cheap filters
+	// (paused / exhausted / dimension mismatch / non-positive score), indexed
+	// together: cand[i]'s Eq. 4 base value is base[i], its budget-usage ratio
+	// delta[i], its pacing-capped spendable budget remaining[i], its raw
+	// unspent budget headroom[i], and relief[i] marks a guaranteed campaign
+	// behind its pro-rated delivery floor.
+	cand      []*campaign
+	base      []float64
+	delta     []float64
+	remaining []float64
+	headroom  []float64
+	relief    []bool
+
+	// cands accumulates admitted offers awaiting capacity trim and commit.
+	cands []candidate
+
+	// Reused model views handed to the preference scorer, plus the Pearson
+	// weights scratch (see model.PearsonPreference.ScoreScratch).
+	customer model.Customer
+	vendor   model.Vendor
+	weights  []float64
+}
+
+// scanTally counts how the scan disposed of each candidate, plus the number
+// of admitted offers dropped by the capacity trim. Folded into the metrics
+// counters (and the trace's ScanCounts) after the scan so the loop body
+// stays branch-light.
+type scanTally struct {
+	offered, paused, exhausted, mismatch, lowScore, unaffordable, belowThreshold uint64
+	trimmed                                                                      uint64
+}
+
+// add folds another tally into t (batch aggregation).
+func (t *scanTally) add(o scanTally) {
+	t.offered += o.offered
+	t.paused += o.paused
+	t.exhausted += o.exhausted
+	t.mismatch += o.mismatch
+	t.lowScore += o.lowScore
+	t.unaffordable += o.unaffordable
+	t.belowThreshold += o.belowThreshold
+	t.trimmed += o.trimmed
+}
+
+// counts converts the tally to the trace view.
+func (t *scanTally) counts() trace.ScanCounts {
+	return trace.ScanCounts{
+		Offered:        t.offered,
+		Paused:         t.paused,
+		Exhausted:      t.exhausted,
+		Mismatch:       t.mismatch,
+		LowScore:       t.lowScore,
+		Unaffordable:   t.unaffordable,
+		BelowThreshold: t.belowThreshold,
+	}
+}
+
+// gatherCandidates probes the locked shards' grids for campaigns covering
+// loc, sorts the ids ascending (global ID order — the same order the
+// single-mutex broker scanned in), and returns the campaign directory.
+// Loaded after the shard locks: any id a locked grid returned was inserted
+// under that shard's lock, and its registration published the directory
+// entry before the grid entry, so this load observes it.
+func (b *Broker) gatherCandidates(ar *scanArena, loc geo.Point, s0, s1 int) []*campaign {
+	ar.ids = ar.ids[:0]
+	for i := s0; i <= s1; i++ {
+		ar.ids = b.shards[i].grid.CoveredBy(ar.ids, loc)
+	}
+	slices.Sort(ar.ids)
+	return *b.dir.Load()
+}
+
+// scanCandidates runs the two scan passes over ar.ids, leaving the admitted
+// (and capacity-trimmed) offers in ar.cands. Caller holds the stripe locks
+// that produced ar.ids.
+func (b *Broker) scanCandidates(ar *scanArena, a *Arrival, dir []*campaign, boost float64) scanTally {
+	var tally scanTally
+	cu := &ar.customer
+	*cu = model.Customer{Loc: a.Loc, Capacity: a.Capacity, ViewProb: a.ViewProb,
+		Interests: a.Interests, Arrival: a.Hour}
+	ve := &ar.vendor
+	ar.cand = ar.cand[:0]
+	ar.base = ar.base[:0]
+	ar.delta = ar.delta[:0]
+	ar.remaining = ar.remaining[:0]
+	ar.headroom = ar.headroom[:0]
+	ar.relief = ar.relief[:0]
+	ar.cands = ar.cands[:0]
+
+	// Pass A: filters and the γ-independent per-candidate terms.
+	for _, id := range ar.ids {
+		c := dir[id]
+		if c.paused.Load() {
+			tally.paused++
+			continue
+		}
+		budget := c.budget.Load()
+		if budget <= 0 {
+			tally.exhausted++
+			continue
+		}
+		if b.vectorPref && len(c.tags) != len(a.Interests) {
+			tally.mismatch++
+			continue // mismatched taxonomies: preference undefined, not served
+		}
+		spent := c.spent.Load()
+		*ve = model.Vendor{Loc: c.loc, Radius: c.radius, Budget: budget, Tags: c.tags}
+		var s float64
+		if b.vectorPref {
+			// Devirtualized call with the arena's weights scratch: same
+			// arithmetic as Preference.Score, zero allocations.
+			s, ar.weights = b.pearson.ScoreScratch(cu, ve, a.Hour, ar.weights)
+		} else {
+			s = b.pref.Score(cu, ve, a.Hour)
+		}
+		if s <= 0 || math.IsNaN(s) {
+			tally.lowScore++
+			continue
+		}
+		if s > 1 {
+			s = 1
+		}
+		d := a.Loc.Dist(c.loc)
+		if d < b.minDist {
+			d = b.minDist
+		}
+		base := a.ViewProb * s / d
+		delta := spent / budget
+		relief := c.guaranteed && c.floor > 0 && spent < c.floor*budget*(a.Hour/24)
+		remaining := budget - spent
+		headroom := remaining
+		if b.cfg.Pacing > 0 {
+			// Daily pacing cap: spend so far plus this ad must stay within
+			// the hour's pro-rated allowance.
+			allowance := b.cfg.Pacing * budget * a.Hour / 24
+			if paced := allowance - spent; paced < remaining {
+				remaining = paced
+			}
+		}
+		if b.controller != nil {
+			// Controller epoch cap: spend may not pass the allowance the last
+			// PacingStep granted (+Inf when uncapped, so this is a no-op for
+			// unthrottled campaigns).
+			if paced := c.allowance.Load() - spent; paced < remaining {
+				remaining = paced
+			}
+		}
+		ar.cand = append(ar.cand, c)
+		ar.base = append(ar.base, base)
+		ar.delta = append(ar.delta, delta)
+		ar.remaining = append(ar.remaining, remaining)
+		ar.headroom = append(ar.headroom, headroom)
+		ar.relief = append(ar.relief, relief)
+	}
+
+	// Pass B: the sequential O-AFA threshold walk, in candidate order — each
+	// candidate's threshold reads the γ bounds as updated by every earlier
+	// candidate's observations.
+	adTypes := b.cfg.AdTypes
+	for i, c := range ar.cand {
+		phi := b.threshold(ar.delta[i])
+		if boost != 1 {
+			phi *= boost
+		}
+		if ar.relief[i] {
+			// Guaranteed delivery behind the pro-rated floor: relax admission
+			// so the campaign catches up before the penalty accrues. The
+			// relief factor keeps φ positive — the threshold is softened, not
+			// suspended.
+			phi *= guaranteeRelief
+		}
+		base, remaining := ar.base[i], ar.remaining[i]
+		bestK, bestU, bestEff := -1, 0.0, 0.0
+		affordable := false
+		for k, t := range adTypes {
+			if t.Cost > remaining+1e-12 {
+				continue
+			}
+			affordable = true
+			util := base * t.Effect
+			eff := util / t.Cost
+			b.observeEfficiency(eff)
+			if eff < phi {
+				continue
+			}
+			if util > bestU {
+				bestK, bestU, bestEff = k, util, eff
+			}
+		}
+		switch {
+		case bestK >= 0:
+			tally.offered++
+			ar.cands = append(ar.cands, candidate{
+				Offer: Offer{
+					Campaign: c.id, AdType: bestK, Utility: bestU,
+					Efficiency: bestEff, Cost: adTypes[bestK].Cost,
+				},
+				c: c,
+			})
+		case affordable:
+			tally.belowThreshold++
+		case ar.headroom[i] < b.minAdCost:
+			// Not even the cheapest ad fits the unspent budget: the
+			// campaign is spent out until a top-up.
+			tally.exhausted++
+		default:
+			// Unspent budget exists but the pacing allowance withheld it.
+			tally.unaffordable++
+		}
+	}
+	if len(ar.cands) > a.Capacity {
+		// Total order (efficiency desc, campaign asc; campaigns are unique),
+		// so every sort algorithm yields the same trimmed set and order.
+		slices.SortFunc(ar.cands, func(x, y candidate) int {
+			if x.Efficiency != y.Efficiency {
+				if x.Efficiency > y.Efficiency {
+					return -1
+				}
+				return 1
+			}
+			if x.Campaign != y.Campaign {
+				if x.Campaign < y.Campaign {
+					return -1
+				}
+				return 1
+			}
+			return 0
+		})
+		tally.trimmed = uint64(len(ar.cands) - a.Capacity)
+		ar.cands = ar.cands[:a.Capacity]
+	}
+	return tally
+}
+
+// commitOffers charges every offer in ar.cands to its campaign and appends
+// the offers to dst, returning the extended slice. Caller still holds the
+// stripe locks; writers hold the owning shard's lock (every candidate came
+// from a locked shard), so load+store is a safe read-modify-write.
+func (b *Broker) commitOffers(ar *scanArena, dst []Offer) []Offer {
+	m := b.metrics
+	for i := range ar.cands {
+		cd := &ar.cands[i]
+		oldSpent := cd.c.spent.Load()
+		newSpent := oldSpent + cd.Cost
+		cd.c.spent.Store(newSpent)
+		b.spent.Add(cd.Cost)
+		b.utility.Add(cd.Utility)
+		b.offers.Add(1)
+		dst = append(dst, cd.Offer)
+		if m != nil {
+			m.offersByType[cd.AdType].Inc()
+			// Exhaustion event: this commit pushed the remaining budget
+			// below the cheapest ad type, so the campaign can serve nothing
+			// further until a top-up.
+			budget := cd.c.budget.Load()
+			if budget-oldSpent >= b.minAdCost && budget-newSpent < b.minAdCost {
+				m.exhaustedEvents.Inc()
+			}
+		}
+	}
+	return dst
+}

@@ -324,6 +324,25 @@ type AuditConfig struct {
 	Seed    int64
 }
 
+// auditArrival converts one decoded arrival (and its committed offers) into
+// the audit stream's shape.
+func auditArrival(cu Arrival, hasFeatures bool, offers []Offer) audit.Arrival {
+	out := make([]audit.Offer, len(offers))
+	for j := range offers {
+		o := &offers[j]
+		out[j] = audit.Offer{Campaign: o.Campaign, AdType: o.AdType, Cost: o.Cost, Utility: o.Utility}
+	}
+	return audit.Arrival{
+		Loc:         cu.Loc,
+		Capacity:    cu.Capacity,
+		ViewProb:    cu.ViewProb,
+		Interests:   cu.Interests,
+		Hour:        cu.Hour,
+		HasFeatures: hasFeatures,
+		Offers:      out,
+	}
+}
+
 // ReplayAudit audits a broker durability directory offline: it reads the
 // snapshot and WAL segments read-only (never interfering with a live
 // writer's group commit), rebuilds the decision stream through the exported
@@ -396,20 +415,18 @@ func ReplayAudit(dir string, cfg AuditConfig) (audit.Report, error) {
 		case RecordArrival, RecordArrivalV2:
 			gammaMin = math.Min(gammaMin, d.GammaMin)
 			gammaMax = math.Max(gammaMax, d.GammaMax)
-			offers := make([]audit.Offer, len(d.Offers))
-			for j := range d.Offers {
-				o := &d.Offers[j]
-				offers[j] = audit.Offer{Campaign: o.Campaign, AdType: o.AdType, Cost: o.Cost, Utility: o.Utility}
+			in.Arrivals = append(in.Arrivals,
+				auditArrival(d.Customer, d.HasCustomer, d.Offers))
+		case RecordArrivalBatch:
+			// One record, many arrivals: fold each element exactly as a
+			// serial arrival record, in the batch's processing order.
+			for j := range d.Batch {
+				e := &d.Batch[j]
+				gammaMin = math.Min(gammaMin, e.GammaMin)
+				gammaMax = math.Max(gammaMax, e.GammaMax)
+				in.Arrivals = append(in.Arrivals,
+					auditArrival(e.Customer, true, e.Offers))
 			}
-			in.Arrivals = append(in.Arrivals, audit.Arrival{
-				Loc:         d.Customer.Loc,
-				Capacity:    d.Customer.Capacity,
-				ViewProb:    d.Customer.ViewProb,
-				Interests:   d.Customer.Interests,
-				Hour:        d.Customer.Hour,
-				HasFeatures: d.HasCustomer,
-				Offers:      offers,
-			})
 		}
 	}
 	if gammaMax > 0 {

@@ -7,7 +7,6 @@ import (
 	"log/slog"
 	"math"
 	"runtime"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -170,8 +169,11 @@ type Broker struct {
 	// therefore require equal dimensionality (PearsonPreference panics on a
 	// mismatch — a contract violation in batch problems, but live arrivals
 	// and campaigns come from untrusted clients, so the broker treats a
-	// dimension mismatch as ineligibility instead).
+	// dimension mismatch as ineligibility instead). When set, pearson holds
+	// the concrete scorer so the scan calls ScoreScratch directly (no
+	// interface dispatch, no per-candidate weights allocation).
 	vectorPref bool
+	pearson    model.PearsonPreference
 	minDist    float64
 	bounds     geo.Rect
 	minAdCost  float64 // cheapest configured ad type; the exhaustion line
@@ -272,11 +274,12 @@ func newMemory(cfg Config) (*Broker, error) {
 	if minDist == 0 {
 		minDist = model.DefaultMinDist
 	}
-	_, vectorPref := pref.(model.PearsonPreference)
+	pearson, vectorPref := pref.(model.PearsonPreference)
 	b := &Broker{
 		cfg:        cfg,
 		pref:       pref,
 		vectorPref: vectorPref,
+		pearson:    pearson,
 		minDist:    minDist,
 		bounds:     bounds,
 		stripes:    geo.NewStripes(bounds, nShards),
@@ -502,9 +505,23 @@ type candidate struct {
 // locked, and they stay locked through commit so admission and spend are one
 // atomic step per campaign.
 func (b *Broker) Arrive(a Arrival) ([]Offer, error) {
-	out, err := b.arrive(a, nil)
+	out, err := b.arrive(nil, a, nil)
 	if b.audit != nil && err == nil {
 		b.audit.capture(&a, out)
+	}
+	return out, err
+}
+
+// ArriveAppend is Arrive with a caller-owned result buffer: committed offers
+// are appended to dst and the extended slice returned, so a serving loop that
+// recycles its buffer (and the batch path, which shares one buffer across a
+// whole batch) processes arrivals with zero allocations. The decision
+// sequence is exactly Arrive's.
+func (b *Broker) ArriveAppend(dst []Offer, a Arrival) ([]Offer, error) {
+	n0 := len(dst)
+	out, err := b.arrive(dst, a, nil)
+	if b.audit != nil && err == nil {
+		b.audit.capture(&a, out[n0:])
 	}
 	return out, err
 }
@@ -525,7 +542,7 @@ func (b *Broker) ArriveTraced(a Arrival, req *trace.Request) ([]Offer, error) {
 		ParentSpanID: req.ParentSpanID,
 		Capacity:     a.Capacity,
 	}
-	out, err := b.arrive(a, t)
+	out, err := b.arrive(nil, a, t)
 	if t.Start.IsZero() {
 		// The arrival never reached the timed pipeline (validation failure
 		// or zero capacity); stamp it so the recorder can still order it.
@@ -552,28 +569,30 @@ func (b *Broker) ArriveTraced(a Arrival, req *trace.Request) ([]Offer, error) {
 	return out, err
 }
 
-// arrive is the shared arrival pipeline. t, when non-nil, collects the
-// trace view of this arrival; stage boundaries are timed once and fed to
-// both the stage histograms and the trace, so tracing adds no clock reads
-// beyond the instrumented path's.
-func (b *Broker) arrive(a Arrival, t *trace.Trace) ([]Offer, error) {
+// arrive is the shared arrival pipeline: validate, lock the stripe interval,
+// then the arena passes — gather, scan, commit (see arena.go). Committed
+// offers are appended to dst (nil for the plain Arrive path). t, when
+// non-nil, collects the trace view of this arrival; stage boundaries are
+// timed once and fed to both the stage histograms and the trace, so tracing
+// adds no clock reads beyond the instrumented path's.
+func (b *Broker) arrive(dst []Offer, a Arrival, t *trace.Trace) ([]Offer, error) {
 	m := b.metrics
 	if a.Capacity < 0 {
 		if m != nil {
 			m.arrivalErrors.Inc()
 		}
-		return nil, fmt.Errorf("broker: capacity %d", a.Capacity)
+		return dst, fmt.Errorf("broker: capacity %d", a.Capacity)
 	}
 	if a.ViewProb < 0 || a.ViewProb > 1 || math.IsNaN(a.ViewProb) {
 		if m != nil {
 			m.arrivalErrors.Inc()
 		}
-		return nil, fmt.Errorf("broker: view probability %g", a.ViewProb)
+		return dst, fmt.Errorf("broker: view probability %g", a.ViewProb)
 	}
 	if b.wal == nil {
 		b.arrivals.Add(1)
 		if a.Capacity == 0 {
-			return nil, nil
+			return dst, nil
 		}
 	} else if a.Capacity == 0 {
 		// Durable: the arrivals counter is recovered state, so its bump and
@@ -584,10 +603,8 @@ func (b *Broker) arrive(a Arrival, t *trace.Trace) ([]Offer, error) {
 		b.arrivals.Add(1)
 		b.logArrival(&a, nil)
 		sh.mu.Unlock()
-		return nil, nil
+		return dst, nil
 	}
-	cu := &model.Customer{Loc: a.Loc, Capacity: a.Capacity, ViewProb: a.ViewProb,
-		Interests: a.Interests, Arrival: a.Hour}
 
 	// A covering campaign's center is within maxRadius of the arrival, so
 	// only the stripes overlapping that Y-window can hold one. Lock them in
@@ -649,18 +666,10 @@ func (b *Broker) arrive(a Arrival, t *trace.Trace) ([]Offer, error) {
 		b.arrivals.Add(1)
 	}
 
-	var ids []int32
-	for i := s0; i <= s1; i++ {
-		ids = b.shards[i].grid.CoveredBy(ids, a.Loc)
-	}
-	// Scan in global ID order — the same order the single-mutex broker
-	// used, so threshold/γ evolution within one arrival is reproduced
-	// exactly.
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	// Loaded after the shard locks: any id a locked grid returned was
-	// inserted under that shard's lock, and its registration published the
-	// directory entry before the grid entry, so this load observes it.
-	dir := *b.dir.Load()
+	// The lowest locked stripe's arena is exclusively ours while the locks
+	// are held (see scanArena's ownership rule).
+	ar := &b.shards[s0].arena
+	dir := b.gatherCandidates(ar, a.Loc, s0, s1)
 	if timed {
 		el := time.Since(tStart)
 		d := el - elStage
@@ -673,11 +682,6 @@ func (b *Broker) arrive(a Arrival, t *trace.Trace) ([]Offer, error) {
 		}
 	}
 
-	// Scan outcome tallies; folded into the counters after the loop so the
-	// loop body stays branch-light whether or not metrics are on.
-	var tally struct {
-		offered, paused, exhausted, mismatch, lowScore, unaffordable, belowThreshold uint64
-	}
 	// The controller's boost is loaded once per arrival so every candidate in
 	// the scan sees the same threshold scaling (PacingStep only swaps it
 	// under full shard quiescence, which this arrival's held locks exclude).
@@ -685,144 +689,21 @@ func (b *Broker) arrive(a Arrival, t *trace.Trace) ([]Offer, error) {
 	if b.controller != nil {
 		boost = b.phiBoost.Load()
 	}
-	var cands []candidate
-	for _, id := range ids {
-		c := dir[id]
-		if c.paused.Load() {
-			tally.paused++
-			continue
-		}
-		budget := c.budget.Load()
-		if budget <= 0 {
-			tally.exhausted++
-			continue
-		}
-		if b.vectorPref && len(c.tags) != len(a.Interests) {
-			tally.mismatch++
-			continue // mismatched taxonomies: preference undefined, not served
-		}
-		spent := c.spent.Load()
-		ve := &model.Vendor{Loc: c.loc, Radius: c.radius, Budget: budget, Tags: c.tags}
-		s := b.pref.Score(cu, ve, a.Hour)
-		if s <= 0 || math.IsNaN(s) {
-			tally.lowScore++
-			continue
-		}
-		if s > 1 {
-			s = 1
-		}
-		d := a.Loc.Dist(c.loc)
-		if d < b.minDist {
-			d = b.minDist
-		}
-		base := a.ViewProb * s / d
-		delta := spent / budget
-		phi := b.threshold(delta)
-		if boost != 1 {
-			phi *= boost
-		}
-		if c.guaranteed && c.floor > 0 && spent < c.floor*budget*(a.Hour/24) {
-			// Guaranteed delivery behind the pro-rated floor: relax admission
-			// so the campaign catches up before the penalty accrues. The
-			// relief factor keeps φ positive — the threshold is softened, not
-			// suspended.
-			phi *= guaranteeRelief
-		}
-		remaining := budget - spent
-		if b.cfg.Pacing > 0 {
-			// Daily pacing cap: spend so far plus this ad must stay within
-			// the hour's pro-rated allowance.
-			allowance := b.cfg.Pacing * budget * a.Hour / 24
-			if paced := allowance - spent; paced < remaining {
-				remaining = paced
-			}
-		}
-		if b.controller != nil {
-			// Controller epoch cap: spend may not pass the allowance the last
-			// PacingStep granted (+Inf when uncapped, so this is a no-op for
-			// unthrottled campaigns).
-			if paced := c.allowance.Load() - spent; paced < remaining {
-				remaining = paced
-			}
-		}
-		bestK, bestU, bestEff := -1, 0.0, 0.0
-		affordable := false
-		for k, t := range b.cfg.AdTypes {
-			if t.Cost > remaining+1e-12 {
-				continue
-			}
-			affordable = true
-			util := base * t.Effect
-			eff := util / t.Cost
-			b.observeEfficiency(eff)
-			if eff < phi {
-				continue
-			}
-			if util > bestU {
-				bestK, bestU, bestEff = k, util, eff
-			}
-		}
-		switch {
-		case bestK >= 0:
-			tally.offered++
-			cands = append(cands, candidate{
-				Offer: Offer{
-					Campaign: c.id, AdType: bestK, Utility: bestU,
-					Efficiency: bestEff, Cost: b.cfg.AdTypes[bestK].Cost,
-				},
-				c: c,
-			})
-		case affordable:
-			tally.belowThreshold++
-		case budget-spent < b.minAdCost:
-			// Not even the cheapest ad fits the unspent budget: the
-			// campaign is spent out until a top-up.
-			tally.exhausted++
-		default:
-			// Unspent budget exists but the pacing allowance withheld it.
-			tally.unaffordable++
-		}
-	}
-	if len(cands) > a.Capacity {
-		sort.Slice(cands, func(i, j int) bool {
-			if cands[i].Efficiency != cands[j].Efficiency {
-				return cands[i].Efficiency > cands[j].Efficiency
-			}
-			return cands[i].Campaign < cands[j].Campaign
-		})
-		if m != nil {
-			m.capacityTrimmed.Add(uint64(len(cands) - a.Capacity))
-		}
-		cands = cands[:a.Capacity]
-	}
+	tally := b.scanCandidates(ar, &a, dir, boost)
 	if timed {
 		el := time.Since(tStart)
 		d := el - elStage
 		elStage = el
 		if m != nil {
 			m.stageScan.ObserveShard(s0, d.Seconds())
-			m.scanOffered.Add(tally.offered)
-			m.scanPaused.Add(tally.paused)
-			m.scanExhausted.Add(tally.exhausted)
-			m.scanMismatch.Add(tally.mismatch)
-			m.scanLowScore.Add(tally.lowScore)
-			m.scanUnaffordable.Add(tally.unaffordable)
-			m.scanBelowThreshold.Add(tally.belowThreshold)
+			m.foldScanTally(&tally)
 		}
 		if t != nil {
 			t.Stages[trace.StageScan] = d
-			t.Scan = trace.ScanCounts{
-				Offered:        tally.offered,
-				Paused:         tally.paused,
-				Exhausted:      tally.exhausted,
-				Mismatch:       tally.mismatch,
-				LowScore:       tally.lowScore,
-				Unaffordable:   tally.unaffordable,
-				BelowThreshold: tally.belowThreshold,
-			}
+			t.Scan = tally.counts()
 		}
 	}
-	if len(cands) == 0 {
+	if len(ar.cands) == 0 {
 		if b.wal != nil {
 			b.logArrival(&a, nil)
 		}
@@ -837,35 +718,15 @@ func (b *Broker) arrive(a Arrival, t *trace.Trace) ([]Offer, error) {
 				t.Duration = el
 			}
 		}
-		return nil, nil
+		return dst, nil
 	}
-	out := make([]Offer, len(cands))
-	for i, cd := range cands {
-		// Writers hold the owning shard's lock (every candidate came from a
-		// locked shard), so load+store is a safe read-modify-write.
-		oldSpent := cd.c.spent.Load()
-		newSpent := oldSpent + cd.Cost
-		cd.c.spent.Store(newSpent)
-		b.spent.Add(cd.Cost)
-		b.utility.Add(cd.Utility)
-		b.offers.Add(1)
-		out[i] = cd.Offer
-		if m != nil {
-			m.offersByType[cd.AdType].Inc()
-			// Exhaustion event: this commit pushed the remaining budget
-			// below the cheapest ad type, so the campaign can serve nothing
-			// further until a top-up.
-			budget := cd.c.budget.Load()
-			if budget-oldSpent >= b.minAdCost && budget-newSpent < b.minAdCost {
-				m.exhaustedEvents.Inc()
-			}
-		}
-	}
+	n0 := len(dst)
+	dst = b.commitOffers(ar, dst)
 	if b.wal != nil {
 		// Logged after every charge has landed and before the stripe locks
 		// release: the record carries the post-arrival γ bits and exactly
 		// the offers committed.
-		b.logArrival(&a, out)
+		b.logArrival(&a, dst[n0:])
 	}
 	if timed {
 		el := time.Since(tStart)
@@ -879,7 +740,7 @@ func (b *Broker) arrive(a Arrival, t *trace.Trace) ([]Offer, error) {
 			t.Duration = el
 		}
 	}
-	return out, nil
+	return dst, nil
 }
 
 // observeArrival feeds the end-to-end latency into the arrival histogram,

@@ -71,12 +71,7 @@ func applyTranscriptOpVia(t *testing.T, b *Broker, sb *strings.Builder, i int, o
 		if err != nil {
 			t.Fatalf("op %d: %v", i, err)
 		}
-		fmt.Fprintf(sb, "arrive %d n=%d", i, len(offers))
-		for _, o := range offers {
-			fmt.Fprintf(sb, " [c=%d k=%d u=%v e=%v $=%v]",
-				o.Campaign, o.AdType, o.Utility, o.Efficiency, o.Cost)
-		}
-		sb.WriteByte('\n')
+		writeArriveLine(sb, i, offers)
 	case workload.OpTopUp:
 		if err := b.TopUp(op.Campaign, op.Amount); err != nil {
 			t.Fatalf("op %d: %v", i, err)
@@ -93,6 +88,17 @@ func applyTranscriptOpVia(t *testing.T, b *Broker, sb *strings.Builder, i int, o
 			i, st.Campaigns, st.Arrivals, st.OffersPushed, st.UtilityServed,
 			st.BudgetSpent, st.GammaMin, st.GammaMax, st.G)
 	}
+}
+
+// writeArriveLine renders one arrival's transcript line; shared with the
+// batched replay harness, which emits lines at batch-flush time.
+func writeArriveLine(sb *strings.Builder, i int, offers []Offer) {
+	fmt.Fprintf(sb, "arrive %d n=%d", i, len(offers))
+	for _, o := range offers {
+		fmt.Fprintf(sb, " [c=%d k=%d u=%v e=%v $=%v]",
+			o.Campaign, o.AdType, o.Utility, o.Efficiency, o.Cost)
+	}
+	sb.WriteByte('\n')
 }
 
 func writeFinalLines(sb *strings.Builder, b *Broker) {

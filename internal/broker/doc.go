@@ -11,7 +11,11 @@
 // O-AFA admission rule over the live campaign state. γ_min is maintained as
 // a running estimate from the efficiencies the broker actually observes
 // (the paper's "estimated through the historical records ... after a period
-// of tuning").
+// of tuning"). Clients that tolerate a bounded answer delay may submit
+// arrival windows through ArriveBatch, which amortizes locking, clocking
+// and WAL framing across the window while keeping every decision
+// bit-identical to serial submission — pure transport batching, not the
+// look-ahead of core.OnlineBatch (DESIGN.md §14).
 //
 // # Concurrency model
 //

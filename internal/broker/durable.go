@@ -25,6 +25,14 @@ const (
 	recArrivalV2  byte = 5 // recArrival plus the customer's own features (loc, capacity, viewProb, interests, hour)
 	recRegisterV2 byte = 6 // recRegister plus the delivery class (guaranteed flag, floor, penalty)
 	recController byte = 7 // versioned controller epoch: boost bits + per-campaign rate/allowance bits
+
+	// recArrivalBatch is the v3 arrival record one ArriveBatch call appends:
+	// a u32 arrival count followed by that many back-to-back recArrivalV2
+	// bodies, each carrying the γ bits as they stood after that arrival's
+	// commit. Replaying the bodies in order therefore performs exactly the
+	// accumulator sequence serial replay would — batch and serial histories
+	// of the same stream are bit-identical (TestBatchReplayBitExact).
+	recArrivalBatch byte = 8 // count, then per arrival: γ bits, customer features, offers
 )
 
 // controllerRecVersion is the internal version byte of recController
@@ -344,8 +352,18 @@ func (b *Broker) logPause(id int32, paused bool) {
 // carries.
 func (b *Broker) logArrival(a *Arrival, offers []Offer) {
 	bp := recPool.Get().(*[]byte)
-	buf := (*bp)[:0]
-	buf = append(buf, recArrivalV2)
+	buf := append((*bp)[:0], recArrivalV2)
+	buf = b.appendArrivalBody(buf, a, offers)
+	*bp = buf
+	b.walAppend(bp)
+}
+
+// appendArrivalBody encodes the arrival payload shared by recArrivalV2 and
+// each element of a recArrivalBatch: the γ bounds as this broker holds them
+// right now (the batch path calls this immediately after each arrival's
+// commit, matching the serial record's semantics), the customer's features,
+// and the committed offers.
+func (b *Broker) appendArrivalBody(buf []byte, a *Arrival, offers []Offer) []byte {
 	buf = binary.LittleEndian.AppendUint64(buf, b.gammaMin.bits.Load())
 	buf = binary.LittleEndian.AppendUint64(buf, b.gammaMax.bits.Load())
 	buf = appendF64(buf, a.Loc.X)
@@ -365,8 +383,7 @@ func (b *Broker) logArrival(a *Arrival, offers []Offer) {
 		buf = appendF64(buf, o.Cost)
 		buf = appendF64(buf, o.Utility)
 	}
-	*bp = buf
-	b.walAppend(bp)
+	return buf
 }
 
 // recReader is a bounds-checked little-endian cursor over one record (or
@@ -474,23 +491,40 @@ func (b *Broker) applyRecord(rec []byte) error {
 		// Replay in the original commit order: counter, γ fold, then each
 		// offer's charge — the same accumulator sequence Arrive performed,
 		// so serial replay reproduces every float bit for bit.
-		b.arrivals.Add(1)
-		b.gammaMin.Min(d.GammaMin)
-		b.gammaMax.Max(d.GammaMax)
-		for i := range d.Offers {
-			o := &d.Offers[i]
-			c, err := b.campaign(o.Campaign)
-			if err != nil {
+		return b.applyArrival(d.GammaMin, d.GammaMax, d.Offers)
+	case RecordArrivalBatch:
+		// Each element replays exactly like a serial arrival record, in the
+		// batch's processing order, so a batched history recovers to the
+		// same bits as the equivalent serial one.
+		for i := range d.Batch {
+			e := &d.Batch[i]
+			if err := b.applyArrival(e.GammaMin, e.GammaMax, e.Offers); err != nil {
 				return err
 			}
-			c.spent.Store(c.spent.Load() + o.Cost)
-			b.spent.Add(o.Cost)
-			b.utility.Add(o.Utility)
-			b.offers.Add(1)
 		}
 		return nil
 	}
 	return fmt.Errorf("unknown record type %d", byte(d.Kind))
+}
+
+// applyArrival folds one logged arrival into the recovering broker: the
+// counter, the γ bounds, then every offer's charge, in commit order.
+func (b *Broker) applyArrival(gammaMin, gammaMax float64, offers []Offer) error {
+	b.arrivals.Add(1)
+	b.gammaMin.Min(gammaMin)
+	b.gammaMax.Max(gammaMax)
+	for i := range offers {
+		o := &offers[i]
+		c, err := b.campaign(o.Campaign)
+		if err != nil {
+			return err
+		}
+		c.spent.Store(c.spent.Load() + o.Cost)
+		b.spent.Add(o.Cost)
+		b.utility.Add(o.Utility)
+		b.offers.Add(1)
+	}
+	return nil
 }
 
 // encodeSnapshot serializes the full broker state. Called with every

@@ -96,6 +96,49 @@ func FuzzPostArrival(f *testing.F) {
 	})
 }
 
+// FuzzPostArrivalBatch pins the batch endpoint's contract under arbitrary
+// input: transport-level garbage is 4xx, an accepted batch answers with
+// exactly one result per submitted arrival, and every result is either an
+// offers array or an error envelope — never both, never neither.
+func FuzzPostArrivalBatch(f *testing.F) {
+	f.Add(`[{"loc":{"x":0.49,"y":0.51},"capacity":2,"viewProb":0.7,"interests":[0.9,0.1,0.3]}]`)
+	f.Add(`[{"capacity":1,"viewProb":0.5},{"capacity":-1},{"viewProb":2}]`)
+	f.Add(`[]`)
+	f.Add(`[{}]`)
+	f.Add(`{"loc":{"x":0.5,"y":0.5}}`)
+	f.Add(`[{"unknown":1}]`)
+	f.Add(`[null]`)
+	f.Add(`null`)
+	f.Add(`[{nope`)
+	f.Add(``)
+	f.Fuzz(func(t *testing.T, body string) {
+		api := fuzzAPI(t)
+		rec := fuzzPost(t, api, "/v1/arrivals:batch", body)
+		if rec.Code >= 500 {
+			t.Fatalf("POST /v1/arrivals:batch %q → %d (server error on client input)", body, rec.Code)
+		}
+		if rec.Code != 200 {
+			return
+		}
+		var submitted []arrivalRequest
+		if err := json.Unmarshal([]byte(body), &submitted); err != nil {
+			t.Fatalf("batch accepted but request %q does not re-parse: %v", body, err)
+		}
+		var resp arrivalBatchResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatalf("accepted batch returned malformed body %q: %v", rec.Body, err)
+		}
+		if len(resp.Results) != len(submitted) {
+			t.Fatalf("batch of %d arrivals answered with %d results", len(submitted), len(resp.Results))
+		}
+		for i, res := range resp.Results {
+			if (res.Offers == nil) == (res.Error == nil) {
+				t.Fatalf("result %d is not exactly-one-of offers/error: %+v", i, res)
+			}
+		}
+	})
+}
+
 // FuzzPostTopUp covers the path-parameter endpoints: arbitrary IDs and
 // bodies must map to 4xx/404, never 5xx.
 func FuzzPostTopUp(f *testing.F) {

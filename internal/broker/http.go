@@ -26,6 +26,7 @@ import (
 //	POST /v1/campaigns/{id}/pause {paused}                       → {ok}
 //	POST /v1/topup                {id, amount}                   → {ok}
 //	POST /v1/arrivals             {loc, capacity, viewProb, ...} → {offers}
+//	POST /v1/arrivals:batch       [{loc, ...}, ...]              → {results}
 //	GET  /v1/stats                                               → counters
 //	GET  /v1/map.svg                                             → live campaign map
 //
@@ -43,10 +44,17 @@ import (
 type API struct {
 	broker *Broker
 	mux    *http.ServeMux
+	// routes lists every versioned path the mux serves, in registration
+	// order; see Routes.
+	routes []string
 }
 
 // maxBodyBytes caps every request body the API reads.
 const maxBodyBytes = 1 << 20
+
+// maxBatchArrivals caps the number of arrivals one /v1/arrivals:batch
+// request may carry; a longer array is rejected whole with 400.
+const maxBatchArrivals = 1024
 
 // NewAPI wraps a broker in its HTTP handler.
 func NewAPI(b *Broker) *API {
@@ -70,6 +78,9 @@ func NewAPI(b *Broker) *API {
 	a.handle("/arrivals", map[string]http.HandlerFunc{
 		http.MethodPost: a.postArrival,
 	})
+	a.handle("/arrivals:batch", map[string]http.HandlerFunc{
+		http.MethodPost: a.postArrivalBatch,
+	})
 	a.handle("/stats", map[string]http.HandlerFunc{
 		http.MethodGet: a.getStats,
 	})
@@ -91,6 +102,16 @@ func (a *API) handle(path string, methods map[string]http.HandlerFunc) {
 	h := methodHandler(methods)
 	a.mux.Handle("/v1"+path, h)
 	a.mux.Handle(path, h)
+	a.routes = append(a.routes, "/v1"+path)
+}
+
+// Routes returns every versioned path the API serves (the /v1 forms, not
+// the legacy aliases), in registration order. The documentation coverage
+// test uses it to assert docs/API.md mentions every route.
+func (a *API) Routes() []string {
+	out := make([]string, len(a.routes))
+	copy(out, a.routes)
+	return out
 }
 
 func methodHandler(methods map[string]http.HandlerFunc) http.Handler {
@@ -205,6 +226,19 @@ type arrivalResponse struct {
 	Offers []offerDTO `json:"offers"`
 }
 
+// batchResultDTO is one element of the arrivals:batch response, aligned by
+// index with the request array. Exactly one of the two fields is set:
+// offers (possibly empty) for an accepted arrival, error for a rejected
+// one — rejection is per element, the rest of the batch still runs.
+type batchResultDTO struct {
+	Offers *[]offerDTO `json:"offers,omitempty"`
+	Error  *errorBody  `json:"error,omitempty"`
+}
+
+type arrivalBatchResponse struct {
+	Results []batchResultDTO `json:"results"`
+}
+
 func (a *API) postCampaign(w http.ResponseWriter, r *http.Request) {
 	var req campaignRequest
 	if !decode(w, r, &req) {
@@ -316,6 +350,52 @@ func (a *API) postArrival(w http.ResponseWriter, r *http.Request) {
 			AdTypeName: a.broker.cfg.AdTypes[o.AdType].Name,
 			Utility:    o.Utility, Efficiency: o.Efficiency, Cost: o.Cost,
 		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// postArrivalBatch serves POST /v1/arrivals:batch: a JSON array of arrival
+// objects in, a results array out with one element per submitted arrival in
+// order. The whole request is rejected only for transport-level problems
+// (malformed JSON, > maxBatchArrivals elements, body cap); per-arrival
+// validation failures surface as error elements while the remaining
+// arrivals are still served.
+func (a *API) postArrivalBatch(w http.ResponseWriter, r *http.Request) {
+	var reqs []arrivalRequest
+	if !decode(w, r, &reqs) {
+		return
+	}
+	if len(reqs) > maxBatchArrivals {
+		WriteError(w, http.StatusBadRequest, "bad_request",
+			fmt.Sprintf("broker: batch of %d arrivals exceeds limit %d", len(reqs), maxBatchArrivals))
+		return
+	}
+	batch := make([]Arrival, len(reqs))
+	for i, req := range reqs {
+		batch[i] = Arrival{
+			Loc:       geo.Point{X: req.Loc.X, Y: req.Loc.Y},
+			Capacity:  req.Capacity,
+			ViewProb:  req.ViewProb,
+			Interests: req.Interests,
+			Hour:      req.Hour,
+		}
+	}
+	results := a.broker.ArriveBatchTraced(batch, trace.FromContext(r.Context()))
+	resp := arrivalBatchResponse{Results: make([]batchResultDTO, len(results))}
+	for i := range results {
+		if err := results[i].Err; err != nil {
+			resp.Results[i].Error = &errorBody{Code: "bad_request", Message: err.Error()}
+			continue
+		}
+		offers := make([]offerDTO, 0, len(results[i].Offers))
+		for _, o := range results[i].Offers {
+			offers = append(offers, offerDTO{
+				Campaign: o.Campaign, AdType: o.AdType,
+				AdTypeName: a.broker.cfg.AdTypes[o.AdType].Name,
+				Utility:    o.Utility, Efficiency: o.Efficiency, Cost: o.Cost,
+			})
+		}
+		resp.Results[i].Offers = &offers
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

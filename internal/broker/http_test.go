@@ -492,3 +492,112 @@ func TestJSONContentType(t *testing.T) {
 		t.Errorf("POST /arrivals: Content-Type = %q", ct)
 	}
 }
+
+// TestPostArrivalBatch covers the batch endpoint end to end: a mixed batch
+// answers 200 with index-aligned results (offers for accepted arrivals,
+// error envelopes for rejected ones), an empty array answers an empty
+// results array, and an over-long array is rejected whole with 400.
+func TestPostArrivalBatch(t *testing.T) {
+	srv, _ := newTestServer(t)
+	resp := postJSON(t, srv.URL+"/v1/campaigns", campaignRequest{
+		Loc: pointDTO{0.5, 0.5}, Radius: 0.2, Budget: 100, Tags: []float64{1, 0, 1},
+	})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	resp = postJSON(t, srv.URL+"/v1/arrivals:batch", []arrivalRequest{
+		{Loc: pointDTO{0.5, 0.5}, Capacity: 2, ViewProb: 0.8, Interests: []float64{1, 0.5, 1}, Hour: 12},
+		{Capacity: -1},
+		{Loc: pointDTO{0.95, 0.05}, Capacity: 1, ViewProb: 0.5, Interests: []float64{1, 0, 1}, Hour: 3},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status %d", resp.StatusCode)
+	}
+	out := decodeBody[arrivalBatchResponse](t, resp)
+	if len(out.Results) != 3 {
+		t.Fatalf("got %d results, want 3", len(out.Results))
+	}
+	if out.Results[0].Offers == nil || len(*out.Results[0].Offers) == 0 {
+		t.Fatalf("in-range arrival got no offers: %+v", out.Results[0])
+	}
+	for _, o := range *out.Results[0].Offers {
+		if o.AdTypeName == "" || o.Cost <= 0 {
+			t.Fatalf("malformed offer %+v", o)
+		}
+	}
+	if out.Results[1].Error == nil || out.Results[1].Error.Code != "bad_request" ||
+		!strings.Contains(out.Results[1].Error.Message, "capacity") {
+		t.Fatalf("rejected arrival not surfaced: %+v", out.Results[1])
+	}
+	if out.Results[1].Offers != nil {
+		t.Fatalf("rejected arrival carries offers: %+v", out.Results[1])
+	}
+	if out.Results[2].Error != nil || out.Results[2].Offers == nil || len(*out.Results[2].Offers) != 0 {
+		t.Fatalf("far-away arrival should have empty offers: %+v", out.Results[2])
+	}
+
+	// Empty array: accepted, empty results.
+	resp = postJSON(t, srv.URL+"/v1/arrivals:batch", []arrivalRequest{})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("empty batch status %d", resp.StatusCode)
+	}
+	if out := decodeBody[arrivalBatchResponse](t, resp); len(out.Results) != 0 {
+		t.Fatalf("empty batch answered %d results", len(out.Results))
+	}
+
+	// Over the element cap: rejected whole.
+	big := make([]arrivalRequest, maxBatchArrivals+1)
+	resp = postJSON(t, srv.URL+"/v1/arrivals:batch", big)
+	wantEnvelope(t, resp, http.StatusBadRequest, "bad_request")
+
+	// An object instead of an array is a transport-level 400.
+	resp = postJSON(t, srv.URL+"/v1/arrivals:batch", map[string]int{"capacity": 1})
+	wantEnvelope(t, resp, http.StatusBadRequest, "bad_request")
+}
+
+// TestRoutesEnumeration pins the Routes accessor: every registered /v1 path
+// is reported exactly once and serves something other than the catch-all
+// 404 (the docs coverage test builds on this list).
+func TestRoutesEnumeration(t *testing.T) {
+	srv, b := newTestServer(t)
+	api := NewAPI(b)
+	routes := api.Routes()
+	want := []string{
+		"/v1/campaigns", "/v1/campaigns/{id}", "/v1/campaigns/{id}/topup",
+		"/v1/campaigns/{id}/pause", "/v1/topup", "/v1/arrivals",
+		"/v1/arrivals:batch", "/v1/stats", "/v1/map.svg",
+	}
+	if len(routes) != len(want) {
+		t.Fatalf("Routes() = %v, want %v", routes, want)
+	}
+	seen := map[string]bool{}
+	for _, r := range routes {
+		if seen[r] {
+			t.Fatalf("duplicate route %q", r)
+		}
+		seen[r] = true
+	}
+	for _, w := range want {
+		if !seen[w] {
+			t.Fatalf("route %q missing from Routes(): %v", w, routes)
+		}
+	}
+	// Each route answers with a non-404 (method dispatch, not the catch-all).
+	for _, r := range routes {
+		path := strings.ReplaceAll(r, "{id}", "0")
+		req, err := http.NewRequest(http.MethodOptions, srv.URL+path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusNotFound {
+			t.Fatalf("route %q fell through to the catch-all 404", r)
+		}
+	}
+}

@@ -48,6 +48,13 @@ type brokerMetrics struct {
 	topUps          *obs.Counter
 	exhaustedEvents *obs.Counter
 	offersByType    []*obs.Counter // indexed like cfg.AdTypes
+
+	// Batch ingestion: arrivals per ArriveBatch call (validation rejects
+	// excluded) and the call's end-to-end latency. Per-arrival work inside a
+	// batch still feeds the scan/commit counters above; the per-arrival
+	// latency histogram is not observed (a batch takes one clock anchor).
+	batchSize    *obs.Histogram
+	batchSeconds *obs.Histogram
 }
 
 // Latency bucket layouts, fixed at construction (see internal/obs): the
@@ -57,6 +64,21 @@ var (
 	arrivalBuckets = obs.ExpBuckets(1e-6, 2, 16)   // 1 µs … ~32.8 ms
 	stageBuckets   = obs.ExpBuckets(2.5e-7, 2, 16) // 250 ns … ~8.2 ms
 )
+
+// foldScanTally adds one scan's outcome tallies (accumulated branch-free in
+// the scan loop) into the registered counters.
+func (m *brokerMetrics) foldScanTally(t *scanTally) {
+	m.scanOffered.Add(t.offered)
+	m.scanPaused.Add(t.paused)
+	m.scanExhausted.Add(t.exhausted)
+	m.scanMismatch.Add(t.mismatch)
+	m.scanLowScore.Add(t.lowScore)
+	m.scanUnaffordable.Add(t.unaffordable)
+	m.scanBelowThreshold.Add(t.belowThreshold)
+	if t.trimmed > 0 {
+		m.capacityTrimmed.Add(t.trimmed)
+	}
+}
 
 // newBrokerMetrics registers every broker instrument on reg. The gauge and
 // counter funcs sample b's own lock-free atomics at scrape time, so scraping
@@ -107,6 +129,12 @@ func newBrokerMetrics(reg *obs.Registry, b *Broker) *brokerMetrics {
 			"Successful campaign budget top-ups."),
 		exhaustedEvents: reg.NewCounter("muaa_broker_campaign_exhausted_total",
 			"Commits that left a campaign's remaining budget below the cheapest ad type."),
+		batchSize: reg.NewHistogram("muaa_broker_batch_size",
+			"Arrivals per ArriveBatch call (validation rejects excluded).",
+			obs.ExpBuckets(1, 2, 11)),
+		batchSeconds: reg.NewHistogram("muaa_broker_batch_seconds",
+			"End-to-end latency of one ArriveBatch call, lock wait through WAL append.",
+			arrivalBuckets),
 	}
 	for i := range b.shards {
 		stripe := obs.L("stripe", strconv.Itoa(i))

@@ -19,13 +19,14 @@ type RecordKind byte
 
 // The wire record types (see the rec* constants in durable.go).
 const (
-	RecordRegister   RecordKind = RecordKind(recRegister)
-	RecordTopUp      RecordKind = RecordKind(recTopUp)
-	RecordPause      RecordKind = RecordKind(recPause)
-	RecordArrival    RecordKind = RecordKind(recArrival)
-	RecordArrivalV2  RecordKind = RecordKind(recArrivalV2)
-	RecordRegisterV2 RecordKind = RecordKind(recRegisterV2)
-	RecordController RecordKind = RecordKind(recController)
+	RecordRegister     RecordKind = RecordKind(recRegister)
+	RecordTopUp        RecordKind = RecordKind(recTopUp)
+	RecordPause        RecordKind = RecordKind(recPause)
+	RecordArrival      RecordKind = RecordKind(recArrival)
+	RecordArrivalV2    RecordKind = RecordKind(recArrivalV2)
+	RecordRegisterV2   RecordKind = RecordKind(recRegisterV2)
+	RecordController   RecordKind = RecordKind(recController)
+	RecordArrivalBatch RecordKind = RecordKind(recArrivalBatch)
 )
 
 // String names the record kind for reports and errors.
@@ -45,6 +46,8 @@ func (k RecordKind) String() string {
 		return "register_v2"
 	case RecordController:
 		return "controller"
+	case RecordArrivalBatch:
+		return "arrival_batch"
 	}
 	return fmt.Sprintf("RecordKind(%d)", byte(k))
 }
@@ -83,6 +86,19 @@ type DecodedRecord struct {
 	Epoch      int64
 	BoostBits  uint64
 	Controller []ControllerEntry
+
+	// RecordArrivalBatch payload: the batched arrivals in processing order,
+	// each with the γ bounds as they stood after its commit.
+	Batch []ArrivalRecord
+}
+
+// ArrivalRecord is one arrival inside a RecordArrivalBatch payload — the
+// same fields a RecordArrivalV2 carries for its single arrival.
+type ArrivalRecord struct {
+	GammaMin float64
+	GammaMax float64
+	Customer Arrival
+	Offers   []Offer
 }
 
 // ControllerEntry is one campaign's applied actuator bits inside a
@@ -145,39 +161,37 @@ func DecodeRecord(rec []byte) (DecodedRecord, error) {
 	case recPause:
 		d.Campaign = r.i32()
 		d.Paused = r.u8() != 0
-	case recArrival, recArrivalV2:
+	case recArrival:
 		d.GammaMin = r.f64()
 		d.GammaMax = r.f64()
-		if rec[0] == recArrivalV2 {
-			d.HasCustomer = true
-			d.Customer.Loc = geo.Point{X: r.f64(), Y: r.f64()}
-			d.Customer.Capacity = int(r.u32())
-			d.Customer.ViewProb = r.f64()
-			d.Customer.Hour = r.f64()
-			ni := r.u32()
-			if r.err != nil || int(ni) > r.remaining()/8 {
-				return DecodedRecord{}, errors.New("malformed arrival record interests")
-			}
-			if ni > 0 {
-				d.Customer.Interests = make([]float64, ni)
-				for i := range d.Customer.Interests {
-					d.Customer.Interests[i] = r.f64()
-				}
-			}
-		}
-		n := r.u32()
-		if r.err != nil || int(n) > r.remaining()/24 {
+		offers, ok := decodeOffers(r)
+		if !ok {
 			return DecodedRecord{}, errors.New("malformed arrival record")
 		}
-		if n > 0 {
-			d.Offers = make([]Offer, n)
-			for i := range d.Offers {
-				o := &d.Offers[i]
-				o.Campaign = r.i32()
-				o.AdType = int(r.u32())
-				o.Cost = r.f64()
-				o.Utility = r.f64()
+		d.Offers = offers
+	case recArrivalV2:
+		e, ok := decodeArrivalBody(r)
+		if !ok {
+			return DecodedRecord{}, errors.New("malformed arrival record")
+		}
+		d.GammaMin, d.GammaMax = e.GammaMin, e.GammaMax
+		d.HasCustomer = true
+		d.Customer = e.Customer
+		d.Offers = e.Offers
+	case recArrivalBatch:
+		n := r.u32()
+		// Each batch element is at least 60 bytes (two γ words, the fixed
+		// customer fields, two empty-section counts).
+		if r.err != nil || int(n) > r.remaining()/60 {
+			return DecodedRecord{}, errors.New("malformed batch arrival record")
+		}
+		d.Batch = make([]ArrivalRecord, 0, n)
+		for i := 0; i < int(n); i++ {
+			e, ok := decodeArrivalBody(r)
+			if !ok {
+				return DecodedRecord{}, errors.New("malformed batch arrival record")
 			}
+			d.Batch = append(d.Batch, e)
 		}
 	default:
 		return DecodedRecord{}, fmt.Errorf("unknown record type %d", rec[0])
@@ -186,6 +200,55 @@ func DecodeRecord(rec []byte) (DecodedRecord, error) {
 		return DecodedRecord{}, err
 	}
 	return d, nil
+}
+
+// decodeArrivalBody decodes one v2-shaped arrival body (γ bounds, customer
+// features, offers) — the payload of a RecordArrivalV2 and of each
+// RecordArrivalBatch element. Returns ok=false on malformed input.
+func decodeArrivalBody(r *recReader) (ArrivalRecord, bool) {
+	var e ArrivalRecord
+	e.GammaMin = r.f64()
+	e.GammaMax = r.f64()
+	e.Customer.Loc = geo.Point{X: r.f64(), Y: r.f64()}
+	e.Customer.Capacity = int(r.u32())
+	e.Customer.ViewProb = r.f64()
+	e.Customer.Hour = r.f64()
+	ni := r.u32()
+	if r.err != nil || int(ni) > r.remaining()/8 {
+		return ArrivalRecord{}, false
+	}
+	if ni > 0 {
+		e.Customer.Interests = make([]float64, ni)
+		for i := range e.Customer.Interests {
+			e.Customer.Interests[i] = r.f64()
+		}
+	}
+	offers, ok := decodeOffers(r)
+	if !ok {
+		return ArrivalRecord{}, false
+	}
+	e.Offers = offers
+	return e, true
+}
+
+// decodeOffers decodes a length-prefixed offer list.
+func decodeOffers(r *recReader) ([]Offer, bool) {
+	n := r.u32()
+	if r.err != nil || int(n) > r.remaining()/24 {
+		return nil, false
+	}
+	if n == 0 {
+		return nil, true
+	}
+	offers := make([]Offer, n)
+	for i := range offers {
+		o := &offers[i]
+		o.Campaign = r.i32()
+		o.AdType = int(r.u32())
+		o.Cost = r.f64()
+		o.Utility = r.f64()
+	}
+	return offers, r.err == nil
 }
 
 // SnapshotCampaign is one campaign's state inside a decoded snapshot.

@@ -110,5 +110,10 @@ type shard struct {
 	mu   sync.Mutex
 	grid *geo.Grid
 
+	// arena is the reusable scan scratch owned by whoever holds this shard's
+	// lock as the lowest stripe of a locked interval — see scanArena for the
+	// ownership rule. Only ever touched under mu.
+	arena scanArena
+
 	_ [64]byte // keep hot shard locks on separate cache lines
 }

@@ -196,3 +196,132 @@ func TestConcurrentRegistrationDuringTraffic(t *testing.T) {
 		}
 	}
 }
+
+// TestConcurrentBatchSoak mixes ArriveBatch windows with serial arrivals and
+// money mutations from many goroutines, then audits the accounting the same
+// way TestConcurrentSoak does. Run under -race in CI: the batch path's
+// covering-interval locking and shared arena must be race-clean against the
+// serial path and against itself.
+func TestConcurrentBatchSoak(t *testing.T) {
+	workers := 2 * runtime.GOMAXPROCS(0)
+	if workers < 6 {
+		workers = 6
+	}
+	opsPerWorker := 400
+	if testing.Short() {
+		workers, opsPerWorker = 4, 100
+	}
+	const campaigns = 48
+	specs, ops, err := workload.BrokerLoad(
+		workload.DefaultBrokerLoadConfig(campaigns, workers*opsPerWorker, 4321))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(Config{AdTypes: workload.DefaultAdTypes(), Shards: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range specs {
+		if _, err := b.RegisterCampaign(c.Loc, c.Radius, c.Budget, c.Tags); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	type tally struct {
+		arrivals int64
+		offers   int64
+		cost     float64
+		utility  float64
+	}
+	tallies := make([]tally, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			tl := &tallies[w]
+			count := func(capacity int, offers []Offer) {
+				tl.arrivals++
+				if len(offers) > capacity {
+					t.Errorf("arrival with capacity %d got %d offers", capacity, len(offers))
+				}
+				for _, o := range offers {
+					tl.offers++
+					tl.cost += o.Cost
+					tl.utility += o.Utility
+				}
+			}
+			// Even workers batch their arrivals in windows; odd workers stay
+			// serial, so both entry points contend for the same stripes.
+			var window []Arrival
+			var caps []int
+			flush := func() {
+				if len(window) == 0 {
+					return
+				}
+				for i, res := range b.ArriveBatch(window) {
+					if res.Err != nil {
+						t.Error(res.Err)
+						continue
+					}
+					count(caps[i], res.Offers)
+				}
+				window, caps = window[:0], caps[:0]
+			}
+			for i := w; i < len(ops); i += workers {
+				op := ops[i]
+				if op.Kind == workload.OpArrival && w%2 == 0 {
+					window = append(window, Arrival{
+						Loc: op.Loc, Capacity: op.Capacity, ViewProb: op.ViewProb,
+						Interests: op.Interests, Hour: op.Hour,
+					})
+					caps = append(caps, op.Capacity)
+					if len(window) >= 8 {
+						flush()
+					}
+					continue
+				}
+				offers := applyOp(t, b, op)
+				if op.Kind == workload.OpArrival {
+					count(op.Capacity, offers)
+				}
+			}
+			flush()
+		}(w)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	var want tally
+	for _, tl := range tallies {
+		want.arrivals += tl.arrivals
+		want.offers += tl.offers
+		want.cost += tl.cost
+		want.utility += tl.utility
+	}
+	st := b.Stats()
+	if st.Arrivals != want.arrivals {
+		t.Errorf("arrival counter %d, workers made %d", st.Arrivals, want.arrivals)
+	}
+	if st.OffersPushed != want.offers {
+		t.Errorf("offer counter %d, workers received %d", st.OffersPushed, want.offers)
+	}
+	if math.Abs(st.BudgetSpent-want.cost) > 1e-6 {
+		t.Errorf("global spend %g, sum of offer costs %g", st.BudgetSpent, want.cost)
+	}
+	if math.Abs(st.UtilityServed-want.utility) > 1e-6 {
+		t.Errorf("global utility %g, sum of offer utilities %g", st.UtilityServed, want.utility)
+	}
+	var campaignSpend float64
+	for _, c := range b.Campaigns() {
+		campaignSpend += c.Spent
+		if c.Spent > c.Budget+1e-9 {
+			t.Errorf("campaign %d overspent: %g > %g", c.ID, c.Spent, c.Budget)
+		}
+	}
+	if math.Abs(campaignSpend-st.BudgetSpent) > 1e-6 {
+		t.Errorf("per-campaign spend %g disagrees with global counter %g", campaignSpend, st.BudgetSpent)
+	}
+}

@@ -8,7 +8,11 @@
 //   - Greedy: the offline budget-efficiency greedy (GREEDY in Section V);
 //   - Random, Nearest: the RANDOM and NEAREST baselines of Section V;
 //   - Exact: a branch-and-bound optimum for small instances, used to
-//     measure empirical approximation/competitive ratios.
+//     measure empirical approximation/competitive ratios;
+//   - OnlineBatch: the micro-batching extension (A6 ablation) — O-AFA
+//     admission with bounded look-ahead inside an arrival window;
+//   - WindowOracle: GREEDY tuned for repeated sliding-window solves, the
+//     allocation-free oracle behind the live quality audit.
 //
 // Every solver returns an Assignment that satisfies model.Problem.Check —
 // range, capacity, budget and pair-uniqueness constraints — for any valid

@@ -71,19 +71,32 @@ type PearsonPreference struct {
 // mismatch panics, as it means the problem was assembled against two
 // different taxonomies.
 func (pp PearsonPreference) Score(u *Customer, v *Vendor, hour float64) float64 {
+	s, _ := pp.ScoreScratch(u, v, hour, nil)
+	return s
+}
+
+// ScoreScratch is Score with a caller-owned weights buffer: scratch is grown
+// as needed and handed back so a serving loop can reuse it across calls and
+// keep scoring allocation-free. The score is computed by exactly the same
+// operation sequence as Score, so the two are bit-identical.
+func (pp PearsonPreference) ScoreScratch(u *Customer, v *Vendor, hour float64, scratch []float64) (float64, []float64) {
 	x, y := u.Interests, v.Tags
 	if len(x) != len(y) {
 		panic(fmt.Sprintf("model: interest vector length %d vs tag vector length %d", len(x), len(y)))
 	}
 	if len(x) == 0 {
-		return 0
+		return 0, scratch
 	}
 	act := pp.Activity
 	if act == nil {
 		act = UniformActivity{}
 	}
+	if cap(scratch) < len(x) {
+		scratch = make([]float64, len(x))
+	}
+	scratch = scratch[:len(x)]
 	var sumW, sumWX, sumWY float64
-	weights := make([]float64, len(x))
+	weights := scratch
 	for i := range x {
 		w := act.Level(i, hour)
 		if w < 0 || math.IsNaN(w) {
@@ -95,7 +108,7 @@ func (pp PearsonPreference) Score(u *Customer, v *Vendor, hour float64) float64 
 		sumWY += w * y[i]
 	}
 	if sumW == 0 {
-		return 0
+		return 0, scratch
 	}
 	mx, my := sumWX/sumW, sumWY/sumW
 	var covXY, covXX, covYY float64
@@ -106,9 +119,9 @@ func (pp PearsonPreference) Score(u *Customer, v *Vendor, hour float64) float64 
 		covYY += w * (y[i] - my) * (y[i] - my)
 	}
 	if covXX <= 0 || covYY <= 0 {
-		return 0
+		return 0, scratch
 	}
-	return covXY / math.Sqrt(covXX*covYY)
+	return covXY / math.Sqrt(covXX*covYY), scratch
 }
 
 // TablePreference looks preference scores up in a dense table indexed by

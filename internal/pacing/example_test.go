@@ -1,0 +1,38 @@
+package pacing_test
+
+import (
+	"fmt"
+	"math"
+
+	"muaa/internal/pacing"
+)
+
+// ExampleDecide shows the control law in its blind mode (no audit report
+// yet): with no day clock the pace leads degrade to plain utilization, so a
+// campaign that has burned 30% of its budget is capped at RateTight of its
+// remaining budget per epoch while an on-pace campaign stays uncapped.
+// Allowance converts the capped rate into the epoch's absolute spend
+// ceiling (the previous epoch was uncapped, so the token bucket starts at
+// the current spend).
+func ExampleDecide() {
+	cfg := pacing.Default()
+	snap := pacing.Snapshot{
+		Boost: 1,
+		Campaigns: []pacing.CampaignView{
+			{ID: 7, Budget: 100, Spent: 30, Rate: 1}, // 30% ahead of hour 0
+			{ID: 9, Budget: 100, Spent: 1, Rate: 1},  // on pace
+		},
+	}
+	dec := pacing.Decide(cfg, snap)
+	fmt.Printf("boost %g, capped %d\n", dec.Boost, dec.Capped())
+	for _, r := range dec.Rates {
+		fmt.Printf("campaign %d rate %g\n", r.ID, r.Rate)
+	}
+	ceiling := pacing.Allowance(100, 30, math.Inf(1), dec.Rates[0].Rate)
+	fmt.Printf("campaign 7 may spend up to %g this epoch\n", ceiling)
+	// Output:
+	// boost 1, capped 1
+	// campaign 7 rate 0.1
+	// campaign 9 rate 1
+	// campaign 7 may spend up to 37 this epoch
+}

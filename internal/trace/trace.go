@@ -79,11 +79,27 @@ type Trace struct {
 	// StripeLo/StripeHi are the inclusive stripe range locked for the
 	// arrival; meaningful only when Staged.
 	StripeLo, StripeHi int
-	// Capacity is the offer capacity requested by the arrival.
+	// Capacity is the offer capacity requested by the arrival (for a batch,
+	// the sum over its arrivals).
 	Capacity int
-	// Offers is the number of offers returned.
+	// Offers is the number of offers returned (for a batch, the total).
 	Offers int
 	Scan   ScanCounts
+
+	// Batch is the number of arrivals submitted in an ArriveBatch call; zero
+	// for a single-arrival trace. A batch trace's root span is named
+	// "arrival_batch", its stage spans time the whole batch (one clock
+	// anchor), and BatchOutcomes carries one entry per submitted arrival in
+	// submission order.
+	Batch         int
+	BatchOutcomes []BatchOutcome
+}
+
+// BatchOutcome is one arrival's disposition inside a batch trace.
+type BatchOutcome struct {
+	Outcome string `json:"outcome"`
+	Offers  int    `json:"offers,omitempty"`
+	Error   string `json:"error,omitempty"`
 }
 
 // Slow reports whether the trace met the recorder's slow threshold when it
@@ -103,32 +119,38 @@ type wireSpan struct {
 // wireTrace is the stable JSON schema served by /v1/debug/traces; see
 // docs/OPERATIONS.md "Tracing & logs".
 type wireTrace struct {
-	TraceID       string      `json:"trace_id"`
-	SpanID        string      `json:"span_id"`
-	ParentSpanID  string      `json:"parent_span_id,omitempty"`
-	Name          string      `json:"name"`
-	StartUnixNano int64       `json:"start_unix_nano"`
-	DurationNS    int64       `json:"duration_ns"`
-	Outcome       string      `json:"outcome"`
-	Error         string      `json:"error,omitempty"`
-	Slow          bool        `json:"slow,omitempty"`
-	Anomalous     bool        `json:"anomalous,omitempty"`
-	StripeLo      int         `json:"stripe_lo"`
-	StripeHi      int         `json:"stripe_hi"`
-	Capacity      int         `json:"capacity"`
-	Offers        int         `json:"offers"`
-	Scan          *ScanCounts `json:"scan,omitempty"`
-	Spans         []wireSpan  `json:"spans,omitempty"`
+	TraceID       string         `json:"trace_id"`
+	SpanID        string         `json:"span_id"`
+	ParentSpanID  string         `json:"parent_span_id,omitempty"`
+	Name          string         `json:"name"`
+	StartUnixNano int64          `json:"start_unix_nano"`
+	DurationNS    int64          `json:"duration_ns"`
+	Outcome       string         `json:"outcome"`
+	Error         string         `json:"error,omitempty"`
+	Slow          bool           `json:"slow,omitempty"`
+	Anomalous     bool           `json:"anomalous,omitempty"`
+	StripeLo      int            `json:"stripe_lo"`
+	StripeHi      int            `json:"stripe_hi"`
+	Capacity      int            `json:"capacity"`
+	Offers        int            `json:"offers"`
+	Scan          *ScanCounts    `json:"scan,omitempty"`
+	Batch         int            `json:"batch,omitempty"`
+	Arrivals      []BatchOutcome `json:"arrivals,omitempty"`
+	Spans         []wireSpan     `json:"spans,omitempty"`
 }
 
-// MarshalJSON renders the trace in the /v1/debug/traces schema: hex IDs,
-// a root "arrival" span, and child spans whose start offsets are cumulative
-// from the root start (the stages run back to back).
+// MarshalJSON renders the trace in the /v1/debug/traces schema: hex IDs, a
+// root "arrival" (or "arrival_batch") span, and child spans whose start
+// offsets are cumulative from the root start (the stages run back to back).
 func (t *Trace) MarshalJSON() ([]byte, error) {
+	name := "arrival"
+	if t.Batch > 0 {
+		name = "arrival_batch"
+	}
 	w := wireTrace{
 		TraceID:       t.TraceID.String(),
 		SpanID:        t.SpanID.String(),
-		Name:          "arrival",
+		Name:          name,
 		StartUnixNano: t.Start.UnixNano(),
 		DurationNS:    int64(t.Duration),
 		Outcome:       t.Outcome,
@@ -142,6 +164,10 @@ func (t *Trace) MarshalJSON() ([]byte, error) {
 	}
 	if !t.ParentSpanID.IsZero() {
 		w.ParentSpanID = t.ParentSpanID.String()
+	}
+	if t.Batch > 0 {
+		w.Batch = t.Batch
+		w.Arrivals = t.BatchOutcomes
 	}
 	if t.Staged {
 		scan := t.Scan

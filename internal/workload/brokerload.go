@@ -114,6 +114,15 @@ func DefaultBrokerLoadConfig(campaigns, ops int, seed int64) BrokerLoadConfig {
 	}
 }
 
+// ArrivalBrokerLoadConfig is DefaultBrokerLoadConfig with a pure-arrival
+// stream (no top-ups, pauses or stats probes): the shape the batch-ingestion
+// benchmarks sweep, where every op can join a batch window.
+func ArrivalBrokerLoadConfig(campaigns, ops int, seed int64) BrokerLoadConfig {
+	cfg := DefaultBrokerLoadConfig(campaigns, ops, seed)
+	cfg.ArrivalFrac, cfg.TopUpFrac, cfg.PauseFrac = 1, 0, 0
+	return cfg
+}
+
 // Validate reports configuration errors.
 func (c BrokerLoadConfig) Validate() error {
 	if c.Campaigns < 0 || c.Ops < 0 {
