@@ -159,7 +159,108 @@ func runBrokerBatch(w io.Writer, scale float64, seed int64, csv bool, doc *bench
 			fmt.Fprintf(w, "%12s %16.1f %16.1f %8.2fx\n", label, mean, best, baseMean/mean)
 		}
 	}
+	return runBrokerSlate(w, scale, seed, csv, doc)
+}
+
+// runBrokerSlate sweeps the slate scan against the legacy serial scan on a
+// pure-arrival fixed-cost stream: a "serial" baseline (legacy path, a_i = 1)
+// against the slate path at slot capacities a_i ∈ {1, 2, 4}, interleaved
+// A/B like the batch sweep. The a_i = 1 slate arm measures the pure overhead
+// of the slot-fill machinery on the workload where both paths make
+// bit-identical decisions (TestSlateEquivalenceSerial); the a_i > 1 arms
+// price the MCKP slot fill itself. ns/op is per arrival in every arm.
+func runBrokerSlate(w io.Writer, scale float64, seed int64, csv bool, doc *benchDoc) error {
+	campaigns := int(512 * scale)
+	if campaigns < 16 {
+		campaigns = 16
+	}
+	totalOps := int(200000 * scale)
+	if totalOps < 20000 {
+		totalOps = 20000
+	}
+	specs, ops, err := workload.BrokerLoad(workload.ArrivalBrokerLoadConfig(campaigns, totalOps, seed))
+	if err != nil {
+		return err
+	}
+	arms := []struct {
+		label    string
+		capacity int
+		slate    bool
+	}{
+		{"serial", 1, false},
+		{"slate a=1", 1, true},
+		{"slate a=2", 2, true},
+		{"slate a=4", 4, true},
+	}
+	const rounds = 3
+	samples := make([][]float64, len(arms))
+	for r := 0; r < rounds; r++ {
+		for i, arm := range arms {
+			arrivals := make([]broker.Arrival, len(ops))
+			for j, op := range ops {
+				arrivals[j] = broker.Arrival{
+					Loc: op.Loc, Capacity: arm.capacity, ViewProb: op.ViewProb,
+					Interests: op.Interests, Hour: op.Hour,
+				}
+			}
+			ns, err := slateRun(specs, arrivals, arm.slate)
+			if err != nil {
+				return err
+			}
+			samples[i] = append(samples[i], ns)
+		}
+	}
+	baseMean, _ := meanMin(samples[0])
+	if csv {
+		fmt.Fprintln(w, "arm,capacity,rounds,arrivals,mean_ns_per_arrival,best_ns_per_arrival,speedup")
+	} else {
+		fmt.Fprintf(w, "\nSlate scan — %d campaigns, %d arrivals (pure-arrival fixed-cost stream), %d interleaved rounds\n",
+			campaigns, totalOps, rounds)
+		fmt.Fprintf(w, "%12s %10s %16s %16s %9s\n", "arm", "a_i", "mean ns/arr", "best ns/arr", "speedup")
+	}
+	for i, arm := range arms {
+		mean, best := meanMin(samples[i])
+		if doc != nil {
+			doc.Points = append(doc.Points, benchPoint{
+				Series:      "broker_slate",
+				Label:       arm.label,
+				Capacity:    arm.capacity,
+				Ops:         totalOps,
+				NsPerOp:     mean,
+				BestNsPerOp: best,
+				Speedup:     baseMean / mean,
+			})
+		}
+		if csv {
+			fmt.Fprintf(w, "%s,%d,%d,%d,%.1f,%.1f,%.2f\n", arm.label, arm.capacity, rounds, totalOps, mean, best, baseMean/mean)
+		} else {
+			fmt.Fprintf(w, "%12s %10d %16.1f %16.1f %8.2fx\n", arm.label, arm.capacity, mean, best, baseMean/mean)
+		}
+	}
 	return nil
+}
+
+// slateRun replays the arrival stream serially on a fresh broker — legacy
+// scan when slate is false, forced slate path otherwise — and returns ns
+// per arrival.
+func slateRun(specs []workload.BrokerCampaign, arrivals []broker.Arrival, slate bool) (float64, error) {
+	b, err := broker.New(broker.Config{AdTypes: workload.DefaultAdTypes(), Metrics: obs.NewRegistry(), Slate: slate})
+	if err != nil {
+		return 0, err
+	}
+	for _, c := range specs {
+		if _, err := b.RegisterCampaign(c.Loc, c.Radius, c.Budget, c.Tags); err != nil {
+			return 0, err
+		}
+	}
+	start := time.Now()
+	for i := range arrivals {
+		if _, err := b.Arrive(arrivals[i]); err != nil {
+			return 0, err
+		}
+	}
+	elapsed := time.Since(start)
+	return float64(elapsed.Nanoseconds()) / float64(len(arrivals)), nil
 }
 
 // batchRun replays the arrival stream once on a fresh instrumented broker —

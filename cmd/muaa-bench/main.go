@@ -20,6 +20,15 @@
 //
 //	muaa-bench -exp broker -scale 0.1 -workers 8
 //
+// `-exp slate` prices the slate scan: an interleaved A/B of the legacy
+// serial scan against the forced slate path at slot capacities a_i ∈
+// {1, 2, 4} on a pure-arrival fixed-cost stream (the a_i = 1 arm measures
+// pure slot-fill overhead on the workload where both paths decide
+// identically; it also runs as the tail of -exp broker, so BENCH_broker.json
+// carries the series):
+//
+//	muaa-bench -exp slate -scale 0.1 -json slate.json
+//
 // `-exp wal` measures the durability tax: an interleaved A/B of the serial
 // broker hot path with the write-ahead log off and on (-repeats sets the
 // round count):
@@ -92,8 +101,9 @@ func run(w io.Writer, exp string, scale float64, csv, chart, md bool, workers, r
 	}
 	isBroker, isWAL := strings.EqualFold(exp, "broker"), strings.EqualFold(exp, "wal")
 	isAudit, isPacing := strings.EqualFold(exp, "audit"), strings.EqualFold(exp, "pacing")
-	if jsonOut != "" && !isBroker && !isWAL && !isAudit && !isPacing {
-		return fmt.Errorf("-json is supported for -exp broker, -exp wal, -exp audit and -exp pacing only")
+	isSlate := strings.EqualFold(exp, "slate")
+	if jsonOut != "" && !isBroker && !isWAL && !isAudit && !isPacing && !isSlate {
+		return fmt.Errorf("-json is supported for -exp broker, -exp wal, -exp audit, -exp pacing and -exp slate only")
 	}
 	st := experiment.DefaultSettings()
 	st.Seed = seed
@@ -118,7 +128,7 @@ func run(w io.Writer, exp string, scale float64, csv, chart, md bool, workers, r
 	case md:
 		format = experiment.MarkdownFormat
 	}
-	if isBroker || isWAL || isAudit || isPacing {
+	if isBroker || isWAL || isAudit || isPacing || isSlate {
 		if chart || md {
 			return fmt.Errorf("-exp %s supports text and -csv output only", strings.ToLower(exp))
 		}
@@ -130,6 +140,8 @@ func run(w io.Writer, exp string, scale float64, csv, chart, md bool, workers, r
 		switch {
 		case isBroker:
 			err = runBrokerScaling(w, scale, workers, seed, csv, doc)
+		case isSlate:
+			err = runBrokerSlate(w, scale, seed, csv, doc)
 		case isWAL:
 			err = runWALOverhead(w, scale, seed, csv, repeats, doc)
 		case isPacing:

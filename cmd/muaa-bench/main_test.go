@@ -65,6 +65,63 @@ func TestRunBrokerScaling(t *testing.T) {
 	}
 }
 
+// TestRunSlate drives the standalone slate sweep: four arms (serial
+// baseline plus slot capacities 1, 2, 4 on the forced slate path), each
+// with positive measurements, in both text and -json form.
+func TestRunSlate(t *testing.T) {
+	var buf bytes.Buffer
+	path := filepath.Join(t.TempDir(), "slate.json")
+	if err := run(&buf, "slate", 0.02, false, false, false, 2, 1, 1, path); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Slate scan") || !strings.Contains(out, "slate a=4") {
+		t.Errorf("slate sweep output malformed:\n%s", out)
+	}
+	var doc struct {
+		Experiment string `json:"experiment"`
+		Points     []struct {
+			Series   string  `json:"series"`
+			Label    string  `json:"label"`
+			Capacity int     `json:"capacity"`
+			NsPerOp  float64 `json:"ns_per_op"`
+			Speedup  float64 `json:"speedup"`
+		} `json:"points"`
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Experiment != "slate" {
+		t.Fatalf("experiment %q", doc.Experiment)
+	}
+	wantArms := []struct {
+		label    string
+		capacity int
+	}{{"serial", 1}, {"slate a=1", 1}, {"slate a=2", 2}, {"slate a=4", 4}}
+	if len(doc.Points) != len(wantArms) {
+		t.Fatalf("slate sweep produced %d points, want %d", len(doc.Points), len(wantArms))
+	}
+	for i, p := range doc.Points {
+		if p.Series != "broker_slate" || p.Label != wantArms[i].label || p.Capacity != wantArms[i].capacity {
+			t.Errorf("slate point %d malformed: %+v", i, p)
+		}
+		if p.NsPerOp <= 0 || p.Speedup <= 0 {
+			t.Errorf("slate point %d has empty measurements: %+v", i, p)
+		}
+	}
+	buf.Reset()
+	if err := run(&buf, "slate", 0.02, true, false, false, 2, 1, 1, ""); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "arm,capacity,rounds,arrivals") {
+		t.Errorf("slate CSV output malformed:\n%s", buf.String())
+	}
+}
+
 func TestRunRejectsBadFlags(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run(&buf, "fig8", 0, false, false, false, 2, 1, 1, ""); err == nil {
@@ -123,6 +180,7 @@ func TestRunJSONOutput(t *testing.T) {
 			Label       string  `json:"label"`
 			Goroutines  int     `json:"goroutines"`
 			BatchSize   int     `json:"batch_size"`
+			Capacity    int     `json:"capacity"`
 			Ops         int     `json:"ops"`
 			NsPerOp     float64 `json:"ns_per_op"`
 			BestNsPerOp float64 `json:"best_ns_per_op"`
@@ -144,9 +202,9 @@ func TestRunJSONOutput(t *testing.T) {
 		t.Errorf("run config not captured: %+v", doc)
 	}
 	// -exp broker emits the goroutine-scaling sweep followed by the
-	// batch-ingestion sweep; both ride the same schema with their own
-	// per-series fields.
-	var scaling, batch int
+	// batch-ingestion and slate sweeps; all ride the same schema with their
+	// own per-series fields.
+	var scaling, batch, slate int
 	for i, p := range doc.Points {
 		switch p.Series {
 		case "broker_scaling":
@@ -169,6 +227,14 @@ func TestRunJSONOutput(t *testing.T) {
 				t.Errorf("batch point %d has empty measurements: %+v", i, p)
 			}
 			batch++
+		case "broker_slate":
+			if slate == 0 && p.Label != "serial" {
+				t.Errorf("first slate point must be the serial baseline: %+v", p)
+			}
+			if p.Capacity <= 0 || p.Ops <= 0 || p.NsPerOp <= 0 || p.BestNsPerOp <= 0 || p.Speedup <= 0 {
+				t.Errorf("slate point %d has empty measurements: %+v", i, p)
+			}
+			slate++
 		default:
 			t.Errorf("point %d has unknown series %q", i, p.Series)
 		}
@@ -178,6 +244,9 @@ func TestRunJSONOutput(t *testing.T) {
 	}
 	if batch < 2 {
 		t.Fatalf("batch sweep produced %d points, want serial plus windowed arms", batch)
+	}
+	if slate != 4 {
+		t.Fatalf("slate sweep produced %d points, want serial plus a_i ∈ {1,2,4} arms", slate)
 	}
 
 	// The WAL A/B emits the mean/best/overhead arm rows under the same schema.

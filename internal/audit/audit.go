@@ -11,12 +11,27 @@ import (
 )
 
 // Offer is one committed ad: campaign charged, ad type served, and the cost
-// and utility the broker accounted at commit time.
+// and utility the broker accounted at commit time. Model and ChargeECPM
+// carry the billing outcome for auction-priced offers (both zero for the
+// seed fixed-cost contract): CPM offers realized Cost = ChargeECPM/1000 at
+// commit, deferred (CPC/CPA) offers realized nothing yet — their expected
+// revenue is ChargeECPM/1000, held in escrow until conversion.
 type Offer struct {
-	Campaign int32
-	AdType   int
-	Cost     float64
-	Utility  float64
+	Campaign   int32
+	AdType     int
+	Cost       float64
+	Utility    float64
+	Model      model.BillingModel
+	ChargeECPM float64
+}
+
+// revenue is the offer's expected revenue at commit time: the realized cost
+// for immediate models, the rate-weighted escrow hold for deferred ones.
+func (o *Offer) revenue() float64 {
+	if o.Model.Deferred() {
+		return o.ChargeECPM / 1000
+	}
+	return o.Cost
 }
 
 // Arrival is one customer arrival as the decision stream recorded it.
@@ -44,6 +59,15 @@ type Campaign struct {
 	Tags        []float64
 	Budget      float64
 	SpentBefore float64
+	// Paused is the campaign's pause state at the end of the audited stream
+	// (the state the live window sees "now"). Paused campaigns are excluded
+	// from the oracle problem entirely: the online broker was forbidden to
+	// spend their budgets, so a counterfactual that spends them measures
+	// nothing any admission policy could achieve (the DESIGN §13 artifact).
+	Paused bool
+	// Billing is the campaign's billing contract; the zero value is the seed
+	// fixed-cost contract. It prices the oracle assignment's revenue.
+	Billing model.Billing
 }
 
 // Input is everything Compute needs: the decision stream and the broker
@@ -69,6 +93,13 @@ type Input struct {
 	// prices utilities the same way. Zero values select the broker defaults.
 	Preference model.Preference
 	MinDist    float64
+
+	// End-of-stream billing telemetry, computed by the caller from its
+	// decision source (the stats counters live, the conversion records on
+	// replay) and copied into the report verbatim.
+	EscrowHeld       float64
+	ConvertedRevenue float64
+	Conversions      int64
 }
 
 // Config selects the offline references.
@@ -141,13 +172,21 @@ func Compute(in Input, cfg Config) (Report, error) {
 	}
 
 	rep := Report{
-		Schema:    ReportSchema,
-		Mode:      in.Mode,
-		Source:    in.Source,
-		Arrivals:  len(in.Arrivals),
-		Campaigns: len(in.Campaigns),
-		GammaMin:  in.GammaMin,
-		GammaMax:  in.GammaMax,
+		Schema:           ReportSchema,
+		Mode:             in.Mode,
+		Source:           in.Source,
+		Arrivals:         len(in.Arrivals),
+		Campaigns:        len(in.Campaigns),
+		GammaMin:         in.GammaMin,
+		GammaMax:         in.GammaMax,
+		EscrowHeld:       in.EscrowHeld,
+		ConvertedRevenue: in.ConvertedRevenue,
+		Conversions:      in.Conversions,
+	}
+	for i := range in.Campaigns {
+		if in.Campaigns[i].Paused {
+			rep.PausedCampaigns++
+		}
 	}
 
 	// Replay the stream: charge every offer in commit order (the same serial
@@ -184,6 +223,7 @@ func Compute(in Input, cfg Config) (Report, error) {
 			if isAudited {
 				ca.OnlineUtility += o.Utility
 				rep.OnlineUtility += o.Utility
+				rep.OnlineRevenue += o.revenue()
 				onlineMix[o.AdType]++
 			} else {
 				excluded[ci] += o.Cost
@@ -216,6 +256,7 @@ func Compute(in Input, cfg Config) (Report, error) {
 		}
 		p.Vendors = append(p.Vendors, model.Vendor{
 			ID: int32(i), Loc: c.Loc, Radius: c.Radius, Budget: budget, Tags: c.Tags,
+			Paused: c.Paused,
 		})
 	}
 	if err := p.Validate(); err != nil {
@@ -290,6 +331,13 @@ func Compute(in Input, cfg Config) (Report, error) {
 		ca := &audits[ins.Vendor]
 		ca.OracleSpent += in.AdTypes[ins.AdType].Cost
 		ca.OracleUtility += p.Utility(ins.Customer, ins.Vendor, ins.AdType)
+		rep.OracleRevenue += in.Campaigns[ins.Vendor].Billing.ExpectedCost(in.AdTypes[ins.AdType].Cost)
+	}
+	switch {
+	case rep.OracleRevenue > 0:
+		rep.RevenueRatio = rep.OnlineRevenue / rep.OracleRevenue
+	default:
+		rep.RevenueRatio = 1
 	}
 	onlineTotal, oracleTotal := 0, 0
 	for k := range in.AdTypes {

@@ -75,6 +75,11 @@ type Report struct {
 	Source string `json:"source,omitempty"`
 
 	Arrivals int `json:"arrivals"`
+	// PausedCampaigns counts campaigns paused at the end of the audited
+	// stream. They are excluded from the oracle problem: the online broker
+	// was forbidden to spend their budgets, so a counterfactual spending
+	// them would depress the ratio for reasons no admission policy can fix.
+	PausedCampaigns int `json:"paused_campaigns"`
 	// AuditedArrivals is how many arrivals carried the customer features the
 	// oracle problem needs (capacity > 0 and a v2 WAL record). Offers of
 	// non-audited arrivals still charge budgets but join neither side of the
@@ -121,6 +126,25 @@ type Report struct {
 	// HourFraction is the last audited arrival's hour / 24 — the elapsed-day
 	// fraction pacing curves are read against.
 	HourFraction float64 `json:"hour_fraction"`
+
+	// Revenue accounting, in expected value at commit time so the numbers
+	// are deterministic from the decision stream alone: an immediate (fixed
+	// or CPM) offer contributes its realized cost, a deferred (CPC/CPA)
+	// offer its rate-weighted escrow hold ChargeECPM/1000. OracleRevenue
+	// prices the oracle's utility-optimal slate at each campaign's
+	// first-price expectation (no counterfactual auction is simulated), so
+	// RevenueRatio — OnlineRevenue/OracleRevenue, 1 when the oracle earns
+	// nothing — is conservative under second-price billing and can exceed 1
+	// when the online broker out-earns the utility-maximizing slate.
+	OnlineRevenue float64 `json:"online_revenue"`
+	OracleRevenue float64 `json:"oracle_revenue"`
+	RevenueRatio  float64 `json:"revenue_ratio"`
+	// Realized billing telemetry at the end of the audited stream, copied
+	// from the caller's decision source: budget held against unconverted
+	// CPC/CPA offers, revenue collected by conversions, and their count.
+	EscrowHeld       float64 `json:"escrow_held"`
+	ConvertedRevenue float64 `json:"converted_revenue"`
+	Conversions      int64   `json:"conversions"`
 
 	CampaignAudits []CampaignAudit `json:"campaign_audits"`
 }

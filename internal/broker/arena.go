@@ -33,6 +33,7 @@ import (
 	"slices"
 
 	"muaa/internal/geo"
+	"muaa/internal/knapsack"
 	"muaa/internal/model"
 	"muaa/internal/trace"
 )
@@ -65,6 +66,16 @@ type scanArena struct {
 	customer model.Customer
 	vendor   model.Vendor
 	weights  []float64
+
+	// Slate-path scratch (see slate.go): the slot-capacitated MCKP solver,
+	// its flat item mirror, the class → candidate/first-item maps, and the
+	// capacity-1 representative list. Retained like every other arena slice
+	// so the slate path stays allocation-free in steady state.
+	slot       knapsack.SlotSolver
+	items      []slateItem
+	classCand  []int32
+	classItem0 []int32
+	reps       []slateRep
 }
 
 // scanTally counts how the scan disposed of each candidate, plus the number
@@ -73,7 +84,10 @@ type scanArena struct {
 // stays branch-light.
 type scanTally struct {
 	offered, paused, exhausted, mismatch, lowScore, unaffordable, belowThreshold uint64
-	trimmed                                                                      uint64
+	// belowReserve counts candidates every affordable bid of which fell below
+	// the campaign's reserve price (slate path only).
+	belowReserve uint64
+	trimmed      uint64
 }
 
 // add folds another tally into t (batch aggregation).
@@ -85,6 +99,7 @@ func (t *scanTally) add(o scanTally) {
 	t.lowScore += o.lowScore
 	t.unaffordable += o.unaffordable
 	t.belowThreshold += o.belowThreshold
+	t.belowReserve += o.belowReserve
 	t.trimmed += o.trimmed
 }
 
@@ -98,6 +113,7 @@ func (t *scanTally) counts() trace.ScanCounts {
 		LowScore:       t.lowScore,
 		Unaffordable:   t.unaffordable,
 		BelowThreshold: t.belowThreshold,
+		BelowReserve:   t.belowReserve,
 	}
 }
 

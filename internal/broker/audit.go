@@ -86,6 +86,7 @@ func (s *auditState) capture(a *Arrival, offers []Offer) {
 			o := &offers[i]
 			entry.Offers[i] = audit.Offer{
 				Campaign: o.Campaign, AdType: o.AdType, Cost: o.Cost, Utility: o.Utility,
+				Model: o.Model, ChargeECPM: o.ChargeECPM,
 			}
 		}
 	}
@@ -210,20 +211,24 @@ func (b *Broker) windowInput(win []audit.Arrival) audit.Input {
 		acs[i] = audit.Campaign{
 			ID: c.ID, Loc: c.Loc, Radius: c.Radius, Tags: c.Tags,
 			Budget: c.Budget, SpentBefore: before,
+			Paused: c.Paused, Billing: c.Billing,
 		}
 	}
 	st := b.Stats()
 	return audit.Input{
-		Mode:       "window",
-		Source:     "live",
-		AdTypes:    b.cfg.AdTypes,
-		Campaigns:  acs,
-		Arrivals:   win,
-		GammaMin:   st.GammaMin,
-		GammaMax:   st.GammaMax,
-		G:          b.cfg.G,
-		Preference: b.pref,
-		MinDist:    b.minDist,
+		Mode:             "window",
+		Source:           "live",
+		AdTypes:          b.cfg.AdTypes,
+		Campaigns:        acs,
+		Arrivals:         win,
+		GammaMin:         st.GammaMin,
+		GammaMax:         st.GammaMax,
+		G:                b.cfg.G,
+		Preference:       b.pref,
+		MinDist:          b.minDist,
+		EscrowHeld:       st.EscrowHeld,
+		ConvertedRevenue: st.ConversionRevenue,
+		Conversions:      st.Conversions,
 	}
 }
 
@@ -330,7 +335,10 @@ func auditArrival(cu Arrival, hasFeatures bool, offers []Offer) audit.Arrival {
 	out := make([]audit.Offer, len(offers))
 	for j := range offers {
 		o := &offers[j]
-		out[j] = audit.Offer{Campaign: o.Campaign, AdType: o.AdType, Cost: o.Cost, Utility: o.Utility}
+		out[j] = audit.Offer{
+			Campaign: o.Campaign, AdType: o.AdType, Cost: o.Cost, Utility: o.Utility,
+			Model: o.Model, ChargeECPM: o.ChargeECPM,
+		}
 	}
 	return audit.Arrival{
 		Loc:         cu.Loc,
@@ -382,7 +390,11 @@ func ReplayAudit(dir string, cfg AuditConfig) (audit.Report, error) {
 			in.Campaigns = append(in.Campaigns, audit.Campaign{
 				ID: sc.ID, Loc: sc.Loc, Radius: sc.Radius, Tags: sc.Tags,
 				Budget: sc.Budget(), SpentBefore: sc.Spent(),
+				Paused: sc.Paused, Billing: sc.Billing(),
 			})
+			in.EscrowHeld += math.Float64frombits(sc.EscrowBits)
+			in.ConvertedRevenue += math.Float64frombits(sc.ConvertedBits)
+			in.Conversions += sc.Conversions
 		}
 		gammaMin, gammaMax = s.GammaMin(), math.Max(gammaMax, s.GammaMax())
 	}
@@ -392,11 +404,11 @@ func ReplayAudit(dir string, cfg AuditConfig) (audit.Report, error) {
 			return audit.Report{}, fmt.Errorf("broker: audit record %d of %d: %w", i+1, len(v.Records), err)
 		}
 		switch d.Kind {
-		case RecordRegister, RecordRegisterV2:
+		case RecordRegister, RecordRegisterV2, RecordRegisterV3:
 			byID[d.Campaign] = len(in.Campaigns)
 			in.Campaigns = append(in.Campaigns, audit.Campaign{
 				ID: d.Campaign, Loc: d.Loc, Radius: d.Radius, Tags: d.Tags,
-				Budget: d.Budget,
+				Budget: d.Budget, Billing: d.Billing,
 			})
 		case RecordController:
 			// Controller epochs shape which offers were committed, but the
@@ -409,15 +421,26 @@ func ReplayAudit(dir string, cfg AuditConfig) (audit.Report, error) {
 			}
 			in.Campaigns[ci].Budget += d.Amount
 		case RecordPause:
-			// Pause dynamics are not modeled in the oracle problem: a
-			// campaign paused for part of the stream keeps its budget, which
-			// can only make the oracle stronger (the audit is conservative).
-		case RecordArrival, RecordArrivalV2:
+			// Mid-stream pause dynamics are not modeled — a campaign paused
+			// for part of the stream keeps its budget, which can only make
+			// the oracle stronger. The *final* pause state, however, excludes
+			// the campaign from the oracle problem entirely: its budget was
+			// out of reach, so a counterfactual spending it would depress the
+			// ratio for reasons no admission policy can fix (DESIGN §13).
+			ci, ok := byID[d.Campaign]
+			if !ok {
+				return audit.Report{}, fmt.Errorf("broker: audit record %d pauses unknown campaign %d", i+1, d.Campaign)
+			}
+			in.Campaigns[ci].Paused = d.Paused
+		case RecordArrival, RecordArrivalV2, RecordArrivalSlate:
 			gammaMin = math.Min(gammaMin, d.GammaMin)
 			gammaMax = math.Max(gammaMax, d.GammaMax)
 			in.Arrivals = append(in.Arrivals,
 				auditArrival(d.Customer, d.HasCustomer, d.Offers))
-		case RecordArrivalBatch:
+			for j := range d.Offers {
+				in.EscrowHeld += d.Offers[j].Hold
+			}
+		case RecordArrivalBatch, RecordArrivalBatchV2:
 			// One record, many arrivals: fold each element exactly as a
 			// serial arrival record, in the batch's processing order.
 			for j := range d.Batch {
@@ -426,7 +449,17 @@ func ReplayAudit(dir string, cfg AuditConfig) (audit.Report, error) {
 				gammaMax = math.Max(gammaMax, e.GammaMax)
 				in.Arrivals = append(in.Arrivals,
 					auditArrival(e.Customer, true, e.Offers))
+				for k := range e.Offers {
+					in.EscrowHeld += e.Offers[k].Hold
+				}
 			}
+		case RecordConversion:
+			// A conversion moves its escrow hold into realized revenue. Holds
+			// evicted by the open-offer cap are not logged, so EscrowHeld is
+			// an upper bound on streams that overflow the cap.
+			in.EscrowHeld -= d.Charge
+			in.ConvertedRevenue += d.Charge
+			in.Conversions++
 		}
 	}
 	if gammaMax > 0 {

@@ -215,14 +215,25 @@ func (b *Broker) arriveBatch(batch []Arrival, t *trace.Trace) []BatchResult {
 		}
 	}()
 
-	// One v3 record frames the whole batch; each element is encoded right
+	// The slate flag is read once under the locks (see arrive); the record
+	// format additionally upgrades to v2 bodies only when billing is truly
+	// active, so a forced-slate all-fixed broker still writes the legacy
+	// stream byte-identically.
+	slateRec := b.billing.active.Load()
+	slate := slateRec || b.cfg.Slate
+
+	// One batch record frames the whole batch; each element is encoded right
 	// after its arrival's commit so it carries the same γ bits the serial
 	// record would.
 	var bp *[]byte
 	var buf []byte
 	if b.wal != nil {
 		bp = recPool.Get().(*[]byte)
-		buf = append((*bp)[:0], recArrivalBatch)
+		kind := byte(recArrivalBatch)
+		if slateRec {
+			kind = recArrivalBatchV2
+		}
+		buf = append((*bp)[:0], kind)
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(live))
 	}
 
@@ -237,7 +248,7 @@ func (b *Broker) arriveBatch(batch []Arrival, t *trace.Trace) []BatchResult {
 		b.arrivals.Add(1)
 		if a.Capacity == 0 {
 			if b.wal != nil {
-				buf = b.appendArrivalBody(buf, a, nil)
+				buf = b.appendArrivalBodyKind(buf, a, nil, slateRec)
 			}
 			continue
 		}
@@ -247,17 +258,26 @@ func (b *Broker) arriveBatch(batch []Arrival, t *trace.Trace) []BatchResult {
 		if b.controller != nil {
 			boost = b.phiBoost.Load()
 		}
-		tally := b.scanCandidates(ar, a, dir, boost)
+		var tally scanTally
+		if slate {
+			tally = b.scanSlate(ar, a, dir, boost)
+		} else {
+			tally = b.scanCandidates(ar, a, dir, boost)
+		}
 		agg.add(tally)
 		n0 := len(offers)
 		if len(ar.cands) > 0 {
-			offers = b.commitOffers(ar, offers)
+			if slate {
+				offers = b.commitSlate(ar, offers)
+			} else {
+				offers = b.commitOffers(ar, offers)
+			}
 			// Full-slice expression: a later arrival's append can grow past
 			// this segment's length but never overwrite it.
 			results[i].Offers = offers[n0:len(offers):len(offers)]
 		}
 		if b.wal != nil {
-			buf = b.appendArrivalBody(buf, a, results[i].Offers)
+			buf = b.appendArrivalBodyKind(buf, a, results[i].Offers, slateRec)
 		}
 	}
 	if timed {

@@ -97,6 +97,19 @@ type Config struct {
 	// also be driven manually (simulations, tests). Nil disables the
 	// controller entirely — the hot path then pays one pointer check.
 	Controller *pacing.Config
+	// Slate forces the slate scan path (MCKP slot fill + auction pricing)
+	// even when no billed campaign is registered. The slate path activates
+	// automatically the moment a campaign registers with a non-fixed billing
+	// contract; this flag exists for benchmarks and equivalence tests that
+	// exercise the slate machinery on an all-fixed fleet. With every arrival
+	// at capacity 1 the slate path's decisions are bit-identical to the
+	// legacy scan (TestSlateEquivalenceSerial).
+	Slate bool
+	// MaxOpenOffers bounds the escrow table of outstanding CPC/CPA offers
+	// (and the conversion idempotency-key window). When a new escrowed offer
+	// would exceed the bound, the oldest open offer is expired and its hold
+	// released back to the campaign. Zero selects 65536.
+	MaxOpenOffers int
 }
 
 // Campaign is the live state of one vendor's campaign.
@@ -118,18 +131,44 @@ type Campaign struct {
 	Penalty    float64
 	// Rate is the pacing controller's current spend-rate cap (1 = uncapped).
 	Rate float64
+	// Billing is the campaign's billing contract (zero = seed fixed-cost).
+	Billing model.Billing
+	// Escrow is the budget currently held against outstanding CPC/CPA offers
+	// awaiting conversion; Converted is the revenue collected by conversions
+	// and Conversions their count. All zero for non-deferred campaigns.
+	Escrow      float64
+	Converted   float64
+	Conversions int64
 }
 
 // Remaining returns the unspent budget.
 func (c *Campaign) Remaining() float64 { return c.Budget - c.Spent }
 
-// Offer is one ad pushed to an arriving customer.
+// Offer is one ad pushed to an arriving customer. The billing fields (ID,
+// ChargeECPM, Hold, Model) are filled only by the slate path for campaigns
+// on auction billing; a fixed-cost offer carries Cost alone with the rest
+// zero, exactly as the legacy scan produced it.
 type Offer struct {
 	Campaign   int32
 	AdType     int
 	Utility    float64
 	Efficiency float64
-	Cost       float64
+	// Cost is the budget charged at offer time: the catalog cost for fixed
+	// billing, the second-priced CPM charge, and zero for deferred (CPC/CPA)
+	// offers, whose charge is escrowed in Hold until conversion.
+	Cost float64
+
+	// ID identifies an escrowed offer for POST /v1/events conversion
+	// callbacks; zero for offers that are not awaiting conversion.
+	ID uint64
+	// ChargeECPM is the auction charge in eCPM: min(bid, max(reserve,
+	// runner-up bid)). Zero for fixed billing (no auction).
+	ChargeECPM float64
+	// Hold is the per-event escrow held for a deferred offer
+	// (ChargeECPM/1000/EventRate); zero otherwise.
+	Hold float64
+	// Model is the campaign's billing model.
+	Model model.BillingModel
 }
 
 // Arrival describes an arriving customer.
@@ -157,6 +196,15 @@ type Stats struct {
 	// state: a restart reproduces them bit-exactly.
 	PhiBoost    float64
 	PacingEpoch int64
+	// Billing counters, all zero until a campaign on auction billing serves:
+	// EscrowHeld is the budget currently held against open CPC/CPA offers,
+	// EscrowReleased the holds expired without conversion, Conversions the
+	// conversion events collected and ConversionRevenue their charges (a
+	// subset of BudgetSpent). Recovered state, bit-exact across restarts.
+	EscrowHeld        float64
+	EscrowReleased    float64
+	Conversions       int64
+	ConversionRevenue float64
 }
 
 // Broker is safe for concurrent use: arrivals take only the shard locks
@@ -222,6 +270,12 @@ type Broker struct {
 	controller  *pacing.Config
 	phiBoost    atomicFloat
 	pacingEpoch atomic.Int64
+
+	// billing is the escrow/auction sidecar, always allocated (cheap). Its
+	// active flag flips true — monotonically — when the first campaign with
+	// a non-fixed contract registers; arrivals check it once, after their
+	// stripe locks are held, to pick the scan path.
+	billing *billingState
 }
 
 // New creates a broker. With cfg.DataDir set it is durable: state is
@@ -253,6 +307,9 @@ func newMemory(cfg Config) (*Broker, error) {
 	}
 	if cfg.Shards < 0 {
 		return nil, fmt.Errorf("broker: shard count %d must be ≥ 0", cfg.Shards)
+	}
+	if cfg.MaxOpenOffers < 0 {
+		return nil, fmt.Errorf("broker: max open offers %d must be ≥ 0", cfg.MaxOpenOffers)
 	}
 	bounds := cfg.Bounds
 	if bounds.Width() <= 0 || bounds.Height() <= 0 {
@@ -298,6 +355,7 @@ func newMemory(cfg Config) (*Broker, error) {
 	b.dir.Store(&empty)
 	b.gammaMin.Store(math.Inf(1))
 	b.phiBoost.Store(1)
+	b.billing = newBillingState(cfg.MaxOpenOffers)
 	if cfg.Controller != nil {
 		if err := cfg.Controller.Validate(); err != nil {
 			return nil, err
@@ -353,6 +411,10 @@ type CampaignSpec struct {
 	Guaranteed bool
 	Floor      float64
 	Penalty    float64
+	// Billing is the campaign's billing contract. The zero value keeps the
+	// seed fixed-cost semantics; any non-fixed contract activates the
+	// broker's slate scan path for all subsequent arrivals.
+	Billing model.Billing
 }
 
 // RegisterCampaign adds a best-effort vendor campaign and returns its ID.
@@ -378,6 +440,9 @@ func (b *Broker) RegisterCampaignSpec(spec CampaignSpec) (int32, error) {
 	if !spec.Guaranteed && (spec.Floor != 0 || spec.Penalty != 0) {
 		return 0, fmt.Errorf("broker: floor/penalty require a guaranteed campaign")
 	}
+	if err := spec.Billing.Validate(); err != nil {
+		return 0, fmt.Errorf("broker: %w", err)
+	}
 	b.regMu.Lock()
 	defer b.regMu.Unlock()
 	old := *b.dir.Load()
@@ -396,10 +461,18 @@ func (b *Broker) RegisterCampaignSpec(spec CampaignSpec) (int32, error) {
 		guaranteed: spec.Guaranteed,
 		floor:      spec.Floor,
 		penalty:    spec.Penalty,
+		billing:    spec.Billing,
 	}
 	c.budget.Store(spec.Budget)
 	c.rate.Store(1)
 	c.allowance.Store(math.Inf(1))
+	if !spec.Billing.Zero() {
+		// Flipped before the directory (and therefore grid) publication: an
+		// arrival that can see this campaign as a candidate acquired the
+		// shard lock its grid entry was inserted under, so it also sees the
+		// flag and takes the slate path. Monotone — never cleared.
+		b.billing.active.Store(true)
+	}
 	// Publish the directory entry before the grid entry: arrivals discover
 	// campaigns only through a shard's grid (under its lock), so a campaign
 	// visible in a grid is always resolvable, while a directory entry not
@@ -667,7 +740,11 @@ func (b *Broker) arrive(dst []Offer, a Arrival, t *trace.Trace) ([]Offer, error)
 	}
 
 	// The lowest locked stripe's arena is exclusively ours while the locks
-	// are held (see scanArena's ownership rule).
+	// are held (see scanArena's ownership rule). The slate flag is read
+	// after the stripe locks: a billed campaign visible in any held shard's
+	// grid was inserted under that shard's lock after the flag flipped, so
+	// a candidate on auction billing is never scanned by the legacy pass.
+	slate := b.cfg.Slate || b.billing.active.Load()
 	ar := &b.shards[s0].arena
 	dir := b.gatherCandidates(ar, a.Loc, s0, s1)
 	if timed {
@@ -689,7 +766,12 @@ func (b *Broker) arrive(dst []Offer, a Arrival, t *trace.Trace) ([]Offer, error)
 	if b.controller != nil {
 		boost = b.phiBoost.Load()
 	}
-	tally := b.scanCandidates(ar, &a, dir, boost)
+	var tally scanTally
+	if slate {
+		tally = b.scanSlate(ar, &a, dir, boost)
+	} else {
+		tally = b.scanCandidates(ar, &a, dir, boost)
+	}
 	if timed {
 		el := time.Since(tStart)
 		d := el - elStage
@@ -721,7 +803,11 @@ func (b *Broker) arrive(dst []Offer, a Arrival, t *trace.Trace) ([]Offer, error)
 		return dst, nil
 	}
 	n0 := len(dst)
-	dst = b.commitOffers(ar, dst)
+	if slate {
+		dst = b.commitSlate(ar, dst)
+	} else {
+		dst = b.commitOffers(ar, dst)
+	}
 	if b.wal != nil {
 		// Logged after every charge has landed and before the stripe locks
 		// release: the record carries the post-arrival γ bits and exactly
@@ -819,5 +905,10 @@ func (b *Broker) Stats() Stats {
 		G:             g,
 		PhiBoost:      b.phiBoost.Load(),
 		PacingEpoch:   b.pacingEpoch.Load(),
+
+		EscrowHeld:        b.billing.held.Load(),
+		EscrowReleased:    b.billing.released.Load(),
+		Conversions:       b.billing.conversions.Load(),
+		ConversionRevenue: b.billing.convertedRev.Load(),
 	}
 }

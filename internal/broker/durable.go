@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"log/slog"
 	"math"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -33,6 +34,15 @@ const (
 	// accumulator sequence serial replay would — batch and serial histories
 	// of the same stream are bit-identical (TestBatchReplayBitExact).
 	recArrivalBatch byte = 8 // count, then per arrival: γ bits, customer features, offers
+
+	// The v4 (economics-layer) records. They are written only once a campaign
+	// with a non-fixed billing contract has registered — an all-fixed broker
+	// keeps writing the exact pre-v4 stream, so old logs and old goldens stay
+	// byte-identical.
+	recRegisterV3     byte = 9  // recRegisterV2 plus the billing contract (model, reserve, event rate)
+	recArrivalSlate   byte = 10 // recArrivalV2 with offers extended by (id, chargeECPM, hold, model)
+	recArrivalBatchV2 byte = 11 // recArrivalBatch with recArrivalSlate-shaped bodies
+	recConversion     byte = 12 // offer id, campaign, model, charge bits, idempotency key
 )
 
 // controllerRecVersion is the internal version byte of recController
@@ -40,12 +50,15 @@ const (
 const controllerRecVersion byte = 1
 
 // Snapshot payload versions. V2 adds controller state (boost bits, epoch)
-// and per-campaign class + rate/allowance bits; V1 payloads are still
-// decoded, with controller state defaulting to inert. New snapshots are
-// always written as V2.
+// and per-campaign class + rate/allowance bits; V3 adds billing state
+// (per-campaign contract + escrow accumulators, the open-offer escrow table
+// and the idempotency window). Old payloads are still decoded with inert
+// defaults. New snapshots are written as V3 only once billing is active, so
+// an all-fixed broker's snapshots stay byte-identical to pre-v4 ones.
 const (
 	snapshotV1 byte = 1
 	snapshotV2 byte = 2
+	snapshotV3 byte = 3
 )
 
 // durable is the broker's durability sidecar: the open log, the snapshot
@@ -267,14 +280,20 @@ func appendF64(buf []byte, v float64) []byte {
 	return binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
 }
 
-// logRegister records a registration (always as the v2 record, which carries
-// the delivery class). Called under regMu before the directory entry is
-// published, so any later mutation of this campaign — which can only start
-// after publication — appends after it.
+// logRegister records a registration — as the v2 record for a fixed-billing
+// campaign (the pre-v4 stream, byte-identical), as the v3 record carrying
+// the billing contract otherwise. Called under regMu before the directory
+// entry is published, so any later mutation of this campaign — which can
+// only start after publication — appends after it.
 func (b *Broker) logRegister(id int32, spec CampaignSpec) {
 	bp := recPool.Get().(*[]byte)
 	buf := (*bp)[:0]
-	buf = append(buf, recRegisterV2)
+	billed := !spec.Billing.Zero()
+	if billed {
+		buf = append(buf, recRegisterV3)
+	} else {
+		buf = append(buf, recRegisterV2)
+	}
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(id))
 	buf = appendF64(buf, spec.Loc.X)
 	buf = appendF64(buf, spec.Loc.Y)
@@ -287,6 +306,11 @@ func (b *Broker) logRegister(id int32, spec CampaignSpec) {
 	buf = append(buf, class)
 	buf = appendF64(buf, spec.Floor)
 	buf = appendF64(buf, spec.Penalty)
+	if billed {
+		buf = append(buf, byte(spec.Billing.Model))
+		buf = appendF64(buf, spec.Billing.ReserveECPM)
+		buf = appendF64(buf, spec.Billing.EventRate)
+	}
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(spec.Tags)))
 	for _, t := range spec.Tags {
 		buf = appendF64(buf, t)
@@ -351,19 +375,71 @@ func (b *Broker) logPause(id int32, paused bool) {
 // the bounds are monotone — every observation is ≤/≥ the bits some record
 // carries.
 func (b *Broker) logArrival(a *Arrival, offers []Offer) {
+	// The slate record format rides the same monotone flag the scan path
+	// reads: once billing is active every arrival (under its stripe locks,
+	// which this call still holds) scans slates, so checking here can never
+	// write a legacy record for a slate-committed offer set.
+	slate := b.billing.active.Load()
 	bp := recPool.Get().(*[]byte)
-	buf := append((*bp)[:0], recArrivalV2)
-	buf = b.appendArrivalBody(buf, a, offers)
+	kind := recArrivalV2
+	if slate {
+		kind = recArrivalSlate
+	}
+	buf := append((*bp)[:0], kind)
+	buf = b.appendArrivalBodyKind(buf, a, offers, slate)
 	*bp = buf
 	b.walAppend(bp)
 }
 
-// appendArrivalBody encodes the arrival payload shared by recArrivalV2 and
-// each element of a recArrivalBatch: the γ bounds as this broker holds them
-// right now (the batch path calls this immediately after each arrival's
-// commit, matching the serial record's semantics), the customer's features,
-// and the committed offers.
+// logConversion records one collected conversion; called with the
+// campaign's shard lock held (Convert's phase 2).
+func (b *Broker) logConversion(offerID uint64, o openOffer, key string) {
+	bp := recPool.Get().(*[]byte)
+	buf := (*bp)[:0]
+	buf = append(buf, recConversion)
+	buf = binary.LittleEndian.AppendUint64(buf, offerID)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(o.campaign))
+	buf = append(buf, byte(o.model))
+	buf = appendF64(buf, o.hold)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(key)))
+	buf = append(buf, key...)
+	*bp = buf
+	b.walAppend(bp)
+}
+
+// appendArrivalBodyKind encodes one arrival body in the legacy or slate
+// layout; the batch path passes its per-batch flag, logArrival its own.
+func (b *Broker) appendArrivalBodyKind(buf []byte, a *Arrival, offers []Offer, slate bool) []byte {
+	buf = b.appendArrivalHeader(buf, a)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(offers)))
+	for i := range offers {
+		o := &offers[i]
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(o.Campaign))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(o.AdType))
+		buf = appendF64(buf, o.Cost)
+		buf = appendF64(buf, o.Utility)
+		if slate {
+			buf = binary.LittleEndian.AppendUint64(buf, o.ID)
+			buf = appendF64(buf, o.ChargeECPM)
+			buf = appendF64(buf, o.Hold)
+			buf = append(buf, byte(o.Model))
+		}
+	}
+	return buf
+}
+
+// appendArrivalBody encodes the legacy arrival payload shared by
+// recArrivalV2 and each element of a recArrivalBatch: the γ bounds as this
+// broker holds them right now (the batch path calls this immediately after
+// each arrival's commit, matching the serial record's semantics), the
+// customer's features, and the committed offers.
 func (b *Broker) appendArrivalBody(buf []byte, a *Arrival, offers []Offer) []byte {
+	return b.appendArrivalBodyKind(buf, a, offers, false)
+}
+
+// appendArrivalHeader encodes the γ bounds and customer features every
+// arrival body layout shares.
+func (b *Broker) appendArrivalHeader(buf []byte, a *Arrival) []byte {
 	buf = binary.LittleEndian.AppendUint64(buf, b.gammaMin.bits.Load())
 	buf = binary.LittleEndian.AppendUint64(buf, b.gammaMax.bits.Load())
 	buf = appendF64(buf, a.Loc.X)
@@ -374,14 +450,6 @@ func (b *Broker) appendArrivalBody(buf []byte, a *Arrival, offers []Offer) []byt
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(a.Interests)))
 	for _, v := range a.Interests {
 		buf = appendF64(buf, v)
-	}
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(offers)))
-	for i := range offers {
-		o := &offers[i]
-		buf = binary.LittleEndian.AppendUint32(buf, uint32(o.Campaign))
-		buf = binary.LittleEndian.AppendUint32(buf, uint32(o.AdType))
-		buf = appendF64(buf, o.Cost)
-		buf = appendF64(buf, o.Utility)
 	}
 	return buf
 }
@@ -456,10 +524,11 @@ func (b *Broker) applyRecord(rec []byte) error {
 		return err
 	}
 	switch d.Kind {
-	case RecordRegister, RecordRegisterV2:
+	case RecordRegister, RecordRegisterV2, RecordRegisterV3:
 		got, err := b.RegisterCampaignSpec(CampaignSpec{
 			Loc: d.Loc, Radius: d.Radius, Budget: d.Budget, Tags: d.Tags,
 			Guaranteed: d.Guaranteed, Floor: d.Floor, Penalty: d.Penalty,
+			Billing: d.Billing,
 		})
 		if err != nil {
 			return err
@@ -503,6 +572,18 @@ func (b *Broker) applyRecord(rec []byte) error {
 			}
 		}
 		return nil
+	case RecordArrivalSlate:
+		return b.applyArrivalSlate(d.GammaMin, d.GammaMax, d.Offers)
+	case RecordArrivalBatchV2:
+		for i := range d.Batch {
+			e := &d.Batch[i]
+			if err := b.applyArrivalSlate(e.GammaMin, e.GammaMax, e.Offers); err != nil {
+				return err
+			}
+		}
+		return nil
+	case RecordConversion:
+		return b.applyConversion(&d)
 	}
 	return fmt.Errorf("unknown record type %d", byte(d.Kind))
 }
@@ -527,13 +608,91 @@ func (b *Broker) applyArrival(gammaMin, gammaMax float64, offers []Offer) error 
 	return nil
 }
 
+// applyArrivalSlate replays one slate-format arrival: the legacy
+// accumulator sequence plus the billing effects commitSlate performed —
+// escrow registration (under the recorded offer ID, so later conversion
+// records resolve) for deferred offers, revenue accounting for the rest.
+func (b *Broker) applyArrivalSlate(gammaMin, gammaMax float64, offers []Offer) error {
+	b.arrivals.Add(1)
+	b.gammaMin.Min(gammaMin)
+	b.gammaMax.Max(gammaMax)
+	bl := b.billing
+	for i := range offers {
+		o := &offers[i]
+		c, err := b.campaign(o.Campaign)
+		if err != nil {
+			return err
+		}
+		if o.Hold > 0 {
+			bl.mu.Lock()
+			bl.open[o.ID] = openOffer{campaign: o.Campaign, model: o.Model, hold: o.Hold}
+			if o.ID >= bl.nextID {
+				bl.nextID = o.ID + 1
+			}
+			bl.openCount.Add(1)
+			c.escrow.Store(c.escrow.Load() + o.Hold)
+			bl.held.Add(o.Hold)
+			if len(bl.open) > bl.maxOpen {
+				bl.evictLocked(*b.dir.Load())
+			}
+			bl.mu.Unlock()
+		} else {
+			bl.revenue[o.Model].Add(o.Cost)
+		}
+		c.spent.Store(c.spent.Load() + o.Cost)
+		b.spent.Add(o.Cost)
+		b.utility.Add(o.Utility)
+		b.offers.Add(1)
+	}
+	return nil
+}
+
+// applyConversion replays one conversion record: the recorded offer's hold
+// moves from escrow to spend, mirroring Convert. A serial history always
+// finds the table entry (the slate arrival record replayed before it); a
+// missing entry means the log interleaved an eviction the record preceded,
+// which serial replay treats as corruption.
+func (b *Broker) applyConversion(d *DecodedRecord) error {
+	bl := b.billing
+	o, ok := bl.open[d.OfferID]
+	if !ok {
+		return fmt.Errorf("conversion for unknown offer %d", d.OfferID)
+	}
+	delete(bl.open, d.OfferID)
+	if d.EventKey != "" {
+		bl.registerKeyLocked(d.EventKey)
+	}
+	bl.openCount.Add(-1)
+	c, err := b.campaign(o.campaign)
+	if err != nil {
+		return err
+	}
+	c.escrow.Store(c.escrow.Load() - o.hold)
+	c.spent.Store(c.spent.Load() + o.hold)
+	c.converted.Add(o.hold)
+	c.conversions.Add(1)
+	bl.held.Add(-o.hold)
+	bl.convertedRev.Add(o.hold)
+	bl.conversions.Add(1)
+	bl.revenue[o.model].Add(o.hold)
+	b.spent.Add(o.hold)
+	return nil
+}
+
 // encodeSnapshot serializes the full broker state. Called with every
 // mutator quiesced (regMu plus all shard locks held), so the atomics are
 // stable and the encoding is a consistent cut.
 func (b *Broker) encodeSnapshot() []byte {
 	dir := *b.dir.Load()
+	// The v3 layout appears only once billing is active, so an all-fixed
+	// broker's snapshots stay byte-identical to the pre-v4 encoding.
+	v3 := b.billing.active.Load()
 	buf := make([]byte, 0, 64+len(dir)*160)
-	buf = append(buf, snapshotV2)
+	if v3 {
+		buf = append(buf, snapshotV3)
+	} else {
+		buf = append(buf, snapshotV2)
+	}
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(b.arrivals.Load()))
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(b.offers.Load()))
 	buf = binary.LittleEndian.AppendUint64(buf, b.utility.bits.Load())
@@ -564,10 +723,61 @@ func (b *Broker) encodeSnapshot() []byte {
 		buf = appendF64(buf, c.penalty)
 		buf = binary.LittleEndian.AppendUint64(buf, c.rate.bits.Load())
 		buf = binary.LittleEndian.AppendUint64(buf, c.allowance.bits.Load())
+		if v3 {
+			buf = append(buf, byte(c.billing.Model))
+			buf = appendF64(buf, c.billing.ReserveECPM)
+			buf = appendF64(buf, c.billing.EventRate)
+			buf = binary.LittleEndian.AppendUint64(buf, c.escrow.bits.Load())
+			buf = binary.LittleEndian.AppendUint64(buf, c.converted.bits.Load())
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(c.conversions.Load()))
+		}
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(c.tags)))
 		for _, t := range c.tags {
 			buf = appendF64(buf, t)
 		}
+	}
+	if v3 {
+		buf = b.encodeBillingSnapshot(buf)
+	}
+	return buf
+}
+
+// encodeBillingSnapshot appends the global billing section of a v3
+// snapshot. Called under full quiescence (regMu plus every shard lock);
+// since all billing mutations hold at least one shard lock, the sidecar's
+// state is stable and read without its mutex.
+func (b *Broker) encodeBillingSnapshot(buf []byte) []byte {
+	bl := b.billing
+	buf = binary.LittleEndian.AppendUint64(buf, bl.nextID)
+	buf = binary.LittleEndian.AppendUint64(buf, bl.evictNext)
+	buf = binary.LittleEndian.AppendUint64(buf, bl.held.bits.Load())
+	buf = binary.LittleEndian.AppendUint64(buf, bl.released.bits.Load())
+	buf = binary.LittleEndian.AppendUint64(buf, bl.convertedRev.bits.Load())
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(bl.conversions.Load()))
+	for m := range bl.revenue {
+		buf = binary.LittleEndian.AppendUint64(buf, bl.revenue[m].bits.Load())
+	}
+	// The open table, in ID order for a deterministic payload.
+	ids := make([]uint64, 0, len(bl.open))
+	for id := range bl.open {
+		ids = append(ids, id)
+	}
+	slices.Sort(ids)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(ids)))
+	for _, id := range ids {
+		o := bl.open[id]
+		buf = binary.LittleEndian.AppendUint64(buf, id)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(o.campaign))
+		buf = append(buf, byte(o.model))
+		buf = appendF64(buf, o.hold)
+	}
+	// The live idempotency window, oldest first, so replaying
+	// registerKeyLocked rebuilds the same FIFO.
+	live := bl.idemQ[bl.idemHead:]
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(live)))
+	for _, k := range live {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(k)))
+		buf = append(buf, k...)
 	}
 	return buf
 }
@@ -587,6 +797,7 @@ func (b *Broker) applySnapshot(data []byte) error {
 		got, err := b.RegisterCampaignSpec(CampaignSpec{
 			Loc: sc.Loc, Radius: sc.Radius, Budget: sc.Budget(), Tags: sc.Tags,
 			Guaranteed: sc.Guaranteed, Floor: sc.Floor, Penalty: sc.Penalty,
+			Billing: sc.Billing(),
 		})
 		if err != nil {
 			return err
@@ -599,6 +810,9 @@ func (b *Broker) applySnapshot(data []byte) error {
 		c.paused.Store(sc.Paused)
 		c.rate.bits.Store(sc.RateBits)
 		c.allowance.bits.Store(sc.AllowanceBits)
+		c.escrow.bits.Store(sc.EscrowBits)
+		c.converted.bits.Store(sc.ConvertedBits)
+		c.conversions.Store(sc.Conversions)
 	}
 	b.arrivals.Store(s.Arrivals)
 	b.offers.Store(s.Offers)
@@ -608,5 +822,26 @@ func (b *Broker) applySnapshot(data []byte) error {
 	b.gammaMax.bits.Store(s.GammaMaxBits)
 	b.phiBoost.bits.Store(s.PhiBoostBits)
 	b.pacingEpoch.Store(s.PacingEpoch)
+	if s.Billing != nil {
+		bl := b.billing
+		sb := s.Billing
+		bl.nextID = sb.NextID
+		bl.evictNext = sb.EvictNext
+		bl.held.bits.Store(sb.HeldBits)
+		bl.released.bits.Store(sb.ReleasedBits)
+		bl.convertedRev.bits.Store(sb.ConvertedRevBits)
+		bl.conversions.Store(sb.Conversions)
+		for m := range bl.revenue {
+			bl.revenue[m].bits.Store(sb.RevenueBits[m])
+		}
+		for i := range sb.Open {
+			e := &sb.Open[i]
+			bl.open[e.ID] = openOffer{campaign: e.Campaign, model: e.Model, hold: e.Hold}
+		}
+		bl.openCount.Store(int64(len(sb.Open)))
+		for _, k := range sb.IdemKeys {
+			bl.registerKeyLocked(k)
+		}
+	}
 	return nil
 }

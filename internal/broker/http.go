@@ -19,16 +19,18 @@ import (
 // versioned under /v1; every route is also registered at its legacy
 // unversioned path as a thin alias, so pre-/v1 clients keep working:
 //
-//	POST /v1/campaigns            {loc, radius, budget, tags}    → {id}
-//	GET  /v1/campaigns                                           → all campaign states
-//	GET  /v1/campaigns/{id}                                      → campaign state
-//	POST /v1/campaigns/{id}/topup {amount}                       → {ok}
-//	POST /v1/campaigns/{id}/pause {paused}                       → {ok}
-//	POST /v1/topup                {id, amount}                   → {ok}
-//	POST /v1/arrivals             {loc, capacity, viewProb, ...} → {offers}
-//	POST /v1/arrivals:batch       [{loc, ...}, ...]              → {results}
-//	GET  /v1/stats                                               → counters
-//	GET  /v1/map.svg                                             → live campaign map
+//	POST /v1/campaigns                 {loc, radius, budget, tags, billing?} → {id}
+//	GET  /v1/campaigns                                                      → all campaign states
+//	GET  /v1/campaigns/{id}                                                 → campaign state
+//	GET  /v1/campaigns/{id}/billing                                         → billing contract + escrow state
+//	POST /v1/campaigns/{id}/topup      {amount}                             → {ok}
+//	POST /v1/campaigns/{id}/pause      {paused}                             → {ok}
+//	POST /v1/topup                     {id, amount}                         → {ok}
+//	POST /v1/arrivals                  {loc, capacity, viewProb, ...}       → {offers, slate}
+//	POST /v1/arrivals:batch            [{loc, ...}, ...]                    → {results}
+//	POST /v1/events                    {offer_id, idempotency_key?}         → conversion receipt
+//	GET  /v1/stats                                                          → counters
+//	GET  /v1/map.svg                                                        → live campaign map
 //
 // All bodies and responses are JSON. POST bodies are capped at 1 MiB
 // (413 beyond it) and a non-JSON Content-Type is rejected with 415; a
@@ -38,7 +40,7 @@ import (
 //
 //	{"error": {"code": "...", "message": "..."}}
 //
-// with a machine-readable code (bad_request, not_found,
+// with a machine-readable code (bad_request, not_found, conflict,
 // method_not_allowed, unsupported_media_type, payload_too_large,
 // unavailable) beside the human-readable message.
 type API struct {
@@ -66,6 +68,9 @@ func NewAPI(b *Broker) *API {
 	a.handle("/campaigns/{id}", map[string]http.HandlerFunc{
 		http.MethodGet: a.getCampaign,
 	})
+	a.handle("/campaigns/{id}/billing", map[string]http.HandlerFunc{
+		http.MethodGet: a.getCampaignBilling,
+	})
 	a.handle("/campaigns/{id}/topup", map[string]http.HandlerFunc{
 		http.MethodPost: a.postTopUp,
 	})
@@ -80,6 +85,9 @@ func NewAPI(b *Broker) *API {
 	})
 	a.handle("/arrivals:batch", map[string]http.HandlerFunc{
 		http.MethodPost: a.postArrivalBatch,
+	})
+	a.handle("/events", map[string]http.HandlerFunc{
+		http.MethodPost: a.postEvent,
 	})
 	a.handle("/stats", map[string]http.HandlerFunc{
 		http.MethodGet: a.getStats,
@@ -152,6 +160,31 @@ type campaignRequest struct {
 	Guaranteed bool    `json:"guaranteed,omitempty"`
 	Floor      float64 `json:"floor,omitempty"`
 	Penalty    float64 `json:"penalty,omitempty"`
+	// Billing selects the campaign's billing contract (optional; absent means
+	// seed-compatible fixed-cost billing).
+	Billing *billingDTO `json:"billing,omitempty"`
+}
+
+// billingDTO is the wire form of a billing contract, on registration
+// requests and in the /v1/campaigns/{id}/billing response.
+type billingDTO struct {
+	Model       string  `json:"model"`
+	ReserveECPM float64 `json:"reserve_ecpm,omitempty"`
+	// EventRate is the expected conversions-per-impression rate used to
+	// normalize CPC/CPA bids to eCPM; ignored for fixed and cpm.
+	EventRate float64 `json:"event_rate,omitempty"`
+}
+
+// campaignBillingResponse is the GET /v1/campaigns/{id}/billing body: the
+// registered contract plus the campaign's live escrow and conversion state.
+type campaignBillingResponse struct {
+	ID      int32      `json:"id"`
+	Billing billingDTO `json:"billing"`
+	// Escrow is the budget currently held against open CPC/CPA offers;
+	// Converted the revenue collected by conversions, Conversions their count.
+	Escrow      float64 `json:"escrow"`
+	Converted   float64 `json:"converted"`
+	Conversions int64   `json:"conversions"`
 }
 
 type campaignResponse struct {
@@ -220,10 +253,30 @@ type offerDTO struct {
 	Utility    float64 `json:"utility"`
 	Efficiency float64 `json:"efficiency"`
 	Cost       float64 `json:"cost"`
+	// Billing fields, present only for offers from campaigns on auction
+	// billing: offer_id identifies an escrowed CPC/CPA offer for
+	// POST /v1/events, charge_ecpm is the second-priced auction charge and
+	// model the campaign's billing model.
+	OfferID    uint64  `json:"offer_id,omitempty"`
+	ChargeECPM float64 `json:"charge_ecpm,omitempty"`
+	Model      string  `json:"model,omitempty"`
+}
+
+// slateEntryDTO is one slot of the ordered slate view: the winning
+// (vendor, ad-type) pair and its eCPM-normalized charge. For fixed-cost
+// offers (no auction) the charge is the catalog cost normalized to eCPM.
+type slateEntryDTO struct {
+	Vendor     int32   `json:"vendor"`
+	AdType     int     `json:"ad_type"`
+	ChargeECPM float64 `json:"charge_ecpm"`
+	OfferID    uint64  `json:"offer_id,omitempty"`
 }
 
 type arrivalResponse struct {
 	Offers []offerDTO `json:"offers"`
+	// Slate mirrors offers in slot order as (vendor, ad_type, charge_ecpm)
+	// triples — the MCKP slate view of the same decision.
+	Slate []slateEntryDTO `json:"slate"`
 }
 
 // batchResultDTO is one element of the arrivals:batch response, aligned by
@@ -244,10 +297,25 @@ func (a *API) postCampaign(w http.ResponseWriter, r *http.Request) {
 	if !decode(w, r, &req) {
 		return
 	}
+	var billing model.Billing
+	if req.Billing != nil {
+		m, err := model.ParseBillingModel(req.Billing.Model)
+		if err != nil {
+			WriteError(w, http.StatusBadRequest, "bad_request",
+				fmt.Sprintf("broker: %v", err))
+			return
+		}
+		billing = model.Billing{
+			Model:       m,
+			ReserveECPM: req.Billing.ReserveECPM,
+			EventRate:   req.Billing.EventRate,
+		}
+	}
 	id, err := a.broker.RegisterCampaignSpec(CampaignSpec{
 		Loc: geo.Point{X: req.Loc.X, Y: req.Loc.Y}, Radius: req.Radius,
 		Budget: req.Budget, Tags: req.Tags,
 		Guaranteed: req.Guaranteed, Floor: req.Floor, Penalty: req.Penalty,
+		Billing: billing,
 	})
 	if err != nil {
 		WriteError(w, http.StatusBadRequest, "bad_request", err.Error())
@@ -343,15 +411,42 @@ func (a *API) postArrival(w http.ResponseWriter, r *http.Request) {
 		WriteError(w, http.StatusBadRequest, "bad_request", err.Error())
 		return
 	}
-	resp := arrivalResponse{Offers: make([]offerDTO, 0, len(offers))}
+	resp := arrivalResponse{
+		Offers: make([]offerDTO, 0, len(offers)),
+		Slate:  make([]slateEntryDTO, 0, len(offers)),
+	}
 	for _, o := range offers {
-		resp.Offers = append(resp.Offers, offerDTO{
-			Campaign: o.Campaign, AdType: o.AdType,
-			AdTypeName: a.broker.cfg.AdTypes[o.AdType].Name,
-			Utility:    o.Utility, Efficiency: o.Efficiency, Cost: o.Cost,
-		})
+		resp.Offers = append(resp.Offers, a.offerToDTO(o))
+		resp.Slate = append(resp.Slate, slateEntry(o))
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// offerToDTO builds the wire form of one committed offer. The billing
+// fields appear only for auction-billed offers, so fixed-cost responses
+// keep the seed schema byte-for-byte.
+func (a *API) offerToDTO(o Offer) offerDTO {
+	d := offerDTO{
+		Campaign: o.Campaign, AdType: o.AdType,
+		AdTypeName: a.broker.cfg.AdTypes[o.AdType].Name,
+		Utility:    o.Utility, Efficiency: o.Efficiency, Cost: o.Cost,
+	}
+	if o.Model != model.BillingFixed {
+		d.OfferID = o.ID
+		d.ChargeECPM = o.ChargeECPM
+		d.Model = o.Model.String()
+	}
+	return d
+}
+
+// slateEntry is the slot view of one offer: a fixed-cost offer has no
+// auction charge, so its catalog cost is normalized to eCPM.
+func slateEntry(o Offer) slateEntryDTO {
+	charge := o.ChargeECPM
+	if o.Model == model.BillingFixed {
+		charge = o.Cost * 1000
+	}
+	return slateEntryDTO{Vendor: o.Campaign, AdType: o.AdType, ChargeECPM: charge, OfferID: o.ID}
 }
 
 // postArrivalBatch serves POST /v1/arrivals:batch: a JSON array of arrival
@@ -389,15 +484,81 @@ func (a *API) postArrivalBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		offers := make([]offerDTO, 0, len(results[i].Offers))
 		for _, o := range results[i].Offers {
-			offers = append(offers, offerDTO{
-				Campaign: o.Campaign, AdType: o.AdType,
-				AdTypeName: a.broker.cfg.AdTypes[o.AdType].Name,
-				Utility:    o.Utility, Efficiency: o.Efficiency, Cost: o.Cost,
-			})
+			offers = append(offers, a.offerToDTO(o))
 		}
 		resp.Results[i].Offers = &offers
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+type eventRequest struct {
+	OfferID uint64 `json:"offer_id"`
+	// IdempotencyKey deduplicates retried deliveries of the same event; a
+	// replayed key is rejected with 409 conflict. Empty skips deduplication.
+	IdempotencyKey string `json:"idempotency_key,omitempty"`
+}
+
+// eventResponse is the conversion receipt: the escrowed hold moved to the
+// campaign's spend.
+type eventResponse struct {
+	OfferID  uint64  `json:"offer_id"`
+	Campaign int32   `json:"campaign"`
+	Model    string  `json:"model"`
+	Charged  float64 `json:"charged"`
+}
+
+// postEvent serves POST /v1/events: a CPC/CPA conversion callback against
+// an escrowed offer. Unknown, expired, or already-converted offers get 404;
+// a replayed idempotency key gets 409 conflict.
+func (a *API) postEvent(w http.ResponseWriter, r *http.Request) {
+	var req eventRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	cv, err := a.broker.Convert(req.OfferID, req.IdempotencyKey)
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrOfferUnknown):
+			WriteError(w, http.StatusNotFound, "not_found", err.Error())
+		case errors.Is(err, ErrDuplicateEvent):
+			WriteError(w, http.StatusConflict, "conflict", err.Error())
+		default:
+			WriteError(w, http.StatusBadRequest, "bad_request", err.Error())
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, eventResponse{
+		OfferID:  cv.OfferID,
+		Campaign: cv.Campaign,
+		Model:    cv.Model.String(),
+		Charged:  cv.Charged,
+	})
+}
+
+// getCampaignBilling serves GET /v1/campaigns/{id}/billing: the campaign's
+// registered billing contract plus its live escrow and conversion state.
+func (a *API) getCampaignBilling(w http.ResponseWriter, r *http.Request) {
+	id, ok := pathID(w, r)
+	if !ok {
+		return
+	}
+	c, err := a.broker.CampaignState(id)
+	if err != nil {
+		status, code := statusFor(err)
+		WriteError(w, status, code, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, campaignBillingResponse{
+		ID: c.ID,
+		Billing: billingDTO{
+			Model:       c.Billing.Model.String(),
+			ReserveECPM: c.Billing.ReserveECPM,
+			EventRate:   c.Billing.EventRate,
+		},
+		Escrow:      c.Escrow,
+		Converted:   c.Converted,
+		Conversions: c.Conversions,
+	})
 }
 
 func (a *API) getStats(w http.ResponseWriter, r *http.Request) {

@@ -565,9 +565,10 @@ func TestRoutesEnumeration(t *testing.T) {
 	api := NewAPI(b)
 	routes := api.Routes()
 	want := []string{
-		"/v1/campaigns", "/v1/campaigns/{id}", "/v1/campaigns/{id}/topup",
-		"/v1/campaigns/{id}/pause", "/v1/topup", "/v1/arrivals",
-		"/v1/arrivals:batch", "/v1/stats", "/v1/map.svg",
+		"/v1/campaigns", "/v1/campaigns/{id}", "/v1/campaigns/{id}/billing",
+		"/v1/campaigns/{id}/topup", "/v1/campaigns/{id}/pause", "/v1/topup",
+		"/v1/arrivals", "/v1/arrivals:batch", "/v1/events", "/v1/stats",
+		"/v1/map.svg",
 	}
 	if len(routes) != len(want) {
 		t.Fatalf("Routes() = %v, want %v", routes, want)

@@ -42,6 +42,7 @@ type brokerMetrics struct {
 	scanLowScore       *obs.Counter
 	scanUnaffordable   *obs.Counter
 	scanBelowThreshold *obs.Counter
+	scanBelowReserve   *obs.Counter
 
 	capacityTrimmed *obs.Counter
 	arrivalErrors   *obs.Counter
@@ -75,6 +76,9 @@ func (m *brokerMetrics) foldScanTally(t *scanTally) {
 	m.scanLowScore.Add(t.lowScore)
 	m.scanUnaffordable.Add(t.unaffordable)
 	m.scanBelowThreshold.Add(t.belowThreshold)
+	if t.belowReserve > 0 {
+		m.scanBelowReserve.Add(t.belowReserve)
+	}
 	if t.trimmed > 0 {
 		m.capacityTrimmed.Add(t.trimmed)
 	}
@@ -121,6 +125,9 @@ func newBrokerMetrics(reg *obs.Registry, b *Broker) *brokerMetrics {
 		scanBelowThreshold: reg.NewCounter("muaa_broker_scan_outcomes_total",
 			"Candidate campaigns examined by the O-AFA scan, by outcome.",
 			obs.L("outcome", "below_threshold")),
+		scanBelowReserve: reg.NewCounter("muaa_broker_scan_outcomes_total",
+			"Candidate campaigns examined by the O-AFA scan, by outcome.",
+			obs.L("outcome", "below_reserve")),
 		capacityTrimmed: reg.NewCounter("muaa_broker_capacity_trimmed_total",
 			"Admitted candidates dropped because the arrival's capacity was smaller."),
 		arrivalErrors: reg.NewCounter("muaa_broker_arrival_errors_total",
@@ -200,6 +207,7 @@ func newBrokerMetrics(reg *obs.Registry, b *Broker) *brokerMetrics {
 			func() float64 { return b.threshold(delta) },
 			obs.L("delta", strconv.FormatFloat(delta, 'g', -1, 64)))
 	}
+	registerBillingMetrics(reg, b.billing)
 	if b.audit != nil {
 		registerAuditMetrics(reg, b)
 	}

@@ -12,6 +12,7 @@ import (
 	"math"
 
 	"muaa/internal/geo"
+	"muaa/internal/model"
 )
 
 // RecordKind discriminates decoded WAL records.
@@ -27,6 +28,11 @@ const (
 	RecordRegisterV2   RecordKind = RecordKind(recRegisterV2)
 	RecordController   RecordKind = RecordKind(recController)
 	RecordArrivalBatch RecordKind = RecordKind(recArrivalBatch)
+
+	RecordRegisterV3     RecordKind = RecordKind(recRegisterV3)
+	RecordArrivalSlate   RecordKind = RecordKind(recArrivalSlate)
+	RecordArrivalBatchV2 RecordKind = RecordKind(recArrivalBatchV2)
+	RecordConversion     RecordKind = RecordKind(recConversion)
 )
 
 // String names the record kind for reports and errors.
@@ -48,6 +54,14 @@ func (k RecordKind) String() string {
 		return "controller"
 	case RecordArrivalBatch:
 		return "arrival_batch"
+	case RecordRegisterV3:
+		return "register_v3"
+	case RecordArrivalSlate:
+		return "arrival_slate"
+	case RecordArrivalBatchV2:
+		return "arrival_batch_v2"
+	case RecordConversion:
+		return "conversion"
 	}
 	return fmt.Sprintf("RecordKind(%d)", byte(k))
 }
@@ -73,6 +87,18 @@ type DecodedRecord struct {
 	Guaranteed bool
 	Floor      float64
 	Penalty    float64
+
+	// The billing contract a RecordRegisterV3 carries (the zero fixed-cost
+	// contract for earlier registration versions).
+	Billing model.Billing
+
+	// RecordConversion payload: the escrowed offer collected, its model,
+	// the charge moved from escrow to spend, and the idempotency key the
+	// event carried (empty when none).
+	OfferID  uint64
+	Model    model.BillingModel
+	Charge   float64
+	EventKey string
 
 	GammaMin    float64
 	GammaMax    float64
@@ -118,15 +144,20 @@ func DecodeRecord(rec []byte) (DecodedRecord, error) {
 	d := DecodedRecord{Kind: RecordKind(rec[0])}
 	r := &recReader{data: rec[1:]}
 	switch rec[0] {
-	case recRegister, recRegisterV2:
+	case recRegister, recRegisterV2, recRegisterV3:
 		d.Campaign = r.i32()
 		d.Loc = geo.Point{X: r.f64(), Y: r.f64()}
 		d.Radius = r.f64()
 		d.Budget = r.f64()
-		if rec[0] == recRegisterV2 {
+		if rec[0] != recRegister {
 			d.Guaranteed = r.u8() != 0
 			d.Floor = r.f64()
 			d.Penalty = r.f64()
+		}
+		if rec[0] == recRegisterV3 {
+			d.Billing.Model = model.BillingModel(r.u8())
+			d.Billing.ReserveECPM = r.f64()
+			d.Billing.EventRate = r.f64()
 		}
 		n := r.u32()
 		if r.err != nil || int(n) > r.remaining()/8 {
@@ -178,20 +209,43 @@ func DecodeRecord(rec []byte) (DecodedRecord, error) {
 		d.HasCustomer = true
 		d.Customer = e.Customer
 		d.Offers = e.Offers
-	case recArrivalBatch:
+	case recArrivalBatch, recArrivalBatchV2:
 		n := r.u32()
 		// Each batch element is at least 60 bytes (two γ words, the fixed
 		// customer fields, two empty-section counts).
 		if r.err != nil || int(n) > r.remaining()/60 {
 			return DecodedRecord{}, errors.New("malformed batch arrival record")
 		}
+		slate := rec[0] == recArrivalBatchV2
 		d.Batch = make([]ArrivalRecord, 0, n)
 		for i := 0; i < int(n); i++ {
-			e, ok := decodeArrivalBody(r)
+			e, ok := decodeArrivalBodyKind(r, slate)
 			if !ok {
 				return DecodedRecord{}, errors.New("malformed batch arrival record")
 			}
 			d.Batch = append(d.Batch, e)
+		}
+	case recArrivalSlate:
+		e, ok := decodeArrivalBodyKind(r, true)
+		if !ok {
+			return DecodedRecord{}, errors.New("malformed arrival record")
+		}
+		d.GammaMin, d.GammaMax = e.GammaMin, e.GammaMax
+		d.HasCustomer = true
+		d.Customer = e.Customer
+		d.Offers = e.Offers
+	case recConversion:
+		d.OfferID = r.u64()
+		d.Campaign = r.i32()
+		d.Model = model.BillingModel(r.u8())
+		d.Charge = r.f64()
+		n := r.u32()
+		if r.err != nil || int(n) > r.remaining() {
+			return DecodedRecord{}, errors.New("malformed conversion record")
+		}
+		if n > 0 {
+			d.EventKey = string(r.data[r.off : r.off+int(n)])
+			r.off += int(n)
 		}
 	default:
 		return DecodedRecord{}, fmt.Errorf("unknown record type %d", rec[0])
@@ -206,6 +260,12 @@ func DecodeRecord(rec []byte) (DecodedRecord, error) {
 // features, offers) — the payload of a RecordArrivalV2 and of each
 // RecordArrivalBatch element. Returns ok=false on malformed input.
 func decodeArrivalBody(r *recReader) (ArrivalRecord, bool) {
+	return decodeArrivalBodyKind(r, false)
+}
+
+// decodeArrivalBodyKind decodes one arrival body in the legacy or slate
+// offer layout.
+func decodeArrivalBodyKind(r *recReader, slate bool) (ArrivalRecord, bool) {
 	var e ArrivalRecord
 	e.GammaMin = r.f64()
 	e.GammaMax = r.f64()
@@ -223,7 +283,7 @@ func decodeArrivalBody(r *recReader) (ArrivalRecord, bool) {
 			e.Customer.Interests[i] = r.f64()
 		}
 	}
-	offers, ok := decodeOffers(r)
+	offers, ok := decodeOffersKind(r, slate)
 	if !ok {
 		return ArrivalRecord{}, false
 	}
@@ -231,10 +291,21 @@ func decodeArrivalBody(r *recReader) (ArrivalRecord, bool) {
 	return e, true
 }
 
-// decodeOffers decodes a length-prefixed offer list.
+// decodeOffers decodes a length-prefixed legacy offer list.
 func decodeOffers(r *recReader) ([]Offer, bool) {
+	return decodeOffersKind(r, false)
+}
+
+// decodeOffersKind decodes a length-prefixed offer list: 24 bytes per
+// legacy offer, 49 per slate offer (the legacy fields plus id, charge eCPM,
+// hold and billing model).
+func decodeOffersKind(r *recReader, slate bool) ([]Offer, bool) {
+	per := 24
+	if slate {
+		per = 49
+	}
 	n := r.u32()
-	if r.err != nil || int(n) > r.remaining()/24 {
+	if r.err != nil || int(n) > r.remaining()/per {
 		return nil, false
 	}
 	if n == 0 {
@@ -247,6 +318,12 @@ func decodeOffers(r *recReader) ([]Offer, bool) {
 		o.AdType = int(r.u32())
 		o.Cost = r.f64()
 		o.Utility = r.f64()
+		if slate {
+			o.ID = r.u64()
+			o.ChargeECPM = r.f64()
+			o.Hold = r.f64()
+			o.Model = model.BillingModel(r.u8())
+		}
 	}
 	return offers, r.err == nil
 }
@@ -271,6 +348,15 @@ type SnapshotCampaign struct {
 	Penalty       float64
 	RateBits      uint64
 	AllowanceBits uint64
+
+	// Billing state from v3 snapshots; zero (fixed contract, no escrow)
+	// for earlier versions.
+	BillingModel  model.BillingModel
+	ReserveBits   uint64
+	EventRateBits uint64
+	EscrowBits    uint64
+	ConvertedBits uint64
+	Conversions   int64
 }
 
 // Budget returns the campaign budget as a float.
@@ -278,6 +364,15 @@ func (c *SnapshotCampaign) Budget() float64 { return math.Float64frombits(c.Budg
 
 // Spent returns the spent accumulator as a float.
 func (c *SnapshotCampaign) Spent() float64 { return math.Float64frombits(c.SpentBits) }
+
+// Billing returns the campaign's recorded billing contract.
+func (c *SnapshotCampaign) Billing() model.Billing {
+	return model.Billing{
+		Model:       c.BillingModel,
+		ReserveECPM: math.Float64frombits(c.ReserveBits),
+		EventRate:   math.Float64frombits(c.EventRateBits),
+	}
+}
 
 // SnapshotState is a decoded compacted-state payload. PhiBoostBits and
 // PacingEpoch come from v2 snapshots; v1 payloads decode with the inert
@@ -292,6 +387,33 @@ type SnapshotState struct {
 	PhiBoostBits uint64
 	PacingEpoch  int64
 	Campaigns    []SnapshotCampaign
+
+	// Billing is the global billing section of a v3 snapshot; nil for
+	// earlier versions (no billing state to restore).
+	Billing *SnapshotBilling
+}
+
+// SnapshotBilling is the global billing sidecar state a v3 snapshot
+// carries: accumulator bits, the open escrow table in ID order and the live
+// idempotency-key window oldest-first.
+type SnapshotBilling struct {
+	NextID           uint64
+	EvictNext        uint64
+	HeldBits         uint64
+	ReleasedBits     uint64
+	ConvertedRevBits uint64
+	Conversions      int64
+	RevenueBits      [model.NumBillingModels]uint64
+	Open             []SnapshotOpenOffer
+	IdemKeys         []string
+}
+
+// SnapshotOpenOffer is one open escrowed offer inside a v3 snapshot.
+type SnapshotOpenOffer struct {
+	ID       uint64
+	Campaign int32
+	Model    model.BillingModel
+	Hold     float64
 }
 
 // GammaMin returns the recorded γ lower bound as a float (+Inf when nothing
@@ -304,10 +426,11 @@ func (s *SnapshotState) GammaMax() float64 { return math.Float64frombits(s.Gamma
 // DecodeSnapshot decodes a compacted-state payload. Like DecodeRecord it is
 // total: malformed input errors, never panics.
 func DecodeSnapshot(data []byte) (SnapshotState, error) {
-	if len(data) == 0 || (data[0] != snapshotV1 && data[0] != snapshotV2) {
+	if len(data) == 0 || data[0] < snapshotV1 || data[0] > snapshotV3 {
 		return SnapshotState{}, errors.New("unsupported snapshot version")
 	}
-	v2 := data[0] == snapshotV2
+	v2 := data[0] >= snapshotV2
+	v3 := data[0] == snapshotV3
 	r := &recReader{data: data[1:]}
 	s := SnapshotState{
 		Arrivals:     r.i64(),
@@ -344,6 +467,14 @@ func DecodeSnapshot(data []byte) (SnapshotState, error) {
 			c.RateBits = r.u64()
 			c.AllowanceBits = r.u64()
 		}
+		if v3 {
+			c.BillingModel = model.BillingModel(r.u8())
+			c.ReserveBits = r.u64()
+			c.EventRateBits = r.u64()
+			c.EscrowBits = r.u64()
+			c.ConvertedBits = r.u64()
+			c.Conversions = r.i64()
+		}
 		nt := r.u32()
 		if r.err != nil || int(nt) > r.remaining()/8 {
 			return SnapshotState{}, fmt.Errorf("snapshot campaign %d is malformed", i)
@@ -353,6 +484,44 @@ func DecodeSnapshot(data []byte) (SnapshotState, error) {
 			c.Tags[j] = r.f64()
 		}
 		s.Campaigns = append(s.Campaigns, c)
+	}
+	if v3 {
+		sb := &SnapshotBilling{
+			NextID:           r.u64(),
+			EvictNext:        r.u64(),
+			HeldBits:         r.u64(),
+			ReleasedBits:     r.u64(),
+			ConvertedRevBits: r.u64(),
+			Conversions:      r.i64(),
+		}
+		for m := range sb.RevenueBits {
+			sb.RevenueBits[m] = r.u64()
+		}
+		no := r.u32()
+		if r.err != nil || int(no) > r.remaining()/21 {
+			return SnapshotState{}, errors.New("snapshot escrow table is malformed")
+		}
+		for i := 0; i < int(no); i++ {
+			sb.Open = append(sb.Open, SnapshotOpenOffer{
+				ID:       r.u64(),
+				Campaign: r.i32(),
+				Model:    model.BillingModel(r.u8()),
+				Hold:     r.f64(),
+			})
+		}
+		nk := r.u32()
+		if r.err != nil || int(nk) > r.remaining()/4 {
+			return SnapshotState{}, errors.New("snapshot idempotency window is malformed")
+		}
+		for i := 0; i < int(nk); i++ {
+			kl := r.u32()
+			if r.err != nil || int(kl) > r.remaining() {
+				return SnapshotState{}, errors.New("snapshot idempotency window is malformed")
+			}
+			sb.IdemKeys = append(sb.IdemKeys, string(r.data[r.off:r.off+int(kl)]))
+			r.off += int(kl)
+		}
+		s.Billing = sb
 	}
 	if err := r.done(); err != nil {
 		return SnapshotState{}, err

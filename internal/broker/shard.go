@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"muaa/internal/geo"
+	"muaa/internal/model"
 )
 
 // atomicFloat is a float64 with atomic load/store/add/min/max, stored as IEEE
@@ -76,9 +77,22 @@ type campaign struct {
 	floor      float64
 	penalty    float64
 
+	// billing is the campaign's billing contract, immutable after
+	// registration. The zero value is the seed fixed-cost contract.
+	billing model.Billing
+
 	budget atomicFloat
 	spent  atomicFloat
 	paused atomic.Bool
+
+	// Deferred-billing money, written only under the owning shard's lock
+	// (offer-time holds) or shard lock + billing mutex (conversion,
+	// expiry): escrow is budget held against open CPC/CPA offers,
+	// converted the revenue collected by conversions, conversions their
+	// count. All stay zero for non-deferred campaigns.
+	escrow      atomicFloat
+	converted   atomicFloat
+	conversions atomic.Int64
 
 	// Pacing-controller actuators, written only under the full quiescence
 	// PacingStep takes (all shard locks held): rate is the spend-rate cap the
@@ -96,7 +110,10 @@ func (c *campaign) snapshot() Campaign {
 		Budget: c.budget.Load(), Spent: c.spent.Load(),
 		Tags: append([]float64(nil), c.tags...), Paused: c.paused.Load(),
 		Guaranteed: c.guaranteed, Floor: c.floor, Penalty: c.penalty,
-		Rate: c.rate.Load(),
+		Rate:    c.rate.Load(),
+		Billing: c.billing,
+		Escrow:  c.escrow.Load(), Converted: c.converted.Load(),
+		Conversions: c.conversions.Load(),
 	}
 }
 

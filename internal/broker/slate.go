@@ -1,0 +1,389 @@
+package broker
+
+// The slate scan: MCKP slot fill with eCPM-normalized auction pricing.
+//
+// The legacy scan picks one best item per candidate, then trims to capacity
+// by efficiency — an exact MCKP hull-greedy only at capacity 1. The slate
+// scan generalizes it: each surviving candidate becomes an MCKP class whose
+// items are the threshold-admitted (ad-type) choices priced at billing-
+// expected cost, and up to a_i slots are filled by knapsack.SlotSolver. At
+// capacity 1 the walk below is shaped exactly like the legacy pass B, so an
+// all-fixed fleet takes bit-identical decisions (TestSlateEquivalenceSerial);
+// the broker routes arrivals here only when a billed campaign exists or
+// Config.Slate forces it.
+//
+// Pricing follows the offer scan: each winner pays the displaced runner-up's
+// bid in eCPM, floored at its own reserve and capped at its own bid
+// (second-price with reserve). Fixed-billing winners bypass the auction and
+// are charged their catalog cost, exactly as the legacy commit charges them.
+//
+// Money safety: affordability is checked against the raw per-event cost
+// t.Cost (not the expected cost), and every possible charge — catalog cost,
+// CPM second price /1000, deferred hold charge/1000/rate — is ≤ t.Cost, so
+// with remaining = budget − spent − escrow the invariant
+// spent + escrow ≤ budget (+ the legacy 1e-12 admission slack) holds through
+// offer, conversion (escrow → spent, 1:1) and expiry (escrow released).
+
+import (
+	"math"
+
+	"muaa/internal/model"
+)
+
+// slateItem mirrors one solver item: the admitted (candidate, ad-type)
+// choice with its utility, expected-cost efficiency and eCPM bid. Flat and
+// index-aligned with the SlotSolver's item order via scanArena.classItem0.
+type slateItem struct {
+	adType int32
+	util   float64
+	eff    float64
+	bid    float64
+}
+
+// slateRep is the capacity-1 walk's per-candidate representative: the best
+// admitted item, shaped exactly like the legacy scan's bestK selection.
+type slateRep struct {
+	ci   int32 // index into ar.cand
+	k    int32
+	util float64
+	eff  float64
+	bid  float64
+}
+
+// scanSlate is the slate counterpart of scanCandidates: pass A computes the
+// γ-independent terms (identical to the legacy pass A plus the escrow
+// deduction — budget − spent − 0 is bit-identical to budget − spent, so
+// never-escrowed fleets see the same numbers), pass B folds billing into the
+// threshold walk and fills up to a.Capacity slots. Caller holds the stripe
+// locks that produced ar.ids.
+func (b *Broker) scanSlate(ar *scanArena, a *Arrival, dir []*campaign, boost float64) scanTally {
+	var tally scanTally
+	cu := &ar.customer
+	*cu = model.Customer{Loc: a.Loc, Capacity: a.Capacity, ViewProb: a.ViewProb,
+		Interests: a.Interests, Arrival: a.Hour}
+	ve := &ar.vendor
+	ar.cand = ar.cand[:0]
+	ar.base = ar.base[:0]
+	ar.delta = ar.delta[:0]
+	ar.remaining = ar.remaining[:0]
+	ar.headroom = ar.headroom[:0]
+	ar.relief = ar.relief[:0]
+	ar.cands = ar.cands[:0]
+
+	// Pass A: filters and the γ-independent per-candidate terms. Same
+	// sequence as scanCandidates pass A — the duplication is deliberate, so
+	// the legacy path stays untouched while the equivalence test pins this
+	// copy to it.
+	for _, id := range ar.ids {
+		c := dir[id]
+		if c.paused.Load() {
+			tally.paused++
+			continue
+		}
+		budget := c.budget.Load()
+		if budget <= 0 {
+			tally.exhausted++
+			continue
+		}
+		if b.vectorPref && len(c.tags) != len(a.Interests) {
+			tally.mismatch++
+			continue // mismatched taxonomies: preference undefined, not served
+		}
+		spent := c.spent.Load()
+		*ve = model.Vendor{Loc: c.loc, Radius: c.radius, Budget: budget, Tags: c.tags}
+		var s float64
+		if b.vectorPref {
+			s, ar.weights = b.pearson.ScoreScratch(cu, ve, a.Hour, ar.weights)
+		} else {
+			s = b.pref.Score(cu, ve, a.Hour)
+		}
+		if s <= 0 || math.IsNaN(s) {
+			tally.lowScore++
+			continue
+		}
+		if s > 1 {
+			s = 1
+		}
+		d := a.Loc.Dist(c.loc)
+		if d < b.minDist {
+			d = b.minDist
+		}
+		base := a.ViewProb * s / d
+		delta := spent / budget
+		relief := c.guaranteed && c.floor > 0 && spent < c.floor*budget*(a.Hour/24)
+		// Escrowed budget is committed money: it is unavailable to new
+		// offers until the conversion lands or the hold expires.
+		remaining := budget - spent - c.escrow.Load()
+		headroom := remaining
+		if b.cfg.Pacing > 0 {
+			allowance := b.cfg.Pacing * budget * a.Hour / 24
+			if paced := allowance - spent; paced < remaining {
+				remaining = paced
+			}
+		}
+		if b.controller != nil {
+			if paced := c.allowance.Load() - spent; paced < remaining {
+				remaining = paced
+			}
+		}
+		ar.cand = append(ar.cand, c)
+		ar.base = append(ar.base, base)
+		ar.delta = append(ar.delta, delta)
+		ar.remaining = append(ar.remaining, remaining)
+		ar.headroom = append(ar.headroom, headroom)
+		ar.relief = append(ar.relief, relief)
+	}
+
+	// Pass B: still the sequential O-AFA walk — γ observations feed forward
+	// candidate to candidate — with billing folded in. Capacity 1 keeps the
+	// legacy walk shape for bit-exact equivalence; larger capacities build
+	// MCKP classes and let the slot solver fill the slate.
+	if a.Capacity == 1 {
+		b.slatePassSingle(ar, &tally, boost)
+	} else {
+		b.slatePassSlots(ar, a.Capacity, &tally, boost)
+	}
+	return tally
+}
+
+// slateDisposition folds one servable-candidate outcome into the tally when
+// no item of the candidate was admitted.
+func (b *Broker) slateDisposition(tally *scanTally, affordable, aboveReserve bool, headroom float64) {
+	switch {
+	case aboveReserve:
+		tally.belowThreshold++
+	case affordable:
+		tally.belowReserve++
+	case headroom < b.minAdCost:
+		tally.exhausted++
+	default:
+		tally.unaffordable++
+	}
+}
+
+// slatePassSingle is the capacity-1 pass B: one best item per candidate,
+// best-efficiency candidate wins the slot, the displaced runner-up prices
+// it. With every campaign on fixed billing the admitted set, the winner and
+// the committed Offer are bit-identical to the legacy pass B plus trim.
+func (b *Broker) slatePassSingle(ar *scanArena, tally *scanTally, boost float64) {
+	adTypes := b.cfg.AdTypes
+	ar.reps = ar.reps[:0]
+	for i, c := range ar.cand {
+		phi := b.threshold(ar.delta[i])
+		if boost != 1 {
+			phi *= boost
+		}
+		if ar.relief[i] {
+			phi *= guaranteeRelief
+		}
+		bi := c.billing
+		base, remaining := ar.base[i], ar.remaining[i]
+		bestK, bestU, bestEff, bestBid := -1, 0.0, 0.0, 0.0
+		affordable, aboveReserve := false, false
+		for k, t := range adTypes {
+			if t.Cost > remaining+1e-12 {
+				continue
+			}
+			affordable = true
+			bid := bi.BidECPM(t.Cost)
+			if bid < bi.ReserveECPM {
+				continue // reserve-priced out of the auction
+			}
+			aboveReserve = true
+			util := base * t.Effect
+			eff := util / bi.ExpectedCost(t.Cost)
+			b.observeEfficiency(eff)
+			if eff < phi {
+				continue
+			}
+			if util > bestU {
+				bestK, bestU, bestEff, bestBid = k, util, eff, bid
+			}
+		}
+		if bestK >= 0 {
+			tally.offered++
+			ar.reps = append(ar.reps, slateRep{
+				ci: int32(i), k: int32(bestK), util: bestU, eff: bestEff, bid: bestBid,
+			})
+			continue
+		}
+		b.slateDisposition(tally, affordable, aboveReserve, ar.headroom[i])
+	}
+	if len(ar.reps) == 0 {
+		return
+	}
+	// Winner and runner-up by (efficiency desc, campaign asc): reps ascend
+	// by campaign id, so the strict > scan resolves ties to the lower id —
+	// the same total order the legacy capacity trim sorts by.
+	wi, ri := -1, -1
+	for j := range ar.reps {
+		switch {
+		case wi < 0 || ar.reps[j].eff > ar.reps[wi].eff:
+			ri = wi
+			wi = j
+		case ri < 0 || ar.reps[j].eff > ar.reps[ri].eff:
+			ri = j
+		}
+	}
+	runnerBid := 0.0
+	if ri >= 0 {
+		runnerBid = ar.reps[ri].bid
+		tally.trimmed = uint64(len(ar.reps) - 1)
+	}
+	w := &ar.reps[wi]
+	ar.cands = append(ar.cands,
+		priceSlateOffer(ar.cand[w.ci], adTypes, int(w.k), w.util, w.eff, w.bid, runnerBid))
+}
+
+// slatePassSlots is the capacity ≥ 2 pass B: each candidate with admitted
+// items becomes an MCKP class (items priced at expected cost) and the slot
+// solver fills up to `capacity` slots in decreasing best-item efficiency —
+// the same currency the capacity-1 winner scan and the legacy trim rank by.
+func (b *Broker) slatePassSlots(ar *scanArena, capacity int, tally *scanTally, boost float64) {
+	adTypes := b.cfg.AdTypes
+	s := &ar.slot
+	s.Reset()
+	ar.items = ar.items[:0]
+	ar.classCand = ar.classCand[:0]
+	ar.classItem0 = ar.classItem0[:0]
+	for i, c := range ar.cand {
+		phi := b.threshold(ar.delta[i])
+		if boost != 1 {
+			phi *= boost
+		}
+		if ar.relief[i] {
+			phi *= guaranteeRelief
+		}
+		bi := c.billing
+		base, remaining := ar.base[i], ar.remaining[i]
+		opened := false
+		affordable, aboveReserve := false, false
+		for k, t := range adTypes {
+			if t.Cost > remaining+1e-12 {
+				continue
+			}
+			affordable = true
+			bid := bi.BidECPM(t.Cost)
+			if bid < bi.ReserveECPM {
+				continue
+			}
+			aboveReserve = true
+			expCost := bi.ExpectedCost(t.Cost)
+			util := base * t.Effect
+			eff := util / expCost
+			b.observeEfficiency(eff)
+			if eff < phi || util <= 0 {
+				continue
+			}
+			if !opened {
+				opened = true
+				s.Begin()
+				ar.classCand = append(ar.classCand, int32(i))
+				ar.classItem0 = append(ar.classItem0, int32(len(ar.items)))
+			}
+			s.Item(expCost, util)
+			ar.items = append(ar.items, slateItem{adType: int32(k), util: util, eff: eff, bid: bid})
+		}
+		if opened {
+			tally.offered++
+			continue
+		}
+		b.slateDisposition(tally, affordable, aboveReserve, ar.headroom[i])
+	}
+	if s.Classes() == 0 {
+		return
+	}
+	s.Solve(capacity)
+	// The first class denied a slot prices every winner: its hypothetical
+	// pick is the bid the slate displaced.
+	runnerBid := 0.0
+	if rc := s.Runner(); rc >= 0 {
+		if rp := s.RunnerPick(); rp >= 0 {
+			runnerBid = ar.items[int(ar.classItem0[rc])+rp].bid
+		}
+	}
+	for _, ci := range s.Order() {
+		it := &ar.items[int(ar.classItem0[ci])+s.Pick(int(ci))]
+		c := ar.cand[ar.classCand[ci]]
+		ar.cands = append(ar.cands,
+			priceSlateOffer(c, adTypes, int(it.adType), it.util, it.eff, it.bid, runnerBid))
+	}
+	tally.trimmed = uint64(s.Classes() - len(s.Order()))
+}
+
+// priceSlateOffer builds the committed-offer candidate for one slate winner.
+// Fixed billing bypasses the auction: the offer carries the catalog cost
+// alone, field-for-field what the legacy scan produces. Auction billing pays
+// min(own bid, max(reserve, runner-up bid)) in eCPM — charged now for CPM,
+// escrowed as a per-event hold for CPC/CPA.
+func priceSlateOffer(c *campaign, adTypes []model.AdType, k int, util, eff, bid, runnerBid float64) candidate {
+	cd := candidate{
+		Offer: Offer{Campaign: c.id, AdType: k, Utility: util, Efficiency: eff},
+		c:     c,
+	}
+	bi := c.billing
+	if bi.Model == model.BillingFixed {
+		cd.Cost = adTypes[k].Cost
+		return cd
+	}
+	charge := runnerBid
+	if bi.ReserveECPM > charge {
+		charge = bi.ReserveECPM
+	}
+	if bid < charge {
+		charge = bid
+	}
+	cd.ChargeECPM = charge
+	cd.Model = bi.Model
+	if bi.Model.Deferred() {
+		cd.Hold = charge / 1000 / bi.EventRate
+	} else {
+		cd.Cost = charge / 1000
+	}
+	return cd
+}
+
+// commitSlate charges every slate winner in ar.cands and appends the offers
+// to dst. The money sequence per offer is exactly commitOffers'; deferred
+// winners additionally register in the escrow table (assigning the offer ID
+// conversion events reference) instead of spending, and auction charges are
+// folded into the per-model revenue counters. Caller still holds the stripe
+// locks, which cover every winner's owning shard.
+func (b *Broker) commitSlate(ar *scanArena, dst []Offer) []Offer {
+	m := b.metrics
+	bl := b.billing
+	var dir []*campaign
+	for i := range ar.cands {
+		cd := &ar.cands[i]
+		if cd.Hold > 0 {
+			bl.mu.Lock()
+			cd.ID = bl.holdLocked(cd.c, cd.Model, cd.Hold)
+			cd.c.escrow.Store(cd.c.escrow.Load() + cd.Hold)
+			bl.held.Add(cd.Hold)
+			if len(bl.open) > bl.maxOpen {
+				if dir == nil {
+					dir = *b.dir.Load()
+				}
+				bl.evictLocked(dir)
+			}
+			bl.mu.Unlock()
+		} else {
+			bl.revenue[cd.Model].Add(cd.Cost)
+		}
+		oldSpent := cd.c.spent.Load()
+		newSpent := oldSpent + cd.Cost
+		cd.c.spent.Store(newSpent)
+		b.spent.Add(cd.Cost)
+		b.utility.Add(cd.Utility)
+		b.offers.Add(1)
+		dst = append(dst, cd.Offer)
+		if m != nil {
+			m.offersByType[cd.AdType].Inc()
+			budget := cd.c.budget.Load()
+			if budget-oldSpent >= b.minAdCost && budget-newSpent < b.minAdCost {
+				m.exhaustedEvents.Inc()
+			}
+		}
+	}
+	return dst
+}

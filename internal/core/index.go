@@ -41,6 +41,13 @@ func NewIndex(p *model.Problem) *Index {
 		customerGrid: geo.NewGrid(bounds, cres),
 	}
 	for j := range p.Vendors {
+		// Paused vendors never enter the grid: every solver funnels vendor
+		// discovery through ValidVendors/NearestVendors, so exclusion here
+		// makes the whole solver family pause-aware at zero per-query cost.
+		// (Recon iterates vendors directly and carries its own skip.)
+		if p.Vendors[j].Paused {
+			continue
+		}
 		ix.vendorGrid.InsertWithRadius(int32(j), p.Vendors[j].Loc, p.Vendors[j].Radius)
 	}
 	for i := range p.Customers {

@@ -70,6 +70,9 @@ func (r Recon) Solve(p *model.Problem) (model.Assignment, error) {
 	// subproblems, optionally in parallel.
 	perVendor := make([][]model.Instance, len(p.Vendors))
 	solveOne := func(vj int32, buf []int32) ([]model.Instance, error) {
+		if p.Vendors[vj].Paused {
+			return nil, nil
+		}
 		buf = ix.ValidCustomers(buf[:0], vj)
 		if r.UseLP {
 			ins, err := solveSingleVendorLP(p, vj, buf)

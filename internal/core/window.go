@@ -14,6 +14,10 @@ import (
 // ledger are retained between calls, so a periodic recompute settles into
 // zero steady-state allocation for those structures. Not safe for concurrent
 // use; give each recompute loop its own instance.
+//
+// Paused vendors are excluded from the counterfactual entirely: the index
+// never surfaces them, so the oracle cannot spend budgets the online broker
+// was forbidden to touch (pause-heavy streams no longer depress the ratio).
 type WindowOracle struct {
 	cands    []candidate
 	vbuf     []int32

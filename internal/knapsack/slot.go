@@ -1,0 +1,268 @@
+package knapsack
+
+// SlotSolver is the arena-friendly entry point to the MCKP hull-greedy for
+// the broker's serving path. The serving problem differs from the budgeted
+// MCKP Greedy solves in one way: the binding resource is the arrival's slot
+// capacity a_i (at most a_i classes may serve), not a shared money budget —
+// each class's affordability is enforced per campaign before its items are
+// added. SlotSolver therefore runs the same machinery as Greedy — per-class
+// upper-left convex hulls, increments walked in decreasing incremental
+// efficiency with the prefix rule — but opens a class only while slots
+// remain.
+//
+// With no shared money budget every increment of an opened class applies
+// (within a class efficiency strictly decreases along the hull, so the
+// prefix rule is always satisfied when an increment is reached in global
+// order). The walk thus opens classes in decreasing best-item efficiency —
+// the same currency the O-AFA threshold admits by and the legacy capacity
+// trim sorts by — and serves each opened class its hull completion, the
+// class's maximum-profit point at minimal cost. The first class denied for
+// want of a slot is remembered as the runner-up; its hypothetical pick
+// prices the displaced bid in the second-price charge rule.
+//
+// Unlike Greedy, SlotSolver allocates nothing in steady state: all working
+// storage is retained flat slices grown by append, so it can live inside the
+// per-stripe scanArena on the zero-alloc serial path.
+
+type slotInc struct {
+	class int32
+	level int32
+	dCost float64
+	dVal  float64
+	eff   float64
+}
+
+// SlotSolver solves the slot-capacitated MCKP over classes built
+// incrementally with Begin/Item. The zero value is ready to use; Reset
+// clears it for reuse without releasing storage.
+type SlotSolver struct {
+	// Flat item storage, grouped by class in Add order.
+	costs    []float64
+	profits  []float64
+	classEnd []int // per class, exclusive end index into costs/profits
+
+	// Solve scratch, retained across calls.
+	seg     []int32 // per-class item ordinals under hull construction
+	hull    []int32 // flat hull item ordinals (within class)
+	hullEnd []int   // per class, exclusive end index into hull
+	incs    []slotInc
+	pickLvl []int32 // per class: 0 = closed, l = hull level l-1 chosen
+	order   []int32 // opened classes in selection order
+	runner  int
+	value   float64
+	cost    float64
+}
+
+// Reset clears the instance for reuse, retaining all storage.
+func (s *SlotSolver) Reset() {
+	s.costs = s.costs[:0]
+	s.profits = s.profits[:0]
+	s.classEnd = s.classEnd[:0]
+}
+
+// Begin starts a new class and returns its index.
+func (s *SlotSolver) Begin() int {
+	s.classEnd = append(s.classEnd, len(s.costs))
+	return len(s.classEnd) - 1
+}
+
+// Item appends an item (cost > 0) to the most recently begun class. Items
+// with non-positive profit are accepted and ignored by Solve (the implicit
+// (0,0) point dominates them), mirroring classHull.
+func (s *SlotSolver) Item(cost, profit float64) {
+	s.costs = append(s.costs, cost)
+	s.profits = append(s.profits, profit)
+	s.classEnd[len(s.classEnd)-1] = len(s.costs)
+}
+
+// Classes returns the number of classes begun since the last Reset.
+func (s *SlotSolver) Classes() int { return len(s.classEnd) }
+
+// classStart returns the first item index of class ci.
+func (s *SlotSolver) classStart(ci int) int {
+	if ci == 0 {
+		return 0
+	}
+	return s.classEnd[ci-1]
+}
+
+// Solve runs the hull-greedy under a slot capacity: at most `slots` classes
+// may serve one item each. Selection is deterministic — increments are
+// walked in (efficiency desc, class asc, level asc) order, a total order.
+func (s *SlotSolver) Solve(slots int) {
+	n := len(s.classEnd)
+	s.hull = s.hull[:0]
+	s.hullEnd = s.hullEnd[:0]
+	s.incs = s.incs[:0]
+	s.order = s.order[:0]
+	s.runner = -1
+	s.value, s.cost = 0, 0
+	s.pickLvl = s.pickLvl[:0]
+	for ci := 0; ci < n; ci++ {
+		s.pickLvl = append(s.pickLvl, 0)
+		s.buildHull(ci)
+	}
+	s.sortIncs()
+	for i := range s.incs {
+		inc := &s.incs[i]
+		if s.pickLvl[inc.class] != inc.level {
+			continue // a cheaper increment of this class was skipped
+		}
+		if inc.level == 0 {
+			if slots <= 0 {
+				if s.runner < 0 {
+					s.runner = int(inc.class)
+				}
+				continue
+			}
+			slots--
+			s.order = append(s.order, inc.class)
+		}
+		s.pickLvl[inc.class] = inc.level + 1
+		s.value += inc.dVal
+		s.cost += inc.dCost
+	}
+}
+
+// buildHull computes class ci's upper-left convex hull into the flat hull
+// storage and appends its increments. Same geometry as classHull, with item
+// ordinal as the final sort tie-break so equal (cost, profit) items resolve
+// deterministically.
+func (s *SlotSolver) buildHull(ci int) {
+	start, end := s.classStart(ci), s.classEnd[ci]
+	s.seg = s.seg[:0]
+	for i := start; i < end; i++ {
+		if s.profits[i] > 0 {
+			s.seg = append(s.seg, int32(i-start))
+		}
+	}
+	seg := s.seg
+	// Insertion sort by (cost asc, profit desc, ordinal asc): class item
+	// counts are the ad-type catalog size, single digits in practice.
+	for i := 1; i < len(seg); i++ {
+		for j := i; j > 0; j-- {
+			a, b := start+int(seg[j-1]), start+int(seg[j])
+			if s.costs[a] < s.costs[b] {
+				break
+			}
+			if s.costs[a] == s.costs[b] {
+				if s.profits[a] > s.profits[b] {
+					break
+				}
+				if s.profits[a] == s.profits[b] && seg[j-1] < seg[j] {
+					break
+				}
+			}
+			seg[j-1], seg[j] = seg[j], seg[j-1]
+		}
+	}
+	hullStart := len(s.hull)
+	for _, ord := range seg {
+		idx := start + int(ord)
+		c, p := s.costs[idx], s.profits[idx]
+		h := s.hull[hullStart:]
+		if len(h) > 0 && p <= s.profits[start+int(h[len(h)-1])] {
+			continue // dominated: same or higher cost, no more profit
+		}
+		for len(h) > 0 {
+			last := start + int(h[len(h)-1])
+			var prevCost, prevProfit float64
+			if len(h) >= 2 {
+				prev := start + int(h[len(h)-2])
+				prevCost, prevProfit = s.costs[prev], s.profits[prev]
+			}
+			// Keep last only if efficiency decreases across it:
+			// slope(prev→last) > slope(last→p).
+			lhs := (s.profits[last] - prevProfit) * (c - s.costs[last])
+			rhs := (p - s.profits[last]) * (s.costs[last] - prevCost)
+			if lhs > rhs {
+				break
+			}
+			h = h[:len(h)-1]
+		}
+		s.hull = append(s.hull[:hullStart+len(h)], ord)
+	}
+	prevCost, prevProfit := 0.0, 0.0
+	for l, ord := range s.hull[hullStart:] {
+		idx := start + int(ord)
+		dc := s.costs[idx] - prevCost
+		dv := s.profits[idx] - prevProfit
+		s.incs = append(s.incs, slotInc{
+			class: int32(ci), level: int32(l), dCost: dc, dVal: dv, eff: dv / dc,
+		})
+		prevCost, prevProfit = s.costs[idx], s.profits[idx]
+	}
+	s.hullEnd = append(s.hullEnd, len(s.hull))
+}
+
+// sortIncs sorts the increment list by (eff desc, class asc, level asc) —
+// a total order, since (class, level) pairs are unique. Insertion-sort-
+// backed binary insertion keeps it allocation-free; increment counts are
+// small (classes × hull levels).
+func (s *SlotSolver) sortIncs() {
+	incs := s.incs
+	for i := 1; i < len(incs); i++ {
+		for j := i; j > 0; j-- {
+			a, b := &incs[j-1], &incs[j]
+			if a.eff > b.eff {
+				break
+			}
+			if a.eff == b.eff {
+				if a.class < b.class {
+					break
+				}
+				if a.class == b.class && a.level < b.level {
+					break
+				}
+			}
+			incs[j-1], incs[j] = incs[j], incs[j-1]
+		}
+	}
+}
+
+// Order returns the opened classes in selection (slot) order: decreasing
+// best-item efficiency, ties by class index. Valid until the next Solve.
+func (s *SlotSolver) Order() []int32 { return s.order }
+
+// Pick returns the item ordinal (Add order within the class) class ci
+// serves, or -1 when the class is closed.
+func (s *SlotSolver) Pick(ci int) int {
+	lvl := s.pickLvl[ci]
+	if lvl == 0 {
+		return -1
+	}
+	hullStart := 0
+	if ci > 0 {
+		hullStart = s.hullEnd[ci-1]
+	}
+	return int(s.hull[hullStart+int(lvl)-1])
+}
+
+// Runner returns the first class denied a slot during the walk — the
+// displaced runner-up that prices the second-price charge — or -1 when every
+// class with a non-empty hull was opened.
+func (s *SlotSolver) Runner() int { return s.runner }
+
+// RunnerPick returns the item ordinal the runner-up class would have served
+// had it won a slot (its hull completion), or -1 when there is no runner.
+func (s *SlotSolver) RunnerPick() int {
+	ci := s.runner
+	if ci < 0 {
+		return -1
+	}
+	hullStart := 0
+	if ci > 0 {
+		hullStart = s.hullEnd[ci-1]
+	}
+	hull := s.hull[hullStart:s.hullEnd[ci]]
+	if len(hull) == 0 {
+		return -1
+	}
+	return int(hull[len(hull)-1])
+}
+
+// Value returns the total profit of the last Solve's picks.
+func (s *SlotSolver) Value() float64 { return s.value }
+
+// Cost returns the total cost of the last Solve's picks.
+func (s *SlotSolver) Cost() float64 { return s.cost }

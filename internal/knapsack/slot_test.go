@@ -1,0 +1,187 @@
+package knapsack
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randSlotInstance builds a random instance as both []Class (for the
+// reference solvers) and a populated SlotSolver.
+func randSlotInstance(rng *rand.Rand, s *SlotSolver) []Class {
+	n := 1 + rng.Intn(6)
+	classes := make([]Class, n)
+	s.Reset()
+	for ci := range classes {
+		items := 1 + rng.Intn(5)
+		s.Begin()
+		for i := 0; i < items; i++ {
+			cost := 0.1 + rng.Float64()*9.9
+			profit := rng.Float64() * 10
+			if rng.Intn(8) == 0 {
+				profit = 0 // exercise the non-positive-profit filter
+			}
+			classes[ci].Items = append(classes[ci].Items, Item{Cost: cost, Profit: profit})
+			s.Item(cost, profit)
+		}
+	}
+	return classes
+}
+
+// referenceSlotPick mirrors the solver's contract directly: classes ranked
+// by best item efficiency (ties: class index), the top `slots` serve their
+// maximum-profit item (ties: cheaper, then earlier).
+func referenceSlotPick(classes []Class, slots int) (order []int, picks map[int]int, runner int) {
+	type rank struct {
+		class int
+		eff   float64
+	}
+	var ranks []rank
+	picks = map[int]int{}
+	for ci, c := range classes {
+		bestEff := 0.0
+		bestItem, bestProfit, bestCost := -1, 0.0, 0.0
+		for ii, it := range c.Items {
+			if it.Profit <= 0 {
+				continue
+			}
+			if e := it.Profit / it.Cost; e > bestEff {
+				bestEff = e
+			}
+			if it.Profit > bestProfit || (it.Profit == bestProfit && bestItem >= 0 && it.Cost < bestCost) {
+				bestItem, bestProfit, bestCost = ii, it.Profit, it.Cost
+			}
+		}
+		if bestItem < 0 {
+			continue
+		}
+		ranks = append(ranks, rank{class: ci, eff: bestEff})
+		picks[ci] = bestItem
+	}
+	// Stable by construction: class indices ascend, so equal-eff ties keep
+	// the lower class first under this insertion sort.
+	for i := 1; i < len(ranks); i++ {
+		for j := i; j > 0 && ranks[j].eff > ranks[j-1].eff; j-- {
+			ranks[j], ranks[j-1] = ranks[j-1], ranks[j]
+		}
+	}
+	runner = -1
+	for i, r := range ranks {
+		if i < slots {
+			order = append(order, r.class)
+		} else {
+			if runner < 0 {
+				runner = r.class
+			}
+			delete(picks, r.class)
+		}
+	}
+	return order, picks, runner
+}
+
+func TestSlotSolverMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	var s SlotSolver
+	for trial := 0; trial < 500; trial++ {
+		classes := randSlotInstance(rng, &s)
+		slots := rng.Intn(len(classes) + 2)
+		s.Solve(slots)
+		wantOrder, wantPicks, wantRunner := referenceSlotPick(classes, slots)
+		if got := s.Order(); len(got) != len(wantOrder) {
+			t.Fatalf("trial %d: opened %d classes, want %d", trial, len(got), len(wantOrder))
+		}
+		for i, ci := range s.Order() {
+			if int(ci) != wantOrder[i] {
+				t.Fatalf("trial %d: order[%d] = %d, want %d", trial, i, ci, wantOrder[i])
+			}
+		}
+		value := 0.0
+		for ci := range classes {
+			got := s.Pick(ci)
+			want, ok := wantPicks[ci]
+			if !ok {
+				want = -1
+			}
+			if got != want {
+				t.Fatalf("trial %d: class %d pick %d, want %d", trial, ci, got, want)
+			}
+			if got >= 0 {
+				value += classes[ci].Items[got].Profit
+			}
+		}
+		if diff := value - s.Value(); diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("trial %d: Value() = %g, picks sum %g", trial, s.Value(), value)
+		}
+		if s.Runner() != wantRunner {
+			t.Fatalf("trial %d: runner %d, want %d", trial, s.Runner(), wantRunner)
+		}
+		if wantRunner >= 0 {
+			rp := s.RunnerPick()
+			want := -1
+			for ii, it := range classes[wantRunner].Items {
+				if it.Profit <= 0 {
+					continue
+				}
+				if want < 0 || it.Profit > classes[wantRunner].Items[want].Profit ||
+					(it.Profit == classes[wantRunner].Items[want].Profit && it.Cost < classes[wantRunner].Items[want].Cost) {
+					want = ii
+				}
+			}
+			if rp != want {
+				t.Fatalf("trial %d: runner pick %d, want %d", trial, rp, want)
+			}
+		}
+	}
+}
+
+// With slots ≥ classes the slot constraint is slack and the solver must
+// reach the same total profit as the budgeted Greedy given unlimited money:
+// every class serves its best item.
+func TestSlotSolverUnboundedMatchesGreedy(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	var s SlotSolver
+	for trial := 0; trial < 200; trial++ {
+		classes := randSlotInstance(rng, &s)
+		s.Solve(len(classes))
+		sol := Greedy(classes, 1e18)
+		if diff := s.Value() - sol.Value; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("trial %d: slot value %g, greedy value %g", trial, s.Value(), sol.Value)
+		}
+	}
+}
+
+func TestSlotSolverZeroSlots(t *testing.T) {
+	var s SlotSolver
+	s.Begin()
+	s.Item(1, 5)
+	s.Begin()
+	s.Item(2, 20)
+	s.Solve(0)
+	if len(s.Order()) != 0 || s.Value() != 0 {
+		t.Fatalf("zero slots served: order %v value %g", s.Order(), s.Value())
+	}
+	// Runner is the best class by item efficiency: class 1 (eff 10) beats
+	// class 0 (eff 5).
+	if s.Runner() != 1 || s.RunnerPick() != 0 {
+		t.Fatalf("runner = %d pick %d, want class 1 item 0", s.Runner(), s.RunnerPick())
+	}
+}
+
+// The solver must not allocate once its retained buffers are warm: it lives
+// inside the broker's zero-alloc scan arena.
+func TestSlotSolverSteadyStateAllocs(t *testing.T) {
+	var s SlotSolver
+	fill := func() {
+		s.Reset()
+		for ci := 0; ci < 8; ci++ {
+			s.Begin()
+			for i := 0; i < 4; i++ {
+				s.Item(float64(i+1), float64((ci+2)*(i+1)))
+			}
+		}
+		s.Solve(3)
+	}
+	fill() // warm the buffers
+	if avg := testing.AllocsPerRun(100, fill); avg != 0 {
+		t.Fatalf("steady-state Solve allocates %.1f/op, want 0", avg)
+	}
+}

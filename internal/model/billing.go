@@ -1,0 +1,150 @@
+package model
+
+// Campaign billing contracts. The seed system bills every campaign the same
+// way: an offer of ad type k charges the fixed catalog cost c_k at offer
+// time. The economics layer generalizes this to the standard mobile-ad
+// billing models — CPM (pay per impression), CPC (pay per click) and CPA
+// (pay per action) — normalized to eCPM so heterogeneous campaigns compete
+// in one auction, following the mechanism-design treatment of geo-location
+// advertising (Gatti et al.) referenced from PAPERS.md.
+//
+// Normalization: a campaign bidding `cost` per billable event with event
+// probability r (r = 1 for impression-billed models) has
+//
+//	bid eCPM       = cost · r · 1000   (expected revenue per 1000 impressions)
+//	expected cost  = cost · r          (expected spend per impression)
+//
+// so utility-per-expected-cost is the efficiency currency the O-AFA
+// threshold already ranks by, and a fixed-cost campaign (r = 1) is exactly
+// the seed behavior.
+
+import (
+	"fmt"
+	"math"
+)
+
+// BillingModel enumerates how a campaign pays for served offers.
+type BillingModel uint8
+
+const (
+	// BillingFixed is the seed contract: the ad type's catalog cost is
+	// charged in full at offer time, with no auction pricing. The zero value,
+	// so untouched campaigns keep today's semantics bit-exactly.
+	BillingFixed BillingModel = iota
+	// BillingCPM charges per impression at offer time, second-priced in eCPM
+	// and floored at the campaign's reserve.
+	BillingCPM
+	// BillingCPC charges per click: the charge is escrowed at offer time and
+	// collected when the conversion event arrives (POST /v1/events).
+	BillingCPC
+	// BillingCPA charges per action; mechanically identical to CPC with its
+	// own event rate.
+	BillingCPA
+
+	numBillingModels = 4
+)
+
+// String returns the wire name of the model ("fixed", "cpm", "cpc", "cpa").
+func (m BillingModel) String() string {
+	switch m {
+	case BillingFixed:
+		return "fixed"
+	case BillingCPM:
+		return "cpm"
+	case BillingCPC:
+		return "cpc"
+	case BillingCPA:
+		return "cpa"
+	}
+	return fmt.Sprintf("billing(%d)", uint8(m))
+}
+
+// NumBillingModels is the count of defined billing models, for tables
+// indexed by model.
+const NumBillingModels = int(numBillingModels)
+
+// ParseBillingModel parses a wire name. The empty string parses as
+// BillingFixed so omitted billing blocks mean "seed semantics".
+func ParseBillingModel(s string) (BillingModel, error) {
+	switch s {
+	case "", "fixed":
+		return BillingFixed, nil
+	case "cpm":
+		return BillingCPM, nil
+	case "cpc":
+		return BillingCPC, nil
+	case "cpa":
+		return BillingCPA, nil
+	}
+	return 0, fmt.Errorf("model: unknown billing model %q", s)
+}
+
+// Deferred reports whether the model charges on a later conversion event
+// (escrow at offer time) rather than at offer time.
+func (m BillingModel) Deferred() bool { return m == BillingCPC || m == BillingCPA }
+
+// Valid reports whether m is one of the defined models.
+func (m BillingModel) Valid() bool { return m < numBillingModels }
+
+// Billing is a campaign's billing contract. The zero value is the seed
+// fixed-cost contract.
+type Billing struct {
+	Model BillingModel
+	// ReserveECPM is the campaign's reserve price in eCPM: candidate
+	// (vendor, ad-type) bids below it never enter the auction, and the
+	// second-price charge is floored at it. Must be zero for fixed billing.
+	ReserveECPM float64
+	// EventRate is the campaign's expected conversion probability per
+	// impression (clicks for CPC, actions for CPA). Required in (0, 1] for
+	// deferred models; must be zero otherwise.
+	EventRate float64
+}
+
+// Zero reports whether b is the seed fixed-cost contract.
+func (b Billing) Zero() bool { return b == Billing{} }
+
+// Validate checks internal consistency of the contract.
+func (b Billing) Validate() error {
+	if !b.Model.Valid() {
+		return fmt.Errorf("model: unknown billing model %d", b.Model)
+	}
+	if math.IsNaN(b.ReserveECPM) || math.IsInf(b.ReserveECPM, 0) || b.ReserveECPM < 0 {
+		return fmt.Errorf("model: reserve eCPM %g, want finite ≥ 0", b.ReserveECPM)
+	}
+	if b.Model == BillingFixed {
+		if b.ReserveECPM != 0 || b.EventRate != 0 {
+			return fmt.Errorf("model: fixed billing takes no reserve or event rate")
+		}
+		return nil
+	}
+	if b.Model.Deferred() {
+		if !(b.EventRate > 0) || b.EventRate > 1 || math.IsNaN(b.EventRate) {
+			return fmt.Errorf("model: %s event rate %g, want in (0, 1]", b.Model, b.EventRate)
+		}
+		return nil
+	}
+	if b.EventRate != 0 {
+		return fmt.Errorf("model: %s billing takes no event rate", b.Model)
+	}
+	return nil
+}
+
+// BidECPM is the campaign's bid normalized to eCPM for a per-event bid of
+// `cost`: expected revenue per thousand impressions.
+func (b Billing) BidECPM(cost float64) float64 {
+	if b.Model.Deferred() {
+		return cost * b.EventRate * 1000
+	}
+	return cost * 1000
+}
+
+// ExpectedCost is the expected spend per impression for a per-event bid of
+// `cost` — the cost the MCKP scan prices a slot at. For non-deferred models
+// this is the bid itself, so fixed-cost campaigns keep the seed arithmetic
+// bit-exactly.
+func (b Billing) ExpectedCost(cost float64) float64 {
+	if b.Model.Deferred() {
+		return cost * b.EventRate
+	}
+	return cost
+}

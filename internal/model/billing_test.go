@@ -1,0 +1,94 @@
+package model
+
+import (
+	"math"
+	"testing"
+)
+
+func TestParseBillingModel(t *testing.T) {
+	cases := []struct {
+		in   string
+		want BillingModel
+		ok   bool
+	}{
+		{"", BillingFixed, true},
+		{"fixed", BillingFixed, true},
+		{"cpm", BillingCPM, true},
+		{"cpc", BillingCPC, true},
+		{"cpa", BillingCPA, true},
+		{"CPM", 0, false},
+		{"cost", 0, false},
+	}
+	for _, c := range cases {
+		got, err := ParseBillingModel(c.in)
+		if (err == nil) != c.ok {
+			t.Errorf("ParseBillingModel(%q) err = %v, want ok=%v", c.in, err, c.ok)
+			continue
+		}
+		if c.ok && got != c.want {
+			t.Errorf("ParseBillingModel(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	for m := BillingModel(0); m.Valid(); m++ {
+		back, err := ParseBillingModel(m.String())
+		if err != nil || back != m {
+			t.Errorf("round trip %v: got %v, %v", m, back, err)
+		}
+	}
+}
+
+func TestBillingValidate(t *testing.T) {
+	valid := []Billing{
+		{},
+		{Model: BillingCPM},
+		{Model: BillingCPM, ReserveECPM: 2.5},
+		{Model: BillingCPC, EventRate: 0.1},
+		{Model: BillingCPA, EventRate: 1, ReserveECPM: 10},
+	}
+	for _, b := range valid {
+		if err := b.Validate(); err != nil {
+			t.Errorf("Validate(%+v) = %v, want nil", b, err)
+		}
+	}
+	invalid := []Billing{
+		{Model: 17},
+		{ReserveECPM: 1},                              // fixed takes no reserve
+		{EventRate: 0.5},                              // fixed takes no event rate
+		{Model: BillingCPM, EventRate: 0.5},           // cpm takes no event rate
+		{Model: BillingCPC},                           // deferred needs a rate
+		{Model: BillingCPC, EventRate: 1.5},           // rate > 1
+		{Model: BillingCPA, EventRate: math.NaN()},    // NaN rate
+		{Model: BillingCPM, ReserveECPM: -1},          // negative reserve
+		{Model: BillingCPM, ReserveECPM: math.Inf(1)}, // infinite reserve
+		{Model: BillingCPC, EventRate: 0.5, ReserveECPM: math.NaN()},
+	}
+	for _, b := range invalid {
+		if err := b.Validate(); err == nil {
+			t.Errorf("Validate(%+v) = nil, want error", b)
+		}
+	}
+}
+
+func TestBillingNormalization(t *testing.T) {
+	fixed := Billing{}
+	if got := fixed.BidECPM(0.004); got != 4 {
+		t.Errorf("fixed BidECPM(0.004) = %g, want 4", got)
+	}
+	if got := fixed.ExpectedCost(0.004); got != 0.004 {
+		t.Errorf("fixed ExpectedCost(0.004) = %g, want 0.004", got)
+	}
+	cpm := Billing{Model: BillingCPM}
+	if got := cpm.ExpectedCost(0.004); got != 0.004 {
+		t.Errorf("cpm ExpectedCost = %g, want 0.004", got)
+	}
+	cpc := Billing{Model: BillingCPC, EventRate: 0.1}
+	if got := cpc.BidECPM(0.05); math.Abs(got-5) > 1e-12 {
+		t.Errorf("cpc BidECPM(0.05) = %g, want 5", got)
+	}
+	if got := cpc.ExpectedCost(0.05); math.Abs(got-0.005) > 1e-12 {
+		t.Errorf("cpc ExpectedCost(0.05) = %g, want 0.005", got)
+	}
+	if !cpc.Model.Deferred() || cpm.Model.Deferred() || fixed.Model.Deferred() {
+		t.Error("Deferred: want cpc/cpa only")
+	}
+}

@@ -51,6 +51,12 @@ type Vendor struct {
 	Radius float64
 	Budget float64
 	Tags   []float64
+	// Paused excludes the vendor from assignment entirely: solvers must not
+	// serve it and Check rejects instances that do. The audit layer marks
+	// campaigns paused at the end of the audited stream so the offline
+	// counterfactual cannot spend budgets the online broker was forbidden to
+	// touch.
+	Paused bool
 }
 
 // Instance is one ad assignment ⟨u_i, v_j, τ_k⟩ (Definition 4), stored as
@@ -246,6 +252,9 @@ func (p *Problem) Check(ins []Instance) error {
 		if !p.InRange(in.Customer, in.Vendor) {
 			return fmt.Errorf("model: instance %v violates the range constraint: d=%g > r=%g",
 				in, p.Customers[in.Customer].Loc.Dist(p.Vendors[in.Vendor].Loc), p.Vendors[in.Vendor].Radius)
+		}
+		if p.Vendors[in.Vendor].Paused {
+			return fmt.Errorf("model: instance %v assigns a paused vendor", in)
 		}
 		pair := [2]int32{in.Customer, in.Vendor}
 		if pairSeen[pair] {

@@ -44,6 +44,7 @@ type ScanCounts struct {
 	LowScore       uint64 `json:"low_score,omitempty"`
 	Unaffordable   uint64 `json:"unaffordable,omitempty"`
 	BelowThreshold uint64 `json:"below_threshold,omitempty"`
+	BelowReserve   uint64 `json:"below_reserve,omitempty"`
 }
 
 // Trace is one completed arrival request: a root span plus per-stage child

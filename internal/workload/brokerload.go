@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"muaa/internal/geo"
+	"muaa/internal/model"
 	"muaa/internal/stats"
 )
 
@@ -30,6 +31,12 @@ const (
 	OpPause
 	// OpStats is a counters/campaign-list snapshot read.
 	OpStats
+	// OpConvert is a CPC/CPA conversion event against an open escrowed
+	// offer. The generator cannot know offer IDs, so the op carries Pick —
+	// the consumer maps it onto its current open-offer set, e.g.
+	// ids[Pick % len(ids)] — and tolerates misses (already-converted or
+	// evicted offers are part of the contract).
+	OpConvert
 )
 
 // String names the op kind for logs and golden files.
@@ -43,6 +50,8 @@ func (k BrokerOpKind) String() string {
 		return "pause"
 	case OpStats:
 		return "stats"
+	case OpConvert:
+		return "convert"
 	}
 	return fmt.Sprintf("BrokerOpKind(%d)", int(k))
 }
@@ -53,6 +62,9 @@ type BrokerCampaign struct {
 	Radius float64
 	Budget float64
 	Tags   []float64
+	// Billing is the campaign's billing contract; the zero value keeps the
+	// seed fixed-cost behavior.
+	Billing model.Billing
 }
 
 // BrokerOp is one operation in a broker load stream. Which fields are
@@ -69,6 +81,8 @@ type BrokerOp struct {
 	ViewProb  float64
 	Interests []float64
 	Hour      float64
+	// Pick selects which open offer an OpConvert targets; see OpConvert.
+	Pick uint64
 }
 
 // BrokerLoadConfig parameterizes BrokerLoad. The zero value is not usable;
@@ -94,6 +108,22 @@ type BrokerLoadConfig struct {
 	NumTags int
 	// Seed makes the stream deterministic.
 	Seed int64
+
+	// CPMFrac and CPCFrac put that fraction of the registered campaigns on
+	// cpm / cpc auction billing (the remainder stays fixed-cost). Both zero
+	// keeps the generated stream byte-identical to pre-billing loads: no
+	// extra rng draws happen.
+	CPMFrac float64
+	CPCFrac float64
+	// ReserveECPM and EventRate are the billing parameter ranges realized
+	// per billed campaign (EventRate only for deferred models). Required
+	// when the corresponding fraction is non-zero.
+	ReserveECPM stats.Range
+	EventRate   stats.Range
+	// ConvertFrac weights conversion events (OpConvert) in the op mix,
+	// alongside ArrivalFrac/TopUpFrac/PauseFrac; the remainder is still
+	// stats reads.
+	ConvertFrac float64
 }
 
 // DefaultBrokerLoadConfig is the standard broker traffic shape: paper-scale
@@ -114,6 +144,22 @@ func DefaultBrokerLoadConfig(campaigns, ops int, seed int64) BrokerLoadConfig {
 	}
 }
 
+// BilledBrokerLoadConfig is DefaultBrokerLoadConfig with a mixed billing
+// fleet — roughly a quarter of campaigns on cpm, a third on cpc, the rest
+// fixed — and a slice of the op stream turned into conversion events. The
+// standard shape for slate-serving tests, the revenue audit and the
+// `-exp slate` benchmark.
+func BilledBrokerLoadConfig(campaigns, ops int, seed int64) BrokerLoadConfig {
+	cfg := DefaultBrokerLoadConfig(campaigns, ops, seed)
+	cfg.ArrivalFrac = 0.84
+	cfg.ConvertFrac = 0.06
+	cfg.CPMFrac = 0.25
+	cfg.CPCFrac = 0.35
+	cfg.ReserveECPM = stats.Range{Lo: 1, Hi: 20}
+	cfg.EventRate = stats.Range{Lo: 0.05, Hi: 0.5}
+	return cfg
+}
+
 // ArrivalBrokerLoadConfig is DefaultBrokerLoadConfig with a pure-arrival
 // stream (no top-ups, pauses or stats probes): the shape the batch-ingestion
 // benchmarks sweep, where every op can join a batch window.
@@ -130,13 +176,27 @@ func (c BrokerLoadConfig) Validate() error {
 	}
 	for name, f := range map[string]float64{
 		"arrival": c.ArrivalFrac, "top-up": c.TopUpFrac, "pause": c.PauseFrac,
+		"convert": c.ConvertFrac, "cpm": c.CPMFrac, "cpc": c.CPCFrac,
 	} {
 		if f < 0 || f > 1 {
 			return fmt.Errorf("workload: %s fraction %g outside [0,1]", name, f)
 		}
 	}
-	if s := c.ArrivalFrac + c.TopUpFrac + c.PauseFrac; s > 1 {
+	if s := c.ArrivalFrac + c.TopUpFrac + c.PauseFrac + c.ConvertFrac; s > 1 {
 		return fmt.Errorf("workload: op fractions sum to %g > 1", s)
+	}
+	if s := c.CPMFrac + c.CPCFrac; s > 1 {
+		return fmt.Errorf("workload: billing fractions sum to %g > 1", s)
+	}
+	if c.CPMFrac > 0 || c.CPCFrac > 0 {
+		if !c.ReserveECPM.Valid() || c.ReserveECPM.Lo < 0 {
+			return fmt.Errorf("workload: invalid reserve eCPM range %v", c.ReserveECPM)
+		}
+	}
+	if c.CPCFrac > 0 {
+		if !c.EventRate.Valid() || c.EventRate.Lo <= 0 || c.EventRate.Hi > 1 {
+			return fmt.Errorf("workload: invalid event rate range %v", c.EventRate)
+		}
 	}
 	if c.Ops > 0 && (c.TopUpFrac > 0 || c.PauseFrac > 0) && c.Campaigns == 0 {
 		return fmt.Errorf("workload: top-up/pause ops need at least one campaign")
@@ -176,6 +236,23 @@ func BrokerLoad(cfg BrokerLoadConfig) ([]BrokerCampaign, []BrokerOp, error) {
 			Budget: stats.TruncGaussian(rng, cfg.Budget),
 			Tags:   randomVector(rng, numTags),
 		}
+		// Billing draws happen only for a billed mix, so an all-fixed config
+		// consumes exactly the rng sequence pre-billing loads did.
+		if cfg.CPMFrac > 0 || cfg.CPCFrac > 0 {
+			switch roll := rng.Float64(); {
+			case roll < cfg.CPMFrac:
+				campaigns[i].Billing = model.Billing{
+					Model:       model.BillingCPM,
+					ReserveECPM: stats.TruncGaussian(rng, cfg.ReserveECPM),
+				}
+			case roll < cfg.CPMFrac+cfg.CPCFrac:
+				campaigns[i].Billing = model.Billing{
+					Model:       model.BillingCPC,
+					ReserveECPM: stats.TruncGaussian(rng, cfg.ReserveECPM),
+					EventRate:   stats.TruncGaussian(rng, cfg.EventRate),
+				}
+			}
+		}
 	}
 	ops := make([]BrokerOp, cfg.Ops)
 	for i := range ops {
@@ -203,6 +280,8 @@ func BrokerLoad(cfg BrokerLoadConfig) ([]BrokerCampaign, []BrokerOp, error) {
 				Campaign: int32(rng.Intn(cfg.Campaigns)),
 				Paused:   rng.Intn(2) == 0,
 			}
+		case roll < cfg.ArrivalFrac+cfg.TopUpFrac+cfg.PauseFrac+cfg.ConvertFrac:
+			ops[i] = BrokerOp{Kind: OpConvert, Pick: rng.Uint64()}
 		default:
 			ops[i] = BrokerOp{Kind: OpStats}
 		}
