@@ -237,7 +237,114 @@ func runBrokerSlate(w io.Writer, scale float64, seed int64, csv bool, doc *bench
 			fmt.Fprintf(w, "%12s %10d %16.1f %16.1f %8.2fx\n", arm.label, arm.capacity, mean, best, baseMean/mean)
 		}
 	}
+	return runBrokerObs(w, scale, seed, csv, doc)
+}
+
+// runBrokerObs prices the time-series retention sampler on the serial
+// arrival hot path: an interleaved A/B of sampler-off against the 5s
+// default cadence and an aggressive 50ms cadence. Each arm replays the
+// same pure-arrival stream on a fresh instrumented broker while (in the
+// sampled arms) an obs.Sampler snapshots the whole registry from its
+// background goroutine — the contention the muaa-serve default actually
+// adds. The acceptance budget is <5% overhead at the default interval;
+// overhead_pct in BENCH_broker.json tracks it per commit.
+func runBrokerObs(w io.Writer, scale float64, seed int64, csv bool, doc *benchDoc) error {
+	campaigns := int(512 * scale)
+	if campaigns < 16 {
+		campaigns = 16
+	}
+	totalOps := int(200000 * scale)
+	if totalOps < 20000 {
+		totalOps = 20000
+	}
+	specs, ops, err := workload.BrokerLoad(workload.ArrivalBrokerLoadConfig(campaigns, totalOps, seed))
+	if err != nil {
+		return err
+	}
+	arrivals := make([]broker.Arrival, len(ops))
+	for i, op := range ops {
+		arrivals[i] = broker.Arrival{
+			Loc: op.Loc, Capacity: op.Capacity, ViewProb: op.ViewProb,
+			Interests: op.Interests, Hour: op.Hour,
+		}
+	}
+	arms := []struct {
+		label string
+		every time.Duration
+	}{
+		{"off", 0},
+		{"every=5s", 5 * time.Second},
+		{"every=50ms", 50 * time.Millisecond},
+	}
+	const rounds = 3
+	samples := make([][]float64, len(arms))
+	for r := 0; r < rounds; r++ {
+		for i, arm := range arms {
+			ns, err := obsRun(specs, arrivals, arm.every)
+			if err != nil {
+				return err
+			}
+			samples[i] = append(samples[i], ns)
+		}
+	}
+	baseMean, _ := meanMin(samples[0])
+	if csv {
+		fmt.Fprintln(w, "sampler,rounds,arrivals,mean_ns_per_arrival,best_ns_per_arrival,overhead_pct")
+	} else {
+		fmt.Fprintf(w, "\nTime-series sampler — %d campaigns, %d arrivals (serial hot path), %d interleaved rounds\n",
+			campaigns, totalOps, rounds)
+		fmt.Fprintf(w, "%12s %16s %16s %10s\n", "sampler", "mean ns/arr", "best ns/arr", "overhead")
+	}
+	for i, arm := range arms {
+		mean, best := meanMin(samples[i])
+		overhead := (mean/baseMean - 1) * 100
+		if doc != nil {
+			doc.Points = append(doc.Points, benchPoint{
+				Series:      "obs_sample",
+				Label:       arm.label,
+				Ops:         totalOps,
+				NsPerOp:     mean,
+				BestNsPerOp: best,
+				Speedup:     baseMean / mean,
+				OverheadPct: overhead,
+			})
+		}
+		if csv {
+			fmt.Fprintf(w, "%s,%d,%d,%.1f,%.1f,%.2f\n", arm.label, rounds, totalOps, mean, best, overhead)
+		} else {
+			fmt.Fprintf(w, "%12s %16.1f %16.1f %9.2f%%\n", arm.label, mean, best, overhead)
+		}
+	}
 	return nil
+}
+
+// obsRun replays the arrival stream serially on a fresh instrumented
+// broker — with a live background sampler at the given cadence when every
+// is positive — and returns ns per arrival.
+func obsRun(specs []workload.BrokerCampaign, arrivals []broker.Arrival, every time.Duration) (float64, error) {
+	reg := obs.NewRegistry()
+	b, err := broker.New(broker.Config{AdTypes: workload.DefaultAdTypes(), Metrics: reg})
+	if err != nil {
+		return 0, err
+	}
+	if every > 0 {
+		s := obs.NewSampler(reg, obs.SamplerOptions{Every: every})
+		s.Start()
+		defer s.Stop()
+	}
+	for _, c := range specs {
+		if _, err := b.RegisterCampaign(c.Loc, c.Radius, c.Budget, c.Tags); err != nil {
+			return 0, err
+		}
+	}
+	start := time.Now()
+	for i := range arrivals {
+		if _, err := b.Arrive(arrivals[i]); err != nil {
+			return 0, err
+		}
+	}
+	elapsed := time.Since(start)
+	return float64(elapsed.Nanoseconds()) / float64(len(arrivals)), nil
 }
 
 // slateRun replays the arrival stream serially on a fresh broker — legacy

@@ -32,12 +32,12 @@ type benchDoc struct {
 // goroutines/throughput/quantile fields; the WAL A/B fills the
 // mean/best/overhead fields. ns_per_op is common to both.
 type benchPoint struct {
-	Series      string  `json:"series"` // "broker_scaling" | "broker_batch" | "broker_slate" | "wal_overhead" | "audit_replay"
-	Label       string  `json:"label"`
-	Goroutines  int     `json:"goroutines,omitempty"`
-	BatchSize   int     `json:"batch_size,omitempty"`
+	Series     string `json:"series"` // "broker_scaling" | "broker_batch" | "broker_slate" | "obs_sample" | "wal_overhead" | "audit_replay"
+	Label      string `json:"label"`
+	Goroutines int    `json:"goroutines,omitempty"`
+	BatchSize  int    `json:"batch_size,omitempty"`
 	// Capacity is the per-arrival slot count a_i of a broker_slate arm.
-	Capacity int `json:"capacity,omitempty"`
+	Capacity    int     `json:"capacity,omitempty"`
 	Ops         int     `json:"ops"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	OpsPerSec   float64 `json:"ops_per_sec,omitempty"`

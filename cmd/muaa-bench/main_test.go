@@ -99,14 +99,21 @@ func TestRunSlate(t *testing.T) {
 		t.Fatalf("experiment %q", doc.Experiment)
 	}
 	wantArms := []struct {
+		series   string
 		label    string
 		capacity int
-	}{{"serial", 1}, {"slate a=1", 1}, {"slate a=2", 2}, {"slate a=4", 4}}
+	}{
+		{"broker_slate", "serial", 1}, {"broker_slate", "slate a=1", 1},
+		{"broker_slate", "slate a=2", 2}, {"broker_slate", "slate a=4", 4},
+		// The sampler-overhead A/B rides the tail of the slate sweep, the
+		// same way slate rides the tail of -exp broker.
+		{"obs_sample", "off", 0}, {"obs_sample", "every=5s", 0}, {"obs_sample", "every=50ms", 0},
+	}
 	if len(doc.Points) != len(wantArms) {
 		t.Fatalf("slate sweep produced %d points, want %d", len(doc.Points), len(wantArms))
 	}
 	for i, p := range doc.Points {
-		if p.Series != "broker_slate" || p.Label != wantArms[i].label || p.Capacity != wantArms[i].capacity {
+		if p.Series != wantArms[i].series || p.Label != wantArms[i].label || p.Capacity != wantArms[i].capacity {
 			t.Errorf("slate point %d malformed: %+v", i, p)
 		}
 		if p.NsPerOp <= 0 || p.Speedup <= 0 {
@@ -204,7 +211,7 @@ func TestRunJSONOutput(t *testing.T) {
 	// -exp broker emits the goroutine-scaling sweep followed by the
 	// batch-ingestion and slate sweeps; all ride the same schema with their
 	// own per-series fields.
-	var scaling, batch, slate int
+	var scaling, batch, slate, obsn int
 	for i, p := range doc.Points {
 		switch p.Series {
 		case "broker_scaling":
@@ -235,6 +242,14 @@ func TestRunJSONOutput(t *testing.T) {
 				t.Errorf("slate point %d has empty measurements: %+v", i, p)
 			}
 			slate++
+		case "obs_sample":
+			if obsn == 0 && p.Label != "off" {
+				t.Errorf("first obs point must be the sampler-off baseline: %+v", p)
+			}
+			if p.Ops <= 0 || p.NsPerOp <= 0 || p.BestNsPerOp <= 0 || p.Speedup <= 0 {
+				t.Errorf("obs point %d has empty measurements: %+v", i, p)
+			}
+			obsn++
 		default:
 			t.Errorf("point %d has unknown series %q", i, p.Series)
 		}
@@ -247,6 +262,9 @@ func TestRunJSONOutput(t *testing.T) {
 	}
 	if slate != 4 {
 		t.Fatalf("slate sweep produced %d points, want serial plus a_i ∈ {1,2,4} arms", slate)
+	}
+	if obsn != 3 {
+		t.Fatalf("obs sweep produced %d points, want off + 5s + 50ms arms", obsn)
 	}
 
 	// The WAL A/B emits the mean/best/overhead arm rows under the same schema.

@@ -41,10 +41,23 @@
 // documented in docs/OPERATIONS.md.
 //
 // -debug-addr starts a second, separate listener exposing net/http/pprof
-// under /debug/pprof/, the flight recorder under /v1/debug/traces, and the
-// live quality audit under /v1/debug/audit — opt-in and intended to stay on
-// a loopback or otherwise private address; the serving port never exposes
-// profiling, traces or audits.
+// under /debug/pprof/, the flight recorder under /v1/debug/traces, the
+// live quality audit under /v1/debug/audit, the time-series retention ring
+// under /v1/debug/timeseries and the SLO watchdog under /v1/debug/slo —
+// opt-in and intended to stay on a loopback or otherwise private address;
+// the serving port never exposes profiling, traces, audits or history.
+// During WAL recovery every /v1/debug/* endpoint answers the same 503
+// `unavailable` envelope as the serving API.
+//
+// A background sampler snapshots the whole metrics registry every
+// -sample-every (counter deltas become rates, gauges are stored as-is,
+// histograms as windowed p50/p95/p99) into fixed-capacity rings of
+// -sample-capacity points per series — the process's own short-term memory,
+// queryable at GET /v1/debug/timeseries and rendered live by cmd/muaa-top.
+// -slo arms the burn-rate watchdog over those rings (arrival latency,
+// empirical-ratio dips, WAL fsync stalls, escrow growth, runtime runaway;
+// see internal/slo): rules fire as structured slo_firing log events,
+// muaa_slo_* gauges, and GET /v1/debug/slo.
 //
 // The broker keeps a sliding window of the last -audit-window arrivals and
 // every -audit-every recomputes an offline-oracle quality report off the
@@ -85,6 +98,7 @@ import (
 	"muaa/internal/buildinfo"
 	"muaa/internal/obs"
 	"muaa/internal/pacing"
+	"muaa/internal/slo"
 	"muaa/internal/trace"
 	"muaa/internal/wal"
 	"muaa/internal/workload"
@@ -105,6 +119,9 @@ type serverOpts struct {
 	auditEvery    time.Duration // live-audit recompute cadence; 0 = broker default
 	walRetain     bool          // keep superseded WAL segments for full-history audits
 	controller    string        // pacing-controller spec ("" = off; see pacing.ParseConfig)
+	sampleEvery   time.Duration // time-series sampling cadence; 0 = 5s default, negative disables
+	sampleCap     int           // retention-ring points per series; 0 = 360 default
+	slo           string        // SLO watchdog spec ("" = off; see slo.ParseConfig)
 }
 
 // app is the serving process: an HTTP server whose broker may still be
@@ -112,14 +129,18 @@ type serverOpts struct {
 // atomic api pointer so the listener can accept probes (answering 503)
 // while boot replays the write-ahead log.
 type app struct {
-	srv    *http.Server
-	reg    *obs.Registry
-	cfg    broker.Config
-	opts   serverOpts
-	logger *slog.Logger
-	tracer *trace.Recorder // nil when tracing is disabled
-	api    atomic.Pointer[broker.API]
-	b      atomic.Pointer[broker.Broker]
+	srv      *http.Server
+	reg      *obs.Registry
+	cfg      broker.Config
+	opts     serverOpts
+	logger   *slog.Logger
+	tracer   *trace.Recorder              // nil when tracing is disabled
+	sampler  *obs.Sampler                 // nil when -sample-every is negative
+	watchdog atomic.Pointer[slo.Watchdog] // nil when -slo is empty; pointer
+	// because the sampler's OnSample hook is installed before the watchdog
+	// exists
+	api atomic.Pointer[broker.API]
+	b   atomic.Pointer[broker.Broker]
 }
 
 // newServer validates the flag values and builds the instrumented server.
@@ -147,6 +168,29 @@ func newServer(o serverOpts, logger *slog.Logger) (*app, error) {
 			Capacity:      o.traceCapacity,
 			SlowThreshold: o.traceSlow,
 		})
+	}
+	if o.sampleEvery >= 0 {
+		a.sampler = obs.NewSampler(a.reg, obs.SamplerOptions{
+			Every:    o.sampleEvery,
+			Capacity: o.sampleCap,
+			// The watchdog evaluates on the sampling goroutine, right after
+			// the sample that might trip it lands in the rings.
+			OnSample: func(now time.Time) {
+				if wd := a.watchdog.Load(); wd != nil {
+					wd.EvalAt(now)
+				}
+			},
+		})
+	}
+	if o.slo != "" {
+		if a.sampler == nil {
+			return nil, errors.New("muaa-serve: -slo needs the time-series sampler (-sample-every >= 0)")
+		}
+		scfg, err := slo.ParseConfig(o.slo)
+		if err != nil {
+			return nil, err
+		}
+		a.watchdog.Store(slo.New(a.sampler, a.reg, logger, scfg.Rules()))
 	}
 	a.cfg = broker.Config{
 		AdTypes: workload.DefaultAdTypes(),
@@ -211,6 +255,12 @@ func newServer(o serverOpts, logger *slog.Logger) (*app, error) {
 		Handler:           trace.Middleware(mux, logger, a.tracer),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
+	// Past the last error return: the sampling goroutine cannot leak from
+	// a constructor failure. Sampling runs through recovery — the rings
+	// record the replay progressing.
+	if a.sampler != nil {
+		a.sampler.Start()
+	}
 	return a, nil
 }
 
@@ -234,6 +284,9 @@ func (a *app) boot() error {
 // boot replays nothing.
 func (a *app) shutdown(ctx context.Context) error {
 	err := a.srv.Shutdown(ctx)
+	if a.sampler != nil {
+		a.sampler.Stop()
+	}
 	if b := a.b.Load(); b != nil {
 		if cerr := b.Close(); err == nil {
 			err = cerr
@@ -285,10 +338,13 @@ func (a *app) serveHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 // newDebugServer builds the opt-in debug listener: net/http/pprof plus,
-// when tracing is enabled, the flight recorder at /v1/debug/traces, plus the
-// live quality audit at /v1/debug/audit. The handlers are mounted on a
-// private mux (not http.DefaultServeMux) so nothing else in the process can
-// accidentally widen what this port serves.
+// when the subsystems are enabled, the flight recorder at /v1/debug/traces,
+// the live quality audit at /v1/debug/audit, the retention rings at
+// /v1/debug/timeseries and the SLO watchdog at /v1/debug/slo. The handlers
+// are mounted on a private mux (not http.DefaultServeMux) so nothing else
+// in the process can accidentally widen what this port serves. Every
+// /v1/debug/* endpoint shares the recovery gate: until WAL replay finishes
+// they answer the uniform 503 envelope, like the serving API.
 func (a *app) newDebugServer(addr string) *http.Server {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -296,19 +352,56 @@ func (a *app) newDebugServer(addr string) *http.Server {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mount := func(h http.Handler, disabledCode, disabledMsg string, paths ...string) {
+		if h == nil {
+			h = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				broker.WriteError(w, http.StatusNotFound, disabledCode, disabledMsg)
+			})
+		}
+		for _, p := range paths {
+			mux.Handle(p, a.gateRecovery(h))
+		}
+	}
+	var traces, timeseries, slodoc http.Handler
 	if a.tracer != nil {
-		h := a.tracer.Handler()
-		mux.Handle("/v1/debug/traces", h)
-		mux.Handle("/debug/traces", h)
+		traces = a.tracer.Handler()
 	}
-	for _, p := range []string{"/v1/debug/audit", "/debug/audit"} {
-		mux.HandleFunc(p, a.getOnly(a.serveDebugAudit))
+	if a.sampler != nil {
+		timeseries = a.sampler.Handler()
 	}
+	if wd := a.watchdog.Load(); wd != nil {
+		slodoc = wd.Handler()
+	}
+	mount(traces, "tracing_disabled",
+		"tracing disabled; start muaa-serve with -trace-capacity > 0",
+		"/v1/debug/traces", "/debug/traces")
+	mount(timeseries, "sampler_disabled",
+		"time-series sampling disabled; start muaa-serve with -sample-every >= 0",
+		"/v1/debug/timeseries", "/debug/timeseries")
+	mount(slodoc, "slo_disabled",
+		"SLO watchdog disabled; start muaa-serve with -slo (e.g. -slo on)",
+		"/v1/debug/slo", "/debug/slo")
+	mount(a.getOnly(a.serveDebugAudit), "", "", "/v1/debug/audit", "/debug/audit")
 	return &http.Server{
 		Addr:              addr,
 		Handler:           mux,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
+}
+
+// gateRecovery holds a debug endpoint behind the WAL-recovery gate: until
+// boot stores the API pointer, it answers the same 503 `unavailable`
+// envelope as the serving mux, so scrapers and dashboards back off
+// uniformly.
+func (a *app) gateRecovery(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if a.api.Load() == nil {
+			w.Header().Set("Retry-After", "1")
+			broker.WriteError(w, http.StatusServiceUnavailable, "unavailable", "recovery in progress")
+			return
+		}
+		h.ServeHTTP(w, r)
+	})
 }
 
 // serveDebugAudit returns the latest live quality-audit report as JSON.
@@ -402,6 +495,9 @@ func main() {
 		auditEv   = flag.Duration("audit-every", 15*time.Second, "live quality audit recompute cadence")
 		walRetain = flag.Bool("wal-retain", true, "keep superseded WAL segments after compaction so muaa-audit can replay the full history")
 		pacingCtl = flag.String("pacing-controller", "", "adaptive pacing controller: \"on\" for defaults or \"k=v,...\" overrides (target, gain, deadband, pace-gain, pace-bias, boost-min, boost-max, tighten-at, loosen-at, rate); empty disables")
+		sampleEv  = flag.Duration("sample-every", 5*time.Second, "time-series sampling cadence for /v1/debug/timeseries (negative disables the sampler)")
+		sampleCap = flag.Int("sample-capacity", 360, "retention-ring points kept per time series (memory ≈ 16 B × capacity × series)")
+		sloSpec   = flag.String("slo", "", "SLO burn-rate watchdog: \"on\" for defaults or \"k=v,...\" overrides (short, long, burn, clear, min-samples, ratio-target, arrival-p99-ms, floor-max, wal-p99-ms, escrow-open-max, heap-max-mb, goroutines-max); empty disables")
 		logLevel  = flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
 		version   = flag.Bool("version", false, "print version and exit")
 	)
@@ -429,7 +525,8 @@ func main() {
 		walFlushEvery: *walFlush, snapshotEvery: *snapEvery,
 		traceCapacity: *traceCap, traceSlow: *traceSlow,
 		auditWindow: *auditWin, auditEvery: *auditEv, walRetain: *walRetain,
-		controller: *pacingCtl,
+		controller:  *pacingCtl,
+		sampleEvery: *sampleEv, sampleCap: *sampleCap, slo: *sloSpec,
 	}, logger)
 	if err != nil {
 		fatal("bad_config", err)

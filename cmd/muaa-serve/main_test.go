@@ -628,3 +628,137 @@ func TestServeRestartPersistence(t *testing.T) {
 		t.Fatalf("arrival after restart → %d", code)
 	}
 }
+
+// TestDebugEndpointsRecoveryGate pins satellite contract #3: EVERY
+// /v1/debug/* endpoint — traces, audit, timeseries, slo — answers the
+// uniform 503 `unavailable` envelope while WAL recovery is in progress,
+// and flips to serving once boot stores the API pointer.
+func TestDebugEndpointsRecoveryGate(t *testing.T) {
+	a, err := newServer(serverOpts{
+		addr: "127.0.0.1:0", dataDir: t.TempDir(),
+		traceCapacity: 16, auditWindow: 16, auditEvery: time.Hour,
+		slo: "on",
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = a.shutdown(ctx)
+	})
+	dbgBase := startDebugListener(t, a)
+
+	endpoints := []string{
+		"/v1/debug/traces", "/debug/traces",
+		"/v1/debug/audit", "/debug/audit",
+		"/v1/debug/timeseries", "/debug/timeseries",
+		"/v1/debug/slo", "/debug/slo",
+	}
+
+	// Broker not booted: the recovering window, held open deliberately.
+	for _, path := range endpoints {
+		resp, err := http.Get(dbgBase + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var env struct {
+			Error struct{ Code string } `json:"error"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&env)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("GET %s during recovery: decoding envelope: %v", path, err)
+		}
+		if resp.StatusCode != http.StatusServiceUnavailable || env.Error.Code != "unavailable" {
+			t.Fatalf("GET %s during recovery → %d %q, want 503 unavailable",
+				path, resp.StatusCode, env.Error.Code)
+		}
+		if resp.Header.Get("Retry-After") == "" {
+			t.Errorf("GET %s during recovery: missing Retry-After", path)
+		}
+	}
+
+	// Recovery finishes: every endpoint flips to serving.
+	if err := a.boot(); err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range endpoints {
+		resp, err := http.Get(dbgBase + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s after recovery → %d, want 200", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestDebugTimeseriesAndSLOServe drives the booted server and reads the two
+// new debug documents end to end: the retention rings carry real series and
+// the SLO document lists the default rule set.
+func TestDebugTimeseriesAndSLOServe(t *testing.T) {
+	base, a := startServerOpts(t, serverOpts{slo: "on"})
+	dbgBase := startDebugListener(t, a)
+
+	if code := postJSON(t, base+"/v1/campaigns",
+		`{"loc":{"x":0.5,"y":0.5},"radius":0.15,"budget":20,"tags":[1,0,0.2]}`, nil); code != http.StatusCreated {
+		t.Fatalf("POST /v1/campaigns → %d", code)
+	}
+	a.sampler.SampleAt(time.Now())
+	a.sampler.SampleAt(time.Now().Add(time.Second))
+
+	var ts struct {
+		Schema string `json:"schema"`
+		Series []struct {
+			Name string `json:"name"`
+		} `json:"series"`
+	}
+	if code := getJSON(t, dbgBase+"/v1/debug/timeseries?series=muaa_broker_arrivals_total", &ts); code != http.StatusOK {
+		t.Fatalf("GET /v1/debug/timeseries → %d", code)
+	}
+	if ts.Schema != "muaa-timeseries/1" || len(ts.Series) == 0 {
+		t.Fatalf("timeseries document = %+v", ts)
+	}
+
+	var slo struct {
+		Schema string `json:"schema"`
+		Rules  []struct {
+			Name  string `json:"name"`
+			State string `json:"state"`
+		} `json:"rules"`
+	}
+	if code := getJSON(t, dbgBase+"/v1/debug/slo", &slo); code != http.StatusOK {
+		t.Fatalf("GET /v1/debug/slo → %d", code)
+	}
+	if slo.Schema != "muaa-slo/1" || len(slo.Rules) != 6 {
+		t.Fatalf("slo document = %+v", slo)
+	}
+}
+
+// TestDebugDisabledSubsystems pins the 404 envelopes when a debug subsystem
+// is turned off by flags, and the constructor error for -slo without the
+// sampler it depends on.
+func TestDebugDisabledSubsystems(t *testing.T) {
+	_, a := startServerOpts(t, serverOpts{
+		traceCapacity: 0, sampleEvery: -1, slo: "",
+	})
+	dbgBase := startDebugListener(t, a)
+	var env struct {
+		Error struct{ Code string } `json:"error"`
+	}
+	for path, code := range map[string]string{
+		"/v1/debug/traces":     "tracing_disabled",
+		"/v1/debug/timeseries": "sampler_disabled",
+		"/v1/debug/slo":        "slo_disabled",
+	} {
+		if got := getJSON(t, dbgBase+path, &env); got != http.StatusNotFound || env.Error.Code != code {
+			t.Errorf("GET %s → %d %q, want 404 %q", path, got, env.Error.Code, code)
+		}
+	}
+
+	if _, err := newServer(serverOpts{addr: "127.0.0.1:0", sampleEvery: -1, slo: "on"}, nil); err == nil {
+		t.Fatal("-slo without the sampler must be a config error")
+	}
+}

@@ -1,0 +1,485 @@
+package main
+
+// The dashboard half of muaa-top: polling the serve and debug ports,
+// parsing what comes back, deriving rates and windowed quantiles between
+// polls, and rendering one frame. Everything here is pure enough to test
+// against httptest fakes; main.go owns the terminal lifecycle.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// snapshot is one poll: the merged metric samples, the broker stats
+// document, and the SLO document (nil when the watchdog is off or the
+// debug port is unreachable).
+type snapshot struct {
+	when    time.Time
+	samples map[string]float64 // "name{labels}" → value
+	stats   *brokerStats
+	slo     *sloDoc
+	errs    []string // per-source fetch failures, rendered in the footer
+}
+
+// brokerStats mirrors the /v1/stats document (broker.Stats marshals with
+// Go field names).
+type brokerStats struct {
+	Campaigns         int
+	Arrivals          int64
+	OffersPushed      int64
+	UtilityServed     float64
+	BudgetSpent       float64
+	GammaMin          float64
+	GammaMax          float64
+	G                 float64
+	PhiBoost          float64
+	PacingEpoch       int64
+	EscrowHeld        float64
+	EscrowReleased    float64
+	Conversions       int64
+	ConversionRevenue float64
+}
+
+// sloDoc mirrors GET /v1/debug/slo (internal/slo.Snapshot).
+type sloDoc struct {
+	Schema string `json:"schema"`
+	Firing int    `json:"firing"`
+	Rules  []struct {
+		Name      string   `json:"name"`
+		Series    string   `json:"series"`
+		State     string   `json:"state"`
+		Value     *float64 `json:"value"`
+		Threshold float64  `json:"threshold"`
+		Below     bool     `json:"below"`
+		ShortBurn float64  `json:"short_burn"`
+		LongBurn  float64  `json:"long_burn"`
+		Fired     uint64   `json:"fired_total"`
+	} `json:"rules"`
+}
+
+// parseProm reads Prometheus text exposition into sample → value. Comment
+// and blank lines are skipped; the key keeps the rendered labels so
+// histogram buckets stay distinct.
+func parseProm(r io.Reader) (map[string]float64, error) {
+	out := map[string]float64{}
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			continue // timestamps or exotic values; this is a viewer, not a parser suite
+		}
+		out[line[:i]] = v
+	}
+	return out, nil
+}
+
+// bucketsOf extracts a histogram's cumulative buckets (le → count). Only
+// label-less histograms are rendered by muaa-top, so the sample key is
+// exactly name_bucket{le="..."}.
+func bucketsOf(samples map[string]float64, name string) map[float64]float64 {
+	prefix := name + `_bucket{le="`
+	out := map[float64]float64{}
+	for k, v := range samples {
+		if !strings.HasPrefix(k, prefix) {
+			continue
+		}
+		le := strings.TrimSuffix(strings.TrimPrefix(k, prefix), `"}`)
+		f, err := strconv.ParseFloat(le, 64)
+		if err != nil {
+			if le == "+Inf" {
+				f = math.Inf(1)
+			} else {
+				continue
+			}
+		}
+		out[f] = v
+	}
+	return out
+}
+
+// histQuantile computes quantile q from the delta between two cumulative
+// bucket snapshots (prev may be nil: lifetime quantile). Returns the upper
+// edge of the bucket the rank lands in — the resolution the exponential
+// bucket layout gives — or NaN when the window saw no observations.
+func histQuantile(cur, prev map[float64]float64, q float64) float64 {
+	les := make([]float64, 0, len(cur))
+	for le := range cur {
+		les = append(les, le)
+	}
+	sort.Float64s(les)
+	if len(les) == 0 {
+		return math.NaN()
+	}
+	delta := func(le float64) float64 {
+		d := cur[le] - prev[le] // nil map reads as 0
+		if d < 0 {
+			d = 0 // counter reset between polls
+		}
+		return d
+	}
+	total := delta(les[len(les)-1])
+	if total <= 0 {
+		return math.NaN()
+	}
+	rank := q * total
+	for _, le := range les {
+		if delta(le) >= rank {
+			return le
+		}
+	}
+	return les[len(les)-1]
+}
+
+// ring is muaa-top's own sparkline history: a fixed window of the most
+// recent derived values per panel row.
+type ring struct {
+	vals []float64
+	head int
+	n    int
+}
+
+func newRing(capacity int) *ring { return &ring{vals: make([]float64, capacity)} }
+
+func (r *ring) push(v float64) {
+	r.vals[r.head] = v
+	r.head = (r.head + 1) % len(r.vals)
+	if r.n < len(r.vals) {
+		r.n++
+	}
+}
+
+// window returns the retained values, oldest first.
+func (r *ring) window() []float64 {
+	out := make([]float64, 0, r.n)
+	for i := 0; i < r.n; i++ {
+		out = append(out, r.vals[(r.head-r.n+i+len(r.vals))%len(r.vals)])
+	}
+	return out
+}
+
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// sparkline renders vals (oldest first) into at most width cells, scaling
+// to the window's own min..max; NaN renders as a gap.
+func sparkline(vals []float64, width int) string {
+	if len(vals) > width {
+		vals = vals[len(vals)-width:]
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range vals {
+		if math.IsNaN(v) {
+			continue
+		}
+		lo, hi = math.Min(lo, v), math.Max(hi, v)
+	}
+	var sb strings.Builder
+	for _, v := range vals {
+		switch {
+		case math.IsNaN(v):
+			sb.WriteByte(' ')
+		case hi <= lo:
+			sb.WriteRune(sparkRunes[0])
+		default:
+			idx := int((v - lo) / (hi - lo) * float64(len(sparkRunes)-1))
+			sb.WriteRune(sparkRunes[idx])
+		}
+	}
+	return sb.String()
+}
+
+// client fetches one snapshot from the two ports.
+type client struct {
+	base      string // serving port, e.g. http://127.0.0.1:8080
+	debugBase string // debug port, e.g. http://127.0.0.1:6060; "" = skip SLO panel
+	hc        *http.Client
+}
+
+func (c *client) get(url string, accept func(*http.Response) error) error {
+	resp, err := c.hc.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return accept(resp)
+}
+
+func (c *client) snapshot() *snapshot {
+	s := &snapshot{when: time.Now(), samples: map[string]float64{}}
+	// Two filtered scrapes — the muaa_* instruments and the go_* runtime
+	// gauges — kept apart so a huge unrelated registry never lands here.
+	for _, prefix := range []string{"muaa_", "go_"} {
+		err := c.get(c.base+"/v1/metrics?name="+prefix, func(resp *http.Response) error {
+			if resp.StatusCode != http.StatusOK {
+				return fmt.Errorf("status %d", resp.StatusCode)
+			}
+			m, err := parseProm(resp.Body)
+			if err != nil {
+				return err
+			}
+			for k, v := range m {
+				s.samples[k] = v
+			}
+			return nil
+		})
+		if err != nil {
+			s.errs = append(s.errs, "metrics: "+err.Error())
+			break
+		}
+	}
+	err := c.get(c.base+"/v1/stats", func(resp *http.Response) error {
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("status %d", resp.StatusCode)
+		}
+		var st brokerStats
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			return err
+		}
+		s.stats = &st
+		return nil
+	})
+	if err != nil {
+		s.errs = append(s.errs, "stats: "+err.Error())
+	}
+	if c.debugBase != "" {
+		err := c.get(c.debugBase+"/v1/debug/slo", func(resp *http.Response) error {
+			if resp.StatusCode != http.StatusOK {
+				return fmt.Errorf("status %d", resp.StatusCode)
+			}
+			var doc sloDoc
+			if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+				return err
+			}
+			s.slo = &doc
+			return nil
+		})
+		if err != nil {
+			s.errs = append(s.errs, "slo: "+err.Error())
+		}
+	}
+	return s
+}
+
+// model folds successive snapshots into rates, quantiles, and sparkline
+// history.
+type model struct {
+	prev, cur *snapshot
+	hist      map[string]*ring
+	histCap   int
+}
+
+func newModel(histCap int) *model {
+	if histCap <= 0 {
+		histCap = 60
+	}
+	return &model{hist: map[string]*ring{}, histCap: histCap}
+}
+
+// observe appends a snapshot and records the sparkline series.
+func (m *model) observe(s *snapshot) {
+	m.prev, m.cur = m.cur, s
+	m.record("arrivals/s", m.rate("muaa_broker_arrivals_total"))
+	m.record("offers/s", m.rate("muaa_broker_offers_pushed_total"))
+	m.record("wal appends/s", m.rate("muaa_wal_appends_total"))
+	m.record("arrival p99", m.quantile("muaa_broker_arrival_seconds", 0.99))
+	m.record("wal fsync p99", m.quantile("muaa_wal_flush_seconds", 0.99))
+	m.record("ratio", m.gauge("muaa_broker_empirical_ratio"))
+	m.record("boost", m.gauge("muaa_pacing_boost"))
+	m.record("goroutines", m.gauge("go_goroutines"))
+	m.record("heap", m.gauge("go_heap_alloc_bytes"))
+}
+
+func (m *model) record(name string, v float64) {
+	r, ok := m.hist[name]
+	if !ok {
+		r = newRing(m.histCap)
+		m.hist[name] = r
+	}
+	r.push(v)
+}
+
+func (m *model) spark(name string, width int) string {
+	if r, ok := m.hist[name]; ok {
+		return sparkline(r.window(), width)
+	}
+	return ""
+}
+
+// gauge reads a sample from the current snapshot; NaN when absent.
+func (m *model) gauge(sample string) float64 {
+	if m.cur == nil {
+		return math.NaN()
+	}
+	if v, ok := m.cur.samples[sample]; ok {
+		return v
+	}
+	return math.NaN()
+}
+
+// rate derives a counter's per-second rate between the last two polls.
+func (m *model) rate(counter string) float64 {
+	if m.prev == nil || m.cur == nil {
+		return math.NaN()
+	}
+	cv, cok := m.cur.samples[counter]
+	pv, pok := m.prev.samples[counter]
+	dt := m.cur.when.Sub(m.prev.when).Seconds()
+	if !cok || !pok || dt <= 0 {
+		return math.NaN()
+	}
+	d := cv - pv
+	if d < 0 {
+		d = 0 // restart between polls
+	}
+	return d / dt
+}
+
+// quantile derives a histogram quantile over the inter-poll window,
+// falling back to the lifetime distribution on the first poll.
+func (m *model) quantile(hist string, q float64) float64 {
+	if m.cur == nil {
+		return math.NaN()
+	}
+	cur := bucketsOf(m.cur.samples, hist)
+	var prev map[float64]float64
+	if m.prev != nil {
+		prev = bucketsOf(m.prev.samples, hist)
+	}
+	return histQuantile(cur, prev, q)
+}
+
+// ANSI fragments, blanked when color is off.
+type palette struct{ reset, bold, dim, red, green, yellow, cyan string }
+
+func newPalette(color bool) palette {
+	if !color {
+		return palette{}
+	}
+	return palette{
+		reset: "\x1b[0m", bold: "\x1b[1m", dim: "\x1b[2m",
+		red: "\x1b[31m", green: "\x1b[32m", yellow: "\x1b[33m", cyan: "\x1b[36m",
+	}
+}
+
+func fmtVal(v float64, format string) string {
+	if math.IsNaN(v) {
+		return "—"
+	}
+	return fmt.Sprintf(format, v)
+}
+
+func fmtDuration(sec float64) string {
+	if math.IsNaN(sec) {
+		return "—"
+	}
+	d := time.Duration(sec * float64(time.Second))
+	return d.Truncate(time.Second).String()
+}
+
+// render writes one dashboard frame. Pure with respect to the model: safe
+// to call from tests with a bytes.Buffer.
+func (m *model) render(w io.Writer, base string, color bool) {
+	p := newPalette(color)
+	s := m.cur
+	if s == nil {
+		fmt.Fprintln(w, "muaa-top: no data yet")
+		return
+	}
+	const sw = 24 // sparkline width
+
+	fmt.Fprintf(w, "%smuaa-top%s  %s  %s\n", p.bold, p.reset, base,
+		s.when.Format("15:04:05"))
+	fmt.Fprintf(w, "uptime %s   metric series %s\n",
+		fmtDuration(m.gauge("muaa_process_uptime_seconds")),
+		fmtVal(m.gauge("muaa_obs_series"), "%.0f"))
+
+	row := func(name, format, unit string, scale float64) {
+		v := math.NaN()
+		if r, ok := m.hist[name]; ok && r.n > 0 {
+			v = r.window()[r.n-1]
+		}
+		fmt.Fprintf(w, "  %-14s %10s %-4s %s%s%s\n",
+			name, fmtVal(v*scale, format), unit, p.cyan, m.spark(name, sw), p.reset)
+	}
+
+	fmt.Fprintf(w, "\n%sTHROUGHPUT%s\n", p.bold, p.reset)
+	row("arrivals/s", "%.1f", "", 1)
+	row("offers/s", "%.1f", "", 1)
+	row("wal appends/s", "%.1f", "", 1)
+
+	fmt.Fprintf(w, "\n%sLATENCY%s  (windowed histogram p99)\n", p.bold, p.reset)
+	row("arrival p99", "%.3f", "ms", 1e3)
+	row("wal fsync p99", "%.3f", "ms", 1e3)
+
+	fmt.Fprintf(w, "\n%sALGORITHM%s\n", p.bold, p.reset)
+	row("ratio", "%.3f", "", 1)
+	row("boost", "%.3f", "", 1)
+	if st := s.stats; st != nil {
+		fmt.Fprintf(w, "  campaigns %d   arrivals %d   offers %d\n",
+			st.Campaigns, st.Arrivals, st.OffersPushed)
+		fmt.Fprintf(w, "  γ∈[%.3g, %.3g]  g=%.3g  utility %.2f\n",
+			st.GammaMin, st.GammaMax, st.G, st.UtilityServed)
+		fmt.Fprintf(w, "\n%sBILLING%s\n", p.bold, p.reset)
+		fmt.Fprintf(w, "  spent %.2f   escrow held %.2f (open %s)\n",
+			st.BudgetSpent, st.EscrowHeld, fmtVal(m.gauge("muaa_billing_escrow_open"), "%.0f"))
+		fmt.Fprintf(w, "  conversions %d   conversion revenue %.2f\n",
+			st.Conversions, st.ConversionRevenue)
+	}
+
+	fmt.Fprintf(w, "\n%sRUNTIME%s\n", p.bold, p.reset)
+	row("goroutines", "%.0f", "", 1)
+	row("heap", "%.1f", "MiB", 1.0/(1<<20))
+
+	fmt.Fprintf(w, "\n%sSLO%s", p.bold, p.reset)
+	switch {
+	case s.slo == nil:
+		fmt.Fprintf(w, "  %swatchdog off or debug port unreachable%s\n", p.dim, p.reset)
+	case s.slo.Firing > 0:
+		fmt.Fprintf(w, "  %s%d FIRING%s\n", p.red, s.slo.Firing, p.reset)
+	default:
+		fmt.Fprintf(w, "  %sall ok%s\n", p.green, p.reset)
+	}
+	if s.slo != nil {
+		for _, r := range s.slo.Rules {
+			mark, col := "·", p.dim
+			switch r.State {
+			case "ok":
+				mark, col = "✓", p.green
+			case "firing":
+				mark, col = "✗", p.red
+			}
+			dir := ">"
+			if r.Below {
+				dir = "<"
+			}
+			val := "—"
+			if r.Value != nil {
+				val = strconv.FormatFloat(*r.Value, 'g', 4, 64)
+			}
+			fmt.Fprintf(w, "  %s%s %-12s %-7s%s  %s %s %g  burn %.0f%%/%.0f%%  fired %d\n",
+				col, mark, r.Name, strings.ToUpper(r.State), p.reset,
+				val, dir, r.Threshold, 100*r.ShortBurn, 100*r.LongBurn, r.Fired)
+		}
+	}
+
+	for _, e := range s.errs {
+		fmt.Fprintf(w, "\n%s! %s%s\n", p.yellow, e, p.reset)
+	}
+}

@@ -1,0 +1,256 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseProm(t *testing.T) {
+	text := `# HELP demo_seconds x
+# TYPE demo_seconds histogram
+demo_seconds_bucket{le="0.001"} 2
+demo_seconds_bucket{le="+Inf"} 5
+demo_seconds_sum 0.02
+demo_seconds_count 5
+demo_total 3
+demo_labeled{kind="a",x="1"} 7.5
+
+garbage line without value x
+`
+	m, err := parseProm(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		`demo_seconds_bucket{le="0.001"}`: 2,
+		`demo_seconds_bucket{le="+Inf"}`:  5,
+		"demo_seconds_sum":                0.02,
+		"demo_seconds_count":              5,
+		"demo_total":                      3,
+		`demo_labeled{kind="a",x="1"}`:    7.5,
+	}
+	if len(m) != len(want) {
+		t.Fatalf("parsed %d samples, want %d: %+v", len(m), len(want), m)
+	}
+	for k, v := range want {
+		if m[k] != v {
+			t.Errorf("sample %q = %g, want %g", k, m[k], v)
+		}
+	}
+}
+
+func TestHistQuantile(t *testing.T) {
+	inf := math.Inf(1)
+	prev := map[float64]float64{0.001: 10, 0.01: 10, 0.1: 10, inf: 10}
+	// 90 new observations: 45 in (0.001, 0.01], 45 in (0.01, 0.1].
+	cur := map[float64]float64{0.001: 10, 0.01: 55, 0.1: 100, inf: 100}
+	if got := histQuantile(cur, prev, 0.5); got != 0.01 {
+		t.Errorf("p50 = %g, want 0.01", got)
+	}
+	if got := histQuantile(cur, prev, 0.99); got != 0.1 {
+		t.Errorf("p99 = %g, want 0.1", got)
+	}
+	// Lifetime quantile when prev is nil.
+	if got := histQuantile(cur, nil, 0.01); got != 0.001 {
+		t.Errorf("lifetime p1 = %g, want 0.001", got)
+	}
+	// Idle window → NaN.
+	if got := histQuantile(cur, cur, 0.99); !math.IsNaN(got) {
+		t.Errorf("idle-window quantile = %g, want NaN", got)
+	}
+	// Counter reset between polls must clamp, not panic or go negative.
+	if got := histQuantile(prev, cur, 0.99); !math.IsNaN(got) {
+		t.Errorf("reset-window quantile = %g, want NaN", got)
+	}
+	if got := histQuantile(map[float64]float64{}, nil, 0.5); !math.IsNaN(got) {
+		t.Errorf("empty histogram quantile = %g, want NaN", got)
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	got := sparkline([]float64{0, 1, 2, 3, 4, 5, 6, 7}, 8)
+	if got != "▁▂▃▄▅▆▇█" {
+		t.Errorf("ramp sparkline = %q", got)
+	}
+	if got := sparkline([]float64{5, 5, 5}, 8); got != "▁▁▁" {
+		t.Errorf("flat sparkline = %q", got)
+	}
+	if got := sparkline([]float64{math.NaN(), 1, 2}, 8); got != " ▁█" {
+		t.Errorf("NaN sparkline = %q", got)
+	}
+	// Width clips to the newest values.
+	if got := sparkline([]float64{9, 9, 0, 8}, 2); got != "▁█" {
+		t.Errorf("clipped sparkline = %q", got)
+	}
+	if got := sparkline(nil, 8); got != "" {
+		t.Errorf("empty sparkline = %q", got)
+	}
+}
+
+func TestRingWindow(t *testing.T) {
+	r := newRing(3)
+	for i := 1; i <= 5; i++ {
+		r.push(float64(i))
+	}
+	w := r.window()
+	if len(w) != 3 || w[0] != 3 || w[1] != 4 || w[2] != 5 {
+		t.Fatalf("window = %v, want [3 4 5]", w)
+	}
+}
+
+// fakeServe builds httptest servers that mimic the serving and debug ports.
+// The metrics handler honors the ?name= prefix filter the way obs does, and
+// arrivalsTotal lets tests advance the counters between polls.
+func fakeServe(t *testing.T, arrivals *float64, firing bool) (base, debugBase string) {
+	t.Helper()
+	serve := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/v1/metrics":
+			prefix := r.URL.Query().Get("name")
+			all := fmt.Sprintf(`muaa_broker_arrivals_total %g
+muaa_broker_offers_pushed_total %g
+muaa_broker_arrival_seconds_bucket{le="0.001"} %g
+muaa_broker_arrival_seconds_bucket{le="+Inf"} %g
+muaa_broker_empirical_ratio 0.91
+muaa_pacing_boost 1.25
+muaa_process_uptime_seconds 42
+muaa_obs_series 12
+go_goroutines 17
+go_heap_alloc_bytes 1048576
+`, *arrivals, 2*(*arrivals), *arrivals, *arrivals)
+			for _, line := range strings.Split(all, "\n") {
+				if strings.HasPrefix(line, prefix) {
+					fmt.Fprintln(w, line)
+				}
+			}
+		case "/v1/stats":
+			fmt.Fprintf(w, `{"Campaigns":3,"Arrivals":%d,"OffersPushed":%d,
+				"UtilityServed":12.5,"BudgetSpent":4.5,"GammaMin":0.1,"GammaMax":9.1,
+				"G":27.1,"PhiBoost":1.25,"EscrowHeld":0.7,"Conversions":2,
+				"ConversionRevenue":1.1}`, int(*arrivals), 2*int(*arrivals))
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	t.Cleanup(serve.Close)
+
+	state, fired := "ok", 0
+	if firing {
+		state, fired = "firing", 1
+	}
+	debug := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/debug/slo" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprintf(w, `{"schema":"muaa-slo/1","eval_unix":1700000000,"evals":9,
+			"firing":%d,"rules":[
+			 {"name":"goroutines","series":"go_goroutines","state":%q,"value":17,
+			  "threshold":0,"below":false,"short_burn":1,"long_burn":1,"fired_total":%d},
+			 {"name":"ratio","series":"muaa_broker_empirical_ratio","state":"warmup",
+			  "value":null,"threshold":0.75,"below":true,"short_burn":0,"long_burn":0,
+			  "fired_total":0}]}`, fired, state, fired)
+	}))
+	t.Cleanup(debug.Close)
+	return serve.URL, debug.URL
+}
+
+// TestDashboardEndToEnd polls the fakes twice and checks the frame: real
+// inter-poll rates, the SLO table with a FIRING row, and zero ANSI escapes
+// in plain mode.
+func TestDashboardEndToEnd(t *testing.T) {
+	arrivals := 100.0
+	base, debugBase := fakeServe(t, &arrivals, true)
+	c := &client{base: base, debugBase: debugBase, hc: &http.Client{Timeout: time.Second}}
+	m := newModel(0)
+
+	s1 := c.snapshot()
+	if len(s1.errs) != 0 {
+		t.Fatalf("first poll errors: %v", s1.errs)
+	}
+	m.observe(s1)
+	arrivals += 50
+	s2 := c.snapshot()
+	s2.when = s1.when.Add(time.Second) // pin dt so the asserted rate is exact
+	m.observe(s2)
+
+	var buf bytes.Buffer
+	m.render(&buf, base, false)
+	out := buf.String()
+
+	for _, want := range []string{
+		"muaa-top", "THROUGHPUT", "LATENCY", "ALGORITHM", "BILLING", "RUNTIME", "SLO",
+		"arrivals/s", "50.0", // (150-100)/1s
+		"ratio", "0.910",
+		"campaigns 3",
+		"1 FIRING", "goroutines", "FIRING", "WARMUP", "fired 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("frame missing %q\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "\x1b[") {
+		t.Error("plain frame contains ANSI escapes")
+	}
+
+	// Color mode emits escapes (and nothing else changes structurally).
+	buf.Reset()
+	m.render(&buf, base, true)
+	if !strings.Contains(buf.String(), "\x1b[") {
+		t.Error("color frame has no ANSI escapes")
+	}
+}
+
+// TestDashboardDegradesWithoutDebugPort: an unreachable debug port keeps
+// the rest of the dashboard rendering and flags the SLO panel.
+func TestDashboardDegradesWithoutDebugPort(t *testing.T) {
+	arrivals := 10.0
+	base, _ := fakeServe(t, &arrivals, false)
+	c := &client{base: base, debugBase: "http://127.0.0.1:1", hc: &http.Client{Timeout: 500 * time.Millisecond}}
+	m := newModel(0)
+	m.observe(c.snapshot())
+
+	var buf bytes.Buffer
+	m.render(&buf, base, false)
+	out := buf.String()
+	if !strings.Contains(out, "watchdog off or debug port unreachable") {
+		t.Errorf("frame does not flag the missing watchdog:\n%s", out)
+	}
+	if !strings.Contains(out, "THROUGHPUT") || !strings.Contains(out, "campaigns 3") {
+		t.Errorf("frame lost its main panels:\n%s", out)
+	}
+}
+
+// TestRunOnce drives the -once path end to end against the fakes.
+func TestRunOnce(t *testing.T) {
+	arrivals := 5.0
+	base, debugBase := fakeServe(t, &arrivals, true)
+	c := &client{base: base, debugBase: debugBase, hc: &http.Client{Timeout: time.Second}}
+	var buf bytes.Buffer
+	if err := runOnce(c, newModel(0), &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "FIRING") || !strings.Contains(out, "THROUGHPUT") {
+		t.Errorf("-once frame incomplete:\n%s", out)
+	}
+	if strings.Contains(out, "\x1b[") {
+		t.Error("-once frame contains ANSI escapes")
+	}
+}
+
+// TestRunOnceUnreachable: a dead serving port is an error, not a blank
+// frame with exit 0.
+func TestRunOnceUnreachable(t *testing.T) {
+	c := &client{base: "http://127.0.0.1:1", debugBase: "", hc: &http.Client{Timeout: 300 * time.Millisecond}}
+	var buf bytes.Buffer
+	if err := runOnce(c, newModel(0), &buf); err == nil {
+		t.Fatal("runOnce against a dead port returned nil error")
+	}
+}

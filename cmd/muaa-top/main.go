@@ -1,0 +1,104 @@
+// Command muaa-top is a live terminal dashboard for a running muaa-serve:
+// the operator's one-screen view of throughput, latency, the paper's
+// competitive-ratio health, billing, the WAL, and the SLO watchdog.
+//
+//	muaa-top -addr http://127.0.0.1:8080 -debug-addr http://127.0.0.1:6060
+//
+// Every -every it polls GET /v1/metrics?name=muaa_ (and ?name=go_) plus
+// GET /v1/stats on the serving port and GET /v1/debug/slo on the debug
+// port, derives inter-poll rates and windowed histogram quantiles locally,
+// and redraws an ANSI frame with unicode sparklines over its own short
+// history ring. Nothing is required of the server beyond the endpoints
+// muaa-serve already exposes; the binary has no dependencies outside the
+// standard library.
+//
+//	-once    print a single plain-text frame (no ANSI, two quick polls so
+//	         rates are real) and exit — for scripts and the CI smoke test
+//	-every   poll and redraw cadence (default 2s)
+//	-no-color  disable ANSI colors (also implied by -once)
+//
+// A missing debug port degrades gracefully: the SLO panel reports the
+// watchdog as unreachable and everything else keeps rendering.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"muaa/internal/buildinfo"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "http://127.0.0.1:8080", "muaa-serve base URL (serving port)")
+		debugAddr = flag.String("debug-addr", "http://127.0.0.1:6060", "muaa-serve debug base URL for /v1/debug/slo; empty skips the SLO panel")
+		every     = flag.Duration("every", 2*time.Second, "poll and redraw cadence")
+		once      = flag.Bool("once", false, "print one plain-text frame and exit")
+		noColor   = flag.Bool("no-color", false, "disable ANSI colors")
+		version   = flag.Bool("version", false, "print version and exit")
+	)
+	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("muaa-top"))
+		return
+	}
+
+	c := &client{
+		base:      *addr,
+		debugBase: *debugAddr,
+		hc:        &http.Client{Timeout: 5 * time.Second},
+	}
+	m := newModel(0)
+
+	if *once {
+		if err := runOnce(c, m, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "muaa-top:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	color := !*noColor
+	// Alternate screen + hidden cursor, restored on exit however we leave.
+	if color {
+		fmt.Print("\x1b[?1049h\x1b[?25l")
+		defer fmt.Print("\x1b[?25h\x1b[?1049l")
+	}
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	tick := time.NewTicker(*every)
+	defer tick.Stop()
+	for {
+		m.observe(c.snapshot())
+		if color {
+			fmt.Print("\x1b[H\x1b[2J")
+		}
+		m.render(os.Stdout, *addr, color)
+		select {
+		case <-sigs:
+			return
+		case <-tick.C:
+		}
+	}
+}
+
+// runOnce takes two quick polls (rates and windowed quantiles need a
+// delta) and writes a single plain frame.
+func runOnce(c *client, m *model, w io.Writer) error {
+	first := c.snapshot()
+	m.observe(first)
+	time.Sleep(250 * time.Millisecond)
+	second := c.snapshot()
+	m.observe(second)
+	if len(second.errs) > 0 && second.stats == nil {
+		return fmt.Errorf("cannot reach %s: %s", c.base, second.errs[0])
+	}
+	m.render(w, c.base, false)
+	return nil
+}

@@ -30,7 +30,11 @@ type metric struct {
 	name   string
 	labels string // rendered {k="v",...} or ""
 	sample func(w io.Writer, name, labels string)
-	hist   *Histogram // non-nil iff this metric is a histogram
+	// read returns the instrument's current scalar value (counters and
+	// gauges); nil for histograms, whose hist field carries the snapshot
+	// source instead. Gather is the only consumer.
+	read func() float64
+	hist *Histogram // non-nil iff this metric is a histogram
 }
 
 // family groups every metric sharing one name: the exposition format allows
@@ -107,6 +111,7 @@ func (r *Registry) NewCounter(name, help string, labels ...Label) *Counter {
 		sample: func(w io.Writer, name, lbl string) {
 			fmt.Fprintf(w, "%s%s %d\n", name, lbl, c.Value())
 		},
+		read: func() float64 { return float64(c.Value()) },
 	})
 	return c
 }
@@ -121,6 +126,7 @@ func (r *Registry) NewCounterFunc(name, help string, fn func() float64, labels .
 		sample: func(w io.Writer, name, lbl string) {
 			fmt.Fprintf(w, "%s%s %s\n", name, lbl, formatFloat(fn()))
 		},
+		read: fn,
 	})
 }
 
@@ -144,6 +150,7 @@ func (r *Registry) NewGauge(name, help string, labels ...Label) *Gauge {
 		sample: func(w io.Writer, name, lbl string) {
 			fmt.Fprintf(w, "%s%s %s\n", name, lbl, formatFloat(g.Value()))
 		},
+		read: g.Value,
 	})
 	return g
 }
@@ -157,6 +164,7 @@ func (r *Registry) NewGaugeFunc(name, help string, fn func() float64, labels ...
 		sample: func(w io.Writer, name, lbl string) {
 			fmt.Fprintf(w, "%s%s %s\n", name, lbl, formatFloat(fn()))
 		},
+		read: fn,
 	})
 }
 
@@ -183,39 +191,102 @@ func (r *Registry) FindHistogram(name string, labels ...Label) *Histogram {
 // exposition format (version 0.0.4). Families are sorted by name and
 // samples by label set, so successive scrapes of a quiescent registry are
 // byte-identical.
-func (r *Registry) WriteText(w io.Writer) {
-	r.mu.Lock()
-	names := make([]string, 0, len(r.families))
-	for name := range r.families {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	fams := make([]*family, len(names))
-	for i, name := range names {
-		fams[i] = r.families[name]
-	}
-	r.mu.Unlock()
+func (r *Registry) WriteText(w io.Writer) { r.WriteTextFiltered(w, "") }
 
-	for _, f := range fams {
+// WriteTextFiltered is WriteText restricted to the families whose name
+// starts with prefix. An empty prefix renders everything, byte-identical to
+// WriteText (pinned by TestWriteTextFilteredIdentity). Filtering happens at
+// the family level before any sampler runs, so a scrape that excludes a
+// histogram never pays its shard merge.
+func (r *Registry) WriteTextFiltered(w io.Writer, prefix string) {
+	for _, f := range r.snapshotFamilies(prefix) {
 		if f.help != "" {
 			fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help))
 		}
 		fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ)
-		ms := append([]metric(nil), f.metrics...)
-		sort.Slice(ms, func(i, j int) bool { return ms[i].labels < ms[j].labels })
-		for _, m := range ms {
+		for _, m := range f.metrics {
 			m.sample(w, m.name, m.labels)
 		}
 	}
 }
 
+// snapshotFamilies copies the matching families out from under the
+// registration lock, sorted by name with samples sorted by label set, so
+// callers iterate (and call samplers) with no locks held.
+func (r *Registry) snapshotFamilies(prefix string) []family {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		if strings.HasPrefix(name, prefix) {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	fams := make([]family, len(names))
+	for i, name := range names {
+		f := r.families[name]
+		fams[i] = family{name: f.name, help: f.help, typ: f.typ,
+			metrics: append([]metric(nil), f.metrics...)}
+	}
+	r.mu.Unlock()
+	for i := range fams {
+		ms := fams[i].metrics
+		sort.Slice(ms, func(a, b int) bool { return ms[a].labels < ms[b].labels })
+	}
+	return fams
+}
+
+// Kind identifies an instrument's type in a Gather snapshot.
+type Kind string
+
+// The three instrument kinds Gather reports.
+const (
+	KindCounter   Kind = "counter"
+	KindGauge     Kind = "gauge"
+	KindHistogram Kind = "histogram"
+)
+
+// MetricPoint is one instrument's value at Gather time. Counters and gauges
+// fill Value; histograms fill Hist instead.
+type MetricPoint struct {
+	Name   string
+	Labels string // rendered {k="v",...} or ""
+	Kind   Kind
+	Value  float64
+	Hist   *HistogramSnapshot
+}
+
+// Gather returns a point-in-time snapshot of every registered instrument in
+// WriteText order (families by name, samples by label set) — the
+// programmatic twin of the text scrape, consumed by the time-series
+// sampler. Value funcs run with no registry locks held.
+func (r *Registry) Gather() []MetricPoint {
+	var out []MetricPoint
+	for _, f := range r.snapshotFamilies("") {
+		for _, m := range f.metrics {
+			p := MetricPoint{Name: m.name, Labels: m.labels, Kind: Kind(f.typ)}
+			if m.hist != nil {
+				snap := m.hist.Snapshot()
+				p.Hist = &snap
+			} else if m.read != nil {
+				p.Value = m.read()
+			}
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
 // Handler returns the GET /metrics endpoint: a text-exposition scrape of
-// the registry.
+// the registry. An optional ?name=PREFIX query restricts the scrape to the
+// metric families whose name starts with PREFIX, letting high-frequency
+// scrapers (muaa-top) skip the histogram merge cost of families they don't
+// render; without it the output is the full, byte-identical scrape.
 func (r *Registry) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		w.WriteHeader(http.StatusOK)
-		r.WriteText(w)
+		r.WriteTextFiltered(w, req.URL.Query().Get("name"))
 	})
 }
 

@@ -29,8 +29,10 @@ func (s *memSampler) get() runtime.MemStats {
 }
 
 // RegisterRuntimeMetrics registers Go runtime health gauges on reg:
-// goroutine count, GOMAXPROCS, heap alloc/sys bytes, GC cycle count and the
-// last GC pause. All values are sampled at scrape time — the serving path
+// goroutine count, GOMAXPROCS, heap alloc/sys bytes, GC cycle count, the
+// last GC pause and its wall time, and process uptime (so the dashboard
+// and watchdog can spot restarts and GC stalls). All values are sampled at
+// scrape time — the serving path
 // pays nothing — and memory stats are cached for a short TTL so scrapes
 // stay cheap.
 func RegisterRuntimeMetrics(reg *Registry) {
@@ -59,4 +61,13 @@ func RegisterRuntimeMetrics(reg *Registry) {
 			}
 			return float64(m.PauseNs[(m.NumGC+255)%256]) / 1e9
 		})
+	start := time.Now()
+	reg.NewGaugeFunc("muaa_process_uptime_seconds",
+		"Seconds since this process registered its runtime metrics. A reset "+
+			"to near zero between samples means the process restarted.",
+		func() float64 { return time.Since(start).Seconds() })
+	reg.NewGaugeFunc("muaa_go_gc_last_unix_seconds",
+		"Unix time of the last completed GC cycle (0 before the first). A "+
+			"stale value under allocation pressure flags a GC stall.",
+		func() float64 { return float64(mem.get().LastGC) / 1e9 })
 }

@@ -1,8 +1,10 @@
 package obs
 
 import (
+	"runtime"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestHistogramExemplar(t *testing.T) {
@@ -51,6 +53,7 @@ func TestHistogramExemplar(t *testing.T) {
 func TestRegisterRuntimeMetrics(t *testing.T) {
 	r := NewRegistry()
 	RegisterRuntimeMetrics(r)
+	runtime.GC() // ensure LastGC is set before the (TTL-cached) first scrape
 	var sb strings.Builder
 	r.WriteText(&sb)
 	samples, types := parseExposition(t, sb.String())
@@ -62,6 +65,9 @@ func TestRegisterRuntimeMetrics(t *testing.T) {
 		"go_heap_sys_bytes":        "gauge",
 		"go_gc_cycles_total":       "counter",
 		"go_gc_last_pause_seconds": "gauge",
+
+		"muaa_process_uptime_seconds":  "gauge",
+		"muaa_go_gc_last_unix_seconds": "gauge",
 	} {
 		if types[name] != typ {
 			t.Errorf("%s type = %q, want %q", name, types[name], typ)
@@ -81,5 +87,12 @@ func TestRegisterRuntimeMetrics(t *testing.T) {
 	}
 	if samples["go_heap_sys_bytes"] < samples["go_heap_alloc_bytes"] {
 		t.Errorf("heap sys %g < heap alloc %g", samples["go_heap_sys_bytes"], samples["go_heap_alloc_bytes"])
+	}
+	if v := samples["muaa_process_uptime_seconds"]; v < 0 || v > 3600 {
+		t.Errorf("muaa_process_uptime_seconds = %g, want a small non-negative value", v)
+	}
+	now := float64(time.Now().Unix())
+	if v := samples["muaa_go_gc_last_unix_seconds"]; v <= 0 || v > now+1 {
+		t.Errorf("muaa_go_gc_last_unix_seconds = %g, want in (0, %g]", v, now+1)
 	}
 }

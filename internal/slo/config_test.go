@@ -1,0 +1,174 @@
+package slo
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseConfigOn(t *testing.T) {
+	for _, s := range []string{"on", "ON", "default", "Default", " on "} {
+		cfg, err := ParseConfig(s)
+		if err != nil {
+			t.Fatalf("ParseConfig(%q) = %v", s, err)
+		}
+		if cfg != Default() {
+			t.Fatalf("ParseConfig(%q) = %+v, want Default()", s, cfg)
+		}
+	}
+}
+
+func TestParseConfigEveryKey(t *testing.T) {
+	cfg, err := ParseConfig("short=30,long=120,burn=0.5,clear=2,min-samples=4," +
+		"ratio-target=0.6,arrival-p99-ms=10,floor-max=25,wal-p99-ms=100," +
+		"escrow-open-max=1000,heap-max-mb=512,goroutines-max=2000")
+	if err != nil {
+		t.Fatalf("ParseConfig = %v", err)
+	}
+	want := Config{
+		Short: 30, Long: 120, Burn: 0.5, Clear: 2, MinSamples: 4,
+		RatioTarget: 0.6, ArrivalP99Ms: 10, FloorMax: 25, WalP99Ms: 100,
+		EscrowOpenMax: 1000, HeapMaxMB: 512, GoroutinesMax: 2000,
+	}
+	if cfg != want {
+		t.Fatalf("ParseConfig = %+v, want %+v", cfg, want)
+	}
+}
+
+func TestParseConfigErrors(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string // substring of the error
+	}{
+		{"", "empty"},
+		{"   ", "empty"},
+		{"short", "key=value"},
+		{"short=abc", "short"},
+		{"frobnicate=1", "unknown key"},
+		{"short=0", "short"}, // out of range
+		{"burn=0", "burn"},   // out of range
+		{"burn=2", "burn"},   // out of range
+		{"ratio-target=1.5", "ratio-target"},
+		{"short=120,long=60", "long"}, // long < short
+		{"clear=1.5", "integers"},
+		{"min-samples=2.5", "integers"},
+		{"clear=NaN", "clear"},
+	}
+	for _, c := range cases {
+		if _, err := ParseConfig(c.in); err == nil {
+			t.Errorf("ParseConfig(%q): want error containing %q, got nil", c.in, c.want)
+		} else if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("ParseConfig(%q) = %v, want error containing %q", c.in, err, c.want)
+		}
+	}
+}
+
+func TestConfigStringRoundTrips(t *testing.T) {
+	cfgs := []Config{Default()}
+	if custom, err := ParseConfig("ratio-target=0.9,short=15,goroutines-max=-1"); err != nil {
+		t.Fatal(err)
+	} else {
+		cfgs = append(cfgs, custom)
+	}
+	for _, cfg := range cfgs {
+		back, err := ParseConfig(cfg.String())
+		if err != nil {
+			t.Fatalf("ParseConfig(%q) = %v", cfg.String(), err)
+		}
+		if back != cfg {
+			t.Fatalf("round trip drift: %+v -> %q -> %+v", cfg, cfg.String(), back)
+		}
+	}
+}
+
+func TestConfigRules(t *testing.T) {
+	rules := Default().Rules()
+	byName := map[string]Rule{}
+	for _, r := range rules {
+		byName[r.Name] = r
+	}
+	// floor-max ships disabled; everything else is present.
+	for _, want := range []string{"arrival_p99", "ratio", "wal_fsync",
+		"escrow_open", "heap", "goroutines"} {
+		if _, ok := byName[want]; !ok {
+			t.Errorf("default rules missing %q", want)
+		}
+	}
+	if _, ok := byName["pacing_floor"]; ok {
+		t.Error("pacing_floor should ship disabled (floor-max=-1)")
+	}
+	if len(rules) != 6 {
+		t.Errorf("default rule count = %d, want 6", len(rules))
+	}
+
+	ratio := byName["ratio"]
+	if !ratio.Below || !ratio.SkipZero || ratio.Threshold != 0.75 ||
+		ratio.Series != "muaa_broker_empirical_ratio" {
+		t.Errorf("ratio rule = %+v", ratio)
+	}
+	arr := byName["arrival_p99"]
+	if arr.Below || arr.Threshold != 0.005 || arr.Series != "muaa_broker_arrival_seconds:p99" {
+		t.Errorf("arrival_p99 rule = %+v", arr)
+	}
+	if arr.Short != 60*time.Second || arr.Long != 300*time.Second ||
+		arr.Burn != 0.9 || arr.Clear != 3 || arr.MinSamples != 3 {
+		t.Errorf("shared window config not threaded: %+v", arr)
+	}
+
+	// Disabling every threshold leaves no rules.
+	off, err := ParseConfig("ratio-target=-1,arrival-p99-ms=-1,wal-p99-ms=-1," +
+		"escrow-open-max=-1,heap-max-mb=-1,goroutines-max=-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(off.Rules()); n != 0 {
+		t.Errorf("all-disabled config still has %d rules", n)
+	}
+
+	// Enabling the floor rule picks up its threshold.
+	on, err := ParseConfig("floor-max=10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range on.Rules() {
+		if r.Name == "pacing_floor" {
+			found = true
+			if r.Threshold != 10 || r.Below {
+				t.Errorf("pacing_floor rule = %+v", r)
+			}
+		}
+	}
+	if !found {
+		t.Error("floor-max=10 did not enable pacing_floor")
+	}
+}
+
+func FuzzSLOConfig(f *testing.F) {
+	f.Add("on")
+	f.Add("default")
+	f.Add("ratio-target=0.8,short=30,long=60")
+	f.Add("goroutines-max=-1,heap-max-mb=-1")
+	f.Add("burn=1,clear=1,min-samples=1")
+	f.Add(",,,")
+	f.Add("short=NaN")
+	f.Add("short=1e300,long=1e-300")
+	f.Add("floor-max=0")
+	f.Fuzz(func(t *testing.T, s string) {
+		cfg, err := ParseConfig(s)
+		if err != nil {
+			return
+		}
+		if verr := cfg.Validate(); verr != nil {
+			t.Fatalf("ParseConfig(%q) accepted invalid config: %v", s, verr)
+		}
+		back, err := ParseConfig(cfg.String())
+		if err != nil {
+			t.Fatalf("String() of accepted config does not reparse: %q: %v", cfg.String(), err)
+		}
+		if back != cfg {
+			t.Fatalf("round trip drift: %+v -> %q -> %+v", cfg, cfg.String(), back)
+		}
+		cfg.Rules() // must never panic
+	})
+}
