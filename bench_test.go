@@ -325,6 +325,36 @@ func BenchmarkBrokerSerialArrivalsTraced(b *testing.B) {
 	}
 }
 
+// BenchmarkBrokerSerialArrivalsFunnel replays the serial stream with
+// per-campaign decision-funnel attribution on: every gathered candidate's
+// disposition is recorded into the funnel registry at commit time. The
+// delta against BenchmarkBrokerSerialArrivals is the attribution tax, which
+// must stay within noise of free (a handful of atomic adds per arrival).
+func BenchmarkBrokerSerialArrivalsFunnel(b *testing.B) {
+	specs, ops, err := workload.BrokerLoad(workload.DefaultBrokerLoadConfig(256, 8192, 42))
+	if err != nil {
+		b.Fatal(err)
+	}
+	br, err := broker.New(broker.Config{
+		AdTypes: workload.DefaultAdTypes(),
+		Funnel:  broker.FunnelConfig{Enabled: true},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, c := range specs {
+		if _, err := br.RegisterCampaign(c.Loc, c.Radius, c.Budget, c.Tags); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := applyBrokerOp(br, ops[i%len(ops)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkBrokerSerialArrivalsWAL replays the same serial stream through a
 // durable broker (buffered group-commit WAL, default fsync-on-flush) — the
 // delta against BenchmarkBrokerSerialArrivals is the per-op durability

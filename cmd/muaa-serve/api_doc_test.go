@@ -34,6 +34,7 @@ func TestAPIDocCoversRoutes(t *testing.T) {
 	// and newDebugServer).
 	routes = append(routes,
 		"/v1/metrics", "/v1/healthz", "/v1/debug/traces", "/v1/debug/audit",
+		"/v1/debug/explain", "/v1/debug/campaigns/{id}/funnel",
 		"/debug/pprof/",
 	)
 	for _, route := range routes {

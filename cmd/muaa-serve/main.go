@@ -43,11 +43,20 @@
 // -debug-addr starts a second, separate listener exposing net/http/pprof
 // under /debug/pprof/, the flight recorder under /v1/debug/traces, the
 // live quality audit under /v1/debug/audit, the time-series retention ring
-// under /v1/debug/timeseries and the SLO watchdog under /v1/debug/slo —
-// opt-in and intended to stay on a loopback or otherwise private address;
-// the serving port never exposes profiling, traces, audits or history.
-// During WAL recovery every /v1/debug/* endpoint answers the same 503
-// `unavailable` envelope as the serving API.
+// under /v1/debug/timeseries, the SLO watchdog under /v1/debug/slo, the
+// read-only arrival explain-replay under POST /v1/debug/explain (wrapped by
+// cmd/muaa-explain) and per-campaign decision funnels under
+// GET /v1/debug/campaigns/{id}/funnel — opt-in and intended to stay on a
+// loopback or otherwise private address; the serving port never exposes
+// profiling, traces, audits or history. During WAL recovery every
+// /v1/debug/* endpoint answers the same 503 `unavailable` envelope as the
+// serving API.
+//
+// -funnel (default on) attributes every scan disposition to its campaign in
+// a bounded-cardinality registry — exact counters up to a cap, a
+// space-saving top-k sketch above it — exposed as muaa_funnel_* metrics and
+// the funnel endpoint; -funnel=false turns attribution off (the endpoint
+// then answers 404 funnel_disabled).
 //
 // A background sampler snapshots the whole metrics registry every
 // -sample-every (counter deltas become rates, gauges are stored as-is,
@@ -122,6 +131,7 @@ type serverOpts struct {
 	sampleEvery   time.Duration // time-series sampling cadence; 0 = 5s default, negative disables
 	sampleCap     int           // retention-ring points per series; 0 = 360 default
 	slo           string        // SLO watchdog spec ("" = off; see slo.ParseConfig)
+	funnel        bool          // per-campaign decision-funnel attribution
 }
 
 // app is the serving process: an HTTP server whose broker may still be
@@ -209,6 +219,7 @@ func newServer(o serverOpts, logger *slog.Logger) (*app, error) {
 		},
 		AuditWindow: o.auditWindow,
 		AuditEvery:  o.auditEvery,
+		Funnel:      broker.FunnelConfig{Enabled: o.funnel},
 	}
 	if o.controller != "" {
 		cc, err := pacing.ParseConfig(o.controller)
@@ -382,6 +393,10 @@ func (a *app) newDebugServer(addr string) *http.Server {
 		"SLO watchdog disabled; start muaa-serve with -slo (e.g. -slo on)",
 		"/v1/debug/slo", "/debug/slo")
 	mount(a.getOnly(a.serveDebugAudit), "", "", "/v1/debug/audit", "/debug/audit")
+	mount(http.HandlerFunc(a.serveDebugExplain), "", "",
+		"/v1/debug/explain", "/debug/explain")
+	mount(http.HandlerFunc(a.serveDebugFunnel), "", "",
+		"/v1/debug/campaigns/{id}/funnel", "/debug/campaigns/{id}/funnel")
 	return &http.Server{
 		Addr:              addr,
 		Handler:           mux,
@@ -450,6 +465,32 @@ func (a *app) serveDebugAudit(w http.ResponseWriter, r *http.Request) {
 	w.Write(out)
 }
 
+// serveDebugExplain runs the read-only explain-replay over a hypothetical
+// arrival (POST /v1/debug/explain, /v1/arrivals request schema). Method
+// dispatch, decoding and the error envelope live in the broker handler.
+func (a *app) serveDebugExplain(w http.ResponseWriter, r *http.Request) {
+	b := a.b.Load()
+	if b == nil {
+		w.Header().Set("Retry-After", "1")
+		broker.WriteError(w, http.StatusServiceUnavailable, "unavailable", "recovery in progress")
+		return
+	}
+	b.ServeExplain(w, r)
+}
+
+// serveDebugFunnel returns one campaign's decision-funnel counters
+// (GET /v1/debug/campaigns/{id}/funnel); 404 funnel_disabled when the broker
+// runs without -funnel.
+func (a *app) serveDebugFunnel(w http.ResponseWriter, r *http.Request) {
+	b := a.b.Load()
+	if b == nil {
+		w.Header().Set("Retry-After", "1")
+		broker.WriteError(w, http.StatusServiceUnavailable, "unavailable", "recovery in progress")
+		return
+	}
+	b.ServeCampaignFunnel(w, r)
+}
+
 // startDebug launches the debug listener in the background. A listener
 // error — the port already bound, the listener closed later — must not
 // take down the serving process: it degrades to a structured error log.
@@ -498,6 +539,7 @@ func main() {
 		sampleEv  = flag.Duration("sample-every", 5*time.Second, "time-series sampling cadence for /v1/debug/timeseries (negative disables the sampler)")
 		sampleCap = flag.Int("sample-capacity", 360, "retention-ring points kept per time series (memory ≈ 16 B × capacity × series)")
 		sloSpec   = flag.String("slo", "", "SLO burn-rate watchdog: \"on\" for defaults or \"k=v,...\" overrides (short, long, burn, clear, min-samples, ratio-target, arrival-p99-ms, floor-max, wal-p99-ms, escrow-open-max, heap-max-mb, goroutines-max); empty disables")
+		funnel    = flag.Bool("funnel", true, "per-campaign decision-funnel attribution: muaa_funnel_* metrics and GET /v1/debug/campaigns/{id}/funnel")
 		logLevel  = flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
 		version   = flag.Bool("version", false, "print version and exit")
 	)
@@ -527,6 +569,7 @@ func main() {
 		auditWindow: *auditWin, auditEvery: *auditEv, walRetain: *walRetain,
 		controller:  *pacingCtl,
 		sampleEvery: *sampleEv, sampleCap: *sampleCap, slo: *sloSpec,
+		funnel: *funnel,
 	}, logger)
 	if err != nil {
 		fatal("bad_config", err)

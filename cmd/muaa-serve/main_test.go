@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"log/slog"
 	"net"
 	"net/http"
@@ -12,6 +13,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"muaa/internal/geo"
 )
 
 // startServer binds an ephemeral port, serves on it in the background, and
@@ -630,14 +633,14 @@ func TestServeRestartPersistence(t *testing.T) {
 }
 
 // TestDebugEndpointsRecoveryGate pins satellite contract #3: EVERY
-// /v1/debug/* endpoint — traces, audit, timeseries, slo — answers the
-// uniform 503 `unavailable` envelope while WAL recovery is in progress,
-// and flips to serving once boot stores the API pointer.
+// /v1/debug/* endpoint — traces, audit, timeseries, slo, explain, funnel —
+// answers the uniform 503 `unavailable` envelope while WAL recovery is in
+// progress, and flips to serving once boot stores the API pointer.
 func TestDebugEndpointsRecoveryGate(t *testing.T) {
 	a, err := newServer(serverOpts{
 		addr: "127.0.0.1:0", dataDir: t.TempDir(),
 		traceCapacity: 16, auditWindow: 16, auditEvery: time.Hour,
-		slo: "on",
+		slo: "on", funnel: true,
 	}, nil)
 	if err != nil {
 		t.Fatal(err)
@@ -649,49 +652,105 @@ func TestDebugEndpointsRecoveryGate(t *testing.T) {
 	})
 	dbgBase := startDebugListener(t, a)
 
-	endpoints := []string{
-		"/v1/debug/traces", "/debug/traces",
-		"/v1/debug/audit", "/debug/audit",
-		"/v1/debug/timeseries", "/debug/timeseries",
-		"/v1/debug/slo", "/debug/slo",
+	const explainBody = `{"loc":{"x":0.5,"y":0.5},"capacity":1,"viewProb":0.5}`
+	endpoints := []struct {
+		method, path, body string
+	}{
+		{"GET", "/v1/debug/traces", ""}, {"GET", "/debug/traces", ""},
+		{"GET", "/v1/debug/audit", ""}, {"GET", "/debug/audit", ""},
+		{"GET", "/v1/debug/timeseries", ""}, {"GET", "/debug/timeseries", ""},
+		{"GET", "/v1/debug/slo", ""}, {"GET", "/debug/slo", ""},
+		{"POST", "/v1/debug/explain", explainBody}, {"POST", "/debug/explain", explainBody},
+		{"GET", "/v1/debug/campaigns/0/funnel", ""}, {"GET", "/debug/campaigns/0/funnel", ""},
 	}
-
-	// Broker not booted: the recovering window, held open deliberately.
-	for _, path := range endpoints {
-		resp, err := http.Get(dbgBase + path)
+	do := func(method, path, body string) *http.Response {
+		t.Helper()
+		var rd io.Reader
+		if body != "" {
+			rd = strings.NewReader(body)
+		}
+		req, err := http.NewRequest(method, dbgBase+path, rd)
 		if err != nil {
 			t.Fatal(err)
 		}
+		if body != "" {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	// Broker not booted: the recovering window, held open deliberately.
+	for _, ep := range endpoints {
+		resp := do(ep.method, ep.path, ep.body)
 		var env struct {
 			Error struct{ Code string } `json:"error"`
 		}
 		err = json.NewDecoder(resp.Body).Decode(&env)
 		resp.Body.Close()
 		if err != nil {
-			t.Fatalf("GET %s during recovery: decoding envelope: %v", path, err)
+			t.Fatalf("%s %s during recovery: decoding envelope: %v", ep.method, ep.path, err)
 		}
 		if resp.StatusCode != http.StatusServiceUnavailable || env.Error.Code != "unavailable" {
-			t.Fatalf("GET %s during recovery → %d %q, want 503 unavailable",
-				path, resp.StatusCode, env.Error.Code)
+			t.Fatalf("%s %s during recovery → %d %q, want 503 unavailable",
+				ep.method, ep.path, resp.StatusCode, env.Error.Code)
 		}
 		if resp.Header.Get("Retry-After") == "" {
-			t.Errorf("GET %s during recovery: missing Retry-After", path)
+			t.Errorf("%s %s during recovery: missing Retry-After", ep.method, ep.path)
 		}
 	}
 
-	// Recovery finishes: every endpoint flips to serving.
+	// Recovery finishes: every endpoint flips to serving. Campaign 0 must
+	// exist for the funnel route to answer 200 rather than 404.
 	if err := a.boot(); err != nil {
 		t.Fatal(err)
 	}
-	for _, path := range endpoints {
-		resp, err := http.Get(dbgBase + path)
-		if err != nil {
-			t.Fatal(err)
-		}
+	if _, err := a.b.Load().RegisterCampaign(geo.Point{X: 0.5, Y: 0.5}, 0.2, 25, []float64{1, 0, 0.2}); err != nil {
+		t.Fatal(err)
+	}
+	for _, ep := range endpoints {
+		resp := do(ep.method, ep.path, ep.body)
 		resp.Body.Close()
 		if resp.StatusCode != http.StatusOK {
-			t.Errorf("GET %s after recovery → %d, want 200", path, resp.StatusCode)
+			t.Errorf("%s %s after recovery → %d, want 200", ep.method, ep.path, resp.StatusCode)
 		}
+	}
+}
+
+// TestDebugFunnelDisabled404 pins the envelope when muaa-serve runs with
+// -funnel=false: the funnel route answers 404 funnel_disabled (not a bare
+// 404), while the explain route keeps working — explain replays the scan
+// directly and does not depend on funnel attribution.
+func TestDebugFunnelDisabled404(t *testing.T) {
+	_, a := startServerOpts(t, serverOpts{funnel: false})
+	dbgBase := startDebugListener(t, a)
+
+	resp, err := http.Get(dbgBase + "/v1/debug/campaigns/0/funnel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var env struct {
+		Error struct{ Code string } `json:"error"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&env)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusNotFound || env.Error.Code != "funnel_disabled" {
+		t.Fatalf("funnel route with -funnel=false → %d %q, want 404 funnel_disabled",
+			resp.StatusCode, env.Error.Code)
+	}
+
+	var rep struct {
+		Gathered int `json:"gathered"`
+	}
+	if code := postJSON(t, dbgBase+"/v1/debug/explain",
+		`{"loc":{"x":0.5,"y":0.5},"capacity":1,"viewProb":0.5}`, &rep); code != http.StatusOK {
+		t.Fatalf("POST /v1/debug/explain with -funnel=false → %d, want 200", code)
 	}
 }
 

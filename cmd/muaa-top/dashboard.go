@@ -205,6 +205,85 @@ func sparkline(vals []float64, width int) string {
 	return sb.String()
 }
 
+// funnelRow is one campaign's decision-funnel attribution, extracted from
+// the muaa_funnel_campaign_total samples (the broker's top-N heavy
+// hitters; see internal/broker/funnel.go).
+type funnelRow struct {
+	campaign string
+	gathered float64
+	offered  float64
+	// topGate is the non-offered disposition that disposed of the most
+	// gathered arrivals — the dominant reason this campaign is not serving.
+	topGate  string
+	topGateV float64
+}
+
+// funnelRows groups the funnel samples by campaign, sorted by gathered
+// descending (campaign id ascending as the tiebreak, matching the broker's
+// own top-N order). Empty when the funnel is disabled or never scraped.
+func funnelRows(samples map[string]float64) []funnelRow {
+	const prefix = `muaa_funnel_campaign_total{`
+	byCampaign := map[string]map[string]float64{}
+	for k, v := range samples {
+		if !strings.HasPrefix(k, prefix) {
+			continue
+		}
+		var campaign, disp string
+		for _, part := range strings.Split(strings.TrimSuffix(strings.TrimPrefix(k, prefix), "}"), ",") {
+			kv := strings.SplitN(part, "=", 2)
+			if len(kv) != 2 {
+				continue
+			}
+			// Campaign ids are numeric and dispositions are fixed idents, so
+			// plain quote-trimming is enough here (no escapes to unwind).
+			val := strings.Trim(kv[1], `"`)
+			switch kv[0] {
+			case "campaign":
+				campaign = val
+			case "disposition":
+				disp = val
+			}
+		}
+		if campaign == "" || disp == "" {
+			continue
+		}
+		m, ok := byCampaign[campaign]
+		if !ok {
+			m = map[string]float64{}
+			byCampaign[campaign] = m
+		}
+		m[disp] = v
+	}
+	rows := make([]funnelRow, 0, len(byCampaign))
+	for campaign, dispositions := range byCampaign {
+		row := funnelRow{campaign: campaign}
+		for disp, v := range dispositions {
+			switch disp {
+			case "gathered":
+				row.gathered = v
+			case "offered":
+				row.offered = v
+			default:
+				if v > row.topGateV || (v == row.topGateV && v > 0 && disp < row.topGate) {
+					row.topGate, row.topGateV = disp, v
+				}
+			}
+		}
+		rows = append(rows, row)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].gathered != rows[j].gathered {
+			return rows[i].gathered > rows[j].gathered
+		}
+		// Numeric-aware id order so "10" sorts after "9".
+		if len(rows[i].campaign) != len(rows[j].campaign) {
+			return len(rows[i].campaign) < len(rows[j].campaign)
+		}
+		return rows[i].campaign < rows[j].campaign
+	})
+	return rows
+}
+
 // client fetches one snapshot from the two ports.
 type client struct {
 	base      string // serving port, e.g. http://127.0.0.1:8080
@@ -441,6 +520,30 @@ func (m *model) render(w io.Writer, base string, color bool) {
 			st.BudgetSpent, st.EscrowHeld, fmtVal(m.gauge("muaa_billing_escrow_open"), "%.0f"))
 		fmt.Fprintf(w, "  conversions %d   conversion revenue %.2f\n",
 			st.Conversions, st.ConversionRevenue)
+	}
+
+	if rows := funnelRows(s.samples); len(rows) > 0 {
+		fmt.Fprintf(w, "\n%sFUNNEL%s  (top campaigns by gathered; gate = dominant rejection)\n", p.bold, p.reset)
+		const maxRows = 8
+		shown := rows
+		if len(shown) > maxRows {
+			shown = shown[:maxRows]
+		}
+		for _, r := range shown {
+			rate := math.NaN()
+			if r.gathered > 0 {
+				rate = r.offered / r.gathered
+			}
+			gate := ""
+			if r.topGateV > 0 {
+				gate = fmt.Sprintf("  %s %.0f", r.topGate, r.topGateV)
+			}
+			fmt.Fprintf(w, "  campaign %-8s gathered %8.0f  offered %8.0f  rate %s%s\n",
+				r.campaign, r.gathered, r.offered, fmtVal(rate, "%.3f"), gate)
+		}
+		if len(rows) > maxRows {
+			fmt.Fprintf(w, "  %s… %d more campaigns%s\n", p.dim, len(rows)-maxRows, p.reset)
+		}
 	}
 
 	fmt.Fprintf(w, "\n%sRUNTIME%s\n", p.bold, p.reset)

@@ -104,6 +104,41 @@ func TestRingWindow(t *testing.T) {
 	}
 }
 
+// TestFunnelRows: grouping, gathered-descending order, and dominant-gate
+// extraction from raw sample keys.
+func TestFunnelRows(t *testing.T) {
+	rows := funnelRows(map[string]float64{
+		`muaa_funnel_campaign_total{campaign="9",disposition="gathered"}`:        30,
+		`muaa_funnel_campaign_total{campaign="9",disposition="offered"}`:         5,
+		`muaa_funnel_campaign_total{campaign="9",disposition="unaffordable"}`:    25,
+		`muaa_funnel_campaign_total{campaign="10",disposition="gathered"}`:       80,
+		`muaa_funnel_campaign_total{campaign="10",disposition="offered"}`:        80,
+		`muaa_funnel_campaign_total{campaign="2",disposition="gathered"}`:        30,
+		`muaa_funnel_campaign_total{campaign="2",disposition="below_threshold"}`: 20,
+		`muaa_funnel_campaign_total{campaign="2",disposition="tag_mismatch"}`:    10,
+		`muaa_other_metric{campaign="1"}`:                                        99,
+	})
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3: %+v", len(rows), rows)
+	}
+	if rows[0].campaign != "10" || rows[0].gathered != 80 || rows[0].offered != 80 {
+		t.Errorf("row 0 = %+v, want campaign 10 gathered 80 offered 80", rows[0])
+	}
+	// Equal gathered ties break on numeric-aware campaign id order.
+	if rows[1].campaign != "2" || rows[2].campaign != "9" {
+		t.Errorf("tie order = %s, %s, want 2, 9", rows[1].campaign, rows[2].campaign)
+	}
+	if rows[1].topGate != "below_threshold" || rows[1].topGateV != 20 {
+		t.Errorf("row 1 gate = %s %g, want below_threshold 20", rows[1].topGate, rows[1].topGateV)
+	}
+	if rows[2].topGate != "unaffordable" || rows[2].topGateV != 25 {
+		t.Errorf("row 2 gate = %s %g, want unaffordable 25", rows[2].topGate, rows[2].topGateV)
+	}
+	if got := funnelRows(map[string]float64{"muaa_broker_arrivals_total": 1}); len(got) != 0 {
+		t.Errorf("no funnel samples should yield no rows, got %+v", got)
+	}
+}
+
 // fakeServe builds httptest servers that mimic the serving and debug ports.
 // The metrics handler honors the ?name= prefix filter the way obs does, and
 // arrivalsTotal lets tests advance the counters between polls.
@@ -121,6 +156,11 @@ muaa_broker_empirical_ratio 0.91
 muaa_pacing_boost 1.25
 muaa_process_uptime_seconds 42
 muaa_obs_series 12
+muaa_funnel_campaign_total{campaign="7",disposition="gathered"} 100
+muaa_funnel_campaign_total{campaign="7",disposition="offered"} 40
+muaa_funnel_campaign_total{campaign="7",disposition="below_threshold"} 60
+muaa_funnel_campaign_total{campaign="3",disposition="gathered"} 20
+muaa_funnel_campaign_total{campaign="3",disposition="offered"} 20
 go_goroutines 17
 go_heap_alloc_bytes 1048576
 `, *arrivals, 2*(*arrivals), *arrivals, *arrivals)
@@ -185,10 +225,11 @@ func TestDashboardEndToEnd(t *testing.T) {
 	out := buf.String()
 
 	for _, want := range []string{
-		"muaa-top", "THROUGHPUT", "LATENCY", "ALGORITHM", "BILLING", "RUNTIME", "SLO",
+		"muaa-top", "THROUGHPUT", "LATENCY", "ALGORITHM", "BILLING", "FUNNEL", "RUNTIME", "SLO",
 		"arrivals/s", "50.0", // (150-100)/1s
 		"ratio", "0.910",
 		"campaigns 3",
+		"below_threshold 60", "rate 0.400",
 		"1 FIRING", "goroutines", "FIRING", "WARMUP", "fired 1",
 	} {
 		if !strings.Contains(out, want) {

@@ -61,6 +61,12 @@ type scanArena struct {
 	// cands accumulates admitted offers awaiting capacity trim and commit.
 	cands []candidate
 
+	// fev accumulates per-candidate funnel dispositions for the post-scan
+	// registry fold (see funnel.go); empty unless the broker's funnel is
+	// enabled. Retained at high-water capacity like every other arena slice,
+	// so attribution adds no steady-state allocations.
+	fev []funnelEvent
+
 	// Reused model views handed to the preference scorer, plus the Pearson
 	// weights scratch (see model.PearsonPreference.ScoreScratch).
 	customer model.Customer
@@ -76,6 +82,10 @@ type scanArena struct {
 	classCand  []int32
 	classItem0 []int32
 	reps       []slateRep
+
+	// classWon marks the MCKP classes granted a slot by the solver, for
+	// funnel offered/displaced attribution (slate slots path only).
+	classWon []bool
 }
 
 // scanTally counts how the scan disposed of each candidate, plus the number
@@ -83,6 +93,9 @@ type scanArena struct {
 // counters (and the trace's ScanCounts) after the scan so the loop body
 // stays branch-light.
 type scanTally struct {
+	// gathered is the candidate count the grid probes returned — the top of
+	// the decision funnel; the disposition fields partition it.
+	gathered                                                                     uint64
 	offered, paused, exhausted, mismatch, lowScore, unaffordable, belowThreshold uint64
 	// belowReserve counts candidates every affordable bid of which fell below
 	// the campaign's reserve price (slate path only).
@@ -92,6 +105,7 @@ type scanTally struct {
 
 // add folds another tally into t (batch aggregation).
 func (t *scanTally) add(o scanTally) {
+	t.gathered += o.gathered
 	t.offered += o.offered
 	t.paused += o.paused
 	t.exhausted += o.exhausted
@@ -106,6 +120,8 @@ func (t *scanTally) add(o scanTally) {
 // counts converts the tally to the trace view.
 func (t *scanTally) counts() trace.ScanCounts {
 	return trace.ScanCounts{
+		Gathered:       t.gathered,
+		Displaced:      t.trimmed,
 		Offered:        t.offered,
 		Paused:         t.paused,
 		Exhausted:      t.exhausted,
@@ -137,6 +153,13 @@ func (b *Broker) gatherCandidates(ar *scanArena, loc geo.Point, s0, s1 int) []*c
 // that produced ar.ids.
 func (b *Broker) scanCandidates(ar *scanArena, a *Arrival, dir []*campaign, boost float64) scanTally {
 	var tally scanTally
+	tally.gathered = uint64(len(ar.ids))
+	// rec gates funnel attribution: one branch per disposition when enabled,
+	// one nil check when not. Events partition ar.ids — every gathered id
+	// lands in exactly one bucket (the conservation invariant pinned by
+	// TestFunnelConservationSoak).
+	rec := b.funnel != nil
+	ar.fev = ar.fev[:0]
 	cu := &ar.customer
 	*cu = model.Customer{Loc: a.Loc, Capacity: a.Capacity, ViewProb: a.ViewProb,
 		Interests: a.Interests, Arrival: a.Hour}
@@ -154,15 +177,24 @@ func (b *Broker) scanCandidates(ar *scanArena, a *Arrival, dir []*campaign, boos
 		c := dir[id]
 		if c.paused.Load() {
 			tally.paused++
+			if rec {
+				ar.fev = append(ar.fev, funnelEvent{id: id, disp: dispPaused})
+			}
 			continue
 		}
 		budget := c.budget.Load()
 		if budget <= 0 {
 			tally.exhausted++
+			if rec {
+				ar.fev = append(ar.fev, funnelEvent{id: id, disp: dispExhausted})
+			}
 			continue
 		}
 		if b.vectorPref && len(c.tags) != len(a.Interests) {
 			tally.mismatch++
+			if rec {
+				ar.fev = append(ar.fev, funnelEvent{id: id, disp: dispTagMismatch})
+			}
 			continue // mismatched taxonomies: preference undefined, not served
 		}
 		spent := c.spent.Load()
@@ -177,6 +209,9 @@ func (b *Broker) scanCandidates(ar *scanArena, a *Arrival, dir []*campaign, boos
 		}
 		if s <= 0 || math.IsNaN(s) {
 			tally.lowScore++
+			if rec {
+				ar.fev = append(ar.fev, funnelEvent{id: id, disp: dispLowScore})
+			}
 			continue
 		}
 		if s > 1 {
@@ -261,15 +296,25 @@ func (b *Broker) scanCandidates(ar *scanArena, a *Arrival, dir []*campaign, boos
 			})
 		case affordable:
 			tally.belowThreshold++
+			if rec {
+				ar.fev = append(ar.fev, funnelEvent{id: c.id, disp: dispBelowThreshold})
+			}
 		case ar.headroom[i] < b.minAdCost:
 			// Not even the cheapest ad fits the unspent budget: the
 			// campaign is spent out until a top-up.
 			tally.exhausted++
+			if rec {
+				ar.fev = append(ar.fev, funnelEvent{id: c.id, disp: dispExhausted})
+			}
 		default:
 			// Unspent budget exists but the pacing allowance withheld it.
 			tally.unaffordable++
+			if rec {
+				ar.fev = append(ar.fev, funnelEvent{id: c.id, disp: dispUnaffordable})
+			}
 		}
 	}
+	nAdmitted := len(ar.cands)
 	if len(ar.cands) > a.Capacity {
 		// Total order (efficiency desc, campaign asc; campaigns are unique),
 		// so every sort algorithm yields the same trimmed set and order.
@@ -290,6 +335,17 @@ func (b *Broker) scanCandidates(ar *scanArena, a *Arrival, dir []*campaign, boos
 		})
 		tally.trimmed = uint64(len(ar.cands) - a.Capacity)
 		ar.cands = ar.cands[:a.Capacity]
+	}
+	if rec {
+		// Admitted candidates resolve only after the trim: the survivors were
+		// offered, the overflow (still live in the backing array past the
+		// truncated length) was displaced by the slot race.
+		for i := range ar.cands {
+			ar.fev = append(ar.fev, funnelEvent{id: ar.cands[i].Campaign, disp: dispOffered})
+		}
+		for _, cd := range ar.cands[len(ar.cands):nAdmitted] {
+			ar.fev = append(ar.fev, funnelEvent{id: cd.Campaign, disp: dispDisplaced})
+		}
 	}
 	return tally
 }

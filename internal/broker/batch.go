@@ -265,6 +265,11 @@ func (b *Broker) arriveBatch(batch []Arrival, t *trace.Trace) []BatchResult {
 			tally = b.scanCandidates(ar, a, dir, boost)
 		}
 		agg.add(tally)
+		if b.funnel != nil {
+			// Fold per arrival: the arena's event slice is rebuilt by every
+			// scan, so attribution must land before the next arrival reuses it.
+			b.funnel.fold(ar)
+		}
 		n0 := len(offers)
 		if len(ar.cands) > 0 {
 			if slate {

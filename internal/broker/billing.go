@@ -4,6 +4,7 @@ import (
 	"errors"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"muaa/internal/model"
 	"muaa/internal/obs"
@@ -25,10 +26,14 @@ var (
 const defaultMaxOpen = 65536
 
 // openOffer is one escrowed CPC/CPA offer awaiting its conversion event.
+// born is wall-clock bookkeeping for the oldest-age gauge only — it is not
+// serialized, so recovery stamps restart time and ages reset (documented in
+// the billing gauge table).
 type openOffer struct {
 	campaign int32
 	model    model.BillingModel
 	hold     float64
+	born     time.Time
 }
 
 // billingState is the broker's escrow/auction sidecar. It is always
@@ -53,7 +58,10 @@ type billingState struct {
 	open      map[uint64]openOffer
 	nextID    uint64
 	evictNext uint64
-	maxOpen   int
+	// oldestNext is the oldest-age gauge's monotone scan cursor (see
+	// oldestOpenAge); always ≥ evictNext after a scrape.
+	oldestNext uint64
+	maxOpen    int
 	// idem is the window of consumed idempotency keys, bounded FIFO via
 	// idemQ with an amortized-compaction head index.
 	idem     map[string]struct{}
@@ -89,9 +97,32 @@ func newBillingState(maxOpen int) *billingState {
 func (bl *billingState) holdLocked(c *campaign, m model.BillingModel, hold float64) uint64 {
 	id := bl.nextID
 	bl.nextID++
-	bl.open[id] = openOffer{campaign: c.id, model: m, hold: hold}
+	bl.open[id] = openOffer{campaign: c.id, model: m, hold: hold, born: time.Now()}
 	bl.openCount.Add(1)
 	return id
+}
+
+// oldestOpenAge returns the age of the oldest open escrowed offer, zero when
+// the table is empty. IDs are issued monotonically, so the oldest open offer
+// is the lowest live ID at or past the eviction cursor: oldestNext trails it
+// monotonically (like evictNext) and each scrape resumes where the last
+// stopped, amortized O(1) per issued ID across the broker's lifetime.
+func (bl *billingState) oldestOpenAge(now time.Time) float64 {
+	bl.mu.Lock()
+	defer bl.mu.Unlock()
+	if len(bl.open) == 0 {
+		bl.oldestNext = bl.nextID
+		return 0
+	}
+	if bl.oldestNext < bl.evictNext {
+		bl.oldestNext = bl.evictNext
+	}
+	for {
+		if o, ok := bl.open[bl.oldestNext]; ok {
+			return now.Sub(o.born).Seconds()
+		}
+		bl.oldestNext++
+	}
 }
 
 // evictLocked expires the oldest open offers until the table is within
@@ -218,6 +249,9 @@ func registerBillingMetrics(reg *obs.Registry, bl *billingState) {
 	reg.NewGaugeFunc("muaa_billing_escrow_open",
 		"Open (unconverted, unexpired) escrowed offers.",
 		func() float64 { return float64(bl.openCount.Load()) })
+	reg.NewGaugeFunc("muaa_billing_escrow_oldest_age_seconds",
+		"Age of the oldest open escrowed offer (0 when none are open); rising steadily means holds are not converting and will expire.",
+		func() float64 { return bl.oldestOpenAge(time.Now()) })
 	reg.NewCounterFunc("muaa_billing_escrow_released_total",
 		"Escrow holds expired without conversion (budget released).",
 		func() float64 { return bl.released.Load() })

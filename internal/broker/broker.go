@@ -110,6 +110,12 @@ type Config struct {
 	// would exceed the bound, the oldest open offer is expired and its hold
 	// released back to the campaign. Zero selects 65536.
 	MaxOpenOffers int
+	// Funnel configures per-campaign decision-funnel attribution (see
+	// funnel.go): with Funnel.Enabled every scan records which gate disposed
+	// of each gathered candidate into a bounded-cardinality registry, exposed
+	// as muaa_funnel_* metrics and CampaignFunnel/FunnelTop. Observation-only
+	// and allocation-free on the hot path; the zero value disables it.
+	Funnel FunnelConfig
 }
 
 // Campaign is the live state of one vendor's campaign.
@@ -276,6 +282,10 @@ type Broker struct {
 	// a non-fixed contract registers; arrivals check it once, after their
 	// stripe locks are held, to pick the scan path.
 	billing *billingState
+
+	// funnel is nil unless Config.Funnel.Enabled; set once in newMemory and
+	// read-only afterwards, so the scan gates attribution on one nil check.
+	funnel *funnelRegistry
 }
 
 // New creates a broker. With cfg.DataDir set it is durable: state is
@@ -365,6 +375,11 @@ func newMemory(cfg Config) (*Broker, error) {
 	}
 	if cfg.AuditWindow > 0 {
 		b.audit = newAuditState(cfg.AuditWindow, cfg.AuditEvery)
+	}
+	if cfg.Funnel.Enabled {
+		// Built before the metrics registry hookup: newBrokerMetrics registers
+		// the muaa_funnel_* families only when the funnel exists.
+		b.funnel = newFunnelRegistry(cfg.Funnel)
 	}
 	if cfg.Metrics != nil {
 		b.metrics = newBrokerMetrics(cfg.Metrics, b)
@@ -771,6 +786,11 @@ func (b *Broker) arrive(dst []Offer, a Arrival, t *trace.Trace) ([]Offer, error)
 		tally = b.scanSlate(ar, &a, dir, boost)
 	} else {
 		tally = b.scanCandidates(ar, &a, dir, boost)
+	}
+	if b.funnel != nil {
+		// Fold the scan's attribution events while the stripe locks still own
+		// the arena (the event slice is arena scratch).
+		b.funnel.fold(ar)
 	}
 	if timed {
 		el := time.Since(tStart)

@@ -21,6 +21,16 @@ var updateGolden = flag.Bool("update", false, "rewrite the determinism golden fi
 // transcript iff their admission decisions are bit-identical.
 func replayTranscript(t *testing.T, cfg Config, campaigns int, ops int, seed int64) string {
 	t.Helper()
+	return replayTranscriptVia(t, cfg, campaigns, ops, seed,
+		func(b *Broker) func(Arrival) ([]Offer, error) { return b.Arrive })
+}
+
+// replayTranscriptVia is replayTranscript with the arrival entry point
+// injected (given the built broker), so the explain-interleaving test can
+// wrap Arrive while replaying the identical stream.
+func replayTranscriptVia(t *testing.T, cfg Config, campaigns int, ops int, seed int64,
+	arriveOf func(*Broker) func(Arrival) ([]Offer, error)) string {
+	t.Helper()
 	b, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -29,6 +39,7 @@ func replayTranscript(t *testing.T, cfg Config, campaigns int, ops int, seed int
 	if err != nil {
 		t.Fatal(err)
 	}
+	arrive := arriveOf(b)
 	var sb strings.Builder
 	for _, c := range specs {
 		id, err := b.RegisterCampaign(c.Loc, c.Radius, c.Budget, c.Tags)
@@ -38,7 +49,7 @@ func replayTranscript(t *testing.T, cfg Config, campaigns int, ops int, seed int
 		writeRegisterLine(&sb, id, c)
 	}
 	for i, op := range stream {
-		applyTranscriptOp(t, b, &sb, i, op)
+		applyTranscriptOpVia(t, b, &sb, i, op, arrive)
 	}
 	writeFinalLines(&sb, b)
 	return sb.String()

@@ -625,7 +625,9 @@ func (b *Broker) applyArrivalSlate(gammaMin, gammaMax float64, offers []Offer) e
 		}
 		if o.Hold > 0 {
 			bl.mu.Lock()
-			bl.open[o.ID] = openOffer{campaign: o.Campaign, model: o.Model, hold: o.Hold}
+			// born is stamped at recovery time — it is not serialized, so the
+			// oldest-age gauge measures age since restart for recovered holds.
+			bl.open[o.ID] = openOffer{campaign: o.Campaign, model: o.Model, hold: o.Hold, born: time.Now()}
 			if o.ID >= bl.nextID {
 				bl.nextID = o.ID + 1
 			}
@@ -834,9 +836,10 @@ func (b *Broker) applySnapshot(data []byte) error {
 		for m := range bl.revenue {
 			bl.revenue[m].bits.Store(sb.RevenueBits[m])
 		}
+		born := time.Now() // see openOffer.born: ages reset across restart
 		for i := range sb.Open {
 			e := &sb.Open[i]
-			bl.open[e.ID] = openOffer{campaign: e.Campaign, model: e.Model, hold: e.Hold}
+			bl.open[e.ID] = openOffer{campaign: e.Campaign, model: e.Model, hold: e.Hold, born: born}
 		}
 		bl.openCount.Store(int64(len(sb.Open)))
 		for _, k := range sb.IdemKeys {

@@ -1,0 +1,695 @@
+package broker
+
+// Explain-replay: "why did (or didn't) this arrival get these offers?"
+//
+// Explain runs the real decision pipeline — the same gather, the same filter
+// sequence, the same sequential O-AFA threshold walk, the same slate auction
+// when billing is active — over a hypothetical arrival, under the covering
+// stripe locks, and returns the full per-candidate breakdown instead of
+// committing anything. Nothing observable changes: no spend, no WAL record,
+// no arrivals counter, no funnel attribution, and crucially no γ
+// observations — the walk's feed-forward γ updates run against a local
+// simulation seeded from the live bounds, so the predicted thresholds are
+// exactly what an immediately-following Arrive would compute, while the live
+// bounds stay untouched. Read-only-ness is pinned by the golden replay
+// transcripts with explain calls interleaved
+// (TestReplayMatchesGoldenExplainInterleaved).
+//
+// Explain allocates freely (fresh slices per call, never the stripe arena):
+// it is a debug endpoint, not the hot path, and borrowing the arena would
+// couple its high-water marks to diagnostic traffic.
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"slices"
+
+	"muaa/internal/geo"
+	"muaa/internal/knapsack"
+	"muaa/internal/model"
+)
+
+// ExplainReport is the full decision breakdown for one hypothetical arrival.
+type ExplainReport struct {
+	// Slate reports which scan path ran: the MCKP slate auction (billing
+	// active or Config.Slate) or the legacy per-candidate scan.
+	Slate bool `json:"slate"`
+	// Boost is the pacing controller's threshold multiplier the scan applied
+	// (1 without a controller).
+	Boost float64 `json:"boost"`
+	// GammaMin/GammaMax are the live γ bounds at entry (zeros before the
+	// first observation, as Stats reports them) and G the threshold base in
+	// effect at entry — configured, or derived from the bounds.
+	GammaMin float64 `json:"gamma_min"`
+	GammaMax float64 `json:"gamma_max"`
+	G        float64 `json:"g"`
+	// StripeLo/StripeHi are the stripe interval the arrival would lock.
+	StripeLo int `json:"stripe_lo"`
+	StripeHi int `json:"stripe_hi"`
+	// Gathered is the candidate count the grid probes returned; Offered how
+	// many offers the arrival would receive.
+	Gathered int `json:"gathered"`
+	Offered  int `json:"offered"`
+	// Candidates carries one entry per gathered candidate, in scan order.
+	Candidates []ExplainCandidate `json:"candidates"`
+}
+
+// ExplainCandidate is the decision breakdown for one gathered campaign.
+type ExplainCandidate struct {
+	Campaign int32 `json:"campaign"`
+	// Disposition is the funnel bucket the candidate would land in (see
+	// dispositionNames): offered, paused, exhausted, tag_mismatch, low_score,
+	// unaffordable, below_threshold, below_reserve, displaced_by_slate.
+	Disposition string `json:"disposition"`
+
+	// Scoring terms, present once the candidate passes the cheap filters.
+	Distance float64 `json:"distance,omitempty"`
+	Score    float64 `json:"score,omitempty"`
+	Delta    float64 `json:"delta,omitempty"`
+	// Relief marks a guaranteed campaign behind its pro-rated floor (its
+	// threshold was scaled by the relief factor).
+	Relief bool `json:"relief,omitempty"`
+	// Threshold is φ(δ) as this candidate saw it: pacing boost and guarantee
+	// relief applied, γ feed-forward from every earlier candidate included.
+	Threshold float64 `json:"threshold"`
+	// Base is the Eq. 4 per-effect value (viewProb × score / distance).
+	Base float64 `json:"base,omitempty"`
+	// Remaining is the spendable budget after pacing caps (and escrow on the
+	// slate path); Headroom the raw unspent budget; Escrow the budget held
+	// against open offers (slate path only).
+	Remaining float64 `json:"remaining,omitempty"`
+	Headroom  float64 `json:"headroom,omitempty"`
+	Escrow    float64 `json:"escrow,omitempty"`
+
+	// Bids is the per-ad-type breakdown of the threshold walk.
+	Bids []ExplainBid `json:"bids,omitempty"`
+	// Offer is the offer this candidate would win, when Disposition is
+	// "offered". No offer ID is assigned — nothing is committed.
+	Offer *ExplainOffer `json:"offer,omitempty"`
+}
+
+// ExplainBid is one (candidate, ad-type) evaluation in the threshold walk.
+type ExplainBid struct {
+	AdType int     `json:"ad_type"`
+	Name   string  `json:"name"`
+	Cost   float64 `json:"cost"`
+	// Affordable: the catalog cost fits the spendable budget.
+	Affordable bool `json:"affordable"`
+	// BidECPM and AboveReserve appear on the slate path only: the campaign's
+	// eCPM-normalized bid and whether it cleared its own reserve.
+	BidECPM      float64 `json:"bid_ecpm,omitempty"`
+	AboveReserve bool    `json:"above_reserve,omitempty"`
+	// Utility and Efficiency are the admission currency (efficiency divides
+	// by expected cost on the slate path).
+	Utility    float64 `json:"utility,omitempty"`
+	Efficiency float64 `json:"efficiency,omitempty"`
+	// Admitted: efficiency met the threshold. Chosen: this ad type was the
+	// candidate's best admitted pick.
+	Admitted bool `json:"admitted,omitempty"`
+	Chosen   bool `json:"chosen,omitempty"`
+}
+
+// ExplainOffer is the offer a winning candidate would receive.
+type ExplainOffer struct {
+	AdType     int     `json:"ad_type"`
+	Name       string  `json:"name"`
+	Utility    float64 `json:"utility"`
+	Efficiency float64 `json:"efficiency"`
+	// Cost is the immediate charge (catalog cost, or the second-priced CPM
+	// charge); ChargeECPM/Hold/Model mirror the committed Offer's auction
+	// fields for billed campaigns.
+	Cost       float64 `json:"cost"`
+	ChargeECPM float64 `json:"charge_ecpm,omitempty"`
+	Hold       float64 `json:"hold,omitempty"`
+	Model      string  `json:"model,omitempty"`
+	// Slot is the slate position (0-based); -1 on the legacy path before the
+	// capacity trim orders survivors.
+	Slot int `json:"slot"`
+}
+
+// gammaSim simulates the broker's γ bounds and adaptive threshold locally:
+// seeded from the live atomics, observed into plain fields. The arithmetic
+// mirrors observeEfficiency and threshold exactly, so within one explain the
+// feed-forward sequence is bit-identical to what the real scan would compute
+// — without a single store to the shared bounds.
+type gammaSim struct {
+	gmin, gmax float64
+	cfgG       float64
+}
+
+func (b *Broker) newGammaSim() gammaSim {
+	return gammaSim{gmin: b.gammaMin.Load(), gmax: b.gammaMax.Load(), cfgG: b.cfg.G}
+}
+
+// observe mirrors Broker.observeEfficiency.
+func (s *gammaSim) observe(eff float64) {
+	if eff <= 0 || math.IsNaN(eff) || math.IsInf(eff, 0) {
+		return
+	}
+	if eff < s.gmin {
+		s.gmin = eff
+	}
+	if eff > s.gmax {
+		s.gmax = eff
+	}
+}
+
+// threshold mirrors Broker.threshold against the simulated bounds.
+func (s *gammaSim) threshold(delta float64) float64 {
+	if s.gmax == 0 {
+		return 0
+	}
+	g := s.cfgG
+	if g == 0 {
+		g = 2 * math.E
+		if s.gmax > s.gmin {
+			g = math.E * s.gmax / s.gmin
+			if g < 2*math.E {
+				g = 2 * math.E
+			}
+			if g > 1e9 {
+				g = 1e9
+			}
+		}
+	}
+	return s.gmin / math.E * math.Pow(g, delta)
+}
+
+// explainScratch is one candidate's pass-A terms awaiting the walk.
+type explainScratch struct {
+	c         *campaign
+	ci        int // index into report.Candidates
+	base      float64
+	delta     float64
+	remaining float64
+	headroom  float64
+	relief    bool
+}
+
+// explainPick is one admitted candidate awaiting slot resolution.
+type explainPick struct {
+	ci         int // index into report.Candidates
+	c          *campaign
+	k          int
+	util, eff  float64
+	bid        float64
+	campaignID int32
+}
+
+// Explain runs the decision pipeline read-only over a hypothetical arrival
+// and returns the per-candidate breakdown. Validation matches Arrive;
+// capacity 0 returns an empty report (Arrive would only count the arrival).
+func (b *Broker) Explain(a Arrival) (*ExplainReport, error) {
+	if a.Capacity < 0 {
+		return nil, fmt.Errorf("broker: capacity %d", a.Capacity)
+	}
+	if a.ViewProb < 0 || a.ViewProb > 1 || math.IsNaN(a.ViewProb) {
+		return nil, fmt.Errorf("broker: view probability %g", a.ViewProb)
+	}
+	rep := &ExplainReport{Boost: 1, Candidates: []ExplainCandidate{}}
+	if a.Capacity == 0 {
+		return rep, nil
+	}
+
+	// Lock the same covering stripe interval an arrival would, in the same
+	// ascending order, so explain serializes against live traffic exactly
+	// like a real arrival — the breakdown is a consistent snapshot.
+	maxR := b.maxRadius.Load()
+	s0, s1 := b.stripes.Range(a.Loc.Y-maxR, a.Loc.Y+maxR)
+	for i := s0; i <= s1; i++ {
+		b.shards[i].mu.Lock()
+	}
+	defer func() {
+		for i := s1; i >= s0; i-- {
+			b.shards[i].mu.Unlock()
+		}
+	}()
+	rep.StripeLo, rep.StripeHi = s0, s1
+
+	slate := b.cfg.Slate || b.billing.active.Load()
+	rep.Slate = slate
+
+	// Gather into fresh slices (never the stripe arena — see the file
+	// comment), same probes, same ascending sort.
+	var ids []int32
+	for i := s0; i <= s1; i++ {
+		ids = b.shards[i].grid.CoveredBy(ids, a.Loc)
+	}
+	slices.Sort(ids)
+	dir := *b.dir.Load()
+	rep.Gathered = len(ids)
+
+	if b.controller != nil {
+		rep.Boost = b.phiBoost.Load()
+	}
+	sim := b.newGammaSim()
+	// Report the entry bounds the way Stats does (zeros until seen).
+	if sim.gmax != 0 {
+		rep.GammaMin, rep.GammaMax = sim.gmin, sim.gmax
+	}
+	rep.G = sim.cfgG
+	if rep.G == 0 && sim.gmax > sim.gmin && sim.gmax > 0 {
+		rep.G = math.E * sim.gmax / sim.gmin
+	}
+
+	// Pass A: the exact filter sequence of scanCandidates/scanSlate pass A,
+	// recording every disposition into the report instead of a tally.
+	cu := model.Customer{Loc: a.Loc, Capacity: a.Capacity, ViewProb: a.ViewProb,
+		Interests: a.Interests, Arrival: a.Hour}
+	var ve model.Vendor
+	var weights []float64
+	var live []explainScratch
+	for _, id := range ids {
+		c := dir[id]
+		rep.Candidates = append(rep.Candidates, ExplainCandidate{Campaign: id})
+		ec := &rep.Candidates[len(rep.Candidates)-1]
+		if c.paused.Load() {
+			ec.Disposition = dispositionNames[dispPaused]
+			continue
+		}
+		budget := c.budget.Load()
+		if budget <= 0 {
+			ec.Disposition = dispositionNames[dispExhausted]
+			continue
+		}
+		if b.vectorPref && len(c.tags) != len(a.Interests) {
+			ec.Disposition = dispositionNames[dispTagMismatch]
+			continue
+		}
+		spent := c.spent.Load()
+		ve = model.Vendor{Loc: c.loc, Radius: c.radius, Budget: budget, Tags: c.tags}
+		var s float64
+		if b.vectorPref {
+			s, weights = b.pearson.ScoreScratch(&cu, &ve, a.Hour, weights)
+		} else {
+			s = b.pref.Score(&cu, &ve, a.Hour)
+		}
+		if s <= 0 || math.IsNaN(s) {
+			ec.Disposition = dispositionNames[dispLowScore]
+			ec.Score = s
+			continue
+		}
+		if s > 1 {
+			s = 1
+		}
+		d := a.Loc.Dist(c.loc)
+		if d < b.minDist {
+			d = b.minDist
+		}
+		base := a.ViewProb * s / d
+		delta := spent / budget
+		relief := c.guaranteed && c.floor > 0 && spent < c.floor*budget*(a.Hour/24)
+		var escrow float64
+		remaining := budget - spent
+		if slate {
+			escrow = c.escrow.Load()
+			remaining = budget - spent - escrow
+		}
+		headroom := remaining
+		if b.cfg.Pacing > 0 {
+			allowance := b.cfg.Pacing * budget * a.Hour / 24
+			if paced := allowance - spent; paced < remaining {
+				remaining = paced
+			}
+		}
+		if b.controller != nil {
+			if paced := c.allowance.Load() - spent; paced < remaining {
+				remaining = paced
+			}
+		}
+		ec.Distance = d
+		ec.Score = s
+		ec.Delta = delta
+		ec.Relief = relief
+		ec.Base = base
+		ec.Remaining = remaining
+		ec.Headroom = headroom
+		ec.Escrow = escrow
+		live = append(live, explainScratch{
+			c: c, ci: len(rep.Candidates) - 1, base: base, delta: delta,
+			remaining: remaining, headroom: headroom, relief: relief,
+		})
+	}
+
+	// Pass B: the sequential threshold walk against the γ simulation.
+	var picks []explainPick
+	if slate {
+		picks = b.explainSlateWalk(rep, live, &sim, a.Capacity)
+	} else {
+		picks = b.explainLegacyWalk(rep, live, &sim)
+	}
+
+	// Slot resolution, mirroring the committed paths' ordering exactly.
+	b.explainResolve(rep, picks, slate, a.Capacity)
+	return rep, nil
+}
+
+// explainLegacyWalk mirrors scanCandidates pass B: per-candidate best
+// admitted pick at catalog cost, γ observed (into the sim) for every
+// affordable ad type.
+func (b *Broker) explainLegacyWalk(rep *ExplainReport, live []explainScratch, sim *gammaSim) []explainPick {
+	adTypes := b.cfg.AdTypes
+	var picks []explainPick
+	for i := range live {
+		sc := &live[i]
+		ec := &rep.Candidates[sc.ci]
+		phi := sim.threshold(sc.delta)
+		if rep.Boost != 1 {
+			phi *= rep.Boost
+		}
+		if sc.relief {
+			phi *= guaranteeRelief
+		}
+		ec.Threshold = phi
+		bestK, bestU, bestEff := -1, 0.0, 0.0
+		affordable := false
+		ec.Bids = make([]ExplainBid, 0, len(adTypes))
+		for k, t := range adTypes {
+			bid := ExplainBid{AdType: k, Name: t.Name, Cost: t.Cost}
+			if t.Cost > sc.remaining+1e-12 {
+				ec.Bids = append(ec.Bids, bid)
+				continue
+			}
+			affordable = true
+			bid.Affordable = true
+			util := sc.base * t.Effect
+			eff := util / t.Cost
+			sim.observe(eff)
+			bid.Utility, bid.Efficiency = util, eff
+			if eff >= phi {
+				bid.Admitted = true
+				if util > bestU {
+					bestK, bestU, bestEff = k, util, eff
+				}
+			}
+			ec.Bids = append(ec.Bids, bid)
+		}
+		switch {
+		case bestK >= 0:
+			ec.Bids[bestK].Chosen = true
+			picks = append(picks, explainPick{
+				ci: sc.ci, c: sc.c, k: bestK, util: bestU, eff: bestEff,
+				campaignID: sc.c.id,
+			})
+		case affordable:
+			ec.Disposition = dispositionNames[dispBelowThreshold]
+		case sc.headroom < b.minAdCost:
+			ec.Disposition = dispositionNames[dispExhausted]
+		default:
+			ec.Disposition = dispositionNames[dispUnaffordable]
+		}
+	}
+	return picks
+}
+
+// explainSlateWalk mirrors slatePassSingle/slatePassSlots' admission: per
+// ad type the eCPM bid, the reserve gate, and expected-cost efficiency. The
+// per-candidate best pick shape matches the capacity-1 walk; at higher
+// capacities the solver resolves slots in explainResolve, fed the same
+// (expected cost, utility) items in the same order.
+func (b *Broker) explainSlateWalk(rep *ExplainReport, live []explainScratch, sim *gammaSim, capacity int) []explainPick {
+	adTypes := b.cfg.AdTypes
+	single := capacity == 1
+	var picks []explainPick
+	for i := range live {
+		sc := &live[i]
+		ec := &rep.Candidates[sc.ci]
+		phi := sim.threshold(sc.delta)
+		if rep.Boost != 1 {
+			phi *= rep.Boost
+		}
+		if sc.relief {
+			phi *= guaranteeRelief
+		}
+		ec.Threshold = phi
+		bi := sc.c.billing
+		bestK, bestU, bestEff, bestBid := -1, 0.0, 0.0, 0.0
+		affordable, aboveReserve := false, false
+		ec.Bids = make([]ExplainBid, 0, len(adTypes))
+		for k, t := range adTypes {
+			eb := ExplainBid{AdType: k, Name: t.Name, Cost: t.Cost}
+			if t.Cost > sc.remaining+1e-12 {
+				ec.Bids = append(ec.Bids, eb)
+				continue
+			}
+			affordable = true
+			eb.Affordable = true
+			bid := bi.BidECPM(t.Cost)
+			eb.BidECPM = bid
+			if bid < bi.ReserveECPM {
+				ec.Bids = append(ec.Bids, eb)
+				continue
+			}
+			aboveReserve = true
+			eb.AboveReserve = true
+			util := sc.base * t.Effect
+			eff := util / bi.ExpectedCost(t.Cost)
+			sim.observe(eff)
+			eb.Utility, eb.Efficiency = util, eff
+			admitted := eff >= phi
+			if !single && util <= 0 {
+				admitted = false // the slot solver rejects zero-profit items
+			}
+			if admitted {
+				eb.Admitted = true
+				if single {
+					if util > bestU {
+						bestK, bestU, bestEff, bestBid = k, util, eff, bid
+					}
+				} else {
+					// Slots path: every admitted item joins the candidate's MCKP
+					// class; the first admitted one marks the class open.
+					if bestK < 0 {
+						bestK = k
+					}
+					picks = append(picks, explainPick{
+						ci: sc.ci, c: sc.c, k: k, util: util, eff: eff, bid: bid,
+						campaignID: sc.c.id,
+					})
+				}
+			}
+			ec.Bids = append(ec.Bids, eb)
+		}
+		if single && bestK >= 0 {
+			ec.Bids[bestK].Chosen = true
+			picks = append(picks, explainPick{
+				ci: sc.ci, c: sc.c, k: bestK, util: bestU, eff: bestEff,
+				bid: bestBid, campaignID: sc.c.id,
+			})
+		}
+		if bestK < 0 {
+			switch {
+			case aboveReserve:
+				ec.Disposition = dispositionNames[dispBelowThreshold]
+			case affordable:
+				ec.Disposition = dispositionNames[dispBelowReserve]
+			case sc.headroom < b.minAdCost:
+				ec.Disposition = dispositionNames[dispExhausted]
+			default:
+				ec.Disposition = dispositionNames[dispUnaffordable]
+			}
+		}
+	}
+	return picks
+}
+
+// explainResolve assigns the winners: the legacy capacity trim, the slate
+// single-slot winner/runner scan, or the MCKP slot solve — each mirroring
+// the committed path's exact ordering and pricing.
+func (b *Broker) explainResolve(rep *ExplainReport, picks []explainPick, slate bool, capacity int) {
+	adTypes := b.cfg.AdTypes
+	switch {
+	case !slate:
+		// Legacy: capacity trim by (efficiency desc, campaign asc) — but only
+		// when a trim is needed; within capacity the committed path keeps the
+		// admitted candidates in scan order, and so do the slots here.
+		order := make([]int, len(picks))
+		for i := range order {
+			order[i] = i
+		}
+		if len(picks) > capacity {
+			slices.SortFunc(order, func(x, y int) int {
+				px, py := &picks[x], &picks[y]
+				if px.eff != py.eff {
+					if px.eff > py.eff {
+						return -1
+					}
+					return 1
+				}
+				if px.campaignID != py.campaignID {
+					if px.campaignID < py.campaignID {
+						return -1
+					}
+					return 1
+				}
+				return 0
+			})
+		}
+		n := len(order)
+		if n > capacity {
+			n = capacity
+		}
+		for slot, oi := range order[:n] {
+			p := &picks[oi]
+			ec := &rep.Candidates[p.ci]
+			ec.Disposition = dispositionNames[dispOffered]
+			ec.Offer = &ExplainOffer{
+				AdType: p.k, Name: adTypes[p.k].Name, Utility: p.util,
+				Efficiency: p.eff, Cost: adTypes[p.k].Cost, Slot: slot,
+			}
+			rep.Offered++
+		}
+		for _, oi := range order[n:] {
+			rep.Candidates[picks[oi].ci].Disposition = dispositionNames[dispDisplaced]
+		}
+
+	case capacity == 1:
+		// Slate single slot: winner/runner scan by (efficiency desc, campaign
+		// asc — picks ascend by campaign, strict > keeps the lower id).
+		if len(picks) == 0 {
+			return
+		}
+		wi, ri := -1, -1
+		for j := range picks {
+			switch {
+			case wi < 0 || picks[j].eff > picks[wi].eff:
+				ri = wi
+				wi = j
+			case ri < 0 || picks[j].eff > picks[ri].eff:
+				ri = j
+			}
+		}
+		runnerBid := 0.0
+		if ri >= 0 {
+			runnerBid = picks[ri].bid
+		}
+		for j := range picks {
+			ec := &rep.Candidates[picks[j].ci]
+			if j != wi {
+				ec.Disposition = dispositionNames[dispDisplaced]
+				continue
+			}
+			p := &picks[j]
+			ec.Disposition = dispositionNames[dispOffered]
+			ec.Offer = explainOfferFrom(
+				priceSlateOffer(p.c, adTypes, p.k, p.util, p.eff, p.bid, runnerBid),
+				adTypes, 0)
+			rep.Offered++
+		}
+
+	default:
+		// Slate slots: rebuild the MCKP classes in walk order and solve with
+		// a local solver — same items, same order, same tie-breaking.
+		if len(picks) == 0 {
+			return
+		}
+		var s knapsack.SlotSolver
+		var classPick [][]int // class → indices into picks
+		lastCI := -1
+		for j := range picks {
+			if picks[j].ci != lastCI {
+				lastCI = picks[j].ci
+				s.Begin()
+				classPick = append(classPick, nil)
+			}
+			s.Item(picks[j].c.billing.ExpectedCost(adTypes[picks[j].k].Cost), picks[j].util)
+			classPick[len(classPick)-1] = append(classPick[len(classPick)-1], j)
+		}
+		s.Solve(capacity)
+		runnerBid := 0.0
+		if rc := s.Runner(); rc >= 0 {
+			if rp := s.RunnerPick(); rp >= 0 {
+				runnerBid = picks[classPick[rc][rp]].bid
+			}
+		}
+		won := make([]bool, len(classPick))
+		for slot, ci := range s.Order() {
+			won[ci] = true
+			p := &picks[classPick[ci][s.Pick(int(ci))]]
+			ec := &rep.Candidates[p.ci]
+			ec.Disposition = dispositionNames[dispOffered]
+			ec.Bids[p.k].Chosen = true
+			ec.Offer = explainOfferFrom(
+				priceSlateOffer(p.c, adTypes, p.k, p.util, p.eff, p.bid, runnerBid),
+				adTypes, slot)
+			rep.Offered++
+		}
+		for ci, w := range won {
+			if !w {
+				rep.Candidates[picks[classPick[ci][0]].ci].Disposition =
+					dispositionNames[dispDisplaced]
+			}
+		}
+	}
+}
+
+// explainOfferFrom converts a priced slate candidate to the report view.
+func explainOfferFrom(cd candidate, adTypes []model.AdType, slot int) *ExplainOffer {
+	out := &ExplainOffer{
+		AdType: cd.AdType, Name: adTypes[cd.AdType].Name,
+		Utility: cd.Utility, Efficiency: cd.Efficiency,
+		Cost: cd.Cost, ChargeECPM: cd.ChargeECPM, Hold: cd.Hold, Slot: slot,
+	}
+	if cd.Model != model.BillingFixed {
+		out.Model = cd.Model.String()
+	}
+	return out
+}
+
+// ServeExplain serves POST /v1/debug/explain: a hypothetical arrival in the
+// /v1/arrivals request schema, the ExplainReport out. Decoding shares the
+// API's funnel (1 MiB cap, strict fields, content-type contract).
+func (b *Broker) ServeExplain(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		WriteError(w, http.StatusMethodNotAllowed, "method_not_allowed",
+			fmt.Sprintf("method %s not allowed; allowed: POST", r.Method))
+		return
+	}
+	var req arrivalRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	rep, err := b.Explain(Arrival{
+		Loc:       geo.Point{X: req.Loc.X, Y: req.Loc.Y},
+		Capacity:  req.Capacity,
+		ViewProb:  req.ViewProb,
+		Interests: req.Interests,
+		Hour:      req.Hour,
+	})
+	if err != nil {
+		WriteError(w, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+	WriteJSON(w, http.StatusOK, rep)
+}
+
+// ServeCampaignFunnel serves GET /v1/debug/campaigns/{id}/funnel: the
+// campaign's decision-funnel counters. 404 funnel_disabled without
+// Config.Funnel.Enabled, 404 not_found for unknown campaigns.
+func (b *Broker) ServeCampaignFunnel(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		w.Header().Set("Allow", "GET, HEAD")
+		WriteError(w, http.StatusMethodNotAllowed, "method_not_allowed",
+			fmt.Sprintf("method %s not allowed; allowed: GET, HEAD", r.Method))
+		return
+	}
+	id, ok := pathID(w, r)
+	if !ok {
+		return
+	}
+	fc, err := b.CampaignFunnel(id)
+	if err != nil {
+		if errors.Is(err, ErrFunnelDisabled) {
+			WriteError(w, http.StatusNotFound, "funnel_disabled",
+				"per-campaign funnel attribution is disabled; start the broker with the funnel enabled")
+			return
+		}
+		status, code := statusFor(err)
+		WriteError(w, status, code, err.Error())
+		return
+	}
+	WriteJSON(w, http.StatusOK, fc)
+}

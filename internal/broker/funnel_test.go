@@ -1,0 +1,403 @@
+package broker
+
+// Decision-funnel tests: disposition attribution per gate, the conservation
+// invariant (sum of dispositions == gathered, per campaign and fleet-wide —
+// the -race soak CI runs by name), the heavy-hitter sketch past the exact
+// cap, the bounded metrics collector, golden-replay neutrality with the
+// funnel enabled, and the zero-alloc bar on the instrumented hot path.
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+
+	"muaa/internal/geo"
+	"muaa/internal/obs"
+	"muaa/internal/workload"
+)
+
+// funnelBroker builds a broker with funnel attribution on.
+func funnelBroker(t *testing.T, cfg Config) *Broker {
+	t.Helper()
+	cfg.Funnel.Enabled = true
+	b, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// conserved asserts one campaign's funnel row sums to its gathered count.
+func conserved(t *testing.T, fc FunnelCounts) {
+	t.Helper()
+	sum := fc.Offered + fc.Paused + fc.Exhausted + fc.TagMismatch + fc.LowScore +
+		fc.Unaffordable + fc.BelowThreshold + fc.BelowReserve + fc.Displaced
+	if sum != fc.Gathered {
+		t.Errorf("campaign %d: dispositions sum %d != gathered %d (%+v)",
+			fc.Campaign, sum, fc.Gathered, fc)
+	}
+}
+
+func TestFunnelDisabledByDefault(t *testing.T) {
+	b := newTestBroker(t)
+	if _, err := b.RegisterCampaign(geo.Point{X: 0.5, Y: 0.5}, 0.1, 10, []float64{1, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.CampaignFunnel(0); err != ErrFunnelDisabled {
+		t.Errorf("CampaignFunnel on a funnel-less broker: %v, want ErrFunnelDisabled", err)
+	}
+	if _, err := b.FunnelTop(5); err != ErrFunnelDisabled {
+		t.Errorf("FunnelTop on a funnel-less broker: %v, want ErrFunnelDisabled", err)
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/debug/campaigns/{id}/funnel", b.ServeCampaignFunnel)
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/debug/campaigns/0/funnel", nil))
+	if rec.Code != 404 {
+		t.Fatalf("funnel-disabled GET → %d, want 404", rec.Code)
+	}
+	var env errorEnvelope
+	if err := json.Unmarshal(rec.Body.Bytes(), &env); err != nil {
+		t.Fatalf("non-JSON error body %q: %v", rec.Body, err)
+	}
+	if env.Error.Code != "funnel_disabled" {
+		t.Errorf("error code %q, want funnel_disabled", env.Error.Code)
+	}
+}
+
+// TestFunnelAttributionGates drives one arrival shape through a fleet built
+// so every campaign lands in a known, distinct gate.
+func TestFunnelAttributionGates(t *testing.T) {
+	b := funnelBroker(t, Config{AdTypes: workload.DefaultAdTypes()})
+	at := geo.Point{X: 0.5, Y: 0.5}
+	winner, _ := b.RegisterCampaign(at, 0.1, 1e6, []float64{1, 0})
+	loser, _ := b.RegisterCampaign(geo.Point{X: 0.5, Y: 0.58}, 0.1, 1e6, []float64{1, 0})
+	paused, _ := b.RegisterCampaign(at, 0.1, 1e6, []float64{1, 0})
+	mismatch, _ := b.RegisterCampaign(at, 0.1, 1e6, []float64{1, 0, 0.5})
+	if err := b.SetPaused(paused, true); err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 10
+	a := Arrival{Loc: at, Capacity: 1, ViewProb: 0.8, Interests: []float64{0.9, 0.1}, Hour: 12}
+	for i := 0; i < n; i++ {
+		offers, err := b.Arrive(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(offers) != 1 || offers[0].Campaign != winner {
+			t.Fatalf("arrival %d offers %+v, want one from campaign %d", i, offers, winner)
+		}
+	}
+
+	for _, tc := range []struct {
+		id   int32
+		want func(FunnelCounts) uint64
+		name string
+	}{
+		{winner, func(fc FunnelCounts) uint64 { return fc.Offered }, "offered"},
+		// The farther campaign loses every arrival: displaced by the capacity
+		// trim once admitted, or below the threshold while γ still tightens.
+		{loser, func(fc FunnelCounts) uint64 { return fc.Displaced + fc.BelowThreshold }, "displaced/below_threshold"},
+		{paused, func(fc FunnelCounts) uint64 { return fc.Paused }, "paused"},
+		{mismatch, func(fc FunnelCounts) uint64 { return fc.TagMismatch }, "tag_mismatch"},
+	} {
+		fc, err := b.CampaignFunnel(tc.id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fc.Gathered != n || tc.want(fc) != n {
+			t.Errorf("campaign %d: gathered %d, %s %d, want both %d (%+v)",
+				tc.id, fc.Gathered, tc.name, tc.want(fc), n, fc)
+		}
+		if fc.Approximate {
+			t.Errorf("campaign %d in the exact region flagged approximate", tc.id)
+		}
+		conserved(t, fc)
+	}
+
+	// Unknown campaigns error like every other accessor, funnel enabled or not.
+	if _, err := b.CampaignFunnel(99); err == nil || err == ErrFunnelDisabled {
+		t.Errorf("unknown campaign: %v, want a not-found error", err)
+	}
+
+	// Fleet totals: the winner's arrivals gathered 4 candidates each.
+	if got := b.funnel.gathered.Load(); got != 4*n {
+		t.Errorf("fleet gathered %d, want %d", got, 4*n)
+	}
+	var sum uint64
+	for _, v := range b.funnel.fleetTotals() {
+		sum += v
+	}
+	if sum != 4*n {
+		t.Errorf("fleet disposition sum %d != gathered %d", sum, 4*n)
+	}
+
+	// FunnelTop ranks by gathered (all equal here) then ascending id.
+	top, err := b.FunnelTop(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 2 || top[0].Campaign != winner || top[1].Campaign != loser {
+		t.Errorf("FunnelTop(2) = %+v, want campaigns %d, %d", top, winner, loser)
+	}
+}
+
+// TestFunnelExhaustionGate: a drained campaign moves through the funnel's
+// budget gates — unaffordable/exhausted while it still has pennies, then
+// exhausted (pass A) at zero — and conservation holds throughout.
+func TestFunnelExhaustionGate(t *testing.T) {
+	b := funnelBroker(t, Config{AdTypes: workload.DefaultAdTypes()})
+	id, _ := b.RegisterCampaign(geo.Point{X: 0.5, Y: 0.5}, 0.1, 2.5, []float64{1, 0})
+	a := Arrival{Loc: geo.Point{X: 0.5, Y: 0.5}, Capacity: 2, ViewProb: 0.9,
+		Interests: []float64{1, 0}, Hour: 12}
+	for i := 0; i < 20; i++ {
+		if _, err := b.Arrive(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fc, err := b.CampaignFunnel(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fc.Gathered != 20 || fc.Offered == 0 {
+		t.Fatalf("funnel %+v: want 20 gathered with some offers before exhaustion", fc)
+	}
+	if fc.Exhausted+fc.Unaffordable == 0 {
+		t.Errorf("drained campaign never hit a budget gate: %+v", fc)
+	}
+	conserved(t, fc)
+}
+
+// TestFunnelSketchOverflow pins the space-saving region: ids at or past
+// ExactCampaigns share the top-k sketch, replacement inherits the evicted
+// minimum as the error bound, and reads are flagged approximate.
+func TestFunnelSketchOverflow(t *testing.T) {
+	fr := newFunnelRegistry(FunnelConfig{ExactCampaigns: 2, TopK: 2})
+	fold := func(ids []int32, evs []funnelEvent) {
+		ar := &scanArena{}
+		ar.ids = ids
+		ar.fev = evs
+		fr.fold(ar)
+	}
+	// Exact region: id 1 gathered twice, offered then displaced.
+	fold([]int32{1}, []funnelEvent{{id: 1, disp: dispOffered}})
+	fold([]int32{1}, []funnelEvent{{id: 1, disp: dispDisplaced}})
+	fc, ok := fr.campaignCounts(1)
+	if !ok || fc.Gathered != 2 || fc.Offered != 1 || fc.Displaced != 1 || fc.Approximate {
+		t.Fatalf("exact row = %+v ok=%v", fc, ok)
+	}
+
+	// Overflow: ids 5 and 6 fill the k=2 sketch.
+	for i := 0; i < 5; i++ {
+		fold([]int32{5}, []funnelEvent{{id: 5, disp: dispBelowThreshold}})
+	}
+	for i := 0; i < 3; i++ {
+		fold([]int32{6}, []funnelEvent{{id: 6, disp: dispOffered}})
+	}
+	fc, ok = fr.campaignCounts(5)
+	if !ok || !fc.Approximate || fc.Gathered != 5 || fc.BelowThreshold != 5 || fc.CountError != 0 {
+		t.Fatalf("sketch row 5 = %+v ok=%v", fc, ok)
+	}
+
+	// Id 7 arrives with the sketch full: it replaces the minimum (id 6,
+	// count 3), inheriting count min+1 = 4 with error bound min = 3.
+	fold([]int32{7}, []funnelEvent{{id: 7, disp: dispPaused}})
+	fc, ok = fr.campaignCounts(7)
+	if !ok || fc.Gathered != 4 || fc.CountError != 3 || fc.Paused != 1 {
+		t.Fatalf("replacement row 7 = %+v ok=%v", fc, ok)
+	}
+	if fc.Offered != 0 {
+		t.Errorf("replacement inherited the evicted disposition vector: %+v", fc)
+	}
+	// The evicted id reads as zeros, explicitly approximate.
+	fc, ok = fr.campaignCounts(6)
+	if ok || !fc.Approximate || fc.Gathered != 0 {
+		t.Fatalf("evicted row 6 = %+v ok=%v, want untracked zeros", fc, ok)
+	}
+
+	// top merges exact rows and sketch entries: gathered desc, id asc.
+	top := fr.top(10)
+	if len(top) != 3 {
+		t.Fatalf("top = %+v, want 3 tracked campaigns", top)
+	}
+	if top[0].Campaign != 5 || top[1].Campaign != 7 || top[2].Campaign != 1 {
+		t.Errorf("top order = [%d %d %d], want [5 7 1]",
+			top[0].Campaign, top[1].Campaign, top[2].Campaign)
+	}
+	if got := fr.top(1); len(got) != 1 || got[0].Campaign != 5 {
+		t.Errorf("top(1) = %+v, want just campaign 5", got)
+	}
+	if fr.top(0) != nil {
+		t.Error("top(0) should be nil")
+	}
+}
+
+// TestFunnelMetricsExposition: the muaa_funnel_* families land in the obs
+// registry — exact fleet totals whose dispositions sum to gathered, and the
+// bounded per-campaign collector.
+func TestFunnelMetricsExposition(t *testing.T) {
+	reg := obs.NewRegistry()
+	b := funnelBroker(t, Config{AdTypes: workload.DefaultAdTypes(), Metrics: reg})
+	if _, err := b.RegisterCampaign(geo.Point{X: 0.5, Y: 0.5}, 0.1, 1e6, []float64{1, 0}); err != nil {
+		t.Fatal(err)
+	}
+	a := Arrival{Loc: geo.Point{X: 0.5, Y: 0.5}, Capacity: 1, ViewProb: 0.8,
+		Interests: []float64{1, 0}, Hour: 12}
+	for i := 0; i < 7; i++ {
+		if _, err := b.Arrive(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var sb strings.Builder
+	reg.WriteText(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		"muaa_funnel_gathered_total 7",
+		`muaa_funnel_dispositions_total{disposition="offered"} 7`,
+		`muaa_funnel_dispositions_total{disposition="below_threshold"} 0`,
+		`muaa_funnel_campaign_total{campaign="0",disposition="gathered"} 7`,
+		`muaa_funnel_campaign_total{campaign="0",disposition="offered"} 7`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestFunnelConservationSoak is the -race conservation gate: under
+// concurrent mixed traffic — on both the legacy and the slate scan path —
+// every campaign's dispositions sum exactly to its gathered count, and the
+// fleet-wide totals agree with the per-campaign rows.
+func TestFunnelConservationSoak(t *testing.T) {
+	workers := 2 * runtime.GOMAXPROCS(0)
+	if workers < 4 {
+		workers = 4
+	}
+	opsPerWorker := 300
+	if testing.Short() {
+		workers, opsPerWorker = 4, 80
+	}
+	const campaigns = 40
+
+	for _, tc := range []struct {
+		name   string
+		load   workload.BrokerLoadConfig
+		billed bool
+	}{
+		{"legacy", workload.DefaultBrokerLoadConfig(campaigns, workers*opsPerWorker, 77), false},
+		{"slate", workload.BilledBrokerLoadConfig(campaigns, workers*opsPerWorker, 78), true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			specs, ops, err := workload.BrokerLoad(tc.load)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b := funnelBroker(t, Config{AdTypes: workload.DefaultAdTypes(), Shards: 8})
+			registerLoad(t, b, specs)
+
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					var open []uint64
+					for i := w; i < len(ops); i += workers {
+						if tc.billed {
+							applyBilledOp(t, b, ops[i], &open)
+						} else {
+							applyOp(t, b, ops[i])
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+
+			var gatheredSum, dispSum uint64
+			for id := int32(0); id < campaigns; id++ {
+				fc, err := b.CampaignFunnel(id)
+				if err != nil {
+					t.Fatal(err)
+				}
+				conserved(t, fc)
+				gatheredSum += fc.Gathered
+				dispSum += fc.Offered + fc.Paused + fc.Exhausted + fc.TagMismatch +
+					fc.LowScore + fc.Unaffordable + fc.BelowThreshold +
+					fc.BelowReserve + fc.Displaced
+			}
+			fleet := b.funnel.gathered.Load()
+			if gatheredSum != fleet {
+				t.Errorf("per-campaign gathered sum %d != fleet gathered %d", gatheredSum, fleet)
+			}
+			var totals uint64
+			for _, v := range b.funnel.fleetTotals() {
+				totals += v
+			}
+			if totals != fleet || dispSum != fleet {
+				t.Errorf("fleet disposition totals %d / per-campaign %d != gathered %d",
+					totals, dispSum, fleet)
+			}
+			if fleet == 0 {
+				t.Error("soak gathered nothing; load shape is wrong")
+			}
+		})
+	}
+}
+
+// TestReplayMatchesGoldenFunnelEnabled: funnel attribution is
+// observation-only — the golden transcript with the funnel (and metrics)
+// enabled is byte-identical to the uninstrumented reference.
+func TestReplayMatchesGoldenFunnelEnabled(t *testing.T) {
+	cfg := Config{AdTypes: workload.DefaultAdTypes(), Metrics: obs.NewRegistry(),
+		Funnel: FunnelConfig{Enabled: true}}
+	got := replayTranscript(t, cfg, 32, 3000, 42)
+	want, err := os.ReadFile(filepath.Join("testdata", "replay_default.golden"))
+	if err != nil {
+		t.Fatalf("missing golden: %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("funnel attribution changed the replay transcript (%d vs %d bytes, first diff at byte %d)",
+			len(got), len(want), firstDiff(got, string(want)))
+	}
+}
+
+// TestArriveAppendZeroAllocsFunnel holds the allocation bar with the funnel
+// recording: the event slice is arena scratch and the exact-region fold is
+// lock-free, so a warm serial arrival still allocates nothing.
+func TestArriveAppendZeroAllocsFunnel(t *testing.T) {
+	b := funnelBroker(t, Config{AdTypes: workload.DefaultAdTypes()})
+	for i := 0; i < 64; i++ {
+		x := float64(i%8)/8 + 0.05
+		y := float64(i/8)/8 + 0.05
+		if _, err := b.RegisterCampaign(geo.Point{X: x, Y: y}, 0.15, 1e9, []float64{1, 0.5, 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a := Arrival{Loc: geo.Point{X: 0.4, Y: 0.4}, Capacity: 2, ViewProb: 0.8,
+		Interests: []float64{1, 0.5, 1}, Hour: 12}
+	dst := make([]Offer, 0, 16)
+	for i := 0; i < 16; i++ {
+		out, err := b.ArriveAppend(dst[:0], a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dst = out[:0]
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		out, err := b.ArriveAppend(dst[:0], a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dst = out[:0]
+	})
+	if allocs != 0 {
+		t.Fatalf("funnel-enabled serial arrival allocates %v times per op, want 0", allocs)
+	}
+}

@@ -139,6 +139,47 @@ func FuzzPostArrivalBatch(f *testing.F) {
 	})
 }
 
+// FuzzPostExplain hardens the debug explain endpoint: it accepts the same
+// arrival shape as /arrivals but runs the read-only replay path, so the
+// contract is the same — garbage is 4xx, never 5xx, and every 200 is a
+// well-formed report whose candidate count matches its gathered counter.
+func FuzzPostExplain(f *testing.F) {
+	f.Add(`{"loc":{"x":0.49,"y":0.51},"capacity":2,"viewProb":0.7,"interests":[0.9,0.1,0.3]}`)
+	f.Add(`{"loc":{"x":0.5,"y":0.5},"capacity":0,"viewProb":0.5}`)
+	f.Add(`{"loc":{"x":0.5,"y":0.5},"capacity":-1,"viewProb":0.5}`)
+	f.Add(`{"viewProb":2}`)
+	f.Add(`{"capacity":1,"viewProb":"NaN"}`)
+	f.Add(`{"hour":-99,"capacity":1000000,"viewProb":1}`)
+	f.Add(`{"unknown":true}`)
+	f.Add(`{nope`)
+	f.Add(``)
+	f.Add(`null`)
+	f.Fuzz(func(t *testing.T, body string) {
+		b, err := New(Config{AdTypes: workload.DefaultAdTypes(), Funnel: FunnelConfig{Enabled: true}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := b.RegisterCampaign(geo.Point{X: 0.5, Y: 0.5}, 0.2, 50, []float64{1, 0, 0.3}); err != nil {
+			t.Fatal(err)
+		}
+		req := httptest.NewRequest("POST", "/v1/debug/explain", strings.NewReader(body))
+		rec := httptest.NewRecorder()
+		b.ServeExplain(rec, req)
+		if rec.Code >= 500 {
+			t.Fatalf("POST /v1/debug/explain %q → %d (server error on client input)", body, rec.Code)
+		}
+		if rec.Code == 200 {
+			var rep ExplainReport
+			if err := json.Unmarshal(rec.Body.Bytes(), &rep); err != nil {
+				t.Fatalf("accepted explain returned malformed body %q: %v", rec.Body, err)
+			}
+			if len(rep.Candidates) != rep.Gathered {
+				t.Fatalf("explain report gathered=%d but carries %d candidates", rep.Gathered, len(rep.Candidates))
+			}
+		}
+	})
+}
+
 // FuzzPostTopUp covers the path-parameter endpoints: arbitrary IDs and
 // bodies must map to 4xx/404, never 5xx.
 func FuzzPostTopUp(f *testing.F) {

@@ -214,5 +214,8 @@ func newBrokerMetrics(reg *obs.Registry, b *Broker) *brokerMetrics {
 	if b.controller != nil {
 		registerPacingMetrics(reg, b)
 	}
+	if b.funnel != nil {
+		registerFunnelMetrics(reg, b)
+	}
 	return m
 }

@@ -58,6 +58,11 @@ type slateRep struct {
 // locks that produced ar.ids.
 func (b *Broker) scanSlate(ar *scanArena, a *Arrival, dir []*campaign, boost float64) scanTally {
 	var tally scanTally
+	tally.gathered = uint64(len(ar.ids))
+	// Funnel attribution mirrors scanCandidates: every gathered id records
+	// exactly one disposition event when the funnel is enabled.
+	rec := b.funnel != nil
+	ar.fev = ar.fev[:0]
 	cu := &ar.customer
 	*cu = model.Customer{Loc: a.Loc, Capacity: a.Capacity, ViewProb: a.ViewProb,
 		Interests: a.Interests, Arrival: a.Hour}
@@ -78,15 +83,24 @@ func (b *Broker) scanSlate(ar *scanArena, a *Arrival, dir []*campaign, boost flo
 		c := dir[id]
 		if c.paused.Load() {
 			tally.paused++
+			if rec {
+				ar.fev = append(ar.fev, funnelEvent{id: id, disp: dispPaused})
+			}
 			continue
 		}
 		budget := c.budget.Load()
 		if budget <= 0 {
 			tally.exhausted++
+			if rec {
+				ar.fev = append(ar.fev, funnelEvent{id: id, disp: dispExhausted})
+			}
 			continue
 		}
 		if b.vectorPref && len(c.tags) != len(a.Interests) {
 			tally.mismatch++
+			if rec {
+				ar.fev = append(ar.fev, funnelEvent{id: id, disp: dispTagMismatch})
+			}
 			continue // mismatched taxonomies: preference undefined, not served
 		}
 		spent := c.spent.Load()
@@ -99,6 +113,9 @@ func (b *Broker) scanSlate(ar *scanArena, a *Arrival, dir []*campaign, boost flo
 		}
 		if s <= 0 || math.IsNaN(s) {
 			tally.lowScore++
+			if rec {
+				ar.fev = append(ar.fev, funnelEvent{id: id, disp: dispLowScore})
+			}
 			continue
 		}
 		if s > 1 {
@@ -139,25 +156,34 @@ func (b *Broker) scanSlate(ar *scanArena, a *Arrival, dir []*campaign, boost flo
 	// legacy walk shape for bit-exact equivalence; larger capacities build
 	// MCKP classes and let the slot solver fill the slate.
 	if a.Capacity == 1 {
-		b.slatePassSingle(ar, &tally, boost)
+		b.slatePassSingle(ar, &tally, boost, rec)
 	} else {
-		b.slatePassSlots(ar, a.Capacity, &tally, boost)
+		b.slatePassSlots(ar, a.Capacity, &tally, boost, rec)
 	}
 	return tally
 }
 
 // slateDisposition folds one servable-candidate outcome into the tally when
-// no item of the candidate was admitted.
-func (b *Broker) slateDisposition(tally *scanTally, affordable, aboveReserve bool, headroom float64) {
+// no item of the candidate was admitted, recording the matching funnel event
+// when attribution is on.
+func (b *Broker) slateDisposition(ar *scanArena, tally *scanTally, rec bool, id int32, affordable, aboveReserve bool, headroom float64) {
+	var d funnelDisposition
 	switch {
 	case aboveReserve:
 		tally.belowThreshold++
+		d = dispBelowThreshold
 	case affordable:
 		tally.belowReserve++
+		d = dispBelowReserve
 	case headroom < b.minAdCost:
 		tally.exhausted++
+		d = dispExhausted
 	default:
 		tally.unaffordable++
+		d = dispUnaffordable
+	}
+	if rec {
+		ar.fev = append(ar.fev, funnelEvent{id: id, disp: d})
 	}
 }
 
@@ -165,7 +191,7 @@ func (b *Broker) slateDisposition(tally *scanTally, affordable, aboveReserve boo
 // best-efficiency candidate wins the slot, the displaced runner-up prices
 // it. With every campaign on fixed billing the admitted set, the winner and
 // the committed Offer are bit-identical to the legacy pass B plus trim.
-func (b *Broker) slatePassSingle(ar *scanArena, tally *scanTally, boost float64) {
+func (b *Broker) slatePassSingle(ar *scanArena, tally *scanTally, boost float64, rec bool) {
 	adTypes := b.cfg.AdTypes
 	ar.reps = ar.reps[:0]
 	for i, c := range ar.cand {
@@ -207,7 +233,7 @@ func (b *Broker) slatePassSingle(ar *scanArena, tally *scanTally, boost float64)
 			})
 			continue
 		}
-		b.slateDisposition(tally, affordable, aboveReserve, ar.headroom[i])
+		b.slateDisposition(ar, tally, rec, c.id, affordable, aboveReserve, ar.headroom[i])
 	}
 	if len(ar.reps) == 0 {
 		return
@@ -233,13 +259,23 @@ func (b *Broker) slatePassSingle(ar *scanArena, tally *scanTally, boost float64)
 	w := &ar.reps[wi]
 	ar.cands = append(ar.cands,
 		priceSlateOffer(ar.cand[w.ci], adTypes, int(w.k), w.util, w.eff, w.bid, runnerBid))
+	if rec {
+		// One slot: the winner was offered, every other admitted rep lost it.
+		for j := range ar.reps {
+			d := dispDisplaced
+			if j == wi {
+				d = dispOffered
+			}
+			ar.fev = append(ar.fev, funnelEvent{id: ar.cand[ar.reps[j].ci].id, disp: d})
+		}
+	}
 }
 
 // slatePassSlots is the capacity ≥ 2 pass B: each candidate with admitted
 // items becomes an MCKP class (items priced at expected cost) and the slot
 // solver fills up to `capacity` slots in decreasing best-item efficiency —
 // the same currency the capacity-1 winner scan and the legacy trim rank by.
-func (b *Broker) slatePassSlots(ar *scanArena, capacity int, tally *scanTally, boost float64) {
+func (b *Broker) slatePassSlots(ar *scanArena, capacity int, tally *scanTally, boost float64, rec bool) {
 	adTypes := b.cfg.AdTypes
 	s := &ar.slot
 	s.Reset()
@@ -288,7 +324,7 @@ func (b *Broker) slatePassSlots(ar *scanArena, capacity int, tally *scanTally, b
 			tally.offered++
 			continue
 		}
-		b.slateDisposition(tally, affordable, aboveReserve, ar.headroom[i])
+		b.slateDisposition(ar, tally, rec, c.id, affordable, aboveReserve, ar.headroom[i])
 	}
 	if s.Classes() == 0 {
 		return
@@ -309,6 +345,24 @@ func (b *Broker) slatePassSlots(ar *scanArena, capacity int, tally *scanTally, b
 			priceSlateOffer(c, adTypes, int(it.adType), it.util, it.eff, it.bid, runnerBid))
 	}
 	tally.trimmed = uint64(s.Classes() - len(s.Order()))
+	if rec {
+		// Funnel resolution for admitted classes: slot winners were offered,
+		// the classes the solver left out were displaced.
+		ar.classWon = ar.classWon[:0]
+		for range ar.classCand {
+			ar.classWon = append(ar.classWon, false)
+		}
+		for _, ci := range s.Order() {
+			ar.classWon[ci] = true
+		}
+		for ci, won := range ar.classWon {
+			d := dispDisplaced
+			if won {
+				d = dispOffered
+			}
+			ar.fev = append(ar.fev, funnelEvent{id: ar.cand[ar.classCand[ci]].id, disp: d})
+		}
+	}
 }
 
 // priceSlateOffer builds the committed-offer candidate for one slate winner.

@@ -35,6 +35,10 @@ type metric struct {
 	// source instead. Gather is the only consumer.
 	read func() float64
 	hist *Histogram // non-nil iff this metric is a histogram
+	// collect, when non-nil, marks a dynamic-label collector (see
+	// NewCollectorFunc): the metric expands to one sample per element of the
+	// returned set at scrape time, and read/hist are nil.
+	collect func() []Sample
 }
 
 // family groups every metric sharing one name: the exposition format allows
@@ -82,6 +86,11 @@ func (r *Registry) register(name, help, typ string, m metric) {
 	for _, existing := range f.metrics {
 		if existing.labels == m.labels {
 			panic(fmt.Sprintf("obs: duplicate metric %s%s", name, m.labels))
+		}
+		// A collector owns its whole family (its sample set is dynamic, so
+		// any static sibling could collide with it at scrape time).
+		if existing.collect != nil || m.collect != nil {
+			panic(fmt.Sprintf("obs: metric %q mixes a collector with other registrations", name))
 		}
 	}
 	f.metrics = append(f.metrics, m)
@@ -264,6 +273,14 @@ func (r *Registry) Gather() []MetricPoint {
 	var out []MetricPoint
 	for _, f := range r.snapshotFamilies("") {
 		for _, m := range f.metrics {
+			if m.collect != nil {
+				for _, s := range collectSorted(m.collect) {
+					out = append(out, MetricPoint{
+						Name: m.name, Labels: s.labels, Kind: Kind(f.typ), Value: s.value,
+					})
+				}
+				continue
+			}
 			p := MetricPoint{Name: m.name, Labels: m.labels, Kind: Kind(f.typ)}
 			if m.hist != nil {
 				snap := m.hist.Snapshot()
@@ -291,7 +308,9 @@ func (r *Registry) Handler() http.Handler {
 }
 
 // renderLabels renders a deterministic {k="v",...} string, sorted by key.
-// An empty label set renders as "".
+// An empty label set renders as "". Keys are sanitized to the exposition
+// format's identifier grammar and values escaped, so no label — static or
+// collector-supplied — can corrupt the text format (see escapeLabel).
 func renderLabels(labels []Label) string {
 	if len(labels) == 0 {
 		return ""
@@ -304,7 +323,7 @@ func renderLabels(labels []Label) string {
 		if i > 0 {
 			sb.WriteByte(',')
 		}
-		sb.WriteString(l.Key)
+		sb.WriteString(sanitizeLabelKey(l.Key))
 		sb.WriteString(`="`)
 		sb.WriteString(escapeLabel(l.Value))
 		sb.WriteByte('"')
@@ -340,6 +359,46 @@ func escapeHelp(s string) string {
 	return strings.NewReplacer(`\`, `\\`, "\n", `\n`).Replace(s)
 }
 
+// escapeLabel renders a label value safely inside double quotes: the three
+// characters the exposition format requires escaped (backslash, quote,
+// newline) are escaped, and invalid UTF-8 is replaced with U+FFFD first —
+// a hostile id (an embedded quote, a raw newline, a truncated rune) can
+// therefore never break out of its value position or emit bytes a strict
+// UTF-8 scrape parser rejects. Pinned by TestLabelHygiene.
 func escapeLabel(s string) string {
+	s = strings.ToValidUTF8(s, "�")
 	return strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`).Replace(s)
+}
+
+// sanitizeLabelKey forces a label key into the exposition identifier grammar
+// [a-zA-Z_][a-zA-Z0-9_]*: every other byte becomes '_' (an empty key becomes
+// a single '_'). Keys normally come from code and pass through unchanged;
+// the rewrite is the backstop for keys assembled from external input.
+func sanitizeLabelKey(k string) string {
+	ok := k != ""
+	for i := 0; ok && i < len(k); i++ {
+		c := k[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case c >= '0' && c <= '9':
+			ok = i > 0
+		default:
+			ok = false
+		}
+	}
+	if ok {
+		return k
+	}
+	if k == "" {
+		return "_"
+	}
+	b := []byte(k)
+	for i, c := range b {
+		valid := c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !valid {
+			b[i] = '_'
+		}
+	}
+	return string(b)
 }

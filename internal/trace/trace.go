@@ -37,6 +37,13 @@ const (
 // campaign, mirroring the muaa_broker_scan_outcomes_total counters but
 // scoped to one arrival.
 type ScanCounts struct {
+	// Gathered is the number of candidate campaigns the grid probes returned
+	// for this arrival — the top of the decision funnel; the remaining fields
+	// partition it (offered counts threshold admissions, displaced the
+	// admitted candidates later dropped by the capacity trim or slate slot
+	// race, so gathered = offered + every rejection + 0·displaced — displaced
+	// is a refinement of offered, not a disjoint class).
+	Gathered       uint64 `json:"gathered,omitempty"`
 	Offered        uint64 `json:"offered,omitempty"`
 	Paused         uint64 `json:"paused,omitempty"`
 	Exhausted      uint64 `json:"exhausted,omitempty"`
@@ -45,6 +52,9 @@ type ScanCounts struct {
 	Unaffordable   uint64 `json:"unaffordable,omitempty"`
 	BelowThreshold uint64 `json:"below_threshold,omitempty"`
 	BelowReserve   uint64 `json:"below_reserve,omitempty"`
+	// Displaced counts admitted candidates that lost the slot race (the
+	// legacy capacity trim or the slate solver's displacement).
+	Displaced uint64 `json:"displaced_by_slate,omitempty"`
 }
 
 // Trace is one completed arrival request: a root span plus per-stage child
